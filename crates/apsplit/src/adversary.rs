@@ -1,0 +1,196 @@
+//! The paper's lower-bound adversaries, executable (§2.1–2.2, §3).
+//!
+//! The proofs of Theorems 1–3 are adversary arguments: an algorithm that
+//! has *seen* too few elements leaves the adversary free to fix the unseen
+//! values so that the output is wrong. This module turns those arguments
+//! into running code:
+//!
+//! * [`complete_right_grounded`] — given the elements an algorithm
+//!   inspected and the splitters it returned, choose the unseen values to
+//!   *starve* some induced partition (the §2.1 pigeonhole: among `K`
+//!   partitions one holds at most `N₀/K` seen elements; route every unseen
+//!   value elsewhere). Any procedure with `N₀ < aK` is broken; the paper's
+//!   algorithm (which inspects `aK` elements) provably survives.
+//! * [`complete_left_grounded`] — the §2.2 version: pack all `N − N₀`
+//!   unseen values into one induced partition; any procedure with
+//!   `N₀ < N − b` is broken.
+//!
+//! The tests drive deliberately *cheating* under-sampling algorithms into
+//! these adversaries and check the verifier rejects them — and that the
+//! real algorithms cannot be broken this way.
+
+use emcore::Record;
+
+/// Given the multiset of `seen` element values an algorithm inspected, the
+/// `splitters` it returned (ascending), and the total input size `n`,
+/// produce a full input (a permutation of `seen` plus `n − seen.len()`
+/// adversarial values) on which the induced partition sizes are as small
+/// as the adversary can force — the §2.1 argument.
+///
+/// The returned vector has length `n`; the seen values appear unchanged.
+pub fn complete_right_grounded(seen: &[u64], splitters: &[u64], n: u64) -> Vec<u64> {
+    assert!(seen.len() as u64 <= n);
+    // Count seen elements per induced partition.
+    let k = splitters.len() + 1;
+    let mut counts = vec![0u64; k];
+    for &x in seen {
+        counts[splitters.partition_point(|&s| s < x)] += 1;
+    }
+    // The starved partition: fewest seen elements.
+    let victim = counts
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .expect("k ≥ 1");
+    // A value guaranteed OUTSIDE partition `victim` = (s_{v-1}, s_v]:
+    // anything > s_v works for v < k−1... use s_v + 1 territory; for the
+    // last partition use a value ≤ s_{k-2} (or anything < min splitter).
+    let filler = if victim + 1 <= splitters.len() {
+        // victim has an upper splitter s_v: values above it are outside.
+        splitters[victim].saturating_add(1)
+    } else {
+        // victim is the last partition: values at/below the first splitter
+        // are outside it.
+        splitters.first().copied().unwrap_or(0)
+    };
+    let mut out = Vec::with_capacity(n as usize);
+    out.extend_from_slice(seen);
+    out.resize(n as usize, filler);
+    out
+}
+
+/// The §2.2 adversary for the left-grounded problem: pack every unseen
+/// value into a single induced partition (the widest is most dramatic, but
+/// any works) so its size exceeds `b` whenever `n − seen.len() > b`.
+pub fn complete_left_grounded(seen: &[u64], splitters: &[u64], n: u64) -> Vec<u64> {
+    assert!(seen.len() as u64 <= n);
+    // Target the last partition (s_{k-1}, ∞): values above the top
+    // splitter land there.
+    let filler = splitters
+        .last()
+        .map(|&s| s.saturating_add(1))
+        .unwrap_or(u64::MAX);
+    let mut out = Vec::with_capacity(n as usize);
+    out.extend_from_slice(seen);
+    out.resize(n as usize, filler);
+    out
+}
+
+/// A deliberately broken splitter-finder: inspects only the first
+/// `sample_size` elements and returns their `1/K`-quantile. With
+/// `sample_size < aK` it violates the Theorem-1 information requirement,
+/// and [`complete_right_grounded`] will defeat it.
+pub fn cheating_right_grounded<T: Record<Key = u64>>(
+    prefix: &[T],
+    k: u64,
+) -> Vec<u64> {
+    let mut keys: Vec<u64> = prefix.iter().map(|r| r.key()).collect();
+    keys.sort_unstable();
+    (1..k)
+        .map(|i| {
+            let rank = ((i as usize * keys.len()) / k as usize).max(1);
+            keys[rank - 1]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProblemSpec;
+    use crate::splitters::approx_splitters;
+    use crate::verify::verify_splitters;
+    use emcore::{EmConfig, EmContext, EmFile};
+
+    fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (1..=n).map(|i| i * 10).collect();
+        let mut s = seed;
+        for i in (1..v.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn adversary_defeats_undersampling() {
+        // A cheater that inspects aK/2 elements when Theorem 1 demands aK.
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let n = 4000u64;
+        let (k, a) = (8u64, 64u64);
+        let spec = ProblemSpec::new(n, k, a, n).unwrap();
+        let data = shuffled(n, 1);
+
+        let seen = &data[..(a * k / 2) as usize];
+        let mut cheat = cheating_right_grounded(seen, k);
+        cheat.sort_unstable();
+
+        let adversarial = complete_right_grounded(seen, &cheat, n);
+        assert_eq!(adversarial.len(), n as usize);
+        let file = EmFile::from_slice(&ctx, &adversarial).unwrap();
+        let rep = verify_splitters(&file, &cheat, &spec).unwrap();
+        assert!(
+            !rep.ok,
+            "the adversary must defeat an undersampling cheater; sizes {:?}",
+            rep.sizes
+        );
+        assert!(rep.sizes.iter().any(|&s| s < a));
+    }
+
+    #[test]
+    fn real_algorithm_survives_the_same_adversary() {
+        // The paper's algorithm inspects exactly aK elements; by the §5.1
+        // argument every partition keeps ≥ a *seen* elements, so no unseen
+        // completion can starve one.
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let n = 4000u64;
+        let (k, a) = (8u64, 64u64);
+        let spec = ProblemSpec::new(n, k, a, n).unwrap();
+        let data = shuffled(n, 2);
+        let file = ctx.stats().paused(|| EmFile::from_slice(&ctx, &data)).unwrap();
+        let splitters = approx_splitters(&file, &spec).unwrap();
+        let keys: Vec<u64> = splitters.clone();
+
+        // The algorithm read only the aK-prefix; hand the adversary exactly
+        // that knowledge and let it recomplete the rest.
+        let seen = &data[..(a * k) as usize];
+        let adversarial = complete_right_grounded(seen, &keys, n);
+        let file2 = EmFile::from_slice(&ctx, &adversarial).unwrap();
+        let rep = verify_splitters(&file2, &keys, &spec).unwrap();
+        assert!(
+            rep.ok,
+            "the real algorithm must survive adversarial completion; sizes {:?}",
+            rep.sizes
+        );
+    }
+
+    #[test]
+    fn left_grounded_adversary_overfills() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let n = 4000u64;
+        let (k, b) = (8u64, 1000u64);
+        let spec = ProblemSpec::new(n, k, 0, b).unwrap();
+        let data = shuffled(n, 3);
+
+        // A cheater that only reads n/4 < n − b elements.
+        let seen = &data[..(n / 4) as usize];
+        let mut cheat = cheating_right_grounded(seen, k);
+        cheat.sort_unstable();
+
+        let adversarial = complete_left_grounded(seen, &cheat, n);
+        let file = EmFile::from_slice(&ctx, &adversarial).unwrap();
+        let rep = verify_splitters(&file, &cheat, &spec).unwrap();
+        assert!(!rep.ok, "packing n − n/4 > b unseen values into one partition must break b");
+        assert!(rep.sizes.iter().any(|&s| s > b));
+    }
+
+    #[test]
+    fn completion_preserves_seen_values() {
+        let seen = vec![5u64, 1, 9];
+        let full = complete_right_grounded(&seen, &[4, 8], 10);
+        assert_eq!(&full[..3], &[5, 1, 9]);
+        assert_eq!(full.len(), 10);
+    }
+}

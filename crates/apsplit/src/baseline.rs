@@ -1,0 +1,174 @@
+//! Sort-based baselines.
+//!
+//! The paper's §1.2: every problem considered is "trivially solved by
+//! sorting in `O((N/B)·lg_{M/B}(N/B))` I/Os". These are the comparison
+//! lines for all experiments — the approximate algorithms must beat them,
+//! with crossovers where the bounds predict.
+
+use emcore::{EmFile, Record, Result};
+use emselect::Partition;
+use emsort::external_sort;
+
+use crate::spec::ProblemSpec;
+use crate::splitters::check_input;
+
+/// Splitters by full sort: sort `S`, then read off the elements at the
+/// near-even quantile ranks (always feasible for a feasible spec).
+pub fn sort_based_splitters<T: Record>(
+    input: &EmFile<T>,
+    spec: &ProblemSpec,
+) -> Result<Vec<T>> {
+    check_input(input, spec)?;
+    let stats = input.ctx().stats().clone();
+    stats.begin_phase("sort-baseline/splitters");
+    let sorted = external_sort(input)?;
+    let ranks = spec.quantile_ranks();
+    let mut out = Vec::with_capacity(ranks.len());
+    let mut next = 0usize;
+    let mut pos = 0u64;
+    let mut r = sorted.reader();
+    while let Some(x) = r.next()? {
+        pos += 1;
+        while next < ranks.len() && ranks[next] == pos {
+            out.push(x);
+            next += 1;
+        }
+        if next == ranks.len() {
+            break;
+        }
+    }
+    stats.end_phase();
+    Ok(out)
+}
+
+/// Partitioning by full sort: sort `S`, then cut the sorted stream into
+/// near-even partitions.
+pub fn sort_based_partitioning<T: Record>(
+    input: &EmFile<T>,
+    spec: &ProblemSpec,
+) -> Result<Vec<Partition<T>>> {
+    check_input(input, spec)?;
+    let ctx = input.ctx().clone();
+    let stats = ctx.stats().clone();
+    stats.begin_phase("sort-baseline/partitioning");
+    let sorted = external_sort(input)?;
+    let mut bounds = spec.quantile_ranks();
+    bounds.push(spec.n);
+    let mut parts = Vec::with_capacity(spec.k as usize);
+    let mut r = sorted.reader();
+    let mut pos = 0u64;
+    for &bound in &bounds {
+        let mut w = ctx.writer::<T>();
+        while pos < bound {
+            let x = r.next()?.expect("sorted file has N records");
+            w.push(x)?;
+            pos += 1;
+        }
+        parts.push(Partition::from_file(w.finish()?));
+    }
+    stats.end_phase();
+    Ok(parts)
+}
+
+/// Multi-selection by full sort: sort, then read off the given ranks
+/// (ascending or not).
+pub fn sort_based_multi_select<T: Record>(
+    input: &EmFile<T>,
+    ranks: &[u64],
+) -> Result<Vec<T>> {
+    let stats = input.ctx().stats().clone();
+    stats.begin_phase("sort-baseline/multi-select");
+    let sorted = external_sort(input)?;
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.sort_unstable_by_key(|&i| ranks[i]);
+    let mut out: Vec<Option<T>> = vec![None; ranks.len()];
+    let mut r = sorted.reader();
+    let mut pos = 0u64;
+    let mut oi = 0usize;
+    while oi < order.len() {
+        let x = match r.next()? {
+            Some(x) => x,
+            None => break,
+        };
+        pos += 1;
+        while oi < order.len() && ranks[order[oi]] == pos {
+            out[order[oi]] = Some(x);
+            oi += 1;
+        }
+    }
+    stats.end_phase();
+    Ok(out.into_iter().map(|o| o.expect("rank within N")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_partitioning, verify_splitters};
+    use emcore::{EmConfig, EmContext};
+
+    fn ctx() -> EmContext {
+        EmContext::new_in_memory_strict(EmConfig::tiny())
+    }
+
+    fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..v.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn baseline_splitters_valid() {
+        let c = ctx();
+        let n = 3000u64;
+        let spec = ProblemSpec::new(n, 6, 400, 600).unwrap();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 50))).unwrap();
+        let sp = sort_based_splitters(&f, &spec).unwrap();
+        assert_eq!(sp.len(), 5);
+        let rep = verify_splitters(&f, &sp, &spec).unwrap();
+        assert!(rep.ok, "{:?}", rep.sizes);
+    }
+
+    #[test]
+    fn baseline_partitioning_valid() {
+        let c = ctx();
+        let n = 3000u64;
+        let spec = ProblemSpec::new(n, 6, 500, 500).unwrap();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 51))).unwrap();
+        let parts = sort_based_partitioning(&f, &spec).unwrap();
+        let rep = verify_partitioning(&parts, &spec).unwrap();
+        assert!(rep.ok);
+        // baseline partitions are internally sorted too
+        for p in &parts {
+            assert!(emsort::is_sorted(&p.segments()[0]).unwrap());
+        }
+    }
+
+    #[test]
+    fn baseline_multiselect_matches() {
+        let c = ctx();
+        let n = 2000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 52))).unwrap();
+        let ranks = vec![1500, 3, 1999];
+        let got = sort_based_multi_select(&f, &ranks).unwrap();
+        assert_eq!(got, vec![1499, 2, 1998]);
+    }
+
+    #[test]
+    fn baseline_costs_sort_level_io() {
+        let c = EmContext::new_in_memory(EmConfig::medium());
+        let n = 100_000u64;
+        let spec = ProblemSpec::new(n, 4, 0, n).unwrap();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 53))).unwrap();
+        let before = c.stats().snapshot();
+        let _ = sort_based_splitters(&f, &spec).unwrap();
+        let ios = c.stats().snapshot().since(&before).total_ios();
+        let scan = n.div_ceil(64);
+        // Sorting reads + writes every block at least twice at this size.
+        assert!(ios >= 3 * scan, "baseline took only {ios} I/Os");
+    }
+}

@@ -1,0 +1,172 @@
+//! Closed-form I/O bounds from the paper's Table 1.
+//!
+//! Every benchmark prints a "predicted" column computed from these
+//! formulas next to the measured I/O counts; the reproduction criterion is
+//! that measured/predicted stays within a constant across each sweep (same
+//! *shape*), and that the orderings/crossovers between algorithms match.
+//!
+//! Conventions follow the paper: `lg_x y = max(1, log_x y)`; all values in
+//! block I/Os.
+
+use emcore::EmConfig;
+
+/// `lg_{M/B}(x)` with the paper's clamp at 1.
+pub fn lg_mb(cfg: EmConfig, x: f64) -> f64 {
+    cfg.lg_mb(x)
+}
+
+/// Table 1, K-splitters / right-grounded (Theorems 1 & 5):
+/// `Θ((1 + aK/B)·lg_{M/B}(K/B))`.
+pub fn splitters_right(cfg: EmConfig, _n: u64, k: u64, a: u64) -> f64 {
+    let b = cfg.block_size() as f64;
+    (1.0 + (a * k) as f64 / b) * lg_mb(cfg, k as f64 / b)
+}
+
+/// Table 1, K-splitters / left-grounded (Theorems 2 & 5):
+/// `Θ((N/B)·lg_{M/B}(N/(bB)))`.
+pub fn splitters_left(cfg: EmConfig, n: u64, _k: u64, b_param: u64) -> f64 {
+    let b = cfg.block_size() as f64;
+    (n as f64 / b) * lg_mb(cfg, n as f64 / (b_param as f64 * b))
+}
+
+/// Table 1, K-splitters / two-sided:
+/// `Θ((1 + aK/B)·lg_{M/B}(K/B) + (N/B)·lg_{M/B}(N/(bB)))`.
+pub fn splitters_two_sided(cfg: EmConfig, n: u64, k: u64, a: u64, b_param: u64) -> f64 {
+    splitters_right(cfg, n, k, a) + splitters_left(cfg, n, k, b_param)
+}
+
+/// Table 1, K-partitioning / right-grounded upper bound (Theorem 6):
+/// `O(N/B + (aK/B)·lg_{M/B} min{K, aK/B})`.
+pub fn partitioning_right(cfg: EmConfig, n: u64, k: u64, a: u64) -> f64 {
+    let b = cfg.block_size() as f64;
+    let ak_b = (a * k) as f64 / b;
+    n as f64 / b + ak_b * lg_mb(cfg, (k as f64).min(ak_b))
+}
+
+/// Table 1, K-partitioning / left-grounded (Theorems 3 & 6):
+/// `Θ((N/B)·lg_{M/B} min{N/b, N/B})`.
+pub fn partitioning_left(cfg: EmConfig, n: u64, _k: u64, b_param: u64) -> f64 {
+    let b = cfg.block_size() as f64;
+    let nf = n as f64;
+    (nf / b) * lg_mb(cfg, (nf / b_param as f64).min(nf / b))
+}
+
+/// Table 1, K-partitioning / two-sided upper bound:
+/// `O((aK/B)·lg_{M/B} min{K, aK/B} + (N/B)·lg_{M/B} min{N/b, N/B})`.
+pub fn partitioning_two_sided(cfg: EmConfig, n: u64, k: u64, a: u64, b_param: u64) -> f64 {
+    let b = cfg.block_size() as f64;
+    let ak_b = (a * k) as f64 / b;
+    ak_b * lg_mb(cfg, (k as f64).min(ak_b)) + partitioning_left(cfg, n, k, b_param)
+}
+
+/// Theorem 4 (multi-selection upper bound): `O((N/B)·lg_{M/B}(K/B))`.
+pub fn multi_select_bound(cfg: EmConfig, n: u64, k: u64) -> f64 {
+    let b = cfg.block_size() as f64;
+    (n as f64 / b) * lg_mb(cfg, k as f64 / b)
+}
+
+/// Multi-partition bound (§1.2 / Lemma 5): `Θ((N/B)·lg_{M/B} K)`.
+pub fn multi_partition_bound(cfg: EmConfig, n: u64, k: u64) -> f64 {
+    (n as f64 / cfg.block_size() as f64) * lg_mb(cfg, k as f64)
+}
+
+/// The sorting bound: `Θ((N/B)·lg_{M/B}(N/B))`.
+pub fn sort_bound(cfg: EmConfig, n: u64) -> f64 {
+    let b = cfg.block_size() as f64;
+    (n as f64 / b) * lg_mb(cfg, n as f64 / b)
+}
+
+/// Lower bound of Theorem 1 (right-grounded splitters), as stated:
+/// `Ω((1 + aK/B)·lg_{M/B}(K/B))`. Identical in form to the upper bound.
+pub fn lb_splitters_right(cfg: EmConfig, n: u64, k: u64, a: u64) -> f64 {
+    splitters_right(cfg, n, k, a)
+}
+
+/// Lower bound of Theorem 2 (left-grounded splitters).
+pub fn lb_splitters_left(cfg: EmConfig, n: u64, k: u64, b_param: u64) -> f64 {
+    splitters_left(cfg, n, k, b_param)
+}
+
+/// Lower bound of Theorem 3 (K-partitioning):
+/// `Ω((N/B)·lg_{M/B} min{N/b, N/B})`, plus the trivial `Ω(N/B)` scan for
+/// the right-grounded case.
+pub fn lb_partitioning(cfg: EmConfig, n: u64, k: u64, b_param: u64) -> f64 {
+    partitioning_left(cfg, n, k, b_param).max(cfg.scan_bound(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EmConfig {
+        EmConfig::medium() // M=4096, B=64, M/B=64
+    }
+
+    #[test]
+    fn right_splitters_sublinear_for_small_a() {
+        let c = cfg();
+        let n = 10_000_000u64;
+        // a small → bound far below one scan
+        let bound = splitters_right(c, n, 64, 2);
+        assert!(bound < c.scan_bound(n) / 100.0, "bound = {bound}");
+        // a = N/K → bound at least the scan
+        let big = splitters_right(c, n, 64, n / 64);
+        assert!(big >= c.scan_bound(n) * 0.99);
+    }
+
+    #[test]
+    fn left_splitters_decreases_in_b() {
+        let c = cfg();
+        let n = 10_000_000u64;
+        let tight = splitters_left(c, n, 64, n / 64);
+        let loose = splitters_left(c, n, 64, n / 2);
+        assert!(tight >= loose);
+        // For b = N/2 the bound is one clamped scan.
+        assert!((loose - c.scan_bound(n)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn separation_multi_select_vs_partition() {
+        // The §1.3 phenomenon: for small K multi-select is strictly
+        // cheaper; for large K the bounds merge.
+        let c = cfg();
+        let n = 10_000_000u64;
+        // K in (M/B, B·M/B]: lg_{M/B}(K/B) clamps to 1 while lg_{M/B} K > 1.
+        let small_k = 4096u64;
+        assert!(multi_select_bound(c, n, small_k) < multi_partition_bound(c, n, small_k));
+        let large_k = 1 << 20;
+        let ms = multi_select_bound(c, n, large_k);
+        let mp = multi_partition_bound(c, n, large_k);
+        assert!(ms / mp > 0.5, "at large K the bounds agree up to constants");
+    }
+
+    #[test]
+    fn sort_dominates_everything() {
+        let c = cfg();
+        let n = 10_000_000u64;
+        let k = 256u64;
+        let sort = sort_bound(c, n);
+        assert!(multi_select_bound(c, n, k) <= sort);
+        assert!(partitioning_left(c, n, k, n / k) <= sort + 1e-9);
+        assert!(splitters_two_sided(c, n, k, 2, n / 2) <= sort);
+    }
+
+    #[test]
+    fn partitioning_left_saturates_at_sort() {
+        let c = cfg();
+        let n = 10_000_000u64;
+        // b = 1 → min{N/b, N/B} = N/B → the sort bound
+        let x = partitioning_left(c, n, n, 1);
+        assert!((x - sort_bound(c, n)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lb_never_exceeds_ub_forms() {
+        let c = cfg();
+        let n = 1_000_000u64;
+        for &(k, a, b) in &[(16u64, 2u64, 500_000u64), (1024, 100, 10_000), (4, 1, 999_999)] {
+            assert!(lb_splitters_right(c, n, k, a) <= splitters_two_sided(c, n, k, a, b) + 1e-9);
+            assert!(lb_partitioning(c, n, k, b) <= partitioning_two_sided(c, n, k, a, b).max(c.scan_bound(n)) + 1e-9);
+        }
+    }
+}

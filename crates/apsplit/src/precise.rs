@@ -1,0 +1,239 @@
+//! Precise K-partitioning and the §3 reduction.
+//!
+//! *Precise K-partitioning* is the multi-partition instance with
+//! `σ_1 = … = σ_K = N/K`. The paper's Theorem 3 lower bound for
+//! approximate K-partitioning is proved by an executable reduction: a
+//! left-grounded approximate partitioner (partition sizes ≤ b) yields a
+//! precise `(N/b)`-partitioner at `+O(N/B)` extra I/Os (§3, steps 1–2).
+//! This module implements both the direct algorithm and the reduction, so
+//! the lower-bound argument can be exercised empirically (experiment
+//! EX-RED).
+
+use emcore::{EmError, EmFile, Record, Result};
+use emselect::{multi_partition_with, MpOptions, Partition};
+
+use crate::partitioning::approx_partitioning_with;
+use crate::spec::ProblemSpec;
+
+/// Precise K-partitioning: `K` ordered partitions of exactly `N/K`
+/// records each (requires `K | N`). Direct algorithm: multi-partition.
+pub fn precise_partitioning<T: Record>(
+    input: &EmFile<T>,
+    k: u64,
+) -> Result<Vec<Partition<T>>> {
+    let n = input.len();
+    if k == 0 || n % k != 0 {
+        return Err(EmError::config(format!(
+            "precise partitioning needs K | N; got N = {n}, K = {k}"
+        )));
+    }
+    let sizes = vec![n / k; k as usize];
+    multi_partition_with(input, &sizes, MpOptions::default())
+}
+
+/// The §3 reduction: solve precise `(N/b)`-partitioning *through* the
+/// left-grounded approximate K-partitioning algorithm.
+///
+/// 1. Approximately partition `S` with `a = 0` and maximum size `b` into
+///    `K = ⌈N/b⌉` parts.
+/// 2. Sweep the parts in order, keeping a residue `R`; whenever
+///    `|R| > b`, cut off the `b` smallest records of `R` as the next
+///    precise partition (`O(|R|/B)` by selection + three-way split, and
+///    `Σ|R|` telescopes to `O(N)`).
+///
+/// Requires `b | N`. Returns the `N/b` precise partitions.
+pub fn precise_via_approx<T: Record>(input: &EmFile<T>, b: u64) -> Result<Vec<Partition<T>>> {
+    precise_via_approx_with_step(input, b, b)
+}
+
+/// [`precise_via_approx`] with an explicit size bound for step 1.
+///
+/// The §3 reduction works for *any* approximate partitioning whose sizes
+/// are ≤ b; `b_step ≤ b` is the bound handed to the approximate
+/// algorithm. With `b_step = b` our left-grounded implementation happens
+/// to return exact-`b` partitions and the sweep is free; smaller `b_step`
+/// yields misaligned sizes and exercises the residue cuts (experiment
+/// EX-RED uses this to measure the sweep's `O(N/B)` overhead).
+pub fn precise_via_approx_with_step<T: Record>(
+    input: &EmFile<T>,
+    b: u64,
+    b_step: u64,
+) -> Result<Vec<Partition<T>>> {
+    let n = input.len();
+    if b == 0 || n % b != 0 {
+        return Err(EmError::config(format!(
+            "reduction needs b | N; got N = {n}, b = {b}"
+        )));
+    }
+    if b_step == 0 || b_step > b {
+        return Err(EmError::config(format!(
+            "step bound b_step = {b_step} must be in [1, b = {b}]"
+        )));
+    }
+    let ctx = input.ctx().clone();
+    let k = n / b;
+    // Step 1: left-grounded approximate partitioning with sizes ≤ b_step ≤ b.
+    let spec = ProblemSpec::new(n, n.div_ceil(b_step).max(1), 0, b_step)?;
+    let approx = approx_partitioning_with(input, &spec, MpOptions::default())?;
+
+    // Step 2: the residue sweep. The residue R is a Partition (segment
+    // list): appending P_i to R is O(1); only the |R| > b cuts move data.
+    ctx.stats().begin_phase("reduction-sweep");
+    let mut out: Vec<Partition<T>> = Vec::with_capacity(k as usize);
+    debug_assert!(k >= 1);
+    let mut residue = Partition::<T>::empty();
+    for part in approx {
+        // R ← R ∥ P_i (adopt segments, no I/O)
+        residue = concat_partitions(residue, part);
+        while residue.len() > b {
+            // Cut the b smallest out of the residue directly over its
+            // segments (no flattening copy).
+            let (head, rest, _) = emselect::split_at_rank_segs(
+                &ctx,
+                residue.segments(),
+                b,
+                emselect::SplitterStrategy::Deterministic,
+            )?;
+            out.push(head);
+            residue = rest;
+        }
+        if residue.len() == b {
+            out.push(std::mem::replace(&mut residue, Partition::empty()));
+        }
+    }
+    debug_assert!(
+        residue.is_empty(),
+        "leftover residue of {} records",
+        residue.len()
+    );
+    ctx.stats().end_phase();
+    Ok(out)
+}
+
+/// Concatenate two partitions by segment adoption (no I/O).
+fn concat_partitions<T: Record>(a: Partition<T>, b: Partition<T>) -> Partition<T> {
+    let mut segs = a.into_segments();
+    segs.extend(b.into_segments());
+    Partition::from_segments(segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, EmContext};
+
+    fn strict_ctx() -> EmContext {
+        EmContext::new_in_memory_strict(EmConfig::tiny())
+    }
+
+    fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..v.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    fn assert_precise(parts: &[Partition<u64>], n: u64, k: u64) {
+        assert_eq!(parts.len(), k as usize);
+        let mut prev_max: Option<u64> = None;
+        for p in parts {
+            assert_eq!(p.len(), n / k);
+            let v = p.to_vec().unwrap();
+            let mn = *v.iter().min().unwrap();
+            let mx = *v.iter().max().unwrap();
+            if let Some(pm) = prev_max {
+                assert!(mn >= pm);
+            }
+            prev_max = Some(mx);
+        }
+    }
+
+    #[test]
+    fn direct_precise_partitioning() {
+        let c = strict_ctx();
+        let n = 4000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 40))).unwrap();
+        let parts = precise_partitioning(&f, 8).unwrap();
+        assert_precise(&parts, n, 8);
+    }
+
+    #[test]
+    fn precise_rejects_non_divisor() {
+        let c = strict_ctx();
+        let f = EmFile::from_slice(&c, &shuffled(10, 41)).unwrap();
+        assert!(precise_partitioning(&f, 3).is_err());
+        assert!(precise_partitioning(&f, 0).is_err());
+    }
+
+    #[test]
+    fn reduction_matches_direct() {
+        let c = strict_ctx();
+        let n = 4000u64;
+        let b = 500u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 42))).unwrap();
+        let via = precise_via_approx(&f, b).unwrap();
+        assert_precise(&via, n, n / b);
+        // Contents must equal the direct algorithm's partitions as sets.
+        let direct = precise_partitioning(&f, n / b).unwrap();
+        for (x, y) in via.iter().zip(&direct) {
+            let mut xv = x.to_vec().unwrap();
+            let mut yv = y.to_vec().unwrap();
+            xv.sort_unstable();
+            yv.sort_unstable();
+            assert_eq!(xv, yv);
+        }
+    }
+
+    #[test]
+    fn reduction_extra_cost_is_linear() {
+        let c = EmContext::new_in_memory(EmConfig::medium());
+        let n = 100_000u64;
+        let b = 5_000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 43))).unwrap();
+        let before = c.stats().snapshot();
+        let _ = precise_via_approx(&f, b).unwrap();
+        let total = c.stats().snapshot().since(&before).total_ios();
+        // The reduction should cost a bounded number of scans.
+        let scan = n.div_ceil(64);
+        assert!(
+            total <= 40 * scan,
+            "reduction took {total} I/Os = {:.1} scans",
+            total as f64 / scan as f64
+        );
+        // And the sweep itself (phase) is linear-ish:
+        let phases = c.stats().phase_totals();
+        let sweep = phases
+            .iter()
+            .find(|(n, _)| n == "reduction-sweep")
+            .map(|(_, c)| c.total_ios())
+            .unwrap();
+        assert!(
+            sweep <= 8 * scan,
+            "sweep took {sweep} I/Os = {:.1} scans",
+            sweep as f64 / scan as f64
+        );
+    }
+
+    #[test]
+    fn reduction_with_duplicates() {
+        let c = strict_ctx();
+        let n = 2000u64;
+        let data: Vec<u64> = (0..n).map(|i| i % 7).collect();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let parts = precise_via_approx(&f, 200).unwrap();
+        assert_eq!(parts.len(), 10);
+        let mut prev_max: Option<u64> = None;
+        for p in &parts {
+            assert_eq!(p.len(), 200);
+            let v = p.to_vec().unwrap();
+            if let Some(pm) = prev_max {
+                assert!(*v.iter().min().unwrap() >= pm);
+            }
+            prev_max = Some(*v.iter().max().unwrap());
+        }
+    }
+}

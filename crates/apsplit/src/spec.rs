@@ -1,0 +1,199 @@
+//! Problem specifications for approximate K-splitters / K-partitioning.
+
+use emcore::{EmError, Result};
+
+/// Which of the paper's parameter regimes a spec falls in (§1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Groundedness {
+    /// `a == 0`: only the upper size bound binds.
+    LeftGrounded,
+    /// `b >= N`: only the lower size bound binds.
+    RightGrounded,
+    /// `0 < a` and `b < N`: both bounds bind.
+    TwoSided,
+}
+
+/// An instance of the approximate K-splitters / K-partitioning problem:
+/// divide `n` elements into `k` ordered partitions, every one of size in
+/// `[a, b]`.
+///
+/// Feasibility (enforced at construction): `1 ≤ k ≤ n`, `a ≤ b`, and
+/// `a·k ≤ n ≤ b·k` — the integer form of the paper's `a ≤ N/K ≤ b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProblemSpec {
+    /// Input size `N`.
+    pub n: u64,
+    /// Number of partitions `K`.
+    pub k: u64,
+    /// Minimum partition size `a`.
+    pub a: u64,
+    /// Maximum partition size `b`.
+    pub b: u64,
+}
+
+impl ProblemSpec {
+    /// Validate and construct a spec.
+    pub fn new(n: u64, k: u64, a: u64, b: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(EmError::config("K must be at least 1"));
+        }
+        if k > n {
+            return Err(EmError::config(format!("K = {k} exceeds N = {n}")));
+        }
+        if a > b {
+            return Err(EmError::config(format!("a = {a} > b = {b}")));
+        }
+        if a.checked_mul(k).map_or(true, |ak| ak > n) {
+            return Err(EmError::config(format!(
+                "infeasible: a·K = {a}·{k} > N = {n}"
+            )));
+        }
+        if b.checked_mul(k).map_or(false, |bk| bk < n) {
+            return Err(EmError::config(format!(
+                "infeasible: b·K = {b}·{k} < N = {n}"
+            )));
+        }
+        Ok(Self { n, k, a, b })
+    }
+
+    /// A perfectly balanced spec: `a = b = N/K` (requires `K | N`).
+    pub fn exact(n: u64, k: u64) -> Result<Self> {
+        if k == 0 || n % k != 0 {
+            return Err(EmError::config(format!(
+                "exact spec needs K | N; got N = {n}, K = {k}"
+            )));
+        }
+        Self::new(n, k, n / k, n / k)
+    }
+
+    /// Which regime this spec is in.
+    pub fn groundedness(&self) -> Groundedness {
+        if self.a == 0 {
+            Groundedness::LeftGrounded
+        } else if self.b >= self.n {
+            Groundedness::RightGrounded
+        } else {
+            Groundedness::TwoSided
+        }
+    }
+
+    /// The paper's two-sided "easy case" test (§5.1): `a ≥ N/2K` or
+    /// `b ≤ 2N/K`, where a plain `1/K`-quantile already satisfies `[a, b]`.
+    pub fn quantile_suffices(&self) -> bool {
+        2 * self.a * self.k >= self.n || self.b * self.k <= 2 * self.n
+    }
+
+    /// The two-sided split point `K' = ⌊(bK − N)/(b − a)⌋` (§5.1).
+    /// Only meaningful when `!quantile_suffices()` (which implies a < b).
+    pub fn k_prime(&self) -> u64 {
+        debug_assert!(self.b > self.a);
+        (self.b * self.k - self.n) / (self.b - self.a)
+    }
+
+    /// Ranks of the `1/K`-quantile of `n` records: `⌊i·n/k⌋` for
+    /// `i = 1..k`, whose consecutive differences are `⌊n/k⌋` or `⌈n/k⌉` —
+    /// always within `[a, b]` for a feasible spec.
+    pub fn quantile_ranks(&self) -> Vec<u64> {
+        (1..self.k).map(|i| (i * self.n) / self.k).collect()
+    }
+}
+
+impl std::fmt::Display for ProblemSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N={} K={} [a={}, b={}] ({:?})",
+            self.n,
+            self.k,
+            self.a,
+            self.b,
+            self.groundedness()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_specs() {
+        assert!(ProblemSpec::new(100, 4, 20, 30).is_ok());
+        assert!(ProblemSpec::new(100, 4, 25, 25).is_ok());
+        assert!(ProblemSpec::new(100, 4, 0, 100).is_ok());
+    }
+
+    #[test]
+    fn infeasible_specs() {
+        assert!(ProblemSpec::new(100, 4, 26, 30).is_err()); // aK > N
+        assert!(ProblemSpec::new(100, 4, 10, 24).is_err()); // bK < N
+        assert!(ProblemSpec::new(100, 4, 30, 20).is_err()); // a > b
+        assert!(ProblemSpec::new(100, 0, 0, 100).is_err());
+        assert!(ProblemSpec::new(3, 4, 0, 3).is_err()); // K > N
+    }
+
+    #[test]
+    fn groundedness_classification() {
+        assert_eq!(
+            ProblemSpec::new(100, 4, 0, 50).unwrap().groundedness(),
+            Groundedness::LeftGrounded
+        );
+        assert_eq!(
+            ProblemSpec::new(100, 4, 5, 100).unwrap().groundedness(),
+            Groundedness::RightGrounded
+        );
+        assert_eq!(
+            ProblemSpec::new(100, 4, 5, 50).unwrap().groundedness(),
+            Groundedness::TwoSided
+        );
+        // b > N also counts as right-grounded
+        assert_eq!(
+            ProblemSpec::new(100, 4, 5, 1000).unwrap().groundedness(),
+            Groundedness::RightGrounded
+        );
+    }
+
+    #[test]
+    fn quantile_suffices_cases() {
+        // a = 20 ≥ 100/8 = 12.5 → quantile suffices
+        assert!(ProblemSpec::new(100, 4, 20, 50).unwrap().quantile_suffices());
+        // b = 30 ≤ 2·100/4 = 50 → quantile suffices
+        assert!(ProblemSpec::new(100, 4, 1, 30).unwrap().quantile_suffices());
+        // a = 1 < 12.5, b = 99 > 50 → hard case
+        assert!(!ProblemSpec::new(100, 4, 1, 99).unwrap().quantile_suffices());
+    }
+
+    #[test]
+    fn k_prime_in_range() {
+        let s = ProblemSpec::new(1000, 10, 2, 900).unwrap();
+        assert!(!s.quantile_suffices());
+        let kp = s.k_prime();
+        assert!(kp >= 1 && kp < s.k, "K' = {kp}");
+    }
+
+    #[test]
+    fn quantile_ranks_diffs_bounded() {
+        let s = ProblemSpec::new(103, 4, 25, 26).unwrap();
+        let ranks = s.quantile_ranks();
+        assert_eq!(ranks.len(), 3);
+        let mut prev = 0;
+        for &r in ranks.iter().chain(std::iter::once(&103)) {
+            let d = r - prev;
+            assert!(d >= 25 && d <= 26, "diff {d}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn exact_requires_divisibility() {
+        assert!(ProblemSpec::exact(100, 4).is_ok());
+        assert!(ProblemSpec::exact(100, 3).is_err());
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = ProblemSpec::new(100, 4, 5, 50).unwrap();
+        let d = format!("{s}");
+        assert!(d.contains("N=100") && d.contains("TwoSided"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Output verifiers: the correctness oracles used by tests, examples and
+//! the benchmark harness.
+//!
+//! These scans are *not* part of the algorithms under measurement; callers
+//! typically wrap them in `ctx.stats().paused(..)`. They hold the `K`-sized
+//! splitter array / size list in host memory (they are checking tools, not
+//! EM algorithms).
+
+use emcore::{EmFile, Record, Result};
+use emselect::Partition;
+
+use crate::spec::ProblemSpec;
+
+/// Outcome of [`verify_splitters`].
+#[derive(Debug, Clone)]
+pub struct SplitterReport {
+    /// Whether every induced partition size is within `[a, b]`.
+    pub ok: bool,
+    /// The `K` induced partition sizes `|S ∩ (s_{i-1}, s_i]|`.
+    pub sizes: Vec<u64>,
+    /// Indices of partitions whose size is out of range.
+    pub violations: Vec<usize>,
+}
+
+/// Count the partitions induced by `splitters` on `input` and check them
+/// against `spec`. `splitters` must be ascending by key (as returned by
+/// [`crate::approx_splitters`]).
+pub fn verify_splitters<T: Record>(
+    input: &EmFile<T>,
+    splitters: &[T],
+    spec: &ProblemSpec,
+) -> Result<SplitterReport> {
+    debug_assert!(splitters
+        .windows(2)
+        .all(|w| w[0].key() <= w[1].key()));
+    let mut sizes = vec![0u64; splitters.len() + 1];
+    let mut r = input.reader();
+    while let Some(x) = r.next()? {
+        let j = splitters.partition_point(|s| s.key() < x.key());
+        sizes[j] += 1;
+    }
+    let violations: Vec<usize> = sizes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s < spec.a || s > spec.b)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(SplitterReport {
+        ok: violations.is_empty() && sizes.len() == spec.k as usize,
+        sizes,
+        violations,
+    })
+}
+
+/// Outcome of [`verify_partitioning`].
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// All checks passed.
+    pub ok: bool,
+    /// Partition sizes.
+    pub sizes: Vec<u64>,
+    /// Partitions with size outside `[a, b]`.
+    pub size_violations: Vec<usize>,
+    /// Adjacent pairs `(i, i+1)` where ordering is violated
+    /// (`max(P_i) > min(P_{i+1})`).
+    pub order_violations: Vec<usize>,
+    /// Whether the sizes sum to `N`.
+    pub total_matches: bool,
+}
+
+/// Check an approximate-K-partitioning output: `K` partitions, sizes in
+/// `[a, b]` summing to `N`, and every element of `P_i` ≤ every element of
+/// `P_{i+1}` (the `≤` form admits duplicate keys straddling a boundary).
+pub fn verify_partitioning<T: Record>(
+    parts: &[Partition<T>],
+    spec: &ProblemSpec,
+) -> Result<PartitionReport> {
+    let mut sizes = Vec::with_capacity(parts.len());
+    let mut size_violations = Vec::new();
+    let mut order_violations = Vec::new();
+    let mut prev_max: Option<T::Key> = None;
+    let mut prev_idx = 0usize;
+    for (i, p) in parts.iter().enumerate() {
+        let len = p.len();
+        sizes.push(len);
+        if len < spec.a || len > spec.b {
+            size_violations.push(i);
+        }
+        if len == 0 {
+            continue;
+        }
+        let mut mn: Option<T::Key> = None;
+        let mut mx: Option<T::Key> = None;
+        p.for_each(|x| {
+            let k = x.key();
+            if mn.map_or(true, |m| k < m) {
+                mn = Some(k);
+            }
+            if mx.map_or(true, |m| k > m) {
+                mx = Some(k);
+            }
+            Ok(())
+        })?;
+        if let (Some(pm), Some(m)) = (prev_max, mn) {
+            if m < pm {
+                order_violations.push(prev_idx);
+            }
+        }
+        prev_max = Some(mx.expect("nonempty"));
+        prev_idx = i;
+    }
+    let total: u64 = sizes.iter().sum();
+    let total_matches = total == spec.n;
+    Ok(PartitionReport {
+        ok: parts.len() == spec.k as usize
+            && size_violations.is_empty()
+            && order_violations.is_empty()
+            && total_matches,
+        sizes,
+        size_violations,
+        order_violations,
+        total_matches,
+    })
+}
+
+/// Check a multi-selection answer: for each `(rank, answer)` pair, the
+/// number of records with key strictly below the answer's must be `< rank`
+/// and the count at-or-below must be `≥ rank`. One scan for all pairs.
+pub fn verify_multiselect<T: Record>(
+    input: &EmFile<T>,
+    ranks: &[u64],
+    answers: &[T],
+) -> Result<bool> {
+    assert_eq!(ranks.len(), answers.len());
+    let mut less = vec![0u64; answers.len()];
+    let mut leq = vec![0u64; answers.len()];
+    let mut r = input.reader();
+    while let Some(x) = r.next()? {
+        for (i, a) in answers.iter().enumerate() {
+            match x.key().cmp(&a.key()) {
+                std::cmp::Ordering::Less => {
+                    less[i] += 1;
+                    leq[i] += 1;
+                }
+                std::cmp::Ordering::Equal => leq[i] += 1,
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+    }
+    Ok(ranks
+        .iter()
+        .enumerate()
+        .all(|(i, &rk)| less[i] < rk && leq[i] >= rk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, EmContext};
+
+    fn ctx() -> EmContext {
+        EmContext::new_in_memory(EmConfig::tiny())
+    }
+
+    #[test]
+    fn splitter_report_ok() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &(0..100u64).collect::<Vec<_>>()).unwrap();
+        let spec = ProblemSpec::new(100, 4, 20, 30).unwrap();
+        let rep = verify_splitters(&f, &[24u64, 49, 74], &spec).unwrap();
+        assert!(rep.ok);
+        assert_eq!(rep.sizes, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn splitter_report_violation() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &(0..100u64).collect::<Vec<_>>()).unwrap();
+        let spec = ProblemSpec::new(100, 4, 20, 30).unwrap();
+        let rep = verify_splitters(&f, &[9u64, 49, 74], &spec).unwrap();
+        assert!(!rep.ok);
+        assert_eq!(rep.sizes[0], 10);
+        assert!(rep.violations.contains(&0));
+        assert!(rep.violations.contains(&1));
+    }
+
+    #[test]
+    fn splitter_count_mismatch_fails() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &(0..100u64).collect::<Vec<_>>()).unwrap();
+        let spec = ProblemSpec::new(100, 4, 0, 100).unwrap();
+        let rep = verify_splitters(&f, &[49u64], &spec).unwrap();
+        assert!(!rep.ok); // 2 partitions, spec wants 4
+    }
+
+    #[test]
+    fn partition_report_ok() {
+        let c = ctx();
+        let spec = ProblemSpec::new(9, 3, 3, 3).unwrap();
+        let parts = vec![
+            Partition::from_file(EmFile::from_slice(&c, &[2u64, 0, 1]).unwrap()),
+            Partition::from_file(EmFile::from_slice(&c, &[5u64, 3, 4]).unwrap()),
+            Partition::from_file(EmFile::from_slice(&c, &[8u64, 6, 7]).unwrap()),
+        ];
+        let rep = verify_partitioning(&parts, &spec).unwrap();
+        assert!(rep.ok);
+    }
+
+    #[test]
+    fn partition_order_violation_detected() {
+        let c = ctx();
+        let spec = ProblemSpec::new(6, 2, 3, 3).unwrap();
+        let parts = vec![
+            Partition::from_file(EmFile::from_slice(&c, &[0u64, 1, 5]).unwrap()),
+            Partition::from_file(EmFile::from_slice(&c, &[2u64, 3, 4]).unwrap()),
+        ];
+        let rep = verify_partitioning(&parts, &spec).unwrap();
+        assert!(!rep.ok);
+        assert_eq!(rep.order_violations, vec![0]);
+    }
+
+    #[test]
+    fn partition_size_violation_detected() {
+        let c = ctx();
+        let spec = ProblemSpec::new(6, 2, 3, 3).unwrap();
+        let parts = vec![
+            Partition::from_file(EmFile::from_slice(&c, &[0u64, 1]).unwrap()),
+            Partition::from_file(EmFile::from_slice(&c, &[2u64, 3, 4, 5]).unwrap()),
+        ];
+        let rep = verify_partitioning(&parts, &spec).unwrap();
+        assert!(!rep.ok);
+        assert_eq!(rep.size_violations, vec![0, 1]);
+        assert!(rep.total_matches);
+    }
+
+    #[test]
+    fn partition_duplicates_straddling_ok() {
+        let c = ctx();
+        let spec = ProblemSpec::new(6, 2, 3, 3).unwrap();
+        let parts = vec![
+            Partition::from_file(EmFile::from_slice(&c, &[1u64, 2, 2]).unwrap()),
+            Partition::from_file(EmFile::from_slice(&c, &[2u64, 3, 4]).unwrap()),
+        ];
+        let rep = verify_partitioning(&parts, &spec).unwrap();
+        assert!(rep.ok, "≤ semantics admits ties at the boundary");
+    }
+
+    #[test]
+    fn multiselect_verifier() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &[5u64, 3, 1, 4, 2]).unwrap();
+        assert!(verify_multiselect(&f, &[1, 3, 5], &[1u64, 3, 5]).unwrap());
+        assert!(!verify_multiselect(&f, &[1, 3], &[1u64, 4]).unwrap());
+    }
+
+    #[test]
+    fn multiselect_verifier_duplicates() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &[2u64, 2, 2, 1]).unwrap();
+        assert!(verify_multiselect(&f, &[2, 4], &[2u64, 2]).unwrap());
+        assert!(!verify_multiselect(&f, &[1], &[2u64]).unwrap());
+    }
+}

@@ -1,0 +1,28 @@
+//! Wall-clock: multi-selection (Theorem 4) vs the sort-based baseline,
+//! across K.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emcore::{EmConfig, EmContext};
+use workloads::{materialize, Workload};
+
+fn bench_multiselect(c: &mut Criterion) {
+    let n = 200_000u64;
+    let mut g = c.benchmark_group("multi_select");
+    g.sample_size(10);
+    for &k in &[4u64, 64, 1024] {
+        let ranks: Vec<u64> = (1..=k).map(|i| i * (n / k)).collect();
+        g.bench_with_input(BenchmarkId::new("theorem4", k), &ranks, |bch, ranks| {
+            let ctx = EmContext::new_in_memory(EmConfig::medium());
+            let f = materialize(&ctx, Workload::UniformPerm, n, 2).unwrap();
+            bch.iter(|| emselect::multi_select(&f, ranks).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("sort-baseline", k), &ranks, |bch, ranks| {
+            let ctx = EmContext::new_in_memory(EmConfig::medium());
+            let f = materialize(&ctx, Workload::UniformPerm, n, 2).unwrap();
+            bch.iter(|| apsplit::sort_based_multi_select(&f, ranks).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multiselect);
+criterion_main!(benches);

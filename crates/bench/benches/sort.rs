@@ -1,0 +1,37 @@
+//! Wall-clock: external merge sort on both backends and both run-formation
+//! strategies (the paper's baseline algorithm).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emcore::{EmConfig, EmContext};
+use emsort::{external_sort_with, RunFormation};
+use workloads::{materialize, Workload};
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("external_sort");
+    g.sample_size(10);
+    for &n in &[50_000u64, 200_000] {
+        for (name, strat) in [
+            ("load-sort", RunFormation::LoadSort),
+            ("replacement", RunFormation::ReplacementSelection),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |bch, &n| {
+                let ctx = EmContext::new_in_memory(EmConfig::medium());
+                let f = materialize(&ctx, Workload::UniformPerm, n, 1).unwrap();
+                bch.iter(|| external_sort_with(&f, strat, None).unwrap());
+            });
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("external_sort_file_backend");
+    g.sample_size(10);
+    let n = 50_000u64;
+    g.bench_function(BenchmarkId::new("load-sort", n), |bch| {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::medium()).unwrap();
+        let f = materialize(&ctx, Workload::UniformPerm, n, 1).unwrap();
+        bch.iter(|| external_sort_with(&f, RunFormation::LoadSort, None).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Wall-clock: approximate K-splitters, all three groundedness regimes,
+//! vs the sort baseline.
+use apsplit::{approx_splitters, sort_based_splitters, ProblemSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emcore::{EmConfig, EmContext};
+use workloads::{materialize, Workload};
+
+fn bench_splitters(c: &mut Criterion) {
+    let n = 200_000u64;
+    let k = 64u64;
+    let mut g = c.benchmark_group("approx_splitters");
+    g.sample_size(10);
+    let cases = [
+        ("right a=4", ProblemSpec::new(n, k, 4, n).unwrap()),
+        ("left b=8N/K", ProblemSpec::new(n, k, 0, 8 * n / k).unwrap()),
+        ("two-sided", ProblemSpec::new(n, k, 4, n / 2).unwrap()),
+    ];
+    for (name, spec) in cases {
+        g.bench_with_input(BenchmarkId::new("approx", name), &spec, |bch, spec| {
+            let ctx = EmContext::new_in_memory(EmConfig::medium());
+            let f = materialize(&ctx, Workload::UniformPerm, n, 3).unwrap();
+            bch.iter(|| approx_splitters(&f, spec).unwrap());
+        });
+    }
+    g.bench_function("sort-baseline", |bch| {
+        let spec = ProblemSpec::new(n, k, 0, n).unwrap();
+        let ctx = EmContext::new_in_memory(EmConfig::medium());
+        let f = materialize(&ctx, Workload::UniformPerm, n, 3).unwrap();
+        bch.iter(|| sort_based_splitters(&f, &spec).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_splitters);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Run the complete experiment suite (all DESIGN.md index rows).
+fn main() {
+    let scale = bench::Scale::from_env();
+    println!("# em-splitters experiment suite (scale: {scale:?})");
+    bench::all_experiments(scale);
+}

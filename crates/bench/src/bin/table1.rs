@@ -1,0 +1,4 @@
+//! Regenerate the paper's Table 1 (compact summary of all six cells).
+fn main() {
+    bench::emit(&bench::table1(bench::Scale::from_env()));
+}

@@ -1,0 +1,213 @@
+//! Shared experiment harness: measurement, table formatting, CSV output.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use emcore::{Counters, EmConfig, EmContext};
+
+/// Experiment scale, selected via the `EM_BENCH_SCALE` environment
+/// variable (`quick` default, `full` for the larger sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-quick runs (seconds).
+    Quick,
+    /// Full sweeps (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("EM_BENCH_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// The default input size for this scale.
+    pub fn n(self) -> u64 {
+        match self {
+            Scale::Quick => 400_000,
+            Scale::Full => 4_000_000,
+        }
+    }
+}
+
+/// The simulator configuration every experiment runs on (`M = 4096`,
+/// `B = 64`, `M/B = 64`) — small enough that multi-level effects appear at
+/// laptop-scale `N`.
+pub fn bench_config() -> EmConfig {
+    EmConfig::medium()
+}
+
+/// Fresh in-memory context with the bench configuration.
+pub fn bench_ctx() -> EmContext {
+    EmContext::new_in_memory(bench_config())
+}
+
+/// Run `f` and return its I/O delta and wall time.
+pub fn measure<R>(ctx: &EmContext, f: impl FnOnce() -> R) -> (R, Counters, Duration) {
+    let before = ctx.stats().snapshot();
+    let t0 = Instant::now();
+    let r = f();
+    let dt = t0.elapsed();
+    (r, ctx.stats().snapshot().since(&before), dt)
+}
+
+/// A printable result table (markdown to stdout, CSV to `bench_results/`).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. "EX-T1-SR".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as github-style markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n## {} — {}\n\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:>width$} |", c, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+
+    /// Write as CSV under `bench_results/<id>.csv`; returns the path.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("bench_results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{:.0}", x)
+    } else if x.abs() >= 10.0 {
+        format!("{:.1}", x)
+    } else {
+        format!("{:.2}", x)
+    }
+}
+
+/// Emit a table: print + CSV (CSV errors are reported, not fatal).
+pub fn emit(table: &Table) {
+    table.print();
+    match table.write_csv() {
+        Ok(p) => println!("\n[csv] {}", p.display()),
+        Err(e) => eprintln!("[csv] write failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_markdown_shape() {
+        let mut t = Table::new("EX-X", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let md = t.to_markdown();
+        assert!(md.contains("EX-X"));
+        assert!(md.contains("| 1 |"));
+        assert!(md.contains("> hello"));
+    }
+
+    #[test]
+    fn measure_counts() {
+        let ctx = bench_ctx();
+        let (r, c, _) = measure(&ctx, || {
+            ctx.stats().charge_reads(5);
+            42
+        });
+        assert_eq!(r, 42);
+        assert_eq!(c.reads, 5);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(31.4159), "31.4");
+        assert_eq!(fnum(3141.59), "3142");
+    }
+
+    #[test]
+    fn scale_default_quick() {
+        // Unless the env var is set by the test environment.
+        if std::env::var("EM_BENCH_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+        assert!(Scale::Full.n() > Scale::Quick.n());
+    }
+}

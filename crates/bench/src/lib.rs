@@ -1,0 +1,23 @@
+//! # bench — the experiment harness regenerating the paper's evaluation
+//!
+//! The paper's evaluation is its Table 1 (six complexity cells) plus three
+//! in-text phenomena (the multi-selection/multi-partition separation, the
+//! sublinearity of right-grounded splitters, and the §3 reduction). Every
+//! row of DESIGN.md's per-experiment index is a function in
+//! [`experiments`] and a binary in `src/bin/`.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run --release -p bench --bin all_experiments
+//! EM_BENCH_SCALE=full cargo run --release -p bench --bin all_experiments
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use experiments::*;
+pub use harness::{bench_config, bench_ctx, emit, fnum, measure, Scale, Table};

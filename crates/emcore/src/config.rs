@@ -1,0 +1,184 @@
+//! External-memory model parameters.
+//!
+//! The classical I/O model of Aggarwal and Vitter: a machine with an internal
+//! memory of `M` items and a disk formatted into blocks of `B` items, with
+//! `M >= 2B`. One I/O transfers one block between disk and memory.
+//!
+//! Throughout this workspace `M` and `B` are expressed in *records* of the
+//! file being accessed, see the crate-level documentation for why this is a
+//! faithful rendering of the paper's word-based accounting.
+
+use crate::error::{EmError, Result};
+
+/// Parameters of the external-memory model: memory capacity `M` and block
+/// size `B`, both counted in records.
+///
+/// Invariants enforced at construction:
+/// * `B >= 1`
+/// * `M >= 2 * B` (the model's minimum: at least two blocks fit in memory)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmConfig {
+    mem_capacity: usize,
+    block_size: usize,
+}
+
+impl EmConfig {
+    /// Create a configuration with memory capacity `m` and block size `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::Config`] if `b == 0` or `m < 2 * b`.
+    pub fn new(m: usize, b: usize) -> Result<Self> {
+        if b == 0 {
+            return Err(EmError::config("block size B must be at least 1"));
+        }
+        if m < 2 * b {
+            return Err(EmError::config(format!(
+                "memory capacity M={m} must be at least 2B={}",
+                2 * b
+            )));
+        }
+        Ok(Self {
+            mem_capacity: m,
+            block_size: b,
+        })
+    }
+
+    /// A small configuration convenient for unit tests: `M = 256`, `B = 16`.
+    pub fn tiny() -> Self {
+        Self::new(256, 16).expect("static config is valid")
+    }
+
+    /// A medium simulation configuration: `M = 4096`, `B = 64`.
+    ///
+    /// With these defaults `M/B = 64`, so a single level of merging or
+    /// distribution covers a factor-64 size range — small enough that
+    /// multi-level behaviour is observable at laptop-scale `N`.
+    pub fn medium() -> Self {
+        Self::new(4096, 64).expect("static config is valid")
+    }
+
+    /// Memory capacity `M` in records.
+    #[inline]
+    pub fn mem_capacity(&self) -> usize {
+        self.mem_capacity
+    }
+
+    /// Block size `B` in records.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// `M/B`: the number of blocks that fit in memory.
+    #[inline]
+    pub fn blocks_in_mem(&self) -> usize {
+        self.mem_capacity / self.block_size
+    }
+
+    /// Maximum fan-in for multiway merging (and fan-out for distribution):
+    /// `max(2, M/B - 2)`, reserving one block for the opposite stream and one
+    /// block of slack for bookkeeping.
+    #[inline]
+    pub fn fan_in(&self) -> usize {
+        (self.blocks_in_mem().saturating_sub(2)).max(2)
+    }
+
+    /// Number of blocks needed to store `n` one-word records.
+    #[inline]
+    pub fn blocks_for(&self, n: u64) -> u64 {
+        n.div_ceil(self.block_size as u64)
+    }
+
+    /// Records of width `words` that fit in one `B`-word block (at least
+    /// one: a record wider than a block still moves as one unit under the
+    /// indivisibility assumption).
+    #[inline]
+    pub fn block_records_for_width(&self, words: usize) -> usize {
+        (self.block_size / words.max(1)).max(1)
+    }
+
+    /// `log_{M/B}(x)`, clamped below at 1 — the paper's `lg_{M/B} x`
+    /// convention (`lg_x y = max(1, log_x y)`).
+    pub fn lg_mb(&self, x: f64) -> f64 {
+        let base = (self.blocks_in_mem() as f64).max(2.0);
+        if x <= base {
+            1.0
+        } else {
+            x.ln() / base.ln()
+        }
+    }
+
+    /// The scanning bound `n/B` in I/Os (as a float, for bound formulas).
+    pub fn scan_bound(&self, n: u64) -> f64 {
+        n as f64 / self.block_size as f64
+    }
+}
+
+impl std::fmt::Display for EmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EM(M={}, B={}, M/B={})",
+            self.mem_capacity,
+            self.block_size,
+            self.blocks_in_mem()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config() {
+        let c = EmConfig::new(1024, 32).unwrap();
+        assert_eq!(c.mem_capacity(), 1024);
+        assert_eq!(c.block_size(), 32);
+        assert_eq!(c.blocks_in_mem(), 32);
+        assert_eq!(c.fan_in(), 30);
+    }
+
+    #[test]
+    fn rejects_zero_block() {
+        assert!(EmConfig::new(16, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_small_memory() {
+        assert!(EmConfig::new(31, 16).is_err());
+        assert!(EmConfig::new(32, 16).is_ok());
+    }
+
+    #[test]
+    fn fan_in_never_below_two() {
+        let c = EmConfig::new(32, 16).unwrap();
+        assert_eq!(c.fan_in(), 2);
+    }
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        let c = EmConfig::new(64, 16).unwrap();
+        assert_eq!(c.blocks_for(0), 0);
+        assert_eq!(c.blocks_for(1), 1);
+        assert_eq!(c.blocks_for(16), 1);
+        assert_eq!(c.blocks_for(17), 2);
+    }
+
+    #[test]
+    fn lg_mb_clamps_at_one() {
+        let c = EmConfig::new(1024, 32).unwrap(); // M/B = 32
+        assert_eq!(c.lg_mb(2.0), 1.0);
+        assert_eq!(c.lg_mb(32.0), 1.0);
+        assert!((c.lg_mb(1024.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        let c = EmConfig::tiny();
+        let s = format!("{c}");
+        assert!(s.contains("M=256"));
+        assert!(s.contains("B=16"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The execution context: model parameters + shared accounting + backing
+//! store for block files.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use crate::config::EmConfig;
+use crate::error::Result;
+use crate::file::{EmFile, Writer};
+use crate::memory::{MemoryTracker, TrackedVec};
+use crate::record::Record;
+use crate::stats::IoStats;
+
+#[derive(Debug)]
+pub(crate) enum Backing {
+    Memory,
+    Directory { dir: PathBuf, cleanup: bool },
+}
+
+#[derive(Debug)]
+pub(crate) struct CtxInner {
+    pub(crate) config: EmConfig,
+    pub(crate) stats: IoStats,
+    pub(crate) mem: MemoryTracker,
+    pub(crate) backing: Backing,
+    next_file_id: Cell<u64>,
+}
+
+impl Drop for CtxInner {
+    fn drop(&mut self) {
+        if let Backing::Directory { dir, cleanup: true } = &self.backing {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// A handle to an external-memory "machine": the `(M, B)` configuration, the
+/// I/O counters, the memory meter, and the backing store where block files
+/// live. Clones share all state.
+///
+/// ```
+/// use emcore::{EmConfig, EmContext};
+///
+/// let ctx = EmContext::new_in_memory(EmConfig::tiny());
+/// let mut w = ctx.writer::<u64>();
+/// for x in 0..100u64 {
+///     w.push(x).unwrap();
+/// }
+/// let f = w.finish().unwrap();
+/// assert_eq!(f.len(), 100);
+/// assert!(ctx.stats().snapshot().writes > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmContext {
+    pub(crate) inner: Rc<CtxInner>,
+}
+
+impl EmContext {
+    /// A context whose files live in host RAM (fast simulation). The memory
+    /// meter records peaks but does not panic.
+    pub fn new_in_memory(config: EmConfig) -> Self {
+        Self::build(config, Backing::Memory, false)
+    }
+
+    /// Like [`EmContext::new_in_memory`], but the memory meter *panics* when
+    /// live tracked memory exceeds `M` words. Unit tests of EM algorithms run
+    /// in this mode to prove they stay within the model.
+    pub fn new_in_memory_strict(config: EmConfig) -> Self {
+        Self::build(config, Backing::Memory, true)
+    }
+
+    /// A context whose files are real files inside `dir` (created if
+    /// missing). The directory is left in place on drop; individual files
+    /// are deleted as their handles drop.
+    pub fn new_on_disk(config: EmConfig, dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self::build(
+            config,
+            Backing::Directory { dir, cleanup: false },
+            false,
+        ))
+    }
+
+    /// A context backed by a fresh unique temporary directory, removed when
+    /// the last handle drops.
+    pub fn new_on_disk_temp(config: EmConfig) -> Result<Self> {
+        let mut dir = std::env::temp_dir();
+        let unique = format!(
+            "em-splitters-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        dir.push(unique);
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self::build(
+            config,
+            Backing::Directory { dir, cleanup: true },
+            false,
+        ))
+    }
+
+    fn build(config: EmConfig, backing: Backing, strict: bool) -> Self {
+        Self {
+            inner: Rc::new(CtxInner {
+                config,
+                stats: IoStats::new(),
+                mem: MemoryTracker::new(config.mem_capacity(), strict),
+                backing,
+                next_file_id: Cell::new(0),
+            }),
+        }
+    }
+
+    /// The model parameters.
+    #[inline]
+    pub fn config(&self) -> EmConfig {
+        self.inner.config
+    }
+
+    /// The shared I/O counters.
+    #[inline]
+    pub fn stats(&self) -> &IoStats {
+        &self.inner.stats
+    }
+
+    /// The shared memory meter.
+    #[inline]
+    pub fn mem(&self) -> &MemoryTracker {
+        &self.inner.mem
+    }
+
+    /// How many records of type `T` fit in memory: `M / T::WORDS`.
+    #[inline]
+    pub fn mem_records<T: Record>(&self) -> usize {
+        self.inner.config.mem_capacity() / T::WORDS
+    }
+
+    /// Create an empty block file.
+    pub fn create_file<T: Record>(&self) -> Result<EmFile<T>> {
+        let id = self.inner.next_file_id.get();
+        self.inner.next_file_id.set(id + 1);
+        EmFile::create(self.clone(), id)
+    }
+
+    /// Create a buffered writer building a fresh file.
+    pub fn writer<T: Record>(&self) -> Writer<T> {
+        Writer::new(self.clone())
+    }
+
+    /// Allocate a memory-metered buffer of `cap` records of `T`.
+    pub fn tracked_vec<T: Record>(&self, cap: usize, context: &str) -> TrackedVec<T> {
+        TrackedVec::with_capacity(&self.inner.mem, cap, T::WORDS, context)
+    }
+
+    /// Allocate a memory-metered buffer of `cap` plain words (for
+    /// bookkeeping arrays: counts, ranks, flags...).
+    pub fn tracked_words<T>(&self, cap: usize, context: &str) -> TrackedVec<T> {
+        TrackedVec::with_capacity(&self.inner.mem, cap, 1, context)
+    }
+
+    /// Allocate a memory-metered buffer of `cap` items charged at an
+    /// explicit `words_per_item` (for composite bookkeeping entries that
+    /// are not themselves [`Record`]s).
+    pub fn tracked_buf<T>(&self, cap: usize, words_per_item: usize, context: &str) -> TrackedVec<T> {
+        TrackedVec::with_capacity(&self.inner.mem, cap, words_per_item, context)
+    }
+
+    pub(crate) fn file_path(&self, id: u64) -> Option<PathBuf> {
+        match &self.inner.backing {
+            Backing::Memory => None,
+            Backing::Directory { dir, .. } => Some(dir.join(format!("em-{id:08}.bin"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_stats() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let ctx2 = ctx.clone();
+        ctx.stats().record_comparisons(3);
+        assert_eq!(ctx2.stats().snapshot().comparisons, 3);
+    }
+
+    #[test]
+    fn mem_records_scales_with_record_width() {
+        let ctx = EmContext::new_in_memory(EmConfig::new(1000, 10).unwrap());
+        assert_eq!(ctx.mem_records::<u64>(), 1000);
+        assert_eq!(ctx.mem_records::<crate::record::KeyValue>(), 500);
+    }
+
+    #[test]
+    fn temp_dir_cleanup() {
+        let dir;
+        {
+            let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+            dir = match &ctx.inner.backing {
+                Backing::Directory { dir, .. } => dir.clone(),
+                _ => unreachable!(),
+            };
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "temp dir should be removed on drop");
+    }
+
+    #[test]
+    fn on_disk_creates_dir_and_keeps_it() {
+        let base = std::env::temp_dir().join(format!("emcore-test-{}", std::process::id()));
+        {
+            let _ctx = EmContext::new_on_disk(EmConfig::tiny(), &base).unwrap();
+            assert!(base.exists());
+        }
+        assert!(base.exists());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by the whole workspace.
+
+/// Errors surfaced by the EM runtime and the algorithms built on it.
+#[derive(Debug)]
+pub enum EmError {
+    /// Invalid model parameters (`M`, `B`) or invalid problem parameters
+    /// (`K`, `a`, `b`, ranks out of range, ...).
+    Config(String),
+    /// The memory tracker detected a budget violation in strict mode.
+    MemoryExceeded {
+        /// Words requested to be live at the moment of the violation.
+        requested: usize,
+        /// The configured capacity `M` in words.
+        capacity: usize,
+        /// Description of the allocation that tipped over the budget.
+        context: String,
+    },
+    /// An operation addressed a block or record outside a file's extent.
+    OutOfBounds {
+        /// The offending block index.
+        block: u64,
+        /// The number of blocks in the file.
+        blocks: u64,
+    },
+    /// Underlying I/O failure from the file-backed device.
+    Io(std::io::Error),
+}
+
+impl EmError {
+    /// Construct a [`EmError::Config`] from anything stringy.
+    pub fn config(msg: impl Into<String>) -> Self {
+        EmError::Config(msg.into())
+    }
+}
+
+impl std::fmt::Display for EmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmError::Config(msg) => write!(f, "configuration error: {msg}"),
+            EmError::MemoryExceeded {
+                requested,
+                capacity,
+                context,
+            } => write!(
+                f,
+                "memory budget exceeded: {requested} words live > M = {capacity} ({context})"
+            ),
+            EmError::OutOfBounds { block, blocks } => {
+                write!(f, "block {block} out of bounds (file has {blocks} blocks)")
+            }
+            EmError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EmError {
+    fn from(e: std::io::Error) -> Self {
+        EmError::Io(e)
+    }
+}
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, EmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_config() {
+        let e = EmError::config("bad K");
+        assert!(format!("{e}").contains("bad K"));
+    }
+
+    #[test]
+    fn display_memory() {
+        let e = EmError::MemoryExceeded {
+            requested: 100,
+            capacity: 64,
+            context: "test".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("100"));
+        assert!(s.contains("64"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e = EmError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,603 @@
+//! Typed block files, the disk objects of the EM model.
+//!
+//! An [`EmFile<T>`] is a sequence of records of `T` stored in blocks of `B`
+//! records. Reads and writes happen at block granularity and each transfer
+//! charges one I/O to the owning context's [`crate::IoStats`]. Two backends
+//! exist — host-RAM blocks for fast simulation and real files (fixed-width
+//! byte encoding) — with identical accounting.
+//!
+//! Files are append-only at the block level (only the last block may be
+//! partial), which is all the algorithms in this workspace need; random
+//! *reads* are allowed anywhere.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::path::PathBuf;
+
+use crate::ctx::{Backing, EmContext};
+use crate::error::{EmError, Result};
+use crate::memory::TrackedVec;
+use crate::record::Record;
+
+#[derive(Debug)]
+enum Storage<T: Record> {
+    Mem(Vec<Box<[T]>>),
+    Disk {
+        file: File,
+        path: PathBuf,
+        scratch: RefCell<Vec<u8>>,
+    },
+}
+
+/// A sequence of records stored in `B`-record blocks on the context's
+/// backing store.
+#[derive(Debug)]
+pub struct EmFile<T: Record> {
+    ctx: EmContext,
+    storage: Storage<T>,
+    len: u64,
+}
+
+impl<T: Record> EmFile<T> {
+    pub(crate) fn create(ctx: EmContext, id: u64) -> Result<Self> {
+        let storage = match &ctx.inner.backing {
+            Backing::Memory => Storage::Mem(Vec::new()),
+            Backing::Directory { .. } => {
+                let path = ctx.file_path(id).expect("directory backing has paths");
+                let file = File::options()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(&path)?;
+                Storage::Disk {
+                    file,
+                    path,
+                    scratch: RefCell::new(Vec::new()),
+                }
+            }
+        };
+        Ok(Self {
+            ctx,
+            storage,
+            len: 0,
+        })
+    }
+
+    /// The owning context.
+    #[inline]
+    pub fn ctx(&self) -> &EmContext {
+        &self.ctx
+    }
+
+    /// Records per block for this record type: `max(1, B / T::WORDS)` —
+    /// a block holds `B` *words*, so wider records pack fewer per block.
+    #[inline]
+    pub fn block_capacity(&self) -> usize {
+        self.ctx.config().block_records_for_width(T::WORDS)
+    }
+
+    /// Number of records in the file.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the file holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks (the last may be partial).
+    #[inline]
+    pub fn num_blocks(&self) -> u64 {
+        self.len.div_ceil(self.block_capacity() as u64)
+    }
+
+    /// Number of records stored in block `block`.
+    #[inline]
+    pub fn block_len(&self, block: u64) -> usize {
+        let b = self.block_capacity() as u64;
+        let start = block * b;
+        debug_assert!(start < self.len || self.len == 0);
+        (self.len - start).min(b) as usize
+    }
+
+    /// Read block `block` into `buf` (cleared first). Charges one read I/O.
+    ///
+    /// `buf` is a plain `Vec` so callers can pass the interior of a
+    /// [`TrackedVec`] — the *caller* owns the memory charge for the buffer.
+    pub fn read_block_into(&self, block: u64, buf: &mut Vec<T>) -> Result<()> {
+        let nb = self.num_blocks();
+        if block >= nb {
+            return Err(EmError::OutOfBounds { block, blocks: nb });
+        }
+        let count = self.block_len(block);
+        buf.clear();
+        match &self.storage {
+            Storage::Mem(blocks) => {
+                buf.extend_from_slice(&blocks[block as usize]);
+                self.ctx.stats().record_read(0);
+            }
+            Storage::Disk { file, scratch, .. } => {
+                use std::os::unix::fs::FileExt;
+                let bytes = count * T::BYTES;
+                let mut sc = scratch.borrow_mut();
+                sc.resize(bytes, 0);
+                let off = block * (self.block_capacity() * T::BYTES) as u64;
+                file.read_exact_at(&mut sc[..], off)?;
+                for i in 0..count {
+                    buf.push(T::read_bytes(&sc[i * T::BYTES..]));
+                }
+                self.ctx.stats().record_read(bytes as u64);
+            }
+        }
+        debug_assert_eq!(buf.len(), count);
+        Ok(())
+    }
+
+    /// Append `data` as the next block. Charges one write I/O.
+    ///
+    /// `data` must contain between 1 and `B` records, and appending after a
+    /// partial block is rejected (only the last block may be partial).
+    pub fn append_block(&mut self, data: &[T]) -> Result<()> {
+        let b = self.block_capacity();
+        if data.is_empty() || data.len() > b {
+            return Err(EmError::config(format!(
+                "append_block: got {} records, block capacity is {b}",
+                data.len()
+            )));
+        }
+        if self.len % b as u64 != 0 {
+            return Err(EmError::config(
+                "append_block: file ends in a partial block; only the last block may be partial",
+            ));
+        }
+        match &mut self.storage {
+            Storage::Mem(blocks) => {
+                blocks.push(data.to_vec().into_boxed_slice());
+                self.ctx.stats().record_write(0);
+            }
+            Storage::Disk { file, scratch, .. } => {
+                use std::os::unix::fs::FileExt;
+                let bytes = data.len() * T::BYTES;
+                let mut sc = scratch.borrow_mut();
+                sc.resize(bytes, 0);
+                for (i, r) in data.iter().enumerate() {
+                    r.write_bytes(&mut sc[i * T::BYTES..(i + 1) * T::BYTES]);
+                }
+                let off = (self.len / b as u64) * (b * T::BYTES) as u64;
+                file.write_all_at(&sc[..], off)?;
+                self.ctx.stats().record_write(bytes as u64);
+            }
+        }
+        self.len += data.len() as u64;
+        Ok(())
+    }
+
+    /// Remove all records (block storage is released / the backing file is
+    /// truncated). Does not charge I/O — dropping data is free in the model.
+    pub fn clear(&mut self) -> Result<()> {
+        match &mut self.storage {
+            Storage::Mem(blocks) => blocks.clear(),
+            Storage::Disk { file, .. } => file.set_len(0)?,
+        }
+        self.len = 0;
+        Ok(())
+    }
+
+    /// A sequential, block-buffered reader over the whole file.
+    pub fn reader(&self) -> Reader<'_, T> {
+        Reader::new(self)
+    }
+
+    /// A sequential reader starting at record offset `start` (0-based).
+    /// The first read fetches the block containing `start` and skips
+    /// within it, so positioning costs at most one extra I/O.
+    pub fn reader_at(&self, start: u64) -> Reader<'_, T> {
+        Reader::new_at(self, start.min(self.len))
+    }
+
+    /// Materialise the whole file into a host `Vec`, charging the read scan.
+    ///
+    /// Intended for tests, verification and small outputs; the resulting
+    /// `Vec` is *not* metered.
+    pub fn to_vec(&self) -> Result<Vec<T>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut buf = self.ctx.tracked_vec::<T>(self.block_capacity(), "to_vec block");
+        for blk in 0..self.num_blocks() {
+            self.read_block_into(blk, &mut buf)?;
+            out.extend_from_slice(&buf);
+        }
+        Ok(out)
+    }
+
+    /// Build a file from a slice, charging the write scan.
+    pub fn from_slice(ctx: &EmContext, data: &[T]) -> Result<Self> {
+        let mut w = ctx.writer::<T>();
+        for &x in data {
+            w.push(x)?;
+        }
+        w.finish()
+    }
+}
+
+impl<T: Record> Drop for EmFile<T> {
+    fn drop(&mut self) {
+        if let Storage::Disk { path, .. } = &self.storage {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Sequential block-buffered reader. Holds one block buffer, charged
+/// `B * T::WORDS` words against the memory budget.
+pub struct Reader<'a, T: Record> {
+    file: &'a EmFile<T>,
+    buf: TrackedVec<T>,
+    next_block: u64,
+    pos: usize,
+    /// Records to skip inside the first block fetched (positioned readers).
+    skip: usize,
+}
+
+impl<'a, T: Record> Reader<'a, T> {
+    fn new(file: &'a EmFile<T>) -> Self {
+        let b = file.block_capacity();
+        Self {
+            file,
+            buf: file.ctx.tracked_vec::<T>(b, "reader block buffer"),
+            next_block: 0,
+            pos: 0,
+            skip: 0,
+        }
+    }
+
+    fn new_at(file: &'a EmFile<T>, start: u64) -> Self {
+        let cap = file.block_capacity() as u64;
+        let mut r = Self::new(file);
+        if start >= file.len() {
+            // Position at end: mark every block consumed.
+            r.next_block = file.num_blocks();
+            return r;
+        }
+        r.next_block = start / cap;
+        r.skip = (start % cap) as usize;
+        r
+    }
+
+    fn fill(&mut self) -> Result<bool> {
+        if self.pos < self.buf.len() {
+            return Ok(true);
+        }
+        if self.next_block >= self.file.num_blocks() {
+            return Ok(false);
+        }
+        self.file.read_block_into(self.next_block, &mut self.buf)?;
+        self.next_block += 1;
+        self.pos = std::mem::take(&mut self.skip).min(self.buf.len());
+        self.fill_tail_guard()
+    }
+
+    // A skip can exhaust the (partial) first block; continue to the next.
+    fn fill_tail_guard(&mut self) -> Result<bool> {
+        if self.pos < self.buf.len() {
+            Ok(true)
+        } else {
+            self.fill()
+        }
+    }
+
+    /// Next record, or `None` at end of file.
+    pub fn next(&mut self) -> Result<Option<T>> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        let r = self.buf[self.pos];
+        self.pos += 1;
+        Ok(Some(r))
+    }
+
+    /// Peek at the next record without consuming it.
+    pub fn peek(&mut self) -> Result<Option<T>> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        Ok(Some(self.buf[self.pos]))
+    }
+
+    /// Records remaining (including any buffered).
+    pub fn remaining(&self) -> u64 {
+        let consumed =
+            (self.next_block.saturating_sub(1)) * self.file.block_capacity() as u64;
+        let consumed = if self.next_block == 0 {
+            0
+        } else {
+            consumed + self.pos as u64
+        };
+        self.file.len() - consumed.min(self.file.len())
+    }
+}
+
+/// Buffered writer that builds a fresh file record by record. Holds one
+/// block buffer, charged against the memory budget.
+pub struct Writer<T: Record> {
+    file: EmFile<T>,
+    buf: TrackedVec<T>,
+}
+
+impl<T: Record> Writer<T> {
+    pub(crate) fn new(ctx: EmContext) -> Self {
+        let file = ctx.create_file::<T>().expect("file creation");
+        let buf = ctx.tracked_vec::<T>(file.block_capacity(), "writer block buffer");
+        Self { file, buf }
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, rec: T) -> Result<()> {
+        self.buf.push(rec);
+        if self.buf.len() == self.file.block_capacity() {
+            self.file.append_block(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Append every record of a slice.
+    pub fn push_all(&mut self, recs: &[T]) -> Result<()> {
+        for &r in recs {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Records written so far (including buffered ones).
+    pub fn len(&self) -> u64 {
+        self.file.len() + self.buf.len() as u64
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flush the partial tail block and return the finished file.
+    pub fn finish(mut self) -> Result<EmFile<T>> {
+        if !self.buf.is_empty() {
+            self.file.append_block(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(self.file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmConfig;
+    use crate::record::KeyValue;
+
+    fn mem_ctx() -> EmContext {
+        EmContext::new_in_memory(EmConfig::tiny()) // B = 16
+    }
+
+    #[test]
+    fn write_read_roundtrip_memory() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..100).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        assert_eq!(f.len(), 100);
+        assert_eq!(f.num_blocks(), 7); // 6 full blocks of 16 + partial of 4
+        assert_eq!(f.to_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn write_read_roundtrip_disk() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let data: Vec<u64> = (0..1000).rev().collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        assert_eq!(f.to_vec().unwrap(), data);
+        let c = ctx.stats().snapshot();
+        assert_eq!(c.writes, 63); // ceil(1000/16)
+        assert_eq!(c.reads, 63);
+        assert!(c.bytes_written >= 8000);
+    }
+
+    #[test]
+    fn disk_roundtrip_multiword_record() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let data: Vec<KeyValue> = (0..50).map(|i| KeyValue { key: i, value: i * 10 }).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        assert_eq!(f.to_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn io_counting_exact() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..64).collect(); // exactly 4 blocks
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let after_write = ctx.stats().snapshot();
+        assert_eq!(after_write.writes, 4);
+        let _ = f.to_vec().unwrap();
+        let c = ctx.stats().snapshot();
+        assert_eq!(c.reads, 4);
+    }
+
+    #[test]
+    fn out_of_bounds_read() {
+        let ctx = mem_ctx();
+        let f = EmFile::from_slice(&ctx, &[1u64, 2, 3]).unwrap();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            f.read_block_into(1, &mut buf),
+            Err(EmError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn append_after_partial_rejected() {
+        let ctx = mem_ctx();
+        let mut f = ctx.create_file::<u64>().unwrap();
+        f.append_block(&[1, 2, 3]).unwrap(); // partial (B = 16)
+        assert!(f.append_block(&[4]).is_err());
+    }
+
+    #[test]
+    fn append_oversized_rejected() {
+        let ctx = mem_ctx();
+        let mut f = ctx.create_file::<u64>().unwrap();
+        let big: Vec<u64> = (0..17).collect();
+        assert!(f.append_block(&big).is_err());
+        assert!(f.append_block(&[]).is_err());
+    }
+
+    #[test]
+    fn reader_sequential() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..40).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let mut r = f.reader();
+        let mut got = Vec::new();
+        while let Some(x) = r.next().unwrap() {
+            got.push(x);
+        }
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn reader_peek_does_not_consume() {
+        let ctx = mem_ctx();
+        let f = EmFile::from_slice(&ctx, &[10u64, 20, 30]).unwrap();
+        let mut r = f.reader();
+        assert_eq!(r.peek().unwrap(), Some(10));
+        assert_eq!(r.peek().unwrap(), Some(10));
+        assert_eq!(r.next().unwrap(), Some(10));
+        assert_eq!(r.next().unwrap(), Some(20));
+        assert_eq!(r.next().unwrap(), Some(30));
+        assert_eq!(r.peek().unwrap(), None);
+        assert_eq!(r.next().unwrap(), None);
+    }
+
+    #[test]
+    fn reader_on_empty_file() {
+        let ctx = mem_ctx();
+        let f = ctx.create_file::<u64>().unwrap();
+        let mut r = f.reader();
+        assert_eq!(r.next().unwrap(), None);
+    }
+
+    #[test]
+    fn reader_charges_one_io_per_block() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..48).collect(); // 3 blocks
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let before = ctx.stats().snapshot();
+        let mut r = f.reader();
+        while r.next().unwrap().is_some() {}
+        let d = ctx.stats().snapshot().since(&before);
+        assert_eq!(d.reads, 3);
+        assert_eq!(d.writes, 0);
+    }
+
+    #[test]
+    fn writer_buffer_flush_boundaries() {
+        let ctx = mem_ctx();
+        let mut w = ctx.writer::<u64>();
+        for i in 0..16 {
+            w.push(i).unwrap();
+        }
+        // exactly one block must have been flushed
+        assert_eq!(ctx.stats().snapshot().writes, 1);
+        let f = w.finish().unwrap();
+        assert_eq!(ctx.stats().snapshot().writes, 1); // nothing buffered remained
+        assert_eq!(f.len(), 16);
+    }
+
+    #[test]
+    fn writer_len_includes_buffered() {
+        let ctx = mem_ctx();
+        let mut w = ctx.writer::<u64>();
+        for i in 0..20 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(w.len(), 20);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let ctx = mem_ctx();
+        let mut f = EmFile::from_slice(&ctx, &[1u64, 2, 3]).unwrap();
+        f.clear().unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.num_blocks(), 0);
+    }
+
+    #[test]
+    fn disk_file_removed_on_drop() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let f = EmFile::from_slice(&ctx, &[1u64]).unwrap();
+        let path = match &f.storage {
+            Storage::Disk { path, .. } => path.clone(),
+            _ => unreachable!(),
+        };
+        assert!(path.exists());
+        drop(f);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn reader_memory_is_one_block() {
+        let ctx = EmContext::new_in_memory_strict(EmConfig::tiny());
+        let f = EmFile::from_slice(&ctx, &(0..64u64).collect::<Vec<_>>()).unwrap();
+        ctx.mem().reset_peak();
+        {
+            let mut r = f.reader();
+            let _ = r.next().unwrap();
+            assert_eq!(ctx.mem().current(), 16); // B records of 1 word
+        }
+        assert_eq!(ctx.mem().current(), 0);
+    }
+
+    #[test]
+    fn reader_at_positions() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..50).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        for start in [0u64, 1, 15, 16, 17, 49, 50, 60] {
+            let mut r = f.reader_at(start);
+            let mut got = Vec::new();
+            while let Some(x) = r.next().unwrap() {
+                got.push(x);
+            }
+            let want: Vec<u64> = (start.min(50)..50).collect();
+            assert_eq!(got, want, "start = {start}");
+        }
+    }
+
+    #[test]
+    fn reader_at_costs_one_positioning_read() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..64).collect(); // 4 blocks of 16
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let before = ctx.stats().snapshot();
+        let mut r = f.reader_at(20); // mid-block 1
+        while r.next().unwrap().is_some() {}
+        let d = ctx.stats().snapshot().since(&before);
+        assert_eq!(d.reads, 3); // blocks 1, 2, 3
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let ctx = mem_ctx();
+        let f = EmFile::from_slice(&ctx, &(0..20u64).collect::<Vec<_>>()).unwrap();
+        let mut r = f.reader();
+        assert_eq!(r.remaining(), 20);
+        for _ in 0..5 {
+            r.next().unwrap();
+        }
+        assert_eq!(r.remaining(), 15);
+        while r.next().unwrap().is_some() {}
+        assert_eq!(r.remaining(), 0);
+    }
+}

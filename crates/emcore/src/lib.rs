@@ -1,0 +1,66 @@
+//! # emcore — an external-memory (I/O) model runtime
+//!
+//! This crate implements the computation model of Aggarwal and Vitter's
+//! external-memory (EM) model as a *measurable runtime*: algorithms written
+//! against it are charged exactly one I/O per block transferred and are
+//! metered for internal-memory usage, so their empirical I/O complexity can
+//! be compared against theoretical bounds.
+//!
+//! It is the substrate for the reproduction of *"Finding Approximate
+//! Partitions and Splitters in External Memory"* (SPAA 2014); see the
+//! workspace `DESIGN.md`.
+//!
+//! ## Pieces
+//!
+//! * [`EmConfig`] — the model parameters `M` (memory capacity) and `B`
+//!   (block size), in records.
+//! * [`EmContext`] — a "machine": config + shared [`IoStats`] +
+//!   [`MemoryTracker`] + backing store (host RAM or a real directory).
+//! * [`EmFile`] — a typed sequence of records stored in `B`-record blocks;
+//!   [`Reader`]/[`Writer`] give block-buffered sequential access.
+//! * [`Record`] — fixed-width, keyed, POD records ([`KeyValue`],
+//!   [`Tagged`], [`Indexed`] provided).
+//! * [`SpillVec`] — bookkeeping arrays that can be written out to disk
+//!   across recursive calls.
+//!
+//! ## Example
+//!
+//! ```
+//! use emcore::{EmConfig, EmContext, EmFile};
+//!
+//! let ctx = EmContext::new_in_memory(EmConfig::new(4096, 64).unwrap());
+//! let data: Vec<u64> = (0..10_000).rev().collect();
+//! let file = EmFile::from_slice(&ctx, &data).unwrap();
+//!
+//! // Scanning the file costs ceil(N/B) block reads:
+//! let before = ctx.stats().snapshot();
+//! let mut r = file.reader();
+//! let mut count = 0u64;
+//! while let Some(_x) = r.next().unwrap() {
+//!     count += 1;
+//! }
+//! assert_eq!(count, 10_000);
+//! let ios = ctx.stats().snapshot().since(&before);
+//! assert_eq!(ios.reads, 10_000u64.div_ceil(64));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod config;
+mod ctx;
+mod error;
+mod file;
+mod memory;
+mod record;
+mod spill;
+mod stats;
+
+pub use config::EmConfig;
+pub use ctx::EmContext;
+pub use error::{EmError, Result};
+pub use file::{EmFile, Reader, Writer};
+pub use memory::{MemCharge, MemoryTracker, TrackedVec};
+pub use record::{Indexed, KeyValue, Record, Tagged};
+pub use spill::SpillVec;
+pub use stats::{Counters, IoStats};

@@ -1,0 +1,285 @@
+//! Internal-memory metering.
+//!
+//! The point of this module is to keep the algorithms honest with respect to
+//! the EM model: every in-memory buffer that holds records (or `Θ(L)`-sized
+//! bookkeeping arrays) is allocated through the context and charged against
+//! the memory capacity `M`. Peak usage is recorded; in *strict* mode an
+//! allocation that would push live usage above `M` panics, which turns a
+//! model violation into a test failure rather than a silently wrong
+//! complexity measurement.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct MemInner {
+    current: usize,
+    peak: usize,
+    capacity: usize,
+    strict: bool,
+}
+
+/// Cheaply cloneable handle to the shared memory meter (units: words).
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    inner: Rc<RefCell<MemInner>>,
+}
+
+impl MemoryTracker {
+    /// New tracker with capacity `m` words. `strict` decides whether
+    /// violations panic (true) or are merely recorded in the peak (false).
+    pub fn new(capacity: usize, strict: bool) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(MemInner {
+                current: 0,
+                peak: 0,
+                capacity,
+                strict,
+            })),
+        }
+    }
+
+    /// Charge `words` words, returning a guard that releases them on drop.
+    ///
+    /// # Panics
+    ///
+    /// In strict mode, panics if the charge would exceed the capacity.
+    pub fn charge(&self, words: usize, context: &str) -> MemCharge {
+        {
+            let mut g = self.inner.borrow_mut();
+            g.current += words;
+            if g.current > g.peak {
+                g.peak = g.current;
+            }
+            if g.strict && g.current > g.capacity {
+                let (current, capacity) = (g.current, g.capacity);
+                drop(g);
+                panic!(
+                    "EM memory budget exceeded: {current} words live > M = {capacity} \
+                     (while allocating {words} words for {context})"
+                );
+            }
+        }
+        MemCharge {
+            tracker: self.clone(),
+            words,
+        }
+    }
+
+    /// Words currently live.
+    pub fn current(&self) -> usize {
+        self.inner.borrow().current
+    }
+
+    /// Highest number of words ever live.
+    pub fn peak(&self) -> usize {
+        self.inner.borrow().peak
+    }
+
+    /// The capacity `M` in words.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
+    /// Whether violations panic.
+    pub fn is_strict(&self) -> bool {
+        self.inner.borrow().strict
+    }
+
+    /// Reset the peak to the current live amount (counters between phases).
+    pub fn reset_peak(&self) {
+        let mut g = self.inner.borrow_mut();
+        g.peak = g.current;
+    }
+
+    fn release(&self, words: usize) {
+        let mut g = self.inner.borrow_mut();
+        debug_assert!(g.current >= words, "memory release underflow");
+        g.current = g.current.saturating_sub(words);
+    }
+}
+
+/// RAII guard for a memory charge; releases the words when dropped.
+#[derive(Debug)]
+pub struct MemCharge {
+    tracker: MemoryTracker,
+    words: usize,
+}
+
+impl MemCharge {
+    /// The number of words held by this charge.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+}
+
+impl Drop for MemCharge {
+    fn drop(&mut self) {
+        self.tracker.release(self.words);
+    }
+}
+
+/// A `Vec<T>` whose capacity is charged against the memory budget.
+///
+/// The charge is taken for the full capacity up front (like a real buffer
+/// reservation); pushing beyond the reserved capacity re-charges.
+#[derive(Debug)]
+pub struct TrackedVec<T> {
+    vec: Vec<T>,
+    charge: MemCharge,
+    words_per_item: usize,
+    tracker: MemoryTracker,
+    context: String,
+}
+
+impl<T> TrackedVec<T> {
+    /// Reserve a tracked buffer of `cap` items, each costing
+    /// `words_per_item` words.
+    pub fn with_capacity(
+        tracker: &MemoryTracker,
+        cap: usize,
+        words_per_item: usize,
+        context: &str,
+    ) -> Self {
+        let charge = tracker.charge(cap * words_per_item, context);
+        Self {
+            vec: Vec::with_capacity(cap),
+            charge,
+            words_per_item,
+            tracker: tracker.clone(),
+            context: context.to_string(),
+        }
+    }
+
+    /// Append an item, re-charging if the reserved capacity is exceeded.
+    pub fn push(&mut self, item: T) {
+        if self.vec.len() == self.vec.capacity() {
+            // Grow by doubling (mirrors Vec) and charge for the new capacity.
+            let new_cap = (self.vec.capacity() * 2).max(4);
+            self.reserve_exact_capacity(new_cap);
+        }
+        self.vec.push(item);
+    }
+
+    fn reserve_exact_capacity(&mut self, new_cap: usize) {
+        if new_cap <= self.vec.capacity() {
+            return;
+        }
+        let new_charge = self
+            .tracker
+            .charge(new_cap * self.words_per_item, &self.context);
+        self.vec.reserve_exact(new_cap - self.vec.len());
+        self.charge = new_charge; // old charge drops here, after the new one is taken
+    }
+
+    /// Empty the buffer, keeping capacity (and its charge).
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Consume and return the inner `Vec`, releasing the charge.
+    pub fn into_inner(self) -> Vec<T> {
+        self.vec
+    }
+
+    /// Words charged by this buffer.
+    pub fn charged_words(&self) -> usize {
+        self.charge.words()
+    }
+}
+
+impl<T> std::ops::Deref for TrackedVec<T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        &self.vec
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedVec<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        &mut self.vec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release() {
+        let t = MemoryTracker::new(100, false);
+        {
+            let _a = t.charge(40, "a");
+            assert_eq!(t.current(), 40);
+            {
+                let _b = t.charge(50, "b");
+                assert_eq!(t.current(), 90);
+                assert_eq!(t.peak(), 90);
+            }
+            assert_eq!(t.current(), 40);
+        }
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 90);
+    }
+
+    #[test]
+    fn lenient_records_violation_in_peak() {
+        let t = MemoryTracker::new(10, false);
+        let _a = t.charge(25, "big");
+        assert_eq!(t.peak(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory budget exceeded")]
+    fn strict_panics_on_violation() {
+        let t = MemoryTracker::new(10, true);
+        let _a = t.charge(11, "big");
+    }
+
+    #[test]
+    fn strict_allows_exact_capacity() {
+        let t = MemoryTracker::new(10, true);
+        let _a = t.charge(10, "exact");
+        assert_eq!(t.current(), 10);
+    }
+
+    #[test]
+    fn tracked_vec_charges_capacity() {
+        let t = MemoryTracker::new(1000, true);
+        let v: TrackedVec<u64> = TrackedVec::with_capacity(&t, 16, 1, "buf");
+        assert_eq!(t.current(), 16);
+        drop(v);
+        assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn tracked_vec_grows_and_recharges() {
+        let t = MemoryTracker::new(1000, true);
+        let mut v: TrackedVec<u64> = TrackedVec::with_capacity(&t, 2, 1, "buf");
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        assert!(t.current() >= 10, "current = {}", t.current());
+        // Growth transiently holds old+new charges; peak reflects that.
+        assert!(t.peak() >= t.current());
+    }
+
+    #[test]
+    fn tracked_vec_words_per_item() {
+        let t = MemoryTracker::new(1000, true);
+        let _v: TrackedVec<(u64, u64)> = TrackedVec::with_capacity(&t, 8, 2, "pairs");
+        assert_eq!(t.current(), 16);
+    }
+
+    #[test]
+    fn reset_peak() {
+        let t = MemoryTracker::new(100, false);
+        {
+            let _a = t.charge(80, "a");
+        }
+        assert_eq!(t.peak(), 80);
+        t.reset_peak();
+        assert_eq!(t.peak(), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Record types stored in EM files.
+//!
+//! All algorithms are *comparison-based* on a record's key and respect the
+//! indivisibility assumption: records move between disk and memory as whole
+//! units. A record also knows its fixed-width byte encoding so the same code
+//! runs unchanged on the real-file backend.
+
+/// A fixed-size, plain-old-data record with an ordered key.
+///
+/// `WORDS` is the record's size in machine words for memory accounting —
+/// the paper measures `M` and `B` in words, so a two-word record counts
+/// double against buffers.
+pub trait Record: Copy + Send + std::fmt::Debug + 'static {
+    /// The ordered key the comparison-based algorithms operate on.
+    type Key: Ord + Copy + std::fmt::Debug;
+
+    /// Size of the record in words (memory accounting).
+    const WORDS: usize;
+
+    /// Size of the record's byte encoding (file backend).
+    const BYTES: usize;
+
+    /// Extract the key.
+    fn key(&self) -> Self::Key;
+
+    /// Serialise into exactly `Self::BYTES` bytes.
+    fn write_bytes(&self, out: &mut [u8]);
+
+    /// Deserialise from exactly `Self::BYTES` bytes.
+    fn read_bytes(inp: &[u8]) -> Self;
+}
+
+macro_rules! impl_record_for_uint {
+    ($t:ty, $bytes:expr) => {
+        impl Record for $t {
+            type Key = $t;
+            const WORDS: usize = 1;
+            const BYTES: usize = $bytes;
+
+            #[inline]
+            fn key(&self) -> $t {
+                *self
+            }
+
+            #[inline]
+            fn write_bytes(&self, out: &mut [u8]) {
+                out[..$bytes].copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_bytes(inp: &[u8]) -> Self {
+                let mut b = [0u8; $bytes];
+                b.copy_from_slice(&inp[..$bytes]);
+                <$t>::from_le_bytes(b)
+            }
+        }
+    };
+}
+
+impl_record_for_uint!(u64, 8);
+impl_record_for_uint!(u32, 4);
+impl_record_for_uint!(i64, 8);
+
+/// A key/value record: sorted by `key`, carries an opaque `value` payload.
+///
+/// Useful for demonstrating that the algorithms move *records*, not bare
+/// keys (indivisibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyValue {
+    /// Sort key.
+    pub key: u64,
+    /// Payload carried along with the key.
+    pub value: u64,
+}
+
+impl Record for KeyValue {
+    type Key = u64;
+    const WORDS: usize = 2;
+    const BYTES: usize = 16;
+
+    #[inline]
+    fn key(&self) -> u64 {
+        self.key
+    }
+
+    fn write_bytes(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..16].copy_from_slice(&self.value.to_le_bytes());
+    }
+
+    fn read_bytes(inp: &[u8]) -> Self {
+        KeyValue {
+            key: u64::read_bytes(&inp[..8]),
+            value: u64::read_bytes(&inp[8..16]),
+        }
+    }
+}
+
+/// A record tagged with a group id, the element type of the *L-intermixed
+/// selection* problem (paper §4.1): `e = (k_e, g_e)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tagged<R: Record> {
+    /// The underlying record (whose key drives comparisons).
+    pub rec: R,
+    /// Group id in `[0, L)`.
+    pub group: u32,
+}
+
+impl<R: Record> Tagged<R> {
+    /// Tag `rec` with `group`.
+    pub fn new(rec: R, group: u32) -> Self {
+        Self { rec, group }
+    }
+}
+
+impl<R: Record> Record for Tagged<R> {
+    type Key = R::Key;
+    const WORDS: usize = R::WORDS + 1;
+    const BYTES: usize = R::BYTES + 4;
+
+    #[inline]
+    fn key(&self) -> R::Key {
+        self.rec.key()
+    }
+
+    fn write_bytes(&self, out: &mut [u8]) {
+        self.rec.write_bytes(&mut out[..R::BYTES]);
+        out[R::BYTES..R::BYTES + 4].copy_from_slice(&self.group.to_le_bytes());
+    }
+
+    fn read_bytes(inp: &[u8]) -> Self {
+        let rec = R::read_bytes(&inp[..R::BYTES]);
+        let mut g = [0u8; 4];
+        g.copy_from_slice(&inp[R::BYTES..R::BYTES + 4]);
+        Tagged {
+            rec,
+            group: u32::from_le_bytes(g),
+        }
+    }
+}
+
+/// A record augmented with its original position, which makes every key
+/// distinct: ties are broken by position. Use this wrapper to run the
+/// distribution-based algorithms on inputs with heavy key duplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Indexed<R: Record> {
+    /// The underlying record.
+    pub rec: R,
+    /// Original 0-based position in the input.
+    pub idx: u64,
+}
+
+impl<R: Record> Indexed<R> {
+    /// Wrap `rec` at input position `idx`.
+    pub fn new(rec: R, idx: u64) -> Self {
+        Self { rec, idx }
+    }
+}
+
+impl<R: Record> Record for Indexed<R> {
+    type Key = (R::Key, u64);
+    const WORDS: usize = R::WORDS + 1;
+    const BYTES: usize = R::BYTES + 8;
+
+    #[inline]
+    fn key(&self) -> (R::Key, u64) {
+        (self.rec.key(), self.idx)
+    }
+
+    fn write_bytes(&self, out: &mut [u8]) {
+        self.rec.write_bytes(&mut out[..R::BYTES]);
+        out[R::BYTES..R::BYTES + 8].copy_from_slice(&self.idx.to_le_bytes());
+    }
+
+    fn read_bytes(inp: &[u8]) -> Self {
+        let rec = R::read_bytes(&inp[..R::BYTES]);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&inp[R::BYTES..R::BYTES + 8]);
+        Indexed {
+            rec,
+            idx: u64::from_le_bytes(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: Record + PartialEq>(r: R) {
+        let mut buf = vec![0u8; R::BYTES];
+        r.write_bytes(&mut buf);
+        assert_eq!(R::read_bytes(&buf), r);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(0xDEAD_BEEF_u64);
+    }
+
+    #[test]
+    fn u32_and_i64_roundtrip() {
+        roundtrip(42u32);
+        roundtrip(-7i64);
+        roundtrip(i64::MIN);
+    }
+
+    #[test]
+    fn keyvalue_roundtrip_and_key() {
+        let kv = KeyValue { key: 7, value: 99 };
+        roundtrip(kv);
+        assert_eq!(kv.key(), 7);
+        assert_eq!(KeyValue::WORDS, 2);
+        assert_eq!(KeyValue::BYTES, 16);
+    }
+
+    #[test]
+    fn tagged_roundtrip() {
+        let t = Tagged::new(123u64, 5);
+        roundtrip(t);
+        assert_eq!(t.key(), 123);
+        assert_eq!(Tagged::<u64>::WORDS, 2);
+        assert_eq!(Tagged::<u64>::BYTES, 12);
+    }
+
+    #[test]
+    fn tagged_nested_record() {
+        let t = Tagged::new(KeyValue { key: 1, value: 2 }, 3);
+        roundtrip(t);
+        assert_eq!(Tagged::<KeyValue>::WORDS, 3);
+    }
+
+    #[test]
+    fn indexed_breaks_ties() {
+        let a = Indexed::new(10u64, 0);
+        let b = Indexed::new(10u64, 1);
+        assert!(a.key() < b.key());
+        roundtrip(a);
+    }
+
+    #[test]
+    fn key_ordering_matches_value_ordering() {
+        assert!(3u64.key() < 4u64.key());
+        let kv1 = KeyValue { key: 1, value: 100 };
+        let kv2 = KeyValue { key: 2, value: 0 };
+        assert!(kv1.key() < kv2.key());
+    }
+}

@@ -1,0 +1,206 @@
+//! Spillable in-memory arrays.
+//!
+//! The intermixed-selection recursion (paper §4.1) keeps `O(L)` words of
+//! per-group state (`t_i`, `μ_i`, `θ_i`). A literal implementation would
+//! hold one such state set per live recursion level — `O(L · depth)` words,
+//! which busts the memory budget for `L = Θ(M)`. A [`SpillVec`] lets the
+//! parent write its state to disk (`O(L/B)` I/Os) before recursing and read
+//! it back afterwards, preserving both the `O(|D|/B)` I/O bound (the spill
+//! cost telescopes geometrically with `|D|`) and `O(L)` peak memory. See
+//! DESIGN.md, "substitutions".
+
+use crate::ctx::EmContext;
+use crate::error::Result;
+use crate::file::EmFile;
+use crate::memory::TrackedVec;
+use crate::record::Record;
+
+enum State<T: Record> {
+    InMem(TrackedVec<T>),
+    Spilled(EmFile<T>),
+}
+
+/// An array of records that is either memory-resident (metered) or spilled
+/// to a block file on the context's backing store.
+pub struct SpillVec<T: Record> {
+    ctx: EmContext,
+    state: State<T>,
+    context: String,
+}
+
+impl<T: Record> SpillVec<T> {
+    /// An empty, memory-resident array with the given reserved capacity.
+    pub fn with_capacity(ctx: &EmContext, cap: usize, context: &str) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            state: State::InMem(ctx.tracked_vec::<T>(cap, context)),
+            context: context.to_string(),
+        }
+    }
+
+    /// Wrap an existing tracked buffer.
+    pub fn from_tracked(ctx: &EmContext, vec: TrackedVec<T>, context: &str) -> Self {
+        Self {
+            ctx: ctx.clone(),
+            state: State::InMem(vec),
+            context: context.to_string(),
+        }
+    }
+
+    /// Whether the data currently lives in memory.
+    pub fn is_resident(&self) -> bool {
+        matches!(self.state, State::InMem(_))
+    }
+
+    /// Number of records (resident or spilled).
+    pub fn len(&self) -> usize {
+        match &self.state {
+            State::InMem(v) => v.len(),
+            State::Spilled(f) => f.len() as usize,
+        }
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a record. Panics if spilled.
+    pub fn push(&mut self, rec: T) {
+        match &mut self.state {
+            State::InMem(v) => v.push(rec),
+            State::Spilled(_) => panic!("push on spilled SpillVec ({})", self.context),
+        }
+    }
+
+    /// Borrow the resident data. Panics if spilled.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.state {
+            State::InMem(v) => v,
+            State::Spilled(_) => panic!("as_slice on spilled SpillVec ({})", self.context),
+        }
+    }
+
+    /// Mutably borrow the resident data. Panics if spilled.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.state {
+            State::InMem(v) => v,
+            State::Spilled(_) => panic!("as_mut_slice on spilled SpillVec ({})", self.context),
+        }
+    }
+
+    /// Write the data to a block file and release the memory charge.
+    /// Charges `ceil(len/B)` write I/Os. No-op if already spilled.
+    pub fn spill(&mut self) -> Result<()> {
+        if let State::InMem(v) = &self.state {
+            let mut w = self.ctx.writer::<T>();
+            w.push_all(v)?;
+            let file = w.finish()?;
+            self.state = State::Spilled(file);
+        }
+        Ok(())
+    }
+
+    /// Read the data back into a fresh metered buffer. Charges
+    /// `ceil(len/B)` read I/Os. No-op if already resident.
+    pub fn unspill(&mut self) -> Result<()> {
+        if let State::Spilled(f) = &self.state {
+            let n = f.len() as usize;
+            let mut v = self.ctx.tracked_vec::<T>(n, &self.context);
+            let mut r = f.reader();
+            while let Some(x) = r.next()? {
+                v.push(x);
+            }
+            self.state = State::InMem(v);
+        }
+        Ok(())
+    }
+
+    /// Consume and return the resident data as a plain `Vec` (unspills
+    /// first if needed).
+    pub fn into_vec(mut self) -> Result<Vec<T>> {
+        self.unspill()?;
+        match self.state {
+            State::InMem(v) => Ok(v.into_inner()),
+            State::Spilled(_) => unreachable!("just unspilled"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmConfig;
+
+    #[test]
+    fn spill_and_unspill_roundtrip() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 50, "test");
+        for i in 0..50 {
+            sv.push(i * 3);
+        }
+        let before_mem = ctx.mem().current();
+        assert!(before_mem >= 50);
+        sv.spill().unwrap();
+        assert!(!sv.is_resident());
+        assert_eq!(sv.len(), 50);
+        assert!(ctx.mem().current() < before_mem);
+        sv.unspill().unwrap();
+        assert!(sv.is_resident());
+        assert_eq!(sv.as_slice(), (0..50).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spill_charges_io() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny()); // B = 16
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 32, "test");
+        for i in 0..32 {
+            sv.push(i);
+        }
+        let before = ctx.stats().snapshot();
+        sv.spill().unwrap();
+        assert_eq!(ctx.stats().snapshot().since(&before).writes, 2);
+        sv.unspill().unwrap();
+        assert_eq!(ctx.stats().snapshot().since(&before).reads, 2);
+    }
+
+    #[test]
+    fn double_spill_is_noop() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test");
+        sv.push(1);
+        sv.spill().unwrap();
+        let snap = ctx.stats().snapshot();
+        sv.spill().unwrap();
+        assert_eq!(ctx.stats().snapshot(), snap);
+    }
+
+    #[test]
+    fn into_vec_unspills() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test");
+        sv.push(9);
+        sv.push(8);
+        sv.spill().unwrap();
+        assert_eq!(sv.into_vec().unwrap(), vec![9, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "push on spilled")]
+    fn push_after_spill_panics() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test");
+        sv.spill().unwrap();
+        sv.push(1);
+    }
+
+    #[test]
+    fn empty_spillvec() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 0, "test");
+        assert!(sv.is_empty());
+        sv.spill().unwrap();
+        sv.unspill().unwrap();
+        assert!(sv.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! I/O accounting.
+//!
+//! Every block transfer performed through an [`crate::EmFile`] is charged to
+//! the [`IoStats`] handle of the owning [`crate::EmContext`]. Counters can be
+//! snapshotted and diffed, and named *phases* attribute I/Os to
+//! sub-algorithms (e.g. "sample", "distribute", "base-case").
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A plain set of counters. Snapshots and phase totals use this type.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    /// Block reads.
+    pub reads: u64,
+    /// Block writes.
+    pub writes: u64,
+    /// Key comparisons (only charged by algorithms that opt in).
+    pub comparisons: u64,
+    /// Bytes read from the file backend (0 on the memory backend).
+    pub bytes_read: u64,
+    /// Bytes written to the file backend (0 on the memory backend).
+    pub bytes_written: u64,
+}
+
+impl Counters {
+    /// Total block I/Os: reads + writes.
+    #[inline]
+    pub fn total_ios(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Component-wise difference `self - earlier`. Saturates at zero so that
+    /// diffing against a later snapshot does not panic in release builds.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            comparisons: self.comparisons.saturating_sub(earlier.comparisons),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &Counters) -> Counters {
+        Counters {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            comparisons: self.comparisons + other.comparisons,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+impl std::fmt::Display for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} I/Os ({} reads, {} writes)",
+            self.total_ios(),
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    counters: Counters,
+    paused: u32,
+    phase_stack: Vec<(String, Counters)>,
+    phase_totals: BTreeMap<String, Counters>,
+}
+
+/// Cheaply cloneable handle to a shared set of I/O counters.
+///
+/// The runtime is single-threaded (the EM model is sequential), so interior
+/// mutability via `RefCell` suffices and keeps the hot counter increments
+/// branch-cheap.
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    inner: Rc<RefCell<StatsInner>>,
+}
+
+impl IoStats {
+    /// Fresh, zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn record_read(&self, bytes: u64) {
+        let mut g = self.inner.borrow_mut();
+        if g.paused == 0 {
+            g.counters.reads += 1;
+            g.counters.bytes_read += bytes;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_write(&self, bytes: u64) {
+        let mut g = self.inner.borrow_mut();
+        if g.paused == 0 {
+            g.counters.writes += 1;
+            g.counters.bytes_written += bytes;
+        }
+    }
+
+    /// Charge `n` key comparisons. Algorithms that want comparison counts
+    /// (e.g. for checking the `Θ(N lg K)` internal-memory bound) call this.
+    #[inline]
+    pub fn record_comparisons(&self, n: u64) {
+        let mut g = self.inner.borrow_mut();
+        if g.paused == 0 {
+            g.counters.comparisons += n;
+        }
+    }
+
+    /// Charge `n` synthetic block reads. Used by top-level entry points to
+    /// account for consuming caller-supplied rank lists (see DESIGN.md,
+    /// model-fidelity notes).
+    pub fn charge_reads(&self, n: u64) {
+        let mut g = self.inner.borrow_mut();
+        if g.paused == 0 {
+            g.counters.reads += n;
+        }
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> Counters {
+        self.inner.borrow().counters
+    }
+
+    /// Reset all counters and phase records to zero.
+    pub fn reset(&self) {
+        let mut g = self.inner.borrow_mut();
+        g.counters = Counters::default();
+        g.phase_stack.clear();
+        g.phase_totals.clear();
+    }
+
+    /// Run `f` without recording any I/O. Used for workload materialisation
+    /// and verification scans that are not part of the algorithm under
+    /// measurement. Pauses nest.
+    pub fn paused<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.inner.borrow_mut().paused += 1;
+        let _guard = PauseGuard { stats: self };
+        f()
+    }
+
+    /// Begin a named phase. Phases nest; each `end_phase` closes the most
+    /// recent open phase and adds its delta to that phase's running total.
+    pub fn begin_phase(&self, name: impl Into<String>) {
+        let mut g = self.inner.borrow_mut();
+        let snap = g.counters;
+        g.phase_stack.push((name.into(), snap));
+    }
+
+    /// End the innermost open phase, returning its delta. Returns `None` if
+    /// no phase is open.
+    pub fn end_phase(&self) -> Option<Counters> {
+        let mut g = self.inner.borrow_mut();
+        let (name, start) = g.phase_stack.pop()?;
+        let delta = g.counters.since(&start);
+        let slot = g.phase_totals.entry(name).or_default();
+        *slot = slot.plus(&delta);
+        Some(delta)
+    }
+
+    /// Run `f` inside a named phase.
+    pub fn phase<R>(&self, name: impl Into<String>, f: impl FnOnce() -> R) -> R {
+        self.begin_phase(name);
+        let r = f();
+        self.end_phase();
+        r
+    }
+
+    /// Accumulated totals per phase name, in name order.
+    pub fn phase_totals(&self) -> Vec<(String, Counters)> {
+        self.inner
+            .borrow()
+            .phase_totals
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+struct PauseGuard<'a> {
+    stats: &'a IoStats,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        self.stats.inner.borrow_mut().paused -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let s = IoStats::new();
+        s.record_read(128);
+        s.record_read(128);
+        s.record_write(64);
+        let c = s.snapshot();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.total_ios(), 3);
+        assert_eq!(c.bytes_read, 256);
+        assert_eq!(c.bytes_written, 64);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let s = IoStats::new();
+        s.record_read(0);
+        let snap = s.snapshot();
+        s.record_read(0);
+        s.record_write(0);
+        let d = s.snapshot().since(&snap);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.writes, 1);
+    }
+
+    #[test]
+    fn paused_suppresses_counting() {
+        let s = IoStats::new();
+        s.paused(|| {
+            s.record_read(0);
+            s.record_write(0);
+            // nesting
+            s.paused(|| s.record_read(0));
+            s.record_read(0);
+        });
+        s.record_read(0);
+        assert_eq!(s.snapshot().total_ios(), 1);
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let s = IoStats::new();
+        s.phase("scan", || {
+            s.record_read(0);
+            s.record_read(0);
+        });
+        s.phase("scan", || s.record_read(0));
+        s.phase("merge", || s.record_write(0));
+        let totals = s.phase_totals();
+        assert_eq!(totals.len(), 2);
+        let scan = totals.iter().find(|(n, _)| n == "scan").unwrap();
+        assert_eq!(scan.1.reads, 3);
+        let merge = totals.iter().find(|(n, _)| n == "merge").unwrap();
+        assert_eq!(merge.1.writes, 1);
+    }
+
+    #[test]
+    fn nested_phases_charge_both() {
+        let s = IoStats::new();
+        s.begin_phase("outer");
+        s.record_read(0);
+        s.begin_phase("inner");
+        s.record_read(0);
+        let inner = s.end_phase().unwrap();
+        let outer = s.end_phase().unwrap();
+        assert_eq!(inner.reads, 1);
+        assert_eq!(outer.reads, 2);
+        assert!(s.end_phase().is_none());
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.record_read(8);
+        s.phase("p", || s.record_write(8));
+        s.reset();
+        assert_eq!(s.snapshot(), Counters::default());
+        assert!(s.phase_totals().is_empty());
+    }
+
+    #[test]
+    fn comparisons_tracked() {
+        let s = IoStats::new();
+        s.record_comparisons(10);
+        s.paused(|| s.record_comparisons(5));
+        assert_eq!(s.snapshot().comparisons, 10);
+    }
+}

@@ -1,0 +1,178 @@
+//! In-memory selection primitives.
+//!
+//! These are the base cases of every external recursion: once a subproblem
+//! fits in memory, CPU work is free in the EM model, so we use simple,
+//! obviously-correct routines. `median_of_five` is the subgroup step of the
+//! intermixed-selection scan (paper §4.1, after [BFPRT 1973]).
+
+use emcore::Record;
+
+/// The element with 1-based rank `rank` among `data` (by key), computed
+/// in place via introselect. Panics if `rank` is out of `[1, data.len()]`.
+pub fn select_rank_in_mem<T: Record>(data: &mut [T], rank: u64) -> T {
+    assert!(
+        rank >= 1 && rank <= data.len() as u64,
+        "rank {rank} out of range [1, {}]",
+        data.len()
+    );
+    let idx = (rank - 1) as usize;
+    let (_, kth, _) = data.select_nth_unstable_by(idx, |a, b| a.key().cmp(&b.key()));
+    *kth
+}
+
+/// The elements at several 1-based `ranks` (sorted ascending; duplicates
+/// allowed) among `data`, by recursive halving: select the middle rank,
+/// then recurse into the two sides. `O(n·lg k)` comparisons.
+pub fn multi_select_in_mem<T: Record>(data: &mut [T], ranks: &[u64]) -> Vec<T> {
+    let mut out = vec![None; ranks.len()];
+    multi_select_rec(data, ranks, 0, &mut out);
+    out.into_iter().map(|o| o.expect("every rank filled")).collect()
+}
+
+fn multi_select_rec<T: Record>(
+    data: &mut [T],
+    ranks: &[u64],
+    rank_offset: u64,
+    out: &mut [Option<T>],
+) {
+    if ranks.is_empty() {
+        return;
+    }
+    debug_assert_eq!(ranks.len(), out.len());
+    let mid = ranks.len() / 2;
+    let r = ranks[mid];
+    let local = (r - rank_offset) as usize; // 1-based within `data`
+    debug_assert!(local >= 1 && local <= data.len());
+    let idx = local - 1;
+    let (lo, kth, hi) = data.select_nth_unstable_by(idx, |a, b| a.key().cmp(&b.key()));
+    let kth = *kth;
+    // All ranks equal to r are answered by this element.
+    let lo_end = ranks[..mid].partition_point(|&x| x < r);
+    let hi_start = mid + ranks[mid..].partition_point(|&x| x <= r);
+    for slot in &mut out[lo_end..hi_start] {
+        *slot = Some(kth);
+    }
+    let (out_lo, rest) = out.split_at_mut(lo_end);
+    let (_, out_hi) = rest.split_at_mut(hi_start - lo_end);
+    multi_select_rec(lo, &ranks[..lo_end], rank_offset, out_lo);
+    multi_select_rec(hi, &ranks[hi_start..], rank_offset + local as u64, out_hi);
+}
+
+/// Median (lower median for even sizes) of at most five records, by key.
+/// Panics on an empty slice.
+pub fn median_of_five<T: Record>(group: &[T]) -> T {
+    assert!(!group.is_empty() && group.len() <= 5);
+    let mut tmp: [Option<T>; 5] = [None; 5];
+    for (i, r) in group.iter().enumerate() {
+        tmp[i] = Some(*r);
+    }
+    let slice = &mut tmp[..group.len()];
+    slice.sort_unstable_by(|a, b| {
+        a.as_ref()
+            .expect("present")
+            .key()
+            .cmp(&b.as_ref().expect("present").key())
+    });
+    slice[(group.len() - 1) / 2].expect("present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_rank_basics() {
+        let mut v: Vec<u64> = vec![5, 1, 4, 2, 3];
+        assert_eq!(select_rank_in_mem(&mut v, 1), 1);
+        let mut v2 = v.clone();
+        assert_eq!(select_rank_in_mem(&mut v2, 3), 3);
+        let mut v3 = v.clone();
+        assert_eq!(select_rank_in_mem(&mut v3, 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_rank_zero_panics() {
+        let mut v: Vec<u64> = vec![1];
+        select_rank_in_mem(&mut v, 0);
+    }
+
+    #[test]
+    fn select_rank_with_duplicates() {
+        let mut v: Vec<u64> = vec![2, 2, 2, 1, 1];
+        assert_eq!(select_rank_in_mem(&mut v, 1), 1);
+        let mut v2: Vec<u64> = vec![2, 2, 2, 1, 1];
+        assert_eq!(select_rank_in_mem(&mut v2, 3), 2);
+    }
+
+    #[test]
+    fn multi_select_all_ranks() {
+        let data: Vec<u64> = vec![9, 3, 7, 1, 5];
+        let ranks: Vec<u64> = (1..=5).collect();
+        let mut work = data.clone();
+        let got = multi_select_in_mem(&mut work, &ranks);
+        assert_eq!(got, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn multi_select_sparse_ranks() {
+        let data: Vec<u64> = (0..1000).map(|i| (i * 48271) % 10007).collect();
+        let ranks = vec![1, 17, 500, 999, 1000];
+        let mut work = data.clone();
+        let got = multi_select_in_mem(&mut work, &ranks);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multi_select_duplicate_ranks() {
+        let mut v: Vec<u64> = vec![4, 2, 1, 3];
+        let got = multi_select_in_mem(&mut v, &[2, 2, 2]);
+        assert_eq!(got, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn multi_select_empty_ranks() {
+        let mut v: Vec<u64> = vec![1, 2];
+        assert!(multi_select_in_mem(&mut v, &[]).is_empty());
+    }
+
+    #[test]
+    fn multi_select_matches_sort_randomised() {
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for trial in 0..50 {
+            let n = 1 + (next() % 200) as usize;
+            let data: Vec<u64> = (0..n).map(|_| next() % 50).collect();
+            let k = 1 + (next() % 10) as usize;
+            let mut ranks: Vec<u64> = (0..k).map(|_| 1 + next() % n as u64).collect();
+            ranks.sort_unstable();
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+            let mut work = data.clone();
+            let got = multi_select_in_mem(&mut work, &ranks);
+            assert_eq!(got, want, "trial {trial}, n {n}, ranks {ranks:?}");
+        }
+    }
+
+    #[test]
+    fn median_of_five_all_sizes() {
+        assert_eq!(median_of_five(&[7u64]), 7);
+        assert_eq!(median_of_five(&[2u64, 1]), 1); // upper? (len-1)/2 = 0 → lower median
+        assert_eq!(median_of_five(&[3u64, 1, 2]), 2);
+        assert_eq!(median_of_five(&[4u64, 1, 3, 2]), 2);
+        assert_eq!(median_of_five(&[5u64, 4, 3, 2, 1]), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn median_of_empty_panics() {
+        median_of_five::<u64>(&[]);
+    }
+}

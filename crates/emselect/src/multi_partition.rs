@@ -1,0 +1,570 @@
+//! Multi-partition: split `S` into `K` ordered partitions of *given sizes*.
+//!
+//! The problem reviewed in the paper's §1.2: given `σ_1, …, σ_K` with
+//! `Σσ_i = N`, produce partitions `P_1, …, P_K` with `|P_i| = σ_i` and
+//! every element of `P_i` smaller than every element of `P_j` for `i < j`.
+//! Solvable in `O((N/B)·lg_{M/B} K)` I/Os [Aggarwal & Vitter 1988], which
+//! is optimal (paper Lemma 5).
+//!
+//! Implementation: recursive distribution. Each level finds `f − 1`
+//! approximate even splitters in `O(n/B)` I/Os
+//! ([`crate::sample_splitters`]), distributes into `f` buckets, and routes
+//! the target boundary ranks to buckets. Buckets containing no interior
+//! rank lie inside a single output partition and are emitted verbatim;
+//! the rest recurse on geometrically smaller inputs. Memory-resident
+//! subproblems finish by an in-memory sort. Inputs dominated by one key
+//! value (which no splitter set can spread) fall back to a three-way
+//! split around that value; the `equal` slab is emitted directly since
+//! its records are mutually interchangeable.
+//!
+//! Cost: `O(n/B)` per level times `O(1 + lg_{M/B} min{K, n/B})` levels.
+//! Output partitions are [`Partition`] segment lists (the paper's linked
+//! list), so a rank-free bucket is adopted as partition content in `O(1)`
+//! — distribution levels cost exactly one read + one write pass.
+
+use emcore::{EmContext, EmError, EmFile, Record, Result, Writer};
+
+use crate::distribute::{distribute_segs, max_distribution_fanout, three_way_split};
+use crate::partition_out::{segs_len, ChainReader, Partition};
+use crate::sample_splitters::{
+    max_deterministic_fanout_n, sample_splitters_segs, SplitterStrategy,
+};
+
+/// Options controlling multi-partition (ablation hooks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpOptions {
+    /// Splitter sampling strategy.
+    pub strategy: SplitterStrategy,
+    /// Cap the distribution fan-out below the memory-feasible maximum
+    /// (EX-A2 sweeps this). `None` = use the maximum.
+    pub fanout_override: Option<usize>,
+}
+
+/// Partition `input` into `sizes.len()` ordered partitions with exactly the
+/// given sizes (`Σ sizes = input.len()`, zeros allowed). Returns one
+/// [`Partition`] per requested size, in order — the paper's "linked list"
+/// output.
+pub fn multi_partition<T: Record>(
+    input: &EmFile<T>,
+    sizes: &[u64],
+) -> Result<Vec<Partition<T>>> {
+    multi_partition_with(input, sizes, MpOptions::default())
+}
+
+/// [`multi_partition`] with explicit options.
+pub fn multi_partition_with<T: Record>(
+    input: &EmFile<T>,
+    sizes: &[u64],
+    opts: MpOptions,
+) -> Result<Vec<Partition<T>>> {
+    multi_partition_segs(input.ctx(), std::slice::from_ref(input), sizes, opts)
+}
+
+/// [`multi_partition`] over a segment list (e.g. a [`Partition`]'s
+/// segments) — avoids flattening multi-segment inputs first.
+pub fn multi_partition_segs<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    sizes: &[u64],
+    opts: MpOptions,
+) -> Result<Vec<Partition<T>>> {
+    let n = segs_len(segs);
+    if sizes.is_empty() {
+        return Err(EmError::config("multi-partition needs at least one size"));
+    }
+    let total: u64 = sizes.iter().sum();
+    if total != n {
+        return Err(EmError::config(format!(
+            "partition sizes sum to {total}, input has {n} records"
+        )));
+    }
+    let ctx = ctx.clone();
+    // Synthetic charge for consuming the caller's size list (DESIGN.md,
+    // model-fidelity notes).
+    ctx.stats()
+        .charge_reads((sizes.len() as u64).div_ceil(ctx.config().block_size() as u64));
+
+    // Cumulative boundaries; the interior ones are the recursion's targets.
+    let mut bounds = Vec::with_capacity(sizes.len());
+    let mut acc = 0u64;
+    for &s in sizes {
+        acc += s;
+        bounds.push(acc);
+    }
+    let mut interior: Vec<u64> = bounds[..bounds.len() - 1]
+        .iter()
+        .copied()
+        .filter(|&r| r > 0 && r < n)
+        .collect();
+    interior.dedup();
+
+    ctx.stats().begin_phase("multi-partition");
+    let mut sink = PartitionSink::new(&ctx, bounds)?;
+    mp_rec(&ctx, MpInput::Borrowed(segs), &interior, &mut sink, &opts)?;
+    let out = sink.finish()?;
+    ctx.stats().end_phase();
+    Ok(out)
+}
+
+/// Partition at explicit interior boundary *ranks* (strictly increasing,
+/// in `(0, N)`): returns `ranks.len() + 1` partitions where partition `i`
+/// holds the records of global ranks `(r_{i-1}, r_i]`.
+pub fn multi_partition_at_ranks<T: Record>(
+    input: &EmFile<T>,
+    ranks: &[u64],
+) -> Result<Vec<Partition<T>>> {
+    let n = input.len();
+    let mut sizes = Vec::with_capacity(ranks.len() + 1);
+    let mut prev = 0u64;
+    for &r in ranks {
+        if r <= prev || r >= n {
+            return Err(EmError::config(format!(
+                "boundary ranks must be strictly increasing inside (0, {n}); got {r} after {prev}"
+            )));
+        }
+        sizes.push(r - prev);
+        prev = r;
+    }
+    sizes.push(n - prev);
+    multi_partition(input, &sizes)
+}
+
+enum MpInput<'a, T: Record> {
+    Borrowed(&'a [EmFile<T>]),
+    Owned(EmFile<T>),
+}
+
+impl<T: Record> MpInput<'_, T> {
+    fn segs(&self) -> &[EmFile<T>] {
+        match self {
+            MpInput::Borrowed(s) => s,
+            MpInput::Owned(f) => std::slice::from_ref(f),
+        }
+    }
+}
+
+fn mp_rec<T: Record>(
+    ctx: &EmContext,
+    d: MpInput<'_, T>,
+    ranks: &[u64], // strictly increasing, in (0, n): *local* boundary ranks
+    sink: &mut PartitionSink<T>,
+    opts: &MpOptions,
+) -> Result<()> {
+    let n = segs_len(d.segs());
+    if n == 0 {
+        return Ok(());
+    }
+    if ranks.is_empty() {
+        // Whole input lies inside one output partition. Owned intermediates
+        // are adopted as segments for free; borrowed inputs are streamed.
+        return match d {
+            MpInput::Owned(f) => sink.adopt_file(f),
+            MpInput::Borrowed(segs) => {
+                for f in segs {
+                    sink.stream_file(f)?;
+                }
+                Ok(())
+            }
+        };
+    }
+    let base_cap = (ctx.mem_records::<T>() / 2).max(ctx.config().block_size());
+    if n as usize <= base_cap {
+        let mut buf = ctx.tracked_vec::<T>(n as usize, "multi-partition base case");
+        let mut r = ChainReader::new(d.segs());
+        while let Some(x) = r.next()? {
+            buf.push(x);
+        }
+        drop(r);
+        buf.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+        for &x in buf.iter() {
+            sink.push(x)?;
+        }
+        return Ok(());
+    }
+
+    let fmax = max_distribution_fanout::<T>(ctx.config())
+        .min(max_deterministic_fanout_n::<T>(ctx, n))
+        .max(2);
+    let f = opts.fanout_override.map_or(fmax, |o| o.clamp(2, fmax));
+    let splitters = sample_splitters_segs(ctx, d.segs(), f, opts.strategy)?;
+    let buckets = distribute_segs(ctx, d.segs(), &splitters)?;
+    drop(d); // free the intermediate input before recursing
+
+    let max_bucket = buckets.iter().map(|b| b.len()).max().unwrap_or(0);
+    if max_bucket == n {
+        // No progress: one key value dominates. Split three ways around it
+        // and emit the `equal` slab directly (its records are mutually
+        // interchangeable, so the sink's boundary cuts are all valid).
+        let full = buckets
+            .into_iter()
+            .find(|b| b.len() == n)
+            .expect("max bucket exists");
+        let pivot = dominant_pivot(&full)?;
+        let (less, equal, greater) = three_way_split(&full, pivot)?;
+        drop(full);
+        let mut offset = 0u64;
+        for (idx, part) in [less, equal, greater].into_iter().enumerate() {
+            let size = part.len();
+            let local = shift_ranks(ranks, offset, size);
+            if local.is_empty() {
+                sink.adopt_file(part)?;
+            } else if idx == 1 {
+                // Equal slab with interior ranks: its records are mutually
+                // interchangeable, so stream it through the boundary cuts.
+                sink.stream_file(&part)?;
+            } else {
+                mp_rec(ctx, MpInput::Owned(part), &local, sink, opts)?;
+            }
+            offset += size;
+        }
+        return Ok(());
+    }
+
+    let mut offset = 0u64;
+    for bucket in buckets {
+        let size = bucket.len();
+        let local = shift_ranks(ranks, offset, size);
+        if local.is_empty() {
+            // No partition boundary strictly inside: the whole bucket file
+            // becomes a segment of the current partition at zero I/O cost.
+            sink.adopt_file(bucket)?;
+        } else {
+            mp_rec(ctx, MpInput::Owned(bucket), &local, sink, opts)?;
+        }
+        offset += size;
+    }
+    Ok(())
+}
+
+/// The ranks falling strictly inside `(offset, offset + size)`, shifted to
+/// be local to that range.
+fn shift_ranks(ranks: &[u64], offset: u64, size: u64) -> Vec<u64> {
+    let lo = ranks.partition_point(|&r| r <= offset);
+    let hi = ranks.partition_point(|&r| r < offset + size);
+    ranks[lo..hi].iter().map(|&r| r - offset).collect()
+}
+
+/// The median key of the first block of `file` — by construction of the
+/// fallback path the file is dominated by one key value, and any value
+/// present works as the three-way pivot; the *majority* value is the one
+/// that guarantees progress. Take the most frequent key of the first
+/// block, which must be the dominant one when a single value fills the
+/// whole bucket range.
+fn dominant_pivot<T: Record>(file: &EmFile<T>) -> Result<T::Key> {
+    let ctx = file.ctx();
+    let mut buf = ctx.tracked_vec::<T>(ctx.config().block_size(), "pivot probe");
+    file.read_block_into(0, &mut buf)?;
+    let mut keys: Vec<T::Key> = buf.iter().map(|r| r.key()).collect();
+    keys.sort_unstable();
+    // Most frequent key in the probe block.
+    let mut best = keys[0];
+    let mut best_run = 0usize;
+    let mut i = 0usize;
+    while i < keys.len() {
+        let mut j = i;
+        while j < keys.len() && keys[j] == keys[i] {
+            j += 1;
+        }
+        if j - i > best_run {
+            best_run = j - i;
+            best = keys[i];
+        }
+        i = j;
+    }
+    Ok(best)
+}
+
+/// Routes an ordered stream of records and whole files into per-partition
+/// segment lists, cutting at the given cumulative boundaries.
+struct PartitionSink<T: Record> {
+    ctx: EmContext,
+    bounds: Vec<u64>,
+    cur: usize,
+    written: u64,
+    /// Open streaming writer for the current partition (lazily created).
+    buf: Option<Writer<T>>,
+    /// Completed segments of the current partition.
+    segs: Vec<EmFile<T>>,
+    done: Vec<Partition<T>>,
+}
+
+impl<T: Record> PartitionSink<T> {
+    fn new(ctx: &EmContext, bounds: Vec<u64>) -> Result<Self> {
+        let mut s = Self {
+            ctx: ctx.clone(),
+            bounds,
+            cur: 0,
+            written: 0,
+            buf: None,
+            segs: Vec::new(),
+            done: Vec::new(),
+        };
+        s.advance()?; // leading zero-size partitions
+        Ok(s)
+    }
+
+    /// Append one record to the current partition.
+    fn push(&mut self, rec: T) -> Result<()> {
+        debug_assert!(self.cur < self.bounds.len(), "pushed past final boundary");
+        if self.buf.is_none() {
+            self.buf = Some(self.ctx.writer::<T>());
+        }
+        self.buf.as_mut().expect("just created").push(rec)?;
+        self.written += 1;
+        self.advance()
+    }
+
+    /// Adopt a whole file as a segment of the current partition — `O(1)`,
+    /// no I/O. The file must fit inside the current partition (guaranteed
+    /// for rank-free buckets, which never straddle a boundary).
+    fn adopt_file(&mut self, file: EmFile<T>) -> Result<()> {
+        if file.is_empty() {
+            return Ok(());
+        }
+        let end = self.written + file.len();
+        debug_assert!(
+            self.cur < self.bounds.len() && end <= self.bounds[self.cur],
+            "adopted file straddles a partition boundary"
+        );
+        self.flush_buf()?;
+        self.segs.push(file);
+        self.written = end;
+        self.advance()
+    }
+
+    /// Stream a file record by record through the boundary cuts (used for
+    /// the interchangeable equal-slab fallback).
+    fn stream_file(&mut self, file: &EmFile<T>) -> Result<()> {
+        let mut r = file.reader();
+        while let Some(x) = r.next()? {
+            self.push(x)?;
+        }
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        if let Some(w) = self.buf.take() {
+            if w.is_empty() {
+                return Ok(());
+            }
+            self.segs.push(w.finish()?);
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        while self.cur < self.bounds.len() && self.written == self.bounds[self.cur] {
+            self.flush_buf()?;
+            let segs = std::mem::take(&mut self.segs);
+            self.done.push(Partition::from_segments(segs));
+            self.cur += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Vec<Partition<T>>> {
+        if self.cur != self.bounds.len() {
+            return Err(EmError::config(format!(
+                "partition sink finished early: {} of {} records routed",
+                self.written,
+                self.bounds.last().copied().unwrap_or(0)
+            )));
+        }
+        Ok(self.done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, EmContext};
+
+    fn ctx() -> EmContext {
+        EmContext::new_in_memory_strict(EmConfig::tiny())
+    }
+
+    fn shuffled(n: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n).collect();
+        let mut s = 7u64;
+        for i in (1..v.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    fn check_partitions(parts: &[Partition<u64>], sizes: &[u64]) {
+        assert_eq!(parts.len(), sizes.len());
+        let mut prev_max: Option<u64> = None;
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.len(), sizes[i], "partition {i} size");
+            if p.is_empty() {
+                continue;
+            }
+            let v = p.to_vec().unwrap();
+            let mn = *v.iter().min().unwrap();
+            let mx = *v.iter().max().unwrap();
+            if let Some(pm) = prev_max {
+                assert!(mn >= pm, "partition {i} min {mn} < previous max {pm}");
+            }
+            prev_max = Some(mx + 1); // strict keys in these tests
+        }
+    }
+
+    #[test]
+    fn equal_sizes_small() {
+        let c = ctx();
+        let data = shuffled(100);
+        let f = EmFile::from_slice(&c, &data).unwrap();
+        let parts = multi_partition(&f, &[25, 25, 25, 25]).unwrap();
+        check_partitions(&parts, &[25, 25, 25, 25]);
+        // Exact contents of partition 0: values 0..25
+        let mut p0 = parts[0].to_vec().unwrap();
+        p0.sort_unstable();
+        assert_eq!(p0, (0..25).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn equal_sizes_large_multilevel() {
+        let c = ctx();
+        let n = 30_000u64;
+        let data = shuffled(n);
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let k = 8u64;
+        let sizes = vec![n / k; k as usize];
+        let parts = multi_partition(&f, &sizes).unwrap();
+        check_partitions(&parts, &sizes);
+    }
+
+    #[test]
+    fn uneven_sizes() {
+        let c = ctx();
+        let n = 5000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let sizes = vec![1, 4000, 9, 990];
+        let parts = multi_partition(&f, &sizes).unwrap();
+        check_partitions(&parts, &sizes);
+        assert_eq!(parts[0].to_vec().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn zero_sizes_produce_empty_partitions() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &shuffled(50)).unwrap();
+        let sizes = vec![0, 25, 0, 0, 25, 0];
+        let parts = multi_partition(&f, &sizes).unwrap();
+        check_partitions(&parts, &sizes);
+    }
+
+    #[test]
+    fn single_partition_is_copy() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &shuffled(40)).unwrap();
+        let parts = multi_partition(&f, &[40]).unwrap();
+        assert_eq!(parts.len(), 1);
+        let mut v = parts[0].to_vec().unwrap();
+        v.sort_unstable();
+        assert_eq!(v, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn size_sum_mismatch_rejected() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &[1u64, 2, 3]).unwrap();
+        assert!(multi_partition(&f, &[1, 1]).is_err());
+        assert!(multi_partition(&f, &[]).is_err());
+    }
+
+    #[test]
+    fn at_ranks_convention() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &shuffled(100)).unwrap();
+        let parts = multi_partition_at_ranks(&f, &[10, 60]).unwrap();
+        check_partitions(&parts, &[10, 50, 40]);
+        assert!(multi_partition_at_ranks(&f, &[0]).is_err());
+        assert!(multi_partition_at_ranks(&f, &[100]).is_err());
+        assert!(multi_partition_at_ranks(&f, &[5, 5]).is_err());
+    }
+
+    #[test]
+    fn all_equal_keys_terminates() {
+        let c = ctx();
+        let data = vec![7u64; 3000];
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let parts = multi_partition(&f, &[1000, 1000, 1000]).unwrap();
+        for p in &parts {
+            assert_eq!(p.len(), 1000);
+            assert!(p.to_vec().unwrap().iter().all(|&x| x == 7));
+        }
+    }
+
+    #[test]
+    fn duplicate_dominated_input_terminates() {
+        let c = ctx();
+        // 90% the value 5, rest spread
+        let mut data: Vec<u64> = vec![5; 2700];
+        data.extend(0..300u64);
+        // interleave deterministically
+        let mut s = 3u64;
+        for i in (1..data.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let parts = multi_partition(&f, &[1500, 1500]).unwrap();
+        let p0 = parts[0].to_vec().unwrap();
+        let p1 = parts[1].to_vec().unwrap();
+        assert_eq!(p0.len(), 1500);
+        assert_eq!(p1.len(), 1500);
+        let max0 = p0.iter().max().unwrap();
+        let min1 = p1.iter().min().unwrap();
+        assert!(max0 <= min1);
+    }
+
+    #[test]
+    fn io_scales_with_log_k() {
+        // For fixed N, I/O should grow roughly with lg K, not linearly in K.
+        let n = 40_000u64;
+        let measure = |k: u64| -> u64 {
+            let c = EmContext::new_in_memory(EmConfig::tiny());
+            let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+            let sizes = vec![n / k; k as usize];
+            let before = c.stats().snapshot();
+            let _ = multi_partition(&f, &sizes).unwrap();
+            c.stats().snapshot().since(&before).total_ios()
+        };
+        let io2 = measure(2);
+        let io64 = measure(64);
+        // 64 partitions needs more work than 2 but far less than 32x.
+        assert!(io64 > io2, "io64={io64} io2={io2}");
+        assert!(io64 < io2 * 8, "io64={io64} io2={io2}");
+    }
+
+    #[test]
+    fn output_preserves_multiset() {
+        let c = ctx();
+        let data: Vec<u64> = (0..4000u64).map(|i| i % 97).collect();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let parts = multi_partition(&f, &[1000, 1000, 1000, 1000]).unwrap();
+        let mut all: Vec<u64> = Vec::new();
+        for p in &parts {
+            all.extend(p.to_vec().unwrap());
+        }
+        let mut want = data.clone();
+        want.sort_unstable();
+        all.sort_unstable();
+        assert_eq!(all, want);
+        // Boundaries respect the order under ≤ (ties may straddle a cut):
+        // each partition's min is at least the previous partition's max.
+        let mut prev_max: Option<u64> = None;
+        for p in &parts {
+            let v = p.to_vec().unwrap();
+            let mn = *v.iter().min().unwrap();
+            if let Some(pm) = prev_max {
+                assert!(mn >= pm, "min {mn} < previous max {pm}");
+            }
+            prev_max = Some(*v.iter().max().unwrap());
+        }
+    }
+}

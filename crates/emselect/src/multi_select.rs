@@ -1,0 +1,821 @@
+//! Multi-selection (paper Theorem 4): report the elements of `S` at `K`
+//! given ranks in `O((N/B)·lg_{M/B}(K/B))` I/Os.
+//!
+//! Structure follows §4.2:
+//!
+//! * **Base case `K ≤ m`** — two engines (see [`MsBaseCase`]):
+//!   * *Pruned* (default): find `f − 1` even splitters in linear I/Os,
+//!     distribute, drop the rank-free buckets (free), recurse into the
+//!     rank-carrying ones. `O(n/B)` whenever `K` is within the feasible
+//!     distribution fan-out, with small constants.
+//!   * *Intermixed* (the paper's §4.2 construction, verbatim): find
+//!     `Θ(m)` splitters via the two-round refined sampler
+//!     ([`crate::sample_splitters::refined_splitters`], restoring the
+//!     paper's `m = Θ(M)` capacity), count bucket sizes in one scan, then
+//!     build the `K`-intermixed instance — the group of rank `r_i` is the
+//!     content of the bucket containing `r_i` with residual target
+//!     `t_i = r_i − (|P_1| + … + |P_{j-1}|)` — and finish with
+//!     [`crate::intermixed_select`] in `O(|D|/B)`.
+//! * **General case `K > m`** — multi-partition `S` at every `m`-th target
+//!   rank into `g = ceil(K/m)` partitions (`O((N/B)·lg_{M/B} g)` I/Os),
+//!   then run the base case inside each partition's segments (`O(N/B)`
+//!   total, no flattening).
+
+use emcore::{EmContext, EmError, EmFile, Record, Result, Tagged};
+
+use crate::intermixed::{intermixed_select, max_groups};
+use crate::multi_partition::multi_partition_at_ranks;
+use crate::partition_out::{segs_len, ChainReader};
+use crate::sample_splitters::{
+    bucket_of, count_buckets_segs, max_deterministic_fanout_n, refined_splitters,
+    sample_splitters_segs, SplitterStrategy,
+};
+
+/// Which engine finishes a base case (`K ≤ m` ranks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MsBaseCase {
+    /// Pruned distribution (default): distribute only rank-carrying
+    /// buckets and recurse; `O(n/B · (1 + K/f))` with small constants.
+    /// Falls back to the intermixed engine on duplicate-dominated inputs.
+    #[default]
+    Pruned,
+    /// The paper's §4.2 construction verbatim: build the intermixed
+    /// instance `D` and run [`intermixed_select`]. Required asymptotically
+    /// when the group count exceeds the feasible distribution fan-out
+    /// (`L = Θ(M)` vs `f = Θ(M/B)` in the paper's parameterisation);
+    /// selectable here for faithfulness tests and ablations.
+    Intermixed,
+}
+
+/// Options for multi-selection (ablation hooks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MsOptions {
+    /// Splitter sampling strategy used by both the base case and the
+    /// multi-partition levels.
+    pub strategy: SplitterStrategy,
+    /// Override the base-case group capacity `m` (testing/ablation);
+    /// clamped to `[1, max_groups]`.
+    pub base_capacity_override: Option<usize>,
+    /// Base-case engine.
+    pub base_case: MsBaseCase,
+}
+
+/// The base-case capacity `m`: how many ranks one linear-I/O base case can
+/// handle. For the pruned engine `m = min(Θ(M/w), 2f)` (past `≈ f` ranks,
+/// splitting via multi-partition becomes cheaper); for the paper-faithful
+/// intermixed engine `m = min(Θ(M/w), f/2)`, which keeps the intermixed
+/// instance `|D| ≤ Σ_i bucket(r_i)` at `O(n)`. `f` is the splitter
+/// fan-out bound — `Θ(M/log(N/M))` under the deterministic sampling
+/// substitute; see DESIGN.md.
+pub fn base_case_capacity<T: Record>(input: &EmFile<T>, opts: &MsOptions) -> usize {
+    base_case_capacity_n::<T>(input.ctx(), input.len(), opts)
+}
+
+/// [`base_case_capacity`] from an explicit input size.
+pub fn base_case_capacity_n<T: Record>(ctx: &EmContext, n: u64, opts: &MsOptions) -> usize {
+    let groups_cap = max_groups::<T>(ctx.config());
+    let f = max_deterministic_fanout_n::<T>(ctx, n);
+    let _ = f;
+    let m = match opts.base_case {
+        // Pruned bookkeeping is ~3 words per rank; cap well inside M.
+        MsBaseCase::Pruned => (ctx.config().mem_capacity() / 6).max(8),
+        // With refined (two-round) splitters the base case reaches the
+        // paper's m = Θ(M): the intermixed instance |D| ≤ K·4n/f' stays
+        // O(n) because f' = 4·groups_cap splitters are available.
+        MsBaseCase::Intermixed => groups_cap,
+    };
+    let m = opts.base_capacity_override.map_or(m, |o| o.clamp(1, groups_cap));
+    m.max(1)
+}
+
+/// Report the element of rank `ranks[i]` (1-based) of `input`, for every
+/// `i`. Ranks may be in any order and may repeat; the output matches the
+/// input order. Errors on ranks outside `[1, N]` or an empty input with
+/// nonempty ranks.
+pub fn multi_select<T: Record>(input: &EmFile<T>, ranks: &[u64]) -> Result<Vec<T>> {
+    multi_select_with(input, ranks, MsOptions::default())
+}
+
+/// [`multi_select`] with explicit options.
+pub fn multi_select_with<T: Record>(
+    input: &EmFile<T>,
+    ranks: &[u64],
+    opts: MsOptions,
+) -> Result<Vec<T>> {
+    multi_select_segs(input.ctx(), std::slice::from_ref(input), ranks, opts)
+}
+
+/// [`multi_select`] over a segment list (e.g. a [`crate::Partition`]'s
+/// segments) — avoids flattening multi-segment inputs before selecting.
+pub fn multi_select_segs<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    ranks: &[u64],
+    opts: MsOptions,
+) -> Result<Vec<T>> {
+    if ranks.is_empty() {
+        return Ok(Vec::new());
+    }
+    let ctx = ctx.clone();
+    let n = segs_len(segs);
+    for &r in ranks {
+        if r == 0 || r > n {
+            return Err(EmError::config(format!(
+                "rank {r} out of range [1, {n}]"
+            )));
+        }
+    }
+    // Synthetic charge for consuming the caller's rank list.
+    ctx.stats()
+        .charge_reads((ranks.len() as u64).div_ceil(ctx.config().block_size() as u64));
+
+    // Sorted, deduplicated working set.
+    let mut sorted: Vec<u64> = ranks.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    ctx.stats().begin_phase("multi-select");
+    let answers = multi_select_sorted(&ctx, segs, &sorted, &opts);
+    ctx.stats().end_phase();
+    let answers = answers?;
+
+    // Map back to the caller's order.
+    let out = ranks
+        .iter()
+        .map(|r| {
+            let i = sorted.binary_search(r).expect("rank present");
+            answers[i]
+        })
+        .collect();
+    Ok(out)
+}
+
+/// Core: `sorted` is ascending and distinct; `segs` is the input as a
+/// segment list (single-element for a plain file).
+fn multi_select_sorted<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    sorted: &[u64],
+    opts: &MsOptions,
+) -> Result<Vec<T>> {
+    let k = sorted.len();
+    let m = base_case_capacity_n::<T>(ctx, segs_len(segs), opts);
+    if k <= m {
+        return base_case(ctx, segs, sorted, opts);
+    }
+    if opts.base_case == MsBaseCase::Pruned && opts.base_capacity_override.is_none() {
+        // The pruned engine scales past the in-memory rank cap by keeping
+        // the rank list itself in external memory: each recursion node
+        // holds only a (start, end, offset) view of the sorted rank file
+        // (rank ranges split contiguously across buckets), so no boundary
+        // multi-partition prepass is needed.
+        let mut w = ctx.writer::<u64>();
+        for &r in sorted {
+            w.push(r)?;
+        }
+        let rank_file = w.finish()?;
+        let mut out = Vec::with_capacity(k);
+        pruned_select_external(ctx, segs, &rank_file, 0, k as u64, 0, opts, &mut out)?;
+        return Ok(out);
+    }
+    // General case: partition at every m-th target rank. Multi-partition
+    // takes a single input file; flatten multi-segment inputs first (one
+    // linear pass, only on this rare path).
+    let flattened;
+    let input = if segs.len() == 1 {
+        &segs[0]
+    } else {
+        let mut w = ctx.writer::<T>();
+        let mut r = ChainReader::new(segs);
+        while let Some(x) = r.next()? {
+            w.push(x)?;
+        }
+        flattened = w.finish()?;
+        &flattened
+    };
+    let g = k.div_ceil(m);
+    let boundaries: Vec<u64> = (1..g).map(|i| sorted[i * m - 1]).collect();
+    let parts = multi_partition_at_ranks(input, &boundaries)?;
+    debug_assert_eq!(parts.len(), g);
+    let mut out = Vec::with_capacity(k);
+    let mut prev_bound = 0u64;
+    for (i, part) in parts.iter().enumerate() {
+        let lo = i * m;
+        let hi = ((i + 1) * m).min(k);
+        let local: Vec<u64> = sorted[lo..hi].iter().map(|&r| r - prev_bound).collect();
+        // The base case scans the partition's segments directly — no
+        // flattening copy.
+        out.extend(base_case(ctx, part.segments(), &local, opts)?);
+        prev_bound += part.len();
+    }
+    Ok(out)
+}
+
+/// Base case (`K ≤ m` ranks, all 1-based within `input`, sorted and
+/// distinct). Dispatches to the engine selected by
+/// [`MsOptions::base_case`]; see [`MsBaseCase`] for the trade-off.
+fn base_case<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    ranks: &[u64],
+    opts: &MsOptions,
+) -> Result<Vec<T>> {
+    if ranks.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = segs_len(segs);
+    debug_assert!(ranks.iter().all(|&r| r >= 1 && r <= n));
+    let block = ctx.config().block_size();
+
+    // Memory-resident: finish directly. (M/2 leaves room for the rank
+    // array and block buffers; matches multi-partition's base threshold.)
+    let mem_cap = (ctx.mem_records::<T>() / 2).max(block);
+    if n as usize <= mem_cap {
+        let mut buf = ctx.tracked_vec::<T>(n as usize, "multi-select base buffer");
+        let mut r = ChainReader::new(segs);
+        while let Some(x) = r.next()? {
+            buf.push(x);
+        }
+        drop(r);
+        return Ok(crate::internal::multi_select_in_mem(&mut buf, ranks));
+    }
+
+    match opts.base_case {
+        MsBaseCase::Pruned => pruned_select(ctx, segs, ranks, opts),
+        MsBaseCase::Intermixed => intermixed_base_case(ctx, segs, ranks, opts),
+    }
+}
+
+/// The paper's §4.2 base case, verbatim: find Θ(m) splitters, count the
+/// buckets, materialise the intermixed instance `D` (an element joins one
+/// group per rank routed to its bucket), and finish with
+/// [`intermixed_select`] in `O(|D|/B)`.
+fn intermixed_base_case<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    ranks: &[u64],
+    _opts: &MsOptions,
+) -> Result<Vec<T>> {
+    ctx.stats().begin_phase("multi-select/intermixed-base");
+    // Θ(m) splitters of this partition in linear I/Os — the two-round
+    // refined sampler keeps the instance |D| ≤ K·4n/f' at O(n) for
+    // K up to the paper's m = Θ(M).
+    let f = (4 * ranks.len()).max(max_deterministic_fanout_n::<T>(ctx, segs_len(segs)));
+    let splitters = refined_splitters(ctx, segs, f)?;
+    // The splitter array stays memory-resident for the rest of the base case.
+    let _splitter_charge = ctx
+        .mem()
+        .charge(splitters.len() * T::WORDS, "base-case splitters");
+    let counts = count_buckets_segs(ctx, segs, &splitters)?;
+    let nb = counts.len();
+
+    // Cumulative bucket sizes (memory-resident, Θ(m) words).
+    let _cum_charge = ctx.mem().charge(nb + 1, "bucket prefix sums");
+    let mut cum = Vec::with_capacity(nb + 1);
+    cum.push(0u64);
+    for &c in &counts {
+        cum.push(cum.last().unwrap() + c);
+    }
+
+    // For each rank, its bucket and in-bucket residual target.
+    let _rank_charge = ctx.mem().charge(2 * ranks.len(), "rank routing");
+    let mut bucket_of_rank = Vec::with_capacity(ranks.len());
+    let mut targets = Vec::with_capacity(ranks.len());
+    for &r in ranks {
+        // bucket j with cum[j] < r ≤ cum[j+1]
+        let j = cum.partition_point(|&c| c < r) - 1;
+        bucket_of_rank.push(j);
+        targets.push(r - cum[j]);
+    }
+
+    // Materialise D: an element of bucket j joins group i for every rank i
+    // routed to bucket j. (`bucket_of_rank` is ascending, so the groups of
+    // a bucket form a contiguous index range.)
+    let mut w = ctx.writer::<Tagged<T>>();
+    {
+        let mut r = ChainReader::new(segs);
+        while let Some(x) = r.next()? {
+            let j = bucket_of(&splitters, &x.key());
+            let lo = bucket_of_rank.partition_point(|&b| b < j);
+            let hi = bucket_of_rank.partition_point(|&b| b <= j);
+            for i in lo..hi {
+                w.push(Tagged::new(x, i as u32))?;
+            }
+        }
+    }
+    let d = w.finish()?;
+    drop(splitters);
+
+    let answers = intermixed_select(d, &targets)?;
+    ctx.stats().end_phase();
+    Ok(answers)
+}
+
+/// Pruned-distribution selection for `K ≪ f` ranks: per level, find the
+/// bucket of every rank, write out *only* those buckets (rank-free buckets
+/// are dropped from the scan at zero write cost), and recurse into each.
+/// The active volume shrinks to `≤ K · max_bucket ≤ 2Kn/f` per level, a
+/// geometric series, so the total is `O(n/B)`.
+fn pruned_select<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    ranks: &[u64],
+    opts: &MsOptions,
+) -> Result<Vec<T>> {
+    let n = segs_len(segs);
+    let block = ctx.config().block_size();
+    let mem_cap = (ctx.mem_records::<T>() / 2).max(block);
+    if n as usize <= mem_cap {
+        let mut buf = ctx.tracked_vec::<T>(n as usize, "pruned-select base buffer");
+        let mut r = ChainReader::new(segs);
+        while let Some(x) = r.next()? {
+            buf.push(x);
+        }
+        drop(r);
+        return Ok(crate::internal::multi_select_in_mem(&mut buf, ranks));
+    }
+    ctx.stats().begin_phase("multi-select/pruned");
+    let f = max_deterministic_fanout_n::<T>(ctx, n)
+        .min(crate::distribute::max_distribution_fanout::<T>(ctx.config()))
+        .max(2);
+    let splitters = sample_splitters_segs(ctx, segs, f, opts.strategy)?;
+    // Distribute into f buckets; exact sizes come from the bucket files.
+    // Rank-free buckets are simply dropped (freeing storage costs no I/O),
+    // which prunes the recursion tree to the rank-carrying volume.
+    let buckets = crate::distribute::distribute_segs(ctx, segs, &splitters)?;
+    drop(splitters);
+    let mut cum = Vec::with_capacity(buckets.len() + 1);
+    cum.push(0u64);
+    for b in &buckets {
+        cum.push(cum.last().unwrap() + b.len());
+    }
+    if buckets.iter().any(|b| b.len() == n) {
+        // A single key value dominates: no splitter set can shrink this
+        // input. Resolve exactly with a three-way split around the
+        // dominant key (records equal to it are interchangeable for rank
+        // semantics).
+        ctx.stats().end_phase();
+        drop(buckets);
+        return dominated_select(ctx, segs, ranks, opts);
+    }
+    // Route each rank to its bucket (ranks ascending → buckets ascending).
+    let mut bucket_of_rank = Vec::with_capacity(ranks.len());
+    for &r in ranks {
+        let j = cum.partition_point(|&c| c < r) - 1;
+        bucket_of_rank.push(j);
+    }
+    ctx.stats().end_phase();
+    // Recurse per rank-carrying bucket, preserving rank order.
+    let mut out = Vec::with_capacity(ranks.len());
+    for (j, bucket) in buckets.into_iter().enumerate() {
+        let lo = bucket_of_rank.partition_point(|&b| b < j);
+        let hi = bucket_of_rank.partition_point(|&b| b <= j);
+        if lo == hi {
+            continue; // rank-free: dropped here, storage freed
+        }
+        let local: Vec<u64> = ranks[lo..hi].iter().map(|&r| r - cum[j]).collect();
+        out.extend(pruned_select(ctx, std::slice::from_ref(&bucket), &local, opts)?);
+    }
+    Ok(out)
+}
+
+/// The most frequent key of the first block of the first nonempty
+/// segment — by construction of the fallback paths, a single value
+/// dominates the input, so this probe finds a pivot that guarantees
+/// progress (and any value present works for correctness).
+fn dominant_pivot_segs<T: Record>(ctx: &EmContext, segs: &[EmFile<T>]) -> Result<T::Key> {
+    let file = segs
+        .iter()
+        .find(|s| !s.is_empty())
+        .expect("dominated input is nonempty");
+    let mut probe = ctx.tracked_vec::<T>(file.block_capacity(), "dominant pivot probe");
+    file.read_block_into(0, &mut probe)?;
+    let mut keys: Vec<T::Key> = probe.iter().map(|r| r.key()).collect();
+    keys.sort_unstable();
+    let mut pivot = keys[0];
+    let mut best = 0usize;
+    let mut i = 0usize;
+    while i < keys.len() {
+        let mut j = i;
+        while j < keys.len() && keys[j] == keys[i] {
+            j += 1;
+        }
+        if j - i > best {
+            best = j - i;
+            pivot = keys[i];
+        }
+        i = j;
+    }
+    Ok(pivot)
+}
+
+/// Exact multi-selection on a single-value-dominated input: three-way
+/// split around the dominant key; ranks falling in the `equal` span all
+/// answer with an equal record, the two sides recurse (both strictly
+/// smaller, so this terminates).
+fn dominated_select<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    ranks: &[u64],
+    opts: &MsOptions,
+) -> Result<Vec<T>> {
+    let pivot = dominant_pivot_segs(ctx, segs)?;
+    let (less, equal, greater) =
+        crate::distribute::three_way_split_segs(ctx, segs, pivot)?;
+    let nl = less.len();
+    let ne = equal.len();
+    debug_assert!(ne >= 1, "pivot key must be present");
+    let eq_rec = {
+        let mut r = equal.reader();
+        r.next()?.expect("equal slab nonempty")
+    };
+    let split1 = ranks.partition_point(|&r| r <= nl);
+    let split2 = ranks.partition_point(|&r| r <= nl + ne);
+    let mut out = Vec::with_capacity(ranks.len());
+    if split1 > 0 {
+        out.extend(base_case(ctx, std::slice::from_ref(&less), &ranks[..split1], opts)?);
+    }
+    out.extend(std::iter::repeat(eq_rec).take(split2 - split1));
+    if split2 < ranks.len() {
+        let shifted: Vec<u64> = ranks[split2..].iter().map(|&r| r - nl - ne).collect();
+        out.extend(base_case(
+            ctx,
+            std::slice::from_ref(&greater),
+            &shifted,
+            opts,
+        )?);
+    }
+    Ok(out)
+}
+
+/// Pruned selection with an *external* rank list: `rank_file[lo..hi)` are
+/// the (sorted, distinct) global target ranks of this node, already offset
+/// by `offset` (i.e. local rank = stored rank − offset). Because ranks are
+/// sorted and buckets are ordered, each bucket receives a contiguous
+/// subrange of the rank file — recursion passes `(lo, hi, offset)` views,
+/// never materialising more than one block of ranks in memory.
+#[allow(clippy::too_many_arguments)]
+fn pruned_select_external<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    rank_file: &EmFile<u64>,
+    lo: u64,
+    hi: u64,
+    offset: u64,
+    opts: &MsOptions,
+    out: &mut Vec<T>,
+) -> Result<()> {
+    debug_assert!(lo < hi);
+    let k = hi - lo;
+    let n = segs_len(segs);
+    // Few enough ranks: load this node's rank range and use the in-memory
+    // rank machinery.
+    let mem_rank_cap = (ctx.config().mem_capacity() / 16).max(8) as u64;
+    if k <= mem_rank_cap {
+        let mut ranks = ctx.tracked_words::<u64>(k as usize, "external rank slice");
+        let mut r = rank_file.reader_at(lo);
+        for _ in 0..k {
+            let v = r.next()?.expect("rank range within file");
+            ranks.push(v - offset);
+        }
+        out.extend(base_case(ctx, segs, &ranks, opts)?);
+        return Ok(());
+    }
+    // Many ranks on a large input: one distribution level, then route the
+    // rank range to buckets by streaming it once.
+    debug_assert!(k <= n);
+    let f = max_deterministic_fanout_n::<T>(ctx, n)
+        .min(crate::distribute::max_distribution_fanout::<T>(ctx.config()))
+        .max(2);
+    let splitters = sample_splitters_segs(ctx, segs, f, opts.strategy)?;
+    let buckets = crate::distribute::distribute_segs(ctx, segs, &splitters)?;
+    drop(splitters);
+    if buckets.iter().any(|b| b.len() == n) {
+        // Duplicate-dominated: three-way split around the dominant key,
+        // splitting the external rank range at the slab boundaries.
+        drop(buckets);
+        let pivot = dominant_pivot_segs(ctx, segs)?;
+        let (less, equal, greater) =
+            crate::distribute::three_way_split_segs(ctx, segs, pivot)?;
+        let nl = less.len();
+        let ne = equal.len();
+        debug_assert!(ne >= 1);
+        let eq_rec = {
+            let mut r = equal.reader();
+            r.next()?.expect("equal slab nonempty")
+        };
+        // Find the rank-range split points by streaming the range once.
+        let (mut mid1, mut mid2) = (lo, lo);
+        {
+            let mut r = rank_file.reader_at(lo);
+            let mut cursor = lo;
+            while cursor < hi {
+                let v = r.next()?.expect("range within file") - offset;
+                if v <= nl {
+                    mid1 = cursor + 1;
+                }
+                if v <= nl + ne {
+                    mid2 = cursor + 1;
+                }
+                cursor += 1;
+            }
+        }
+        if mid1 > lo {
+            pruned_select_external(
+                ctx,
+                std::slice::from_ref(&less),
+                rank_file,
+                lo,
+                mid1,
+                offset,
+                opts,
+                out,
+            )?;
+        }
+        out.extend(std::iter::repeat(eq_rec).take((mid2 - mid1) as usize));
+        if mid2 < hi {
+            pruned_select_external(
+                ctx,
+                std::slice::from_ref(&greater),
+                rank_file,
+                mid2,
+                hi,
+                offset + nl + ne,
+                opts,
+                out,
+            )?;
+        }
+        return Ok(());
+    }
+    let mut cum = Vec::with_capacity(buckets.len() + 1);
+    cum.push(0u64);
+    for b in &buckets {
+        cum.push(cum.last().unwrap() + b.len());
+    }
+    // Split the rank range per bucket with one sequential pass (ranges are
+    // contiguous because both ranks and buckets are sorted), then recurse.
+    let mut ranges: Vec<(u64, u64, usize)> = Vec::new();
+    {
+        let mut r = rank_file.reader_at(lo);
+        let mut cursor = lo;
+        for j in 0..buckets.len() {
+            let upper = offset + cum[j + 1]; // global ranks ≤ upper fall in bucket j
+            let start = cursor;
+            while cursor < hi {
+                match r.peek()? {
+                    Some(v) if v <= upper => {
+                        r.next()?;
+                        cursor += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if cursor > start {
+                ranges.push((start, cursor, j));
+            }
+        }
+        debug_assert_eq!(cursor, hi, "every rank routed to a bucket");
+    }
+    for (start, end, j) in ranges {
+        pruned_select_external(
+            ctx,
+            std::slice::from_ref(&buckets[j]),
+            rank_file,
+            start,
+            end,
+            offset + cum[j],
+            opts,
+            out,
+        )?;
+    }
+    Ok(())
+}
+
+/// The element of 1-based rank `rank` of `input` in `O(N/B)` I/Os.
+pub fn select_rank<T: Record>(input: &EmFile<T>, rank: u64) -> Result<T> {
+    Ok(multi_select(input, &[rank])?[0])
+}
+
+/// The `(1/q)`-quantiles of `input`: the elements of ranks
+/// `round(i·N/q)` for `i = 1..q-1` (the bucket boundaries of a `q`-bucket
+/// equi-depth histogram).
+pub fn quantiles<T: Record>(input: &EmFile<T>, q: u64) -> Result<Vec<T>> {
+    let n = input.len();
+    if q < 1 {
+        return Err(EmError::config("quantile count must be ≥ 1"));
+    }
+    if q == 1 || n == 0 {
+        return Ok(Vec::new());
+    }
+    let ranks: Vec<u64> = (1..q).map(|i| ((i * n) / q).max(1)).collect();
+    multi_select(input, &ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, EmContext};
+
+    fn strict_ctx() -> EmContext {
+        EmContext::new_in_memory_strict(EmConfig::tiny())
+    }
+
+    fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..v.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    #[test]
+    fn in_memory_path() {
+        let c = strict_ctx();
+        let f = EmFile::from_slice(&c, &shuffled(60, 1)).unwrap();
+        let got = multi_select(&f, &[1, 30, 60]).unwrap();
+        assert_eq!(got, vec![0, 29, 59]);
+    }
+
+    #[test]
+    fn base_case_external_path() {
+        let c = strict_ctx();
+        let n = 5000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 2))).unwrap();
+        let ranks = vec![1, 1000, 2500, 4999, 5000];
+        let got = multi_select(&f, &ranks).unwrap();
+        let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn general_case_many_ranks() {
+        let c = strict_ctx();
+        let n = 20_000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 3))).unwrap();
+        // K far above the tiny config's base capacity
+        let k = 200u64;
+        let ranks: Vec<u64> = (1..=k).map(|i| i * (n / k)).collect();
+        let got = multi_select(&f, &ranks).unwrap();
+        let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_ranks() {
+        let c = strict_ctx();
+        let f = EmFile::from_slice(&c, &shuffled(1000, 4)).unwrap();
+        let ranks = vec![500, 1, 500, 999, 2];
+        let got = multi_select(&f, &ranks).unwrap();
+        assert_eq!(got, vec![499, 0, 499, 998, 1]);
+    }
+
+    #[test]
+    fn rank_out_of_range_rejected() {
+        let c = strict_ctx();
+        let f = EmFile::from_slice(&c, &[1u64, 2, 3]).unwrap();
+        assert!(multi_select(&f, &[0]).is_err());
+        assert!(multi_select(&f, &[4]).is_err());
+    }
+
+    #[test]
+    fn empty_ranks_ok() {
+        let c = strict_ctx();
+        let f = EmFile::from_slice(&c, &[1u64]).unwrap();
+        assert!(multi_select(&f, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_in_data() {
+        let c = strict_ctx();
+        let data: Vec<u64> = (0..3000u64).map(|i| i % 5).collect();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let ranks = vec![1, 600, 601, 1500, 3000];
+        let got = multi_select(&f, &ranks).unwrap();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn randomized_strategy_matches() {
+        let c = strict_ctx();
+        let n = 8000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 5))).unwrap();
+        let ranks: Vec<u64> = vec![7, 77, 777, 7777];
+        let got = multi_select_with(
+            &f,
+            &ranks,
+            MsOptions {
+                strategy: SplitterStrategy::Randomized { seed: 99 },
+                base_capacity_override: None,
+                base_case: MsBaseCase::default(),
+            },
+        )
+        .unwrap();
+        let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn select_rank_single() {
+        let c = strict_ctx();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(4000, 6))).unwrap();
+        assert_eq!(select_rank(&f, 2000).unwrap(), 1999);
+        assert_eq!(select_rank(&f, 1).unwrap(), 0);
+        assert_eq!(select_rank(&f, 4000).unwrap(), 3999);
+    }
+
+    #[test]
+    fn quantiles_equi_depth() {
+        let c = strict_ctx();
+        let n = 1000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 7))).unwrap();
+        let q = quantiles(&f, 4).unwrap();
+        assert_eq!(q, vec![249, 499, 749]);
+        assert!(quantiles(&f, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn small_base_capacity_override_still_correct() {
+        let c = strict_ctx();
+        let n = 6000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 8))).unwrap();
+        let ranks: Vec<u64> = (1..=30).map(|i| i * 200).collect();
+        let got = multi_select_with(
+            &f,
+            &ranks,
+            MsOptions {
+                strategy: SplitterStrategy::Deterministic,
+                base_capacity_override: Some(3),
+                base_case: MsBaseCase::default(),
+            },
+        )
+        .unwrap();
+        let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn external_rank_path_correct() {
+        // K far beyond the in-memory rank cap at the tiny config forces
+        // the external-rank pruned recursion.
+        let c = strict_ctx();
+        let n = 4000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 77))).unwrap();
+        let k = 500u64;
+        let ranks: Vec<u64> = (1..=k).map(|i| (i * n) / k).collect();
+        let got = multi_select(&f, &ranks).unwrap();
+        let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn external_rank_path_clustered_ranks() {
+        let c = strict_ctx();
+        let n = 4000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 78))).unwrap();
+        // 300 ranks all inside a narrow window.
+        let ranks: Vec<u64> = (0..300u64).map(|i| 1700 + i).collect();
+        let got = multi_select(&f, &ranks).unwrap();
+        let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn external_rank_path_duplicate_dominated() {
+        let c = strict_ctx();
+        let n = 4000u64;
+        let data: Vec<u64> = (0..n).map(|i| if i % 10 == 0 { i } else { 7 }).collect();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let k = 400u64;
+        let ranks: Vec<u64> = (1..=k).map(|i| (i * n) / k).collect();
+        let got = multi_select(&f, &ranks).unwrap();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn linear_io_for_small_k() {
+        // Theorem 4's headline: for K ≤ m the cost is O(N/B) — a bounded
+        // number of scans, NOT the sort bound.
+        let c = EmContext::new_in_memory(EmConfig::medium());
+        let n = 200_000u64;
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 9))).unwrap();
+        let before = c.stats().snapshot();
+        let ranks = vec![n / 4, n / 2, 3 * n / 4];
+        let _ = multi_select(&f, &ranks).unwrap();
+        let ios = c.stats().snapshot().since(&before).total_ios();
+        let scan = n.div_ceil(64);
+        assert!(
+            ios <= 30 * scan,
+            "multi-select of 3 ranks took {ios} I/Os = {:.1} scans",
+            ios as f64 / scan as f64
+        );
+    }
+}

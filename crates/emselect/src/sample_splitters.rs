@@ -1,0 +1,591 @@
+//! Approximate even splitters in linear I/Os.
+//!
+//! This is the workspace's stand-in for the Hu et al.\[6\] black box the
+//! paper invokes in §4.2: a routine that, given `S` of size `n`, returns
+//! `f − 1` splitters whose induced buckets all have size `O(n/f)`, in
+//! `O(n/B)` I/Os.
+//!
+//! Two strategies (compared in ablation experiment EX-A1):
+//!
+//! * **Deterministic** multi-level regular sampling: sort memory-loads,
+//!   keep every `ρ`-th element, recurse on the sample until it fits in
+//!   memory, then pick evenly. Rank error after `L` levels is at most
+//!   `ρ·L·n/C` (`C` = load capacity), so every bucket is within `n/f ±
+//!   2·ρ·L·n/C`; the guarantee `bucket ≤ 2n/f` holds whenever
+//!   `f ≤ fmax = C/(4·ρ·L)` — see [`max_deterministic_fanout`]. This makes
+//!   the deterministic base-case capacity of Theorem 4 `Θ(M/log(N/M))`
+//!   rather than `Θ(M)`; see DESIGN.md "substitutions".
+//! * **Randomized** reservoir sampling: one scan keeps a uniform sample of
+//!   `min(C/2, 16·f·ln n)` records; even picks from the sorted sample give
+//!   buckets `≤ 2n/f` w.h.p. for `f` up to `Θ(M)`.
+//!
+//! All entry points come in two flavours: over a single [`EmFile`] and
+//! over a *segment list* (`&[EmFile<T>]`, as produced by
+//! [`crate::Partition`]) — the latter avoids flattening partitions before
+//! scanning them.
+
+use emcore::{EmContext, EmError, EmFile, Record, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::partition_out::{segs_len, ChainReader};
+
+/// The per-level thinning factor of the deterministic strategy.
+pub const SAMPLE_RHO: usize = 4;
+
+/// How splitters are sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitterStrategy {
+    /// Multi-level regular sampling; worst-case bucket guarantee, smaller
+    /// maximum fan-out.
+    Deterministic,
+    /// Reservoir sampling with the given seed; `Θ(M)` fan-out with
+    /// high-probability bucket guarantee.
+    Randomized {
+        /// RNG seed (experiments are reproducible bit-for-bit).
+        seed: u64,
+    },
+}
+
+impl Default for SplitterStrategy {
+    fn default() -> Self {
+        SplitterStrategy::Deterministic
+    }
+}
+
+/// In-memory load capacity used by sampling. Reserves four block buffers:
+/// sampling's own reader and writer, plus up to two persistent buffers a
+/// caller (e.g. multi-partition's output sink) may hold across the call.
+fn load_capacity<T: Record>(ctx: &EmContext) -> usize {
+    let cfg = ctx.config();
+    ctx.mem_records::<T>()
+        .saturating_sub(4 * cfg.block_size())
+        .max(cfg.block_size())
+}
+
+/// Number of sampling levels the deterministic strategy needs for `n`
+/// records with load capacity `cap`.
+fn levels(n: u64, cap: usize) -> u32 {
+    let mut lv = 0u32;
+    let mut m = n;
+    while m > cap as u64 {
+        m /= SAMPLE_RHO as u64;
+        lv += 1;
+    }
+    lv.max(1)
+}
+
+/// Largest fan-out for which the deterministic strategy guarantees every
+/// bucket `≤ 2n/f`: `f ≤ C/(4·ρ·L)` where `L = ceil(log_ρ(n/C))`.
+pub fn max_deterministic_fanout<T: Record>(file: &EmFile<T>) -> usize {
+    max_deterministic_fanout_n::<T>(file.ctx(), file.len())
+}
+
+/// [`max_deterministic_fanout`] from an explicit input size.
+pub fn max_deterministic_fanout_n<T: Record>(ctx: &EmContext, n: u64) -> usize {
+    let cap = load_capacity::<T>(ctx);
+    if n <= cap as u64 {
+        // Everything fits in memory: splitters are exact, any fan-out works
+        // (bounded by the number of records).
+        return cap.max(2);
+    }
+    let lv = levels(n, cap) as usize;
+    (cap / (4 * SAMPLE_RHO * lv)).max(2)
+}
+
+/// Find `f − 1` splitters of `input` such that every induced bucket
+/// `(s_{j-1}, s_j]` has at most `≈ 2n/f` records (guaranteed for the
+/// deterministic strategy when `f ≤ max_deterministic_fanout`, w.h.p. for
+/// the randomized one). Costs `O(n/B)` I/Os. The splitters are returned in
+/// ascending key order as whole records.
+pub fn sample_splitters<T: Record>(
+    input: &EmFile<T>,
+    f: usize,
+    strategy: SplitterStrategy,
+) -> Result<Vec<T>> {
+    sample_splitters_segs(input.ctx(), std::slice::from_ref(input), f, strategy)
+}
+
+/// [`sample_splitters`] over a segment list.
+pub fn sample_splitters_segs<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    f: usize,
+    strategy: SplitterStrategy,
+) -> Result<Vec<T>> {
+    if f < 2 {
+        return Err(EmError::config(format!("fan-out must be ≥ 2, got {f}")));
+    }
+    if segs_len(segs) == 0 {
+        return Ok(Vec::new());
+    }
+    ctx.stats().begin_phase("sample-splitters");
+    let out = match strategy {
+        SplitterStrategy::Deterministic => deterministic(ctx, segs, f),
+        SplitterStrategy::Randomized { seed } => randomized(ctx, segs, f, seed),
+    };
+    ctx.stats().end_phase();
+    out
+}
+
+fn pick_even<T: Record>(sorted: &[T], f: usize) -> Vec<T> {
+    // Splitter i (1-based, i = 1..f-1) is the element of rank
+    // round(i·n/f) in the (sorted) sample.
+    let n = sorted.len();
+    let mut out = Vec::with_capacity(f - 1);
+    for i in 1..f {
+        let rank = ((i as u64 * n as u64) / f as u64).max(1);
+        out.push(sorted[(rank - 1) as usize]);
+    }
+    out
+}
+
+fn deterministic<T: Record>(ctx: &EmContext, segs: &[EmFile<T>], f: usize) -> Result<Vec<T>> {
+    let cap = load_capacity::<T>(ctx);
+
+    // Level 0 reads the borrowed segments; subsequent levels own their
+    // sample files.
+    let mut current: Option<EmFile<T>> = None;
+    loop {
+        let len = match &current {
+            None => segs_len(segs),
+            Some(fl) => fl.len(),
+        };
+        if len <= cap as u64 {
+            // Load, sort, pick evenly.
+            let mut buf = ctx.tracked_vec::<T>(len as usize, "splitter final sample");
+            match &current {
+                None => {
+                    let mut r = ChainReader::new(segs);
+                    while let Some(x) = r.next()? {
+                        buf.push(x);
+                    }
+                }
+                Some(fl) => {
+                    let mut r = fl.reader();
+                    while let Some(x) = r.next()? {
+                        buf.push(x);
+                    }
+                }
+            }
+            buf.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+            let f_eff = f.min(buf.len().max(2));
+            return Ok(pick_even(&buf, f_eff));
+        }
+        // One reduction level: sort chunks of `cap`, keep every ρ-th.
+        let mut load = ctx.tracked_vec::<T>(cap, "splitter sample chunk");
+        let mut w = ctx.writer::<T>();
+        {
+            let mut reduce = |next: &mut dyn FnMut() -> Result<Option<T>>| -> Result<()> {
+                loop {
+                    load.clear();
+                    while load.len() < cap {
+                        match next()? {
+                            Some(x) => load.push(x),
+                            None => break,
+                        }
+                    }
+                    if load.is_empty() {
+                        return Ok(());
+                    }
+                    load.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+                    let mut i = SAMPLE_RHO - 1;
+                    while i < load.len() {
+                        w.push(load[i])?;
+                        i += SAMPLE_RHO;
+                    }
+                    if load.len() < cap {
+                        return Ok(());
+                    }
+                }
+            };
+            match &current {
+                None => {
+                    let mut r = ChainReader::new(segs);
+                    reduce(&mut || r.next())?;
+                }
+                Some(fl) => {
+                    let mut r = fl.reader();
+                    reduce(&mut || r.next())?;
+                }
+            }
+        }
+        drop(load);
+        current = Some(w.finish()?);
+    }
+}
+
+fn randomized<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    f: usize,
+    seed: u64,
+) -> Result<Vec<T>> {
+    let n = segs_len(segs);
+    let cap = load_capacity::<T>(ctx);
+    let target = ((16.0 * f as f64 * (n.max(2) as f64).ln()) as usize)
+        .clamp(f, cap / 2)
+        .max(2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut reservoir = ctx.tracked_vec::<T>(target, "splitter reservoir");
+    let mut r = ChainReader::new(segs);
+    let mut seen = 0u64;
+    while let Some(x) = r.next()? {
+        seen += 1;
+        if reservoir.len() < target {
+            reservoir.push(x);
+        } else {
+            let j = rng.gen_range(0..seen);
+            if (j as usize) < target {
+                reservoir[j as usize] = x;
+            }
+        }
+    }
+    reservoir.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+    let f_eff = f.min(reservoir.len().max(2));
+    Ok(pick_even(&reservoir, f_eff))
+}
+
+/// Iterated-refinement deterministic splitters: two sampling rounds reach
+/// fan-outs far beyond [`max_deterministic_fanout`], up to `Θ(M)`.
+///
+/// Round 1 finds `f₀ − 1` splitters and distributes the input into `f₀`
+/// buckets (`≤ 2n/f₀` each); round 2 samples each bucket independently for
+/// `f₁ − 1` sub-splitters (`≤ 2·bucket/f₁` each), giving `f₀·f₁` buckets of
+/// size `≤ 4n/(f₀·f₁)`. Since each round's cap is `Θ(M/log(N/M))`, the
+/// product reaches `Θ((M/log)²) ≫ M` — in practice limited only by the
+/// memory needed to hold the splitters themselves (`≤ M/4` words here).
+///
+/// This is the workspace's closest realisation of the Hu et al.\[6\]
+/// `Θ(M)`-splitter black box (paper §4.2): it restores the base-case
+/// capacity `m = Θ(M)` of Theorem 4 for the intermixed engine, at the cost
+/// of one extra distribution pass (`+2` scans), keeping the total `O(n/B)`.
+pub fn refined_splitters<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    f_target: usize,
+) -> Result<Vec<T>> {
+    let n = segs_len(segs);
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // The refined splitter array must stay memory-resident for the caller:
+    // cap its footprint at M/4 words.
+    let store_cap = (ctx.config().mem_capacity() / (4 * T::WORDS)).max(4);
+    let f_target = f_target.clamp(2, store_cap);
+    let f0 = max_deterministic_fanout_n::<T>(ctx, n)
+        .min(crate::distribute::max_distribution_fanout::<T>(ctx.config()))
+        .max(2);
+    if f_target <= f0 {
+        return sample_splitters_segs(ctx, segs, f_target, SplitterStrategy::Deterministic);
+    }
+    ctx.stats().begin_phase("refined-splitters");
+    let round1 = sample_splitters_segs(ctx, segs, f0, SplitterStrategy::Deterministic)?;
+    let buckets = crate::distribute::distribute_segs(ctx, segs, &round1)?;
+    let f1 = f_target.div_ceil(f0).max(2);
+    let mut out = Vec::with_capacity(f0 * f1);
+    for (i, bucket) in buckets.iter().enumerate() {
+        if !bucket.is_empty() {
+            let f1_eff = f1.min(
+                max_deterministic_fanout_n::<T>(ctx, bucket.len())
+                    .max(2),
+            );
+            out.extend(sample_splitters_segs(
+                ctx,
+                std::slice::from_ref(bucket),
+                f1_eff,
+                SplitterStrategy::Deterministic,
+            )?);
+        }
+        if i + 1 < buckets.len() {
+            out.push(round1[i]);
+        }
+    }
+    // Sub-splitters are within-bucket ascending and buckets are ordered,
+    // but defensively enforce global order (ties across equal keys).
+    out.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+    ctx.stats().end_phase();
+    Ok(out)
+}
+
+/// Count the number of records of `input` falling into each of the `f`
+/// buckets `(-∞, s_1], (s_1, s_2], …, (s_{f-2}, s_{f-1}], (s_{f-1}, ∞)`
+/// induced by `splitters` (ascending). One scan; the splitter array is
+/// charged to memory for its duration.
+pub fn count_buckets<T: Record>(input: &EmFile<T>, splitters: &[T]) -> Result<Vec<u64>> {
+    count_buckets_segs(input.ctx(), std::slice::from_ref(input), splitters)
+}
+
+/// [`count_buckets`] over a segment list.
+pub fn count_buckets_segs<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    splitters: &[T],
+) -> Result<Vec<u64>> {
+    let _charge = ctx
+        .mem()
+        .charge(splitters.len() * T::WORDS, "bucket-count splitters");
+    let mut counts = vec![0u64; splitters.len() + 1];
+    let mut r = ChainReader::new(segs);
+    while let Some(x) = r.next()? {
+        counts[bucket_of(splitters, &x.key())] += 1;
+    }
+    Ok(counts)
+}
+
+/// The bucket index of `key` among ascending `splitters`: the number of
+/// splitters strictly smaller than `key` (so bucket `j` receives keys in
+/// `(s_{j-1}, s_j]`, matching the paper's partition convention).
+#[inline]
+pub fn bucket_of<T: Record>(splitters: &[T], key: &T::Key) -> usize {
+    splitters.partition_point(|s| s.key() < *key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, EmContext};
+
+    fn ctx() -> EmContext {
+        EmContext::new_in_memory_strict(EmConfig::tiny()) // M=256, B=16
+    }
+
+    fn shuffled(n: u64) -> Vec<u64> {
+        // Fixed-seed Fisher-Yates via LCG for determinism.
+        let mut v: Vec<u64> = (0..n).collect();
+        let mut s = 99u64;
+        for i in (1..v.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    fn check_buckets(input: &EmFile<u64>, splitters: &[u64], f: usize, slack: f64) {
+        let counts = count_buckets(input, splitters).unwrap();
+        assert_eq!(counts.len(), splitters.len() + 1);
+        let n = input.len() as f64;
+        let bound = slack * n / f as f64 + 1.0;
+        for (j, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) <= bound,
+                "bucket {j} has {c} records > bound {bound} (n={n}, f={f})"
+            );
+        }
+        assert_eq!(counts.iter().sum::<u64>(), input.len());
+    }
+
+    #[test]
+    fn bucket_of_convention() {
+        let sp: Vec<u64> = vec![10, 20, 30];
+        assert_eq!(bucket_of(&sp, &5), 0);
+        assert_eq!(bucket_of(&sp, &10), 0); // key ≤ s_1 → bucket 0
+        assert_eq!(bucket_of(&sp, &11), 1);
+        assert_eq!(bucket_of(&sp, &20), 1);
+        assert_eq!(bucket_of(&sp, &30), 2);
+        assert_eq!(bucket_of(&sp, &31), 3);
+    }
+
+    #[test]
+    fn deterministic_small_input_exact() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &shuffled(100)).unwrap();
+        let sp = sample_splitters(&f, 4, SplitterStrategy::Deterministic).unwrap();
+        assert_eq!(sp.len(), 3);
+        // exact quartiles of 0..100 ranks 25,50,75 → values 24,49,74
+        assert_eq!(sp, vec![24, 49, 74]);
+    }
+
+    #[test]
+    fn deterministic_large_input_bucket_guarantee() {
+        let c = ctx();
+        let n = 20_000u64;
+        let data = shuffled(n);
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let fmax = max_deterministic_fanout(&file);
+        assert!(fmax >= 2, "fmax = {fmax}");
+        let sp = sample_splitters(&file, fmax, SplitterStrategy::Deterministic).unwrap();
+        assert_eq!(sp.len(), fmax - 1);
+        check_buckets(&file, &sp, fmax, 2.0);
+    }
+
+    #[test]
+    fn deterministic_is_linear_io() {
+        let c = ctx();
+        let n = 40_000u64;
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let before = c.stats().snapshot();
+        let f = max_deterministic_fanout(&file);
+        let _ = sample_splitters(&file, f, SplitterStrategy::Deterministic).unwrap();
+        let ios = c.stats().snapshot().since(&before).total_ios();
+        let scan = n.div_ceil(16);
+        // reduction levels cost a geometric series: < 2 scans read + 1/3 write
+        assert!(
+            ios <= 3 * scan,
+            "sampling took {ios} I/Os, more than 3 scans ({scan} each)"
+        );
+    }
+
+    #[test]
+    fn randomized_bucket_guarantee() {
+        let c = ctx();
+        let n = 20_000u64;
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        for seed in [1u64, 7, 42] {
+            let f = 8;
+            let sp = sample_splitters(&file, f, SplitterStrategy::Randomized { seed }).unwrap();
+            assert_eq!(sp.len(), f - 1);
+            check_buckets(&file, &sp, f, 2.5);
+        }
+    }
+
+    #[test]
+    fn randomized_single_scan() {
+        let c = ctx();
+        let n = 10_000u64;
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let before = c.stats().snapshot();
+        let _ = sample_splitters(&file, 8, SplitterStrategy::Randomized { seed: 3 }).unwrap();
+        let d = c.stats().snapshot().since(&before);
+        assert_eq!(d.reads, n.div_ceil(16));
+        assert_eq!(d.writes, 0);
+    }
+
+    #[test]
+    fn sorted_input_splitters() {
+        let c = ctx();
+        let data: Vec<u64> = (0..5000).collect();
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let f = max_deterministic_fanout(&file);
+        let sp = sample_splitters(&file, f, SplitterStrategy::Deterministic).unwrap();
+        check_buckets(&file, &sp, f, 2.0);
+        // splitters ascending
+        assert!(sp.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn duplicate_heavy_input() {
+        let c = ctx();
+        let data: Vec<u64> = (0..5000u64).map(|i| i % 3).collect();
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        // No bucket guarantee possible with 3 distinct keys; just sanity.
+        let sp = sample_splitters(&file, 4, SplitterStrategy::Deterministic).unwrap();
+        assert_eq!(sp.len(), 3);
+        let counts = count_buckets(&file, &sp).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 5000);
+    }
+
+    #[test]
+    fn empty_input_no_splitters() {
+        let c = ctx();
+        let file = c.create_file::<u64>().unwrap();
+        let sp = sample_splitters(&file, 8, SplitterStrategy::Deterministic).unwrap();
+        assert!(sp.is_empty());
+    }
+
+    #[test]
+    fn fanout_below_two_rejected() {
+        let c = ctx();
+        let file = EmFile::from_slice(&c, &[1u64, 2]).unwrap();
+        assert!(sample_splitters(&file, 1, SplitterStrategy::Deterministic).is_err());
+    }
+
+    #[test]
+    fn fanout_larger_than_input() {
+        let c = ctx();
+        let file = EmFile::from_slice(&c, &[3u64, 1, 2]).unwrap();
+        let sp = sample_splitters(&file, 10, SplitterStrategy::Deterministic).unwrap();
+        // f clamps to n; still ascending and within data
+        assert!(!sp.is_empty());
+        assert!(sp.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn max_fanout_monotone_reasonable() {
+        let c = ctx();
+        let small = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(100))).unwrap();
+        let big = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(100_000))).unwrap();
+        assert!(max_deterministic_fanout(&small) >= max_deterministic_fanout(&big));
+        assert!(max_deterministic_fanout(&big) >= 2);
+    }
+
+    #[test]
+    fn refined_reaches_beyond_single_round_cap() {
+        let c = EmContext::new_in_memory(EmConfig::medium()); // M=4096, B=64
+        let n = 100_000u64;
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let f0 = max_deterministic_fanout(&file);
+        let target = 4 * f0;
+        let sp = refined_splitters(&c, std::slice::from_ref(&file), target).unwrap();
+        assert!(
+            sp.len() + 1 >= 2 * f0,
+            "refined fan-out {} should exceed single-round cap {f0}",
+            sp.len() + 1
+        );
+        assert!(sp.windows(2).all(|w| w[0] <= w[1]));
+        // Bucket guarantee ≤ 4n/f'.
+        let counts = count_buckets(&file, &sp).unwrap();
+        let f_eff = counts.len() as f64;
+        let bound = 4.0 * n as f64 / f_eff + 1.0;
+        for (j, &cnt) in counts.iter().enumerate() {
+            assert!(
+                (cnt as f64) <= bound,
+                "bucket {j}: {cnt} > {bound} (f' = {f_eff})"
+            );
+        }
+        assert_eq!(counts.iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn refined_is_linear_io() {
+        let c = EmContext::new_in_memory(EmConfig::medium());
+        let n = 100_000u64;
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let before = c.stats().snapshot();
+        let f0 = max_deterministic_fanout(&file);
+        let _ = refined_splitters(&c, std::slice::from_ref(&file), 8 * f0).unwrap();
+        let ios = c.stats().snapshot().since(&before).total_ios();
+        let scan = n.div_ceil(64);
+        // round-1 sampling (~1.7) + distribute (2) + per-bucket sampling (~1.7)
+        assert!(
+            ios <= 7 * scan,
+            "refined sampling took {ios} I/Os = {:.1} scans",
+            ios as f64 / scan as f64
+        );
+    }
+
+    #[test]
+    fn refined_small_target_delegates() {
+        let c = ctx();
+        let file = EmFile::from_slice(&c, &shuffled(100)).unwrap();
+        let sp = refined_splitters(&c, std::slice::from_ref(&file), 4).unwrap();
+        assert_eq!(sp, vec![24, 49, 74]);
+    }
+
+    #[test]
+    fn refined_empty_input() {
+        let c = ctx();
+        let file = c.create_file::<u64>().unwrap();
+        assert!(refined_splitters(&c, std::slice::from_ref(&file), 64)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn segmented_input_matches_single_file() {
+        let c = ctx();
+        let data = shuffled(3000);
+        let whole = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let seg_a = c.stats().paused(|| EmFile::from_slice(&c, &data[..1000])).unwrap();
+        let seg_b = c.stats().paused(|| EmFile::from_slice(&c, &data[1000..])).unwrap();
+        let segs = vec![seg_a, seg_b];
+        let sp1 = sample_splitters(&whole, 4, SplitterStrategy::Deterministic).unwrap();
+        let sp2 =
+            sample_splitters_segs(&c, &segs, 4, SplitterStrategy::Deterministic).unwrap();
+        assert_eq!(sp1, sp2, "segmentation must not change the sample");
+        let c1 = count_buckets(&whole, &sp1).unwrap();
+        let c2 = count_buckets_segs(&c, &segs, &sp1).unwrap();
+        assert_eq!(c1, c2);
+    }
+}

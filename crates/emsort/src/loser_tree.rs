@@ -1,0 +1,257 @@
+//! Tournament (loser) tree for multiway merging.
+//!
+//! The classical structure: `k` input streams, a complete binary tree whose
+//! internal nodes remember the *loser* of each match and whose root path
+//! replay costs `O(lg k)` comparisons per extracted record. Ties are broken
+//! by stream index, making the merge deterministic and stable across runs.
+
+use emcore::{EmError, Reader, Record, Result, TrackedVec};
+
+/// A pull-based source of records, the input of a [`LoserTree`].
+pub trait Source<T: Record> {
+    /// Produce the next record, or `None` when exhausted.
+    fn pull(&mut self) -> Result<Option<T>>;
+}
+
+impl<T: Record> Source<T> for Reader<'_, T> {
+    fn pull(&mut self) -> Result<Option<T>> {
+        self.next()
+    }
+}
+
+/// A source over an in-memory slice (used for tests and for merging
+/// memory-resident runs).
+pub struct SliceSource<'a, T> {
+    data: &'a [T],
+    pos: usize,
+}
+
+impl<'a, T> SliceSource<'a, T> {
+    /// Wrap a slice as a source.
+    pub fn new(data: &'a [T]) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl<T: Record> Source<T> for SliceSource<'_, T> {
+    fn pull(&mut self) -> Result<Option<T>> {
+        if self.pos < self.data.len() {
+            self.pos += 1;
+            Ok(Some(self.data[self.pos - 1]))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Loser tree over `k` sources. Yields records in nondecreasing key order,
+/// assuming every source is itself key-sorted.
+///
+/// Bookkeeping memory (`3k` words: heads are records but we charge their
+/// word width) is metered against the context if constructed via
+/// [`LoserTree::with_tracking`].
+pub struct LoserTree<T: Record, S: Source<T>> {
+    sources: Vec<S>,
+    heads: Vec<Option<T>>,
+    /// `tree[n]` = stream index of the loser stored at internal node `n`.
+    tree: Vec<usize>,
+    winner: usize,
+    remaining_sources: usize,
+    _charge: Option<emcore::MemCharge>,
+    _tracked: Option<TrackedVec<u8>>,
+}
+
+impl<T: Record, S: Source<T>> LoserTree<T, S> {
+    /// Build the tree, pulling the first record of every source.
+    pub fn new(sources: Vec<S>) -> Result<Self> {
+        Self::build(sources, None)
+    }
+
+    /// Build the tree, charging its `O(k)` bookkeeping words to `mem`.
+    pub fn with_tracking(sources: Vec<S>, mem: &emcore::MemoryTracker) -> Result<Self> {
+        let k = sources.len();
+        let charge = mem.charge(k * (T::WORDS + 2), "loser tree state");
+        Self::build(sources, Some(charge))
+    }
+
+    fn build(mut sources: Vec<S>, charge: Option<emcore::MemCharge>) -> Result<Self> {
+        let k = sources.len();
+        if k == 0 {
+            return Err(EmError::config("loser tree needs at least one source"));
+        }
+        let mut heads = Vec::with_capacity(k);
+        let mut remaining = 0usize;
+        for s in sources.iter_mut() {
+            let h = s.pull()?;
+            if h.is_some() {
+                remaining += 1;
+            }
+            heads.push(h);
+        }
+        // Compute initial winners bottom-up over a conceptual complete tree
+        // with leaves at positions k..2k-1; internal node n has children
+        // 2n and 2n+1.
+        let mut winners = vec![0usize; 2 * k];
+        for (i, w) in winners.iter_mut().enumerate().skip(k) {
+            *w = i - k;
+        }
+        let mut tree = vec![0usize; k.max(1)];
+        for n in (1..k).rev() {
+            let a = winners[2 * n];
+            let b = winners[2 * n + 1];
+            let (w, l) = if Self::beats(&heads, a, b) { (a, b) } else { (b, a) };
+            winners[n] = w;
+            tree[n] = l;
+        }
+        let winner = winners[1.min(2 * k - 1)];
+        Ok(Self {
+            sources,
+            heads,
+            tree,
+            winner,
+            remaining_sources: remaining,
+            _charge: charge,
+            _tracked: None,
+        })
+    }
+
+    /// Does stream `a`'s head beat (sort before) stream `b`'s head?
+    /// Exhausted streams lose to everything; ties break by stream index.
+    #[inline]
+    fn beats(heads: &[Option<T>], a: usize, b: usize) -> bool {
+        match (&heads[a], &heads[b]) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(x), Some(y)) => (x.key(), a) < (y.key(), b),
+        }
+    }
+
+    /// Extract the smallest head record, refilling from its source.
+    pub fn pop(&mut self) -> Result<Option<T>> {
+        if self.remaining_sources == 0 {
+            return Ok(None);
+        }
+        let w = self.winner;
+        let out = match self.heads[w].take() {
+            Some(r) => r,
+            None => return Ok(None),
+        };
+        let refill = self.sources[w].pull()?;
+        if refill.is_none() {
+            self.remaining_sources -= 1;
+        }
+        self.heads[w] = refill;
+        // Replay the path from leaf w to the root.
+        let k = self.sources.len();
+        let mut cur = w;
+        let mut n = (k + w) / 2;
+        while n >= 1 {
+            let stored = self.tree[n];
+            if Self::beats(&self.heads, stored, cur) {
+                self.tree[n] = cur;
+                cur = stored;
+            }
+            n /= 2;
+        }
+        self.winner = cur;
+        Ok(Some(out))
+    }
+
+    /// Number of sources not yet exhausted.
+    pub fn live_sources(&self) -> usize {
+        self.remaining_sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut lt: LoserTree<u64, SliceSource<'_, u64>>) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(x) = lt.pop().unwrap() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn merges_two_sorted_streams() {
+        let a = vec![1u64, 3, 5, 7];
+        let b = vec![2u64, 4, 6, 8];
+        let lt = LoserTree::new(vec![SliceSource::new(&a), SliceSource::new(&b)]).unwrap();
+        assert_eq!(drain(lt), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn merges_single_stream() {
+        let a = vec![5u64, 6, 7];
+        let lt = LoserTree::new(vec![SliceSource::new(&a)]).unwrap();
+        assert_eq!(drain(lt), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn merges_many_uneven_streams() {
+        let streams: Vec<Vec<u64>> = vec![
+            vec![10, 20, 30],
+            vec![],
+            vec![5],
+            vec![1, 2, 3, 4, 100],
+            vec![15, 25],
+            vec![],
+        ];
+        let sources: Vec<_> = streams.iter().map(|s| SliceSource::new(&s[..])).collect();
+        let lt = LoserTree::new(sources).unwrap();
+        let got = drain(lt);
+        let mut want: Vec<u64> = streams.concat();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn handles_duplicates_deterministically() {
+        let a = vec![1u64, 1, 1];
+        let b = vec![1u64, 1];
+        let lt = LoserTree::new(vec![SliceSource::new(&a), SliceSource::new(&b)]).unwrap();
+        assert_eq!(drain(lt), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn all_empty_streams() {
+        let a: Vec<u64> = vec![];
+        let b: Vec<u64> = vec![];
+        let lt = LoserTree::new(vec![SliceSource::new(&a), SliceSource::new(&b)]).unwrap();
+        assert!(drain(lt).is_empty());
+    }
+
+    #[test]
+    fn zero_streams_rejected() {
+        let r = LoserTree::<u64, SliceSource<'_, u64>>::new(vec![]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_widths() {
+        for k in 1..=9usize {
+            let streams: Vec<Vec<u64>> = (0..k)
+                .map(|i| (0..5).map(|j| (j * k + i) as u64).collect())
+                .collect();
+            let sources: Vec<_> = streams.iter().map(|s| SliceSource::new(&s[..])).collect();
+            let lt = LoserTree::new(sources).unwrap();
+            let got = drain(lt);
+            let want: Vec<u64> = (0..5 * k as u64).collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn tracking_charges_memory() {
+        let mem = emcore::MemoryTracker::new(1000, true);
+        let a = vec![1u64];
+        let lt =
+            LoserTree::with_tracking(vec![SliceSource::new(&a)], &mem).unwrap();
+        assert!(mem.current() > 0);
+        drop(lt);
+        assert_eq!(mem.current(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Multiway merging of sorted runs.
+
+use emcore::{EmConfig, EmContext, EmFile, Record, Result};
+
+use crate::loser_tree::LoserTree;
+
+/// Largest merge fan-in that fits the memory budget for record type `T`:
+/// `k` reader block buffers + one writer block buffer + `O(k)` loser-tree
+/// state must total at most `M` words.
+pub fn max_merge_fan_in<T: Record>(config: EmConfig) -> usize {
+    let block_words = config.block_size() * T::WORDS;
+    let per_stream = block_words + T::WORDS + 2; // reader buffer + tree slot
+    ((config.mem_capacity().saturating_sub(block_words)) / per_stream).max(2)
+}
+
+/// Merge up to `fan_in` sorted runs into one sorted file using a loser
+/// tree. Memory: one block buffer per input run + one output buffer +
+/// `O(k)` tree state — within `M` for `k ≤ M/B − 2`.
+pub fn merge_once<T: Record>(ctx: &EmContext, runs: &[EmFile<T>]) -> Result<EmFile<T>> {
+    let readers: Vec<_> = runs.iter().map(|r| r.reader()).collect();
+    let mut tree = LoserTree::with_tracking(readers, ctx.mem())?;
+    let mut w = ctx.writer::<T>();
+    while let Some(x) = tree.pop()? {
+        w.push(x)?;
+    }
+    w.finish()
+}
+
+/// Merge an arbitrary number of sorted runs into a single sorted file by
+/// repeated `fan_in`-way passes.
+///
+/// Each pass reads and writes every record once (`2·ceil(N/B)` I/Os), and
+/// `ceil(log_{fan_in}(#runs))` passes are needed — the classical
+/// `O((N/B)·lg_{M/B}(N/B))` sort bound when runs come from run formation.
+pub fn merge_runs<T: Record>(ctx: &EmContext, mut runs: Vec<EmFile<T>>) -> Result<EmFile<T>> {
+    merge_runs_with_fan_in(ctx, &mut runs, max_merge_fan_in::<T>(ctx.config()))
+}
+
+/// [`merge_runs`] with an explicit fan-in (exposed for the fan-in ablation
+/// experiment EX-A2). `fan_in` is clamped to `[2, M/B − 2]`.
+pub fn merge_runs_with_fan_in<T: Record>(
+    ctx: &EmContext,
+    runs: &mut Vec<EmFile<T>>,
+    fan_in: usize,
+) -> Result<EmFile<T>> {
+    let fan_in = fan_in.clamp(2, max_merge_fan_in::<T>(ctx.config()));
+    if runs.is_empty() {
+        return ctx.create_file::<T>();
+    }
+    while runs.len() > 1 {
+        let mut next: Vec<EmFile<T>> = Vec::with_capacity(runs.len().div_ceil(fan_in));
+        let mut group: Vec<EmFile<T>> = Vec::with_capacity(fan_in);
+        for r in runs.drain(..) {
+            group.push(r);
+            if group.len() == fan_in {
+                next.push(merge_once(ctx, &group)?);
+                group.clear();
+            }
+        }
+        match group.len() {
+            0 => {}
+            // A lone leftover run moves to the next pass unmerged — merging
+            // it alone would copy every block for nothing.
+            1 => next.push(group.pop().expect("len checked")),
+            _ => next.push(merge_once(ctx, &group)?),
+        }
+        *runs = next;
+    }
+    Ok(runs.pop().expect("at least one run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::EmConfig;
+
+    fn ctx() -> EmContext {
+        EmContext::new_in_memory_strict(EmConfig::tiny()) // M=256, B=16, fan_in=14
+    }
+
+    fn run_of(ctx: &EmContext, data: &[u64]) -> EmFile<u64> {
+        let mut v = data.to_vec();
+        v.sort_unstable();
+        EmFile::from_slice(ctx, &v).unwrap()
+    }
+
+    #[test]
+    fn merge_once_two_runs() {
+        let c = ctx();
+        let a = run_of(&c, &[1, 3, 5]);
+        let b = run_of(&c, &[2, 4, 6]);
+        let m = merge_once(&c, &[a, b]).unwrap();
+        assert_eq!(m.to_vec().unwrap(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_runs_many_passes() {
+        let c = ctx();
+        // 30 runs with fan-in 14 → 2 passes (30 → 3 → 1)
+        let runs: Vec<EmFile<u64>> = (0..30)
+            .map(|i| run_of(&c, &(0..20).map(|j| (j * 30 + i) as u64).collect::<Vec<_>>()))
+            .collect();
+        let m = merge_runs(&c, runs).unwrap();
+        assert_eq!(m.len(), 600);
+        assert!(crate::is_sorted(&m).unwrap());
+        assert_eq!(m.to_vec().unwrap(), (0..600u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_empty_run_list() {
+        let c = ctx();
+        let m = merge_runs::<u64>(&c, vec![]).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merge_single_run_is_identity() {
+        let c = ctx();
+        let a = run_of(&c, &[4, 2, 9]);
+        let m = merge_runs(&c, vec![a]).unwrap();
+        assert_eq!(m.to_vec().unwrap(), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn small_fan_in_more_passes_more_io() {
+        let c1 = ctx();
+        let c2 = ctx();
+        let mk = |c: &EmContext| -> Vec<EmFile<u64>> {
+            (0..16)
+                .map(|i| run_of(c, &(0..16).map(|j| (j * 16 + i) as u64).collect::<Vec<_>>()))
+                .collect()
+        };
+        let mut r1 = mk(&c1);
+        let mut r2 = mk(&c2);
+        let s1 = c1.stats().snapshot();
+        let s2 = c2.stats().snapshot();
+        let m1 = merge_runs_with_fan_in(&c1, &mut r1, 2).unwrap(); // 4 passes
+        let m2 = merge_runs_with_fan_in(&c2, &mut r2, 14).unwrap(); // 2 passes
+        assert_eq!(m1.to_vec().unwrap(), m2.to_vec().unwrap());
+        let io1 = c1.stats().snapshot().since(&s1).total_ios();
+        let io2 = c2.stats().snapshot().since(&s2).total_ios();
+        assert!(io1 > io2, "fan-in 2 ({io1} I/Os) should cost more than fan-in 14 ({io2})");
+    }
+}

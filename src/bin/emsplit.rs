@@ -1,0 +1,291 @@
+//! `emsplit` — a command-line front end for the library.
+//!
+//! Operates on flat binary files of little-endian `u64` keys (8 bytes per
+//! record), the native encoding of `emcore`'s file backend.
+//!
+//! ```text
+//! emsplit gen <file> <n> [--workload uniform|sorted|reversed|zipf] [--seed S]
+//! emsplit splitters <file> --k K [--min a] [--max b] [--stats]
+//! emsplit partition <file> <out-dir> --k K [--min a] [--max b] [--stats]
+//! emsplit quantiles <file> --q Q [--stats]
+//! emsplit sort <file> <out-file> [--stats]
+//! emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...
+//! ```
+//!
+//! `--mem M` and `--block B` set the machine geometry (defaults 65536/1024
+//! records — a more disk-like shape than the simulator defaults).
+
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use em_splitters::prelude::*;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::BTreeMap<String, String>,
+    trailing: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut trailing = Vec::new();
+    let mut it = std::env::args().skip(1).peekable();
+    let mut in_trailing = false;
+    while let Some(a) = it.next() {
+        if in_trailing {
+            trailing.push(a);
+        } else if a == "--" {
+            in_trailing = true;
+        } else if let Some(name) = a.strip_prefix("--") {
+            let val = if it.peek().map_or(false, |v| !v.starts_with("--")) {
+                it.next().unwrap_or_default()
+            } else {
+                "true".to_string()
+            };
+            flags.insert(name.to_string(), val);
+        } else {
+            positional.push(a);
+        }
+    }
+    Args {
+        positional,
+        flags,
+        trailing,
+    }
+}
+
+impl Args {
+    fn flag_u64(&self, name: &str, default: u64) -> u64 {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name} expects a number"))))
+            .unwrap_or(default)
+    }
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("emsplit: {msg}");
+    eprintln!("run `emsplit help` for usage");
+    std::process::exit(2)
+}
+
+fn read_keys(path: &Path) -> Vec<u64> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+    if bytes.len() % 8 != 0 {
+        die(&format!(
+            "{} is not a u64 file (length {} not a multiple of 8)",
+            path.display(),
+            bytes.len()
+        ));
+    }
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+fn write_keys(path: &Path, keys: &[u64]) {
+    let mut out = Vec::with_capacity(keys.len() * 8);
+    for k in keys {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+    std::fs::write(path, out)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+}
+
+fn machine(args: &Args) -> EmContext {
+    let m = args.flag_u64("mem", 65536) as usize;
+    let b = args.flag_u64("block", 1024) as usize;
+    let cfg = EmConfig::new(m, b).unwrap_or_else(|e| die(&format!("bad geometry: {e}")));
+    EmContext::new_in_memory(cfg)
+}
+
+fn load(ctx: &EmContext, path: &Path) -> EmFile<u64> {
+    let keys = read_keys(path);
+    ctx.stats()
+        .paused(|| EmFile::from_slice(ctx, &keys))
+        .unwrap_or_else(|e| die(&format!("load failed: {e}")))
+}
+
+fn spec_from(args: &Args, n: u64) -> ProblemSpec {
+    let k = args.flag_u64("k", 0);
+    if k == 0 {
+        die("--k is required");
+    }
+    let a = args.flag_u64("min", 0);
+    let b = args.flag_u64("max", n);
+    ProblemSpec::new(n, k, a, b).unwrap_or_else(|e| die(&format!("infeasible spec: {e}")))
+}
+
+fn print_stats(ctx: &EmContext) {
+    let c = ctx.stats().snapshot();
+    eprintln!(
+        "[stats] {} I/Os ({} reads, {} writes); peak memory {} / {} words",
+        c.total_ios(),
+        c.reads,
+        c.writes,
+        ctx.mem().peak(),
+        ctx.mem().capacity()
+    );
+    for (phase, pc) in ctx.stats().phase_totals() {
+        eprintln!("[stats]   {phase:<28} {:>8} I/Os", pc.total_ios());
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cmd = args.positional.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "gen" => {
+            let path = PathBuf::from(
+                args.positional.get(1).unwrap_or_else(|| die("gen needs <file>")),
+            );
+            let n = args
+                .positional
+                .get(2)
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| die("gen needs <n>"));
+            let seed = args.flag_u64("seed", 42);
+            let wl = match args.flags.get("workload").map(String::as_str) {
+                None | Some("uniform") => Workload::UniformPerm,
+                Some("sorted") => Workload::Sorted,
+                Some("reversed") => Workload::Reversed,
+                Some("zipf") => Workload::ZipfLike { values: n.max(2) / 10, s: 1.1 },
+                Some(other) => die(&format!("unknown workload {other}")),
+            };
+            let keys = generate(wl, n, seed);
+            write_keys(&path, &keys);
+            eprintln!("wrote {n} records to {}", path.display());
+        }
+        "splitters" => {
+            let path = PathBuf::from(
+                args.positional.get(1).unwrap_or_else(|| die("splitters needs <file>")),
+            );
+            let ctx = machine(&args);
+            let file = load(&ctx, &path);
+            let spec = spec_from(&args, file.len());
+            let sp = approx_splitters(&file, &spec)
+                .unwrap_or_else(|e| die(&format!("splitters failed: {e}")));
+            let mut out = std::io::stdout().lock();
+            for s in &sp {
+                writeln!(out, "{s}").expect("stdout");
+            }
+            if args.has("stats") {
+                print_stats(&ctx);
+            }
+        }
+        "partition" => {
+            let path = PathBuf::from(
+                args.positional.get(1).unwrap_or_else(|| die("partition needs <file>")),
+            );
+            let out_dir = PathBuf::from(
+                args.positional.get(2).unwrap_or_else(|| die("partition needs <out-dir>")),
+            );
+            std::fs::create_dir_all(&out_dir)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", out_dir.display())));
+            let ctx = machine(&args);
+            let file = load(&ctx, &path);
+            let spec = spec_from(&args, file.len());
+            let parts = approx_partitioning(&file, &spec)
+                .unwrap_or_else(|e| die(&format!("partitioning failed: {e}")));
+            for (i, p) in parts.iter().enumerate() {
+                let keys = ctx
+                    .stats()
+                    .paused(|| p.to_vec())
+                    .unwrap_or_else(|e| die(&format!("read-back failed: {e}")));
+                write_keys(&out_dir.join(format!("part-{i:04}.bin")), &keys);
+            }
+            eprintln!("wrote {} partitions to {}", parts.len(), out_dir.display());
+            if args.has("stats") {
+                print_stats(&ctx);
+            }
+        }
+        "quantiles" => {
+            let path = PathBuf::from(
+                args.positional.get(1).unwrap_or_else(|| die("quantiles needs <file>")),
+            );
+            let q = args.flag_u64("q", 0);
+            if q < 2 {
+                die("--q must be at least 2");
+            }
+            let ctx = machine(&args);
+            let file = load(&ctx, &path);
+            let qs = quantiles(&file, q).unwrap_or_else(|e| die(&format!("quantiles failed: {e}")));
+            let mut out = std::io::stdout().lock();
+            for s in &qs {
+                writeln!(out, "{s}").expect("stdout");
+            }
+            if args.has("stats") {
+                print_stats(&ctx);
+            }
+        }
+        "sort" => {
+            let path = PathBuf::from(
+                args.positional.get(1).unwrap_or_else(|| die("sort needs <file>")),
+            );
+            let out_path = PathBuf::from(
+                args.positional.get(2).unwrap_or_else(|| die("sort needs <out-file>")),
+            );
+            let ctx = machine(&args);
+            let file = load(&ctx, &path);
+            let sorted = external_sort(&file).unwrap_or_else(|e| die(&format!("sort failed: {e}")));
+            let keys = ctx
+                .stats()
+                .paused(|| sorted.to_vec())
+                .unwrap_or_else(|e| die(&format!("read-back failed: {e}")));
+            write_keys(&out_path, &keys);
+            eprintln!("sorted {} records into {}", keys.len(), out_path.display());
+            if args.has("stats") {
+                print_stats(&ctx);
+            }
+        }
+        "verify" => {
+            let path = PathBuf::from(
+                args.positional.get(1).unwrap_or_else(|| die("verify needs <file>")),
+            );
+            let ctx = machine(&args);
+            let file = load(&ctx, &path);
+            let spec = spec_from(&args, file.len());
+            let splitters: Vec<u64> = args
+                .trailing
+                .iter()
+                .map(|s| s.parse().unwrap_or_else(|_| die("splitters must be u64 keys")))
+                .collect();
+            let mut sp = splitters;
+            sp.sort_unstable();
+            let rep = verify_splitters(&file, &sp, &spec)
+                .unwrap_or_else(|e| die(&format!("verify failed: {e}")));
+            if rep.ok {
+                eprintln!("OK: all {} partition sizes within [{}, {}]", rep.sizes.len(), spec.a, spec.b);
+            } else {
+                eprintln!("INVALID: sizes {:?}, violations at {:?}", rep.sizes, rep.violations);
+                return ExitCode::FAILURE;
+            }
+        }
+        _ => {
+            eprintln!(
+                "emsplit — approximate partitions and splitters in external memory\n\
+                 \n\
+                 usage:\n\
+                 \x20 emsplit gen <file> <n> [--workload uniform|sorted|reversed|zipf] [--seed S]\n\
+                 \x20 emsplit splitters <file> --k K [--min a] [--max b] [--stats]\n\
+                 \x20 emsplit partition <file> <out-dir> --k K [--min a] [--max b] [--stats]\n\
+                 \x20 emsplit quantiles <file> --q Q [--stats]\n\
+                 \x20 emsplit sort <file> <out-file> [--stats]\n\
+                 \x20 emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...\n\
+                 \n\
+                 common flags: --mem M --block B   (machine geometry, records)\n\
+                 files are flat little-endian u64 arrays (8 bytes per record)"
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,69 @@
+//! # em-splitters
+//!
+//! A reproduction of **"Finding Approximate Partitions and Splitters in
+//! External Memory"** (Hu, Tao, Yang, Zhou; SPAA 2014) as a Rust
+//! workspace: the external-memory model as a measurable runtime, the full
+//! algorithm stack (external sorting, L-intermixed selection, I/O-optimal
+//! multi-selection, multi-partition), the paper's approximate K-splitters
+//! and K-partitioning algorithms, baselines, verifiers, workload
+//! generators, and a benchmark harness regenerating the paper's Table 1.
+//!
+//! This umbrella crate re-exports the workspace's public surface:
+//!
+//! * [`emcore`] — the EM-model runtime: [`emcore::EmContext`],
+//!   [`emcore::EmFile`], I/O stats, memory metering.
+//! * [`emsort`] — external merge sort (the paper's §1.2 baseline).
+//! * [`emselect`] — the selection stack: [`emselect::multi_select`]
+//!   (Theorem 4), [`emselect::intermixed_select`] (§4.1),
+//!   [`emselect::multi_partition`] (Aggarwal–Vitter).
+//! * [`apsplit`] — the headline algorithms: [`apsplit::approx_splitters`]
+//!   (Theorem 5) and [`apsplit::approx_partitioning`] (Theorem 6).
+//! * [`workloads`] — seeded input generators, including the paper's hard
+//!   permutation family `Π_hard`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use em_splitters::prelude::*;
+//!
+//! // An external-memory "machine" with M = 4096 records of memory and
+//! // blocks of B = 64 records.
+//! let ctx = EmContext::new_in_memory(EmConfig::medium());
+//!
+//! // 100k records on its disk.
+//! let data: Vec<u64> = (0..100_000).rev().collect();
+//! let file = EmFile::from_slice(&ctx, &data).unwrap();
+//! ctx.stats().reset();
+//!
+//! // Split into 16 ranges of between 4 and 100_000 records each — a
+//! // right-grounded instance, solvable in sublinear I/O.
+//! let spec = ProblemSpec::new(100_000, 16, 4, 100_000).unwrap();
+//! let splitters = approx_splitters(&file, &spec).unwrap();
+//!
+//! // Far fewer I/Os than even one scan of the input:
+//! assert!(ctx.stats().snapshot().total_ios() < 100_000 / 64 / 10);
+//!
+//! // The verification scan (not part of the algorithm) confirms validity.
+//! let report = verify_splitters(&file, &splitters, &spec).unwrap();
+//! assert!(report.ok);
+//! ```
+
+pub use apsplit;
+pub use emcore;
+pub use emselect;
+pub use emsort;
+pub use workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use apsplit::{
+        approx_partitioning, approx_splitters, balanced_loads, equi_depth_histogram,
+        median, precise_partitioning, precise_via_approx, sort_based_partitioning, top_k,
+        sort_based_splitters, verify_multiselect, verify_partitioning, verify_splitters,
+        Groundedness, ProblemSpec,
+    };
+    pub use emcore::{EmConfig, EmContext, EmError, EmFile, Record, Result};
+    pub use emselect::{multi_select, quantiles, select_rank, Partition};
+    pub use emsort::external_sort;
+    pub use workloads::{generate, materialize, Workload};
+}

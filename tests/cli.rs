@@ -1,0 +1,125 @@
+//! End-to-end tests of the `emsplit` command-line tool: generate data,
+//! compute splitters/quantiles, verify, sort — through the real binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_emsplit")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("emsplit-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin()).args(args).output().expect("spawn emsplit");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn gen_splitters_verify_roundtrip() {
+    let data = tmp("a.bin");
+    let data_s = data.to_str().unwrap();
+    let (_, err, ok) = run(&["gen", data_s, "50000", "--workload", "uniform", "--seed", "3"]);
+    assert!(ok, "{err}");
+    assert_eq!(std::fs::metadata(&data).unwrap().len(), 50_000 * 8);
+
+    let (out, err, ok) = run(&["splitters", data_s, "--k", "8", "--min", "4", "--stats"]);
+    assert!(ok, "{err}");
+    let splitters: Vec<&str> = out.lines().collect();
+    assert_eq!(splitters.len(), 7);
+    assert!(err.contains("[stats]"), "stats requested: {err}");
+
+    let mut args = vec!["verify", data_s, "--k", "8", "--min", "4", "--"];
+    args.extend(splitters.iter());
+    let (_, err, ok) = run(&args);
+    assert!(ok, "verification failed: {err}");
+    assert!(err.contains("OK"));
+}
+
+#[test]
+fn verify_rejects_bad_splitters() {
+    let data = tmp("b.bin");
+    let data_s = data.to_str().unwrap();
+    run(&["gen", data_s, "10000", "--seed", "4"]);
+    // Splitters clustered at the bottom: some partition must be tiny.
+    let (_, err, ok) = run(&[
+        "verify", data_s, "--k", "4", "--min", "100", "--", "1", "2", "3",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("INVALID"), "{err}");
+}
+
+#[test]
+fn quantiles_match_sorted_file() {
+    let data = tmp("c.bin");
+    let sorted = tmp("c-sorted.bin");
+    let data_s = data.to_str().unwrap();
+    run(&["gen", data_s, "20000", "--seed", "5"]);
+    let (out, err, ok) = run(&["quantiles", data_s, "--q", "4"]);
+    assert!(ok, "{err}");
+    let got: Vec<u64> = out.lines().map(|l| l.parse().unwrap()).collect();
+    assert_eq!(got.len(), 3);
+
+    let (_, err, ok) = run(&["sort", data_s, sorted.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    let bytes = std::fs::read(&sorted).unwrap();
+    let keys: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    for (i, &q) in got.iter().enumerate() {
+        let rank = ((i as u64 + 1) * 20_000) / 4;
+        assert_eq!(q, keys[(rank - 1) as usize]);
+    }
+}
+
+#[test]
+fn partition_writes_ordered_shards() {
+    let data = tmp("d.bin");
+    let outdir = tmp("parts");
+    run(&["gen", data.to_str().unwrap(), "10000", "--seed", "6"]);
+    let (_, err, ok) = run(&[
+        "partition",
+        data.to_str().unwrap(),
+        outdir.to_str().unwrap(),
+        "--k",
+        "5",
+        "--min",
+        "1000",
+    ]);
+    assert!(ok, "{err}");
+    let mut prev_max = 0u64;
+    let mut total = 0usize;
+    for i in 0..5 {
+        let bytes = std::fs::read(outdir.join(format!("part-{i:04}.bin"))).unwrap();
+        let keys: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert!(keys.len() >= 1000, "shard {i} too small");
+        let mn = *keys.iter().min().unwrap();
+        assert!(mn >= prev_max);
+        prev_max = *keys.iter().max().unwrap();
+        total += keys.len();
+    }
+    assert_eq!(total, 10_000);
+}
+
+#[test]
+fn help_and_bad_usage() {
+    let (_, err, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(err.contains("usage"));
+    let (_, err, ok) = run(&["splitters", "/nonexistent/file.bin", "--k", "4"]);
+    assert!(!ok);
+    assert!(err.contains("emsplit:"), "{err}");
+}

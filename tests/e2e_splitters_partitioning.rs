@@ -1,0 +1,229 @@
+//! Cross-crate end-to-end tests: workloads → algorithms → verifiers,
+//! across groundedness regimes, workload families, configurations and
+//! backends.
+
+use em_splitters::prelude::*;
+use emselect::{MsBaseCase, MsOptions, SplitterStrategy};
+use workloads::Workload;
+
+const CONFIGS: &[(usize, usize)] = &[(256, 16), (1024, 32), (4096, 64)];
+
+fn specs_for(n: u64, k: u64) -> Vec<ProblemSpec> {
+    vec![
+        ProblemSpec::new(n, k, 0, n).unwrap(),
+        ProblemSpec::new(n, k, 0, (2 * n) / k).unwrap(),
+        ProblemSpec::new(n, k, 2, n).unwrap(),
+        ProblemSpec::new(n, k, n / (4 * k), n / 2).unwrap(),
+        ProblemSpec::new(n, k, n / k, n.div_ceil(k)).unwrap(),
+    ]
+}
+
+#[test]
+fn splitters_all_regimes_all_configs() {
+    for &(m, b) in CONFIGS {
+        let cfg = EmConfig::new(m, b).unwrap();
+        let ctx = EmContext::new_in_memory(cfg);
+        let n = 6000u64;
+        let file = materialize(&ctx, Workload::UniformPerm, n, 11).unwrap();
+        for spec in specs_for(n, 8) {
+            let sp = approx_splitters(&file, &spec)
+                .unwrap_or_else(|e| panic!("{spec} on M={m},B={b}: {e}"));
+            let rep = verify_splitters(&file, &sp, &spec).unwrap();
+            assert!(rep.ok, "{spec} M={m} B={b}: sizes {:?}", rep.sizes);
+        }
+    }
+}
+
+#[test]
+fn partitioning_all_regimes_all_configs() {
+    for &(m, b) in CONFIGS {
+        let cfg = EmConfig::new(m, b).unwrap();
+        let ctx = EmContext::new_in_memory(cfg);
+        let n = 6000u64;
+        let file = materialize(&ctx, Workload::UniformPerm, n, 12).unwrap();
+        for spec in specs_for(n, 8) {
+            let parts = approx_partitioning(&file, &spec)
+                .unwrap_or_else(|e| panic!("{spec} on M={m},B={b}: {e}"));
+            let rep = verify_partitioning(&parts, &spec).unwrap();
+            assert!(rep.ok, "{spec} M={m} B={b}: {:?}", rep.sizes);
+        }
+    }
+}
+
+#[test]
+fn all_workload_families() {
+    let cfg = EmConfig::new(1024, 32).unwrap();
+    let n = 5000u64;
+    let wls = [
+        Workload::UniformPerm,
+        Workload::Sorted,
+        Workload::Reversed,
+        Workload::NearlySorted { frac: 0.05 },
+        Workload::HardBlockColumns { block: 32 },
+    ];
+    for wl in wls {
+        let ctx = EmContext::new_in_memory(cfg);
+        let file = materialize(&ctx, wl, n, 13).unwrap();
+        let spec = ProblemSpec::new(n, 10, 2, n / 2).unwrap();
+        let sp = approx_splitters(&file, &spec)
+            .unwrap_or_else(|e| panic!("{} splitters: {e}", workloads::name(wl)));
+        let rep = verify_splitters(&file, &sp, &spec).unwrap();
+        assert!(rep.ok, "{}: {:?}", workloads::name(wl), rep.sizes);
+
+        let parts = approx_partitioning(&file, &spec).unwrap();
+        let rep = verify_partitioning(&parts, &spec).unwrap();
+        assert!(rep.ok, "{} partitioning: {:?}", workloads::name(wl), rep.sizes);
+    }
+}
+
+#[test]
+fn duplicate_heavy_workloads_with_indexed_records() {
+    use emcore::Indexed;
+    let cfg = EmConfig::new(1024, 32).unwrap();
+    let n = 4000u64;
+    for wl in [
+        Workload::FewDistinct { values: 5 },
+        Workload::ZipfLike { values: 50, s: 1.2 },
+    ] {
+        let ctx = EmContext::new_in_memory(cfg);
+        let keys = workloads::generate(wl, n, 14);
+        let data: Vec<Indexed<u64>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Indexed::new(k, i as u64))
+            .collect();
+        let file = ctx.stats().paused(|| emcore::EmFile::from_slice(&ctx, &data)).unwrap();
+        let spec = ProblemSpec::new(n, 8, 100, n / 2).unwrap();
+        let sp = approx_splitters(&file, &spec).unwrap();
+        let rep = verify_splitters(&file, &sp, &spec).unwrap();
+        assert!(rep.ok, "{}: {:?}", workloads::name(wl), rep.sizes);
+        let parts = approx_partitioning(&file, &spec).unwrap();
+        let rep = verify_partitioning(&parts, &spec).unwrap();
+        assert!(rep.ok, "{} partitioning", workloads::name(wl));
+    }
+}
+
+#[test]
+fn duplicate_heavy_left_grounded_plain_keys() {
+    // With a = 0, duplicate keys are fine even without Indexed.
+    let cfg = EmConfig::new(1024, 32).unwrap();
+    let ctx = EmContext::new_in_memory(cfg);
+    let n = 4000u64;
+    let file = materialize(&ctx, Workload::FewDistinct { values: 40 }, n, 15).unwrap();
+    let spec = ProblemSpec::new(n, 8, 0, n / 4).unwrap();
+    let parts = approx_partitioning(&file, &spec).unwrap();
+    let rep = verify_partitioning(&parts, &spec).unwrap();
+    assert!(rep.ok, "{:?}", rep.sizes);
+}
+
+#[test]
+fn file_backend_matches_memory_backend() {
+    // Same algorithm, same data: the real-file backend must produce the
+    // same splitters AND the same I/O counts as the memory backend.
+    let cfg = EmConfig::new(1024, 32).unwrap();
+    let n = 5000u64;
+    let spec = ProblemSpec::new(n, 8, 4, n / 2).unwrap();
+
+    let run = |ctx: &EmContext| {
+        let file = materialize(ctx, Workload::UniformPerm, n, 16).unwrap();
+        ctx.stats().reset();
+        let sp = approx_splitters(&file, &spec).unwrap();
+        (sp, ctx.stats().snapshot().total_ios())
+    };
+    let mem_ctx = EmContext::new_in_memory(cfg);
+    let disk_ctx = EmContext::new_on_disk_temp(cfg).unwrap();
+    let (sp_mem, io_mem) = run(&mem_ctx);
+    let (sp_disk, io_disk) = run(&disk_ctx);
+    assert_eq!(sp_mem, sp_disk, "backends must agree on the output");
+    assert_eq!(io_mem, io_disk, "backends must agree on I/O counts");
+}
+
+#[test]
+fn randomized_strategy_end_to_end() {
+    let cfg = EmConfig::new(1024, 32).unwrap();
+    let ctx = EmContext::new_in_memory(cfg);
+    let n = 6000u64;
+    let file = materialize(&ctx, Workload::UniformPerm, n, 17).unwrap();
+    let spec = ProblemSpec::new(n, 8, 4, n / 2).unwrap();
+    let opts = MsOptions {
+        strategy: SplitterStrategy::Randomized { seed: 5 },
+        base_capacity_override: None,
+        base_case: MsBaseCase::default(),
+    };
+    let sp = apsplit::approx_splitters_with(&file, &spec, opts).unwrap();
+    let rep = verify_splitters(&file, &sp, &spec).unwrap();
+    assert!(rep.ok);
+}
+
+#[test]
+fn intermixed_engine_end_to_end() {
+    // The paper-faithful §4.2 base case, driven through the full
+    // splitters pipeline.
+    let cfg = EmConfig::new(4096, 64).unwrap();
+    let ctx = EmContext::new_in_memory(cfg);
+    let n = 50_000u64;
+    let file = materialize(&ctx, Workload::UniformPerm, n, 18).unwrap();
+    let spec = ProblemSpec::new(n, 16, 8, n / 2).unwrap();
+    let opts = MsOptions {
+        strategy: SplitterStrategy::Deterministic,
+        base_capacity_override: None,
+        base_case: MsBaseCase::Intermixed,
+    };
+    let sp = apsplit::approx_splitters_with(&file, &spec, opts).unwrap();
+    let rep = verify_splitters(&file, &sp, &spec).unwrap();
+    assert!(rep.ok, "{:?}", rep.sizes);
+}
+
+#[test]
+fn applications_end_to_end() {
+    let ctx = EmContext::new_in_memory(EmConfig::new(1024, 32).unwrap());
+    let n = 8000u64;
+    let file = materialize(&ctx, Workload::ZipfLike { values: 500, s: 1.0 }, n, 19).unwrap();
+
+    let hist = equi_depth_histogram(&file, 8, 0.25).unwrap();
+    assert_eq!(hist.counts.iter().sum::<u64>(), n);
+    assert_eq!(hist.boundaries.len(), 7);
+
+    let uniform = materialize(&ctx, Workload::UniformPerm, n, 20).unwrap();
+    let loads = balanced_loads(&uniform, 8, 0.3).unwrap();
+    assert_eq!(loads.len(), 8);
+    assert_eq!(loads.iter().map(|l| l.len()).sum::<u64>(), n);
+}
+
+#[test]
+fn sort_and_select_agree_with_reference() {
+    let ctx = EmContext::new_in_memory(EmConfig::new(1024, 32).unwrap());
+    let n = 7000u64;
+    let data = workloads::generate(Workload::UniformPerm, n, 21);
+    let file = ctx
+        .stats()
+        .paused(|| emcore::EmFile::from_slice(&ctx, &data))
+        .unwrap();
+
+    let sorted = external_sort(&file).unwrap().to_vec().unwrap();
+    let mut want = data.clone();
+    want.sort_unstable();
+    assert_eq!(sorted, want);
+
+    let ranks = vec![1, n / 3, n / 2, n - 1, n];
+    let got = multi_select(&file, &ranks).unwrap();
+    let expect: Vec<u64> = ranks.iter().map(|&r| want[(r - 1) as usize]).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn precise_reduction_cross_checks() {
+    let ctx = EmContext::new_in_memory(EmConfig::new(1024, 32).unwrap());
+    let n = 6000u64;
+    let file = materialize(&ctx, Workload::UniformPerm, n, 22).unwrap();
+    let direct = precise_partitioning(&file, 12).unwrap();
+    let via = precise_via_approx(&file, n / 12).unwrap();
+    assert_eq!(direct.len(), via.len());
+    for (d, v) in direct.iter().zip(&via) {
+        let mut dv = d.to_vec().unwrap();
+        let mut vv = v.to_vec().unwrap();
+        dv.sort_unstable();
+        vv.sort_unstable();
+        assert_eq!(dv, vv);
+    }
+}

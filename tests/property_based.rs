@@ -1,0 +1,164 @@
+//! Property-based tests over the full pipeline: random feasible problem
+//! instances and random data must always produce verifier-clean outputs,
+//! and the EM algorithms must agree with trivial in-memory references.
+
+use proptest::prelude::*;
+
+use em_splitters::prelude::*;
+use emcore::Indexed;
+
+/// A feasible (n, k, a, b) tuple plus a data seed.
+fn arb_instance() -> impl Strategy<Value = (u64, u64, u64, u64, u64)> {
+    (200u64..3000, 2u64..24, any::<u64>()).prop_flat_map(|(n, k, seed)| {
+        let nk = n / k;
+        (0u64..=nk, Just(n), Just(k), Just(seed)).prop_flat_map(move |(a, n, k, seed)| {
+            (n.div_ceil(k)..=n).prop_map(move |b| (n, k, a, b, seed))
+        })
+    })
+}
+
+fn ctx() -> EmContext {
+    EmContext::new_in_memory(EmConfig::new(512, 16).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn splitters_always_verify((n, k, a, b, seed) in arb_instance()) {
+        let c = ctx();
+        // Distinct keys via Indexed so any a ≥ 1 stays feasible.
+        let keys = workloads::generate(Workload::UniformPerm, n, seed);
+        let data: Vec<Indexed<u64>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| Indexed::new(x, i as u64))
+            .collect();
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let spec = ProblemSpec::new(n, k, a, b).unwrap();
+        let sp = approx_splitters(&file, &spec).unwrap();
+        prop_assert_eq!(sp.len(), (k - 1) as usize);
+        let rep = verify_splitters(&file, &sp, &spec).unwrap();
+        prop_assert!(rep.ok, "{} sizes {:?}", spec, rep.sizes);
+    }
+
+    #[test]
+    fn partitioning_always_verifies((n, k, a, b, seed) in arb_instance()) {
+        let c = ctx();
+        let keys = workloads::generate(Workload::UniformPerm, n, seed);
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
+        let spec = ProblemSpec::new(n, k, a, b).unwrap();
+        let parts = approx_partitioning(&file, &spec).unwrap();
+        let rep = verify_partitioning(&parts, &spec).unwrap();
+        prop_assert!(rep.ok, "{} report {:?}", spec, rep);
+        // Multiset preservation.
+        let mut all = Vec::new();
+        for p in &parts {
+            all.extend(p.to_vec().unwrap());
+        }
+        all.sort_unstable();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(all, want);
+    }
+
+    #[test]
+    fn multi_select_matches_reference(
+        n in 100u64..2500,
+        seed in any::<u64>(),
+        ranks_raw in prop::collection::vec(any::<u64>(), 1..12),
+        dup_values in prop::option::of(1u64..20),
+    ) {
+        let c = ctx();
+        let wl = match dup_values {
+            Some(v) => Workload::FewDistinct { values: v },
+            None => Workload::UniformPerm,
+        };
+        let keys = workloads::generate(wl, n, seed);
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
+        let ranks: Vec<u64> = ranks_raw.iter().map(|r| 1 + r % n).collect();
+        let got = multi_select(&file, &ranks).unwrap();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn external_sort_matches_reference(
+        n in 1u64..4000,
+        seed in any::<u64>(),
+        dup_values in prop::option::of(1u64..50),
+    ) {
+        let c = ctx();
+        let wl = match dup_values {
+            Some(v) => Workload::FewDistinct { values: v },
+            None => Workload::UniformPerm,
+        };
+        let keys = workloads::generate(wl, n, seed);
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
+        let sorted = external_sort(&file).unwrap().to_vec().unwrap();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(sorted, want);
+    }
+
+    #[test]
+    fn split_at_rank_exact(
+        n in 50u64..2500,
+        seed in any::<u64>(),
+        dup_values in prop::option::of(1u64..10),
+    ) {
+        let c = ctx();
+        let wl = match dup_values {
+            Some(v) => Workload::FewDistinct { values: v },
+            None => Workload::UniformPerm,
+        };
+        let keys = workloads::generate(wl, n, seed);
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
+        let count = 1 + seed % n;
+        let (low, high, boundary) = emselect::split_at_rank(&file, count).unwrap();
+        prop_assert_eq!(low.len(), count);
+        prop_assert_eq!(high.len(), n - count);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(boundary, sorted[(count - 1) as usize]);
+        prop_assert!(low.to_vec().unwrap().iter().all(|&x| x <= boundary));
+        prop_assert!(high.to_vec().unwrap().iter().all(|&x| x >= boundary));
+    }
+
+    #[test]
+    fn quantiles_are_valid_splitters(
+        n in 100u64..2000,
+        q in 2u64..16,
+        seed in any::<u64>(),
+    ) {
+        let c = ctx();
+        let keys = workloads::generate(Workload::UniformPerm, n, seed);
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
+        let qs = quantiles(&file, q).unwrap();
+        prop_assert_eq!(qs.len(), (q - 1) as usize);
+        // Induced partitions must be near-even: in {floor(n/q), ..., ceil(n/q)+1}.
+        let spec = ProblemSpec::new(n, q, n / q, n.div_ceil(q)).unwrap();
+        let rep = verify_splitters(&file, &qs, &spec).unwrap();
+        prop_assert!(rep.ok, "sizes {:?}", rep.sizes);
+    }
+
+    #[test]
+    fn memory_budget_never_exceeded(
+        n in 500u64..3000,
+        k in 2u64..12,
+        seed in any::<u64>(),
+    ) {
+        // Strict contexts panic on violation, so survival is the assertion.
+        let c = EmContext::new_in_memory_strict(EmConfig::new(512, 16).unwrap());
+        let keys = workloads::generate(Workload::UniformPerm, n, seed);
+        let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
+        let spec = ProblemSpec::new(n, k, 1, n).unwrap();
+        let sp = approx_splitters(&file, &spec).unwrap();
+        prop_assert_eq!(sp.len(), (k - 1) as usize);
+        let parts = approx_partitioning(&file, &spec).unwrap();
+        prop_assert_eq!(parts.len(), k as usize);
+        prop_assert!(c.mem().peak() <= c.mem().capacity());
+    }
+}

@@ -1,0 +1,56 @@
+//! Large-scale stress tests (run with `cargo test --release -- --ignored`).
+
+use em_splitters::prelude::*;
+use workloads::Workload;
+
+#[test]
+#[ignore = "large: ~10M records; run with --release -- --ignored"]
+fn ten_million_records_all_pipelines() {
+    let ctx = EmContext::new_in_memory(EmConfig::medium());
+    let n = 10_000_000u64;
+    let file = materialize(&ctx, Workload::UniformPerm, n, 8).unwrap();
+
+    // Splitters, all regimes.
+    for spec in [
+        ProblemSpec::new(n, 64, 4, n).unwrap(),
+        ProblemSpec::new(n, 64, 0, n / 8).unwrap(),
+        ProblemSpec::new(n, 64, 4, n / 2).unwrap(),
+    ] {
+        let sp = approx_splitters(&file, &spec).unwrap();
+        let rep = ctx.stats().paused(|| verify_splitters(&file, &sp, &spec)).unwrap();
+        assert!(rep.ok, "{spec}");
+    }
+
+    // Partitioning + multiset check on sizes.
+    let spec = ProblemSpec::new(n, 64, 4, n / 2).unwrap();
+    let parts = approx_partitioning(&file, &spec).unwrap();
+    let rep = ctx.stats().paused(|| verify_partitioning(&parts, &spec)).unwrap();
+    assert!(rep.ok);
+    assert_eq!(parts.iter().map(|p| p.len()).sum::<u64>(), n);
+
+    // Multi-selection against closed-form answers (input is a permutation).
+    let ranks = vec![1, n / 3, n / 2, n - 1, n];
+    let got = multi_select(&file, &ranks).unwrap();
+    let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+    assert_eq!(got, want);
+
+    // Memory stayed within the model the whole time.
+    assert!(ctx.mem().peak() <= ctx.mem().capacity());
+}
+
+#[test]
+#[ignore = "large: sorts 10M records; run with --release -- --ignored"]
+fn ten_million_sort_io_matches_formula() {
+    let ctx = EmContext::new_in_memory(EmConfig::medium());
+    let n = 10_000_000u64;
+    let file = materialize(&ctx, Workload::Reversed, n, 9).unwrap();
+    ctx.stats().reset();
+    let sorted = external_sort(&file).unwrap();
+    assert!(emsort::is_sorted(&sorted).unwrap());
+    let ios = ctx.stats().snapshot().total_ios() as f64;
+    let predicted = emsort::predicted_sort_ios(ctx.config(), n);
+    assert!(
+        ios <= predicted * 1.3,
+        "sort took {ios} vs predicted {predicted}"
+    );
+}
