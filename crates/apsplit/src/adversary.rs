@@ -46,7 +46,7 @@ pub fn complete_right_grounded(seen: &[u64], splitters: &[u64], n: u64) -> Vec<u
     // A value guaranteed OUTSIDE partition `victim` = (s_{v-1}, s_v]:
     // anything > s_v works for v < k−1... use s_v + 1 territory; for the
     // last partition use a value ≤ s_{k-2} (or anything < min splitter).
-    let filler = if victim + 1 <= splitters.len() {
+    let filler = if victim < splitters.len() {
         // victim has an upper splitter s_v: values above it are outside.
         splitters[victim].saturating_add(1)
     } else {
@@ -81,10 +81,7 @@ pub fn complete_left_grounded(seen: &[u64], splitters: &[u64], n: u64) -> Vec<u6
 /// `sample_size` elements and returns their `1/K`-quantile. With
 /// `sample_size < aK` it violates the Theorem-1 information requirement,
 /// and [`complete_right_grounded`] will defeat it.
-pub fn cheating_right_grounded<T: Record<Key = u64>>(
-    prefix: &[T],
-    k: u64,
-) -> Vec<u64> {
+pub fn cheating_right_grounded<T: Record<Key = u64>>(prefix: &[T], k: u64) -> Vec<u64> {
     let mut keys: Vec<u64> = prefix.iter().map(|r| r.key()).collect();
     keys.sort_unstable();
     (1..k)
@@ -107,7 +104,9 @@ mod tests {
         let mut v: Vec<u64> = (1..=n).map(|i| i * 10).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -149,7 +148,10 @@ mod tests {
         let (k, a) = (8u64, 64u64);
         let spec = ProblemSpec::new(n, k, a, n).unwrap();
         let data = shuffled(n, 2);
-        let file = ctx.stats().paused(|| EmFile::from_slice(&ctx, &data)).unwrap();
+        let file = ctx
+            .stats()
+            .paused(|| EmFile::from_slice(&ctx, &data))
+            .unwrap();
         let splitters = approx_splitters(&file, &spec).unwrap();
         let keys: Vec<u64> = splitters.clone();
 
@@ -182,7 +184,10 @@ mod tests {
         let adversarial = complete_left_grounded(seen, &cheat, n);
         let file = EmFile::from_slice(&ctx, &adversarial).unwrap();
         let rep = verify_splitters(&file, &cheat, &spec).unwrap();
-        assert!(!rep.ok, "packing n − n/4 > b unseen values into one partition must break b");
+        assert!(
+            !rep.ok,
+            "packing n − n/4 > b unseen values into one partition must break b"
+        );
         assert!(rep.sizes.iter().any(|&s| s > b));
     }
 

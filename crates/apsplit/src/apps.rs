@@ -62,11 +62,7 @@ pub fn equi_depth_histogram<T: Record>(
 /// within `[⌊(n/k)/(1+slack)⌋, ⌈(n/k)·(1+slack)⌉]` records, preserving
 /// order between machines (machine `i` holds smaller keys than machine
 /// `i+1`). `slack = 0` is a perfectly balanced distribution.
-pub fn balanced_loads<T: Record>(
-    input: &EmFile<T>,
-    k: u64,
-    slack: f64,
-) -> Result<Partitioning<T>> {
+pub fn balanced_loads<T: Record>(input: &EmFile<T>, k: u64, slack: f64) -> Result<Partitioning<T>> {
     let n = input.len();
     let target = n as f64 / k as f64;
     let a = ((target / (1.0 + slack)).floor() as u64).min(n / k);
@@ -87,7 +83,7 @@ pub fn top_k<T: Record>(input: &EmFile<T>, k: u64) -> Result<emselect::Partition
     }
     if k == n {
         let ctx = input.ctx().clone();
-        let mut w = ctx.writer::<T>();
+        let mut w = ctx.writer::<T>()?;
         emselect::stream_into(input, |x| w.push(x))?;
         return Ok(emselect::Partition::from_file(w.finish()?));
     }
@@ -106,7 +102,7 @@ pub fn bottom_k<T: Record>(input: &EmFile<T>, k: u64) -> Result<emselect::Partit
     }
     if k == n {
         let ctx = input.ctx().clone();
-        let mut w = ctx.writer::<T>();
+        let mut w = ctx.writer::<T>()?;
         emselect::stream_into(input, |x| w.push(x))?;
         return Ok(emselect::Partition::from_file(w.finish()?));
     }
@@ -136,7 +132,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -227,7 +225,10 @@ mod tests {
         let n = 60_000u64;
         let run = |slack: f64| -> u64 {
             let c = EmContext::new_in_memory(EmConfig::medium());
-            let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 63))).unwrap();
+            let f = c
+                .stats()
+                .paused(|| EmFile::from_slice(&c, &shuffled(n, 63)))
+                .unwrap();
             let before = c.stats().snapshot();
             let loads = balanced_loads(&f, 16, slack).unwrap();
             assert_eq!(loads.iter().map(|l| l.len()).sum::<u64>(), n);

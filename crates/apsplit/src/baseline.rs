@@ -5,7 +5,7 @@
 //! lines for all experiments — the approximate algorithms must beat them,
 //! with crossovers where the bounds predict.
 
-use emcore::{EmFile, Record, Result};
+use emcore::{EmError, EmFile, Record, Result};
 use emselect::Partition;
 use emsort::external_sort;
 
@@ -14,10 +14,7 @@ use crate::splitters::check_input;
 
 /// Splitters by full sort: sort `S`, then read off the elements at the
 /// near-even quantile ranks (always feasible for a feasible spec).
-pub fn sort_based_splitters<T: Record>(
-    input: &EmFile<T>,
-    spec: &ProblemSpec,
-) -> Result<Vec<T>> {
+pub fn sort_based_splitters<T: Record>(input: &EmFile<T>, spec: &ProblemSpec) -> Result<Vec<T>> {
     check_input(input, spec)?;
     let stats = input.ctx().stats().clone();
     stats.begin_phase("sort-baseline/splitters");
@@ -58,9 +55,11 @@ pub fn sort_based_partitioning<T: Record>(
     let mut r = sorted.reader();
     let mut pos = 0u64;
     for &bound in &bounds {
-        let mut w = ctx.writer::<T>();
+        let mut w = ctx.writer::<T>()?;
         while pos < bound {
-            let x = r.next()?.expect("sorted file has N records");
+            let x = r
+                .next()?
+                .ok_or_else(|| EmError::config("sorted file shorter than N"))?;
             w.push(x)?;
             pos += 1;
         }
@@ -72,10 +71,7 @@ pub fn sort_based_partitioning<T: Record>(
 
 /// Multi-selection by full sort: sort, then read off the given ranks
 /// (ascending or not).
-pub fn sort_based_multi_select<T: Record>(
-    input: &EmFile<T>,
-    ranks: &[u64],
-) -> Result<Vec<T>> {
+pub fn sort_based_multi_select<T: Record>(input: &EmFile<T>, ranks: &[u64]) -> Result<Vec<T>> {
     let stats = input.ctx().stats().clone();
     stats.begin_phase("sort-baseline/multi-select");
     let sorted = external_sort(input)?;
@@ -97,7 +93,9 @@ pub fn sort_based_multi_select<T: Record>(
         }
     }
     stats.end_phase();
-    Ok(out.into_iter().map(|o| o.expect("rank within N")).collect())
+    out.into_iter()
+        .map(|o| o.ok_or_else(|| EmError::config("rank exceeds N")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -114,7 +112,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -126,7 +126,10 @@ mod tests {
         let c = ctx();
         let n = 3000u64;
         let spec = ProblemSpec::new(n, 6, 400, 600).unwrap();
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 50))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 50)))
+            .unwrap();
         let sp = sort_based_splitters(&f, &spec).unwrap();
         assert_eq!(sp.len(), 5);
         let rep = verify_splitters(&f, &sp, &spec).unwrap();
@@ -138,7 +141,10 @@ mod tests {
         let c = ctx();
         let n = 3000u64;
         let spec = ProblemSpec::new(n, 6, 500, 500).unwrap();
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 51))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 51)))
+            .unwrap();
         let parts = sort_based_partitioning(&f, &spec).unwrap();
         let rep = verify_partitioning(&parts, &spec).unwrap();
         assert!(rep.ok);
@@ -152,7 +158,10 @@ mod tests {
     fn baseline_multiselect_matches() {
         let c = ctx();
         let n = 2000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 52))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 52)))
+            .unwrap();
         let ranks = vec![1500, 3, 1999];
         let got = sort_based_multi_select(&f, &ranks).unwrap();
         assert_eq!(got, vec![1499, 2, 1998]);
@@ -163,7 +172,10 @@ mod tests {
         let c = EmContext::new_in_memory(EmConfig::medium());
         let n = 100_000u64;
         let spec = ProblemSpec::new(n, 4, 0, n).unwrap();
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 53))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 53)))
+            .unwrap();
         let before = c.stats().snapshot();
         let _ = sort_based_splitters(&f, &spec).unwrap();
         let ios = c.stats().snapshot().since(&before).total_ios();

@@ -164,9 +164,16 @@ mod tests {
     fn lb_never_exceeds_ub_forms() {
         let c = cfg();
         let n = 1_000_000u64;
-        for &(k, a, b) in &[(16u64, 2u64, 500_000u64), (1024, 100, 10_000), (4, 1, 999_999)] {
+        for &(k, a, b) in &[
+            (16u64, 2u64, 500_000u64),
+            (1024, 100, 10_000),
+            (4, 1, 999_999),
+        ] {
             assert!(lb_splitters_right(c, n, k, a) <= splitters_two_sided(c, n, k, a, b) + 1e-9);
-            assert!(lb_partitioning(c, n, k, b) <= partitioning_two_sided(c, n, k, a, b).max(c.scan_bound(n)) + 1e-9);
+            assert!(
+                lb_partitioning(c, n, k, b)
+                    <= partitioning_two_sided(c, n, k, a, b).max(c.scan_bound(n)) + 1e-9
+            );
         }
     }
 }

@@ -53,9 +53,7 @@ mod spec;
 mod splitters;
 mod verify;
 
-pub use adversary::{
-    cheating_right_grounded, complete_left_grounded, complete_right_grounded,
-};
+pub use adversary::{cheating_right_grounded, complete_left_grounded, complete_right_grounded};
 pub use apps::{balanced_loads, bottom_k, equi_depth_histogram, median, top_k, EquiDepthHistogram};
 pub use baseline::{sort_based_multi_select, sort_based_partitioning, sort_based_splitters};
 pub use partitioning::{

@@ -136,8 +136,7 @@ fn two_sided<T: Record>(
     let high_n = high.len();
     debug_assert!(high_n >= spec.a * kh && high_n <= spec.b * kh);
     let ctx = input.ctx().clone();
-    let mut parts =
-        multi_partition_segs(&ctx, low.segments(), &vec![spec.a; kp as usize], opts)?;
+    let mut parts = multi_partition_segs(&ctx, low.segments(), &vec![spec.a; kp as usize], opts)?;
     parts.extend(multi_partition_segs(
         &ctx,
         high.segments(),
@@ -161,7 +160,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }

@@ -17,12 +17,9 @@ use crate::spec::ProblemSpec;
 
 /// Precise K-partitioning: `K` ordered partitions of exactly `N/K`
 /// records each (requires `K | N`). Direct algorithm: multi-partition.
-pub fn precise_partitioning<T: Record>(
-    input: &EmFile<T>,
-    k: u64,
-) -> Result<Vec<Partition<T>>> {
+pub fn precise_partitioning<T: Record>(input: &EmFile<T>, k: u64) -> Result<Vec<Partition<T>>> {
     let n = input.len();
-    if k == 0 || n % k != 0 {
+    if k == 0 || !n.is_multiple_of(k) {
         return Err(EmError::config(format!(
             "precise partitioning needs K | N; got N = {n}, K = {k}"
         )));
@@ -60,7 +57,7 @@ pub fn precise_via_approx_with_step<T: Record>(
     b_step: u64,
 ) -> Result<Vec<Partition<T>>> {
     let n = input.len();
-    if b == 0 || n % b != 0 {
+    if b == 0 || !n.is_multiple_of(b) {
         return Err(EmError::config(format!(
             "reduction needs b | N; got N = {n}, b = {b}"
         )));
@@ -130,7 +127,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -156,7 +155,10 @@ mod tests {
     fn direct_precise_partitioning() {
         let c = strict_ctx();
         let n = 4000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 40))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 40)))
+            .unwrap();
         let parts = precise_partitioning(&f, 8).unwrap();
         assert_precise(&parts, n, 8);
     }
@@ -174,7 +176,10 @@ mod tests {
         let c = strict_ctx();
         let n = 4000u64;
         let b = 500u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 42))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 42)))
+            .unwrap();
         let via = precise_via_approx(&f, b).unwrap();
         assert_precise(&via, n, n / b);
         // Contents must equal the direct algorithm's partitions as sets.
@@ -193,7 +198,10 @@ mod tests {
         let c = EmContext::new_in_memory(EmConfig::medium());
         let n = 100_000u64;
         let b = 5_000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 43))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 43)))
+            .unwrap();
         let before = c.stats().snapshot();
         let _ = precise_via_approx(&f, b).unwrap();
         let total = c.stats().snapshot().since(&before).total_ios();

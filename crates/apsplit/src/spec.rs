@@ -43,12 +43,12 @@ impl ProblemSpec {
         if a > b {
             return Err(EmError::config(format!("a = {a} > b = {b}")));
         }
-        if a.checked_mul(k).map_or(true, |ak| ak > n) {
+        if a.checked_mul(k).is_none_or(|ak| ak > n) {
             return Err(EmError::config(format!(
                 "infeasible: a·K = {a}·{k} > N = {n}"
             )));
         }
-        if b.checked_mul(k).map_or(false, |bk| bk < n) {
+        if b.checked_mul(k).is_some_and(|bk| bk < n) {
             return Err(EmError::config(format!(
                 "infeasible: b·K = {b}·{k} < N = {n}"
             )));
@@ -58,7 +58,7 @@ impl ProblemSpec {
 
     /// A perfectly balanced spec: `a = b = N/K` (requires `K | N`).
     pub fn exact(n: u64, k: u64) -> Result<Self> {
-        if k == 0 || n % k != 0 {
+        if k == 0 || !n.is_multiple_of(k) {
             return Err(EmError::config(format!(
                 "exact spec needs K | N; got N = {n}, K = {k}"
             )));
@@ -156,7 +156,9 @@ mod tests {
     #[test]
     fn quantile_suffices_cases() {
         // a = 20 ≥ 100/8 = 12.5 → quantile suffices
-        assert!(ProblemSpec::new(100, 4, 20, 50).unwrap().quantile_suffices());
+        assert!(ProblemSpec::new(100, 4, 20, 50)
+            .unwrap()
+            .quantile_suffices());
         // b = 30 ≤ 2·100/4 = 50 → quantile suffices
         assert!(ProblemSpec::new(100, 4, 1, 30).unwrap().quantile_suffices());
         // a = 1 < 12.5, b = 99 > 50 → hard case
@@ -179,7 +181,7 @@ mod tests {
         let mut prev = 0;
         for &r in ranks.iter().chain(std::iter::once(&103)) {
             let d = r - prev;
-            assert!(d >= 25 && d <= 26, "diff {d}");
+            assert!((25..=26).contains(&d), "diff {d}");
             prev = r;
         }
     }

@@ -53,7 +53,7 @@ pub fn approx_splitters_with<T: Record>(
     };
     stats.end_phase();
     let mut splitters = r?;
-    splitters.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+    splitters.sort_unstable_by_key(|a| a.key());
     debug_assert_eq!(splitters.len(), (spec.k - 1) as usize);
     Ok(splitters)
 }
@@ -74,7 +74,7 @@ pub(crate) fn check_input<T: Record>(input: &EmFile<T>, spec: &ProblemSpec) -> R
 /// elements".
 fn take_prefix<T: Record>(input: &EmFile<T>, count: u64) -> Result<EmFile<T>> {
     let ctx = input.ctx().clone();
-    let mut w = ctx.writer::<T>();
+    let mut w = ctx.writer::<T>()?;
     let mut r = input.reader();
     let mut taken = 0u64;
     while taken < count {
@@ -128,8 +128,7 @@ fn left_grounded<T: Record>(
         // so every size stays ≤ b; since a = 0, any refinement is legal.
         // Typical cost: O(1 + K/B) reads.
         let missing = k_needed - splitters.len();
-        let taken: std::collections::BTreeSet<T::Key> =
-            splitters.iter().map(|s| s.key()).collect();
+        let taken: std::collections::BTreeSet<T::Key> = splitters.iter().map(|s| s.key()).collect();
         let _charge = input.ctx().mem().charge(
             (taken.len() + missing) * (T::WORDS + 1),
             "splitter padding set",
@@ -241,7 +240,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -251,7 +252,10 @@ mod tests {
     fn check(n: u64, k: u64, a: u64, b: u64, seed: u64) {
         let c = strict_ctx();
         let spec = ProblemSpec::new(n, k, a, b).unwrap();
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, seed))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, seed)))
+            .unwrap();
         let sp = approx_splitters(&f, &spec).unwrap();
         assert_eq!(sp.len(), (k - 1) as usize);
         let report = verify_splitters(&f, &sp, &spec).unwrap();
@@ -335,7 +339,10 @@ mod tests {
             ios < full_scan / 10,
             "right-grounded splitters took {ios} I/Os; full scan is {full_scan}"
         );
-        let report = c.stats().paused(|| verify_splitters(&f, &sp, &spec)).unwrap();
+        let report = c
+            .stats()
+            .paused(|| verify_splitters(&f, &sp, &spec))
+            .unwrap();
         assert!(report.ok, "sizes {:?}", report.sizes);
     }
 

@@ -1,10 +1,15 @@
 //! Output verifiers: the correctness oracles used by tests, examples and
 //! the benchmark harness.
 //!
-//! These scans are *not* part of the algorithms under measurement; callers
-//! typically wrap them in `ctx.stats().paused(..)`. They hold the `K`-sized
-//! splitter array / size list in host memory (they are checking tools, not
-//! EM algorithms).
+//! These scans are *not* part of the algorithms under measurement, and they
+//! must see the *true* data even when a [`emcore::FaultPlan`] is active —
+//! a verifier that itself suffers injected faults cannot adjudicate
+//! anything. Each verifier therefore runs as a context *oracle*
+//! ([`emcore::EmContext::oracle`]): I/O accounting is paused and fault
+//! injection is suspended for the duration of the scan (an explicit
+//! `ctx.stats().paused(..)` at the call site remains harmless — pauses
+//! nest). They hold the `K`-sized splitter array / size list in host memory
+//! (they are checking tools, not EM algorithms).
 
 use emcore::{EmFile, Record, Result};
 use emselect::Partition;
@@ -30,15 +35,16 @@ pub fn verify_splitters<T: Record>(
     splitters: &[T],
     spec: &ProblemSpec,
 ) -> Result<SplitterReport> {
-    debug_assert!(splitters
-        .windows(2)
-        .all(|w| w[0].key() <= w[1].key()));
+    debug_assert!(splitters.windows(2).all(|w| w[0].key() <= w[1].key()));
     let mut sizes = vec![0u64; splitters.len() + 1];
-    let mut r = input.reader();
-    while let Some(x) = r.next()? {
-        let j = splitters.partition_point(|s| s.key() < x.key());
-        sizes[j] += 1;
-    }
+    input.ctx().oracle(|| -> Result<()> {
+        let mut r = input.reader();
+        while let Some(x) = r.next()? {
+            let j = splitters.partition_point(|s| s.key() < x.key());
+            sizes[j] += 1;
+        }
+        Ok(())
+    })?;
     let violations: Vec<usize> = sizes
         .iter()
         .enumerate()
@@ -80,34 +86,53 @@ pub fn verify_partitioning<T: Record>(
     let mut order_violations = Vec::new();
     let mut prev_max: Option<T::Key> = None;
     let mut prev_idx = 0usize;
-    for (i, p) in parts.iter().enumerate() {
-        let len = p.len();
-        sizes.push(len);
-        if len < spec.a || len > spec.b {
-            size_violations.push(i);
-        }
-        if len == 0 {
-            continue;
-        }
-        let mut mn: Option<T::Key> = None;
-        let mut mx: Option<T::Key> = None;
-        p.for_each(|x| {
-            let k = x.key();
-            if mn.map_or(true, |m| k < m) {
-                mn = Some(k);
+    // The context comes from any stored segment (the scan below touches the
+    // same backing); an all-empty partitioning scans nothing, so it needs
+    // no oracle.
+    let ctx = parts
+        .iter()
+        .flat_map(|p| p.segments())
+        .map(|s| s.ctx().clone())
+        .next();
+    let mut scan = |sizes: &mut Vec<u64>,
+                    size_violations: &mut Vec<usize>,
+                    order_violations: &mut Vec<usize>|
+     -> Result<()> {
+        for (i, p) in parts.iter().enumerate() {
+            let len = p.len();
+            sizes.push(len);
+            if len < spec.a || len > spec.b {
+                size_violations.push(i);
             }
-            if mx.map_or(true, |m| k > m) {
-                mx = Some(k);
+            if len == 0 {
+                continue;
             }
-            Ok(())
-        })?;
-        if let (Some(pm), Some(m)) = (prev_max, mn) {
-            if m < pm {
-                order_violations.push(prev_idx);
+            let mut mn: Option<T::Key> = None;
+            let mut mx: Option<T::Key> = None;
+            p.for_each(|x| {
+                let k = x.key();
+                if mn.is_none_or(|m| k < m) {
+                    mn = Some(k);
+                }
+                if mx.is_none_or(|m| k > m) {
+                    mx = Some(k);
+                }
+                Ok(())
+            })?;
+            if let (Some(pm), Some(m)) = (prev_max, mn) {
+                if m < pm {
+                    order_violations.push(prev_idx);
+                }
             }
+            // A nonempty partition always yields a max in the scan above.
+            prev_max = mx.or(prev_max);
+            prev_idx = i;
         }
-        prev_max = Some(mx.expect("nonempty"));
-        prev_idx = i;
+        Ok(())
+    };
+    match &ctx {
+        Some(c) => c.oracle(|| scan(&mut sizes, &mut size_violations, &mut order_violations))?,
+        None => scan(&mut sizes, &mut size_violations, &mut order_violations)?,
     }
     let total: u64 = sizes.iter().sum();
     let total_matches = total == spec.n;
@@ -134,19 +159,22 @@ pub fn verify_multiselect<T: Record>(
     assert_eq!(ranks.len(), answers.len());
     let mut less = vec![0u64; answers.len()];
     let mut leq = vec![0u64; answers.len()];
-    let mut r = input.reader();
-    while let Some(x) = r.next()? {
-        for (i, a) in answers.iter().enumerate() {
-            match x.key().cmp(&a.key()) {
-                std::cmp::Ordering::Less => {
-                    less[i] += 1;
-                    leq[i] += 1;
+    input.ctx().oracle(|| -> Result<()> {
+        let mut r = input.reader();
+        while let Some(x) = r.next()? {
+            for (i, a) in answers.iter().enumerate() {
+                match x.key().cmp(&a.key()) {
+                    std::cmp::Ordering::Less => {
+                        less[i] += 1;
+                        leq[i] += 1;
+                    }
+                    std::cmp::Ordering::Equal => leq[i] += 1,
+                    std::cmp::Ordering::Greater => {}
                 }
-                std::cmp::Ordering::Equal => leq[i] += 1,
-                std::cmp::Ordering::Greater => {}
             }
         }
-    }
+        Ok(())
+    })?;
     Ok(ranks
         .iter()
         .enumerate()

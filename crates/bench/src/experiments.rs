@@ -3,12 +3,11 @@
 //! with measured I/O next to the paper's predicted bound.
 
 use apsplit::{
-    approx_partitioning, approx_splitters, approx_splitters_with, bounds,
-    precise_partitioning, precise_via_approx, precise_via_approx_with_step,
-    sort_based_partitioning, sort_based_splitters, verify_partitioning, verify_splitters,
-    ProblemSpec,
+    approx_partitioning, approx_splitters, approx_splitters_with, bounds, precise_partitioning,
+    precise_via_approx, precise_via_approx_with_step, sort_based_partitioning,
+    sort_based_splitters, verify_partitioning, verify_splitters, ProblemSpec,
 };
-use emcore::{EmContext, EmFile};
+use emcore::{EmContext, EmFile, FaultPlan, RetryPolicy};
 use emselect::{
     max_deterministic_fanout, multi_partition_with, multi_select, sample_splitters, MpOptions,
     MsOptions, SplitterStrategy,
@@ -37,7 +36,14 @@ pub fn ex_splitters_right(scale: Scale) -> Table {
     let mut t = Table::new(
         "EX-T1-SR",
         &format!("splitters, right-grounded (b = N): I/O vs a  [N={n}, K={k}]"),
-        &["a", "measured I/O", "predicted Θ", "meas/pred", "scans (N/B units)", "sublinear?"],
+        &[
+            "a",
+            "measured I/O",
+            "predicted Θ",
+            "meas/pred",
+            "scans (N/B units)",
+            "sublinear?",
+        ],
     );
     let mut sweep: Vec<u64> = vec![2, 16, 128, 1024, n / k];
     sweep.dedup();
@@ -46,7 +52,10 @@ pub fn ex_splitters_right(scale: Scale) -> Table {
         let spec = ProblemSpec::new(n, k, a, n).expect("feasible");
         let (r, io, _) = measure(&ctx, || approx_splitters(&f, &spec));
         let sp = r.expect("splitters");
-        let rep = ctx.stats().paused(|| verify_splitters(&f, &sp, &spec)).expect("verify");
+        let rep = ctx
+            .stats()
+            .paused(|| verify_splitters(&f, &sp, &spec))
+            .expect("verify");
         assert!(rep.ok, "invalid output at a={a}: {:?}", rep.sizes);
         let pred = bounds::splitters_right(bench_config(), n, k, a);
         let meas = io.total_ios() as f64;
@@ -56,7 +65,11 @@ pub fn ex_splitters_right(scale: Scale) -> Table {
             fnum(pred),
             fnum(meas / pred),
             fnum(meas / scan(n)),
-            if meas < scan(n) { "YES".into() } else { "no".into() },
+            if meas < scan(n) {
+                "YES".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     t.note("paper: cost grows with aK, independent of N; sublinear whenever aK ≪ N (Thm 1/5)");
@@ -80,7 +93,10 @@ pub fn ex_splitters_left(scale: Scale) -> Table {
         let spec = ProblemSpec::new(n, k, 0, b).expect("feasible");
         let (r, io, _) = measure(&ctx, || approx_splitters(&f, &spec));
         let sp = r.expect("splitters");
-        let rep = ctx.stats().paused(|| verify_splitters(&f, &sp, &spec)).expect("verify");
+        let rep = ctx
+            .stats()
+            .paused(|| verify_splitters(&f, &sp, &spec))
+            .expect("verify");
         assert!(rep.ok, "invalid output at b={b}");
         let pred = bounds::splitters_left(bench_config(), n, k, b);
         let meas = io.total_ios() as f64;
@@ -115,11 +131,22 @@ pub fn ex_splitters_two_sided(scale: Scale) -> Table {
     for (a, b) in grid {
         let (ctx, f) = fresh_input(n);
         let spec = ProblemSpec::new(n, k, a, b).expect("feasible");
-        let case = if spec.quantile_suffices() { "quantile" } else { "split" };
+        let case = if spec.quantile_suffices() {
+            "quantile"
+        } else {
+            "split"
+        };
         let (r, io, _) = measure(&ctx, || approx_splitters(&f, &spec));
         let sp = r.expect("splitters");
-        let rep = ctx.stats().paused(|| verify_splitters(&f, &sp, &spec)).expect("verify");
-        assert!(rep.ok, "invalid output at a={a}, b={b}: sizes {:?}", rep.sizes);
+        let rep = ctx
+            .stats()
+            .paused(|| verify_splitters(&f, &sp, &spec))
+            .expect("verify");
+        assert!(
+            rep.ok,
+            "invalid output at a={a}, b={b}: sizes {:?}",
+            rep.sizes
+        );
         let pred = bounds::splitters_two_sided(bench_config(), n, k, a, b);
         let meas = io.total_ios() as f64;
         t.row(vec![
@@ -151,7 +178,10 @@ pub fn ex_partition_right(scale: Scale) -> Table {
         let spec = ProblemSpec::new(n, k, a, n).expect("feasible");
         let (r, io, _) = measure(&ctx, || approx_partitioning(&f, &spec));
         let parts = r.expect("partitioning");
-        let rep = ctx.stats().paused(|| verify_partitioning(&parts, &spec)).expect("verify");
+        let rep = ctx
+            .stats()
+            .paused(|| verify_partitioning(&parts, &spec))
+            .expect("verify");
         assert!(rep.ok, "invalid output at a={a}: {:?}", rep.sizes);
         let pred = bounds::partitioning_right(bench_config(), n, k, a);
         let meas = io.total_ios() as f64;
@@ -183,7 +213,10 @@ pub fn ex_partition_left(scale: Scale) -> Table {
         let spec = ProblemSpec::new(n, k, 0, b).expect("feasible");
         let (r, io, _) = measure(&ctx, || approx_partitioning(&f, &spec));
         let parts = r.expect("partitioning");
-        let rep = ctx.stats().paused(|| verify_partitioning(&parts, &spec)).expect("verify");
+        let rep = ctx
+            .stats()
+            .paused(|| verify_partitioning(&parts, &spec))
+            .expect("verify");
         assert!(rep.ok, "invalid output at b={b}: {:?}", rep.sizes);
         let pred = bounds::partitioning_left(bench_config(), n, k, b);
         let meas = io.total_ios() as f64;
@@ -218,10 +251,17 @@ pub fn ex_partition_two_sided(scale: Scale) -> Table {
     for (a, b) in grid {
         let (ctx, f) = fresh_input(n);
         let spec = ProblemSpec::new(n, k, a, b).expect("feasible");
-        let case = if spec.quantile_suffices() { "quantile" } else { "split" };
+        let case = if spec.quantile_suffices() {
+            "quantile"
+        } else {
+            "split"
+        };
         let (r, io, _) = measure(&ctx, || approx_partitioning(&f, &spec));
         let parts = r.expect("partitioning");
-        let rep = ctx.stats().paused(|| verify_partitioning(&parts, &spec)).expect("verify");
+        let rep = ctx
+            .stats()
+            .paused(|| verify_partitioning(&parts, &spec))
+            .expect("verify");
         assert!(rep.ok, "invalid output at a={a}, b={b}: {:?}", rep.sizes);
         let pred = bounds::partitioning_two_sided(bench_config(), n, k, a, b);
         let meas = io.total_ios() as f64;
@@ -299,12 +339,36 @@ pub fn ex_vs_sort(scale: Scale) -> Table {
         &["problem", "spec", "approx I/O", "sort-based I/O", "speedup"],
     );
     let specs: Vec<(&str, ProblemSpec, bool)> = vec![
-        ("splitters/right", ProblemSpec::new(n, k, 4, n).unwrap(), true),
-        ("splitters/left", ProblemSpec::new(n, k, 0, 8 * n / k).unwrap(), true),
-        ("splitters/2-sided", ProblemSpec::new(n, k, 4, n / 2).unwrap(), true),
-        ("partition/right", ProblemSpec::new(n, k, 4, n).unwrap(), false),
-        ("partition/left", ProblemSpec::new(n, k, 0, 8 * n / k).unwrap(), false),
-        ("partition/2-sided", ProblemSpec::new(n, k, 4, n / 2).unwrap(), false),
+        (
+            "splitters/right",
+            ProblemSpec::new(n, k, 4, n).unwrap(),
+            true,
+        ),
+        (
+            "splitters/left",
+            ProblemSpec::new(n, k, 0, 8 * n / k).unwrap(),
+            true,
+        ),
+        (
+            "splitters/2-sided",
+            ProblemSpec::new(n, k, 4, n / 2).unwrap(),
+            true,
+        ),
+        (
+            "partition/right",
+            ProblemSpec::new(n, k, 4, n).unwrap(),
+            false,
+        ),
+        (
+            "partition/left",
+            ProblemSpec::new(n, k, 0, 8 * n / k).unwrap(),
+            false,
+        ),
+        (
+            "partition/2-sided",
+            ProblemSpec::new(n, k, 4, n / 2).unwrap(),
+            false,
+        ),
     ];
     for (name, spec, is_splitters) in specs {
         let (ctx, f) = fresh_input(n);
@@ -378,9 +442,21 @@ pub fn ex_lower_bounds(scale: Scale) -> Table {
     let mut t = Table::new(
         "EX-LB",
         &format!("measured I/O vs Table-1 lower bounds (Π_hard inputs)  [N={n}, K={k}]"),
-        &["problem", "params", "workload", "measured", "lower bound", "meas/LB"],
+        &[
+            "problem",
+            "params",
+            "workload",
+            "measured",
+            "lower bound",
+            "meas/LB",
+        ],
     );
-    let wls = [Workload::UniformPerm, Workload::HardBlockColumns { block: cfg.block_size() }];
+    let wls = [
+        Workload::UniformPerm,
+        Workload::HardBlockColumns {
+            block: cfg.block_size(),
+        },
+    ];
     for wl in wls {
         // Right-grounded splitters, a = 64.
         let a = 64u64;
@@ -450,7 +526,10 @@ pub fn ex_ablation_sampling(scale: Scale) -> Table {
     );
     for (name, strat) in [
         ("deterministic", Some(SplitterStrategy::Deterministic)),
-        ("randomized(7)", Some(SplitterStrategy::Randomized { seed: 7 })),
+        (
+            "randomized(7)",
+            Some(SplitterStrategy::Randomized { seed: 7 }),
+        ),
         ("det-refined (2 rounds)", None),
     ] {
         let (ctx, f) = fresh_input(n);
@@ -460,11 +539,7 @@ pub fn ex_ablation_sampling(scale: Scale) -> Table {
         };
         let (r, io_s, _) = measure(&ctx, || match strat {
             Some(st) => sample_splitters(&f, fmax, st),
-            None => emselect::refined_splitters(
-                &ctx,
-                std::slice::from_ref(&f),
-                fmax,
-            ),
+            None => emselect::refined_splitters(&ctx, std::slice::from_ref(&f), fmax),
         });
         let sp = r.expect("splitters");
         let counts = ctx
@@ -583,7 +658,14 @@ pub fn ex_reduction(scale: Scale) -> Table {
     let mut t = Table::new(
         "EX-RED",
         &format!("§3 reduction: precise (N/b)-partitioning via approximate  [N={n}]"),
-        &["b", "K=N/b", "direct I/O", "via-approx (aligned)", "via-approx (misaligned)", "sweep overhead (scans)"],
+        &[
+            "b",
+            "K=N/b",
+            "direct I/O",
+            "via-approx (aligned)",
+            "via-approx (misaligned)",
+            "sweep overhead (scans)",
+        ],
     );
     for div in [8u64, 32, 128] {
         let b = n / div;
@@ -596,9 +678,7 @@ pub fn ex_reduction(scale: Scale) -> Table {
         // Misaligned step 1 (more, smaller partitions) exercises the
         // residue sweep; overhead must stay O(N/B).
         let (ctx3, f3) = fresh_input(n);
-        let (r3, io_m, _) = measure(&ctx3, || {
-            precise_via_approx_with_step(&f3, b, (2 * b) / 3)
-        });
+        let (r3, io_m, _) = measure(&ctx3, || precise_via_approx_with_step(&f3, b, (2 * b) / 3));
         r3.expect("via approx misaligned");
         let overhead = (io_m.total_ios() as f64 - io_v.total_ios() as f64).max(0.0);
         t.row(vec![
@@ -665,7 +745,14 @@ pub fn ex_vs_sort_scaling(scale: Scale) -> Table {
     let mut t = Table::new(
         "EX-SORT-N",
         "crossover scaling: partition/left speedup over sorting vs N  [K=64, b=8N/K]",
-        &["N", "approx I/O", "approx scans", "sort I/O", "sort scans", "speedup"],
+        &[
+            "N",
+            "approx I/O",
+            "approx scans",
+            "sort I/O",
+            "sort scans",
+            "speedup",
+        ],
     );
     let ns: Vec<u64> = match scale {
         Scale::Quick => vec![50_000, 200_000, 800_000, 3_200_000],
@@ -721,7 +808,10 @@ pub fn ex_geometry(scale: Scale) -> Table {
         let f = workloads::materialize(&ctx, Workload::UniformPerm, n, SEED).expect("gen");
         let (r, io_s, _) = measure(&ctx, || approx_splitters(&f, &spec));
         let sp = r.expect("splitters");
-        let rep = ctx.stats().paused(|| verify_splitters(&f, &sp, &spec)).expect("verify");
+        let rep = ctx
+            .stats()
+            .paused(|| verify_splitters(&f, &sp, &spec))
+            .expect("verify");
         assert!(rep.ok, "splitters invalid at M={m} B={b}");
         let pred_s = bounds::splitters_two_sided(cfg, n, k, 16, n / 2);
 
@@ -759,7 +849,14 @@ pub fn table1(scale: Scale) -> Table {
     let mut t = Table::new(
         "EX-T1",
         &format!("Table 1 summary: all six cells  [N={n}, K={k}, M=4096, B=64]"),
-        &["cell", "params", "measured", "predicted", "meas/pred", "sort (measured)"],
+        &[
+            "cell",
+            "params",
+            "measured",
+            "predicted",
+            "meas/pred",
+            "sort (measured)",
+        ],
     );
     // Measure the sorting baseline once on the same input.
     let sort_meas = {
@@ -834,6 +931,63 @@ pub fn table1(scale: Scale) -> Table {
     t
 }
 
+/// EX-FAULT: I/O overhead of the fault-injection + retry + checksum stack
+/// on the recoverable external sort, sweeping the transient fault rate on
+/// both backings. Fault-free I/O counts are unchanged by construction
+/// (each retried attempt charges only the `retries` counter plus backoff
+/// ticks), so the `I/Os` column should be flat and `retries` should grow
+/// linearly with the rate.
+pub fn ex_fault_overhead(scale: Scale) -> Table {
+    let n = scale.n() / 4;
+    let mut t = Table::new(
+        "EX-FAULT",
+        &format!("recoverable sort under injected transient faults  [N={n}]"),
+        &[
+            "backend",
+            "rate",
+            "I/Os",
+            "retries",
+            "backoff ticks",
+            "I/O overhead",
+        ],
+    );
+    let rates = [0.0, 0.005, 0.01, 0.02, 0.05, 0.1];
+    for backend in ["memory", "disk"] {
+        let mut clean_ios = 0.0f64;
+        for &rate in &rates {
+            let ctx = match backend {
+                "memory" => bench_ctx(),
+                _ => EmContext::new_on_disk_temp(bench_config()).expect("tempdir"),
+            };
+            let plan = FaultPlan::new(SEED ^ ((rate * 1e6) as u64)).transient_rate(rate);
+            ctx.install_fault_plan(plan.clone());
+            ctx.set_retry_policy(RetryPolicy::retries(30));
+            // Materialize as an oracle so the measured faults and retries
+            // all belong to the sort itself.
+            let f = ctx
+                .oracle(|| materialize(&ctx, Workload::UniformPerm, n, SEED))
+                .expect("materialize");
+            let (r, io, _) = measure(&ctx, || emsort::external_sort_recoverable(&f));
+            r.expect("recoverable sort");
+            let ios = io.total_ios() as f64;
+            if rate == 0.0 {
+                clean_ios = ios;
+            }
+            t.row(vec![
+                backend.into(),
+                format!("{rate}"),
+                fnum(ios),
+                io.retries.to_string(),
+                ctx.backoff_ticks().to_string(),
+                format!("{:+.2}%", 100.0 * (ios - clean_ios) / clean_ios),
+            ]);
+        }
+    }
+    t.note("transient device faults are cured by bounded retries; retried attempts charge only `retries` + backoff ticks, so billed I/Os stay flat as the fault rate grows");
+    t.note("the disk backend additionally verifies a per-block checksum on every read (stride carries 8 checksum bytes; billed bytes count payload only)");
+    t
+}
+
 /// Run every experiment and emit all tables.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     let tables = vec![
@@ -855,6 +1009,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         ex_vs_sort_scaling(scale),
         ex_geometry(scale),
         ex_reduction(scale),
+        ex_fault_overhead(scale),
     ];
     for t in &tables {
         emit(t);

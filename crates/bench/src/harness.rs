@@ -132,9 +132,13 @@ impl Table {
         print!("{}", self.to_markdown());
     }
 
-    /// Write as CSV under `bench_results/<id>.csv`; returns the path.
+    /// Write as CSV under the workspace-root `bench_results/<id>.csv`;
+    /// returns the path. The directory is anchored on the crate's manifest
+    /// location rather than the current working directory, so results land
+    /// in the same place whether invoked as `cargo run -p bench` from the
+    /// workspace root, from inside a crate, or via a built binary.
     pub fn write_csv(&self) -> std::io::Result<PathBuf> {
-        let dir = PathBuf::from("bench_results");
+        let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.id));
         let mut f = std::fs::File::create(&path)?;
@@ -144,6 +148,18 @@ impl Table {
         }
         Ok(path)
     }
+}
+
+/// The directory experiment CSVs are written to: `bench_results/` at the
+/// workspace root (two levels above this crate's `Cargo.toml`), regardless
+/// of the process working directory.
+pub fn results_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(&manifest)
+        .join("bench_results")
 }
 
 /// Format a float with sensible precision for tables.
@@ -197,7 +213,7 @@ mod tests {
     #[test]
     fn fnum_ranges() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(3.456), "3.46");
         assert_eq!(fnum(31.4159), "31.4");
         assert_eq!(fnum(3141.59), "3142");
     }

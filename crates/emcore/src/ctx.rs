@@ -1,12 +1,13 @@
 //! The execution context: model parameters + shared accounting + backing
 //! store for block files.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::path::PathBuf;
 use std::rc::Rc;
 
 use crate::config::EmConfig;
 use crate::error::Result;
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::file::{EmFile, Writer};
 use crate::memory::{MemoryTracker, TrackedVec};
 use crate::record::Record;
@@ -25,6 +26,9 @@ pub(crate) struct CtxInner {
     pub(crate) mem: MemoryTracker,
     pub(crate) backing: Backing,
     next_file_id: Cell<u64>,
+    pub(crate) fault_plan: RefCell<Option<FaultPlan>>,
+    pub(crate) retry_policy: Cell<RetryPolicy>,
+    pub(crate) backoff_ticks: Cell<u64>,
 }
 
 impl Drop for CtxInner {
@@ -43,7 +47,7 @@ impl Drop for CtxInner {
 /// use emcore::{EmConfig, EmContext};
 ///
 /// let ctx = EmContext::new_in_memory(EmConfig::tiny());
-/// let mut w = ctx.writer::<u64>();
+/// let mut w = ctx.writer::<u64>().unwrap();
 /// for x in 0..100u64 {
 ///     w.push(x).unwrap();
 /// }
@@ -78,7 +82,10 @@ impl EmContext {
         std::fs::create_dir_all(&dir)?;
         Ok(Self::build(
             config,
-            Backing::Directory { dir, cleanup: false },
+            Backing::Directory {
+                dir,
+                cleanup: false,
+            },
             false,
         ))
     }
@@ -112,6 +119,9 @@ impl EmContext {
                 mem: MemoryTracker::new(config.mem_capacity(), strict),
                 backing,
                 next_file_id: Cell::new(0),
+                fault_plan: RefCell::new(None),
+                retry_policy: Cell::new(RetryPolicy::NONE),
+                backoff_ticks: Cell::new(0),
             }),
         }
     }
@@ -147,9 +157,70 @@ impl EmContext {
         EmFile::create(self.clone(), id)
     }
 
-    /// Create a buffered writer building a fresh file.
-    pub fn writer<T: Record>(&self) -> Writer<T> {
+    /// Create a buffered writer building a fresh file. Fails if the backing
+    /// store cannot create the file (or the device layer injects a fault).
+    pub fn writer<T: Record>(&self) -> Result<Writer<T>> {
         Writer::new(self.clone())
+    }
+
+    /// Install a [`FaultPlan`]: every subsequent block transfer on this
+    /// context (both backends) consults the plan. Pass a clone and keep one
+    /// handle to inspect [`FaultPlan::injected`] or to
+    /// [`FaultPlan::clear_crash`].
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.fault_plan.borrow_mut() = Some(plan);
+    }
+
+    /// Remove any installed fault plan.
+    pub fn clear_fault_plan(&self) {
+        *self.inner.fault_plan.borrow_mut() = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.fault_plan.borrow().clone()
+    }
+
+    /// Set the retry policy applied to every block transfer.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.inner.retry_policy.set(policy);
+    }
+
+    /// The current retry policy.
+    #[inline]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry_policy.get()
+    }
+
+    /// Virtual backoff ticks accumulated by retried I/Os (see
+    /// [`RetryPolicy`]).
+    pub fn backoff_ticks(&self) -> u64 {
+        self.inner.backoff_ticks.get()
+    }
+
+    pub(crate) fn note_backoff(&self, ticks: u64) {
+        self.inner
+            .backoff_ticks
+            .set(self.inner.backoff_ticks.get().saturating_add(ticks));
+    }
+
+    /// Run `f` as an *oracle*: I/O accounting is paused and fault injection
+    /// is suspended, so verification scans neither show up in [`IoStats`]
+    /// nor consume the fault schedule. A pending crash still blocks I/O.
+    pub fn oracle<R>(&self, f: impl FnOnce() -> R) -> R {
+        let plan = self.fault_plan();
+        match plan {
+            Some(p) => self.inner.stats.paused(|| p.suspended(f)),
+            None => self.inner.stats.paused(f),
+        }
+    }
+
+    /// The backing directory for file-backed contexts (`None` in memory).
+    pub fn backing_dir(&self) -> Option<PathBuf> {
+        match &self.inner.backing {
+            Backing::Memory => None,
+            Backing::Directory { dir, .. } => Some(dir.clone()),
+        }
     }
 
     /// Allocate a memory-metered buffer of `cap` records of `T`.
@@ -166,7 +237,12 @@ impl EmContext {
     /// Allocate a memory-metered buffer of `cap` items charged at an
     /// explicit `words_per_item` (for composite bookkeeping entries that
     /// are not themselves [`Record`]s).
-    pub fn tracked_buf<T>(&self, cap: usize, words_per_item: usize, context: &str) -> TrackedVec<T> {
+    pub fn tracked_buf<T>(
+        &self,
+        cap: usize,
+        words_per_item: usize,
+        context: &str,
+    ) -> TrackedVec<T> {
         TrackedVec::with_capacity(&self.inner.mem, cap, words_per_item, context)
     }
 

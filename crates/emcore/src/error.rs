@@ -24,12 +24,39 @@ pub enum EmError {
     },
     /// Underlying I/O failure from the file-backed device.
     Io(std::io::Error),
+    /// A block failed checksum verification on read: the stored payload does
+    /// not match the checksum written with it (torn write, bit rot, or an
+    /// injected corruption fault).
+    Corrupt {
+        /// The block whose checksum failed.
+        block: u64,
+        /// The id of the file the block belongs to.
+        file: u64,
+    },
+    /// A transient device failure (injected by a [`crate::FaultPlan`]); the
+    /// same operation may succeed if retried.
+    Transient {
+        /// Which operation failed.
+        op: crate::fault::IoOp,
+        /// Global device-attempt index at which the fault fired.
+        index: u64,
+    },
+    /// The simulated machine has crashed ([`crate::FaultKind::Fatal`]); all
+    /// I/O fails until [`crate::FaultPlan::clear_crash`] models a restart.
+    Crashed,
 }
 
 impl EmError {
     /// Construct a [`EmError::Config`] from anything stringy.
     pub fn config(msg: impl Into<String>) -> Self {
         EmError::Config(msg.into())
+    }
+
+    /// Whether retrying the same operation could succeed: transient faults
+    /// and (in-flight) corrupt reads are retryable; crashes and persistent
+    /// errors are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, EmError::Transient { .. } | EmError::Corrupt { .. })
     }
 }
 
@@ -49,6 +76,13 @@ impl std::fmt::Display for EmError {
                 write!(f, "block {block} out of bounds (file has {blocks} blocks)")
             }
             EmError::Io(e) => write!(f, "I/O error: {e}"),
+            EmError::Corrupt { block, file } => {
+                write!(f, "checksum mismatch reading block {block} of file {file}")
+            }
+            EmError::Transient { op, index } => {
+                write!(f, "transient {op} failure at device attempt {index}")
+            }
+            EmError::Crashed => write!(f, "simulated crash: context requires restart"),
         }
     }
 }
@@ -95,7 +129,7 @@ mod tests {
 
     #[test]
     fn io_error_source_preserved() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e = EmError::from(io);
         assert!(std::error::Error::source(&e).is_some());
     }

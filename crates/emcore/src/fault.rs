@@ -1,0 +1,476 @@
+//! Deterministic fault injection at the device layer.
+//!
+//! A [`FaultPlan`] installed on an [`crate::EmContext`] intercepts every
+//! block transfer *beneath* both backings (host-RAM and real files) and
+//! injects failures according to a seeded, fully deterministic schedule:
+//!
+//! * **Transient** read/write errors — the attempt fails, the device is
+//!   untouched; a retry succeeds (unless the schedule strikes again).
+//! * **Torn writes** — a prefix of the block reaches the device, then the
+//!   attempt fails; on the file backend the stored checksum no longer
+//!   matches, so a later read of the torn block surfaces
+//!   [`crate::EmError::Corrupt`] instead of garbage.
+//! * **Silent corruption** — a bit flip on the payload, either in-flight on
+//!   a read (detected by the file backend's verify-on-read, and curable by
+//!   retrying) or persisted on a write (detected at every subsequent read).
+//! * **Fatal** — a simulated crash: the attempt and every subsequent I/O on
+//!   the context fail with [`crate::EmError::Crashed`] until
+//!   [`FaultPlan::clear_crash`] models a restart.
+//!
+//! Injection is driven by per-attempt counters, so a schedule replays
+//! bit-for-bit: the `i`-th device attempt of a deterministic algorithm is
+//! the same operation in every run. Recovery overhead is observable: each
+//! failed-then-retried attempt increments [`crate::Counters::retries`], and
+//! every checksum miss increments [`crate::Counters::corrupt_reads`], both
+//! attributed to the enclosing [`crate::IoStats`] phase.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::rng::SplitMix64;
+
+/// Direction of a device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// A block read.
+    Read,
+    /// A block write.
+    Write,
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoOp::Read => write!(f, "read"),
+            IoOp::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// What kind of failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail a read attempt; the device is untouched.
+    TransientRead,
+    /// Fail a write attempt; the device is untouched.
+    TransientWrite,
+    /// Persist only a prefix of the block, then fail the write attempt.
+    TornWrite,
+    /// Flip one payload bit in-flight on a read. The file backend detects
+    /// this via its block checksum ([`crate::EmError::Corrupt`]); the
+    /// memory backend has no checksums, so the flip goes through silently.
+    CorruptRead,
+    /// Flip one payload bit before it is persisted (the write *succeeds*).
+    /// The file backend detects the damage on every subsequent read.
+    CorruptWrite,
+    /// Simulated crash: this attempt and all following I/Os fail with
+    /// [`crate::EmError::Crashed`] until [`FaultPlan::clear_crash`].
+    Fatal,
+}
+
+impl FaultKind {
+    /// Whether this fault can fire on the given operation.
+    fn applies_to(self, op: IoOp) -> bool {
+        match self {
+            FaultKind::TransientRead | FaultKind::CorruptRead => op == IoOp::Read,
+            FaultKind::TransientWrite | FaultKind::TornWrite | FaultKind::CorruptWrite => {
+                op == IoOp::Write
+            }
+            FaultKind::Fatal => true,
+        }
+    }
+}
+
+/// When a fault fires. All triggers are evaluated against *device attempt*
+/// counters (retries advance them too), so a schedule is deterministic for
+/// a deterministic algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// The `n`-th device attempt overall (0-based).
+    Nth(u64),
+    /// The `n`-th attempt of the matching operation (0-based).
+    NthOp(u64),
+    /// Every `n`-th matching attempt (`n ≥ 1`; fires at n-1, 2n-1, ...).
+    EveryNth(u64),
+    /// Each matching attempt independently with probability `prob`, drawn
+    /// from the plan's seeded RNG.
+    Rate(f64),
+}
+
+/// One entry of a fault schedule: fire `kind` whenever `trigger` matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// When to fire.
+    pub trigger: Trigger,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// How many faults of each kind a plan has injected so far.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transient read failures injected.
+    pub transient_reads: u64,
+    /// Transient write failures injected.
+    pub transient_writes: u64,
+    /// Torn writes injected.
+    pub torn_writes: u64,
+    /// In-flight read corruptions injected.
+    pub corrupt_reads: u64,
+    /// Persisted write corruptions injected.
+    pub corrupt_writes: u64,
+    /// Fatal (crash) faults injected.
+    pub fatal: u64,
+}
+
+impl FaultCounts {
+    /// Faults that fail the attempt and are curable by retrying the same
+    /// operation: transients and torn writes. (In-flight read corruption is
+    /// also retry-curable but only *detected* on the file backend, so it is
+    /// tallied separately.)
+    pub fn transient_total(&self) -> u64 {
+        self.transient_reads + self.transient_writes + self.torn_writes
+    }
+
+    /// All injected faults.
+    pub fn total(&self) -> u64 {
+        self.transient_total() + self.corrupt_reads + self.corrupt_writes + self.fatal
+    }
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    specs: Vec<FaultSpec>,
+    rng: SplitMix64,
+    attempts: u64,
+    attempts_read: u64,
+    attempts_write: u64,
+    injected: FaultCounts,
+    crashed: bool,
+    suspended: u32,
+}
+
+/// A seeded, deterministic fault schedule shared by all clones (install a
+/// clone on the context, keep one to query [`FaultPlan::injected`] or to
+/// [`FaultPlan::clear_crash`] after a simulated crash).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Rc<RefCell<PlanInner>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given RNG seed for
+    /// [`Trigger::Rate`] draws.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(PlanInner {
+                specs: Vec::new(),
+                rng: SplitMix64::new(seed),
+                attempts: 0,
+                attempts_read: 0,
+                attempts_write: 0,
+                injected: FaultCounts::default(),
+                crashed: false,
+                suspended: 0,
+            })),
+        }
+    }
+
+    /// Add a schedule entry (builder style).
+    pub fn with(self, spec: FaultSpec) -> Self {
+        self.inner.borrow_mut().specs.push(spec);
+        self
+    }
+
+    /// Fail the `n`-th device attempt overall with `kind`.
+    pub fn fail_nth(self, n: u64, kind: FaultKind) -> Self {
+        self.with(FaultSpec {
+            trigger: Trigger::Nth(n),
+            kind,
+        })
+    }
+
+    /// Inject transient faults (reads and writes) at `prob` per attempt.
+    pub fn transient_rate(self, prob: f64) -> Self {
+        self.with(FaultSpec {
+            trigger: Trigger::Rate(prob),
+            kind: FaultKind::TransientRead,
+        })
+        .with(FaultSpec {
+            trigger: Trigger::Rate(prob),
+            kind: FaultKind::TransientWrite,
+        })
+    }
+
+    /// Crash at the `n`-th device attempt overall.
+    pub fn fatal_at(self, n: u64) -> Self {
+        self.fail_nth(n, FaultKind::Fatal)
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> FaultCounts {
+        self.inner.borrow().injected
+    }
+
+    /// Device attempts observed so far (successful or not, reads + writes).
+    pub fn attempts(&self) -> u64 {
+        self.inner.borrow().attempts
+    }
+
+    /// Whether a [`FaultKind::Fatal`] fault has fired and not been cleared.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.borrow().crashed
+    }
+
+    /// Model a restart after a crash: subsequent I/O proceeds normally
+    /// (the schedule keeps advancing from where it was).
+    pub fn clear_crash(&self) {
+        self.inner.borrow_mut().crashed = false;
+    }
+
+    /// Run `f` with injection suspended (attempt counters do not advance).
+    /// Verification oracles use this so checking an output is not itself
+    /// subject to the fault schedule. Suspensions nest. A pending crash
+    /// still blocks I/O — a crashed machine cannot run oracles either.
+    pub fn suspended<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.inner.borrow_mut().suspended += 1;
+        let _guard = SuspendGuard { plan: self };
+        f()
+    }
+
+    /// Decide the fate of the next device attempt of `op`. Returns the
+    /// fault to inject, if any; `None` means the attempt proceeds normally.
+    /// A pending crash reports as `Fatal` without advancing the schedule.
+    pub(crate) fn decide(&self, op: IoOp) -> Option<FaultKind> {
+        let mut g = self.inner.borrow_mut();
+        if g.suspended > 0 && !g.crashed {
+            return None;
+        }
+        if g.crashed {
+            return Some(FaultKind::Fatal);
+        }
+        let (nth, nth_op) = match op {
+            IoOp::Read => (g.attempts, g.attempts_read),
+            IoOp::Write => (g.attempts, g.attempts_write),
+        };
+        g.attempts += 1;
+        match op {
+            IoOp::Read => g.attempts_read += 1,
+            IoOp::Write => g.attempts_write += 1,
+        }
+        let mut fired: Option<FaultKind> = None;
+        for i in 0..g.specs.len() {
+            let spec = g.specs[i];
+            if !spec.kind.applies_to(op) {
+                continue;
+            }
+            let hit = match spec.trigger {
+                Trigger::Nth(n) => nth == n,
+                Trigger::NthOp(n) => nth_op == n,
+                Trigger::EveryNth(n) => n >= 1 && (nth_op + 1) % n == 0,
+                // Every Rate spec draws on every matching attempt, fired or
+                // not, so the schedule is independent of other entries.
+                Trigger::Rate(p) => g.rng.unit() < p,
+            };
+            if hit && fired.is_none() {
+                fired = Some(spec.kind);
+            }
+        }
+        if let Some(kind) = fired {
+            match kind {
+                FaultKind::TransientRead => g.injected.transient_reads += 1,
+                FaultKind::TransientWrite => g.injected.transient_writes += 1,
+                FaultKind::TornWrite => g.injected.torn_writes += 1,
+                FaultKind::CorruptRead => g.injected.corrupt_reads += 1,
+                FaultKind::CorruptWrite => g.injected.corrupt_writes += 1,
+                FaultKind::Fatal => {
+                    g.injected.fatal += 1;
+                    g.crashed = true;
+                }
+            }
+        }
+        fired
+    }
+
+    /// The global attempt index of the *next* device attempt (for error
+    /// reporting: the index at which a fault fired).
+    pub(crate) fn last_attempt_index(&self) -> u64 {
+        self.inner.borrow().attempts.saturating_sub(1)
+    }
+}
+
+struct SuspendGuard<'a> {
+    plan: &'a FaultPlan,
+}
+
+impl Drop for SuspendGuard<'_> {
+    fn drop(&mut self) {
+        self.plan.inner.borrow_mut().suspended -= 1;
+    }
+}
+
+/// Bounded-retry policy with a deterministic exponential backoff schedule.
+///
+/// The EM model has no wall clock, so backoff is accounted in *virtual
+/// ticks* (`backoff_base << (attempt-1)` before the `attempt`-th retry),
+/// accumulated on the context ([`crate::EmContext::backoff_ticks`]) — the
+/// schedule is observable and reproducible without real sleeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per block transfer (1 = no retries).
+    pub max_attempts: u32,
+    /// Base of the exponential backoff schedule, in virtual ticks.
+    pub backoff_base: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure surfaces to the caller.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        backoff_base: 0,
+    };
+
+    /// Up to `retries` retries (so `retries + 1` attempts), unit backoff.
+    pub fn retries(retries: u32) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            backoff_base: 1,
+        }
+    }
+
+    /// Virtual ticks to back off before retry number `attempt` (1-based
+    /// count of *failed* attempts so far): `base · 2^(attempt−1)`, capped.
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        self.backoff_base
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(32))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new(1);
+        for _ in 0..100 {
+            assert_eq!(p.decide(IoOp::Read), None);
+            assert_eq!(p.decide(IoOp::Write), None);
+        }
+        assert_eq!(p.injected().total(), 0);
+        assert_eq!(p.attempts(), 200);
+    }
+
+    #[test]
+    fn nth_fires_once_at_exact_attempt() {
+        let p = FaultPlan::new(0).fail_nth(2, FaultKind::TransientRead);
+        assert_eq!(p.decide(IoOp::Read), None); // attempt 0
+        assert_eq!(p.decide(IoOp::Read), None); // attempt 1
+        assert_eq!(p.decide(IoOp::Read), Some(FaultKind::TransientRead)); // 2
+        assert_eq!(p.decide(IoOp::Read), None);
+        assert_eq!(p.injected().transient_reads, 1);
+    }
+
+    #[test]
+    fn op_mismatch_does_not_fire() {
+        let p = FaultPlan::new(0).fail_nth(0, FaultKind::TransientWrite);
+        // Attempt 0 is a read; the write fault does not apply.
+        assert_eq!(p.decide(IoOp::Read), None);
+        assert_eq!(p.decide(IoOp::Write), None); // overall attempt 1 ≠ 0
+        assert_eq!(p.injected().total(), 0);
+    }
+
+    #[test]
+    fn every_nth_periodic() {
+        let p = FaultPlan::new(0).with(FaultSpec {
+            trigger: Trigger::EveryNth(3),
+            kind: FaultKind::TransientWrite,
+        });
+        let mut fired = 0;
+        for _ in 0..9 {
+            if p.decide(IoOp::Write).is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 3);
+    }
+
+    #[test]
+    fn rate_deterministic_per_seed() {
+        let run = |seed| {
+            let p = FaultPlan::new(seed).transient_rate(0.3);
+            (0..200)
+                .map(|i| {
+                    p.decide(if i % 2 == 0 { IoOp::Read } else { IoOp::Write })
+                        .is_some()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        assert!(run(7).iter().filter(|&&b| b).count() > 10);
+    }
+
+    #[test]
+    fn fatal_sticks_until_cleared() {
+        let p = FaultPlan::new(0).fatal_at(1);
+        assert_eq!(p.decide(IoOp::Read), None);
+        assert_eq!(p.decide(IoOp::Write), Some(FaultKind::Fatal));
+        assert!(p.is_crashed());
+        // Everything fails now, without advancing the schedule.
+        let attempts = p.attempts();
+        assert_eq!(p.decide(IoOp::Read), Some(FaultKind::Fatal));
+        assert_eq!(p.attempts(), attempts);
+        p.clear_crash();
+        assert_eq!(p.decide(IoOp::Read), None);
+    }
+
+    #[test]
+    fn suspension_freezes_schedule() {
+        let p = FaultPlan::new(0).fail_nth(1, FaultKind::TransientRead);
+        assert_eq!(p.decide(IoOp::Read), None); // attempt 0
+        p.suspended(|| {
+            for _ in 0..50 {
+                assert_eq!(p.decide(IoOp::Read), None);
+            }
+        });
+        // Next unsuspended attempt is still index 1.
+        assert_eq!(p.decide(IoOp::Read), Some(FaultKind::TransientRead));
+    }
+
+    #[test]
+    fn crash_blocks_even_suspended() {
+        let p = FaultPlan::new(0).fatal_at(0);
+        assert_eq!(p.decide(IoOp::Read), Some(FaultKind::Fatal));
+        p.suspended(|| {
+            assert_eq!(p.decide(IoOp::Read), Some(FaultKind::Fatal));
+        });
+    }
+
+    #[test]
+    fn retry_policy_backoff_schedule() {
+        let r = RetryPolicy {
+            max_attempts: 5,
+            backoff_base: 2,
+        };
+        assert_eq!(r.backoff_ticks(1), 2);
+        assert_eq!(r.backoff_ticks(2), 4);
+        assert_eq!(r.backoff_ticks(3), 8);
+        assert_eq!(RetryPolicy::NONE.backoff_ticks(1), 0);
+        assert_eq!(RetryPolicy::retries(3).max_attempts, 4);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = FaultPlan::new(0).fail_nth(0, FaultKind::TransientRead);
+        let q = p.clone();
+        assert_eq!(q.decide(IoOp::Read), Some(FaultKind::TransientRead));
+        assert_eq!(p.injected().transient_reads, 1);
+    }
+}

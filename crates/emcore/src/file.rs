@@ -9,15 +9,43 @@
 //! Files are append-only at the block level (only the last block may be
 //! partial), which is all the algorithms in this workspace need; random
 //! *reads* are allowed anywhere.
+//!
+//! ## Device layer: faults, checksums, retries
+//!
+//! Every block transfer goes through a device layer *beneath* both backends:
+//!
+//! * If the context has a [`crate::FaultPlan`], each attempt consults it and
+//!   may fail transiently, tear the write, corrupt the payload, or crash.
+//! * On the file backend, each block is stored with an 8-byte checksum of
+//!   its payload ([`crate::block_checksum`]) at a fixed slot after the
+//!   block's full capacity; every read verifies it and surfaces
+//!   [`EmError::Corrupt`] on mismatch (this is what catches torn writes and
+//!   silent corruption). The memory backend has no checksums — in-flight
+//!   read corruption there is silent, which is exactly the danger checksums
+//!   exist to remove.
+//! * Retryable failures (transient errors, checksum misses) are retried
+//!   under the context's [`crate::RetryPolicy`]; every failed-then-retried
+//!   attempt is charged to [`crate::Counters::retries`] and its backoff to
+//!   [`crate::EmContext::backoff_ticks`]. The *successful* attempt is
+//!   charged to `reads`/`writes` as usual, so fault-free I/O counts are
+//!   unchanged by this machinery.
+//!
+//! Byte counters (`bytes_read`/`bytes_written`) account payload only, not
+//! checksums, so they keep meaning "record bytes moved".
 
 use std::cell::RefCell;
 use std::fs::File;
 use std::path::PathBuf;
 
-use crate::ctx::{Backing, EmContext};
+use crate::checksum::block_checksum;
+use crate::ctx::EmContext;
 use crate::error::{EmError, Result};
+use crate::fault::{FaultKind, IoOp};
 use crate::memory::TrackedVec;
 use crate::record::Record;
+
+/// Width of the per-block checksum on the file backend.
+const CHECKSUM_BYTES: usize = 8;
 
 #[derive(Debug)]
 enum Storage<T: Record> {
@@ -29,6 +57,66 @@ enum Storage<T: Record> {
     },
 }
 
+/// Outcome of consulting the fault plan that the device handler must act on
+/// mid-transfer (transients and crashes short-circuit to `Err` earlier).
+enum Injected {
+    None,
+    /// Persist a prefix, then fail with the given attempt index.
+    Torn(u64),
+    /// Flip a payload bit in-flight (reads) or before persisting (writes).
+    Corrupt,
+}
+
+/// Consult the fault plan for the next device attempt. Transients and
+/// crashes return `Err`; faults with device-state side effects are returned
+/// for the backend handler to perform.
+fn consult_plan(ctx: &EmContext, op: IoOp) -> Result<Injected> {
+    let plan = ctx.fault_plan();
+    let Some(plan) = plan else {
+        return Ok(Injected::None);
+    };
+    match plan.decide(op) {
+        None => Ok(Injected::None),
+        Some(FaultKind::Fatal) => Err(EmError::Crashed),
+        Some(FaultKind::TransientRead) | Some(FaultKind::TransientWrite) => {
+            Err(EmError::Transient {
+                op,
+                index: plan.last_attempt_index(),
+            })
+        }
+        Some(FaultKind::TornWrite) => Ok(Injected::Torn(plan.last_attempt_index())),
+        Some(FaultKind::CorruptRead) | Some(FaultKind::CorruptWrite) => Ok(Injected::Corrupt),
+    }
+}
+
+/// Run one block transfer under the context's retry policy: retryable
+/// failures are retried up to `max_attempts` total attempts, charging one
+/// `retries` count and a deterministic backoff per failed attempt.
+fn with_retries<R>(ctx: &EmContext, mut attempt: impl FnMut() -> Result<R>) -> Result<R> {
+    let policy = ctx.retry_policy();
+    let mut failed: u32 = 0;
+    loop {
+        match attempt() {
+            Ok(r) => return Ok(r),
+            Err(e) if e.is_retryable() && failed + 1 < policy.max_attempts => {
+                failed += 1;
+                ctx.stats().record_retry();
+                ctx.note_backoff(policy.backoff_ticks(failed));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Flip one bit of a record through its byte encoding (memory-backend
+/// corruption, where there is no byte image to damage directly).
+fn flip_record_bit<T: Record>(r: &T) -> T {
+    let mut buf = vec![0u8; T::BYTES];
+    r.write_bytes(&mut buf);
+    buf[0] ^= 1;
+    T::read_bytes(&buf)
+}
+
 /// A sequence of records stored in `B`-record blocks on the context's
 /// backing store.
 #[derive(Debug)]
@@ -36,14 +124,14 @@ pub struct EmFile<T: Record> {
     ctx: EmContext,
     storage: Storage<T>,
     len: u64,
+    id: u64,
 }
 
 impl<T: Record> EmFile<T> {
     pub(crate) fn create(ctx: EmContext, id: u64) -> Result<Self> {
-        let storage = match &ctx.inner.backing {
-            Backing::Memory => Storage::Mem(Vec::new()),
-            Backing::Directory { .. } => {
-                let path = ctx.file_path(id).expect("directory backing has paths");
+        let storage = match ctx.file_path(id) {
+            None => Storage::Mem(Vec::new()),
+            Some(path) => {
                 let file = File::options()
                     .read(true)
                     .write(true)
@@ -61,6 +149,7 @@ impl<T: Record> EmFile<T> {
             ctx,
             storage,
             len: 0,
+            id,
         })
     }
 
@@ -68,6 +157,13 @@ impl<T: Record> EmFile<T> {
     #[inline]
     pub fn ctx(&self) -> &EmContext {
         &self.ctx
+    }
+
+    /// This file's id within its context (stable across the context's
+    /// lifetime; the `file` field of [`EmError::Corrupt`]).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Records per block for this record type: `max(1, B / T::WORDS)` —
@@ -104,7 +200,134 @@ impl<T: Record> EmFile<T> {
         (self.len - start).min(b) as usize
     }
 
-    /// Read block `block` into `buf` (cleared first). Charges one read I/O.
+    /// On-disk stride of one block: full payload capacity plus checksum.
+    #[inline]
+    fn disk_stride(&self) -> u64 {
+        (self.block_capacity() * T::BYTES + CHECKSUM_BYTES) as u64
+    }
+
+    /// One device read attempt: consult the fault plan, transfer, verify.
+    fn device_read(&self, block: u64, count: usize, buf: &mut Vec<T>) -> Result<()> {
+        let injected = consult_plan(&self.ctx, IoOp::Read)?;
+        buf.clear();
+        match &self.storage {
+            Storage::Mem(blocks) => {
+                buf.extend_from_slice(&blocks[block as usize]);
+                if matches!(injected, Injected::Corrupt) && !buf.is_empty() {
+                    // No checksums in RAM: the flip goes through silently.
+                    buf[0] = flip_record_bit(&buf[0]);
+                }
+                self.ctx.stats().record_read(0);
+            }
+            Storage::Disk { file, scratch, .. } => {
+                use std::os::unix::fs::FileExt;
+                let bytes = count * T::BYTES;
+                let off = block * self.disk_stride();
+                let mut sc = scratch.borrow_mut();
+                sc.resize(bytes + CHECKSUM_BYTES, 0);
+                let (payload, sum) = sc.split_at_mut(bytes);
+                file.read_exact_at(payload, off)?;
+                file.read_exact_at(sum, off + (self.block_capacity() * T::BYTES) as u64)?;
+                if matches!(injected, Injected::Corrupt) && bytes > 0 {
+                    payload[0] ^= 1;
+                }
+                let stored = u64::from_le_bytes(sum.try_into().map_err(|_| EmError::Corrupt {
+                    block,
+                    file: self.id,
+                })?);
+                if block_checksum(payload) != stored {
+                    self.ctx.stats().record_corrupt_read();
+                    return Err(EmError::Corrupt {
+                        block,
+                        file: self.id,
+                    });
+                }
+                for i in 0..count {
+                    buf.push(T::read_bytes(&payload[i * T::BYTES..]));
+                }
+                self.ctx.stats().record_read(bytes as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// One device write attempt into block slot `slot`.
+    fn device_write(&mut self, slot: u64, data: &[T]) -> Result<()> {
+        let injected = consult_plan(&self.ctx, IoOp::Write)?;
+        match &mut self.storage {
+            Storage::Mem(blocks) => {
+                let store = |blocks: &mut Vec<Box<[T]>>, payload: Box<[T]>| {
+                    let s = slot as usize;
+                    if s < blocks.len() {
+                        blocks[s] = payload;
+                    } else {
+                        debug_assert_eq!(s, blocks.len());
+                        blocks.push(payload);
+                    }
+                };
+                match injected {
+                    Injected::Torn(index) => {
+                        // Persist a prefix, then fail; a retry overwrites
+                        // the torn slot.
+                        store(blocks, data[..data.len() / 2].to_vec().into_boxed_slice());
+                        return Err(EmError::Transient {
+                            op: IoOp::Write,
+                            index,
+                        });
+                    }
+                    Injected::Corrupt => {
+                        let mut payload = data.to_vec();
+                        payload[0] = flip_record_bit(&payload[0]);
+                        store(blocks, payload.into_boxed_slice());
+                    }
+                    Injected::None => store(blocks, data.to_vec().into_boxed_slice()),
+                }
+                self.ctx.stats().record_write(0);
+            }
+            Storage::Disk { file, scratch, .. } => {
+                use std::os::unix::fs::FileExt;
+                let bytes = data.len() * T::BYTES;
+                let cap_bytes = self.ctx.config().block_records_for_width(T::WORDS) * T::BYTES;
+                let off = slot * ((cap_bytes + CHECKSUM_BYTES) as u64);
+                let mut sc = scratch.borrow_mut();
+                sc.clear();
+                sc.resize(cap_bytes + CHECKSUM_BYTES, 0);
+                for (i, r) in data.iter().enumerate() {
+                    r.write_bytes(&mut sc[i * T::BYTES..(i + 1) * T::BYTES]);
+                }
+                // Checksum covers the payload as it *should* be; a
+                // corrupting fault damages the payload after this point so
+                // the damage is detectable on read.
+                let sum = block_checksum(&sc[..bytes]);
+                sc[cap_bytes..].copy_from_slice(&sum.to_le_bytes());
+                match injected {
+                    Injected::Torn(index) => {
+                        // Persist only a payload prefix; the checksum slot
+                        // keeps whatever it held (zeroes for a fresh block),
+                        // so a read of the torn block reports Corrupt.
+                        file.write_all_at(&sc[..bytes / 2], off)?;
+                        return Err(EmError::Transient {
+                            op: IoOp::Write,
+                            index,
+                        });
+                    }
+                    Injected::Corrupt => {
+                        if bytes > 0 {
+                            sc[0] ^= 1;
+                        }
+                    }
+                    Injected::None => {}
+                }
+                file.write_all_at(&sc[..], off)?;
+                self.ctx.stats().record_write(bytes as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Read block `block` into `buf` (cleared first). Charges one read I/O;
+    /// retryable device failures are retried per the context's
+    /// [`crate::RetryPolicy`].
     ///
     /// `buf` is a plain `Vec` so callers can pass the interior of a
     /// [`TrackedVec`] — the *caller* owns the memory charge for the buffer.
@@ -114,30 +337,14 @@ impl<T: Record> EmFile<T> {
             return Err(EmError::OutOfBounds { block, blocks: nb });
         }
         let count = self.block_len(block);
-        buf.clear();
-        match &self.storage {
-            Storage::Mem(blocks) => {
-                buf.extend_from_slice(&blocks[block as usize]);
-                self.ctx.stats().record_read(0);
-            }
-            Storage::Disk { file, scratch, .. } => {
-                use std::os::unix::fs::FileExt;
-                let bytes = count * T::BYTES;
-                let mut sc = scratch.borrow_mut();
-                sc.resize(bytes, 0);
-                let off = block * (self.block_capacity() * T::BYTES) as u64;
-                file.read_exact_at(&mut sc[..], off)?;
-                for i in 0..count {
-                    buf.push(T::read_bytes(&sc[i * T::BYTES..]));
-                }
-                self.ctx.stats().record_read(bytes as u64);
-            }
-        }
+        let ctx = self.ctx.clone();
+        with_retries(&ctx, || self.device_read(block, count, buf))?;
         debug_assert_eq!(buf.len(), count);
         Ok(())
     }
 
-    /// Append `data` as the next block. Charges one write I/O.
+    /// Append `data` as the next block. Charges one write I/O; retryable
+    /// device failures are retried per the context's [`crate::RetryPolicy`].
     ///
     /// `data` must contain between 1 and `B` records, and appending after a
     /// partial block is rejected (only the last block may be partial).
@@ -149,29 +356,14 @@ impl<T: Record> EmFile<T> {
                 data.len()
             )));
         }
-        if self.len % b as u64 != 0 {
+        if !self.len.is_multiple_of(b as u64) {
             return Err(EmError::config(
                 "append_block: file ends in a partial block; only the last block may be partial",
             ));
         }
-        match &mut self.storage {
-            Storage::Mem(blocks) => {
-                blocks.push(data.to_vec().into_boxed_slice());
-                self.ctx.stats().record_write(0);
-            }
-            Storage::Disk { file, scratch, .. } => {
-                use std::os::unix::fs::FileExt;
-                let bytes = data.len() * T::BYTES;
-                let mut sc = scratch.borrow_mut();
-                sc.resize(bytes, 0);
-                for (i, r) in data.iter().enumerate() {
-                    r.write_bytes(&mut sc[i * T::BYTES..(i + 1) * T::BYTES]);
-                }
-                let off = (self.len / b as u64) * (b * T::BYTES) as u64;
-                file.write_all_at(&sc[..], off)?;
-                self.ctx.stats().record_write(bytes as u64);
-            }
-        }
+        let slot = self.len / b as u64;
+        let ctx = self.ctx.clone();
+        with_retries(&ctx, || self.device_write(slot, data))?;
         self.len += data.len() as u64;
         Ok(())
     }
@@ -205,7 +397,9 @@ impl<T: Record> EmFile<T> {
     /// `Vec` is *not* metered.
     pub fn to_vec(&self) -> Result<Vec<T>> {
         let mut out = Vec::with_capacity(self.len as usize);
-        let mut buf = self.ctx.tracked_vec::<T>(self.block_capacity(), "to_vec block");
+        let mut buf = self
+            .ctx
+            .tracked_vec::<T>(self.block_capacity(), "to_vec block");
         for blk in 0..self.num_blocks() {
             self.read_block_into(blk, &mut buf)?;
             out.extend_from_slice(&buf);
@@ -215,7 +409,7 @@ impl<T: Record> EmFile<T> {
 
     /// Build a file from a slice, charging the write scan.
     pub fn from_slice(ctx: &EmContext, data: &[T]) -> Result<Self> {
-        let mut w = ctx.writer::<T>();
+        let mut w = ctx.writer::<T>()?;
         for &x in data {
             w.push(x)?;
         }
@@ -290,6 +484,9 @@ impl<'a, T: Record> Reader<'a, T> {
     }
 
     /// Next record, or `None` at end of file.
+    // Fallible streaming, deliberately not Iterator (whose `next` cannot
+    // surface `EmError`).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<T>> {
         if !self.fill()? {
             return Ok(None);
@@ -309,8 +506,7 @@ impl<'a, T: Record> Reader<'a, T> {
 
     /// Records remaining (including any buffered).
     pub fn remaining(&self) -> u64 {
-        let consumed =
-            (self.next_block.saturating_sub(1)) * self.file.block_capacity() as u64;
+        let consumed = (self.next_block.saturating_sub(1)) * self.file.block_capacity() as u64;
         let consumed = if self.next_block == 0 {
             0
         } else {
@@ -328,10 +524,10 @@ pub struct Writer<T: Record> {
 }
 
 impl<T: Record> Writer<T> {
-    pub(crate) fn new(ctx: EmContext) -> Self {
-        let file = ctx.create_file::<T>().expect("file creation");
+    pub(crate) fn new(ctx: EmContext) -> Result<Self> {
+        let file = ctx.create_file::<T>()?;
         let buf = ctx.tracked_vec::<T>(file.block_capacity(), "writer block buffer");
-        Self { file, buf }
+        Ok(Self { file, buf })
     }
 
     /// Append one record.
@@ -376,6 +572,7 @@ impl<T: Record> Writer<T> {
 mod tests {
     use super::*;
     use crate::config::EmConfig;
+    use crate::fault::{FaultPlan, RetryPolicy};
     use crate::record::KeyValue;
 
     fn mem_ctx() -> EmContext {
@@ -402,12 +599,19 @@ mod tests {
         assert_eq!(c.writes, 63); // ceil(1000/16)
         assert_eq!(c.reads, 63);
         assert!(c.bytes_written >= 8000);
+        assert_eq!(c.retries, 0);
+        assert_eq!(c.corrupt_reads, 0);
     }
 
     #[test]
     fn disk_roundtrip_multiword_record() {
         let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
-        let data: Vec<KeyValue> = (0..50).map(|i| KeyValue { key: i, value: i * 10 }).collect();
+        let data: Vec<KeyValue> = (0..50)
+            .map(|i| KeyValue {
+                key: i,
+                value: i * 10,
+            })
+            .collect();
         let f = EmFile::from_slice(&ctx, &data).unwrap();
         assert_eq!(f.to_vec().unwrap(), data);
     }
@@ -503,7 +707,7 @@ mod tests {
     #[test]
     fn writer_buffer_flush_boundaries() {
         let ctx = mem_ctx();
-        let mut w = ctx.writer::<u64>();
+        let mut w = ctx.writer::<u64>().unwrap();
         for i in 0..16 {
             w.push(i).unwrap();
         }
@@ -517,7 +721,7 @@ mod tests {
     #[test]
     fn writer_len_includes_buffered() {
         let ctx = mem_ctx();
-        let mut w = ctx.writer::<u64>();
+        let mut w = ctx.writer::<u64>().unwrap();
         for i in 0..20 {
             w.push(i).unwrap();
         }
@@ -599,5 +803,125 @@ mod tests {
         assert_eq!(r.remaining(), 15);
         while r.next().unwrap().is_some() {}
         assert_eq!(r.remaining(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Device-layer faults
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn transient_write_surfaces_without_retry_policy() {
+        let ctx = mem_ctx();
+        ctx.install_fault_plan(FaultPlan::new(0).fail_nth(0, crate::FaultKind::TransientWrite));
+        let mut f = ctx.create_file::<u64>().unwrap();
+        assert!(matches!(
+            f.append_block(&[1, 2, 3]),
+            Err(EmError::Transient { .. })
+        ));
+        assert_eq!(f.len(), 0, "failed append must not extend the file");
+    }
+
+    #[test]
+    fn transient_faults_cured_by_retries_memory() {
+        let ctx = mem_ctx();
+        let plan = FaultPlan::new(9).transient_rate(0.2);
+        ctx.install_fault_plan(plan.clone());
+        ctx.set_retry_policy(RetryPolicy::retries(8));
+        let data: Vec<u64> = (0..200).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        assert_eq!(f.to_vec().unwrap(), data);
+        let c = ctx.stats().snapshot();
+        assert_eq!(c.retries, plan.injected().transient_total());
+        assert!(c.retries > 0, "rate 0.2 over ~26 I/Os should fire");
+        assert!(ctx.backoff_ticks() > 0);
+    }
+
+    #[test]
+    fn transient_faults_cured_by_retries_disk() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let plan = FaultPlan::new(5).transient_rate(0.2);
+        ctx.install_fault_plan(plan.clone());
+        ctx.set_retry_policy(RetryPolicy::retries(8));
+        let data: Vec<u64> = (0..200).rev().collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        assert_eq!(f.to_vec().unwrap(), data);
+        let c = ctx.stats().snapshot();
+        assert_eq!(c.retries, plan.injected().transient_total());
+        // Fault-free counters are unchanged by the retry machinery.
+        assert_eq!(c.writes, 13); // ceil(200/16)
+        assert_eq!(c.reads, 13);
+    }
+
+    #[test]
+    fn torn_write_retried_leaves_consistent_block_disk() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        ctx.install_fault_plan(FaultPlan::new(0).fail_nth(0, crate::FaultKind::TornWrite));
+        ctx.set_retry_policy(RetryPolicy::retries(2));
+        let data: Vec<u64> = (0..16).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        assert_eq!(f.to_vec().unwrap(), data);
+        assert_eq!(ctx.stats().snapshot().retries, 1);
+    }
+
+    #[test]
+    fn torn_write_unretried_detected_on_read_disk() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let mut f = ctx.create_file::<u64>().unwrap();
+        ctx.install_fault_plan(FaultPlan::new(0).fail_nth(0, crate::FaultKind::TornWrite));
+        // No retry policy: the torn write surfaces as an error...
+        let data: Vec<u64> = (0..16).collect();
+        assert!(f.append_block(&data).is_err());
+        // ...and the file was not extended, so the torn bytes are invisible.
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn corrupt_write_detected_on_read_disk() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        ctx.install_fault_plan(FaultPlan::new(0).fail_nth(0, crate::FaultKind::CorruptWrite));
+        let data: Vec<u64> = (0..16).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap(); // silent!
+        let err = f.to_vec().unwrap_err();
+        assert!(matches!(err, EmError::Corrupt { block: 0, .. }));
+        assert_eq!(ctx.stats().snapshot().corrupt_reads, 1);
+    }
+
+    #[test]
+    fn corrupt_read_in_flight_cured_by_retry_disk() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let data: Vec<u64> = (0..16).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        ctx.install_fault_plan(FaultPlan::new(0).fail_nth(0, crate::FaultKind::CorruptRead));
+        ctx.set_retry_policy(RetryPolicy::retries(2));
+        assert_eq!(f.to_vec().unwrap(), data);
+        let c = ctx.stats().snapshot();
+        assert_eq!(c.corrupt_reads, 1);
+        assert_eq!(c.retries, 1);
+    }
+
+    #[test]
+    fn fatal_crashes_context_until_cleared() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..32).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let plan = FaultPlan::new(0).fatal_at(0);
+        ctx.install_fault_plan(plan.clone());
+        assert!(matches!(f.to_vec(), Err(EmError::Crashed)));
+        assert!(matches!(f.to_vec(), Err(EmError::Crashed)));
+        plan.clear_crash();
+        assert_eq!(f.to_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn oracle_sees_true_data_under_faults() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..64).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        ctx.install_fault_plan(FaultPlan::new(0).transient_rate(1.0));
+        let before = ctx.stats().snapshot();
+        let got = ctx.oracle(|| f.to_vec()).unwrap();
+        assert_eq!(got, data);
+        // Oracles neither consume the schedule nor charge I/O.
+        assert_eq!(ctx.stats().snapshot(), before);
     }
 }

@@ -47,20 +47,26 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod checksum;
 mod config;
 mod ctx;
 mod error;
+mod fault;
 mod file;
 mod memory;
 mod record;
+mod rng;
 mod spill;
 mod stats;
 
+pub use checksum::block_checksum;
 pub use config::EmConfig;
 pub use ctx::EmContext;
 pub use error::{EmError, Result};
+pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultSpec, IoOp, RetryPolicy, Trigger};
 pub use file::{EmFile, Reader, Writer};
 pub use memory::{MemCharge, MemoryTracker, TrackedVec};
 pub use record::{Indexed, KeyValue, Record, Tagged};
+pub use rng::SplitMix64;
 pub use spill::SpillVec;
 pub use stats::{Counters, IoStats};

@@ -1,9 +1,10 @@
-//! Deterministic pseudo-random number generation for workloads.
+//! Deterministic pseudo-random number generation.
 //!
-//! A small SplitMix64 — enough statistical quality for data generation,
-//! fully deterministic across platforms, no dependencies beyond `rand`'s
-//! traits (which the library also supports via `SmallRng` where
-//! distribution sampling is needed).
+//! A small SplitMix64 — enough statistical quality for workload generation,
+//! reservoir sampling and fault-schedule draws, fully deterministic across
+//! platforms, and dependency-free. It lives in `emcore` because the fault
+//! injection layer ([`crate::FaultPlan`]) needs seeded determinism at the
+//! device layer; `workloads` and `emselect` reuse it from here.
 
 /// SplitMix64: fast, seedable, deterministic.
 #[derive(Debug, Clone)]

@@ -93,7 +93,7 @@ impl<T: Record> SpillVec<T> {
     /// Charges `ceil(len/B)` write I/Os. No-op if already spilled.
     pub fn spill(&mut self) -> Result<()> {
         if let State::InMem(v) = &self.state {
-            let mut w = self.ctx.writer::<T>();
+            let mut w = self.ctx.writer::<T>()?;
             w.push_all(v)?;
             let file = w.finish()?;
             self.state = State::Spilled(file);

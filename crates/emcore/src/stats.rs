@@ -22,6 +22,14 @@ pub struct Counters {
     pub bytes_read: u64,
     /// Bytes written to the file backend (0 on the memory backend).
     pub bytes_written: u64,
+    /// Device attempts that failed and were retried under the context's
+    /// [`crate::RetryPolicy`]. Successful attempts are charged to
+    /// `reads`/`writes` as usual, so with an empty fault plan this is 0 and
+    /// every other counter is unchanged.
+    pub retries: u64,
+    /// Block reads that failed checksum verification (each such attempt also
+    /// counts toward `retries` if it was retried).
+    pub corrupt_reads: u64,
 }
 
 impl Counters {
@@ -40,6 +48,8 @@ impl Counters {
             comparisons: self.comparisons.saturating_sub(earlier.comparisons),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            retries: self.retries.saturating_sub(earlier.retries),
+            corrupt_reads: self.corrupt_reads.saturating_sub(earlier.corrupt_reads),
         }
     }
 
@@ -51,6 +61,8 @@ impl Counters {
             comparisons: self.comparisons + other.comparisons,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
+            retries: self.retries + other.retries,
+            corrupt_reads: self.corrupt_reads + other.corrupt_reads,
         }
     }
 }
@@ -106,6 +118,24 @@ impl IoStats {
         if g.paused == 0 {
             g.counters.writes += 1;
             g.counters.bytes_written += bytes;
+        }
+    }
+
+    /// Charge one retried device attempt (see [`Counters::retries`]).
+    #[inline]
+    pub(crate) fn record_retry(&self) {
+        let mut g = self.inner.borrow_mut();
+        if g.paused == 0 {
+            g.counters.retries += 1;
+        }
+    }
+
+    /// Charge one checksum-verification failure.
+    #[inline]
+    pub(crate) fn record_corrupt_read(&self) {
+        let mut g = self.inner.borrow_mut();
+        if g.paused == 0 {
+            g.counters.corrupt_reads += 1;
         }
     }
 
@@ -282,6 +312,23 @@ mod tests {
         s.reset();
         assert_eq!(s.snapshot(), Counters::default());
         assert!(s.phase_totals().is_empty());
+    }
+
+    #[test]
+    fn retries_and_corrupt_reads_tracked() {
+        let s = IoStats::new();
+        s.record_retry();
+        s.record_retry();
+        s.record_corrupt_read();
+        s.paused(|| {
+            s.record_retry();
+            s.record_corrupt_read();
+        });
+        let c = s.snapshot();
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.corrupt_reads, 1);
+        // Retries are not block I/Os.
+        assert_eq!(c.total_ios(), 0);
     }
 
     #[test]

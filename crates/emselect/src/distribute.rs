@@ -52,7 +52,7 @@ pub fn distribute_segs<T: Record>(
     let _splitter_charge = ctx
         .mem()
         .charge(splitters.len() * T::WORDS, "distribution splitters");
-    let mut writers: Vec<Writer<T>> = (0..f).map(|_| ctx.writer::<T>()).collect();
+    let mut writers: Vec<Writer<T>> = (0..f).map(|_| ctx.writer::<T>()).collect::<Result<_>>()?;
     let mut r = ChainReader::new(segs);
     while let Some(x) = r.next()? {
         let j = bucket_of(splitters, &x.key());
@@ -83,9 +83,9 @@ pub fn three_way_split_segs<T: Record>(
     segs: &[EmFile<T>],
     pivot: T::Key,
 ) -> Result<(EmFile<T>, EmFile<T>, EmFile<T>)> {
-    let mut less = ctx.writer::<T>();
-    let mut equal = ctx.writer::<T>();
-    let mut greater = ctx.writer::<T>();
+    let mut less = ctx.writer::<T>()?;
+    let mut equal = ctx.writer::<T>()?;
+    let mut greater = ctx.writer::<T>()?;
     let mut r = ChainReader::new(segs);
     while let Some(x) = r.next()? {
         match x.key().cmp(&pivot) {

@@ -46,10 +46,7 @@ pub fn max_groups<R: Record>(config: EmConfig) -> usize {
 ///
 /// Errors if `targets.len()` exceeds [`max_groups`], if any target is 0 or
 /// exceeds its group's size, or if a group has no records.
-pub fn intermixed_select<R: Record>(
-    d: EmFile<Tagged<R>>,
-    targets: &[u64],
-) -> Result<Vec<R>> {
+pub fn intermixed_select<R: Record>(d: EmFile<Tagged<R>>, targets: &[u64]) -> Result<Vec<R>> {
     let ctx = d.ctx().clone();
     let l = targets.len();
     if l == 0 {
@@ -125,7 +122,7 @@ fn solve<R: Record>(
             for _ in 0..l {
                 sigma_counts.push(0);
             }
-            let mut sw = ctx.writer::<Tagged<R>>();
+            let mut sw = ctx.writer::<Tagged<R>>()?;
             {
                 let ts_s = ts.as_slice();
                 let mut r = d.reader();
@@ -140,8 +137,7 @@ fn solve<R: Record>(
                     slots[g][k] = Some(e.rec);
                     fill[g] += 1;
                     if fill[g] == 5 {
-                        let five: Vec<R> =
-                            slots[g].iter().map(|o| o.expect("filled")).collect();
+                        let five: Vec<R> = slots[g].iter().map(|o| o.expect("filled")).collect();
                         sw.push(Tagged::new(median_of_five(&five), e.group))?;
                         sigma_counts[g] += 1;
                         fill[g] = 0;
@@ -175,7 +171,7 @@ fn solve<R: Record>(
                 )));
             }
             tchild.push(if active_g {
-                (sigma_counts[g] as u64 + 1) / 2
+                (sigma_counts[g] as u64).div_ceil(2)
             } else {
                 0
             });
@@ -251,7 +247,7 @@ fn solve<R: Record>(
         drop(less);
         drop(equal);
 
-        let mut w = ctx.writer::<Tagged<R>>();
+        let mut w = ctx.writer::<Tagged<R>>()?;
         {
             let mut r = d.reader();
             while let Some(e) = r.next()? {
@@ -274,7 +270,7 @@ fn solve<R: Record>(
     }
 
     // Emit the resolved pairs.
-    let mut w = ctx.writer::<Tagged<R>>();
+    let mut w = ctx.writer::<Tagged<R>>()?;
     w.push_all(resolved.as_slice())?;
     w.finish()
 }
@@ -294,7 +290,7 @@ fn base_case<R: Record>(
         buf.push(e);
     }
     drop(r);
-    buf.sort_unstable_by(|a, b| (a.group, a.key()).cmp(&(b.group, b.key())));
+    buf.sort_unstable_by_key(|a| (a.group, a.key()));
     let ts_s = ts.as_mut_slice();
     let mut i = 0usize;
     while i < buf.len() {
@@ -336,7 +332,7 @@ mod tests {
 
     /// Build an intermixed file from per-group data, interleaved round-robin.
     fn build_d(ctx: &EmContext, groups: &[Vec<u64>]) -> EmFile<Tagged<u64>> {
-        let mut w = ctx.writer::<Tagged<u64>>();
+        let mut w = ctx.writer::<Tagged<u64>>().unwrap();
         let maxlen = groups.iter().map(|g| g.len()).max().unwrap_or(0);
         for i in 0..maxlen {
             for (g, data) in groups.iter().enumerate() {
@@ -385,10 +381,14 @@ mod tests {
         // 4 groups × 600 records = 2400 > M; forces several rounds + recursion.
         let mut s = 11u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 33
         };
-        let groups: Vec<Vec<u64>> = (0..4).map(|_| (0..600).map(|_| next() % 100_000).collect()).collect();
+        let groups: Vec<Vec<u64>> = (0..4)
+            .map(|_| (0..600).map(|_| next() % 100_000).collect())
+            .collect();
         let ts = vec![1, 300, 599, 600];
         let want = expected(&groups, &ts);
         let d = build_d(&c, &groups);
@@ -424,11 +424,14 @@ mod tests {
         let c = EmContext::new_in_memory(EmConfig::medium()); // M=4096, B=64
         let mut s = 5u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 33
         };
-        let groups: Vec<Vec<u64>> =
-            (0..8).map(|_| (0..10_000).map(|_| next()).collect()).collect();
+        let groups: Vec<Vec<u64>> = (0..8)
+            .map(|_| (0..10_000).map(|_| next()).collect())
+            .collect();
         let ts: Vec<u64> = (0..8).map(|g| 1000 * (g + 1)).collect();
         let d = c.stats().paused(|| build_d(&c, &groups));
         let n = d.len();
@@ -489,11 +492,14 @@ mod tests {
         let cap = max_groups::<u64>(c.config());
         let mut s = 17u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 33
         };
-        let groups: Vec<Vec<u64>> =
-            (0..cap).map(|_| (0..300).map(|_| next() % 1000).collect()).collect();
+        let groups: Vec<Vec<u64>> = (0..cap)
+            .map(|_| (0..300).map(|_| next() % 1000).collect())
+            .collect();
         let ts: Vec<u64> = vec![150; cap];
         let want = expected(&groups, &ts);
         let d = c.stats().paused(|| build_d(&c, &groups));

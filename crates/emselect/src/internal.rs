@@ -26,7 +26,9 @@ pub fn select_rank_in_mem<T: Record>(data: &mut [T], rank: u64) -> T {
 pub fn multi_select_in_mem<T: Record>(data: &mut [T], ranks: &[u64]) -> Vec<T> {
     let mut out = vec![None; ranks.len()];
     multi_select_rec(data, ranks, 0, &mut out);
-    out.into_iter().map(|o| o.expect("every rank filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every rank filled"))
+        .collect()
 }
 
 fn multi_select_rec<T: Record>(
@@ -143,7 +145,9 @@ mod tests {
     fn multi_select_matches_sort_randomised() {
         let mut seed = 12345u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for trial in 0..50 {

@@ -81,11 +81,7 @@ pub fn multi_select_counting<K: Ord + Copy>(
 /// `ranks`, counting every key comparison. (The classical lower bound —
 /// paper Lemma 5's internal-memory analogue — is `Ω(N lg K)`, matched
 /// here.)
-pub fn multi_partition_counting<K: Ord + Copy>(
-    data: &mut [K],
-    ranks: &[u64],
-    cmp: &CmpCounter,
-) {
+pub fn multi_partition_counting<K: Ord + Copy>(data: &mut [K], ranks: &[u64], cmp: &CmpCounter) {
     if ranks.is_empty() || data.is_empty() {
         return;
     }
@@ -93,10 +89,7 @@ pub fn multi_partition_counting<K: Ord + Copy>(
     let idx = (ranks[mid] - 1) as usize;
     let (lo, _, hi) = data.select_nth_unstable_by(idx, |a, b| cmp.cmp(a, b));
     let lo_ranks: Vec<u64> = ranks[..mid].to_vec();
-    let hi_ranks: Vec<u64> = ranks[mid + 1..]
-        .iter()
-        .map(|&r| r - ranks[mid])
-        .collect();
+    let hi_ranks: Vec<u64> = ranks[mid + 1..].iter().map(|&r| r - ranks[mid]).collect();
     multi_partition_counting(lo, &lo_ranks, cmp);
     multi_partition_counting(hi, &hi_ranks, cmp);
 }
@@ -109,7 +102,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }

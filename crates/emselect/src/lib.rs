@@ -49,15 +49,14 @@ pub use multi_partition::{
     multi_partition, multi_partition_at_ranks, multi_partition_segs, multi_partition_with,
     MpOptions,
 };
-pub use partition_out::{segs_len, ChainReader, Partition};
-pub use split::{split_at_rank, split_at_rank_segs};
 pub use multi_select::{
-    base_case_capacity, base_case_capacity_n, multi_select, multi_select_segs,
-    multi_select_with, quantiles, select_rank, MsBaseCase, MsOptions,
+    base_case_capacity, base_case_capacity_n, multi_select, multi_select_segs, multi_select_with,
+    quantiles, select_rank, MsBaseCase, MsOptions,
 };
+pub use partition_out::{segs_len, ChainReader, Partition};
 pub use sample_splitters::{
     bucket_of, count_buckets, count_buckets_segs, max_deterministic_fanout,
     max_deterministic_fanout_n, refined_splitters, sample_splitters, sample_splitters_segs,
-    SplitterStrategy,
-    SAMPLE_RHO,
+    SplitterStrategy, SAMPLE_RHO,
 };
+pub use split::{split_at_rank, split_at_rank_segs};

@@ -44,10 +44,7 @@ pub struct MpOptions {
 /// given sizes (`Σ sizes = input.len()`, zeros allowed). Returns one
 /// [`Partition`] per requested size, in order — the paper's "linked list"
 /// output.
-pub fn multi_partition<T: Record>(
-    input: &EmFile<T>,
-    sizes: &[u64],
-) -> Result<Vec<Partition<T>>> {
+pub fn multi_partition<T: Record>(input: &EmFile<T>, sizes: &[u64]) -> Result<Vec<Partition<T>>> {
     multi_partition_with(input, sizes, MpOptions::default())
 }
 
@@ -175,7 +172,7 @@ fn mp_rec<T: Record>(
             buf.push(x);
         }
         drop(r);
-        buf.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+        buf.sort_unstable_by_key(|a| a.key());
         for &x in buf.iter() {
             sink.push(x)?;
         }
@@ -198,7 +195,7 @@ fn mp_rec<T: Record>(
         let full = buckets
             .into_iter()
             .find(|b| b.len() == n)
-            .expect("max bucket exists");
+            .ok_or_else(|| EmError::config("full-size bucket vanished"))?;
         let pivot = dominant_pivot(&full)?;
         let (less, equal, greater) = three_way_split(&full, pivot)?;
         drop(full);
@@ -306,10 +303,11 @@ impl<T: Record> PartitionSink<T> {
     /// Append one record to the current partition.
     fn push(&mut self, rec: T) -> Result<()> {
         debug_assert!(self.cur < self.bounds.len(), "pushed past final boundary");
-        if self.buf.is_none() {
-            self.buf = Some(self.ctx.writer::<T>());
-        }
-        self.buf.as_mut().expect("just created").push(rec)?;
+        let buf = match self.buf.as_mut() {
+            Some(w) => w,
+            None => self.buf.insert(self.ctx.writer::<T>()?),
+        };
+        buf.push(rec)?;
         self.written += 1;
         self.advance()
     }
@@ -387,7 +385,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = 7u64;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -441,7 +441,10 @@ mod tests {
     fn uneven_sizes() {
         let c = ctx();
         let n = 5000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n)))
+            .unwrap();
         let sizes = vec![1, 4000, 9, 990];
         let parts = multi_partition(&f, &sizes).unwrap();
         check_partitions(&parts, &sizes);
@@ -528,7 +531,10 @@ mod tests {
         let n = 40_000u64;
         let measure = |k: u64| -> u64 {
             let c = EmContext::new_in_memory(EmConfig::tiny());
-            let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+            let f = c
+                .stats()
+                .paused(|| EmFile::from_slice(&c, &shuffled(n)))
+                .unwrap();
             let sizes = vec![n / k; k as usize];
             let before = c.stats().snapshot();
             let _ = multi_partition(&f, &sizes).unwrap();

@@ -84,7 +84,9 @@ pub fn base_case_capacity_n<T: Record>(ctx: &EmContext, n: u64, opts: &MsOptions
         // O(n) because f' = 4·groups_cap splitters are available.
         MsBaseCase::Intermixed => groups_cap,
     };
-    let m = opts.base_capacity_override.map_or(m, |o| o.clamp(1, groups_cap));
+    let m = opts
+        .base_capacity_override
+        .map_or(m, |o| o.clamp(1, groups_cap));
     m.max(1)
 }
 
@@ -120,9 +122,7 @@ pub fn multi_select_segs<T: Record>(
     let n = segs_len(segs);
     for &r in ranks {
         if r == 0 || r > n {
-            return Err(EmError::config(format!(
-                "rank {r} out of range [1, {n}]"
-            )));
+            return Err(EmError::config(format!("rank {r} out of range [1, {n}]")));
         }
     }
     // Synthetic charge for consuming the caller's rank list.
@@ -169,7 +169,7 @@ fn multi_select_sorted<T: Record>(
         // holds only a (start, end, offset) view of the sorted rank file
         // (rank ranges split contiguously across buckets), so no boundary
         // multi-partition prepass is needed.
-        let mut w = ctx.writer::<u64>();
+        let mut w = ctx.writer::<u64>()?;
         for &r in sorted {
             w.push(r)?;
         }
@@ -185,7 +185,7 @@ fn multi_select_sorted<T: Record>(
     let input = if segs.len() == 1 {
         &segs[0]
     } else {
-        let mut w = ctx.writer::<T>();
+        let mut w = ctx.writer::<T>()?;
         let mut r = ChainReader::new(segs);
         while let Some(x) = r.next()? {
             w.push(x)?;
@@ -291,7 +291,7 @@ fn intermixed_base_case<T: Record>(
     // Materialise D: an element of bucket j joins group i for every rank i
     // routed to bucket j. (`bucket_of_rank` is ascending, so the groups of
     // a bucket form a contiguous index range.)
-    let mut w = ctx.writer::<Tagged<T>>();
+    let mut w = ctx.writer::<Tagged<T>>()?;
     {
         let mut r = ChainReader::new(segs);
         while let Some(x) = r.next()? {
@@ -336,7 +336,9 @@ fn pruned_select<T: Record>(
     }
     ctx.stats().begin_phase("multi-select/pruned");
     let f = max_deterministic_fanout_n::<T>(ctx, n)
-        .min(crate::distribute::max_distribution_fanout::<T>(ctx.config()))
+        .min(crate::distribute::max_distribution_fanout::<T>(
+            ctx.config(),
+        ))
         .max(2);
     let splitters = sample_splitters_segs(ctx, segs, f, opts.strategy)?;
     // Distribute into f buckets; exact sizes come from the bucket files.
@@ -374,7 +376,12 @@ fn pruned_select<T: Record>(
             continue; // rank-free: dropped here, storage freed
         }
         let local: Vec<u64> = ranks[lo..hi].iter().map(|&r| r - cum[j]).collect();
-        out.extend(pruned_select(ctx, std::slice::from_ref(&bucket), &local, opts)?);
+        out.extend(pruned_select(
+            ctx,
+            std::slice::from_ref(&bucket),
+            &local,
+            opts,
+        )?);
     }
     Ok(out)
 }
@@ -387,7 +394,7 @@ fn dominant_pivot_segs<T: Record>(ctx: &EmContext, segs: &[EmFile<T>]) -> Result
     let file = segs
         .iter()
         .find(|s| !s.is_empty())
-        .expect("dominated input is nonempty");
+        .ok_or_else(|| EmError::config("dominant_pivot_segs on an all-empty input"))?;
     let mut probe = ctx.tracked_vec::<T>(file.block_capacity(), "dominant pivot probe");
     file.read_block_into(0, &mut probe)?;
     let mut keys: Vec<T::Key> = probe.iter().map(|r| r.key()).collect();
@@ -420,22 +427,27 @@ fn dominated_select<T: Record>(
     opts: &MsOptions,
 ) -> Result<Vec<T>> {
     let pivot = dominant_pivot_segs(ctx, segs)?;
-    let (less, equal, greater) =
-        crate::distribute::three_way_split_segs(ctx, segs, pivot)?;
+    let (less, equal, greater) = crate::distribute::three_way_split_segs(ctx, segs, pivot)?;
     let nl = less.len();
     let ne = equal.len();
     debug_assert!(ne >= 1, "pivot key must be present");
     let eq_rec = {
         let mut r = equal.reader();
-        r.next()?.expect("equal slab nonempty")
+        r.next()?
+            .ok_or_else(|| EmError::config("equal slab unexpectedly empty"))?
     };
     let split1 = ranks.partition_point(|&r| r <= nl);
     let split2 = ranks.partition_point(|&r| r <= nl + ne);
     let mut out = Vec::with_capacity(ranks.len());
     if split1 > 0 {
-        out.extend(base_case(ctx, std::slice::from_ref(&less), &ranks[..split1], opts)?);
+        out.extend(base_case(
+            ctx,
+            std::slice::from_ref(&less),
+            &ranks[..split1],
+            opts,
+        )?);
     }
-    out.extend(std::iter::repeat(eq_rec).take(split2 - split1));
+    out.extend(std::iter::repeat_n(eq_rec, split2 - split1));
     if split2 < ranks.len() {
         let shifted: Vec<u64> = ranks[split2..].iter().map(|&r| r - nl - ne).collect();
         out.extend(base_case(
@@ -475,7 +487,9 @@ fn pruned_select_external<T: Record>(
         let mut ranks = ctx.tracked_words::<u64>(k as usize, "external rank slice");
         let mut r = rank_file.reader_at(lo);
         for _ in 0..k {
-            let v = r.next()?.expect("rank range within file");
+            let v = r
+                .next()?
+                .ok_or_else(|| EmError::config("rank range exceeds rank file"))?;
             ranks.push(v - offset);
         }
         out.extend(base_case(ctx, segs, &ranks, opts)?);
@@ -485,7 +499,9 @@ fn pruned_select_external<T: Record>(
     // rank range to buckets by streaming it once.
     debug_assert!(k <= n);
     let f = max_deterministic_fanout_n::<T>(ctx, n)
-        .min(crate::distribute::max_distribution_fanout::<T>(ctx.config()))
+        .min(crate::distribute::max_distribution_fanout::<T>(
+            ctx.config(),
+        ))
         .max(2);
     let splitters = sample_splitters_segs(ctx, segs, f, opts.strategy)?;
     let buckets = crate::distribute::distribute_segs(ctx, segs, &splitters)?;
@@ -495,14 +511,14 @@ fn pruned_select_external<T: Record>(
         // splitting the external rank range at the slab boundaries.
         drop(buckets);
         let pivot = dominant_pivot_segs(ctx, segs)?;
-        let (less, equal, greater) =
-            crate::distribute::three_way_split_segs(ctx, segs, pivot)?;
+        let (less, equal, greater) = crate::distribute::three_way_split_segs(ctx, segs, pivot)?;
         let nl = less.len();
         let ne = equal.len();
         debug_assert!(ne >= 1);
         let eq_rec = {
             let mut r = equal.reader();
-            r.next()?.expect("equal slab nonempty")
+            r.next()?
+                .ok_or_else(|| EmError::config("equal slab unexpectedly empty"))?
         };
         // Find the rank-range split points by streaming the range once.
         let (mut mid1, mut mid2) = (lo, lo);
@@ -510,7 +526,10 @@ fn pruned_select_external<T: Record>(
             let mut r = rank_file.reader_at(lo);
             let mut cursor = lo;
             while cursor < hi {
-                let v = r.next()?.expect("range within file") - offset;
+                let v = r
+                    .next()?
+                    .ok_or_else(|| EmError::config("rank range exceeds rank file"))?
+                    - offset;
                 if v <= nl {
                     mid1 = cursor + 1;
                 }
@@ -532,7 +551,7 @@ fn pruned_select_external<T: Record>(
                 out,
             )?;
         }
-        out.extend(std::iter::repeat(eq_rec).take((mid2 - mid1) as usize));
+        out.extend(std::iter::repeat_n(eq_rec, (mid2 - mid1) as usize));
         if mid2 < hi {
             pruned_select_external(
                 ctx,
@@ -624,7 +643,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -643,7 +664,10 @@ mod tests {
     fn base_case_external_path() {
         let c = strict_ctx();
         let n = 5000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 2))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 2)))
+            .unwrap();
         let ranks = vec![1, 1000, 2500, 4999, 5000];
         let got = multi_select(&f, &ranks).unwrap();
         let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
@@ -654,7 +678,10 @@ mod tests {
     fn general_case_many_ranks() {
         let c = strict_ctx();
         let n = 20_000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 3))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 3)))
+            .unwrap();
         // K far above the tiny config's base capacity
         let k = 200u64;
         let ranks: Vec<u64> = (1..=k).map(|i| i * (n / k)).collect();
@@ -704,7 +731,10 @@ mod tests {
     fn randomized_strategy_matches() {
         let c = strict_ctx();
         let n = 8000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 5))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 5)))
+            .unwrap();
         let ranks: Vec<u64> = vec![7, 77, 777, 7777];
         let got = multi_select_with(
             &f,
@@ -723,7 +753,10 @@ mod tests {
     #[test]
     fn select_rank_single() {
         let c = strict_ctx();
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(4000, 6))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(4000, 6)))
+            .unwrap();
         assert_eq!(select_rank(&f, 2000).unwrap(), 1999);
         assert_eq!(select_rank(&f, 1).unwrap(), 0);
         assert_eq!(select_rank(&f, 4000).unwrap(), 3999);
@@ -733,7 +766,10 @@ mod tests {
     fn quantiles_equi_depth() {
         let c = strict_ctx();
         let n = 1000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 7))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 7)))
+            .unwrap();
         let q = quantiles(&f, 4).unwrap();
         assert_eq!(q, vec![249, 499, 749]);
         assert!(quantiles(&f, 1).unwrap().is_empty());
@@ -743,7 +779,10 @@ mod tests {
     fn small_base_capacity_override_still_correct() {
         let c = strict_ctx();
         let n = 6000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 8))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 8)))
+            .unwrap();
         let ranks: Vec<u64> = (1..=30).map(|i| i * 200).collect();
         let got = multi_select_with(
             &f,
@@ -765,7 +804,10 @@ mod tests {
         // the external-rank pruned recursion.
         let c = strict_ctx();
         let n = 4000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 77))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 77)))
+            .unwrap();
         let k = 500u64;
         let ranks: Vec<u64> = (1..=k).map(|i| (i * n) / k).collect();
         let got = multi_select(&f, &ranks).unwrap();
@@ -777,7 +819,10 @@ mod tests {
     fn external_rank_path_clustered_ranks() {
         let c = strict_ctx();
         let n = 4000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 78))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 78)))
+            .unwrap();
         // 300 ranks all inside a narrow window.
         let ranks: Vec<u64> = (0..300u64).map(|i| 1700 + i).collect();
         let got = multi_select(&f, &ranks).unwrap();
@@ -806,7 +851,10 @@ mod tests {
         // number of scans, NOT the sort bound.
         let c = EmContext::new_in_memory(EmConfig::medium());
         let n = 200_000u64;
-        let f = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n, 9))).unwrap();
+        let f = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n, 9)))
+            .unwrap();
         let before = c.stats().snapshot();
         let ranks = vec![n / 4, n / 2, 3 * n / 4];
         let _ = multi_select(&f, &ranks).unwrap();

@@ -95,12 +95,14 @@ impl<T: Record> Partition<T> {
     /// Flatten into a single file. Free if the partition already is a
     /// single segment; otherwise one read + one write scan.
     pub fn into_file(self, ctx: &EmContext) -> Result<EmFile<T>> {
-        if self.segments.len() == 1 {
-            let mut it = self.segments.into_iter();
-            return Ok(it.next().expect("one segment"));
+        let mut segments = self.segments;
+        if segments.len() == 1 {
+            if let Some(seg) = segments.pop() {
+                return Ok(seg);
+            }
         }
-        let mut w = ctx.writer::<T>();
-        for s in &self.segments {
+        let mut w = ctx.writer::<T>()?;
+        for s in &segments {
             let mut r = s.reader();
             while let Some(x) = r.next()? {
                 w.push(x)?;
@@ -135,6 +137,9 @@ impl<'a, T: Record> ChainReader<'a, T> {
     }
 
     /// Next record, or `None` at the end of the last segment.
+    // Fallible streaming, deliberately not Iterator (whose `next` cannot
+    // surface `EmError`).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<T>> {
         loop {
             if let Some(r) = self.cur.as_mut() {

@@ -24,9 +24,8 @@
 //! [`crate::Partition`]) — the latter avoids flattening partitions before
 //! scanning them.
 
+use emcore::SplitMix64;
 use emcore::{EmContext, EmError, EmFile, Record, Result};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::partition_out::{segs_len, ChainReader};
 
@@ -34,10 +33,11 @@ use crate::partition_out::{segs_len, ChainReader};
 pub const SAMPLE_RHO: usize = 4;
 
 /// How splitters are sampled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SplitterStrategy {
     /// Multi-level regular sampling; worst-case bucket guarantee, smaller
     /// maximum fan-out.
+    #[default]
     Deterministic,
     /// Reservoir sampling with the given seed; `Θ(M)` fan-out with
     /// high-probability bucket guarantee.
@@ -45,12 +45,6 @@ pub enum SplitterStrategy {
         /// RNG seed (experiments are reproducible bit-for-bit).
         seed: u64,
     },
-}
-
-impl Default for SplitterStrategy {
-    fn default() -> Self {
-        SplitterStrategy::Deterministic
-    }
 }
 
 /// In-memory load capacity used by sampling. Reserves four block buffers:
@@ -168,13 +162,13 @@ fn deterministic<T: Record>(ctx: &EmContext, segs: &[EmFile<T>], f: usize) -> Re
                     }
                 }
             }
-            buf.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+            buf.sort_unstable_by_key(|a| a.key());
             let f_eff = f.min(buf.len().max(2));
             return Ok(pick_even(&buf, f_eff));
         }
         // One reduction level: sort chunks of `cap`, keep every ρ-th.
         let mut load = ctx.tracked_vec::<T>(cap, "splitter sample chunk");
-        let mut w = ctx.writer::<T>();
+        let mut w = ctx.writer::<T>()?;
         {
             let mut reduce = |next: &mut dyn FnMut() -> Result<Option<T>>| -> Result<()> {
                 loop {
@@ -188,7 +182,7 @@ fn deterministic<T: Record>(ctx: &EmContext, segs: &[EmFile<T>], f: usize) -> Re
                     if load.is_empty() {
                         return Ok(());
                     }
-                    load.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+                    load.sort_unstable_by_key(|a| a.key());
                     let mut i = SAMPLE_RHO - 1;
                     while i < load.len() {
                         w.push(load[i])?;
@@ -226,7 +220,7 @@ fn randomized<T: Record>(
     let target = ((16.0 * f as f64 * (n.max(2) as f64).ln()) as usize)
         .clamp(f, cap / 2)
         .max(2);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut reservoir = ctx.tracked_vec::<T>(target, "splitter reservoir");
     let mut r = ChainReader::new(segs);
     let mut seen = 0u64;
@@ -235,13 +229,13 @@ fn randomized<T: Record>(
         if reservoir.len() < target {
             reservoir.push(x);
         } else {
-            let j = rng.gen_range(0..seen);
-            if (j as usize) < target {
-                reservoir[j as usize] = x;
+            let j = rng.below(seen) as usize;
+            if j < target {
+                reservoir[j] = x;
             }
         }
     }
-    reservoir.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+    reservoir.sort_unstable_by_key(|a| a.key());
     let f_eff = f.min(reservoir.len().max(2));
     Ok(pick_even(&reservoir, f_eff))
 }
@@ -274,7 +268,9 @@ pub fn refined_splitters<T: Record>(
     let store_cap = (ctx.config().mem_capacity() / (4 * T::WORDS)).max(4);
     let f_target = f_target.clamp(2, store_cap);
     let f0 = max_deterministic_fanout_n::<T>(ctx, n)
-        .min(crate::distribute::max_distribution_fanout::<T>(ctx.config()))
+        .min(crate::distribute::max_distribution_fanout::<T>(
+            ctx.config(),
+        ))
         .max(2);
     if f_target <= f0 {
         return sample_splitters_segs(ctx, segs, f_target, SplitterStrategy::Deterministic);
@@ -286,10 +282,7 @@ pub fn refined_splitters<T: Record>(
     let mut out = Vec::with_capacity(f0 * f1);
     for (i, bucket) in buckets.iter().enumerate() {
         if !bucket.is_empty() {
-            let f1_eff = f1.min(
-                max_deterministic_fanout_n::<T>(ctx, bucket.len())
-                    .max(2),
-            );
+            let f1_eff = f1.min(max_deterministic_fanout_n::<T>(ctx, bucket.len()).max(2));
             out.extend(sample_splitters_segs(
                 ctx,
                 std::slice::from_ref(bucket),
@@ -303,7 +296,7 @@ pub fn refined_splitters<T: Record>(
     }
     // Sub-splitters are within-bucket ascending and buckets are ordered,
     // but defensively enforce global order (ties across equal keys).
-    out.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+    out.sort_unstable_by_key(|a| a.key());
     ctx.stats().end_phase();
     Ok(out)
 }
@@ -355,7 +348,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = 99u64;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -414,7 +409,10 @@ mod tests {
     fn deterministic_is_linear_io() {
         let c = ctx();
         let n = 40_000u64;
-        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let file = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n)))
+            .unwrap();
         let before = c.stats().snapshot();
         let f = max_deterministic_fanout(&file);
         let _ = sample_splitters(&file, f, SplitterStrategy::Deterministic).unwrap();
@@ -431,7 +429,10 @@ mod tests {
     fn randomized_bucket_guarantee() {
         let c = ctx();
         let n = 20_000u64;
-        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let file = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n)))
+            .unwrap();
         for seed in [1u64, 7, 42] {
             let f = 8;
             let sp = sample_splitters(&file, f, SplitterStrategy::Randomized { seed }).unwrap();
@@ -444,7 +445,10 @@ mod tests {
     fn randomized_single_scan() {
         let c = ctx();
         let n = 10_000u64;
-        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let file = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n)))
+            .unwrap();
         let before = c.stats().snapshot();
         let _ = sample_splitters(&file, 8, SplitterStrategy::Randomized { seed: 3 }).unwrap();
         let d = c.stats().snapshot().since(&before);
@@ -504,8 +508,14 @@ mod tests {
     #[test]
     fn max_fanout_monotone_reasonable() {
         let c = ctx();
-        let small = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(100))).unwrap();
-        let big = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(100_000))).unwrap();
+        let small = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(100)))
+            .unwrap();
+        let big = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(100_000)))
+            .unwrap();
         assert!(max_deterministic_fanout(&small) >= max_deterministic_fanout(&big));
         assert!(max_deterministic_fanout(&big) >= 2);
     }
@@ -514,7 +524,10 @@ mod tests {
     fn refined_reaches_beyond_single_round_cap() {
         let c = EmContext::new_in_memory(EmConfig::medium()); // M=4096, B=64
         let n = 100_000u64;
-        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let file = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n)))
+            .unwrap();
         let f0 = max_deterministic_fanout(&file);
         let target = 4 * f0;
         let sp = refined_splitters(&c, std::slice::from_ref(&file), target).unwrap();
@@ -541,7 +554,10 @@ mod tests {
     fn refined_is_linear_io() {
         let c = EmContext::new_in_memory(EmConfig::medium());
         let n = 100_000u64;
-        let file = c.stats().paused(|| EmFile::from_slice(&c, &shuffled(n))).unwrap();
+        let file = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &shuffled(n)))
+            .unwrap();
         let before = c.stats().snapshot();
         let f0 = max_deterministic_fanout(&file);
         let _ = refined_splitters(&c, std::slice::from_ref(&file), 8 * f0).unwrap();
@@ -577,12 +593,17 @@ mod tests {
         let c = ctx();
         let data = shuffled(3000);
         let whole = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
-        let seg_a = c.stats().paused(|| EmFile::from_slice(&c, &data[..1000])).unwrap();
-        let seg_b = c.stats().paused(|| EmFile::from_slice(&c, &data[1000..])).unwrap();
+        let seg_a = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &data[..1000]))
+            .unwrap();
+        let seg_b = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &data[1000..]))
+            .unwrap();
         let segs = vec![seg_a, seg_b];
         let sp1 = sample_splitters(&whole, 4, SplitterStrategy::Deterministic).unwrap();
-        let sp2 =
-            sample_splitters_segs(&c, &segs, 4, SplitterStrategy::Deterministic).unwrap();
+        let sp2 = sample_splitters_segs(&c, &segs, 4, SplitterStrategy::Deterministic).unwrap();
         assert_eq!(sp1, sp2, "segmentation must not change the sample");
         let c1 = count_buckets(&whole, &sp1).unwrap();
         let c2 = count_buckets_segs(&c, &segs, &sp1).unwrap();

@@ -9,11 +9,13 @@
 //! recurses — so the total cost telescopes to `O(n/B)` with roughly one
 //! sample pass plus one distribution pass.
 
-use emcore::{EmError, EmFile, EmContext, Record, Result};
+use emcore::{EmContext, EmError, EmFile, Record, Result};
 
 use crate::distribute::{distribute_segs, max_distribution_fanout, three_way_split};
 use crate::partition_out::{segs_len, ChainReader, Partition};
-use crate::sample_splitters::{max_deterministic_fanout_n, sample_splitters_segs, SplitterStrategy};
+use crate::sample_splitters::{
+    max_deterministic_fanout_n, sample_splitters_segs, SplitterStrategy,
+};
 
 /// Split `input` into `(low, high, boundary)` where `low` holds exactly
 /// the `count` smallest records, `high` the rest, and `boundary` is the
@@ -72,11 +74,11 @@ fn split_rec<T: Record>(
             buf.push(x);
         }
         let idx = (count - 1) as usize;
-        buf.sort_unstable_by(|a, b| a.key().cmp(&b.key()));
+        buf.sort_unstable_by_key(|a| a.key());
         let boundary = buf[idx];
-        let mut low = ctx.writer::<T>();
+        let mut low = ctx.writer::<T>()?;
         low.push_all(&buf[..=idx])?;
-        let mut high = ctx.writer::<T>();
+        let mut high = ctx.writer::<T>()?;
         high.push_all(&buf[idx + 1..])?;
         return Ok((
             Partition::from_file(low.finish()?),
@@ -127,15 +129,14 @@ fn split_rec<T: Record>(
                 let mut mx: Option<T> = None;
                 let mut r = bucket.reader();
                 while let Some(x) = r.next()? {
-                    if mx.map_or(true, |m| x.key() >= m.key()) {
+                    if mx.is_none_or(|m| x.key() >= m.key()) {
                         mx = Some(x);
                     }
                 }
                 boundary = mx;
                 low.push_segment(bucket);
             } else {
-                let (l, h, b) =
-                    split_rec(ctx, std::slice::from_ref(&bucket), local, strategy)?;
+                let (l, h, b) = split_rec(ctx, std::slice::from_ref(&bucket), local, strategy)?;
                 for seg in l.into_segments() {
                     low.push_segment(seg);
                 }
@@ -195,8 +196,8 @@ fn dominant_split<T: Record>(
     if count <= nl + ne {
         // The cut lands among the equals: split the equal slab by position.
         let quota = count - nl;
-        let mut lw = ctx.writer::<T>();
-        let mut hw = ctx.writer::<T>();
+        let mut lw = ctx.writer::<T>()?;
+        let mut hw = ctx.writer::<T>()?;
         let mut taken = 0u64;
         let mut sample_equal: Option<T> = None;
         let mut r = equal.reader();
@@ -244,7 +245,9 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         let mut s = seed;
         for i in (1..v.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             v.swap(i, j);
         }
@@ -288,7 +291,7 @@ mod tests {
     fn duplicates_exact_quota() {
         let mut data = vec![5u64; 5000];
         data.extend(0..100u64);
-        data.extend(std::iter::repeat(900u64).take(100));
+        data.extend(std::iter::repeat_n(900u64, 100));
         check(&data, 2600);
         check(&data, 100); // cut right at the end of the smalls
         check(&data, 101); // first equal
@@ -335,8 +338,14 @@ mod tests {
     fn segmented_input() {
         let c = strict_ctx();
         let data = shuffled(5000, 4);
-        let a = c.stats().paused(|| EmFile::from_slice(&c, &data[..2000])).unwrap();
-        let b = c.stats().paused(|| EmFile::from_slice(&c, &data[2000..])).unwrap();
+        let a = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &data[..2000]))
+            .unwrap();
+        let b = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &data[2000..]))
+            .unwrap();
         let segs = vec![a, b];
         let (low, high, boundary) =
             split_at_rank_segs(&c, &segs, 1234, SplitterStrategy::Deterministic).unwrap();

@@ -99,7 +99,11 @@ impl<T: Record, S: Source<T>> LoserTree<T, S> {
         for n in (1..k).rev() {
             let a = winners[2 * n];
             let b = winners[2 * n + 1];
-            let (w, l) = if Self::beats(&heads, a, b) { (a, b) } else { (b, a) };
+            let (w, l) = if Self::beats(&heads, a, b) {
+                (a, b)
+            } else {
+                (b, a)
+            };
             winners[n] = w;
             tree[n] = l;
         }
@@ -248,8 +252,7 @@ mod tests {
     fn tracking_charges_memory() {
         let mem = emcore::MemoryTracker::new(1000, true);
         let a = vec![1u64];
-        let lt =
-            LoserTree::with_tracking(vec![SliceSource::new(&a)], &mem).unwrap();
+        let lt = LoserTree::with_tracking(vec![SliceSource::new(&a)], &mem).unwrap();
         assert!(mem.current() > 0);
         drop(lt);
         assert_eq!(mem.current(), 0);

@@ -1,0 +1,423 @@
+//! Crash-recoverable external merge sort.
+//!
+//! [`external_sort`](crate::external_sort) loses all work when an I/O fails
+//! terminally mid-sort: its runs live in local variables of a call that just
+//! unwound. This module factors the sort into an explicit, checkpointed
+//! state machine — a [`SortManifest`] — so a crash (a
+//! [`emcore::FaultKind::Fatal`] fault, surfacing as
+//! [`emcore::EmError::Crashed`]) loses at most one *work unit*: the sorted
+//! run being formed, or the merge group being merged.
+//!
+//! ## Structure
+//!
+//! The sort is a sequence of work units, and the manifest is checkpointed
+//! after every one:
+//!
+//! 1. **Run formation** (unit = one sorted run of ≈ `M` records): the
+//!    manifest records how many input records have been consumed into
+//!    completed runs. A crash mid-run drops only that run's partial output
+//!    (its temporary file is deleted as the writer unwinds) and resume
+//!    restarts from `consumed`.
+//! 2. **Merge passes** (unit = one fan-in-sized merge group): completed
+//!    group outputs accumulate in the manifest; the input runs of a group
+//!    are only released *after* its output is durably complete, so a crash
+//!    mid-merge keeps every input run and resume re-merges just that group.
+//!    When a level's runs are exhausted the outputs become the next level's
+//!    runs (the per-level checkpoint).
+//!
+//! On a file-backed context the manifest also persists a textual snapshot
+//! (`sort-manifest.txt` in the backing directory) at every checkpoint, so
+//! the on-disk state of an interrupted sort is inspectable; in-process
+//! recovery goes through the live [`SortManifest`] value, which owns the
+//! run files.
+//!
+//! ## Example: crash and resume
+//!
+//! ```
+//! use emcore::{EmConfig, EmContext, EmFile, EmError, FaultPlan};
+//! use emsort::{external_sort_recoverable, resume_sort, SortManifest};
+//!
+//! let ctx = EmContext::new_in_memory(EmConfig::tiny());
+//! let data: Vec<u64> = (0..1000).rev().collect();
+//! let input = EmFile::from_slice(&ctx, &data).unwrap();
+//!
+//! let plan = FaultPlan::new(0).fatal_at(150); // crash mid-sort
+//! ctx.install_fault_plan(plan.clone());
+//!
+//! let mut manifest = SortManifest::new(&ctx, None);
+//! let crashed = resume_sort(&input, &mut manifest);
+//! assert!(matches!(crashed, Err(EmError::Crashed)));
+//!
+//! plan.clear_crash(); // "restart the machine"
+//! let sorted = resume_sort(&input, &mut manifest).unwrap();
+//! assert_eq!(sorted.to_vec().unwrap(), (0..1000u64).collect::<Vec<_>>());
+//! ```
+
+use emcore::{EmContext, EmError, EmFile, Record, Result};
+
+use crate::merge::{max_merge_fan_in, merge_once};
+
+/// Checkpointed state of a recoverable external sort. Owns every completed
+/// run; survives any number of failed [`resume_sort`] attempts.
+#[derive(Debug)]
+pub struct SortManifest<T: Record> {
+    /// Input records consumed into *completed* runs.
+    consumed: u64,
+    /// Run formation finished.
+    formed: bool,
+    /// Sorted runs of the current merge level still awaiting merging.
+    runs: Vec<EmFile<T>>,
+    /// Completed merge outputs of the current level.
+    next: Vec<EmFile<T>>,
+    /// Merge fan-in (clamped to the memory budget at construction).
+    fan_in: usize,
+    /// Completed work units (runs formed + groups merged + level swaps).
+    checkpoints: u64,
+    /// The sort has produced its final output.
+    done: bool,
+}
+
+impl<T: Record> SortManifest<T> {
+    /// A fresh manifest: nothing consumed, nothing formed. `fan_in` is
+    /// clamped to `[2, max_merge_fan_in]`; `None` means the maximum.
+    pub fn new(ctx: &EmContext, fan_in: Option<usize>) -> Self {
+        let max = max_merge_fan_in::<T>(ctx.config());
+        Self {
+            consumed: 0,
+            formed: false,
+            runs: Vec::new(),
+            next: Vec::new(),
+            fan_in: fan_in.unwrap_or(max).clamp(2, max),
+            checkpoints: 0,
+            done: false,
+        }
+    }
+
+    /// Input records consumed into completed runs.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Whether run formation has completed.
+    pub fn formed(&self) -> bool {
+        self.formed
+    }
+
+    /// Whether the sort has completed and yielded its output.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Completed work units so far (each one a checkpoint).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Sorted runs currently held (current level + completed outputs).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len() + self.next.len()
+    }
+
+    /// A textual snapshot of the manifest — the format persisted to the
+    /// backing directory at each checkpoint on file-backed contexts.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "em-sort-manifest v1");
+        let _ = writeln!(s, "consumed {}", self.consumed);
+        let _ = writeln!(s, "formed {}", self.formed);
+        let _ = writeln!(s, "fan_in {}", self.fan_in);
+        let _ = writeln!(s, "checkpoints {}", self.checkpoints);
+        for r in &self.runs {
+            let _ = writeln!(s, "run {} len {}", r.id(), r.len());
+        }
+        for r in &self.next {
+            let _ = writeln!(s, "merged {} len {}", r.id(), r.len());
+        }
+        s
+    }
+
+    /// Record a completed work unit; on file-backed contexts, persist the
+    /// snapshot. Metadata writes are host-side bookkeeping, not model block
+    /// I/O, so nothing is charged to [`emcore::IoStats`].
+    fn checkpoint(&mut self, ctx: &EmContext) {
+        self.checkpoints += 1;
+        if let Some(dir) = ctx.backing_dir() {
+            let _ = std::fs::write(dir.join("sort-manifest.txt"), self.describe());
+        }
+    }
+
+    fn finish(&mut self, ctx: &EmContext) {
+        self.done = true;
+        if let Some(dir) = ctx.backing_dir() {
+            let _ = std::fs::remove_file(dir.join("sort-manifest.txt"));
+        }
+    }
+}
+
+/// Sort `input` with checkpointing — semantically identical to
+/// [`crate::external_sort`] (load-sort runs), but any recoverable failure
+/// leaves a resumable [`SortManifest`] behind via [`resume_sort`]. For a
+/// one-shot call the manifest is internal; use [`resume_sort`] directly to
+/// keep it across failures.
+pub fn external_sort_recoverable<T: Record>(input: &EmFile<T>) -> Result<EmFile<T>> {
+    let mut manifest = SortManifest::new(input.ctx(), None);
+    resume_sort(input, &mut manifest)
+}
+
+/// Drive the sort of `input` forward from wherever `manifest` left off,
+/// until completion or the next terminal error.
+///
+/// Idempotent over failures: call once on a fresh manifest to start, and
+/// call again with the same manifest after handling an error (e.g. clearing
+/// a simulated crash with [`emcore::FaultPlan::clear_crash`]) — only the
+/// interrupted work unit is redone. Returns the sorted output; afterwards
+/// the manifest is [`SortManifest::is_done`] and must not be reused.
+pub fn resume_sort<T: Record>(
+    input: &EmFile<T>,
+    manifest: &mut SortManifest<T>,
+) -> Result<EmFile<T>> {
+    if manifest.done {
+        return Err(EmError::config(
+            "resume_sort: manifest already completed; create a fresh one",
+        ));
+    }
+    let ctx = input.ctx().clone();
+    let stats = ctx.stats().clone();
+
+    // Phase 1: run formation, resumable at `consumed` records.
+    if !manifest.formed {
+        stats.begin_phase("sort/run-formation");
+        let r = form_remaining_runs(input, manifest, &ctx);
+        stats.end_phase();
+        r?;
+    }
+
+    // Phase 2: merge passes, resumable at merge-group granularity.
+    stats.begin_phase("sort/merge");
+    let r = merge_remaining(manifest, &ctx);
+    stats.end_phase();
+    let out = r?;
+    manifest.finish(&ctx);
+    Ok(out)
+}
+
+fn form_remaining_runs<T: Record>(
+    input: &EmFile<T>,
+    manifest: &mut SortManifest<T>,
+    ctx: &EmContext,
+) -> Result<()> {
+    let b = ctx.config().block_size();
+    let cap = ctx.mem_records::<T>().saturating_sub(2 * b).max(b);
+    let mut load = ctx.tracked_vec::<T>(cap, "recoverable run formation load buffer");
+    while manifest.consumed < input.len() {
+        // A fresh positioned reader each unit: a crashed unit must not
+        // leave reader state behind, and positioning costs ≤ 1 extra I/O.
+        let mut reader = input.reader_at(manifest.consumed);
+        load.clear();
+        while load.len() < cap {
+            match reader.next()? {
+                Some(x) => load.push(x),
+                None => break,
+            }
+        }
+        if load.is_empty() {
+            break;
+        }
+        load.sort_unstable_by_key(|r| r.key());
+        let mut w = ctx.writer::<T>()?;
+        w.push_all(&load)?;
+        let run = w.finish()?;
+        // ---- checkpoint: the run is fully on storage ----
+        manifest.consumed += run.len();
+        manifest.runs.push(run);
+        manifest.checkpoint(ctx);
+    }
+    manifest.formed = true;
+    manifest.checkpoint(ctx);
+    Ok(())
+}
+
+fn merge_remaining<T: Record>(
+    manifest: &mut SortManifest<T>,
+    ctx: &EmContext,
+) -> Result<EmFile<T>> {
+    loop {
+        if manifest.runs.is_empty() {
+            match manifest.next.len() {
+                0 => return ctx.create_file::<T>(), // empty input
+                1 => return manifest.next.pop().ok_or_else(level_underflow),
+                // ---- checkpoint: level complete, outputs become inputs ----
+                _ => {
+                    manifest.runs = std::mem::take(&mut manifest.next);
+                    manifest.checkpoint(ctx);
+                }
+            }
+            continue;
+        }
+        if manifest.runs.len() == 1 {
+            if manifest.next.is_empty() {
+                return manifest.runs.pop().ok_or_else(level_underflow);
+            }
+            // A lone leftover run moves to the next pass unmerged — merging
+            // it alone would copy every block for nothing.
+            let run = manifest.runs.pop().ok_or_else(level_underflow)?;
+            manifest.next.push(run);
+            manifest.checkpoint(ctx);
+            continue;
+        }
+        let g = manifest.fan_in.min(manifest.runs.len());
+        // Merge the group *before* releasing its inputs: a crash inside
+        // merge_once drops only the partial output file, and the manifest
+        // still owns every input run for the redo.
+        let merged = merge_once(ctx, &manifest.runs[..g])?;
+        manifest.next.push(merged);
+        manifest.runs.drain(..g); // frees the merged runs' storage
+                                  // ---- checkpoint: group complete ----
+        manifest.checkpoint(ctx);
+    }
+}
+
+fn level_underflow() -> EmError {
+    EmError::config("sort manifest invariant violated: empty level")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, EmContext, FaultPlan, RetryPolicy};
+
+    fn ctx() -> EmContext {
+        EmContext::new_in_memory_strict(EmConfig::tiny()) // M=256, B=16
+    }
+
+    fn shuffled(n: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n).collect();
+        let mut rng = emcore::SplitMix64::new(0xfeed);
+        rng.shuffle(&mut v);
+        v
+    }
+
+    #[test]
+    fn recoverable_sort_matches_plain_sort_fault_free() {
+        let c = ctx();
+        let data = shuffled(3000);
+        let f = EmFile::from_slice(&c, &data).unwrap();
+        let sorted = external_sort_recoverable(&f).unwrap();
+        let mut want = data;
+        want.sort_unstable();
+        assert_eq!(sorted.to_vec().unwrap(), want);
+    }
+
+    #[test]
+    fn fault_free_io_cost_matches_plain_sort_shape() {
+        // Same run structure as external_sort ⇒ same merge levels; the only
+        // extra I/Os allowed are ≤ 1 positioning read per formed run.
+        let c1 = ctx();
+        let c2 = ctx();
+        let data = shuffled(2000);
+        let f1 = c1
+            .stats()
+            .paused(|| EmFile::from_slice(&c1, &data))
+            .unwrap();
+        let f2 = c2
+            .stats()
+            .paused(|| EmFile::from_slice(&c2, &data))
+            .unwrap();
+        let _ = crate::external_sort(&f1).unwrap();
+        let _ = external_sort_recoverable(&f2).unwrap();
+        let plain = c1.stats().snapshot().total_ios();
+        let recov = c2.stats().snapshot().total_ios();
+        let runs = 2000u64.div_ceil(224); // working capacity at tiny config
+        assert!(
+            recov <= plain + runs,
+            "recoverable {recov} vs plain {plain} (+{runs} positioning allowance)"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let c = ctx();
+        let f = c.create_file::<u64>().unwrap();
+        assert!(external_sort_recoverable(&f).unwrap().is_empty());
+        let g = EmFile::from_slice(&c, &[9u64, 1]).unwrap();
+        assert_eq!(
+            external_sort_recoverable(&g).unwrap().to_vec().unwrap(),
+            vec![1, 9]
+        );
+    }
+
+    #[test]
+    fn crash_then_resume_completes() {
+        let c = ctx();
+        let data = shuffled(1500);
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let plan = FaultPlan::new(0).fatal_at(40);
+        c.install_fault_plan(plan.clone());
+        let mut m = SortManifest::new(&c, None);
+        assert!(matches!(resume_sort(&f, &mut m), Err(EmError::Crashed)));
+        assert!(!m.is_done());
+        assert!(m.checkpoints() > 0, "work before the crash was kept");
+        plan.clear_crash();
+        let sorted = resume_sort(&f, &mut m).unwrap();
+        assert!(m.is_done());
+        let mut want = data;
+        want.sort_unstable();
+        assert_eq!(sorted.to_vec().unwrap(), want);
+    }
+
+    #[test]
+    fn transient_faults_handled_by_retries_inside_sort() {
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let plan = FaultPlan::new(3).transient_rate(0.05);
+        c.install_fault_plan(plan.clone());
+        c.set_retry_policy(RetryPolicy::retries(10));
+        let data = shuffled(2000);
+        // Materialise as an oracle so input staging neither consumes the
+        // fault schedule nor counts I/O.
+        let f = c.oracle(|| EmFile::from_slice(&c, &data)).unwrap();
+        let sorted = external_sort_recoverable(&f).unwrap();
+        let mut want = data;
+        want.sort_unstable();
+        assert_eq!(c.oracle(|| sorted.to_vec()).unwrap(), want);
+        let stats = c.stats().snapshot();
+        assert_eq!(stats.retries, plan.injected().transient_total());
+        assert!(stats.retries > 0);
+    }
+
+    #[test]
+    fn completed_manifest_rejects_reuse() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &[3u64, 1, 2]).unwrap();
+        let mut m = SortManifest::new(&c, None);
+        let _ = resume_sort(&f, &mut m).unwrap();
+        assert!(matches!(resume_sort(&f, &mut m), Err(EmError::Config(_))));
+    }
+
+    #[test]
+    fn manifest_snapshot_persisted_and_cleaned_on_disk() {
+        let c = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let data = shuffled(1200);
+        let f = EmFile::from_slice(&c, &data).unwrap();
+        let meta = c.backing_dir().unwrap().join("sort-manifest.txt");
+        let plan = FaultPlan::new(0).fatal_at(200);
+        c.install_fault_plan(plan.clone());
+        let mut m = SortManifest::new(&c, None);
+        assert!(resume_sort(&f, &mut m).is_err());
+        let snap = std::fs::read_to_string(&meta).expect("snapshot exists after crash");
+        assert!(snap.starts_with("em-sort-manifest v1"));
+        assert!(snap.contains("consumed"));
+        plan.clear_crash();
+        let _ = resume_sort(&f, &mut m).unwrap();
+        assert!(!meta.exists(), "snapshot removed after completion");
+    }
+
+    #[test]
+    fn describe_reports_progress() {
+        let c = ctx();
+        let m = SortManifest::<u64>::new(&c, Some(4));
+        let d = m.describe();
+        assert!(d.contains("consumed 0"));
+        assert!(d.contains("fan_in 4"));
+    }
+}

@@ -1,6 +1,6 @@
 //! Multiway merging of sorted runs.
 
-use emcore::{EmConfig, EmContext, EmFile, Record, Result};
+use emcore::{EmConfig, EmContext, EmError, EmFile, Record, Result};
 
 use crate::loser_tree::LoserTree;
 
@@ -19,7 +19,7 @@ pub fn max_merge_fan_in<T: Record>(config: EmConfig) -> usize {
 pub fn merge_once<T: Record>(ctx: &EmContext, runs: &[EmFile<T>]) -> Result<EmFile<T>> {
     let readers: Vec<_> = runs.iter().map(|r| r.reader()).collect();
     let mut tree = LoserTree::with_tracking(readers, ctx.mem())?;
-    let mut w = ctx.writer::<T>();
+    let mut w = ctx.writer::<T>()?;
     while let Some(x) = tree.pop()? {
         w.push(x)?;
     }
@@ -57,16 +57,17 @@ pub fn merge_runs_with_fan_in<T: Record>(
                 group.clear();
             }
         }
-        match group.len() {
-            0 => {}
+        if group.len() > 1 {
+            next.push(merge_once(ctx, &group)?);
+        } else if let Some(lone) = group.pop() {
             // A lone leftover run moves to the next pass unmerged — merging
             // it alone would copy every block for nothing.
-            1 => next.push(group.pop().expect("len checked")),
-            _ => next.push(merge_once(ctx, &group)?),
+            next.push(lone);
         }
         *runs = next;
     }
-    Ok(runs.pop().expect("at least one run"))
+    runs.pop()
+        .ok_or_else(|| EmError::config("merge pass produced no output run"))
 }
 
 #[cfg(test)]
@@ -98,7 +99,12 @@ mod tests {
         let c = ctx();
         // 30 runs with fan-in 14 → 2 passes (30 → 3 → 1)
         let runs: Vec<EmFile<u64>> = (0..30)
-            .map(|i| run_of(&c, &(0..20).map(|j| (j * 30 + i) as u64).collect::<Vec<_>>()))
+            .map(|i| {
+                run_of(
+                    &c,
+                    &(0..20).map(|j| (j * 30 + i) as u64).collect::<Vec<_>>(),
+                )
+            })
             .collect();
         let m = merge_runs(&c, runs).unwrap();
         assert_eq!(m.len(), 600);
@@ -139,6 +145,9 @@ mod tests {
         assert_eq!(m1.to_vec().unwrap(), m2.to_vec().unwrap());
         let io1 = c1.stats().snapshot().since(&s1).total_ios();
         let io2 = c2.stats().snapshot().since(&s2).total_ios();
-        assert!(io1 > io2, "fan-in 2 ({io1} I/Os) should cost more than fan-in 14 ({io2})");
+        assert!(
+            io1 > io2,
+            "fan-in 2 ({io1} I/Os) should cost more than fan-in 14 ({io2})"
+        );
     }
 }

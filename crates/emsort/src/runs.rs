@@ -52,7 +52,7 @@ pub fn form_runs_load_sort<T: Record>(input: &EmFile<T>) -> Result<Vec<EmFile<T>
             break;
         }
         load.sort_unstable_by_key(|r| r.key());
-        let mut w = ctx.writer::<T>();
+        let mut w = ctx.writer::<T>()?;
         w.push_all(&load)?;
         runs.push(w.finish()?);
         if load.len() < cap {
@@ -115,13 +115,13 @@ pub fn form_runs_replacement_selection<T: Record>(input: &EmFile<T>) -> Result<V
     }
 
     while !heap.is_empty() {
-        let mut w = ctx.writer::<T>();
+        let mut w = ctx.writer::<T>()?;
         while let Some(item) = heap.pop() {
             let rec = item.rec;
             w.push(rec)?;
             let last_key = rec.key();
             // Refill from input if there is room (heap + parked < cap).
-            if heap.len() + parked.len() + 1 <= cap {
+            if heap.len() + parked.len() < cap {
                 if let Some(x) = reader.next()? {
                     if x.key() >= last_key {
                         heap.push(HeapItem { rec: x });

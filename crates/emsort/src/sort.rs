@@ -31,7 +31,11 @@ pub fn external_sort_with<T: Record>(
     };
     stats.end_phase();
     stats.begin_phase("sort/merge");
-    let out = merge_runs_with_fan_in(&ctx, &mut runs, fan_in.unwrap_or_else(|| ctx.config().fan_in()))?;
+    let out = merge_runs_with_fan_in(
+        &ctx,
+        &mut runs,
+        fan_in.unwrap_or_else(|| ctx.config().fan_in()),
+    )?;
     stats.end_phase();
     Ok(out)
 }

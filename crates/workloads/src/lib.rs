@@ -9,9 +9,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-mod rng;
-
-pub use rng::SplitMix64;
+pub use emcore::SplitMix64;
 
 use emcore::{EmContext, EmFile, Result};
 
@@ -74,9 +72,7 @@ pub fn generate(workload: Workload, n: u64, seed: u64) -> Vec<u64> {
             }
             v
         }
-        Workload::FewDistinct { values } => {
-            (0..n).map(|_| rng.below(values.max(1))).collect()
-        }
+        Workload::FewDistinct { values } => (0..n).map(|_| rng.below(values.max(1))).collect(),
         Workload::ZipfLike { values, s } => {
             // Inverse-CDF sampling over a precomputed Zipf table.
             let v = values.max(1) as usize;
@@ -165,8 +161,12 @@ mod tests {
 
     #[test]
     fn sorted_and_reversed() {
-        assert!(generate(Workload::Sorted, 50, 0).windows(2).all(|w| w[0] < w[1]));
-        assert!(generate(Workload::Reversed, 50, 0).windows(2).all(|w| w[0] > w[1]));
+        assert!(generate(Workload::Sorted, 50, 0)
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+        assert!(generate(Workload::Reversed, 50, 0)
+            .windows(2)
+            .all(|w| w[0] > w[1]));
     }
 
     #[test]
@@ -176,7 +176,10 @@ mod tests {
         s.sort_unstable();
         assert_eq!(s, (0..10_000).collect::<Vec<_>>());
         let inversions_adjacent = v.windows(2).filter(|w| w[0] > w[1]).count();
-        assert!(inversions_adjacent < 500, "{inversions_adjacent} adjacent inversions");
+        assert!(
+            inversions_adjacent < 500,
+            "{inversions_adjacent} adjacent inversions"
+        );
     }
 
     #[test]
@@ -189,7 +192,14 @@ mod tests {
 
     #[test]
     fn zipf_is_skewed() {
-        let v = generate(Workload::ZipfLike { values: 100, s: 1.2 }, 10_000, 4);
+        let v = generate(
+            Workload::ZipfLike {
+                values: 100,
+                s: 1.2,
+            },
+            10_000,
+            4,
+        );
         assert!(v.iter().all(|&x| x < 100));
         let zeros = v.iter().filter(|&&x| x == 0).count();
         let tail = v.iter().filter(|&&x| x == 99).count();

@@ -27,7 +27,10 @@ fn main() -> Result<()> {
         let ctx = EmContext::new_in_memory(cfg);
         let file = materialize(
             &ctx,
-            Workload::ZipfLike { values: 10_000, s: 1.1 },
+            Workload::ZipfLike {
+                values: 10_000,
+                s: 1.1,
+            },
             n,
             123,
         )?;

@@ -56,7 +56,12 @@ fn main() -> Result<()> {
     assert!(ctx.mem().peak() <= ctx.mem().capacity());
 
     // --- 6. Multi-word records pack fewer per block (B is in words). ---
-    let kv: Vec<KeyValue> = (0..100).map(|i| KeyValue { key: i, value: i * i }).collect();
+    let kv: Vec<KeyValue> = (0..100)
+        .map(|i| KeyValue {
+            key: i,
+            value: i * i,
+        })
+        .collect();
     let kv_file = EmFile::from_slice(&ctx, &kv)?;
     println!(
         "\nKeyValue records are 2 words: {} records -> {} blocks (vs {} for u64)",

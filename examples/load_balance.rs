@@ -37,10 +37,7 @@ fn main() -> Result<()> {
             exact_ios = ios;
         }
         let sizes: Vec<u64> = loads.iter().map(|l| l.len()).collect();
-        let (mn, mx) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (mn, mx) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         println!(
             "| {slack:>5.1} | {mn:>8} | {mx:>8} | {:>8.2}x | {ios:>5} | {:>7.2}x |",
             mx as f64 / mn.max(1) as f64,

@@ -17,7 +17,9 @@ fn main() -> Result<()> {
     ctx.stats().reset();
     let answers = multi_select(&file, &ranks)?;
     let ms_ios = ctx.stats().snapshot().total_ios();
-    assert!(ctx.stats().paused(|| verify_multiselect(&file, &ranks, &answers))?);
+    assert!(ctx
+        .stats()
+        .paused(|| verify_multiselect(&file, &ranks, &answers))?);
     println!("multi-select of {} ranks over {n} records:", ranks.len());
     for (r, a) in ranks.iter().zip(&answers) {
         println!("  rank {r:>8} -> {a}");

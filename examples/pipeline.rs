@@ -11,7 +11,9 @@
 //!
 //! Run: `cargo run --release --example pipeline`
 
-use crossbeam_channel::bounded;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
 use em_splitters::prelude::*;
 
 fn main() -> Result<()> {
@@ -40,22 +42,28 @@ fn main() -> Result<()> {
 
     // Phase 2 (parallel, CPU-bound): per-shard sort through a channel pool.
     let t1 = std::time::Instant::now();
-    let (task_tx, task_rx) = bounded::<(usize, Vec<u64>)>(workers);
-    let (done_tx, done_rx) = bounded::<(usize, Vec<u64>)>(workers);
+    // std::sync::mpsc receivers are single-consumer, so the worker pool
+    // shares the task receiver behind a mutex (shards are large, so the
+    // lock is uncontended relative to the sort work).
+    let (task_tx, task_rx) = mpsc::sync_channel::<(usize, Vec<u64>)>(workers);
+    let (done_tx, done_rx) = mpsc::sync_channel::<(usize, Vec<u64>)>(workers);
+    let task_rx = Arc::new(Mutex::new(task_rx));
     let sorted_shards = std::thread::scope(|scope| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
+            let task_rx = Arc::clone(&task_rx);
             let done_tx = done_tx.clone();
-            scope.spawn(move || {
-                while let Ok((idx, mut shard)) = task_rx.recv() {
-                    shard.sort_unstable();
-                    if done_tx.send((idx, shard)).is_err() {
-                        break;
-                    }
+            scope.spawn(move || loop {
+                let task = {
+                    let rx = task_rx.lock().expect("task queue lock");
+                    rx.recv()
+                };
+                let Ok((idx, mut shard)) = task else { break };
+                shard.sort_unstable();
+                if done_tx.send((idx, shard)).is_err() {
+                    break;
                 }
             });
         }
-        drop(task_rx);
         drop(done_tx);
         let expected = shipped.len();
         let producer = scope.spawn(move || {
@@ -72,7 +80,10 @@ fn main() -> Result<()> {
             collected[idx] = Some(shard);
         }
         producer.join().expect("producer");
-        collected.into_iter().map(|s| s.expect("all shards")).collect::<Vec<_>>()
+        collected
+            .into_iter()
+            .map(|s| s.expect("all shards"))
+            .collect::<Vec<_>>()
     });
     let phase2 = t1.elapsed();
 
@@ -100,9 +111,7 @@ fn main() -> Result<()> {
     let _sorted = external_sort(&file)?;
     let sort_ios = ctx.stats().snapshot().total_ios();
     let sort_time = t2.elapsed();
-    println!(
-        "\nbaseline external merge sort: {sort_ios} I/Os, {sort_time:?} (sequential)"
-    );
+    println!("\nbaseline external merge sort: {sort_ios} I/Os, {sort_time:?} (sequential)");
     println!(
         "partitioning used {:.0}% of the baseline's I/O and parallelised the rest",
         100.0 * part_ios as f64 / sort_ios as f64

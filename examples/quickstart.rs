@@ -30,7 +30,9 @@ fn main() -> Result<()> {
     let approx_ios = ctx.stats().snapshot().total_ios();
 
     // Verify (not charged to the algorithm).
-    let report = ctx.stats().paused(|| verify_splitters(&file, &splitters, &spec))?;
+    let report = ctx
+        .stats()
+        .paused(|| verify_splitters(&file, &splitters, &spec))?;
     assert!(report.ok, "splitters invalid: {:?}", report.violations);
     println!(
         "\nfound {} splitters; induced partition sizes range {}..{}",
@@ -47,9 +49,18 @@ fn main() -> Result<()> {
     let scan = n.div_ceil(cfg.block_size() as u64);
     println!("\nI/O cost:");
     println!("  one scan of the input : {scan:>8} I/Os");
-    println!("  approximate splitters : {approx_ios:>8} I/Os  ({:.2} scans)", approx_ios as f64 / scan as f64);
-    println!("  sort-based baseline   : {sort_ios:>8} I/Os  ({:.2} scans)", sort_ios as f64 / scan as f64);
-    println!("  speedup               : {:.1}x", sort_ios as f64 / approx_ios as f64);
+    println!(
+        "  approximate splitters : {approx_ios:>8} I/Os  ({:.2} scans)",
+        approx_ios as f64 / scan as f64
+    );
+    println!(
+        "  sort-based baseline   : {sort_ios:>8} I/Os  ({:.2} scans)",
+        sort_ios as f64 / scan as f64
+    );
+    println!(
+        "  speedup               : {:.1}x",
+        sort_ios as f64 / approx_ios as f64
+    );
 
     // And the headline: a right-grounded instance (only a lower bound on
     // partition sizes) is solvable in SUBLINEAR I/O.
@@ -57,7 +68,9 @@ fn main() -> Result<()> {
     ctx.stats().reset();
     let s = approx_splitters(&file, &spec_r)?;
     let sub_ios = ctx.stats().snapshot().total_ios();
-    let rep = ctx.stats().paused(|| verify_splitters(&file, &s, &spec_r))?;
+    let rep = ctx
+        .stats()
+        .paused(|| verify_splitters(&file, &s, &spec_r))?;
     assert!(rep.ok);
     println!(
         "\nright-grounded (a=4, b=N): {sub_ios} I/Os — {}x fewer than one scan",

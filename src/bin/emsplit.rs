@@ -39,7 +39,7 @@ fn parse_args() -> Args {
         } else if a == "--" {
             in_trailing = true;
         } else if let Some(name) = a.strip_prefix("--") {
-            let val = if it.peek().map_or(false, |v| !v.starts_with("--")) {
+            let val = if it.peek().is_some_and(|v| !v.starts_with("--")) {
                 it.next().unwrap_or_default()
             } else {
                 "true".to_string()
@@ -60,7 +60,10 @@ impl Args {
     fn flag_u64(&self, name: &str, default: u64) -> u64 {
         self.flags
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{name} expects a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{name} expects a number")))
+            })
             .unwrap_or(default)
     }
     fn has(&self, name: &str) -> bool {
@@ -142,11 +145,17 @@ fn print_stats(ctx: &EmContext) {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let cmd = args.positional.first().map(String::as_str).unwrap_or("help");
+    let cmd = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     match cmd {
         "gen" => {
             let path = PathBuf::from(
-                args.positional.get(1).unwrap_or_else(|| die("gen needs <file>")),
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("gen needs <file>")),
             );
             let n = args
                 .positional
@@ -158,7 +167,10 @@ fn main() -> ExitCode {
                 None | Some("uniform") => Workload::UniformPerm,
                 Some("sorted") => Workload::Sorted,
                 Some("reversed") => Workload::Reversed,
-                Some("zipf") => Workload::ZipfLike { values: n.max(2) / 10, s: 1.1 },
+                Some("zipf") => Workload::ZipfLike {
+                    values: n.max(2) / 10,
+                    s: 1.1,
+                },
                 Some(other) => die(&format!("unknown workload {other}")),
             };
             let keys = generate(wl, n, seed);
@@ -167,7 +179,9 @@ fn main() -> ExitCode {
         }
         "splitters" => {
             let path = PathBuf::from(
-                args.positional.get(1).unwrap_or_else(|| die("splitters needs <file>")),
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("splitters needs <file>")),
             );
             let ctx = machine(&args);
             let file = load(&ctx, &path);
@@ -184,10 +198,14 @@ fn main() -> ExitCode {
         }
         "partition" => {
             let path = PathBuf::from(
-                args.positional.get(1).unwrap_or_else(|| die("partition needs <file>")),
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("partition needs <file>")),
             );
             let out_dir = PathBuf::from(
-                args.positional.get(2).unwrap_or_else(|| die("partition needs <out-dir>")),
+                args.positional
+                    .get(2)
+                    .unwrap_or_else(|| die("partition needs <out-dir>")),
             );
             std::fs::create_dir_all(&out_dir)
                 .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", out_dir.display())));
@@ -210,7 +228,9 @@ fn main() -> ExitCode {
         }
         "quantiles" => {
             let path = PathBuf::from(
-                args.positional.get(1).unwrap_or_else(|| die("quantiles needs <file>")),
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("quantiles needs <file>")),
             );
             let q = args.flag_u64("q", 0);
             if q < 2 {
@@ -229,10 +249,14 @@ fn main() -> ExitCode {
         }
         "sort" => {
             let path = PathBuf::from(
-                args.positional.get(1).unwrap_or_else(|| die("sort needs <file>")),
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("sort needs <file>")),
             );
             let out_path = PathBuf::from(
-                args.positional.get(2).unwrap_or_else(|| die("sort needs <out-file>")),
+                args.positional
+                    .get(2)
+                    .unwrap_or_else(|| die("sort needs <out-file>")),
             );
             let ctx = machine(&args);
             let file = load(&ctx, &path);
@@ -249,7 +273,9 @@ fn main() -> ExitCode {
         }
         "verify" => {
             let path = PathBuf::from(
-                args.positional.get(1).unwrap_or_else(|| die("verify needs <file>")),
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("verify needs <file>")),
             );
             let ctx = machine(&args);
             let file = load(&ctx, &path);
@@ -257,16 +283,27 @@ fn main() -> ExitCode {
             let splitters: Vec<u64> = args
                 .trailing
                 .iter()
-                .map(|s| s.parse().unwrap_or_else(|_| die("splitters must be u64 keys")))
+                .map(|s| {
+                    s.parse()
+                        .unwrap_or_else(|_| die("splitters must be u64 keys"))
+                })
                 .collect();
             let mut sp = splitters;
             sp.sort_unstable();
             let rep = verify_splitters(&file, &sp, &spec)
                 .unwrap_or_else(|e| die(&format!("verify failed: {e}")));
             if rep.ok {
-                eprintln!("OK: all {} partition sizes within [{}, {}]", rep.sizes.len(), spec.a, spec.b);
+                eprintln!(
+                    "OK: all {} partition sizes within [{}, {}]",
+                    rep.sizes.len(),
+                    spec.a,
+                    spec.b
+                );
             } else {
-                eprintln!("INVALID: sizes {:?}, violations at {:?}", rep.sizes, rep.violations);
+                eprintln!(
+                    "INVALID: sizes {:?}, violations at {:?}",
+                    rep.sizes, rep.violations
+                );
                 return ExitCode::FAILURE;
             }
         }

@@ -57,13 +57,15 @@ pub use workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use apsplit::{
-        approx_partitioning, approx_splitters, balanced_loads, equi_depth_histogram,
-        median, precise_partitioning, precise_via_approx, sort_based_partitioning, top_k,
-        sort_based_splitters, verify_multiselect, verify_partitioning, verify_splitters,
-        Groundedness, ProblemSpec,
+        approx_partitioning, approx_splitters, balanced_loads, equi_depth_histogram, median,
+        precise_partitioning, precise_via_approx, sort_based_partitioning, sort_based_splitters,
+        top_k, verify_multiselect, verify_partitioning, verify_splitters, Groundedness,
+        ProblemSpec,
     };
-    pub use emcore::{EmConfig, EmContext, EmError, EmFile, Record, Result};
+    pub use emcore::{
+        EmConfig, EmContext, EmError, EmFile, FaultPlan, Record, Result, RetryPolicy,
+    };
     pub use emselect::{multi_select, quantiles, select_rank, Partition};
-    pub use emsort::external_sort;
+    pub use emsort::{external_sort, external_sort_recoverable, resume_sort, SortManifest};
     pub use workloads::{generate, materialize, Workload};
 }

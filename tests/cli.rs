@@ -15,7 +15,10 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 fn run(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(bin()).args(args).output().expect("spawn emsplit");
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn emsplit");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -27,7 +30,15 @@ fn run(args: &[&str]) -> (String, String, bool) {
 fn gen_splitters_verify_roundtrip() {
     let data = tmp("a.bin");
     let data_s = data.to_str().unwrap();
-    let (_, err, ok) = run(&["gen", data_s, "50000", "--workload", "uniform", "--seed", "3"]);
+    let (_, err, ok) = run(&[
+        "gen",
+        data_s,
+        "50000",
+        "--workload",
+        "uniform",
+        "--seed",
+        "3",
+    ]);
     assert!(ok, "{err}");
     assert_eq!(std::fs::metadata(&data).unwrap().len(), 50_000 * 8);
 

@@ -72,7 +72,12 @@ fn all_workload_families() {
 
         let parts = approx_partitioning(&file, &spec).unwrap();
         let rep = verify_partitioning(&parts, &spec).unwrap();
-        assert!(rep.ok, "{} partitioning: {:?}", workloads::name(wl), rep.sizes);
+        assert!(
+            rep.ok,
+            "{} partitioning: {:?}",
+            workloads::name(wl),
+            rep.sizes
+        );
     }
 }
 
@@ -92,7 +97,10 @@ fn duplicate_heavy_workloads_with_indexed_records() {
             .enumerate()
             .map(|(i, &k)| Indexed::new(k, i as u64))
             .collect();
-        let file = ctx.stats().paused(|| emcore::EmFile::from_slice(&ctx, &data)).unwrap();
+        let file = ctx
+            .stats()
+            .paused(|| emcore::EmFile::from_slice(&ctx, &data))
+            .unwrap();
         let spec = ProblemSpec::new(n, 8, 100, n / 2).unwrap();
         let sp = approx_splitters(&file, &spec).unwrap();
         let rep = verify_splitters(&file, &sp, &spec).unwrap();
@@ -178,7 +186,16 @@ fn intermixed_engine_end_to_end() {
 fn applications_end_to_end() {
     let ctx = EmContext::new_in_memory(EmConfig::new(1024, 32).unwrap());
     let n = 8000u64;
-    let file = materialize(&ctx, Workload::ZipfLike { values: 500, s: 1.0 }, n, 19).unwrap();
+    let file = materialize(
+        &ctx,
+        Workload::ZipfLike {
+            values: 500,
+            s: 1.0,
+        },
+        n,
+        19,
+    )
+    .unwrap();
 
     let hist = equi_depth_histogram(&file, 8, 0.25).unwrap();
     assert_eq!(hist.counts.iter().sum::<u64>(), n);

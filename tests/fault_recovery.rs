@@ -1,0 +1,202 @@
+//! Property tests for the fault-injection + recovery subsystem (seeded
+//! deterministic loops; the workspace builds offline with no proptest).
+//!
+//! The three contracted properties of the crash-recoverable sort:
+//!
+//! 1. **Fault-schedule equivalence** — under any seeded fault schedule
+//!    whose transients eventually succeed, the sorted output is identical
+//!    to the fault-free run's.
+//! 2. **Exact retry accounting** — `IoStats.retries` equals the number of
+//!    injected transient faults, on both backends.
+//! 3. **Bounded redo** — crash at *any* I/O index, then resume: the total
+//!    I/O spent never exceeds the fault-free cost by more than one work
+//!    unit (the largest single run formation or merge group).
+
+use em_splitters::prelude::*;
+use emcore::{EmError, FaultPlan, RetryPolicy, SplitMix64};
+use emsort::{external_sort_recoverable, resume_sort, SortManifest};
+
+fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n).collect();
+    SplitMix64::new(seed).shuffle(&mut v);
+    v
+}
+
+/// Fault-free reference: same data, same config, no plan.
+fn clean_sort(data: &[u64]) -> (Vec<u64>, u64) {
+    let c = EmContext::new_in_memory(EmConfig::tiny());
+    let f = c.stats().paused(|| EmFile::from_slice(&c, data)).unwrap();
+    let out = external_sort_recoverable(&f).unwrap();
+    let v = c.stats().paused(|| out.to_vec()).unwrap();
+    (v, c.stats().snapshot().total_ios())
+}
+
+#[test]
+fn any_recoverable_schedule_yields_identical_output_memory() {
+    let mut master = SplitMix64::new(0xabcd_0001);
+    for case in 0..24 {
+        let n = 500 + master.below(2500);
+        let data = shuffled(n, master.next_u64());
+        let (want, _) = clean_sort(&data);
+
+        let rate = 0.01 + master.unit() * 0.2; // up to heavy fault pressure
+        let plan_seed = master.next_u64();
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let plan = FaultPlan::new(plan_seed).transient_rate(rate);
+        c.install_fault_plan(plan.clone());
+        // Enough attempts that rate < 0.21 cannot exhaust them.
+        c.set_retry_policy(RetryPolicy::retries(30));
+        let f = c.oracle(|| EmFile::from_slice(&c, &data)).unwrap();
+
+        let sorted = external_sort_recoverable(&f).unwrap();
+        let got = c.oracle(|| sorted.to_vec()).unwrap();
+        assert_eq!(got, want, "case {case}: n={n} rate={rate:.3}");
+
+        let stats = c.stats().snapshot();
+        assert_eq!(
+            stats.retries,
+            plan.injected().transient_total(),
+            "case {case}: retries must equal injected transients"
+        );
+    }
+}
+
+#[test]
+fn any_recoverable_schedule_yields_identical_output_disk() {
+    let mut master = SplitMix64::new(0xabcd_0002);
+    for case in 0..6 {
+        let n = 400 + master.below(1600);
+        let data = shuffled(n, master.next_u64());
+        let (want, _) = clean_sort(&data);
+
+        let rate = 0.02 + master.unit() * 0.1;
+        let c = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let plan = FaultPlan::new(master.next_u64()).transient_rate(rate);
+        c.install_fault_plan(plan.clone());
+        c.set_retry_policy(RetryPolicy::retries(30));
+        let f = c.oracle(|| EmFile::from_slice(&c, &data)).unwrap();
+
+        let sorted = external_sort_recoverable(&f).unwrap();
+        let got = c.oracle(|| sorted.to_vec()).unwrap();
+        assert_eq!(got, want, "case {case}: n={n} rate={rate:.3}");
+        assert_eq!(
+            c.stats().snapshot().retries,
+            plan.injected().transient_total(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn crash_at_any_io_plus_resume_bounds_redone_work() {
+    // Exhaustive sweep: crash the sort at every possible I/O index, resume,
+    // and check (a) the output is correct and (b) the redone work stays
+    // under one work-unit of I/O.
+    let n: u64 = 1000;
+    let data = shuffled(n, 7);
+    let (want, clean_ios) = clean_sort(&data);
+
+    // Work-unit bound at EmConfig::tiny() for u64: run formation handles
+    // cap = M − 2B = 224 records (14 blocks read + 14 written + 1
+    // positioning read); a merge group re-reads and re-writes at most all
+    // its input runs — here a single group of ceil(1000/224) = 5 runs,
+    // i.e. the whole file: 63 reads + 63 writes. The largest unit is the
+    // merge group.
+    let unit_bound = 2 * n.div_ceil(16) + 2;
+
+    for crash_at in 0..clean_ios {
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let plan = FaultPlan::new(0).fatal_at(crash_at);
+        c.install_fault_plan(plan.clone());
+
+        let mut manifest = SortManifest::new(&c, None);
+        let first = resume_sort(&f, &mut manifest);
+        assert!(
+            matches!(first, Err(EmError::Crashed)),
+            "crash_at={crash_at}: expected a crash"
+        );
+        plan.clear_crash();
+        let sorted = resume_sort(&f, &mut manifest).unwrap();
+        assert_eq!(
+            c.oracle(|| sorted.to_vec()).unwrap(),
+            want,
+            "crash_at={crash_at}"
+        );
+
+        let total = c.stats().snapshot().total_ios();
+        assert!(
+            total <= clean_ios + unit_bound,
+            "crash_at={crash_at}: {total} I/Os vs fault-free {clean_ios} + unit bound {unit_bound}"
+        );
+    }
+}
+
+#[test]
+fn repeated_crashes_still_converge() {
+    // Crash the sort several times at spread-out attempt indices, clearing
+    // and resuming each time: the checkpoint structure must make monotone
+    // progress and finish. (Crashes cannot recur *faster* than a work unit
+    // completes — checkpoints are per run / per merge group, so a crash
+    // period below one unit's I/O cost livelocks by construction. The
+    // fault-plan attempt counter keeps advancing across resumes, so these
+    // indices land in distinct resume episodes.)
+    let n: u64 = 1500;
+    let data = shuffled(n, 99);
+    let (want, _) = clean_sort(&data);
+
+    let c = EmContext::new_in_memory(EmConfig::tiny());
+    let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+    let plan = FaultPlan::new(0)
+        .fatal_at(50)
+        .fatal_at(150)
+        .fatal_at(300)
+        .fatal_at(520);
+    c.install_fault_plan(plan.clone());
+
+    let mut manifest = SortManifest::new(&c, None);
+    let mut crashes = 0;
+    let sorted = loop {
+        match resume_sort(&f, &mut manifest) {
+            Ok(out) => break out,
+            Err(EmError::Crashed) => {
+                crashes += 1;
+                assert!(
+                    crashes < 1000,
+                    "sort does not converge under periodic crashes"
+                );
+                plan.clear_crash();
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    assert!(
+        crashes >= 2,
+        "the schedule should actually interrupt the sort"
+    );
+    assert_eq!(c.oracle(|| sorted.to_vec()).unwrap(), want);
+}
+
+#[test]
+fn corruption_on_disk_is_detected_not_wrong() {
+    // Persistent corruption is not recoverable by retry — but it must
+    // surface as EmError::Corrupt, never as silently wrong output.
+    let c = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+    let data = shuffled(800, 21);
+    let f = EmFile::from_slice(&c, &data).unwrap();
+    c.install_fault_plan(FaultPlan::new(5).fail_nth(10, emcore::FaultKind::CorruptWrite));
+    c.set_retry_policy(RetryPolicy::retries(3));
+    match external_sort_recoverable(&f) {
+        Ok(out) => {
+            // The corrupt write hit a file that was later discarded wholesale
+            // (e.g. a dropped run) — the output must still be right.
+            let mut want = data.clone();
+            want.sort_unstable();
+            assert_eq!(c.oracle(|| out.to_vec()).unwrap(), want);
+        }
+        Err(EmError::Corrupt { .. }) => {
+            assert!(c.stats().snapshot().corrupt_reads > 0);
+        }
+        Err(e) => panic!("expected success or Corrupt, got {e}"),
+    }
+}

@@ -45,14 +45,22 @@ fn multi_word_records_survive_full_pipeline() {
     let keys = workloads::generate(Workload::UniformPerm, n, 5);
     let data: Vec<KeyValue> = keys
         .iter()
-        .map(|&k| KeyValue { key: k, value: k.wrapping_mul(0x9E3779B9) })
+        .map(|&k| KeyValue {
+            key: k,
+            value: k.wrapping_mul(0x9E3779B9),
+        })
         .collect();
-    let file = ctx.stats().paused(|| EmFile::from_slice(&ctx, &data)).unwrap();
+    let file = ctx
+        .stats()
+        .paused(|| EmFile::from_slice(&ctx, &data))
+        .unwrap();
 
     // Sort: payloads still attached.
     let sorted = external_sort(&file).unwrap().to_vec().unwrap();
     assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
-    assert!(sorted.iter().all(|kv| kv.value == kv.key.wrapping_mul(0x9E3779B9)));
+    assert!(sorted
+        .iter()
+        .all(|kv| kv.value == kv.key.wrapping_mul(0x9E3779B9)));
 
     // Multi-select: the returned records carry their payloads.
     let picked = multi_select(&file, &[1, n / 2, n]).unwrap();
@@ -98,13 +106,16 @@ fn algorithms_fit_strict_memory_at_several_geometries() {
         let file = materialize(&ctx, Workload::UniformPerm, n, 7).unwrap();
         let spec = ProblemSpec::new(n, 4, 1, n).unwrap();
         // Survival under strict metering is the assertion.
-        let sp = approx_splitters(&file, &spec)
-            .unwrap_or_else(|e| panic!("M={m} B={b}: {e}"));
+        let sp = approx_splitters(&file, &spec).unwrap_or_else(|e| panic!("M={m} B={b}: {e}"));
         assert_eq!(sp.len(), 3);
         let parts = approx_partitioning(&file, &spec).unwrap();
         assert_eq!(parts.len(), 4);
         let _ = external_sort(&file).unwrap();
-        assert!(ctx.mem().peak() <= m, "M={m} B={b}: peak {}", ctx.mem().peak());
+        assert!(
+            ctx.mem().peak() <= m,
+            "M={m} B={b}: peak {}",
+            ctx.mem().peak()
+        );
     }
 }
 
@@ -179,12 +190,20 @@ fn oversized_record_still_moves_as_one_unit() {
                 b.copy_from_slice(&inp[8 + i * 8..16 + i * 8]);
                 *p = u64::from_le_bytes(b);
             }
-            Fat { key: u64::from_le_bytes(key), pad }
+            Fat {
+                key: u64::from_le_bytes(key),
+                pad,
+            }
         }
     }
     let cfg = EmConfig::new(512, 16).unwrap(); // B = 16 words < 32-word record
     let ctx = EmContext::new_in_memory(cfg);
-    let data: Vec<Fat> = (0..10u64).map(|i| Fat { key: i, pad: [i; 31] }).collect();
+    let data: Vec<Fat> = (0..10u64)
+        .map(|i| Fat {
+            key: i,
+            pad: [i; 31],
+        })
+        .collect();
     let f = EmFile::from_slice(&ctx, &data).unwrap();
     assert_eq!(f.num_blocks(), 10, "one record per block");
     assert_eq!(f.to_vec().unwrap(), data);

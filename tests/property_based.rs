@@ -1,31 +1,38 @@
 //! Property-based tests over the full pipeline: random feasible problem
 //! instances and random data must always produce verifier-clean outputs,
 //! and the EM algorithms must agree with trivial in-memory references.
-
-use proptest::prelude::*;
+//!
+//! The instance generator is a seeded [`SplitMix64`] loop rather than a
+//! shrinking framework (the workspace builds offline, with no external
+//! dependencies); every case prints its instance on failure, and the same
+//! master seed always replays the same cases.
 
 use em_splitters::prelude::*;
-use emcore::Indexed;
+use emcore::{Indexed, SplitMix64};
+
+const CASES: usize = 48;
+const MASTER_SEED: u64 = 0x5eed_ca5e;
 
 /// A feasible (n, k, a, b) tuple plus a data seed.
-fn arb_instance() -> impl Strategy<Value = (u64, u64, u64, u64, u64)> {
-    (200u64..3000, 2u64..24, any::<u64>()).prop_flat_map(|(n, k, seed)| {
-        let nk = n / k;
-        (0u64..=nk, Just(n), Just(k), Just(seed)).prop_flat_map(move |(a, n, k, seed)| {
-            (n.div_ceil(k)..=n).prop_map(move |b| (n, k, a, b, seed))
-        })
-    })
+fn gen_instance(rng: &mut SplitMix64) -> (u64, u64, u64, u64, u64) {
+    let n = 200 + rng.below(2800);
+    let k = 2 + rng.below(22);
+    let seed = rng.next_u64();
+    let a = rng.below(n / k + 1);
+    let lo = n.div_ceil(k);
+    let b = lo + rng.below(n - lo + 1);
+    (n, k, a, b, seed)
 }
 
 fn ctx() -> EmContext {
     EmContext::new_in_memory(EmConfig::new(512, 16).unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn splitters_always_verify((n, k, a, b, seed) in arb_instance()) {
+#[test]
+fn splitters_always_verify() {
+    let mut rng = SplitMix64::new(MASTER_SEED);
+    for case in 0..CASES {
+        let (n, k, a, b, seed) = gen_instance(&mut rng);
         let c = ctx();
         // Distinct keys via Indexed so any a ≥ 1 stays feasible.
         let keys = workloads::generate(Workload::UniformPerm, n, seed);
@@ -37,20 +44,24 @@ proptest! {
         let file = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
         let spec = ProblemSpec::new(n, k, a, b).unwrap();
         let sp = approx_splitters(&file, &spec).unwrap();
-        prop_assert_eq!(sp.len(), (k - 1) as usize);
+        assert_eq!(sp.len(), (k - 1) as usize, "case {case}: {spec}");
         let rep = verify_splitters(&file, &sp, &spec).unwrap();
-        prop_assert!(rep.ok, "{} sizes {:?}", spec, rep.sizes);
+        assert!(rep.ok, "case {case}: {} sizes {:?}", spec, rep.sizes);
     }
+}
 
-    #[test]
-    fn partitioning_always_verifies((n, k, a, b, seed) in arb_instance()) {
+#[test]
+fn partitioning_always_verifies() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 1);
+    for case in 0..CASES {
+        let (n, k, a, b, seed) = gen_instance(&mut rng);
         let c = ctx();
         let keys = workloads::generate(Workload::UniformPerm, n, seed);
         let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
         let spec = ProblemSpec::new(n, k, a, b).unwrap();
         let parts = approx_partitioning(&file, &spec).unwrap();
         let rep = verify_partitioning(&parts, &spec).unwrap();
-        prop_assert!(rep.ok, "{} report {:?}", spec, rep);
+        assert!(rep.ok, "case {case}: {} report {:?}", spec, rep);
         // Multiset preservation.
         let mut all = Vec::new();
         for p in &parts {
@@ -59,106 +70,122 @@ proptest! {
         all.sort_unstable();
         let mut want = keys.clone();
         want.sort_unstable();
-        prop_assert_eq!(all, want);
+        assert_eq!(all, want, "case {case}: {spec}");
     }
+}
 
-    #[test]
-    fn multi_select_matches_reference(
-        n in 100u64..2500,
-        seed in any::<u64>(),
-        ranks_raw in prop::collection::vec(any::<u64>(), 1..12),
-        dup_values in prop::option::of(1u64..20),
-    ) {
-        let c = ctx();
-        let wl = match dup_values {
-            Some(v) => Workload::FewDistinct { values: v },
-            None => Workload::UniformPerm,
+#[test]
+fn multi_select_matches_reference() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 2);
+    for case in 0..CASES {
+        let n = 100 + rng.below(2400);
+        let seed = rng.next_u64();
+        let wl = if rng.below(2) == 0 {
+            Workload::FewDistinct {
+                values: 1 + rng.below(19),
+            }
+        } else {
+            Workload::UniformPerm
         };
+        let num_ranks = 1 + rng.below(11) as usize;
+        let c = ctx();
         let keys = workloads::generate(wl, n, seed);
         let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
-        let ranks: Vec<u64> = ranks_raw.iter().map(|r| 1 + r % n).collect();
+        let ranks: Vec<u64> = (0..num_ranks).map(|_| 1 + rng.below(n)).collect();
         let got = multi_select(&file, &ranks).unwrap();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}: n={n} ranks={ranks:?}");
     }
+}
 
-    #[test]
-    fn external_sort_matches_reference(
-        n in 1u64..4000,
-        seed in any::<u64>(),
-        dup_values in prop::option::of(1u64..50),
-    ) {
-        let c = ctx();
-        let wl = match dup_values {
-            Some(v) => Workload::FewDistinct { values: v },
-            None => Workload::UniformPerm,
+#[test]
+fn external_sort_matches_reference() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 3);
+    for case in 0..CASES {
+        let n = 1 + rng.below(3999);
+        let seed = rng.next_u64();
+        let wl = if rng.below(2) == 0 {
+            Workload::FewDistinct {
+                values: 1 + rng.below(49),
+            }
+        } else {
+            Workload::UniformPerm
         };
+        let c = ctx();
         let keys = workloads::generate(wl, n, seed);
         let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
         let sorted = external_sort(&file).unwrap().to_vec().unwrap();
         let mut want = keys.clone();
         want.sort_unstable();
-        prop_assert_eq!(sorted, want);
+        assert_eq!(sorted, want, "case {case}: n={n} wl={wl:?}");
     }
+}
 
-    #[test]
-    fn split_at_rank_exact(
-        n in 50u64..2500,
-        seed in any::<u64>(),
-        dup_values in prop::option::of(1u64..10),
-    ) {
-        let c = ctx();
-        let wl = match dup_values {
-            Some(v) => Workload::FewDistinct { values: v },
-            None => Workload::UniformPerm,
+#[test]
+fn split_at_rank_exact() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 4);
+    for case in 0..CASES {
+        let n = 50 + rng.below(2450);
+        let seed = rng.next_u64();
+        let wl = if rng.below(2) == 0 {
+            Workload::FewDistinct {
+                values: 1 + rng.below(9),
+            }
+        } else {
+            Workload::UniformPerm
         };
+        let c = ctx();
         let keys = workloads::generate(wl, n, seed);
         let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
         let count = 1 + seed % n;
         let (low, high, boundary) = emselect::split_at_rank(&file, count).unwrap();
-        prop_assert_eq!(low.len(), count);
-        prop_assert_eq!(high.len(), n - count);
+        assert_eq!(low.len(), count, "case {case}");
+        assert_eq!(high.len(), n - count, "case {case}");
         let mut sorted = keys.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(boundary, sorted[(count - 1) as usize]);
-        prop_assert!(low.to_vec().unwrap().iter().all(|&x| x <= boundary));
-        prop_assert!(high.to_vec().unwrap().iter().all(|&x| x >= boundary));
+        assert_eq!(boundary, sorted[(count - 1) as usize], "case {case}");
+        assert!(low.to_vec().unwrap().iter().all(|&x| x <= boundary));
+        assert!(high.to_vec().unwrap().iter().all(|&x| x >= boundary));
     }
+}
 
-    #[test]
-    fn quantiles_are_valid_splitters(
-        n in 100u64..2000,
-        q in 2u64..16,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn quantiles_are_valid_splitters() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 5);
+    for case in 0..CASES {
+        let n = 100 + rng.below(1900);
+        let q = 2 + rng.below(14);
+        let seed = rng.next_u64();
         let c = ctx();
         let keys = workloads::generate(Workload::UniformPerm, n, seed);
         let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
         let qs = quantiles(&file, q).unwrap();
-        prop_assert_eq!(qs.len(), (q - 1) as usize);
+        assert_eq!(qs.len(), (q - 1) as usize, "case {case}");
         // Induced partitions must be near-even: in {floor(n/q), ..., ceil(n/q)+1}.
         let spec = ProblemSpec::new(n, q, n / q, n.div_ceil(q)).unwrap();
         let rep = verify_splitters(&file, &qs, &spec).unwrap();
-        prop_assert!(rep.ok, "sizes {:?}", rep.sizes);
+        assert!(rep.ok, "case {case}: sizes {:?}", rep.sizes);
     }
+}
 
-    #[test]
-    fn memory_budget_never_exceeded(
-        n in 500u64..3000,
-        k in 2u64..12,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn memory_budget_never_exceeded() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 6);
+    for case in 0..CASES {
+        let n = 500 + rng.below(2500);
+        let k = 2 + rng.below(10);
+        let seed = rng.next_u64();
         // Strict contexts panic on violation, so survival is the assertion.
         let c = EmContext::new_in_memory_strict(EmConfig::new(512, 16).unwrap());
         let keys = workloads::generate(Workload::UniformPerm, n, seed);
         let file = c.stats().paused(|| EmFile::from_slice(&c, &keys)).unwrap();
         let spec = ProblemSpec::new(n, k, 1, n).unwrap();
         let sp = approx_splitters(&file, &spec).unwrap();
-        prop_assert_eq!(sp.len(), (k - 1) as usize);
+        assert_eq!(sp.len(), (k - 1) as usize, "case {case}");
         let parts = approx_partitioning(&file, &spec).unwrap();
-        prop_assert_eq!(parts.len(), k as usize);
-        prop_assert!(c.mem().peak() <= c.mem().capacity());
+        assert_eq!(parts.len(), k as usize, "case {case}");
+        assert!(c.mem().peak() <= c.mem().capacity(), "case {case}");
     }
 }

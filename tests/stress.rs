@@ -17,14 +17,20 @@ fn ten_million_records_all_pipelines() {
         ProblemSpec::new(n, 64, 4, n / 2).unwrap(),
     ] {
         let sp = approx_splitters(&file, &spec).unwrap();
-        let rep = ctx.stats().paused(|| verify_splitters(&file, &sp, &spec)).unwrap();
+        let rep = ctx
+            .stats()
+            .paused(|| verify_splitters(&file, &sp, &spec))
+            .unwrap();
         assert!(rep.ok, "{spec}");
     }
 
     // Partitioning + multiset check on sizes.
     let spec = ProblemSpec::new(n, 64, 4, n / 2).unwrap();
     let parts = approx_partitioning(&file, &spec).unwrap();
-    let rep = ctx.stats().paused(|| verify_partitioning(&parts, &spec)).unwrap();
+    let rep = ctx
+        .stats()
+        .paused(|| verify_partitioning(&parts, &spec))
+        .unwrap();
     assert!(rep.ok);
     assert_eq!(parts.iter().map(|p| p.len()).sum::<u64>(), n);
 
