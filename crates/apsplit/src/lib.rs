@@ -49,6 +49,7 @@ mod baseline;
 pub mod bounds;
 mod partitioning;
 mod precise;
+mod recover;
 mod spec;
 mod splitters;
 mod verify;
@@ -60,6 +61,10 @@ pub use partitioning::{
     approx_partitioning, approx_partitioning_with, PartitionOptions, Partitioning,
 };
 pub use precise::{precise_partitioning, precise_via_approx, precise_via_approx_with_step};
+pub use recover::{
+    approx_partitioning_recoverable, resume_approx_partitioning, PartitionManifest,
+    PARTITION_JOURNAL,
+};
 pub use spec::{Groundedness, ProblemSpec};
 pub use splitters::{approx_splitters, approx_splitters_with, SplitOptions};
 pub use verify::{

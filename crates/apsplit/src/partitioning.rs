@@ -25,6 +25,55 @@ pub type PartitionOptions = MpOptions;
 /// each a segment list ([`Partition`]) — the paper's linked-list output.
 pub type Partitioning<T> = Vec<Partition<T>>;
 
+/// `k` sizes of `⌊n/k⌋` or `⌈n/k⌉`, via the quantile-rank differences.
+fn near_even(n: u64, k: u64) -> Vec<u64> {
+    let mut sizes = Vec::with_capacity(k as usize);
+    let mut prev = 0u64;
+    for i in 1..=k {
+        let r = (i * n) / k;
+        sizes.push(r - prev);
+        prev = r;
+    }
+    sizes
+}
+
+/// The exact partition sizes [`approx_partitioning_with`] realises for
+/// `spec`, independent of which physical strategy the dispatch picks.
+/// Every size is in `[a, b]` (zeros only when `a = 0`). The recoverable
+/// path ([`crate::recover`]) re-derives its binary split tree from these,
+/// so they are the contract between the two implementations
+/// (`sizes_match_target_sizes` in this module's tests enforces it).
+pub(crate) fn target_sizes(spec: &ProblemSpec) -> Vec<u64> {
+    match spec.groundedness() {
+        Groundedness::RightGrounded => {
+            let mut sizes = vec![spec.a; (spec.k - 1) as usize];
+            sizes.push(spec.n - spec.a * (spec.k - 1));
+            sizes
+        }
+        Groundedness::LeftGrounded => {
+            let kp = spec.n.div_ceil(spec.b).max(1);
+            let mut sizes = vec![spec.b; kp as usize];
+            *sizes.last_mut().expect("kp ≥ 1") = spec.n - (kp - 1) * spec.b;
+            sizes.resize(spec.k as usize, 0);
+            sizes
+        }
+        Groundedness::TwoSided => {
+            let k = spec.k;
+            if spec.quantile_suffices() {
+                return near_even(spec.n, k);
+            }
+            let kp = spec.k_prime();
+            if kp == 0 || kp >= k {
+                near_even(spec.n, k)
+            } else {
+                let mut sizes = vec![spec.a; kp as usize];
+                sizes.extend(near_even(spec.n - spec.a * kp, k - kp));
+                sizes
+            }
+        }
+    }
+}
+
 /// Approximate K-partitioning of `input` under `spec`. Dispatches on the
 /// spec's groundedness.
 pub fn approx_partitioning<T: Record>(
@@ -98,17 +147,6 @@ fn two_sided<T: Record>(
     spec: &ProblemSpec,
     opts: PartitionOptions,
 ) -> Result<Partitioning<T>> {
-    let near_even = |n: u64, k: u64| -> Vec<u64> {
-        // k sizes of ⌊n/k⌋ or ⌈n/k⌉ via the quantile-rank differences.
-        let mut sizes = Vec::with_capacity(k as usize);
-        let mut prev = 0u64;
-        for i in 1..=k {
-            let r = (i * n) / k;
-            sizes.push(r - prev);
-            prev = r;
-        }
-        sizes
-    };
     if spec.quantile_suffices() {
         return multi_partition_with(input, &near_even(spec.n, spec.k), opts);
     }
@@ -226,6 +264,31 @@ mod tests {
         let parts = approx_partitioning(&f, &spec).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].len(), 100);
+    }
+
+    #[test]
+    fn sizes_match_target_sizes() {
+        // target_sizes is the contract the recoverable path builds on:
+        // whatever strategy the dispatch picks must realise exactly these.
+        for &(n, k, a, b, seed) in &[
+            (4000, 8, 10, 4000, 41),  // right-grounded
+            (4000, 8, 0, 900, 42),    // left-grounded (with empty padding)
+            (4000, 8, 450, 600, 43),  // two-sided, quantile easy
+            (4000, 8, 2, 3000, 44),   // two-sided, hard
+            (8000, 16, 3, 3900, 45),  // two-sided, split-lowest regime
+            (4096, 16, 256, 256, 46), // exact
+            (100, 1, 0, 100, 47),     // K = 1
+        ] {
+            let c = strict_ctx();
+            let spec = ProblemSpec::new(n, k, a, b).unwrap();
+            let f = c
+                .stats()
+                .paused(|| EmFile::from_slice(&c, &shuffled(n, seed)))
+                .unwrap();
+            let parts = approx_partitioning(&f, &spec).unwrap();
+            let got: Vec<u64> = parts.iter().map(|p| p.len()).collect();
+            assert_eq!(got, target_sizes(&spec), "{spec}");
+        }
     }
 
     #[test]

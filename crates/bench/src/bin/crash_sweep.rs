@@ -1,0 +1,4 @@
+//! EX-RECOVERY crash-sweep campaign: see DESIGN.md per-experiment index.
+fn main() {
+    bench::run_campaign(bench::Scale::from_env());
+}

@@ -1,0 +1,431 @@
+//! EX-RECOVERY: the crash-sweep campaign.
+//!
+//! For each recoverable algorithm (external sort, multi-selection,
+//! approximate partitioning) and each backend (memory, disk):
+//!
+//! 1. run fault-free to learn the device-attempt count, billed I/Os, and
+//!    the output digest;
+//! 2. inject a fatal fault at every device attempt index (stride-sampled
+//!    once the count exceeds the points budget), resume after each crash,
+//!    and check the **recovery invariants**: the resumed output equals the
+//!    fault-free output exactly, total billed I/Os exceed the fault-free
+//!    cost by at most one work unit ([`emsort::SortManifest::max_unit_ios`]
+//!    and friends), `redone_ios` is within the same unit bound, and the
+//!    backing directory holds no orphaned block files or journal temp
+//!    files afterwards.
+//!
+//! Any violated invariant increments the `failures` column — the campaign
+//! reports rather than panics, so one bad crash point does not hide the
+//! rest of the sweep. The library tests (`tests/fault_recovery.rs`) run
+//! the same driver exhaustively at small `N` and assert zero failures.
+
+use apsplit::{resume_approx_partitioning, PartitionManifest, ProblemSpec};
+use emcore::{EmConfig, EmContext, EmError, EmFile, FaultPlan};
+use emselect::{resume_multi_select, MsOptions, MultiSelectManifest, Partition};
+use emsort::{resume_sort, SortManifest};
+use workloads::{materialize, Workload};
+
+use crate::harness::{emit, fnum, Scale, Table};
+
+const SEED: u64 = 20140623;
+
+/// The recoverable algorithms the campaign sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Recoverable external merge sort ([`emsort::resume_sort`]).
+    Sort,
+    /// Recoverable multi-selection ([`emselect::resume_multi_select`]).
+    MultiSelect,
+    /// Recoverable approximate partitioning
+    /// ([`apsplit::resume_approx_partitioning`]).
+    Partition,
+}
+
+impl Algo {
+    /// Table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Sort => "sort",
+            Algo::MultiSelect => "multi-select",
+            Algo::Partition => "partitioning",
+        }
+    }
+}
+
+/// Backing store under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Host-RAM blocks.
+    Memory,
+    /// Real files in a temporary directory (checksummed blocks, real
+    /// orphans).
+    Disk,
+}
+
+impl Backend {
+    /// Table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Memory => "memory",
+            Backend::Disk => "disk",
+        }
+    }
+
+    fn ctx(self, config: EmConfig) -> EmContext {
+        match self {
+            Backend::Memory => EmContext::new_in_memory(config),
+            Backend::Disk => EmContext::new_on_disk_temp(config).expect("tempdir"),
+        }
+    }
+}
+
+/// One completed (possibly crash-and-resumed) run of an algorithm.
+struct RunOut {
+    /// FNV digest of the full output contents, in order.
+    digest: u64,
+    /// Billed block I/Os of the algorithm (materialisation excluded).
+    total_ios: u64,
+    /// `Counters::redone_ios` delta.
+    redone_ios: u64,
+    /// Device attempts consumed (the crash-index space).
+    attempts: u64,
+    /// The manifest's largest completed work unit, in I/Os.
+    max_unit_ios: u64,
+    /// Crash→resume cycles needed.
+    resumes: u64,
+    /// Orphaned `em-*.bin` / `*.journal.tmp` files left behind (disk).
+    orphans: u64,
+}
+
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn digest_file(f: &EmFile<u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut r = f.reader();
+    while let Some(x) = r.next().expect("oracle read") {
+        h = fnv(h, x);
+    }
+    h
+}
+
+fn digest_parts(parts: &[Partition<u64>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in parts {
+        h = fnv(h, 0xDEAD); // partition boundary marker
+        for x in p.to_vec().expect("oracle read") {
+            h = fnv(h, x);
+        }
+    }
+    h
+}
+
+/// Orphan audit: block files on disk that belong to neither the input nor
+/// the output, plus leftover journal temp files. Zero on the memory
+/// backend by construction.
+fn count_orphans(ctx: &EmContext, live: &[u64]) -> u64 {
+    let mut orphans = ctx
+        .list_file_ids()
+        .expect("list ids")
+        .into_iter()
+        .filter(|id| !live.contains(id))
+        .count() as u64;
+    if let Some(dir) = ctx.backing_dir() {
+        for entry in std::fs::read_dir(dir).expect("read backing dir") {
+            let name = entry.expect("dir entry").file_name();
+            if name.to_string_lossy().ends_with(".journal.tmp") {
+                orphans += 1;
+            }
+        }
+    }
+    orphans
+}
+
+/// Selection ranks used by the multi-select case: `k` evenly spaced.
+fn select_ranks(n: u64) -> Vec<u64> {
+    (1..=12u64).map(|i| i * n / 12).filter(|&r| r > 0).collect()
+}
+
+/// Problem spec used by the partitioning case: a two-sided instance that
+/// exercises both grounded fronts and near-even tails.
+fn partition_spec(n: u64) -> ProblemSpec {
+    ProblemSpec::new(n, 8, n / 10, n / 2).expect("feasible spec")
+}
+
+/// Run `algo` once on a fresh context, crashing at device attempt
+/// `crash_at` (if any) and resuming until completion. `Err` carries a
+/// description of the non-crash failure, if one occurs.
+fn run_algo(
+    algo: Algo,
+    backend: Backend,
+    config: EmConfig,
+    n: u64,
+    crash_at: Option<u64>,
+) -> Result<RunOut, String> {
+    let ctx = backend.ctx(config);
+    let input = ctx
+        .stats()
+        .paused(|| materialize(&ctx, Workload::UniformPerm, n, SEED))
+        .map_err(|e| format!("materialize: {e}"))?;
+    let mut plan = FaultPlan::new(SEED);
+    if let Some(i) = crash_at {
+        plan = plan.fatal_at(i);
+    }
+    ctx.install_fault_plan(plan.clone());
+    let before = ctx.stats().snapshot();
+    let mut resumes = 0u64;
+
+    macro_rules! drive {
+        ($resume:expr) => {
+            loop {
+                match $resume {
+                    Ok(out) => break out,
+                    Err(EmError::Crashed) => {
+                        resumes += 1;
+                        if resumes > 50 {
+                            return Err("crash loop did not terminate".into());
+                        }
+                        plan.clear_crash();
+                    }
+                    Err(e) => return Err(format!("unexpected error: {e}")),
+                }
+            }
+        };
+    }
+
+    let (digest, max_unit_ios, live) = match algo {
+        Algo::Sort => {
+            let mut m = SortManifest::new(&ctx, None);
+            let sorted = drive!(resume_sort(&input, &mut m));
+            let d = ctx.oracle(|| digest_file(&sorted));
+            (d, m.max_unit_ios(), vec![input.id(), sorted.id()])
+        }
+        Algo::MultiSelect => {
+            // A small base-case capacity forces several groups, so the
+            // checkpoint machinery is exercised even at sweep-sized N.
+            let opts = MsOptions {
+                base_capacity_override: Some(4),
+                ..MsOptions::default()
+            };
+            let mut m = MultiSelectManifest::new(&input, &select_ranks(n), opts)
+                .map_err(|e| format!("manifest: {e}"))?;
+            let found = drive!(resume_multi_select(&input, &mut m));
+            let mut d = 0xcbf2_9ce4_8422_2325u64;
+            for x in &found {
+                d = fnv(d, *x);
+            }
+            (d, m.max_unit_ios(), vec![input.id()])
+        }
+        Algo::Partition => {
+            let spec = partition_spec(n);
+            let mut m =
+                PartitionManifest::new(&input, &spec).map_err(|e| format!("manifest: {e}"))?;
+            let parts = drive!(resume_approx_partitioning(&input, &mut m));
+            let d = ctx.oracle(|| digest_parts(&parts));
+            let mut live = vec![input.id()];
+            for p in &parts {
+                live.extend(p.segments().iter().map(|s| s.id()));
+            }
+            (d, m.max_unit_ios(), live)
+        }
+    };
+
+    let spent = ctx.stats().snapshot().since(&before);
+    Ok(RunOut {
+        digest,
+        total_ios: spent.total_ios(),
+        redone_ios: spent.redone_ios,
+        attempts: plan.attempts(),
+        max_unit_ios,
+        resumes,
+        orphans: count_orphans(&ctx, &live),
+    })
+}
+
+/// The aggregated result of sweeping one `(algo, backend)` cell.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Algorithm swept.
+    pub algo: Algo,
+    /// Backend swept.
+    pub backend: Backend,
+    /// Input size.
+    pub n: u64,
+    /// Billed I/Os of the fault-free run.
+    pub clean_ios: u64,
+    /// Device attempts of the fault-free run (the crash-index space).
+    pub clean_attempts: u64,
+    /// Crash points actually injected.
+    pub points: u64,
+    /// Stride between injected points (1 = exhaustive).
+    pub stride: u64,
+    /// Largest observed single work unit, in I/Os.
+    pub max_unit_ios: u64,
+    /// Largest observed rework (`total - clean`) over all crash points.
+    pub max_rework: u64,
+    /// Mean rework over all crash points.
+    pub mean_rework: f64,
+    /// Crash points violating any recovery invariant.
+    pub failures: u64,
+}
+
+/// Sweep one `(algo, backend)` cell: fault-free baseline, then a fatal
+/// fault at every `stride`-th device attempt with full invariant checks.
+/// `points_budget` bounds the number of injected crash points (use
+/// `u64::MAX` for an exhaustive sweep).
+pub fn sweep(algo: Algo, backend: Backend, n: u64, points_budget: u64) -> SweepOutcome {
+    // The tiny configuration keeps every algorithm multi-unit at sweep
+    // feasible N.
+    let config = EmConfig::tiny();
+    let clean = run_algo(algo, backend, config, n, None).expect("fault-free run");
+    assert_eq!(clean.resumes, 0);
+
+    let stride = clean.attempts.div_ceil(points_budget.max(1)).max(1);
+    let mut points = 0u64;
+    let mut failures = 0u64;
+    let mut max_rework = 0u64;
+    let mut rework_sum = 0u64;
+    let mut max_unit = clean.max_unit_ios;
+
+    let mut crash_at = 0u64;
+    while crash_at < clean.attempts {
+        points += 1;
+        match run_algo(algo, backend, config, n, Some(crash_at)) {
+            Err(e) => {
+                eprintln!(
+                    "[EX-RECOVERY] {}/{} @{crash_at}: {e}",
+                    algo.name(),
+                    backend.name()
+                );
+                failures += 1;
+            }
+            Ok(run) => {
+                max_unit = max_unit.max(run.max_unit_ios);
+                let rework = run.total_ios.saturating_sub(clean.total_ios);
+                max_rework = max_rework.max(rework);
+                rework_sum += rework;
+                let mut bad = Vec::new();
+                if run.digest != clean.digest {
+                    bad.push("output differs from fault-free run".to_string());
+                }
+                if run.resumes != 1 {
+                    bad.push(format!("{} resumes (expected 1)", run.resumes));
+                }
+                if rework > run.max_unit_ios {
+                    bad.push(format!(
+                        "rework {rework} exceeds unit bound {}",
+                        run.max_unit_ios
+                    ));
+                }
+                if run.redone_ios > run.max_unit_ios {
+                    bad.push(format!(
+                        "redone_ios {} exceeds unit bound {}",
+                        run.redone_ios, run.max_unit_ios
+                    ));
+                }
+                if run.orphans > 0 {
+                    bad.push(format!("{} orphaned files", run.orphans));
+                }
+                if !bad.is_empty() {
+                    eprintln!(
+                        "[EX-RECOVERY] {}/{} @{crash_at}: {}",
+                        algo.name(),
+                        backend.name(),
+                        bad.join("; ")
+                    );
+                    failures += 1;
+                }
+            }
+        }
+        crash_at += stride;
+    }
+
+    SweepOutcome {
+        algo,
+        backend,
+        n,
+        clean_ios: clean.total_ios,
+        clean_attempts: clean.attempts,
+        points,
+        stride,
+        max_unit_ios: max_unit,
+        max_rework,
+        mean_rework: if points == 0 {
+            0.0
+        } else {
+            rework_sum as f64 / points as f64
+        },
+        failures,
+    }
+}
+
+/// EX-RECOVERY: crash-sweep every recoverable algorithm on both backends
+/// and tabulate the recovery invariants.
+pub fn ex_recovery(scale: Scale) -> Table {
+    let (n, budget) = match scale {
+        Scale::Quick => (3000u64, 24u64),
+        Scale::Full => (20_000u64, 200u64),
+    };
+    let mut t = Table::new(
+        "EX-RECOVERY",
+        &format!("crash-sweep campaign: fatal fault at every sampled I/O, then resume  [N={n}]"),
+        &[
+            "algo",
+            "backend",
+            "clean I/Os",
+            "crash points",
+            "stride",
+            "max unit I/Os",
+            "max rework",
+            "mean rework",
+            "failures",
+        ],
+    );
+    for algo in [Algo::Sort, Algo::MultiSelect, Algo::Partition] {
+        for backend in [Backend::Memory, Backend::Disk] {
+            let o = sweep(algo, backend, n, budget);
+            t.row(vec![
+                o.algo.name().into(),
+                o.backend.name().into(),
+                o.clean_ios.to_string(),
+                o.points.to_string(),
+                o.stride.to_string(),
+                o.max_unit_ios.to_string(),
+                o.max_rework.to_string(),
+                fnum(o.mean_rework),
+                o.failures.to_string(),
+            ]);
+        }
+    }
+    t.note("invariants per crash point: resumed output identical to the fault-free output, exactly one crash→resume cycle, rework and redone_ios each ≤ the largest completed work unit, zero orphaned block/journal-temp files");
+    t.note("stride 1 = exhaustive (every device attempt); larger strides sample the attempt space uniformly under the points budget");
+    t
+}
+
+/// Run the campaign and emit the table (used by the `crash_sweep` binary).
+pub fn run_campaign(scale: Scale) -> Table {
+    let t = ex_recovery(scale);
+    emit(&t);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_sweep_sort_memory_tiny() {
+        let o = sweep(Algo::Sort, Backend::Memory, 400, u64::MAX);
+        assert_eq!(o.stride, 1, "tiny instance must sweep exhaustively");
+        assert_eq!(o.failures, 0, "{o:?}");
+        assert!(o.points > 0);
+    }
+
+    #[test]
+    fn sampled_sweep_partition_disk() {
+        let o = sweep(Algo::Partition, Backend::Disk, 800, 6);
+        assert_eq!(o.failures, 0, "{o:?}");
+        assert!(o.points <= 7);
+    }
+}

@@ -1010,6 +1010,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         ex_geometry(scale),
         ex_reduction(scale),
         ex_fault_overhead(scale),
+        crate::crash_sweep::ex_recovery(scale),
     ];
     for t in &tables {
         emit(t);

@@ -16,8 +16,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod crash_sweep;
 pub mod experiments;
 pub mod harness;
 
+pub use crash_sweep::{ex_recovery, run_campaign, sweep, Algo, Backend, SweepOutcome};
 pub use experiments::*;
 pub use harness::{bench_config, bench_ctx, emit, fnum, measure, Scale, Table};

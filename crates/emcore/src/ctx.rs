@@ -2,6 +2,7 @@
 //! store for block files.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::rc::Rc;
 
@@ -29,6 +30,9 @@ pub(crate) struct CtxInner {
     pub(crate) fault_plan: RefCell<Option<FaultPlan>>,
     pub(crate) retry_policy: Cell<RetryPolicy>,
     pub(crate) backoff_ticks: Cell<u64>,
+    /// Committed journal documents on the memory backend (the directory
+    /// backend stores them as `<name>.journal` files instead).
+    journals: RefCell<HashMap<String, String>>,
 }
 
 impl Drop for CtxInner {
@@ -122,6 +126,7 @@ impl EmContext {
                 fault_plan: RefCell::new(None),
                 retry_policy: Cell::new(RetryPolicy::NONE),
                 backoff_ticks: Cell::new(0),
+                journals: RefCell::new(HashMap::new()),
             }),
         }
     }
@@ -161,6 +166,83 @@ impl EmContext {
     /// store cannot create the file (or the device layer injects a fault).
     pub fn writer<T: Record>(&self) -> Result<Writer<T>> {
         Writer::new(self.clone())
+    }
+
+    /// Reopen an existing block file by id on the **directory backend** —
+    /// the cross-process resume path. The file must hold `len` records of
+    /// `T` (written by a previous context over the same directory); its
+    /// size is validated against the block layout. The returned handle is
+    /// [`EmFile::persistent`], so dropping it does not delete the data, and
+    /// `next_file_id` is bumped past `id` so fresh files cannot collide.
+    pub fn open_file<T: Record>(&self, id: u64, len: u64) -> Result<EmFile<T>> {
+        if matches!(self.inner.backing, Backing::Memory) {
+            return Err(crate::error::EmError::config(
+                "open_file: cross-process reopen requires a directory-backed context",
+            ));
+        }
+        if self.inner.next_file_id.get() <= id {
+            self.inner.next_file_id.set(id + 1);
+        }
+        EmFile::open_existing(self.clone(), id, len)
+    }
+
+    /// Ids of all `em-*.bin` block files present in the backing directory
+    /// (empty on the memory backend, whose files live only in handles).
+    pub fn list_file_ids(&self) -> Result<Vec<u64>> {
+        let Backing::Directory { dir, .. } = &self.inner.backing else {
+            return Ok(Vec::new());
+        };
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(id) = parse_block_file_name(&entry.file_name()) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// Remove block files in the backing directory whose id is not in
+    /// `keep`, plus any stale `*.journal.tmp` left by an interrupted
+    /// journal commit. Returns the ids of the removed block files.
+    ///
+    /// This is the resume-time orphan sweep: after a crash, temporary files
+    /// of the interrupted attempt may survive on disk without being
+    /// referenced by any journal. Callers must list *every* live file
+    /// (journaled manifest files plus independently-opened inputs) — the
+    /// sweep assumes one job per backing directory.
+    pub fn gc_orphans(&self, keep: &[u64]) -> Result<Vec<u64>> {
+        let Backing::Directory { dir, .. } = &self.inner.backing else {
+            return Ok(Vec::new());
+        };
+        let mut removed = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(id) = parse_block_file_name(&name) {
+                if !keep.contains(&id) {
+                    std::fs::remove_file(entry.path())?;
+                    removed.push(id);
+                }
+            } else if name.to_string_lossy().ends_with(".journal.tmp") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        removed.sort_unstable();
+        Ok(removed)
+    }
+
+    pub(crate) fn journal_get(&self, name: &str) -> Option<String> {
+        self.inner.journals.borrow().get(name).cloned()
+    }
+
+    pub(crate) fn journal_put(&self, name: &str, doc: String) {
+        self.inner.journals.borrow_mut().insert(name.into(), doc);
+    }
+
+    pub(crate) fn journal_remove(&self, name: &str) {
+        self.inner.journals.borrow_mut().remove(name);
     }
 
     /// Install a [`FaultPlan`]: every subsequent block transfer on this
@@ -252,6 +334,12 @@ impl EmContext {
             Backing::Directory { dir, .. } => Some(dir.join(format!("em-{id:08}.bin"))),
         }
     }
+}
+
+/// Parse `em-<id>.bin` back to its id (inverse of [`EmContext::file_path`]).
+fn parse_block_file_name(name: &std::ffi::OsStr) -> Option<u64> {
+    let s = name.to_str()?;
+    s.strip_prefix("em-")?.strip_suffix(".bin")?.parse().ok()
 }
 
 #[cfg(test)]

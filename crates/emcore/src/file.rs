@@ -33,7 +33,7 @@
 //! Byte counters (`bytes_read`/`bytes_written`) account payload only, not
 //! checksums, so they keep meaning "record bytes moved".
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fs::File;
 use std::path::PathBuf;
 
@@ -125,6 +125,10 @@ pub struct EmFile<T: Record> {
     storage: Storage<T>,
     len: u64,
     id: u64,
+    /// When set, dropping the handle leaves the backing file on disk —
+    /// used for files referenced by a checkpoint journal, which must
+    /// survive a (simulated or real) process exit for resume.
+    persistent: Cell<bool>,
 }
 
 impl<T: Record> EmFile<T> {
@@ -150,7 +154,55 @@ impl<T: Record> EmFile<T> {
             storage,
             len: 0,
             id,
+            persistent: Cell::new(false),
         })
+    }
+
+    /// Reopen an existing on-disk block file without truncating it (the
+    /// cross-process resume path; see [`crate::EmContext::open_file`]).
+    /// Validates the stored size against the block layout for `len`
+    /// records. The handle starts out persistent.
+    pub(crate) fn open_existing(ctx: EmContext, id: u64, len: u64) -> Result<Self> {
+        let path = ctx.file_path(id).ok_or_else(|| {
+            EmError::config("open_existing: no backing directory for this context")
+        })?;
+        let file = File::options().read(true).write(true).open(&path)?;
+        let cap = ctx.config().block_records_for_width(T::WORDS);
+        let stride = (cap * T::BYTES + CHECKSUM_BYTES) as u64;
+        let want = len.div_ceil(cap as u64) * stride;
+        let have = file.metadata()?.len();
+        if have < want {
+            return Err(EmError::config(format!(
+                "open_existing: file em-{id:08}.bin holds {have} bytes, \
+                 {want} needed for {len} records"
+            )));
+        }
+        Ok(Self {
+            ctx,
+            storage: Storage::Disk {
+                file,
+                path,
+                scratch: RefCell::new(Vec::new()),
+            },
+            len,
+            id,
+            persistent: Cell::new(true),
+        })
+    }
+
+    /// Mark whether the backing file should survive this handle's drop.
+    /// Recoverable algorithms set this when a file becomes referenced by a
+    /// checkpoint journal and clear it when the reference is retired, so
+    /// intentional releases delete data as usual.
+    #[inline]
+    pub fn set_persistent(&self, keep: bool) {
+        self.persistent.set(keep);
+    }
+
+    /// Whether the backing file survives this handle's drop.
+    #[inline]
+    pub fn persistent(&self) -> bool {
+        self.persistent.get()
     }
 
     /// The owning context.
@@ -419,6 +471,9 @@ impl<T: Record> EmFile<T> {
 
 impl<T: Record> Drop for EmFile<T> {
     fn drop(&mut self) {
+        if self.persistent.get() {
+            return;
+        }
         if let Storage::Disk { path, .. } = &self.storage {
             let _ = std::fs::remove_file(path);
         }
@@ -748,6 +803,49 @@ mod tests {
         assert!(path.exists());
         drop(f);
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn persistent_file_survives_drop_and_reopens() {
+        let base = std::env::temp_dir().join(format!("emcore-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let data: Vec<u64> = (0..100).rev().collect();
+        let (id, len);
+        {
+            let ctx = EmContext::new_on_disk(EmConfig::tiny(), &base).unwrap();
+            let f = EmFile::from_slice(&ctx, &data).unwrap();
+            f.set_persistent(true);
+            id = f.id();
+            len = f.len();
+        } // handle + context dropped: simulated process exit
+        {
+            let ctx = EmContext::new_on_disk(EmConfig::tiny(), &base).unwrap();
+            let f = ctx.open_file::<u64>(id, len).unwrap();
+            assert_eq!(f.to_vec().unwrap(), data);
+            // Fresh ids must not collide with the reopened file.
+            let g = ctx.create_file::<u64>().unwrap();
+            assert!(g.id() > id);
+            // Un-persisting restores normal drop semantics.
+            f.set_persistent(false);
+            let path = ctx.file_path(id).unwrap();
+            drop(f);
+            assert!(!path.exists());
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn open_file_validates_size_and_backend() {
+        let mem = mem_ctx();
+        assert!(mem.open_file::<u64>(0, 1).is_err());
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+        let f = EmFile::from_slice(&ctx, &(0..10u64).collect::<Vec<_>>()).unwrap();
+        f.set_persistent(true);
+        let id = f.id();
+        drop(f);
+        // Asking for more records than the file can hold is rejected.
+        assert!(ctx.open_file::<u64>(id, 1000).is_err());
+        assert!(ctx.open_file::<u64>(id, 10).is_ok());
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //!   [`Tagged`], [`Indexed`] provided).
 //! * [`SpillVec`] — bookkeeping arrays that can be written out to disk
 //!   across recursive calls.
+//! * [`Journal`] — durable, atomically-committed checkpoint documents for
+//!   crash-recoverable algorithms ([`JournalState`] encode/decode).
 //!
 //! ## Example
 //!
@@ -53,6 +55,7 @@ mod ctx;
 mod error;
 mod fault;
 mod file;
+mod journal;
 mod memory;
 mod record;
 mod rng;
@@ -65,6 +68,7 @@ pub use ctx::EmContext;
 pub use error::{EmError, Result};
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultSpec, IoOp, RetryPolicy, Trigger};
 pub use file::{EmFile, Reader, Writer};
+pub use journal::{from_hex, to_hex, Journal, JournalState};
 pub use memory::{MemCharge, MemoryTracker, TrackedVec};
 pub use record::{Indexed, KeyValue, Record, Tagged};
 pub use rng::SplitMix64;

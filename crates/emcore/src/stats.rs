@@ -30,6 +30,15 @@ pub struct Counters {
     /// Block reads that failed checksum verification (each such attempt also
     /// counts toward `retries` if it was retried).
     pub corrupt_reads: u64,
+    /// Checkpoint-journal commits (see [`crate::Journal`]). Journal commits
+    /// are host-side metadata writes, not block transfers, so they are *not*
+    /// part of [`Counters::total_ios`].
+    pub journal_writes: u64,
+    /// Block I/Os spent *re-executing* a work unit that a crash interrupted
+    /// (charged by recoverable algorithms when they redo an in-flight unit
+    /// on resume). These I/Os are also counted in `reads`/`writes`; this
+    /// counter isolates the rework overhead.
+    pub redone_ios: u64,
 }
 
 impl Counters {
@@ -50,6 +59,8 @@ impl Counters {
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             retries: self.retries.saturating_sub(earlier.retries),
             corrupt_reads: self.corrupt_reads.saturating_sub(earlier.corrupt_reads),
+            journal_writes: self.journal_writes.saturating_sub(earlier.journal_writes),
+            redone_ios: self.redone_ios.saturating_sub(earlier.redone_ios),
         }
     }
 
@@ -63,6 +74,8 @@ impl Counters {
             bytes_written: self.bytes_written + other.bytes_written,
             retries: self.retries + other.retries,
             corrupt_reads: self.corrupt_reads + other.corrupt_reads,
+            journal_writes: self.journal_writes + other.journal_writes,
+            redone_ios: self.redone_ios + other.redone_ios,
         }
     }
 }
@@ -136,6 +149,28 @@ impl IoStats {
         let mut g = self.inner.borrow_mut();
         if g.paused == 0 {
             g.counters.corrupt_reads += 1;
+        }
+    }
+
+    /// Charge one checkpoint-journal commit. Journal commits are metadata
+    /// writes outside the block-I/O model, so `total_ios` is unaffected.
+    #[inline]
+    pub fn record_journal_write(&self) {
+        let mut g = self.inner.borrow_mut();
+        if g.paused == 0 {
+            g.counters.journal_writes += 1;
+        }
+    }
+
+    /// Charge `n` block I/Os as *rework*: I/Os spent re-executing a work
+    /// unit that a crash interrupted. Called by recoverable algorithms when
+    /// a resumed run redoes its in-flight unit; the I/Os themselves are
+    /// already in `reads`/`writes`.
+    #[inline]
+    pub fn record_redone_ios(&self, n: u64) {
+        let mut g = self.inner.borrow_mut();
+        if g.paused == 0 {
+            g.counters.redone_ios += n;
         }
     }
 
@@ -329,6 +364,25 @@ mod tests {
         assert_eq!(c.corrupt_reads, 1);
         // Retries are not block I/Os.
         assert_eq!(c.total_ios(), 0);
+    }
+
+    #[test]
+    fn journal_and_redo_counters_tracked() {
+        let s = IoStats::new();
+        s.record_journal_write();
+        s.record_redone_ios(7);
+        s.paused(|| {
+            s.record_journal_write();
+            s.record_redone_ios(5);
+        });
+        let c = s.snapshot();
+        assert_eq!(c.journal_writes, 1);
+        assert_eq!(c.redone_ios, 7);
+        // Neither counter is a block transfer.
+        assert_eq!(c.total_ios(), 0);
+        let d = s.snapshot().since(&Counters::default());
+        assert_eq!(d.journal_writes, 1);
+        assert_eq!(d.redone_ios, 7);
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod internal_bounds;
 mod multi_partition;
 mod multi_select;
 mod partition_out;
+mod recover;
 mod sample_splitters;
 mod split;
 
@@ -54,6 +55,9 @@ pub use multi_select::{
     quantiles, select_rank, MsBaseCase, MsOptions,
 };
 pub use partition_out::{segs_len, ChainReader, Partition};
+pub use recover::{
+    multi_select_recoverable, resume_multi_select, MultiSelectManifest, MULTI_SELECT_JOURNAL,
+};
 pub use sample_splitters::{
     bucket_of, count_buckets, count_buckets_segs, max_deterministic_fanout,
     max_deterministic_fanout_n, refined_splitters, sample_splitters, sample_splitters_segs,

@@ -25,11 +25,22 @@
 //!    When a level's runs are exhausted the outputs become the next level's
 //!    runs (the per-level checkpoint).
 //!
-//! On a file-backed context the manifest also persists a textual snapshot
-//! (`sort-manifest.txt` in the backing directory) at every checkpoint, so
-//! the on-disk state of an interrupted sort is inspectable; in-process
-//! recovery goes through the live [`SortManifest`] value, which owns the
-//! run files.
+//! ## Durability
+//!
+//! Every checkpoint commits the manifest to a [`emcore::Journal`] named
+//! `sort-manifest` (atomically, checksummed — see `emcore::journal`), and
+//! every file the manifest references is marked
+//! [`persistent`](emcore::EmFile::set_persistent) so it outlives its
+//! handle. On a directory-backed context this makes an interrupted sort
+//! resumable **across processes**: a fresh context over the same directory
+//! can [`SortManifest::load`] the journal, reopen every run file, sweep
+//! orphaned temporaries of the crashed attempt, and [`resume_sort`] to
+//! completion. In-process recovery uses the live manifest value directly.
+//!
+//! Journal commits are host-side metadata writes, charged to
+//! [`emcore::Counters::journal_writes`] — not block I/Os. I/O spent
+//! re-executing the one interrupted unit on resume is additionally counted
+//! in [`emcore::Counters::redone_ios`].
 //!
 //! ## Example: crash and resume
 //!
@@ -53,14 +64,21 @@
 //! assert_eq!(sorted.to_vec().unwrap(), (0..1000u64).collect::<Vec<_>>());
 //! ```
 
-use emcore::{EmContext, EmError, EmFile, Record, Result};
+use emcore::{Counters, EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
 
 use crate::merge::{max_merge_fan_in, merge_once};
 
+/// Name of the sort's checkpoint journal within its backing store.
+pub const SORT_JOURNAL: &str = "sort-manifest";
+
 /// Checkpointed state of a recoverable external sort. Owns every completed
-/// run; survives any number of failed [`resume_sort`] attempts.
+/// run; survives any number of failed [`resume_sort`] attempts, and (on the
+/// directory backend) process restarts via [`SortManifest::load`].
 #[derive(Debug)]
 pub struct SortManifest<T: Record> {
+    /// Input file identity `(id, len)`, pinned at the first resume so a
+    /// journal cannot be replayed against the wrong input.
+    input: Option<(u64, u64)>,
     /// Input records consumed into *completed* runs.
     consumed: u64,
     /// Run formation finished.
@@ -75,6 +93,85 @@ pub struct SortManifest<T: Record> {
     checkpoints: u64,
     /// The sort has produced its final output.
     done: bool,
+    /// Checkpoint index of the unit currently (or last) being executed —
+    /// when a unit starts and this already equals `checkpoints`, the unit
+    /// is a redo of one a crash interrupted.
+    in_flight: Option<u64>,
+    /// Largest I/O cost of any single completed work unit (the empirical
+    /// rework bound a crash can force).
+    max_unit_ios: u64,
+    journal: Journal,
+}
+
+/// Plain serialised image of a [`SortManifest`] — what the journal stores.
+/// Files appear as `(id, len)` pairs; [`SortManifest::load`] reopens them.
+#[derive(Debug, PartialEq, Eq)]
+struct SortImage {
+    input: Option<(u64, u64)>,
+    consumed: u64,
+    formed: bool,
+    fan_in: usize,
+    checkpoints: u64,
+    runs: Vec<(u64, u64)>,
+    next: Vec<(u64, u64)>,
+}
+
+impl JournalState for SortImage {
+    const KIND: &'static str = "sort-manifest";
+    const VERSION: u32 = 1;
+
+    fn encode(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "consumed {}", self.consumed);
+        let _ = writeln!(out, "formed {}", self.formed);
+        let _ = writeln!(out, "fan_in {}", self.fan_in);
+        let _ = writeln!(out, "checkpoints {}", self.checkpoints);
+        if let Some((id, len)) = self.input {
+            let _ = writeln!(out, "input {id} {len}");
+        }
+        for (id, len) in &self.runs {
+            let _ = writeln!(out, "run {id} {len}");
+        }
+        for (id, len) in &self.next {
+            let _ = writeln!(out, "merged {id} {len}");
+        }
+    }
+
+    fn decode(body: &str) -> Result<Self> {
+        fn bad(line: &str) -> EmError {
+            EmError::config(format!("sort-manifest journal: bad line {line:?}"))
+        }
+        fn pair(rest: &str, line: &str) -> Result<(u64, u64)> {
+            let (a, b) = rest.split_once(' ').ok_or_else(|| bad(line))?;
+            Ok((
+                a.parse().map_err(|_| bad(line))?,
+                b.parse().map_err(|_| bad(line))?,
+            ))
+        }
+        let mut img = SortImage {
+            input: None,
+            consumed: 0,
+            formed: false,
+            fan_in: 2,
+            checkpoints: 0,
+            runs: Vec::new(),
+            next: Vec::new(),
+        };
+        for line in body.lines() {
+            let (key, rest) = line.split_once(' ').ok_or_else(|| bad(line))?;
+            match key {
+                "consumed" => img.consumed = rest.parse().map_err(|_| bad(line))?,
+                "formed" => img.formed = rest.parse().map_err(|_| bad(line))?,
+                "fan_in" => img.fan_in = rest.parse().map_err(|_| bad(line))?,
+                "checkpoints" => img.checkpoints = rest.parse().map_err(|_| bad(line))?,
+                "input" => img.input = Some(pair(rest, line)?),
+                "run" => img.runs.push(pair(rest, line)?),
+                "merged" => img.next.push(pair(rest, line)?),
+                _ => return Err(bad(line)),
+            }
+        }
+        Ok(img)
+    }
 }
 
 impl<T: Record> SortManifest<T> {
@@ -83,6 +180,7 @@ impl<T: Record> SortManifest<T> {
     pub fn new(ctx: &EmContext, fan_in: Option<usize>) -> Self {
         let max = max_merge_fan_in::<T>(ctx.config());
         Self {
+            input: None,
             consumed: 0,
             formed: false,
             runs: Vec::new(),
@@ -90,7 +188,61 @@ impl<T: Record> SortManifest<T> {
             fan_in: fan_in.unwrap_or(max).clamp(2, max),
             checkpoints: 0,
             done: false,
+            in_flight: None,
+            max_unit_ios: 0,
+            journal: Journal::new(ctx, SORT_JOURNAL).expect("valid journal name"),
         }
+    }
+
+    /// Reload an interrupted sort from `ctx`'s backing directory: read the
+    /// `sort-manifest` journal, reopen every run file it references, and
+    /// garbage-collect block files the crashed attempt orphaned (anything
+    /// in the directory referenced by neither the journal nor the recorded
+    /// input). Returns `Ok(None)` when no journal exists.
+    ///
+    /// The sweep assumes one recoverable job per backing directory — every
+    /// live file must be reachable from this journal. Requires a
+    /// directory-backed context (memory-backed block files cannot outlive
+    /// their context).
+    pub fn load(ctx: &EmContext) -> Result<Option<Self>> {
+        if ctx.backing_dir().is_none() {
+            return Err(EmError::config(
+                "SortManifest::load: cross-process resume requires a directory-backed context",
+            ));
+        }
+        let journal = Journal::new(ctx, SORT_JOURNAL).expect("valid journal name");
+        let Some(img) = journal.load::<SortImage>()? else {
+            return Ok(None);
+        };
+        let mut keep: Vec<u64> = img
+            .runs
+            .iter()
+            .chain(&img.next)
+            .map(|&(id, _)| id)
+            .collect();
+        if let Some((id, _)) = img.input {
+            keep.push(id);
+        }
+        ctx.gc_orphans(&keep)?;
+        let reopen = |files: &[(u64, u64)]| -> Result<Vec<EmFile<T>>> {
+            files
+                .iter()
+                .map(|&(id, len)| ctx.open_file::<T>(id, len))
+                .collect()
+        };
+        Ok(Some(Self {
+            input: img.input,
+            consumed: img.consumed,
+            formed: img.formed,
+            runs: reopen(&img.runs)?,
+            next: reopen(&img.next)?,
+            fan_in: img.fan_in.max(2),
+            checkpoints: img.checkpoints,
+            done: false,
+            in_flight: None,
+            max_unit_ios: 0,
+            journal,
+        }))
     }
 
     /// Input records consumed into completed runs.
@@ -118,40 +270,63 @@ impl<T: Record> SortManifest<T> {
         self.runs.len() + self.next.len()
     }
 
-    /// A textual snapshot of the manifest — the format persisted to the
-    /// backing directory at each checkpoint on file-backed contexts.
+    /// The `(id, len)` of the input file this manifest sorts, once known —
+    /// what a resuming process passes to [`emcore::EmContext::open_file`].
+    pub fn input(&self) -> Option<(u64, u64)> {
+        self.input
+    }
+
+    /// Largest I/O cost of any single work unit completed through this
+    /// manifest value — the empirical bound on crash rework.
+    pub fn max_unit_ios(&self) -> u64 {
+        self.max_unit_ios
+    }
+
+    /// A human-readable snapshot of the manifest.
     pub fn describe(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(s, "em-sort-manifest v1");
-        let _ = writeln!(s, "consumed {}", self.consumed);
-        let _ = writeln!(s, "formed {}", self.formed);
-        let _ = writeln!(s, "fan_in {}", self.fan_in);
-        let _ = writeln!(s, "checkpoints {}", self.checkpoints);
-        for r in &self.runs {
-            let _ = writeln!(s, "run {} len {}", r.id(), r.len());
-        }
-        for r in &self.next {
-            let _ = writeln!(s, "merged {} len {}", r.id(), r.len());
-        }
+        let mut s = String::from("em-sort-manifest v1\n");
+        self.image().encode(&mut s);
         s
     }
 
-    /// Record a completed work unit; on file-backed contexts, persist the
-    /// snapshot. Metadata writes are host-side bookkeeping, not model block
-    /// I/O, so nothing is charged to [`emcore::IoStats`].
-    fn checkpoint(&mut self, ctx: &EmContext) {
-        self.checkpoints += 1;
-        if let Some(dir) = ctx.backing_dir() {
-            let _ = std::fs::write(dir.join("sort-manifest.txt"), self.describe());
+    fn image(&self) -> SortImage {
+        SortImage {
+            input: self.input,
+            consumed: self.consumed,
+            formed: self.formed,
+            fan_in: self.fan_in,
+            checkpoints: self.checkpoints,
+            runs: self.runs.iter().map(|r| (r.id(), r.len())).collect(),
+            next: self.next.iter().map(|r| (r.id(), r.len())).collect(),
         }
     }
 
-    fn finish(&mut self, ctx: &EmContext) {
-        self.done = true;
-        if let Some(dir) = ctx.backing_dir() {
-            let _ = std::fs::remove_file(dir.join("sort-manifest.txt"));
+    /// Begin a work unit: returns whether this is a redo of an interrupted
+    /// unit, plus the counter snapshot to diff at the end.
+    fn begin_unit(&mut self, ctx: &EmContext) -> (bool, Counters) {
+        let redo = self.in_flight == Some(self.checkpoints);
+        self.in_flight = Some(self.checkpoints);
+        (redo, ctx.stats().snapshot())
+    }
+
+    /// Account a completed unit's I/O (and its rework, if it was a redo).
+    fn end_unit(&mut self, ctx: &EmContext, redo: bool, before: Counters) {
+        let spent = ctx.stats().snapshot().since(&before).total_ios();
+        self.max_unit_ios = self.max_unit_ios.max(spent);
+        if redo {
+            ctx.stats().record_redone_ios(spent);
         }
+    }
+
+    /// Record a completed work unit: durably commit the manifest image.
+    fn checkpoint(&mut self, _ctx: &EmContext) -> Result<()> {
+        self.checkpoints += 1;
+        self.journal.commit(&self.image())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.done = true;
+        self.journal.remove()
     }
 }
 
@@ -182,6 +357,18 @@ pub fn resume_sort<T: Record>(
             "resume_sort: manifest already completed; create a fresh one",
         ));
     }
+    match manifest.input {
+        None => manifest.input = Some((input.id(), input.len())),
+        Some((id, len)) if (id, len) != (input.id(), input.len()) => {
+            return Err(EmError::config(format!(
+                "resume_sort: manifest belongs to input (id {id}, len {len}), \
+                 got (id {}, len {})",
+                input.id(),
+                input.len()
+            )));
+        }
+        Some(_) => {}
+    }
     let ctx = input.ctx().clone();
     let stats = ctx.stats().clone();
 
@@ -198,7 +385,9 @@ pub fn resume_sort<T: Record>(
     let r = merge_remaining(manifest, &ctx);
     stats.end_phase();
     let out = r?;
-    manifest.finish(&ctx);
+    manifest.finish()?;
+    // The output leaves the manifest's custody: normal drop semantics.
+    out.set_persistent(false);
     Ok(out)
 }
 
@@ -211,6 +400,7 @@ fn form_remaining_runs<T: Record>(
     let cap = ctx.mem_records::<T>().saturating_sub(2 * b).max(b);
     let mut load = ctx.tracked_vec::<T>(cap, "recoverable run formation load buffer");
     while manifest.consumed < input.len() {
+        let (redo, before) = manifest.begin_unit(ctx);
         // A fresh positioned reader each unit: a crashed unit must not
         // leave reader state behind, and positioning costs ≤ 1 extra I/O.
         let mut reader = input.reader_at(manifest.consumed);
@@ -229,12 +419,14 @@ fn form_remaining_runs<T: Record>(
         w.push_all(&load)?;
         let run = w.finish()?;
         // ---- checkpoint: the run is fully on storage ----
+        run.set_persistent(true);
         manifest.consumed += run.len();
         manifest.runs.push(run);
-        manifest.checkpoint(ctx);
+        manifest.checkpoint(ctx)?;
+        manifest.end_unit(ctx, redo, before);
     }
     manifest.formed = true;
-    manifest.checkpoint(ctx);
+    manifest.checkpoint(ctx)?;
     Ok(())
 }
 
@@ -250,7 +442,7 @@ fn merge_remaining<T: Record>(
                 // ---- checkpoint: level complete, outputs become inputs ----
                 _ => {
                     manifest.runs = std::mem::take(&mut manifest.next);
-                    manifest.checkpoint(ctx);
+                    manifest.checkpoint(ctx)?;
                 }
             }
             continue;
@@ -263,18 +455,26 @@ fn merge_remaining<T: Record>(
             // it alone would copy every block for nothing.
             let run = manifest.runs.pop().ok_or_else(level_underflow)?;
             manifest.next.push(run);
-            manifest.checkpoint(ctx);
+            manifest.checkpoint(ctx)?;
             continue;
         }
         let g = manifest.fan_in.min(manifest.runs.len());
+        let (redo, before) = manifest.begin_unit(ctx);
         // Merge the group *before* releasing its inputs: a crash inside
         // merge_once drops only the partial output file, and the manifest
         // still owns every input run for the redo.
         let merged = merge_once(ctx, &manifest.runs[..g])?;
+        merged.set_persistent(true);
         manifest.next.push(merged);
+        // The group's inputs are retired from the manifest: restore normal
+        // drop-deletes semantics before releasing them.
+        for r in &manifest.runs[..g] {
+            r.set_persistent(false);
+        }
         manifest.runs.drain(..g); // frees the merged runs' storage
                                   // ---- checkpoint: group complete ----
-        manifest.checkpoint(ctx);
+        manifest.checkpoint(ctx)?;
+        manifest.end_unit(ctx, redo, before);
     }
 }
 
@@ -307,6 +507,10 @@ mod tests {
         let mut want = data;
         want.sort_unstable();
         assert_eq!(sorted.to_vec().unwrap(), want);
+        // No crash ⇒ no rework; checkpoints did happen.
+        let stats = c.stats().snapshot();
+        assert_eq!(stats.redone_ios, 0);
+        assert!(stats.journal_writes > 0);
     }
 
     #[test]
@@ -364,6 +568,15 @@ mod tests {
         let mut want = data;
         want.sort_unstable();
         assert_eq!(sorted.to_vec().unwrap(), want);
+        // The interrupted unit was redone and accounted.
+        let stats = c.stats().snapshot();
+        assert!(stats.redone_ios > 0, "redone work must be accounted");
+        assert!(
+            stats.redone_ios <= m.max_unit_ios(),
+            "rework {} exceeds one unit {}",
+            stats.redone_ios,
+            m.max_unit_ios()
+        );
     }
 
     #[test]
@@ -395,21 +608,57 @@ mod tests {
     }
 
     #[test]
-    fn manifest_snapshot_persisted_and_cleaned_on_disk() {
+    fn manifest_rejects_wrong_input() {
+        let c = ctx();
+        let f = EmFile::from_slice(&c, &shuffled(600)).unwrap();
+        let plan = FaultPlan::new(0).fatal_at(20);
+        c.install_fault_plan(plan.clone());
+        let mut m = SortManifest::new(&c, None);
+        assert!(resume_sort(&f, &mut m).is_err());
+        plan.clear_crash();
+        c.clear_fault_plan();
+        let other = EmFile::from_slice(&c, &[1u64, 2, 3]).unwrap();
+        assert!(matches!(
+            resume_sort(&other, &mut m),
+            Err(EmError::Config(_))
+        ));
+        // The right input still resumes fine.
+        let sorted = resume_sort(&f, &mut m).unwrap();
+        assert_eq!(sorted.len(), 600);
+    }
+
+    #[test]
+    fn journal_persisted_and_cleaned_on_disk() {
         let c = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
         let data = shuffled(1200);
         let f = EmFile::from_slice(&c, &data).unwrap();
-        let meta = c.backing_dir().unwrap().join("sort-manifest.txt");
+        let meta = c.backing_dir().unwrap().join("sort-manifest.journal");
         let plan = FaultPlan::new(0).fatal_at(200);
         c.install_fault_plan(plan.clone());
         let mut m = SortManifest::new(&c, None);
         assert!(resume_sort(&f, &mut m).is_err());
-        let snap = std::fs::read_to_string(&meta).expect("snapshot exists after crash");
-        assert!(snap.starts_with("em-sort-manifest v1"));
-        assert!(snap.contains("consumed"));
+        let doc = std::fs::read_to_string(&meta).expect("journal exists after crash");
+        assert!(doc.starts_with("emjournal v1 sort-manifest"));
+        assert!(doc.contains("consumed"));
         plan.clear_crash();
         let _ = resume_sort(&f, &mut m).unwrap();
-        assert!(!meta.exists(), "snapshot removed after completion");
+        assert!(!meta.exists(), "journal removed after completion");
+    }
+
+    #[test]
+    fn image_roundtrips_through_journal_encoding() {
+        let img = SortImage {
+            input: Some((7, 4096)),
+            consumed: 1234,
+            formed: true,
+            fan_in: 6,
+            checkpoints: 9,
+            runs: vec![(8, 224), (9, 224)],
+            next: vec![(12, 448)],
+        };
+        let mut body = String::new();
+        img.encode(&mut body);
+        assert_eq!(SortImage::decode(&body).unwrap(), img);
     }
 
     #[test]

@@ -57,15 +57,19 @@ pub use workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use apsplit::{
-        approx_partitioning, approx_splitters, balanced_loads, equi_depth_histogram, median,
-        precise_partitioning, precise_via_approx, sort_based_partitioning, sort_based_splitters,
-        top_k, verify_multiselect, verify_partitioning, verify_splitters, Groundedness,
+        approx_partitioning, approx_partitioning_recoverable, approx_splitters, balanced_loads,
+        equi_depth_histogram, median, precise_partitioning, precise_via_approx,
+        resume_approx_partitioning, sort_based_partitioning, sort_based_splitters, top_k,
+        verify_multiselect, verify_partitioning, verify_splitters, Groundedness, PartitionManifest,
         ProblemSpec,
     };
     pub use emcore::{
-        EmConfig, EmContext, EmError, EmFile, FaultPlan, Record, Result, RetryPolicy,
+        EmConfig, EmContext, EmError, EmFile, FaultPlan, Journal, Record, Result, RetryPolicy,
     };
-    pub use emselect::{multi_select, quantiles, select_rank, Partition};
+    pub use emselect::{
+        multi_select, multi_select_recoverable, quantiles, resume_multi_select, select_rank,
+        MsOptions, MultiSelectManifest, Partition,
+    };
     pub use emsort::{external_sort, external_sort_recoverable, resume_sort, SortManifest};
     pub use workloads::{generate, materialize, Workload};
 }

@@ -13,8 +13,11 @@
 //!    unit (the largest single run formation or merge group).
 
 use em_splitters::prelude::*;
-use emcore::{EmError, FaultPlan, RetryPolicy, SplitMix64};
+use emcore::{EmError, FaultKind, FaultPlan, FaultSpec, RetryPolicy, SplitMix64, Trigger};
+use emselect::{multi_select_recoverable, resume_multi_select, MsOptions, MultiSelectManifest};
 use emsort::{external_sort_recoverable, resume_sort, SortManifest};
+
+use apsplit::{approx_partitioning_recoverable, resume_approx_partitioning, PartitionManifest};
 
 fn shuffled(n: u64, seed: u64) -> Vec<u64> {
     let mut v: Vec<u64> = (0..n).collect();
@@ -175,6 +178,280 @@ fn repeated_crashes_still_converge() {
         "the schedule should actually interrupt the sort"
     );
     assert_eq!(c.oracle(|| sorted.to_vec()).unwrap(), want);
+}
+
+/// A seeded non-fatal fault plan mixing transient reads/writes, torn
+/// writes, and (disk-detectable) in-flight read corruption.
+fn noisy_plan(seed: u64, rate: f64) -> FaultPlan {
+    FaultPlan::new(seed).transient_rate(rate).with(FaultSpec {
+        trigger: Trigger::Rate(rate / 2.0),
+        kind: FaultKind::TornWrite,
+    })
+}
+
+#[test]
+fn multi_select_under_transient_faults_matches_fault_free() {
+    let mut master = SplitMix64::new(0xabcd_0003);
+    for case in 0..12 {
+        let n = 600 + master.below(2400);
+        let data = shuffled(n, master.next_u64());
+        let ranks: Vec<u64> = (1..=8).map(|i| i * n / 8).filter(|&r| r > 0).collect();
+
+        // Fault-free reference (plain, non-recoverable algorithm).
+        let want: Vec<u64> = {
+            let c = EmContext::new_in_memory(EmConfig::tiny());
+            let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+            multi_select(&f, &ranks).unwrap()
+        };
+
+        let rate = 0.01 + master.unit() * 0.1;
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let plan = noisy_plan(master.next_u64(), rate);
+        c.install_fault_plan(plan.clone());
+        c.set_retry_policy(RetryPolicy::retries(30));
+        let f = c.oracle(|| EmFile::from_slice(&c, &data)).unwrap();
+
+        let got = multi_select_recoverable(&f, &ranks).unwrap();
+        assert_eq!(got, want, "case {case}: n={n} rate={rate:.3}");
+
+        let stats = c.stats().snapshot();
+        assert_eq!(
+            stats.retries,
+            plan.injected().transient_total(),
+            "case {case}: retries must equal injected transients (incl. torn)"
+        );
+        assert!(stats.journal_writes > 0, "case {case}");
+        assert_eq!(stats.redone_ios, 0, "case {case}: no crash, no redo");
+    }
+}
+
+#[test]
+fn partitioning_under_transient_faults_matches_fault_free() {
+    let mut master = SplitMix64::new(0xabcd_0004);
+    for case in 0..8 {
+        let n = 800 + master.below(2400);
+        let data = shuffled(n, master.next_u64());
+        let spec = ProblemSpec::new(n, 8, n / 10, n / 2).unwrap();
+
+        // Fault-free recoverable reference (the recoverable path's sizes
+        // are its own contract; compare like with like).
+        let want: Vec<Vec<u64>> = {
+            let c = EmContext::new_in_memory(EmConfig::tiny());
+            let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+            let parts = approx_partitioning_recoverable(&f, &spec).unwrap();
+            parts.iter().map(|p| p.to_vec().unwrap()).collect()
+        };
+
+        let rate = 0.01 + master.unit() * 0.08;
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let plan = noisy_plan(master.next_u64(), rate);
+        c.install_fault_plan(plan.clone());
+        c.set_retry_policy(RetryPolicy::retries(30));
+        let f = c.oracle(|| EmFile::from_slice(&c, &data)).unwrap();
+
+        let parts = approx_partitioning_recoverable(&f, &spec).unwrap();
+        let got: Vec<Vec<u64>> = c
+            .oracle(|| parts.iter().map(|p| p.to_vec()).collect::<Result<_>>())
+            .unwrap();
+        assert_eq!(got, want, "case {case}: n={n} rate={rate:.3}");
+        assert_eq!(
+            c.stats().snapshot().retries,
+            plan.injected().transient_total(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_reads_on_disk_surface_and_are_accounted() {
+    // In-flight read corruption on the disk backend is caught by the block
+    // checksum and cured by retry (the device payload is intact): output
+    // stays correct and every detection is accounted in corrupt_reads.
+    let c = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+    let data = shuffled(1200, 31);
+    let f = c.oracle(|| EmFile::from_slice(&c, &data)).unwrap();
+    let plan = FaultPlan::new(77).with(FaultSpec {
+        trigger: Trigger::Rate(0.01),
+        kind: FaultKind::CorruptRead,
+    });
+    c.install_fault_plan(plan.clone());
+    c.set_retry_policy(RetryPolicy::retries(10));
+    let ranks = [300, 600, 900];
+    let got = multi_select_recoverable(&f, &ranks).unwrap();
+    assert_eq!(got, vec![299, 599, 899]);
+    let stats = c.stats().snapshot();
+    assert_eq!(
+        stats.corrupt_reads,
+        plan.injected().corrupt_reads,
+        "every injected read corruption must be detected and counted"
+    );
+}
+
+/// Count fault-plan device attempts of one fault-free recoverable run
+/// (the crash-index space for the sweeps below). The plan is installed
+/// *after* the input is materialised, exactly as in the crash runs, so
+/// indices line up.
+fn count_attempts(data: &[u64], run: impl FnOnce(&EmContext, &EmFile<u64>)) -> u64 {
+    let c = EmContext::new_in_memory(EmConfig::tiny());
+    let f = c.stats().paused(|| EmFile::from_slice(&c, data)).unwrap();
+    let plan = FaultPlan::new(0);
+    c.install_fault_plan(plan.clone());
+    run(&c, &f);
+    plan.attempts()
+}
+
+#[test]
+fn multi_select_crash_sweep_exhaustive() {
+    let n: u64 = 500;
+    let data = shuffled(n, 17);
+    let ranks: Vec<u64> = vec![50, 125, 250, 375, 450, 499];
+    let opts = MsOptions {
+        base_capacity_override: Some(2), // many groups → many work units
+        ..MsOptions::default()
+    };
+    let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+
+    let attempts = count_attempts(&data, |_, f| {
+        let mut m = MultiSelectManifest::new(f, &ranks, opts).unwrap();
+        assert_eq!(resume_multi_select(f, &mut m).unwrap(), want);
+    });
+
+    for crash_at in 0..attempts {
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let plan = FaultPlan::new(0).fatal_at(crash_at);
+        c.install_fault_plan(plan.clone());
+        let mut m = MultiSelectManifest::new(&f, &ranks, opts).unwrap();
+        assert!(
+            matches!(resume_multi_select(&f, &mut m), Err(EmError::Crashed)),
+            "crash_at={crash_at}: expected a crash"
+        );
+        plan.clear_crash();
+        let got = resume_multi_select(&f, &mut m).unwrap();
+        assert_eq!(got, want, "crash_at={crash_at}");
+        let stats = c.stats().snapshot();
+        assert!(
+            stats.redone_ios <= m.max_unit_ios(),
+            "crash_at={crash_at}: redone {} vs unit bound {}",
+            stats.redone_ios,
+            m.max_unit_ios()
+        );
+    }
+}
+
+#[test]
+fn partitioning_crash_sweep_exhaustive() {
+    let n: u64 = 600;
+    let data = shuffled(n, 19);
+    let spec = ProblemSpec::new(n, 6, 60, 300).unwrap();
+
+    let want: Vec<Vec<u64>> = {
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let parts = approx_partitioning_recoverable(&f, &spec).unwrap();
+        parts.iter().map(|p| p.to_vec().unwrap()).collect()
+    };
+    let attempts = count_attempts(&data, |_, f| {
+        approx_partitioning_recoverable(f, &spec).unwrap();
+    });
+
+    for crash_at in 0..attempts {
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let plan = FaultPlan::new(0).fatal_at(crash_at);
+        c.install_fault_plan(plan.clone());
+        let mut m = PartitionManifest::new(&f, &spec).unwrap();
+        assert!(
+            matches!(
+                resume_approx_partitioning(&f, &mut m),
+                Err(EmError::Crashed)
+            ),
+            "crash_at={crash_at}: expected a crash"
+        );
+        plan.clear_crash();
+        let parts = resume_approx_partitioning(&f, &mut m).unwrap();
+        let got: Vec<Vec<u64>> = c
+            .oracle(|| parts.iter().map(|p| p.to_vec()).collect::<Result<_>>())
+            .unwrap();
+        assert_eq!(got, want, "crash_at={crash_at}");
+        let stats = c.stats().snapshot();
+        assert!(
+            stats.redone_ios <= m.max_unit_ios(),
+            "crash_at={crash_at}: redone {} vs unit bound {}",
+            stats.redone_ios,
+            m.max_unit_ios()
+        );
+    }
+}
+
+#[test]
+fn sort_manifest_survives_process_restart_on_disk() {
+    // Cross-process resume: crash a sort backed by a *fixed* directory,
+    // drop every handle (simulating process death), reopen the directory
+    // in a brand-new context, load the manifest from its journal, and
+    // finish the sort. A planted orphan block file and a stale journal
+    // temp file must be garbage-collected by the load.
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("em-splitters-xproc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let n: u64 = 1200;
+    let data = shuffled(n, 23);
+    let mut want = data.clone();
+    want.sort_unstable();
+
+    // Phase 1: first "process" — crash mid-sort, after some checkpoints.
+    let attempts = count_attempts(&data, |_, f| {
+        external_sort_recoverable(f).unwrap();
+    });
+    let input_identity = {
+        let c1 = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+        let f = c1
+            .stats()
+            .paused(|| EmFile::from_slice(&c1, &data))
+            .unwrap();
+        f.set_persistent(true); // the input outlives this "process"
+        let plan = FaultPlan::new(0).fatal_at(attempts * 2 / 3);
+        c1.install_fault_plan(plan.clone());
+        let mut m = SortManifest::new(&c1, None);
+        assert!(matches!(resume_sort(&f, &mut m), Err(EmError::Crashed)));
+        assert!(m.checkpoints() > 0, "crash landed after checkpoints");
+        (f.id(), f.len())
+        // c1, f, m all drop here: the "process" dies.
+    };
+    assert!(
+        dir.join("sort-manifest.journal").exists(),
+        "journal must survive the first process"
+    );
+
+    // Plant garbage a real crash could leave behind.
+    std::fs::write(dir.join("em-00004242.bin"), b"stale block file").unwrap();
+    std::fs::write(dir.join("sort-manifest.journal.tmp"), b"torn commit").unwrap();
+
+    // Phase 2: second "process" — reload from disk and finish.
+    {
+        let c2 = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+        let mut m = SortManifest::load(&c2)
+            .unwrap()
+            .expect("journal present → manifest loads");
+        assert_eq!(m.input(), Some(input_identity));
+        let f2 = c2
+            .open_file::<u64>(input_identity.0, input_identity.1)
+            .unwrap();
+        assert!(
+            !dir.join("em-00004242.bin").exists(),
+            "orphan block file must be garbage-collected on load"
+        );
+        assert!(
+            !dir.join("sort-manifest.journal.tmp").exists(),
+            "stale journal temp file must be garbage-collected on load"
+        );
+        let sorted = resume_sort(&f2, &mut m).unwrap();
+        assert_eq!(c2.oracle(|| sorted.to_vec()).unwrap(), want);
+        assert!(!dir.join("sort-manifest.journal").exists());
+        f2.set_persistent(false); // let the input delete on drop
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
