@@ -17,7 +17,7 @@ use crate::splitters::check_input;
 pub fn sort_based_splitters<T: Record>(input: &EmFile<T>, spec: &ProblemSpec) -> Result<Vec<T>> {
     check_input(input, spec)?;
     let stats = input.ctx().stats().clone();
-    stats.begin_phase("sort-baseline/splitters");
+    let _phase = stats.phase_guard("sort-baseline/splitters");
     let sorted = external_sort(input)?;
     let ranks = spec.quantile_ranks();
     let mut out = Vec::with_capacity(ranks.len());
@@ -34,7 +34,6 @@ pub fn sort_based_splitters<T: Record>(input: &EmFile<T>, spec: &ProblemSpec) ->
             break;
         }
     }
-    stats.end_phase();
     Ok(out)
 }
 
@@ -47,7 +46,7 @@ pub fn sort_based_partitioning<T: Record>(
     check_input(input, spec)?;
     let ctx = input.ctx().clone();
     let stats = ctx.stats().clone();
-    stats.begin_phase("sort-baseline/partitioning");
+    let _phase = stats.phase_guard("sort-baseline/partitioning");
     let sorted = external_sort(input)?;
     let mut bounds = spec.quantile_ranks();
     bounds.push(spec.n);
@@ -65,7 +64,6 @@ pub fn sort_based_partitioning<T: Record>(
         }
         parts.push(Partition::from_file(w.finish()?));
     }
-    stats.end_phase();
     Ok(parts)
 }
 
@@ -73,7 +71,7 @@ pub fn sort_based_partitioning<T: Record>(
 /// (ascending or not).
 pub fn sort_based_multi_select<T: Record>(input: &EmFile<T>, ranks: &[u64]) -> Result<Vec<T>> {
     let stats = input.ctx().stats().clone();
-    stats.begin_phase("sort-baseline/multi-select");
+    let _phase = stats.phase_guard("sort-baseline/multi-select");
     let sorted = external_sort(input)?;
     let mut order: Vec<usize> = (0..ranks.len()).collect();
     order.sort_unstable_by_key(|&i| ranks[i]);
@@ -92,7 +90,6 @@ pub fn sort_based_multi_select<T: Record>(input: &EmFile<T>, ranks: &[u64]) -> R
             oi += 1;
         }
     }
-    stats.end_phase();
     out.into_iter()
         .map(|o| o.ok_or_else(|| EmError::config("rank exceeds N")))
         .collect()

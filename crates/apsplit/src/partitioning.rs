@@ -91,13 +91,13 @@ pub fn approx_partitioning_with<T: Record>(
 ) -> Result<Partitioning<T>> {
     check_input(input, spec)?;
     let stats = input.ctx().stats().clone();
-    stats.begin_phase("approx-partitioning");
+    let phase = stats.phase_guard("approx-partitioning");
     let r = match spec.groundedness() {
         Groundedness::RightGrounded => right_grounded(input, spec, opts),
         Groundedness::LeftGrounded => left_grounded(input, spec, opts),
         Groundedness::TwoSided => two_sided(input, spec, opts),
     };
-    stats.end_phase();
+    drop(phase);
     let parts = r?;
     debug_assert_eq!(parts.len(), spec.k as usize);
     Ok(parts)

@@ -75,7 +75,7 @@ pub fn precise_via_approx_with_step<T: Record>(
 
     // Step 2: the residue sweep. The residue R is a Partition (segment
     // list): appending P_i to R is O(1); only the |R| > b cuts move data.
-    ctx.stats().begin_phase("reduction-sweep");
+    let _phase = ctx.stats().phase_guard("reduction-sweep");
     let mut out: Vec<Partition<T>> = Vec::with_capacity(k as usize);
     debug_assert!(k >= 1);
     let mut residue = Partition::<T>::empty();
@@ -103,7 +103,6 @@ pub fn precise_via_approx_with_step<T: Record>(
         "leftover residue of {} records",
         residue.len()
     );
-    ctx.stats().end_phase();
     Ok(out)
 }
 

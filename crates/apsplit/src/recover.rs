@@ -371,9 +371,9 @@ pub fn resume_approx_partitioning<T: Record>(
         )));
     }
     let ctx = manifest.ctx.clone();
-    ctx.stats().begin_phase("approx-partitioning/recoverable");
+    let phase = ctx.stats().phase_guard("approx-partitioning/recoverable");
     let r = resume_inner(input, manifest, &ctx);
-    ctx.stats().end_phase();
+    drop(phase);
     r
 }
 
@@ -389,6 +389,8 @@ fn resume_inner<T: Record>(
             let nd = manifest.work.last().expect("non-empty work stack");
             (nd.lo, nd.hi, nd.segs.is_none())
         };
+        // Trace-only span per split-tree node: redo points land inside it.
+        let _unit = ctx.stats().trace_span(|| format!("split/{lo}-{hi}"));
         let start = if lo == 0 { 0 } else { manifest.cum[lo - 1] };
         let node_len = manifest.cum[hi] - start;
 

@@ -45,13 +45,13 @@ pub fn approx_splitters_with<T: Record>(
         return Ok(Vec::new());
     }
     let stats = input.ctx().stats().clone();
-    stats.begin_phase("approx-splitters");
+    let phase = stats.phase_guard("approx-splitters");
     let r = match spec.groundedness() {
         Groundedness::RightGrounded => right_grounded(input, spec, opts),
         Groundedness::LeftGrounded => left_grounded(input, spec, opts),
         Groundedness::TwoSided => two_sided(input, spec, opts),
     };
-    stats.end_phase();
+    drop(phase);
     let mut splitters = r?;
     splitters.sort_unstable_by_key(|a| a.key());
     debug_assert_eq!(splitters.len(), (spec.k - 1) as usize);

@@ -1,0 +1,74 @@
+//! `trace_report` — render an `emcore` JSONL trace as a span tree, a
+//! per-file access summary, and (optionally) flamegraph folded stacks.
+//!
+//! ```text
+//! trace_report <trace.jsonl> [--folded <out.folded>]
+//! ```
+//!
+//! Exits non-zero when the trace fails to parse or contains unclosed
+//! spans (a traced run that crashed mid-phase), so CI smoke jobs can
+//! assert trace health with a single invocation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use emcore::TraceReport;
+
+fn usage() -> ! {
+    eprintln!("usage: trace_report <trace.jsonl> [--folded <out.folded>]");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut trace: Option<PathBuf> = None;
+    let mut folded: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--folded" => match it.next() {
+                Some(p) => folded = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if trace.is_none() => trace = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+    }
+    let Some(trace) = trace else { usage() };
+
+    let report = match TraceReport::load(&trace) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace_report: cannot load {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", report.render_tree());
+    println!();
+    print!("{}", report.render_files());
+
+    if let Some(out) = folded {
+        let stacks = report.folded_stacks();
+        if let Err(e) = std::fs::write(&out, stacks) {
+            eprintln!("trace_report: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[folded] {}", out.display());
+    }
+
+    let unclosed = report.unclosed();
+    if !unclosed.is_empty() {
+        eprintln!(
+            "trace_report: {} unclosed span(s): {}",
+            unclosed.len(),
+            unclosed
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -419,16 +419,23 @@ pub fn ex_base_case(scale: Scale) -> Table {
     };
     for n in ns {
         let (ctx, f) = fresh_input(n);
+        let trace = crate::harness::attach_trace(&ctx, &format!("ex-base-n{n}"));
         let ranks: Vec<u64> = (1..=8u64).map(|i| i * (n / 8)).collect();
         let (r, io, _) = measure(&ctx, || multi_select(&f, &ranks));
         r.expect("multi-select");
+        if trace.is_some() {
+            ctx.finish_trace();
+        }
         let m = emselect::base_case_capacity(&f, &MsOptions::default());
-        t.row(vec![
-            n.to_string(),
-            fnum(io.total_ios() as f64),
-            fnum(io.total_ios() as f64 / scan(n)),
-            m.to_string(),
-        ]);
+        t.row_with_phases(
+            vec![
+                n.to_string(),
+                fnum(io.total_ios() as f64),
+                fnum(io.total_ios() as f64 / scan(n)),
+                m.to_string(),
+            ],
+            ctx.stats().phase_totals(),
+        );
     }
     t.note("paper §4.2: for K ≤ m the whole multi-selection costs O(N/B) — the 'scans' column must stay flat as N grows");
     t

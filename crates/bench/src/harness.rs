@@ -66,6 +66,10 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Rows of cells (already formatted).
     pub rows: Vec<Vec<String>>,
+    /// Per-row phase I/O totals (parallel to `rows`; empty when a row has
+    /// none). Rendered as extra `phase:<name>` CSV columns only — the
+    /// markdown table keeps its declared columns.
+    pub phases: Vec<Vec<(String, Counters)>>,
     /// Free-form notes printed under the table.
     pub notes: Vec<String>,
 }
@@ -78,6 +82,7 @@ impl Table {
             title: title.to_string(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            phases: Vec::new(),
             notes: Vec::new(),
         }
     }
@@ -86,6 +91,17 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
+        self.phases.push(Vec::new());
+    }
+
+    /// Append a row with per-phase I/O totals (e.g.
+    /// [`emcore::IoStats::phase_totals`]). The CSV gains a `phase:<name>`
+    /// column for every phase name seen across the table, in first-seen
+    /// order; rows that lack a phase leave its cell empty.
+    pub fn row_with_phases(&mut self, cells: Vec<String>, phases: Vec<(String, Counters)>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self.phases.push(phases);
     }
 
     /// Append a note.
@@ -142,11 +158,55 @@ impl Table {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.id));
         let mut f = std::fs::File::create(&path)?;
-        writeln!(f, "{}", self.headers.join(","))?;
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
+        // Union of phase names across rows, first-seen order.
+        let mut phase_cols: Vec<&str> = Vec::new();
+        for row in &self.phases {
+            for (name, _) in row {
+                if !phase_cols.contains(&name.as_str()) {
+                    phase_cols.push(name);
+                }
+            }
+        }
+        let mut header = self.headers.join(",");
+        for p in &phase_cols {
+            header.push_str(&format!(",phase:{p}"));
+        }
+        writeln!(f, "{header}")?;
+        for (row, phases) in self.rows.iter().zip(&self.phases) {
+            let mut line = row.join(",");
+            for p in &phase_cols {
+                let cell = phases
+                    .iter()
+                    .find(|(name, _)| name == p)
+                    .map(|(_, c)| c.total_ios().to_string())
+                    .unwrap_or_default();
+                line.push_str(&format!(",{cell}"));
+            }
+            writeln!(f, "{line}")?;
         }
         Ok(path)
+    }
+}
+
+/// If `EM_TRACE_DIR` is set, stream a JSONL trace of everything run on
+/// `ctx` to `<EM_TRACE_DIR>/<label>.jsonl` (rendered afterwards with the
+/// `trace_report` bin). Returns the trace path when tracing was armed; the
+/// caller should invoke [`EmContext::finish_trace`] once the measured work
+/// is done so per-file summaries and the `End` record are written. Trace
+/// failures are reported to stderr and never fail the experiment.
+pub fn attach_trace(ctx: &EmContext, label: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os("EM_TRACE_DIR")?);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[trace] cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{label}.jsonl"));
+    match ctx.trace_to_file(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("[trace] cannot open {}: {e}", path.display());
+            None
+        }
     }
 }
 

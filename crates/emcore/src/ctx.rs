@@ -13,6 +13,7 @@ use crate::file::{EmFile, Writer};
 use crate::memory::{MemoryTracker, TrackedVec};
 use crate::record::Record;
 use crate::stats::IoStats;
+use crate::trace::{JsonlSink, TraceSink, Tracer};
 
 #[derive(Debug)]
 pub(crate) enum Backing {
@@ -24,6 +25,8 @@ pub(crate) enum Backing {
 pub(crate) struct CtxInner {
     pub(crate) config: EmConfig,
     pub(crate) stats: IoStats,
+    /// The trace channel shared with `stats` (spans are phases).
+    pub(crate) tracer: Tracer,
     pub(crate) mem: MemoryTracker,
     pub(crate) backing: Backing,
     next_file_id: Cell<u64>,
@@ -116,10 +119,13 @@ impl EmContext {
     }
 
     fn build(config: EmConfig, backing: Backing, strict: bool) -> Self {
+        let stats = IoStats::new();
+        let tracer = stats.tracer();
         Self {
             inner: Rc::new(CtxInner {
                 config,
-                stats: IoStats::new(),
+                stats,
+                tracer,
                 mem: MemoryTracker::new(config.mem_capacity(), strict),
                 backing,
                 next_file_id: Cell::new(0),
@@ -147,6 +153,39 @@ impl EmContext {
     #[inline]
     pub fn mem(&self) -> &MemoryTracker {
         &self.inner.mem
+    }
+
+    /// The trace channel. Disabled (near-zero overhead) until a sink is
+    /// installed via [`EmContext::set_trace_sink`] or
+    /// [`EmContext::trace_to_file`].
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Install a trace sink and start a trace. The opening
+    /// [`crate::TraceEvent::Begin`] records this machine's `(M, B)`.
+    pub fn set_trace_sink(&self, sink: Box<dyn TraceSink>) {
+        self.inner.tracer.install(
+            sink,
+            self.inner.config.mem_capacity() as u64,
+            self.inner.config.block_size() as u64,
+        );
+    }
+
+    /// Start streaming trace events to a JSONL file at `path` (one
+    /// [`crate::TraceEvent`] per line). Trace writes are host-side
+    /// observability output: they charge no I/O and consult no fault plan.
+    pub fn trace_to_file(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let sink = JsonlSink::create(path)?;
+        self.set_trace_sink(Box::new(sink));
+        Ok(())
+    }
+
+    /// End the current trace, if any: emit per-file access summaries and
+    /// the end event, flush and drop the sink, disable tracing.
+    pub fn finish_trace(&self) {
+        self.inner.tracer.finish();
     }
 
     /// How many records of type `T` fit in memory: `M / T::WORDS`.

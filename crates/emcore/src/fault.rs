@@ -40,9 +40,25 @@ pub enum IoOp {
 
 impl std::fmt::Display for IoOp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+impl IoOp {
+    /// Stable machine-readable name, used in trace output.
+    pub fn label(self) -> &'static str {
         match self {
-            IoOp::Read => write!(f, "read"),
-            IoOp::Write => write!(f, "write"),
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+        }
+    }
+
+    /// Inverse of [`IoOp::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "read" => Some(IoOp::Read),
+            "write" => Some(IoOp::Write),
+            _ => None,
         }
     }
 }
@@ -69,6 +85,31 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Stable machine-readable name, used in trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TransientRead => "transient_read",
+            FaultKind::TransientWrite => "transient_write",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::CorruptRead => "corrupt_read",
+            FaultKind::CorruptWrite => "corrupt_write",
+            FaultKind::Fatal => "fatal",
+        }
+    }
+
+    /// Inverse of [`FaultKind::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "transient_read" => Some(FaultKind::TransientRead),
+            "transient_write" => Some(FaultKind::TransientWrite),
+            "torn_write" => Some(FaultKind::TornWrite),
+            "corrupt_read" => Some(FaultKind::CorruptRead),
+            "corrupt_write" => Some(FaultKind::CorruptWrite),
+            "fatal" => Some(FaultKind::Fatal),
+            _ => None,
+        }
+    }
+
     /// Whether this fault can fire on the given operation.
     fn applies_to(self, op: IoOp) -> bool {
         match self {

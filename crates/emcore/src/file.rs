@@ -43,6 +43,7 @@ use crate::error::{EmError, Result};
 use crate::fault::{FaultKind, IoOp};
 use crate::memory::TrackedVec;
 use crate::record::Record;
+use crate::trace::PointKind;
 
 /// Width of the per-block checksum on the file backend.
 const CHECKSUM_BYTES: usize = 8;
@@ -70,12 +71,26 @@ enum Injected {
 /// Consult the fault plan for the next device attempt. Transients and
 /// crashes return `Err`; faults with device-state side effects are returned
 /// for the backend handler to perform.
-fn consult_plan(ctx: &EmContext, op: IoOp) -> Result<Injected> {
+fn consult_plan(ctx: &EmContext, op: IoOp, file: u64) -> Result<Injected> {
     let plan = ctx.fault_plan();
     let Some(plan) = plan else {
         return Ok(Injected::None);
     };
-    match plan.decide(op) {
+    let tracer = ctx.tracer();
+    let traced = tracer.is_enabled() && !ctx.stats().is_paused();
+    let injected_before = if traced { plan.injected().total() } else { 0 };
+    let decision = plan.decide(op);
+    if traced {
+        if let Some(kind) = decision {
+            // A crashed context reports Fatal on every attempt without
+            // advancing the schedule — only genuinely injected faults (the
+            // injection tally moved) become events.
+            if plan.injected().total() > injected_before {
+                tracer.point(PointKind::Fault { kind, op, file });
+            }
+        }
+    }
+    match decision {
         None => Ok(Injected::None),
         Some(FaultKind::Fatal) => Err(EmError::Crashed),
         Some(FaultKind::TransientRead) | Some(FaultKind::TransientWrite) => {
@@ -101,6 +116,15 @@ fn with_retries<R>(ctx: &EmContext, mut attempt: impl FnMut() -> Result<R>) -> R
             Err(e) if e.is_retryable() && failed + 1 < policy.max_attempts => {
                 failed += 1;
                 ctx.stats().record_retry();
+                if ctx.tracer().is_enabled() && !ctx.stats().is_paused() {
+                    let op = match &e {
+                        EmError::Transient { op, .. } => *op,
+                        // The only other retryable error is Corrupt, which
+                        // is detected on the read path.
+                        _ => IoOp::Read,
+                    };
+                    ctx.tracer().point(PointKind::Retry { op });
+                }
                 ctx.note_backoff(policy.backoff_ticks(failed));
             }
             Err(e) => return Err(e),
@@ -177,7 +201,7 @@ impl<T: Record> EmFile<T> {
                  {want} needed for {len} records"
             )));
         }
-        Ok(Self {
+        let f = Self {
             ctx,
             storage: Storage::Disk {
                 file,
@@ -187,7 +211,11 @@ impl<T: Record> EmFile<T> {
             len,
             id,
             persistent: Cell::new(true),
-        })
+        };
+        // A fresh context's gauge starts at zero; reopened blocks re-enter
+        // it so live/peak reflect what is actually on the backing store.
+        f.ctx.tracer().note_blocks_alloc(f.num_blocks());
+        Ok(f)
     }
 
     /// Mark whether the backing file should survive this handle's drop.
@@ -260,7 +288,7 @@ impl<T: Record> EmFile<T> {
 
     /// One device read attempt: consult the fault plan, transfer, verify.
     fn device_read(&self, block: u64, count: usize, buf: &mut Vec<T>) -> Result<()> {
-        let injected = consult_plan(&self.ctx, IoOp::Read)?;
+        let injected = consult_plan(&self.ctx, IoOp::Read, self.id)?;
         buf.clear();
         match &self.storage {
             Storage::Mem(blocks) => {
@@ -269,7 +297,7 @@ impl<T: Record> EmFile<T> {
                     // No checksums in RAM: the flip goes through silently.
                     buf[0] = flip_record_bit(&buf[0]);
                 }
-                self.ctx.stats().record_read(0);
+                self.ctx.stats().record_read_block(self.id, block, 0);
             }
             Storage::Disk { file, scratch, .. } => {
                 use std::os::unix::fs::FileExt;
@@ -297,7 +325,9 @@ impl<T: Record> EmFile<T> {
                 for i in 0..count {
                     buf.push(T::read_bytes(&payload[i * T::BYTES..]));
                 }
-                self.ctx.stats().record_read(bytes as u64);
+                self.ctx
+                    .stats()
+                    .record_read_block(self.id, block, bytes as u64);
             }
         }
         Ok(())
@@ -305,7 +335,7 @@ impl<T: Record> EmFile<T> {
 
     /// One device write attempt into block slot `slot`.
     fn device_write(&mut self, slot: u64, data: &[T]) -> Result<()> {
-        let injected = consult_plan(&self.ctx, IoOp::Write)?;
+        let injected = consult_plan(&self.ctx, IoOp::Write, self.id)?;
         match &mut self.storage {
             Storage::Mem(blocks) => {
                 let store = |blocks: &mut Vec<Box<[T]>>, payload: Box<[T]>| {
@@ -334,7 +364,7 @@ impl<T: Record> EmFile<T> {
                     }
                     Injected::None => store(blocks, data.to_vec().into_boxed_slice()),
                 }
-                self.ctx.stats().record_write(0);
+                self.ctx.stats().record_write_block(self.id, slot, 0);
             }
             Storage::Disk { file, scratch, .. } => {
                 use std::os::unix::fs::FileExt;
@@ -371,7 +401,9 @@ impl<T: Record> EmFile<T> {
                     Injected::None => {}
                 }
                 file.write_all_at(&sc[..], off)?;
-                self.ctx.stats().record_write(bytes as u64);
+                self.ctx
+                    .stats()
+                    .record_write_block(self.id, slot, bytes as u64);
             }
         }
         Ok(())
@@ -417,17 +449,21 @@ impl<T: Record> EmFile<T> {
         let ctx = self.ctx.clone();
         with_retries(&ctx, || self.device_write(slot, data))?;
         self.len += data.len() as u64;
+        // Appends always occupy a fresh block slot on success.
+        self.ctx.tracer().note_blocks_alloc(1);
         Ok(())
     }
 
     /// Remove all records (block storage is released / the backing file is
     /// truncated). Does not charge I/O — dropping data is free in the model.
     pub fn clear(&mut self) -> Result<()> {
+        let released = self.num_blocks();
         match &mut self.storage {
             Storage::Mem(blocks) => blocks.clear(),
             Storage::Disk { file, .. } => file.set_len(0)?,
         }
         self.len = 0;
+        self.ctx.tracer().note_blocks_free(released);
         Ok(())
     }
 
@@ -472,8 +508,10 @@ impl<T: Record> EmFile<T> {
 impl<T: Record> Drop for EmFile<T> {
     fn drop(&mut self) {
         if self.persistent.get() {
+            // The backing file survives: its blocks stay in the gauge.
             return;
         }
+        self.ctx.tracer().note_blocks_free(self.num_blocks());
         if let Storage::Disk { path, .. } = &self.storage {
             let _ = std::fs::remove_file(path);
         }

@@ -160,6 +160,12 @@ impl Journal {
             _ => self.ctx.journal_put(&self.name, doc),
         }
         self.ctx.stats().record_journal_write();
+        let tracer = self.ctx.tracer();
+        if tracer.is_enabled() {
+            tracer.point(crate::trace::PointKind::JournalCommit {
+                name: self.name.clone(),
+            });
+        }
         Ok(())
     }
 

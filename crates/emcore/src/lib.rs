@@ -58,9 +58,11 @@ mod file;
 mod journal;
 mod memory;
 mod record;
+pub mod report;
 mod rng;
 mod spill;
 mod stats;
+pub mod trace;
 
 pub use checksum::block_checksum;
 pub use config::EmConfig;
@@ -71,6 +73,10 @@ pub use file::{EmFile, Reader, Writer};
 pub use journal::{from_hex, to_hex, Journal, JournalState};
 pub use memory::{MemCharge, MemoryTracker, TrackedVec};
 pub use record::{Indexed, KeyValue, Record, Tagged};
+pub use report::{SpanNode, TraceReport};
 pub use rng::SplitMix64;
 pub use spill::SpillVec;
-pub use stats::{Counters, IoStats};
+pub use stats::{Counters, IoStats, PhaseGuard, TraceSpanGuard};
+pub use trace::{
+    FileAccess, JsonlSink, PointKind, RingSink, TraceEvent, TraceSink, Tracer, HEAT_BUCKETS,
+};

@@ -3,11 +3,17 @@
 //! Every block transfer performed through an [`crate::EmFile`] is charged to
 //! the [`IoStats`] handle of the owning [`crate::EmContext`]. Counters can be
 //! snapshotted and diffed, and named *phases* attribute I/Os to
-//! sub-algorithms (e.g. "sample", "distribute", "base-case").
+//! sub-algorithms (e.g. "sample", "distribute", "base-case"). Phases double
+//! as trace spans: when a [`crate::TraceSink`] is installed on the context,
+//! every phase open/close is emitted as a span event carrying its exact
+//! counter delta (see [`crate::trace`]).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+use crate::fault::IoOp;
+use crate::trace::{PointKind, Tracer};
 
 /// A plain set of counters. Snapshots and phase totals use this type.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -64,19 +70,37 @@ impl Counters {
         }
     }
 
-    /// Component-wise sum.
+    /// Component-wise sum. Saturates like [`Counters::since`] so that
+    /// accumulating totals over a long campaign can never overflow-panic in
+    /// debug builds.
     pub fn plus(&self, other: &Counters) -> Counters {
         Counters {
-            reads: self.reads + other.reads,
-            writes: self.writes + other.writes,
-            comparisons: self.comparisons + other.comparisons,
-            bytes_read: self.bytes_read + other.bytes_read,
-            bytes_written: self.bytes_written + other.bytes_written,
-            retries: self.retries + other.retries,
-            corrupt_reads: self.corrupt_reads + other.corrupt_reads,
-            journal_writes: self.journal_writes + other.journal_writes,
-            redone_ios: self.redone_ios + other.redone_ios,
+            reads: self.reads.saturating_add(other.reads),
+            writes: self.writes.saturating_add(other.writes),
+            comparisons: self.comparisons.saturating_add(other.comparisons),
+            bytes_read: self.bytes_read.saturating_add(other.bytes_read),
+            bytes_written: self.bytes_written.saturating_add(other.bytes_written),
+            retries: self.retries.saturating_add(other.retries),
+            corrupt_reads: self.corrupt_reads.saturating_add(other.corrupt_reads),
+            journal_writes: self.journal_writes.saturating_add(other.journal_writes),
+            redone_ios: self.redone_ios.saturating_add(other.redone_ios),
         }
+    }
+}
+
+/// Render a byte count with a binary-unit suffix ("3.2 MiB").
+fn fmt_bytes(f: &mut std::fmt::Formatter<'_>, bytes: u64) -> std::fmt::Result {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        write!(f, "{bytes} B")
+    } else {
+        write!(f, "{v:.1} {}", UNITS[unit])
     }
 }
 
@@ -84,20 +108,70 @@ impl std::fmt::Display for Counters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} I/Os ({} reads, {} writes)",
+            "{} I/Os ({} reads, {} writes, ",
             self.total_ios(),
             self.reads,
             self.writes
-        )
+        )?;
+        fmt_bytes(f, self.bytes_read)?;
+        write!(f, " read, ")?;
+        fmt_bytes(f, self.bytes_written)?;
+        write!(f, " written)")?;
+        if self.retries != 0 {
+            write!(f, ", {} retries", self.retries)?;
+        }
+        if self.corrupt_reads != 0 {
+            write!(f, ", {} corrupt reads", self.corrupt_reads)?;
+        }
+        if self.journal_writes != 0 {
+            write!(f, ", {} journal commits", self.journal_writes)?;
+        }
+        if self.redone_ios != 0 {
+            write!(f, ", {} redone I/Os", self.redone_ios)?;
+        }
+        Ok(())
     }
+}
+
+/// One open phase/span on the stack.
+#[derive(Debug)]
+struct Scope {
+    name: String,
+    start: Counters,
+    /// Trace span id (0 when tracing was disabled at open time).
+    span: u64,
+    /// Whether the delta is added to `phase_totals` on close. Trace-only
+    /// spans (work units, recursion levels) set this false so they appear
+    /// in the span tree without double-counting in the flat totals.
+    charge: bool,
 }
 
 #[derive(Debug, Default)]
 struct StatsInner {
     counters: Counters,
     paused: u32,
-    phase_stack: Vec<(String, Counters)>,
+    scope_stack: Vec<Scope>,
     phase_totals: BTreeMap<String, Counters>,
+    tracer: Tracer,
+}
+
+impl Drop for StatsInner {
+    fn drop(&mut self) {
+        // An open phase at teardown means a begin_phase without a matching
+        // end_phase somewhere — attribution was silently dropped. Only
+        // assert when not already unwinding, to avoid a double panic.
+        if !std::thread::panicking() {
+            debug_assert!(
+                self.scope_stack.is_empty(),
+                "IoStats dropped with {} open phase(s): {:?} — use phase_guard()",
+                self.scope_stack.len(),
+                self.scope_stack
+                    .iter()
+                    .map(|s| s.name.as_str())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
 }
 
 /// Cheaply cloneable handle to a shared set of I/O counters.
@@ -116,21 +190,35 @@ impl IoStats {
         Self::default()
     }
 
+    /// The trace channel shared with the owning context.
+    pub(crate) fn tracer(&self) -> Tracer {
+        self.inner.borrow().tracer.clone()
+    }
+
+    /// Whether accounting is currently paused (oracle/verification scans).
+    /// Trace point emission respects this too.
     #[inline]
-    pub(crate) fn record_read(&self, bytes: u64) {
+    pub(crate) fn is_paused(&self) -> bool {
+        self.inner.borrow().paused > 0
+    }
+
+    #[inline]
+    pub(crate) fn record_read_block(&self, file: u64, block: u64, bytes: u64) {
         let mut g = self.inner.borrow_mut();
         if g.paused == 0 {
             g.counters.reads += 1;
             g.counters.bytes_read += bytes;
+            g.tracer.note_access(IoOp::Read, file, block);
         }
     }
 
     #[inline]
-    pub(crate) fn record_write(&self, bytes: u64) {
+    pub(crate) fn record_write_block(&self, file: u64, block: u64, bytes: u64) {
         let mut g = self.inner.borrow_mut();
         if g.paused == 0 {
             g.counters.writes += 1;
             g.counters.bytes_written += bytes;
+            g.tracer.note_access(IoOp::Write, file, block);
         }
     }
 
@@ -165,12 +253,14 @@ impl IoStats {
     /// Charge `n` block I/Os as *rework*: I/Os spent re-executing a work
     /// unit that a crash interrupted. Called by recoverable algorithms when
     /// a resumed run redoes its in-flight unit; the I/Os themselves are
-    /// already in `reads`/`writes`.
+    /// already in `reads`/`writes`. Emits a `work_unit_redo` trace point
+    /// attributed to the innermost open span.
     #[inline]
     pub fn record_redone_ios(&self, n: u64) {
         let mut g = self.inner.borrow_mut();
         if g.paused == 0 {
             g.counters.redone_ios += n;
+            g.tracer.point(PointKind::WorkUnitRedo { ios: n });
         }
     }
 
@@ -199,11 +289,21 @@ impl IoStats {
         self.inner.borrow().counters
     }
 
-    /// Reset all counters and phase records to zero.
+    /// Reset all counters and phase records to zero. Debug-asserts that no
+    /// phase is open — resetting mid-phase would misattribute the rest of
+    /// that phase's I/Os.
     pub fn reset(&self) {
         let mut g = self.inner.borrow_mut();
+        debug_assert!(
+            g.scope_stack.is_empty(),
+            "IoStats::reset inside an open phase ({:?})",
+            g.scope_stack
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+        );
         g.counters = Counters::default();
-        g.phase_stack.clear();
+        g.scope_stack.clear();
         g.phase_totals.clear();
     }
 
@@ -218,29 +318,75 @@ impl IoStats {
 
     /// Begin a named phase. Phases nest; each `end_phase` closes the most
     /// recent open phase and adds its delta to that phase's running total.
+    /// Prefer [`IoStats::phase_guard`], which closes on early return and
+    /// unwinding.
     pub fn begin_phase(&self, name: impl Into<String>) {
+        self.push_scope(name.into(), true);
+    }
+
+    fn push_scope(&self, name: String, charge: bool) {
         let mut g = self.inner.borrow_mut();
-        let snap = g.counters;
-        g.phase_stack.push((name.into(), snap));
+        let start = g.counters;
+        // The tracer has its own interior state, independent of ours.
+        let span = g.tracer.span_open(&name);
+        g.scope_stack.push(Scope {
+            name,
+            start,
+            span,
+            charge,
+        });
     }
 
     /// End the innermost open phase, returning its delta. Returns `None` if
     /// no phase is open.
     pub fn end_phase(&self) -> Option<Counters> {
         let mut g = self.inner.borrow_mut();
-        let (name, start) = g.phase_stack.pop()?;
-        let delta = g.counters.since(&start);
-        let slot = g.phase_totals.entry(name).or_default();
-        *slot = slot.plus(&delta);
+        let scope = g.scope_stack.pop()?;
+        let delta = g.counters.since(&scope.start);
+        if scope.charge {
+            let slot = g.phase_totals.entry(scope.name).or_default();
+            *slot = slot.plus(&delta);
+        }
+        g.tracer.span_close(scope.span, &delta);
         Some(delta)
     }
 
-    /// Run `f` inside a named phase.
-    pub fn phase<R>(&self, name: impl Into<String>, f: impl FnOnce() -> R) -> R {
+    /// Begin a named phase and return a guard that ends it on drop — the
+    /// `?`-safe form of [`IoStats::begin_phase`]: the phase closes (and its
+    /// trace span stays balanced) on early return, error propagation, and
+    /// unwinding.
+    pub fn phase_guard(&self, name: impl Into<String>) -> PhaseGuard<'_> {
         self.begin_phase(name);
-        let r = f();
-        self.end_phase();
-        r
+        PhaseGuard {
+            stats: self,
+            done: false,
+        }
+    }
+
+    /// Open a *trace-only* span: it appears in the span tree with its exact
+    /// counter delta but is **not** added to [`IoStats::phase_totals`], so
+    /// fine-grained structure (work units, recursion levels) can be traced
+    /// without double-counting the flat per-phase totals. The name closure
+    /// is only invoked when tracing is enabled; when disabled the returned
+    /// guard is inert and the cost is one flag check.
+    pub fn trace_span(&self, name: impl FnOnce() -> String) -> TraceSpanGuard<'_> {
+        if !self.inner.borrow().tracer.is_enabled() {
+            return TraceSpanGuard {
+                stats: self,
+                active: false,
+            };
+        }
+        self.push_scope(name(), false);
+        TraceSpanGuard {
+            stats: self,
+            active: true,
+        }
+    }
+
+    /// Run `f` inside a named phase. The phase closes even if `f` panics.
+    pub fn phase<R>(&self, name: impl Into<String>, f: impl FnOnce() -> R) -> R {
+        let _guard = self.phase_guard(name);
+        f()
     }
 
     /// Accumulated totals per phase name, in name order.
@@ -251,6 +397,46 @@ impl IoStats {
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect()
+    }
+}
+
+/// RAII guard for a charged phase; see [`IoStats::phase_guard`].
+#[must_use = "dropping the guard immediately ends the phase"]
+#[derive(Debug)]
+pub struct PhaseGuard<'a> {
+    stats: &'a IoStats,
+    done: bool,
+}
+
+impl PhaseGuard<'_> {
+    /// End the phase now, returning its delta.
+    pub fn end(mut self) -> Option<Counters> {
+        self.done = true;
+        self.stats.end_phase()
+    }
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.stats.end_phase();
+        }
+    }
+}
+
+/// RAII guard for a trace-only span; see [`IoStats::trace_span`].
+#[must_use = "dropping the guard immediately closes the span"]
+#[derive(Debug)]
+pub struct TraceSpanGuard<'a> {
+    stats: &'a IoStats,
+    active: bool,
+}
+
+impl Drop for TraceSpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            self.stats.end_phase();
+        }
     }
 }
 
@@ -271,9 +457,9 @@ mod tests {
     #[test]
     fn counts_reads_and_writes() {
         let s = IoStats::new();
-        s.record_read(128);
-        s.record_read(128);
-        s.record_write(64);
+        s.record_read_block(0, 0, 128);
+        s.record_read_block(0, 1, 128);
+        s.record_write_block(0, 0, 64);
         let c = s.snapshot();
         assert_eq!(c.reads, 2);
         assert_eq!(c.writes, 1);
@@ -285,26 +471,68 @@ mod tests {
     #[test]
     fn since_diffs() {
         let s = IoStats::new();
-        s.record_read(0);
+        s.record_read_block(0, 0, 0);
         let snap = s.snapshot();
-        s.record_read(0);
-        s.record_write(0);
+        s.record_read_block(0, 1, 0);
+        s.record_write_block(0, 0, 0);
         let d = s.snapshot().since(&snap);
         assert_eq!(d.reads, 1);
         assert_eq!(d.writes, 1);
     }
 
     #[test]
+    fn plus_saturates() {
+        let a = Counters {
+            reads: u64::MAX - 1,
+            comparisons: u64::MAX,
+            ..Counters::default()
+        };
+        let b = Counters {
+            reads: 5,
+            comparisons: 5,
+            writes: 1,
+            ..Counters::default()
+        };
+        let c = a.plus(&b);
+        assert_eq!(c.reads, u64::MAX);
+        assert_eq!(c.comparisons, u64::MAX);
+        assert_eq!(c.writes, 1);
+    }
+
+    #[test]
+    fn display_includes_bytes_and_fault_counters() {
+        let c = Counters {
+            reads: 2,
+            writes: 1,
+            bytes_read: 3 * 1024 * 1024,
+            bytes_written: 512,
+            ..Counters::default()
+        };
+        let s = c.to_string();
+        assert_eq!(s, "3 I/Os (2 reads, 1 writes, 3.0 MiB read, 512 B written)");
+        let c2 = Counters {
+            retries: 4,
+            journal_writes: 2,
+            redone_ios: 9,
+            ..c
+        };
+        let s2 = c2.to_string();
+        assert!(s2.contains("4 retries"), "{s2}");
+        assert!(s2.contains("2 journal commits"), "{s2}");
+        assert!(s2.contains("9 redone I/Os"), "{s2}");
+    }
+
+    #[test]
     fn paused_suppresses_counting() {
         let s = IoStats::new();
         s.paused(|| {
-            s.record_read(0);
-            s.record_write(0);
+            s.record_read_block(0, 0, 0);
+            s.record_write_block(0, 0, 0);
             // nesting
-            s.paused(|| s.record_read(0));
-            s.record_read(0);
+            s.paused(|| s.record_read_block(0, 1, 0));
+            s.record_read_block(0, 2, 0);
         });
-        s.record_read(0);
+        s.record_read_block(0, 3, 0);
         assert_eq!(s.snapshot().total_ios(), 1);
     }
 
@@ -312,11 +540,11 @@ mod tests {
     fn phases_accumulate() {
         let s = IoStats::new();
         s.phase("scan", || {
-            s.record_read(0);
-            s.record_read(0);
+            s.record_read_block(0, 0, 0);
+            s.record_read_block(0, 1, 0);
         });
-        s.phase("scan", || s.record_read(0));
-        s.phase("merge", || s.record_write(0));
+        s.phase("scan", || s.record_read_block(0, 2, 0));
+        s.phase("merge", || s.record_write_block(1, 0, 0));
         let totals = s.phase_totals();
         assert_eq!(totals.len(), 2);
         let scan = totals.iter().find(|(n, _)| n == "scan").unwrap();
@@ -329,9 +557,9 @@ mod tests {
     fn nested_phases_charge_both() {
         let s = IoStats::new();
         s.begin_phase("outer");
-        s.record_read(0);
+        s.record_read_block(0, 0, 0);
         s.begin_phase("inner");
-        s.record_read(0);
+        s.record_read_block(0, 1, 0);
         let inner = s.end_phase().unwrap();
         let outer = s.end_phase().unwrap();
         assert_eq!(inner.reads, 1);
@@ -340,10 +568,78 @@ mod tests {
     }
 
     #[test]
+    fn phase_guard_closes_on_early_return() {
+        let s = IoStats::new();
+        let attempt = |fail: bool| -> Result<(), ()> {
+            let _g = s.phase_guard("guarded");
+            s.record_read_block(0, 0, 0);
+            if fail {
+                return Err(());
+            }
+            s.record_read_block(0, 1, 0);
+            Ok(())
+        };
+        attempt(true).unwrap_err();
+        attempt(false).unwrap();
+        let totals = s.phase_totals();
+        let g = totals.iter().find(|(n, _)| n == "guarded").unwrap();
+        // Both attempts attributed, including the early-returning one.
+        assert_eq!(g.1.reads, 3);
+        assert!(s.end_phase().is_none(), "guards left no phase open");
+    }
+
+    #[test]
+    fn phase_guard_end_returns_delta() {
+        let s = IoStats::new();
+        let g = s.phase_guard("p");
+        s.record_write_block(0, 0, 0);
+        let delta = g.end().unwrap();
+        assert_eq!(delta.writes, 1);
+    }
+
+    #[test]
+    fn trace_span_disabled_is_inert_and_charges_nothing() {
+        let s = IoStats::new();
+        {
+            let _t = s.trace_span(|| unreachable!("name closure must not run when disabled"));
+            s.record_read_block(0, 0, 0);
+        }
+        assert!(s.phase_totals().is_empty());
+        assert_eq!(s.snapshot().reads, 1);
+    }
+
+    #[test]
+    fn trace_span_does_not_pollute_phase_totals() {
+        use crate::trace::RingSink;
+        let s = IoStats::new();
+        let ring = RingSink::new(0);
+        s.tracer().install(Box::new(ring.clone()), 0, 0);
+        {
+            let _p = s.phase_guard("charged");
+            let _t = s.trace_span(|| "unit/0".into());
+            s.record_read_block(0, 0, 0);
+        }
+        s.tracer().finish();
+        let totals = s.phase_totals();
+        assert_eq!(totals.len(), 1, "only the charged phase has a total");
+        assert_eq!(totals[0].0, "charged");
+        // ...but both appear as spans in the trace.
+        let names: Vec<String> = ring
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                crate::trace::TraceEvent::SpanOpen { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["charged".to_string(), "unit/0".to_string()]);
+    }
+
+    #[test]
     fn reset_zeroes_everything() {
         let s = IoStats::new();
-        s.record_read(8);
-        s.phase("p", || s.record_write(8));
+        s.record_read_block(0, 0, 8);
+        s.phase("p", || s.record_write_block(0, 0, 8));
         s.reset();
         assert_eq!(s.snapshot(), Counters::default());
         assert!(s.phase_totals().is_empty());

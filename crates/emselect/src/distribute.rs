@@ -48,7 +48,7 @@ pub fn distribute_segs<T: Record>(
         splitters.windows(2).all(|w| w[0].key() <= w[1].key()),
         "splitters must be ascending"
     );
-    ctx.stats().begin_phase("distribute");
+    let _phase = ctx.stats().phase_guard("distribute");
     let _splitter_charge = ctx
         .mem()
         .charge(splitters.len() * T::WORDS, "distribution splitters");
@@ -63,7 +63,6 @@ pub fn distribute_segs<T: Record>(
     for w in writers {
         out.push(w.finish()?);
     }
-    ctx.stats().end_phase();
     Ok(out)
 }
 

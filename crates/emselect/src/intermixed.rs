@@ -68,9 +68,9 @@ pub fn intermixed_select<R: Record>(d: EmFile<Tagged<R>>, targets: &[u64]) -> Re
     }
     let ts = SpillVec::from_tracked(&ctx, ts, "intermixed targets");
 
-    ctx.stats().begin_phase("intermixed-select");
+    let phase = ctx.stats().phase_guard("intermixed-select");
     let resolved = solve(&ctx, d, ts);
-    ctx.stats().end_phase();
+    drop(phase);
     let resolved = resolved?;
 
     let mut out: Vec<Option<R>> = vec![None; l];

@@ -95,11 +95,10 @@ pub fn multi_partition_segs<T: Record>(
         .collect();
     interior.dedup();
 
-    ctx.stats().begin_phase("multi-partition");
+    let _phase = ctx.stats().phase_guard("multi-partition");
     let mut sink = PartitionSink::new(&ctx, bounds)?;
     mp_rec(&ctx, MpInput::Borrowed(segs), &interior, &mut sink, &opts)?;
     let out = sink.finish()?;
-    ctx.stats().end_phase();
     Ok(out)
 }
 

@@ -134,9 +134,9 @@ pub fn multi_select_segs<T: Record>(
     sorted.sort_unstable();
     sorted.dedup();
 
-    ctx.stats().begin_phase("multi-select");
+    let phase = ctx.stats().phase_guard("multi-select");
     let answers = multi_select_sorted(&ctx, segs, &sorted, &opts);
-    ctx.stats().end_phase();
+    drop(phase);
     let answers = answers?;
 
     // Map back to the caller's order.
@@ -256,7 +256,7 @@ fn intermixed_base_case<T: Record>(
     ranks: &[u64],
     _opts: &MsOptions,
 ) -> Result<Vec<T>> {
-    ctx.stats().begin_phase("multi-select/intermixed-base");
+    let _phase = ctx.stats().phase_guard("multi-select/intermixed-base");
     // Θ(m) splitters of this partition in linear I/Os — the two-round
     // refined sampler keeps the instance |D| ≤ K·4n/f' at O(n) for
     // K up to the paper's m = Θ(M).
@@ -306,9 +306,7 @@ fn intermixed_base_case<T: Record>(
     let d = w.finish()?;
     drop(splitters);
 
-    let answers = intermixed_select(d, &targets)?;
-    ctx.stats().end_phase();
-    Ok(answers)
+    intermixed_select(d, &targets)
 }
 
 /// Pruned-distribution selection for `K ≪ f` ranks: per level, find the
@@ -323,6 +321,11 @@ fn pruned_select<T: Record>(
     opts: &MsOptions,
 ) -> Result<Vec<T>> {
     let n = segs_len(segs);
+    // Trace-only span covering this whole recursion level (including the
+    // per-bucket recursive calls below), so traces show the tree depth.
+    let _level = ctx
+        .stats()
+        .trace_span(|| format!("pruned n={n} k={}", ranks.len()));
     let block = ctx.config().block_size();
     let mem_cap = (ctx.mem_records::<T>() / 2).max(block);
     if n as usize <= mem_cap {
@@ -334,7 +337,7 @@ fn pruned_select<T: Record>(
         drop(r);
         return Ok(crate::internal::multi_select_in_mem(&mut buf, ranks));
     }
-    ctx.stats().begin_phase("multi-select/pruned");
+    let phase = ctx.stats().phase_guard("multi-select/pruned");
     let f = max_deterministic_fanout_n::<T>(ctx, n)
         .min(crate::distribute::max_distribution_fanout::<T>(
             ctx.config(),
@@ -356,7 +359,7 @@ fn pruned_select<T: Record>(
         // input. Resolve exactly with a three-way split around the
         // dominant key (records equal to it are interchangeable for rank
         // semantics).
-        ctx.stats().end_phase();
+        drop(phase);
         drop(buckets);
         return dominated_select(ctx, segs, ranks, opts);
     }
@@ -366,7 +369,7 @@ fn pruned_select<T: Record>(
         let j = cum.partition_point(|&c| c < r) - 1;
         bucket_of_rank.push(j);
     }
-    ctx.stats().end_phase();
+    drop(phase);
     // Recurse per rank-carrying bucket, preserving rank order.
     let mut out = Vec::with_capacity(ranks.len());
     for (j, bucket) in buckets.into_iter().enumerate() {
@@ -480,6 +483,8 @@ fn pruned_select_external<T: Record>(
     debug_assert!(lo < hi);
     let k = hi - lo;
     let n = segs_len(segs);
+    // Trace-only span per recursion node (covers the recursive calls too).
+    let _level = ctx.stats().trace_span(|| format!("pruned-ext n={n} k={k}"));
     // Few enough ranks: load this node's rank range and use the in-memory
     // rank machinery.
     let mem_rank_cap = (ctx.config().mem_capacity() / 16).max(8) as u64;

@@ -366,10 +366,8 @@ pub fn resume_multi_select<T: Record>(
         )));
     }
     let ctx = manifest.ctx.clone();
-    ctx.stats().begin_phase("multi-select/recoverable");
-    let r = resume_inner(input, manifest, &ctx);
-    ctx.stats().end_phase();
-    r
+    let _phase = ctx.stats().phase_guard("multi-select/recoverable");
+    resume_inner(input, manifest, &ctx)
 }
 
 fn resume_inner<T: Record>(

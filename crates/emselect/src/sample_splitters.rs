@@ -113,13 +113,11 @@ pub fn sample_splitters_segs<T: Record>(
     if segs_len(segs) == 0 {
         return Ok(Vec::new());
     }
-    ctx.stats().begin_phase("sample-splitters");
-    let out = match strategy {
+    let _phase = ctx.stats().phase_guard("sample-splitters");
+    match strategy {
         SplitterStrategy::Deterministic => deterministic(ctx, segs, f),
         SplitterStrategy::Randomized { seed } => randomized(ctx, segs, f, seed),
-    };
-    ctx.stats().end_phase();
-    out
+    }
 }
 
 fn pick_even<T: Record>(sorted: &[T], f: usize) -> Vec<T> {
@@ -275,7 +273,7 @@ pub fn refined_splitters<T: Record>(
     if f_target <= f0 {
         return sample_splitters_segs(ctx, segs, f_target, SplitterStrategy::Deterministic);
     }
-    ctx.stats().begin_phase("refined-splitters");
+    let _phase = ctx.stats().phase_guard("refined-splitters");
     let round1 = sample_splitters_segs(ctx, segs, f0, SplitterStrategy::Deterministic)?;
     let buckets = crate::distribute::distribute_segs(ctx, segs, &round1)?;
     let f1 = f_target.div_ceil(f0).max(2);
@@ -297,7 +295,6 @@ pub fn refined_splitters<T: Record>(
     // Sub-splitters are within-bucket ascending and buckets are ordered,
     // but defensively enforce global order (ties across equal keys).
     out.sort_unstable_by_key(|a| a.key());
-    ctx.stats().end_phase();
     Ok(out)
 }
 

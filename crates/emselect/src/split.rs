@@ -49,10 +49,8 @@ pub fn split_at_rank_segs<T: Record>(
             "split rank {count} out of range [1, {n}]"
         )));
     }
-    ctx.stats().begin_phase("split-at-rank");
-    let r = split_rec(ctx, segs, count, strategy);
-    ctx.stats().end_phase();
-    r
+    let _phase = ctx.stats().phase_guard("split-at-rank");
+    split_rec(ctx, segs, count, strategy)
 }
 
 fn split_rec<T: Record>(

@@ -374,16 +374,16 @@ pub fn resume_sort<T: Record>(
 
     // Phase 1: run formation, resumable at `consumed` records.
     if !manifest.formed {
-        stats.begin_phase("sort/run-formation");
+        let phase = stats.phase_guard("sort/run-formation");
         let r = form_remaining_runs(input, manifest, &ctx);
-        stats.end_phase();
+        drop(phase);
         r?;
     }
 
     // Phase 2: merge passes, resumable at merge-group granularity.
-    stats.begin_phase("sort/merge");
+    let phase = stats.phase_guard("sort/merge");
     let r = merge_remaining(manifest, &ctx);
-    stats.end_phase();
+    drop(phase);
     let out = r?;
     manifest.finish()?;
     // The output leaves the manifest's custody: normal drop semantics.
@@ -401,6 +401,10 @@ fn form_remaining_runs<T: Record>(
     let mut load = ctx.tracked_vec::<T>(cap, "recoverable run formation load buffer");
     while manifest.consumed < input.len() {
         let (redo, before) = manifest.begin_unit(ctx);
+        // Trace-only span per work unit: redo points land inside it.
+        let _unit = ctx
+            .stats()
+            .trace_span(|| format!("unit/run#{}", manifest.checkpoints));
         // A fresh positioned reader each unit: a crashed unit must not
         // leave reader state behind, and positioning costs ≤ 1 extra I/O.
         let mut reader = input.reader_at(manifest.consumed);
@@ -460,6 +464,10 @@ fn merge_remaining<T: Record>(
         }
         let g = manifest.fan_in.min(manifest.runs.len());
         let (redo, before) = manifest.begin_unit(ctx);
+        // Trace-only span per work unit: redo points land inside it.
+        let _unit = ctx
+            .stats()
+            .trace_span(|| format!("unit/merge#{}", manifest.checkpoints));
         // Merge the group *before* releasing its inputs: a crash inside
         // merge_once drops only the partial output file, and the manifest
         // still owns every input run for the redo.

@@ -24,20 +24,21 @@ pub fn external_sort_with<T: Record>(
 ) -> Result<EmFile<T>> {
     let ctx = input.ctx().clone();
     let stats = ctx.stats().clone();
-    stats.begin_phase("sort/run-formation");
-    let mut runs = match strategy {
-        RunFormation::LoadSort => form_runs_load_sort(input)?,
-        RunFormation::ReplacementSelection => form_runs_replacement_selection(input)?,
+    let formation = stats.phase_guard("sort/run-formation");
+    let runs = match strategy {
+        RunFormation::LoadSort => form_runs_load_sort(input),
+        RunFormation::ReplacementSelection => form_runs_replacement_selection(input),
     };
-    stats.end_phase();
-    stats.begin_phase("sort/merge");
+    drop(formation);
+    let mut runs = runs?;
+    let merge = stats.phase_guard("sort/merge");
     let out = merge_runs_with_fan_in(
         &ctx,
         &mut runs,
         fan_in.unwrap_or_else(|| ctx.config().fan_in()),
-    )?;
-    stats.end_phase();
-    Ok(out)
+    );
+    drop(merge);
+    out
 }
 
 /// Predicted I/O count of [`external_sort`] on `n` records: the formula the

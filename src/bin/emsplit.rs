@@ -14,6 +14,10 @@
 //!
 //! `--mem M` and `--block B` set the machine geometry (defaults 65536/1024
 //! records — a more disk-like shape than the simulator defaults).
+//!
+//! `--trace FILE` streams a JSONL I/O trace of the run (render it with the
+//! `trace_report` tool); `--trace-summary` prints the span tree and
+//! per-file access summary to stderr without writing a file.
 
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
@@ -128,6 +132,59 @@ fn spec_from(args: &Args, n: u64) -> ProblemSpec {
     ProblemSpec::new(n, k, a, b).unwrap_or_else(|e| die(&format!("infeasible spec: {e}")))
 }
 
+/// Armed tracing state for one command, from `--trace` / `--trace-summary`.
+struct TraceSetup {
+    ring: Option<RingSink>,
+    path: Option<PathBuf>,
+}
+
+/// Install a trace sink on `ctx` if the flags ask for one. `--trace FILE`
+/// streams JSONL to the file; `--trace-summary` buffers events in memory
+/// (bounded ring) and renders the report at the end of the command.
+fn setup_trace(ctx: &EmContext, args: &Args) -> TraceSetup {
+    let mut setup = TraceSetup {
+        ring: None,
+        path: None,
+    };
+    if let Some(p) = args.flags.get("trace") {
+        if p == "true" {
+            die("--trace expects a file path");
+        }
+        let path = PathBuf::from(p);
+        ctx.trace_to_file(&path)
+            .unwrap_or_else(|e| die(&format!("cannot open trace {}: {e}", path.display())));
+        setup.path = Some(path);
+    } else if args.has("trace-summary") {
+        let ring = RingSink::new(1 << 20);
+        ctx.set_trace_sink(Box::new(ring.clone()));
+        setup.ring = Some(ring);
+    }
+    setup
+}
+
+/// Finish the trace (if one was armed) and render/report it.
+fn finish_trace(ctx: &EmContext, setup: TraceSetup) {
+    if setup.ring.is_none() && setup.path.is_none() {
+        return;
+    }
+    ctx.finish_trace();
+    if let Some(ring) = setup.ring {
+        if ring.dropped() > 0 {
+            eprintln!(
+                "[trace] ring overflow: {} oldest events dropped",
+                ring.dropped()
+            );
+        }
+        let report = TraceReport::from_events(&ring.events());
+        eprint!("{}", report.render_tree());
+        eprintln!();
+        eprint!("{}", report.render_files());
+    }
+    if let Some(path) = setup.path {
+        eprintln!("[trace] wrote {}", path.display());
+    }
+}
+
 fn print_stats(ctx: &EmContext) {
     let c = ctx.stats().snapshot();
     eprintln!(
@@ -184,10 +241,13 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| die("splitters needs <file>")),
             );
             let ctx = machine(&args);
+            let trace = setup_trace(&ctx, &args);
             let file = load(&ctx, &path);
             let spec = spec_from(&args, file.len());
-            let sp = approx_splitters(&file, &spec)
-                .unwrap_or_else(|e| die(&format!("splitters failed: {e}")));
+            let phase = ctx.stats().phase_guard("emsplit/splitters");
+            let sp = approx_splitters(&file, &spec);
+            drop(phase);
+            let sp = sp.unwrap_or_else(|e| die(&format!("splitters failed: {e}")));
             let mut out = std::io::stdout().lock();
             for s in &sp {
                 writeln!(out, "{s}").expect("stdout");
@@ -195,6 +255,7 @@ fn main() -> ExitCode {
             if args.has("stats") {
                 print_stats(&ctx);
             }
+            finish_trace(&ctx, trace);
         }
         "partition" => {
             let path = PathBuf::from(
@@ -210,10 +271,13 @@ fn main() -> ExitCode {
             std::fs::create_dir_all(&out_dir)
                 .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", out_dir.display())));
             let ctx = machine(&args);
+            let trace = setup_trace(&ctx, &args);
             let file = load(&ctx, &path);
             let spec = spec_from(&args, file.len());
-            let parts = approx_partitioning(&file, &spec)
-                .unwrap_or_else(|e| die(&format!("partitioning failed: {e}")));
+            let phase = ctx.stats().phase_guard("emsplit/partition");
+            let parts = approx_partitioning(&file, &spec);
+            drop(phase);
+            let parts = parts.unwrap_or_else(|e| die(&format!("partitioning failed: {e}")));
             for (i, p) in parts.iter().enumerate() {
                 let keys = ctx
                     .stats()
@@ -225,6 +289,7 @@ fn main() -> ExitCode {
             if args.has("stats") {
                 print_stats(&ctx);
             }
+            finish_trace(&ctx, trace);
         }
         "quantiles" => {
             let path = PathBuf::from(
@@ -237,8 +302,12 @@ fn main() -> ExitCode {
                 die("--q must be at least 2");
             }
             let ctx = machine(&args);
+            let trace = setup_trace(&ctx, &args);
             let file = load(&ctx, &path);
-            let qs = quantiles(&file, q).unwrap_or_else(|e| die(&format!("quantiles failed: {e}")));
+            let phase = ctx.stats().phase_guard("emsplit/quantiles");
+            let qs = quantiles(&file, q);
+            drop(phase);
+            let qs = qs.unwrap_or_else(|e| die(&format!("quantiles failed: {e}")));
             let mut out = std::io::stdout().lock();
             for s in &qs {
                 writeln!(out, "{s}").expect("stdout");
@@ -246,6 +315,7 @@ fn main() -> ExitCode {
             if args.has("stats") {
                 print_stats(&ctx);
             }
+            finish_trace(&ctx, trace);
         }
         "sort" => {
             let path = PathBuf::from(
@@ -259,8 +329,12 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| die("sort needs <out-file>")),
             );
             let ctx = machine(&args);
+            let trace = setup_trace(&ctx, &args);
             let file = load(&ctx, &path);
-            let sorted = external_sort(&file).unwrap_or_else(|e| die(&format!("sort failed: {e}")));
+            let phase = ctx.stats().phase_guard("emsplit/sort");
+            let sorted = external_sort(&file);
+            drop(phase);
+            let sorted = sorted.unwrap_or_else(|e| die(&format!("sort failed: {e}")));
             let keys = ctx
                 .stats()
                 .paused(|| sorted.to_vec())
@@ -270,6 +344,7 @@ fn main() -> ExitCode {
             if args.has("stats") {
                 print_stats(&ctx);
             }
+            finish_trace(&ctx, trace);
         }
         "verify" => {
             let path = PathBuf::from(
@@ -320,6 +395,8 @@ fn main() -> ExitCode {
                  \x20 emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...\n\
                  \n\
                  common flags: --mem M --block B   (machine geometry, records)\n\
+                 \x20             --trace FILE       (stream a JSONL I/O trace; see trace_report)\n\
+                 \x20             --trace-summary    (print span tree + file access to stderr)\n\
                  files are flat little-endian u64 arrays (8 bytes per record)"
             );
         }

@@ -64,7 +64,8 @@ pub mod prelude {
         ProblemSpec,
     };
     pub use emcore::{
-        EmConfig, EmContext, EmError, EmFile, FaultPlan, Journal, Record, Result, RetryPolicy,
+        EmConfig, EmContext, EmError, EmFile, FaultPlan, Journal, JsonlSink, Record, Result,
+        RetryPolicy, RingSink, TraceReport, TraceSink,
     };
     pub use emselect::{
         multi_select, multi_select_recoverable, quantiles, resume_multi_select, select_rank,
