@@ -61,11 +61,12 @@ pub use partitioning::{
     approx_partitioning, approx_partitioning_with, PartitionOptions, Partitioning,
 };
 pub use precise::{precise_partitioning, precise_via_approx, precise_via_approx_with_step};
+#[allow(deprecated)]
+pub use recover::resume_approx_partitioning;
 pub use recover::{
-    approx_partitioning_recoverable, resume_approx_partitioning, PartitionManifest,
-    PARTITION_JOURNAL,
+    approx_partitioning_recoverable, PartitionJob, PartitionManifest, PARTITION_JOURNAL,
 };
-pub use spec::{Groundedness, ProblemSpec};
+pub use spec::{Groundedness, ProblemSpec, ProblemSpecBuilder};
 pub use splitters::{approx_splitters, approx_splitters_with, SplitOptions};
 pub use verify::{
     verify_multiselect, verify_partitioning, verify_splitters, PartitionReport, SplitterReport,

@@ -27,8 +27,8 @@
 //! ## Example: crash and resume
 //!
 //! ```
-//! use apsplit::{resume_approx_partitioning, PartitionManifest, ProblemSpec};
-//! use emcore::{EmConfig, EmContext, EmError, EmFile, FaultPlan};
+//! use apsplit::{PartitionJob, PartitionManifest, ProblemSpec};
+//! use emcore::{run_recoverable, EmConfig, EmContext, EmError, EmFile, FaultPlan};
 //!
 //! let ctx = EmContext::new_in_memory(EmConfig::tiny());
 //! let data: Vec<u64> = (0..4000).rev().collect();
@@ -39,16 +39,19 @@
 //! ctx.install_fault_plan(plan.clone());
 //! let mut m = PartitionManifest::new(&input, &spec).unwrap();
 //! assert!(matches!(
-//!     resume_approx_partitioning(&input, &mut m),
+//!     run_recoverable(&ctx, &mut PartitionJob::new(&input, &mut m)),
 //!     Err(EmError::Crashed)
 //! ));
 //! plan.clear_crash();
-//! let parts = resume_approx_partitioning(&input, &mut m).unwrap();
+//! let parts = run_recoverable(&ctx, &mut PartitionJob::new(&input, &mut m)).unwrap();
 //! assert_eq!(parts.len(), 8);
 //! assert_eq!(parts.iter().map(|p| p.len()).sum::<u64>(), 4000);
 //! ```
 
-use emcore::{Counters, EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
+use emcore::{
+    run_recoverable, Counters, EmContext, EmError, EmFile, Journal, JournalState, Record,
+    RecoverableJob, Result,
+};
 use emselect::{split_at_rank_segs, Partition};
 
 use crate::partitioning::{target_sizes, PartitionOptions, Partitioning};
@@ -335,46 +338,85 @@ impl<T: Record> PartitionManifest<T> {
     }
 }
 
+/// The checkpointed approximate partitioning as a [`RecoverableJob`]:
+/// drive it with [`emcore::run_recoverable`]. Borrows the input and its
+/// manifest for the duration of one resume attempt; build a fresh job
+/// value per attempt.
+#[derive(Debug)]
+pub struct PartitionJob<'a, T: Record> {
+    input: &'a EmFile<T>,
+    manifest: &'a mut PartitionManifest<T>,
+}
+
+impl<'a, T: Record> PartitionJob<'a, T> {
+    /// A job that partitions `input` per `manifest`'s problem spec.
+    pub fn new(input: &'a EmFile<T>, manifest: &'a mut PartitionManifest<T>) -> Self {
+        Self { input, manifest }
+    }
+}
+
+impl<T: Record> RecoverableJob for PartitionJob<'_, T> {
+    type Output = Partitioning<T>;
+
+    fn kind(&self) -> &'static str {
+        "resume_approx_partitioning"
+    }
+
+    fn journal_name(&self) -> &'static str {
+        PARTITION_JOURNAL
+    }
+
+    fn is_done(&self) -> bool {
+        self.manifest.done
+    }
+
+    fn check_input(&mut self) -> Result<()> {
+        // Identity was bound at `PartitionManifest::new`; only verify.
+        if self.manifest.input != (self.input.id(), self.input.len()) {
+            return Err(EmError::config(format!(
+                "resume_approx_partitioning: manifest belongs to input (id {}, len {}), \
+                 got (id {}, len {})",
+                self.manifest.input.0,
+                self.manifest.input.1,
+                self.input.id(),
+                self.input.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn drive(&mut self, ctx: &EmContext) -> Result<Partitioning<T>> {
+        let phase = ctx.stats().phase_guard("approx-partitioning/recoverable");
+        let r = resume_inner(self.input, self.manifest, ctx);
+        drop(phase);
+        r
+    }
+}
+
 /// One-shot recoverable approximate partitioning with default options —
 /// realises exactly the sizes of [`crate::approx_partitioning`], with
 /// checkpointing overhead. Use [`PartitionManifest::new`] +
-/// [`resume_approx_partitioning`] directly to keep the manifest across
-/// failures.
+/// [`PartitionJob`] + [`emcore::run_recoverable`] directly to keep the
+/// manifest across failures.
 pub fn approx_partitioning_recoverable<T: Record>(
     input: &EmFile<T>,
     spec: &ProblemSpec,
 ) -> Result<Partitioning<T>> {
     let mut manifest = PartitionManifest::new(input, spec)?;
-    resume_approx_partitioning(input, &mut manifest)
+    let ctx = manifest.ctx.clone();
+    run_recoverable(&ctx, &mut PartitionJob::new(input, &mut manifest))
 }
 
 /// Drive the partitioning of `input` forward from wherever `manifest` left
 /// off, until completion or the next terminal error. Idempotent over
 /// failures: only the interrupted split is redone on the next call.
+#[deprecated(note = "use emcore::run_recoverable with apsplit::PartitionJob")]
 pub fn resume_approx_partitioning<T: Record>(
     input: &EmFile<T>,
     manifest: &mut PartitionManifest<T>,
 ) -> Result<Partitioning<T>> {
-    if manifest.done {
-        return Err(EmError::config(
-            "resume_approx_partitioning: manifest already completed; create a fresh one",
-        ));
-    }
-    if manifest.input != (input.id(), input.len()) {
-        return Err(EmError::config(format!(
-            "resume_approx_partitioning: manifest belongs to input (id {}, len {}), \
-             got (id {}, len {})",
-            manifest.input.0,
-            manifest.input.1,
-            input.id(),
-            input.len()
-        )));
-    }
     let ctx = manifest.ctx.clone();
-    let phase = ctx.stats().phase_guard("approx-partitioning/recoverable");
-    let r = resume_inner(input, manifest, &ctx);
-    drop(phase);
-    r
+    run_recoverable(&ctx, &mut PartitionJob::new(input, manifest))
 }
 
 fn resume_inner<T: Record>(
@@ -508,6 +550,11 @@ fn resume_inner<T: Record>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrapper stays covered: every resume below goes
+    // through `resume_approx_partitioning`, which drives the job via
+    // `run_recoverable`.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::verify::verify_partitioning;
     use emcore::{EmConfig, FaultPlan, SplitMix64};

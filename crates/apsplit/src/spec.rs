@@ -32,6 +32,26 @@ pub struct ProblemSpec {
 }
 
 impl ProblemSpec {
+    /// Start building a spec for `n` records in `k` partitions. Size
+    /// bounds default to the unconstrained `[0, n]`; set them with
+    /// [`ProblemSpecBuilder::min_size`] / [`ProblemSpecBuilder::max_size`].
+    /// [`ProblemSpecBuilder::build`] applies the same validation as
+    /// [`ProblemSpec::new`], with the four parameters named instead of
+    /// positional:
+    ///
+    /// ```
+    /// use apsplit::ProblemSpec;
+    /// let spec = ProblemSpec::builder(100_000, 16)
+    ///     .min_size(4)
+    ///     .max_size(100_000)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(spec, ProblemSpec::new(100_000, 16, 4, 100_000).unwrap());
+    /// ```
+    pub fn builder(n: u64, k: u64) -> ProblemSpecBuilder {
+        ProblemSpecBuilder { n, k, a: 0, b: n }
+    }
+
     /// Validate and construct a spec.
     pub fn new(n: u64, k: u64, a: u64, b: u64) -> Result<Self> {
         if k == 0 {
@@ -95,6 +115,36 @@ impl ProblemSpec {
     /// always within `[a, b]` for a feasible spec.
     pub fn quantile_ranks(&self) -> Vec<u64> {
         (1..self.k).map(|i| (i * self.n) / self.k).collect()
+    }
+}
+
+/// Named-parameter construction of a [`ProblemSpec`]; see
+/// [`ProblemSpec::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemSpecBuilder {
+    n: u64,
+    k: u64,
+    a: u64,
+    b: u64,
+}
+
+impl ProblemSpecBuilder {
+    /// Minimum partition size `a` (default `0`: unconstrained below).
+    pub fn min_size(mut self, a: u64) -> Self {
+        self.a = a;
+        self
+    }
+
+    /// Maximum partition size `b` (default `n`: unconstrained above).
+    pub fn max_size(mut self, b: u64) -> Self {
+        self.b = b;
+        self
+    }
+
+    /// Validate and construct the spec (same feasibility rules as
+    /// [`ProblemSpec::new`]).
+    pub fn build(self) -> Result<ProblemSpec> {
+        ProblemSpec::new(self.n, self.k, self.a, self.b)
     }
 }
 
@@ -184,6 +234,23 @@ mod tests {
             assert!((25..=26).contains(&d), "diff {d}");
             prev = r;
         }
+    }
+
+    #[test]
+    fn builder_matches_positional_and_defaults_are_unconstrained() {
+        assert_eq!(
+            ProblemSpec::builder(100, 4)
+                .min_size(20)
+                .max_size(30)
+                .build()
+                .unwrap(),
+            ProblemSpec::new(100, 4, 20, 30).unwrap()
+        );
+        // Defaults: a = 0, b = n (left-grounded, always feasible for k ≤ n).
+        let s = ProblemSpec::builder(100, 4).build().unwrap();
+        assert_eq!(s, ProblemSpec::new(100, 4, 0, 100).unwrap());
+        // Validation still applies.
+        assert!(ProblemSpec::builder(100, 4).min_size(26).build().is_err());
     }
 
     #[test]

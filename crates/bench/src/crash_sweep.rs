@@ -19,10 +19,10 @@
 //! rest of the sweep. The library tests (`tests/fault_recovery.rs`) run
 //! the same driver exhaustively at small `N` and assert zero failures.
 
-use apsplit::{resume_approx_partitioning, PartitionManifest, ProblemSpec};
-use emcore::{EmConfig, EmContext, EmError, EmFile, FaultPlan};
-use emselect::{resume_multi_select, MsOptions, MultiSelectManifest, Partition};
-use emsort::{resume_sort, SortManifest};
+use apsplit::{PartitionJob, PartitionManifest, ProblemSpec};
+use emcore::{run_recoverable, EmConfig, EmContext, EmError, EmFile, FaultPlan};
+use emselect::{MsOptions, MultiSelectJob, MultiSelectManifest, Partition};
+use emsort::{SortJob, SortManifest};
 use workloads::{materialize, Workload};
 
 use crate::harness::{emit, fnum, Scale, Table};
@@ -197,7 +197,7 @@ fn run_algo(
     let (digest, max_unit_ios, live) = match algo {
         Algo::Sort => {
             let mut m = SortManifest::new(&ctx, None);
-            let sorted = drive!(resume_sort(&input, &mut m));
+            let sorted = drive!(run_recoverable(&ctx, &mut SortJob::new(&input, &mut m)));
             let d = ctx.oracle(|| digest_file(&sorted));
             (d, m.max_unit_ios(), vec![input.id(), sorted.id()])
         }
@@ -210,7 +210,10 @@ fn run_algo(
             };
             let mut m = MultiSelectManifest::new(&input, &select_ranks(n), opts)
                 .map_err(|e| format!("manifest: {e}"))?;
-            let found = drive!(resume_multi_select(&input, &mut m));
+            let found = drive!(run_recoverable(
+                &ctx,
+                &mut MultiSelectJob::new(&input, &mut m)
+            ));
             let mut d = 0xcbf2_9ce4_8422_2325u64;
             for x in &found {
                 d = fnv(d, *x);
@@ -221,7 +224,10 @@ fn run_algo(
             let spec = partition_spec(n);
             let mut m =
                 PartitionManifest::new(&input, &spec).map_err(|e| format!("manifest: {e}"))?;
-            let parts = drive!(resume_approx_partitioning(&input, &mut m));
+            let parts = drive!(run_recoverable(
+                &ctx,
+                &mut PartitionJob::new(&input, &mut m)
+            ));
             let d = ctx.oracle(|| digest_parts(&parts));
             let mut live = vec![input.id()];
             for p in &parts {

@@ -995,6 +995,88 @@ pub fn ex_fault_overhead(scale: Scale) -> Table {
     t
 }
 
+/// EX-PARALLEL: parallel external sort — wall-clock speedup vs worker
+/// count `W` on both backends, with the buffer-pool cache armed. The
+/// parallel sort keeps run boundaries, merge grouping, and fan-in
+/// identical to the sequential plan, so logical I/Os and the sorted
+/// output digest must match at every `W`; only wall-clock moves. Both
+/// invariants are asserted row by row against the `W = 1` baseline.
+pub fn ex_parallel(scale: Scale) -> Table {
+    let n = scale.n();
+    let cache_blocks = 128usize;
+    // The disk backend lands in the OS page cache, where a "transfer" is a
+    // memcpy and overlapping I/O with compute can win nothing — especially
+    // on a single-core host. Simulate a fast-SSD-like per-block latency so
+    // wall-clock reflects the I/O model the sort is designed for (the
+    // memory backend stays unthrottled as the compute-bound contrast).
+    let disk_latency_us = 25u64;
+    let mut t = Table::new(
+        "EX-PARALLEL",
+        &format!(
+            "parallel external sort: speedup vs workers  \
+             [N={n}, cache={cache_blocks} blocks, disk latency {disk_latency_us}µs/block]"
+        ),
+        &[
+            "backend",
+            "W",
+            "wall ms",
+            "speedup",
+            "logical I/O",
+            "physical I/O",
+            "cache hit %",
+        ],
+    );
+    for backend in ["memory", "disk"] {
+        let mut base = None; // (wall seconds, logical I/Os, digest) at W = 1
+        for w in [1usize, 2, 4] {
+            let cfg = bench_config()
+                .with_workers(w)
+                .with_cache_blocks(cache_blocks);
+            let ctx = match backend {
+                "memory" => EmContext::new_in_memory(cfg),
+                _ => EmContext::new_on_disk_temp(cfg.with_device_latency_us(disk_latency_us))
+                    .expect("tempdir"),
+            };
+            let f = materialize(&ctx, Workload::UniformPerm, n, SEED).expect("materialize");
+            let (r, io, dt) = measure(&ctx, || emsort::external_sort(&f));
+            let sorted = r.expect("sort");
+            let digest = ctx
+                .stats()
+                .paused(|| sorted.to_vec())
+                .expect("oracle read")
+                .iter()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, &x| {
+                    (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+                });
+            let secs = dt.as_secs_f64();
+            let (base_secs, base_io, base_digest) =
+                *base.get_or_insert((secs, io.total_ios(), digest));
+            assert_eq!(
+                io.total_ios(),
+                base_io,
+                "{backend}: logical I/Os at W={w} diverge from W=1"
+            );
+            assert_eq!(
+                digest, base_digest,
+                "{backend}: sorted output at W={w} diverges from W=1"
+            );
+            t.row(vec![
+                backend.into(),
+                w.to_string(),
+                fnum(secs * 1e3),
+                format!("{:.2}x", base_secs / secs),
+                io.total_ios().to_string(),
+                io.physical_ios().to_string(),
+                format!("{:.1}", 100.0 * io.cache_hit_rate()),
+            ]);
+        }
+    }
+    t.note("logical I/Os and output digests are identical at every W (asserted): parallelism changes who does each unit of the sequential plan, never the plan itself");
+    t.note("disk speedup comes from overlap — W run-formation workers read/sort/write concurrently, and merges overlap prefetch reads, the loser tree, and write-behind — so block-transfer latency is reclaimed even on a single-core host; the unthrottled memory backend is compute-bound and shows no such gain there");
+    t.note("a streaming sort re-references almost nothing, so the buffer pool's hit rate stays near zero — the EM model's point that caching cannot rescue one-pass algorithms; hits appear on re-referencing workloads (see emcore::BlockCache tests)");
+    t
+}
+
 /// Run every experiment and emit all tables.
 pub fn all_experiments(scale: Scale) -> Vec<Table> {
     let tables = vec![
@@ -1017,6 +1099,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         ex_geometry(scale),
         ex_reduction(scale),
         ex_fault_overhead(scale),
+        ex_parallel(scale),
         crate::crash_sweep::ex_recovery(scale),
     ];
     for t in &tables {

@@ -20,10 +20,22 @@ use crate::error::{EmError, Result};
 pub struct EmConfig {
     mem_capacity: usize,
     block_size: usize,
+    workers: usize,
+    cache_blocks: usize,
+    device_latency_us: u64,
 }
 
 impl EmConfig {
-    /// Create a configuration with memory capacity `m` and block size `b`.
+    /// Create a configuration with memory capacity `m` and block size `b`,
+    /// one worker, and the block cache disabled. Use [`EmConfig::builder`]
+    /// (or the `with_*` methods) to enable parallelism or caching.
+    ///
+    /// The `EM_TEST_WORKERS` environment variable, when set to an integer
+    /// ≥ 1, overrides the *default* worker count. This is a CI hook: the
+    /// parallel sort is I/O-identical to the sequential one, so the whole
+    /// test suite is run twice — at `workers = 1` and `workers = 4` — and
+    /// must pass unchanged. Explicit [`EmConfig::with_workers`] or
+    /// [`EmConfigBuilder::workers`] settings always win over the variable.
     ///
     /// # Errors
     ///
@@ -38,10 +50,82 @@ impl EmConfig {
                 2 * b
             )));
         }
+        let workers = std::env::var("EM_TEST_WORKERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&w: &usize| w >= 1)
+            .unwrap_or(1);
         Ok(Self {
             mem_capacity: m,
             block_size: b,
+            workers,
+            cache_blocks: 0,
+            device_latency_us: 0,
         })
+    }
+
+    /// Start a fluent [`EmConfigBuilder`] with the default geometry
+    /// (`M = 4096`, `B = 64`, one worker, cache disabled).
+    pub fn builder() -> EmConfigBuilder {
+        EmConfigBuilder::default()
+    }
+
+    /// This configuration with `workers` worker threads (clamped to ≥ 1).
+    /// Parallel algorithms (e.g. `emsort`'s parallel external sort) split
+    /// their work across this many threads; `workers = 1` is the sequential
+    /// fast path and reproduces single-threaded I/O counts exactly.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// This configuration with a buffer-pool block cache of `cache_blocks`
+    /// blocks (`0` disables the cache — the default, which keeps every
+    /// logical I/O physical).
+    pub fn with_cache_blocks(mut self, cache_blocks: usize) -> Self {
+        self.cache_blocks = cache_blocks;
+        self
+    }
+
+    /// Worker threads available to parallel algorithms (≥ 1).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Buffer-pool capacity in blocks; `0` means the cache is disabled.
+    #[inline]
+    pub fn cache_blocks(&self) -> usize {
+        self.cache_blocks
+    }
+
+    /// This configuration with a simulated per-transfer device latency of
+    /// `us` microseconds on the disk backend (`0` — the default — disables
+    /// the throttle).
+    ///
+    /// The disk backend normally lands in the OS page cache, so a "block
+    /// transfer" costs a memcpy and wall-clock time says nothing about how
+    /// the algorithm would behave against a device where a transfer takes
+    /// tens of microseconds. With a nonzero latency every *physical* disk
+    /// block transfer additionally sleeps this long, making wall-clock a
+    /// faithful proxy for the I/O model: overlapped transfers (prefetch /
+    /// write-behind threads) genuinely reclaim the latency, and block-cache
+    /// hits — which do no physical transfer — genuinely avoid it. Logical
+    /// and physical I/O *counts* are unaffected.
+    ///
+    /// Note `std::thread::sleep` granularity puts a floor (typically
+    /// 50–100 µs) under the effective latency; treat small values as "at
+    /// least this much".
+    pub fn with_device_latency_us(mut self, us: u64) -> Self {
+        self.device_latency_us = us;
+        self
+    }
+
+    /// Simulated device latency per physical disk transfer, in
+    /// microseconds; `0` means transfers run at page-cache speed.
+    #[inline]
+    pub fn device_latency_us(&self) -> u64 {
+        self.device_latency_us
     }
 
     /// A small configuration convenient for unit tests: `M = 256`, `B = 16`.
@@ -119,11 +203,106 @@ impl std::fmt::Display for EmConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "EM(M={}, B={}, M/B={})",
+            "EM(M={}, B={}, M/B={}",
             self.mem_capacity,
             self.block_size,
             self.blocks_in_mem()
-        )
+        )?;
+        if self.workers > 1 {
+            write!(f, ", W={}", self.workers)?;
+        }
+        if self.cache_blocks > 0 {
+            write!(f, ", cache={}", self.cache_blocks)?;
+        }
+        if self.device_latency_us > 0 {
+            write!(f, ", lat={}µs", self.device_latency_us)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Fluent builder for [`EmConfig`]; obtained from [`EmConfig::builder`].
+///
+/// ```
+/// use emcore::EmConfig;
+///
+/// let cfg = EmConfig::builder()
+///     .mem(65536)
+///     .block(1024)
+///     .workers(4)
+///     .cache_blocks(32)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.blocks_in_mem(), 64);
+/// assert_eq!(cfg.workers(), 4);
+/// assert_eq!(cfg.cache_blocks(), 32);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EmConfigBuilder {
+    mem: usize,
+    block: usize,
+    workers: usize,
+    cache_blocks: usize,
+    device_latency_us: u64,
+}
+
+impl Default for EmConfigBuilder {
+    fn default() -> Self {
+        Self {
+            mem: 4096,
+            block: 64,
+            workers: 1,
+            cache_blocks: 0,
+            device_latency_us: 0,
+        }
+    }
+}
+
+impl EmConfigBuilder {
+    /// Memory capacity `M` in records (default 4096).
+    pub fn mem(mut self, m: usize) -> Self {
+        self.mem = m;
+        self
+    }
+
+    /// Block size `B` in records (default 64).
+    pub fn block(mut self, b: usize) -> Self {
+        self.block = b;
+        self
+    }
+
+    /// Worker threads for parallel algorithms (default 1; clamped to ≥ 1 at
+    /// build).
+    pub fn workers(mut self, w: usize) -> Self {
+        self.workers = w;
+        self
+    }
+
+    /// Buffer-pool block-cache capacity in blocks (default 0 = disabled).
+    pub fn cache_blocks(mut self, c: usize) -> Self {
+        self.cache_blocks = c;
+        self
+    }
+
+    /// Simulated device latency per physical disk transfer in microseconds
+    /// (default 0 = page-cache speed); see
+    /// [`EmConfig::with_device_latency_us`].
+    pub fn device_latency_us(mut self, us: u64) -> Self {
+        self.device_latency_us = us;
+        self
+    }
+
+    /// Validate and build the [`EmConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::Config`] under the same geometry rules as
+    /// [`EmConfig::new`].
+    pub fn build(self) -> Result<EmConfig> {
+        Ok(EmConfig::new(self.mem, self.block)?
+            .with_workers(self.workers)
+            .with_cache_blocks(self.cache_blocks)
+            .with_device_latency_us(self.device_latency_us))
     }
 }
 
@@ -174,11 +353,60 @@ mod tests {
         assert!((c.lg_mb(1024.0) - 2.0).abs() < 1e-9);
     }
 
+    /// What `EmConfig::new` should default `workers` to, honouring the
+    /// `EM_TEST_WORKERS` CI hook so these tests pass under both suite runs.
+    fn env_default_workers() -> usize {
+        std::env::var("EM_TEST_WORKERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&w: &usize| w >= 1)
+            .unwrap_or(1)
+    }
+
     #[test]
     fn display_mentions_parameters() {
-        let c = EmConfig::tiny();
+        let c = EmConfig::tiny().with_workers(1);
         let s = format!("{c}");
         assert!(s.contains("M=256"));
         assert!(s.contains("B=16"));
+        assert!(!s.contains("W="), "workers hidden at default: {s}");
+        let p = format!("{}", c.with_workers(4).with_cache_blocks(8));
+        assert!(p.contains("W=4") && p.contains("cache=8"), "{p}");
+    }
+
+    #[test]
+    fn defaults_sequential_uncached() {
+        let c = EmConfig::new(1024, 32).unwrap();
+        assert_eq!(c.workers(), env_default_workers());
+        assert_eq!(c.cache_blocks(), 0);
+    }
+
+    #[test]
+    fn with_workers_clamps_to_one() {
+        let c = EmConfig::tiny().with_workers(0);
+        assert_eq!(c.workers(), 1);
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let c = EmConfig::builder()
+            .mem(256)
+            .block(16)
+            .workers(3)
+            .cache_blocks(5)
+            .build()
+            .unwrap();
+        assert_eq!(c.mem_capacity(), 256);
+        assert_eq!(c.block_size(), 16);
+        assert_eq!(c.workers(), 3);
+        assert_eq!(c.cache_blocks(), 5);
+        // Geometry validation still applies.
+        assert!(EmConfig::builder().mem(8).block(16).build().is_err());
+        // Defaults match `medium` (the builder pins workers explicitly, so
+        // normalise the env-sensitive default on the `medium` side).
+        assert_eq!(
+            EmConfig::builder().build().unwrap(),
+            EmConfig::medium().with_workers(1)
+        );
     }
 }

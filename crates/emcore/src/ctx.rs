@@ -1,16 +1,17 @@
 //! The execution context: model parameters + shared accounting + backing
 //! store for block files.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::config::EmConfig;
 use crate::error::Result;
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::file::{EmFile, Writer};
 use crate::memory::{MemoryTracker, TrackedVec};
+use crate::pool::BlockCache;
 use crate::record::Record;
 use crate::stats::IoStats;
 use crate::trace::{JsonlSink, TraceSink, Tracer};
@@ -29,13 +30,20 @@ pub(crate) struct CtxInner {
     pub(crate) tracer: Tracer,
     pub(crate) mem: MemoryTracker,
     pub(crate) backing: Backing,
-    next_file_id: Cell<u64>,
-    pub(crate) fault_plan: RefCell<Option<FaultPlan>>,
-    pub(crate) retry_policy: Cell<RetryPolicy>,
-    pub(crate) backoff_ticks: Cell<u64>,
+    /// The shared buffer-pool block cache (disabled when
+    /// [`EmConfig::cache_blocks`] is 0).
+    pub(crate) cache: BlockCache,
+    next_file_id: AtomicU64,
+    /// Fast-path mirror of `fault_plan.is_some()`: the device layer checks
+    /// this relaxed flag on every transfer and skips the plan mutex
+    /// entirely when no faults are armed.
+    pub(crate) fault_armed: std::sync::atomic::AtomicBool,
+    pub(crate) fault_plan: Mutex<Option<FaultPlan>>,
+    pub(crate) retry_policy: Mutex<RetryPolicy>,
+    pub(crate) backoff_ticks: AtomicU64,
     /// Committed journal documents on the memory backend (the directory
     /// backend stores them as `<name>.journal` files instead).
-    journals: RefCell<HashMap<String, String>>,
+    journals: Mutex<HashMap<String, String>>,
 }
 
 impl Drop for CtxInner {
@@ -49,6 +57,10 @@ impl Drop for CtxInner {
 /// A handle to an external-memory "machine": the `(M, B)` configuration, the
 /// I/O counters, the memory meter, and the backing store where block files
 /// live. Clones share all state.
+///
+/// The handle is `Send + Sync`: clones can be moved to worker threads and
+/// used concurrently. Counters are atomics or mutex-protected, so the
+/// single-threaded fast path pays only uncontended-lock cost.
 ///
 /// ```
 /// use emcore::{EmConfig, EmContext};
@@ -64,7 +76,7 @@ impl Drop for CtxInner {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EmContext {
-    pub(crate) inner: Rc<CtxInner>,
+    pub(crate) inner: Arc<CtxInner>,
 }
 
 impl EmContext {
@@ -122,17 +134,19 @@ impl EmContext {
         let stats = IoStats::new();
         let tracer = stats.tracer();
         Self {
-            inner: Rc::new(CtxInner {
+            inner: Arc::new(CtxInner {
                 config,
                 stats,
                 tracer,
                 mem: MemoryTracker::new(config.mem_capacity(), strict),
                 backing,
-                next_file_id: Cell::new(0),
-                fault_plan: RefCell::new(None),
-                retry_policy: Cell::new(RetryPolicy::NONE),
-                backoff_ticks: Cell::new(0),
-                journals: RefCell::new(HashMap::new()),
+                cache: BlockCache::new(config.cache_blocks()),
+                next_file_id: AtomicU64::new(0),
+                fault_armed: std::sync::atomic::AtomicBool::new(false),
+                fault_plan: Mutex::new(None),
+                retry_policy: Mutex::new(RetryPolicy::NONE),
+                backoff_ticks: AtomicU64::new(0),
+                journals: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -194,10 +208,16 @@ impl EmContext {
         self.inner.config.mem_capacity() / T::WORDS
     }
 
+    /// The shared buffer-pool block cache (inert unless the context was
+    /// built with [`EmConfig::cache_blocks`] > 0).
+    #[inline]
+    pub fn cache(&self) -> &BlockCache {
+        &self.inner.cache
+    }
+
     /// Create an empty block file.
     pub fn create_file<T: Record>(&self) -> Result<EmFile<T>> {
-        let id = self.inner.next_file_id.get();
-        self.inner.next_file_id.set(id + 1);
+        let id = self.inner.next_file_id.fetch_add(1, Ordering::Relaxed);
         EmFile::create(self.clone(), id)
     }
 
@@ -219,9 +239,7 @@ impl EmContext {
                 "open_file: cross-process reopen requires a directory-backed context",
             ));
         }
-        if self.inner.next_file_id.get() <= id {
-            self.inner.next_file_id.set(id + 1);
-        }
+        self.inner.next_file_id.fetch_max(id + 1, Ordering::Relaxed);
         EmFile::open_existing(self.clone(), id, len)
     }
 
@@ -273,15 +291,15 @@ impl EmContext {
     }
 
     pub(crate) fn journal_get(&self, name: &str) -> Option<String> {
-        self.inner.journals.borrow().get(name).cloned()
+        lock_ok(&self.inner.journals).get(name).cloned()
     }
 
     pub(crate) fn journal_put(&self, name: &str, doc: String) {
-        self.inner.journals.borrow_mut().insert(name.into(), doc);
+        lock_ok(&self.inner.journals).insert(name.into(), doc);
     }
 
     pub(crate) fn journal_remove(&self, name: &str) {
-        self.inner.journals.borrow_mut().remove(name);
+        lock_ok(&self.inner.journals).remove(name);
     }
 
     /// Install a [`FaultPlan`]: every subsequent block transfer on this
@@ -289,40 +307,52 @@ impl EmContext {
     /// handle to inspect [`FaultPlan::injected`] or to
     /// [`FaultPlan::clear_crash`].
     pub fn install_fault_plan(&self, plan: FaultPlan) {
-        *self.inner.fault_plan.borrow_mut() = Some(plan);
+        *lock_ok(&self.inner.fault_plan) = Some(plan);
+        self.inner
+            .fault_armed
+            .store(true, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Remove any installed fault plan.
     pub fn clear_fault_plan(&self) {
-        *self.inner.fault_plan.borrow_mut() = None;
+        *lock_ok(&self.inner.fault_plan) = None;
+        self.inner
+            .fault_armed
+            .store(false, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// The installed fault plan, if any.
+    /// The installed fault plan, if any. A relaxed armed-flag check keeps
+    /// the no-faults case lock-free on the per-transfer path.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
-        self.inner.fault_plan.borrow().clone()
+        if !self
+            .inner
+            .fault_armed
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return None;
+        }
+        lock_ok(&self.inner.fault_plan).clone()
     }
 
     /// Set the retry policy applied to every block transfer.
     pub fn set_retry_policy(&self, policy: RetryPolicy) {
-        self.inner.retry_policy.set(policy);
+        *lock_ok(&self.inner.retry_policy) = policy;
     }
 
     /// The current retry policy.
     #[inline]
     pub fn retry_policy(&self) -> RetryPolicy {
-        self.inner.retry_policy.get()
+        *lock_ok(&self.inner.retry_policy)
     }
 
     /// Virtual backoff ticks accumulated by retried I/Os (see
     /// [`RetryPolicy`]).
     pub fn backoff_ticks(&self) -> u64 {
-        self.inner.backoff_ticks.get()
+        self.inner.backoff_ticks.load(Ordering::Relaxed)
     }
 
     pub(crate) fn note_backoff(&self, ticks: u64) {
-        self.inner
-            .backoff_ticks
-            .set(self.inner.backoff_ticks.get().saturating_add(ticks));
+        self.inner.backoff_ticks.fetch_add(ticks, Ordering::Relaxed);
     }
 
     /// Run `f` as an *oracle*: I/O accounting is paused and fault injection
@@ -375,6 +405,12 @@ impl EmContext {
     }
 }
 
+/// Lock a mutex, recovering the data from a poisoned lock (a panicking
+/// worker must not wedge the shared context for everyone else).
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// Parse `em-<id>.bin` back to its id (inverse of [`EmContext::file_path`]).
 fn parse_block_file_name(name: &std::ffi::OsStr) -> Option<u64> {
     let s = name.to_str()?;
@@ -412,6 +448,36 @@ mod tests {
             assert!(dir.exists());
         }
         assert!(!dir.exists(), "temp dir should be removed on drop");
+    }
+
+    #[test]
+    fn context_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmContext>();
+    }
+
+    #[test]
+    fn file_ids_unique_across_threads() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut ids: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let ctx = ctx.clone();
+                    s.spawn(move || {
+                        (0..25)
+                            .map(|_| ctx.create_file::<u64>().unwrap().id())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100, "no two files may share an id");
     }
 
     #[test]

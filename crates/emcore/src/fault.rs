@@ -24,8 +24,7 @@
 //! every checksum miss increments [`crate::Counters::corrupt_reads`], both
 //! attributed to the enclosing [`crate::IoStats`] phase.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::rng::SplitMix64;
 
@@ -194,9 +193,15 @@ struct PlanInner {
 /// A seeded, deterministic fault schedule shared by all clones (install a
 /// clone on the context, keep one to query [`FaultPlan::injected`] or to
 /// [`FaultPlan::clear_crash`] after a simulated crash).
+///
+/// Thread-safe: `decide` serialises behind a mutex, so concurrent workers
+/// observe a single global attempt order and the injected-fault counters
+/// are race-free. (With more than one thread the *interleaving* of
+/// attempts is scheduler-dependent, so positional triggers are only
+/// reproducible for single-threaded runs.)
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
-    inner: Rc<RefCell<PlanInner>>,
+    inner: Arc<Mutex<PlanInner>>,
 }
 
 impl FaultPlan {
@@ -204,7 +209,7 @@ impl FaultPlan {
     /// [`Trigger::Rate`] draws.
     pub fn new(seed: u64) -> Self {
         Self {
-            inner: Rc::new(RefCell::new(PlanInner {
+            inner: Arc::new(Mutex::new(PlanInner {
                 specs: Vec::new(),
                 rng: SplitMix64::new(seed),
                 attempts: 0,
@@ -217,9 +222,13 @@ impl FaultPlan {
         }
     }
 
+    fn lock(&self) -> MutexGuard<'_, PlanInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Add a schedule entry (builder style).
     pub fn with(self, spec: FaultSpec) -> Self {
-        self.inner.borrow_mut().specs.push(spec);
+        self.lock().specs.push(spec);
         self
     }
 
@@ -250,23 +259,23 @@ impl FaultPlan {
 
     /// Faults injected so far.
     pub fn injected(&self) -> FaultCounts {
-        self.inner.borrow().injected
+        self.lock().injected
     }
 
     /// Device attempts observed so far (successful or not, reads + writes).
     pub fn attempts(&self) -> u64 {
-        self.inner.borrow().attempts
+        self.lock().attempts
     }
 
     /// Whether a [`FaultKind::Fatal`] fault has fired and not been cleared.
     pub fn is_crashed(&self) -> bool {
-        self.inner.borrow().crashed
+        self.lock().crashed
     }
 
     /// Model a restart after a crash: subsequent I/O proceeds normally
     /// (the schedule keeps advancing from where it was).
     pub fn clear_crash(&self) {
-        self.inner.borrow_mut().crashed = false;
+        self.lock().crashed = false;
     }
 
     /// Run `f` with injection suspended (attempt counters do not advance).
@@ -274,7 +283,7 @@ impl FaultPlan {
     /// subject to the fault schedule. Suspensions nest. A pending crash
     /// still blocks I/O — a crashed machine cannot run oracles either.
     pub fn suspended<R>(&self, f: impl FnOnce() -> R) -> R {
-        self.inner.borrow_mut().suspended += 1;
+        self.lock().suspended += 1;
         let _guard = SuspendGuard { plan: self };
         f()
     }
@@ -283,7 +292,7 @@ impl FaultPlan {
     /// fault to inject, if any; `None` means the attempt proceeds normally.
     /// A pending crash reports as `Fatal` without advancing the schedule.
     pub(crate) fn decide(&self, op: IoOp) -> Option<FaultKind> {
-        let mut g = self.inner.borrow_mut();
+        let mut g = self.lock();
         if g.suspended > 0 && !g.crashed {
             return None;
         }
@@ -336,7 +345,7 @@ impl FaultPlan {
     /// The global attempt index of the *next* device attempt (for error
     /// reporting: the index at which a fault fired).
     pub(crate) fn last_attempt_index(&self) -> u64 {
-        self.inner.borrow().attempts.saturating_sub(1)
+        self.lock().attempts.saturating_sub(1)
     }
 }
 
@@ -346,7 +355,7 @@ struct SuspendGuard<'a> {
 
 impl Drop for SuspendGuard<'_> {
     fn drop(&mut self) {
-        self.plan.inner.borrow_mut().suspended -= 1;
+        self.plan.lock().suspended -= 1;
     }
 }
 

@@ -32,10 +32,20 @@
 //!
 //! Byte counters (`bytes_read`/`bytes_written`) account payload only, not
 //! checksums, so they keep meaning "record bytes moved".
+//!
+//! ## Logical vs physical I/O
+//!
+//! When the context has a [`crate::BlockCache`], a read that hits the cache
+//! is still charged one *logical* I/O (`reads` — the model's currency) but
+//! no *physical* transfer happens: the fault plan is not consulted and
+//! `physical_reads` does not move. Writes are write-through (every write is
+//! physical) and invalidate any cached frame, so persisted corruption is
+//! still caught by the next physical read.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::fs::File;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::checksum::block_checksum;
 use crate::ctx::EmContext;
@@ -48,14 +58,17 @@ use crate::trace::PointKind;
 /// Width of the per-block checksum on the file backend.
 const CHECKSUM_BYTES: usize = 8;
 
+thread_local! {
+    /// Per-thread byte scratch for disk-backend block encode/decode.
+    /// Thread-local (rather than per-file) so concurrent readers of the
+    /// same file never contend on — or panic over — one shared buffer.
+    static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
 #[derive(Debug)]
 enum Storage<T: Record> {
     Mem(Vec<Box<[T]>>),
-    Disk {
-        file: File,
-        path: PathBuf,
-        scratch: RefCell<Vec<u8>>,
-    },
+    Disk { file: File, path: PathBuf },
 }
 
 /// Outcome of consulting the fault plan that the device handler must act on
@@ -108,12 +121,18 @@ fn consult_plan(ctx: &EmContext, op: IoOp, file: u64) -> Result<Injected> {
 /// failures are retried up to `max_attempts` total attempts, charging one
 /// `retries` count and a deterministic backoff per failed attempt.
 fn with_retries<R>(ctx: &EmContext, mut attempt: impl FnMut() -> Result<R>) -> Result<R> {
-    let policy = ctx.retry_policy();
+    // The policy is only consulted after a failure, so the (overwhelmingly
+    // common) clean transfer never touches the policy mutex.
+    let mut policy: Option<crate::RetryPolicy> = None;
     let mut failed: u32 = 0;
     loop {
         match attempt() {
             Ok(r) => return Ok(r),
-            Err(e) if e.is_retryable() && failed + 1 < policy.max_attempts => {
+            Err(e) if e.is_retryable() => {
+                let p = *policy.get_or_insert_with(|| ctx.retry_policy());
+                if failed + 1 >= p.max_attempts {
+                    return Err(e);
+                }
                 failed += 1;
                 ctx.stats().record_retry();
                 if ctx.tracer().is_enabled() && !ctx.stats().is_paused() {
@@ -125,10 +144,21 @@ fn with_retries<R>(ctx: &EmContext, mut attempt: impl FnMut() -> Result<R>) -> R
                     };
                     ctx.tracer().point(PointKind::Retry { op });
                 }
-                ctx.note_backoff(policy.backoff_ticks(failed));
+                ctx.note_backoff(p.backoff_ticks(failed));
             }
             Err(e) => return Err(e),
         }
+    }
+}
+
+/// Charge the configured simulated device latency for one physical disk
+/// transfer. No locks are held here, so concurrent transfers (prefetch
+/// threads, write-behind) overlap their sleeps exactly as overlapped
+/// requests would on a real device.
+fn throttle_device(ctx: &EmContext) {
+    let us = ctx.config().device_latency_us();
+    if us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(us));
     }
 }
 
@@ -152,7 +182,7 @@ pub struct EmFile<T: Record> {
     /// When set, dropping the handle leaves the backing file on disk —
     /// used for files referenced by a checkpoint journal, which must
     /// survive a (simulated or real) process exit for resume.
-    persistent: Cell<bool>,
+    persistent: AtomicBool,
 }
 
 impl<T: Record> EmFile<T> {
@@ -166,11 +196,7 @@ impl<T: Record> EmFile<T> {
                     .create(true)
                     .truncate(true)
                     .open(&path)?;
-                Storage::Disk {
-                    file,
-                    path,
-                    scratch: RefCell::new(Vec::new()),
-                }
+                Storage::Disk { file, path }
             }
         };
         Ok(Self {
@@ -178,7 +204,7 @@ impl<T: Record> EmFile<T> {
             storage,
             len: 0,
             id,
-            persistent: Cell::new(false),
+            persistent: AtomicBool::new(false),
         })
     }
 
@@ -203,14 +229,10 @@ impl<T: Record> EmFile<T> {
         }
         let f = Self {
             ctx,
-            storage: Storage::Disk {
-                file,
-                path,
-                scratch: RefCell::new(Vec::new()),
-            },
+            storage: Storage::Disk { file, path },
             len,
             id,
-            persistent: Cell::new(true),
+            persistent: AtomicBool::new(true),
         };
         // A fresh context's gauge starts at zero; reopened blocks re-enter
         // it so live/peak reflect what is actually on the backing store.
@@ -224,13 +246,13 @@ impl<T: Record> EmFile<T> {
     /// intentional releases delete data as usual.
     #[inline]
     pub fn set_persistent(&self, keep: bool) {
-        self.persistent.set(keep);
+        self.persistent.store(keep, Ordering::Relaxed);
     }
 
     /// Whether the backing file survives this handle's drop.
     #[inline]
     pub fn persistent(&self) -> bool {
-        self.persistent.get()
+        self.persistent.load(Ordering::Relaxed)
     }
 
     /// The owning context.
@@ -298,36 +320,42 @@ impl<T: Record> EmFile<T> {
                     buf[0] = flip_record_bit(&buf[0]);
                 }
                 self.ctx.stats().record_read_block(self.id, block, 0);
+                self.ctx.stats().record_physical_read();
             }
-            Storage::Disk { file, scratch, .. } => {
+            Storage::Disk { file, .. } => {
                 use std::os::unix::fs::FileExt;
                 let bytes = count * T::BYTES;
                 let off = block * self.disk_stride();
-                let mut sc = scratch.borrow_mut();
-                sc.resize(bytes + CHECKSUM_BYTES, 0);
-                let (payload, sum) = sc.split_at_mut(bytes);
-                file.read_exact_at(payload, off)?;
-                file.read_exact_at(sum, off + (self.block_capacity() * T::BYTES) as u64)?;
-                if matches!(injected, Injected::Corrupt) && bytes > 0 {
-                    payload[0] ^= 1;
-                }
-                let stored = u64::from_le_bytes(sum.try_into().map_err(|_| EmError::Corrupt {
-                    block,
-                    file: self.id,
-                })?);
-                if block_checksum(payload) != stored {
-                    self.ctx.stats().record_corrupt_read();
-                    return Err(EmError::Corrupt {
-                        block,
-                        file: self.id,
-                    });
-                }
-                for i in 0..count {
-                    buf.push(T::read_bytes(&payload[i * T::BYTES..]));
-                }
+                SCRATCH.with_borrow_mut(|sc| {
+                    sc.resize(bytes + CHECKSUM_BYTES, 0);
+                    let (payload, sum) = sc.split_at_mut(bytes);
+                    file.read_exact_at(payload, off)?;
+                    file.read_exact_at(sum, off + (self.block_capacity() * T::BYTES) as u64)?;
+                    if matches!(injected, Injected::Corrupt) && bytes > 0 {
+                        payload[0] ^= 1;
+                    }
+                    let stored =
+                        u64::from_le_bytes(sum.try_into().map_err(|_| EmError::Corrupt {
+                            block,
+                            file: self.id,
+                        })?);
+                    if block_checksum(payload) != stored {
+                        self.ctx.stats().record_corrupt_read();
+                        return Err(EmError::Corrupt {
+                            block,
+                            file: self.id,
+                        });
+                    }
+                    for i in 0..count {
+                        buf.push(T::read_bytes(&payload[i * T::BYTES..]));
+                    }
+                    Ok(())
+                })?;
                 self.ctx
                     .stats()
                     .record_read_block(self.id, block, bytes as u64);
+                self.ctx.stats().record_physical_read();
+                throttle_device(&self.ctx);
             }
         }
         Ok(())
@@ -365,45 +393,50 @@ impl<T: Record> EmFile<T> {
                     Injected::None => store(blocks, data.to_vec().into_boxed_slice()),
                 }
                 self.ctx.stats().record_write_block(self.id, slot, 0);
+                self.ctx.stats().record_physical_write();
             }
-            Storage::Disk { file, scratch, .. } => {
+            Storage::Disk { file, .. } => {
                 use std::os::unix::fs::FileExt;
                 let bytes = data.len() * T::BYTES;
                 let cap_bytes = self.ctx.config().block_records_for_width(T::WORDS) * T::BYTES;
                 let off = slot * ((cap_bytes + CHECKSUM_BYTES) as u64);
-                let mut sc = scratch.borrow_mut();
-                sc.clear();
-                sc.resize(cap_bytes + CHECKSUM_BYTES, 0);
-                for (i, r) in data.iter().enumerate() {
-                    r.write_bytes(&mut sc[i * T::BYTES..(i + 1) * T::BYTES]);
-                }
-                // Checksum covers the payload as it *should* be; a
-                // corrupting fault damages the payload after this point so
-                // the damage is detectable on read.
-                let sum = block_checksum(&sc[..bytes]);
-                sc[cap_bytes..].copy_from_slice(&sum.to_le_bytes());
-                match injected {
-                    Injected::Torn(index) => {
-                        // Persist only a payload prefix; the checksum slot
-                        // keeps whatever it held (zeroes for a fresh block),
-                        // so a read of the torn block reports Corrupt.
-                        file.write_all_at(&sc[..bytes / 2], off)?;
-                        return Err(EmError::Transient {
-                            op: IoOp::Write,
-                            index,
-                        });
+                SCRATCH.with_borrow_mut(|sc| {
+                    sc.clear();
+                    sc.resize(cap_bytes + CHECKSUM_BYTES, 0);
+                    for (i, r) in data.iter().enumerate() {
+                        r.write_bytes(&mut sc[i * T::BYTES..(i + 1) * T::BYTES]);
                     }
-                    Injected::Corrupt => {
-                        if bytes > 0 {
-                            sc[0] ^= 1;
+                    // Checksum covers the payload as it *should* be; a
+                    // corrupting fault damages the payload after this point so
+                    // the damage is detectable on read.
+                    let sum = block_checksum(&sc[..bytes]);
+                    sc[cap_bytes..].copy_from_slice(&sum.to_le_bytes());
+                    match injected {
+                        Injected::Torn(index) => {
+                            // Persist only a payload prefix; the checksum slot
+                            // keeps whatever it held (zeroes for a fresh block),
+                            // so a read of the torn block reports Corrupt.
+                            file.write_all_at(&sc[..bytes / 2], off)?;
+                            return Err(EmError::Transient {
+                                op: IoOp::Write,
+                                index,
+                            });
                         }
+                        Injected::Corrupt => {
+                            if bytes > 0 {
+                                sc[0] ^= 1;
+                            }
+                        }
+                        Injected::None => {}
                     }
-                    Injected::None => {}
-                }
-                file.write_all_at(&sc[..], off)?;
+                    file.write_all_at(&sc[..], off)?;
+                    Ok(())
+                })?;
                 self.ctx
                     .stats()
                     .record_write_block(self.id, slot, bytes as u64);
+                self.ctx.stats().record_physical_write();
+                throttle_device(&self.ctx);
             }
         }
         Ok(())
@@ -421,9 +454,42 @@ impl<T: Record> EmFile<T> {
             return Err(EmError::OutOfBounds { block, blocks: nb });
         }
         let count = self.block_len(block);
+        let cache = self.ctx.cache();
+        // Oracle (paused) reads bypass the cache entirely — lookups and
+        // population both — so verification scans leave the pool exactly as
+        // if they never ran and physical counts stay reproducible.
+        let use_cache = cache.is_enabled() && !self.ctx.stats().is_paused();
+        if use_cache {
+            if let Some(pin) = cache.get(self.id, block) {
+                // Cache hit: one logical I/O is charged (the model's view is
+                // unchanged), but no device transfer happens — the fault
+                // plan is not consulted and `physical_reads` does not move.
+                buf.clear();
+                for i in 0..count {
+                    buf.push(T::read_bytes(&pin[i * T::BYTES..]));
+                }
+                let bytes = match &self.storage {
+                    Storage::Mem(_) => 0,
+                    Storage::Disk { .. } => (count * T::BYTES) as u64,
+                };
+                self.ctx.stats().record_read_block(self.id, block, bytes);
+                self.ctx.stats().record_cache_hit();
+                return Ok(());
+            }
+            self.ctx.stats().record_cache_miss();
+        }
         let ctx = self.ctx.clone();
         with_retries(&ctx, || self.device_read(block, count, buf))?;
         debug_assert_eq!(buf.len(), count);
+        if use_cache {
+            // Populate from the verified payload only (never from writes),
+            // so a cached frame is always known-good bytes.
+            let mut bytes = vec![0u8; count * T::BYTES];
+            for (i, r) in buf.iter().enumerate() {
+                r.write_bytes(&mut bytes[i * T::BYTES..(i + 1) * T::BYTES]);
+            }
+            cache.insert(self.id, block, &bytes);
+        }
         Ok(())
     }
 
@@ -446,6 +512,9 @@ impl<T: Record> EmFile<T> {
             ));
         }
         let slot = self.len / b as u64;
+        // Write-through: any cached frame for this slot (possible after a
+        // `clear`) must not outlive the device write.
+        self.ctx.cache().invalidate(self.id, slot);
         let ctx = self.ctx.clone();
         with_retries(&ctx, || self.device_write(slot, data))?;
         self.len += data.len() as u64;
@@ -463,6 +532,7 @@ impl<T: Record> EmFile<T> {
             Storage::Disk { file, .. } => file.set_len(0)?,
         }
         self.len = 0;
+        self.ctx.cache().invalidate_file(self.id);
         self.ctx.tracer().note_blocks_free(released);
         Ok(())
     }
@@ -507,10 +577,11 @@ impl<T: Record> EmFile<T> {
 
 impl<T: Record> Drop for EmFile<T> {
     fn drop(&mut self) {
-        if self.persistent.get() {
+        if self.persistent() {
             // The backing file survives: its blocks stay in the gauge.
             return;
         }
+        self.ctx.cache().invalidate_file(self.id);
         self.ctx.tracer().note_blocks_free(self.num_blocks());
         if let Storage::Disk { path, .. } = &self.storage {
             let _ = std::fs::remove_file(path);
@@ -939,6 +1010,103 @@ mod tests {
         assert_eq!(r.remaining(), 15);
         while r.next().unwrap().is_some() {}
         assert_eq!(r.remaining(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer-pool cache: logical vs physical accounting
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn without_cache_physical_equals_logical() {
+        let ctx = mem_ctx();
+        let data: Vec<u64> = (0..64).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let _ = f.to_vec().unwrap();
+        let _ = f.to_vec().unwrap();
+        let c = ctx.stats().snapshot();
+        assert_eq!(c.physical_reads, c.reads);
+        assert_eq!(c.physical_writes, c.writes);
+        assert_eq!(c.cache_hits, 0);
+        assert_eq!(c.cache_misses, 0);
+        assert_eq!(c.logical_ios(), c.physical_ios());
+    }
+
+    #[test]
+    fn cache_hits_absorb_physical_reads_only() {
+        for disk in [false, true] {
+            let cfg = EmConfig::tiny().with_cache_blocks(8);
+            let ctx = if disk {
+                EmContext::new_on_disk_temp(cfg).unwrap()
+            } else {
+                EmContext::new_in_memory(cfg)
+            };
+            let data: Vec<u64> = (0..64).collect(); // 4 blocks
+            let f = EmFile::from_slice(&ctx, &data).unwrap();
+            assert_eq!(f.to_vec().unwrap(), data); // 4 misses
+            assert_eq!(f.to_vec().unwrap(), data); // 4 hits
+            let c = ctx.stats().snapshot();
+            assert_eq!(c.reads, 8, "logical reads unchanged by the cache");
+            assert_eq!(c.physical_reads, 4, "second scan served from cache");
+            assert_eq!(c.cache_misses, 4);
+            assert_eq!(c.cache_hits, 4);
+            assert_eq!(c.reads, c.cache_hits + c.cache_misses);
+            assert_eq!(c.physical_writes, c.writes, "writes are write-through");
+            if disk {
+                // Hit path charges the same payload bytes a physical read would.
+                assert_eq!(c.bytes_read, 2 * 64 * 8);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_eviction_bounded_by_capacity() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny().with_cache_blocks(2));
+        let data: Vec<u64> = (0..64).collect(); // 4 blocks > 2 frames
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let _ = f.to_vec().unwrap();
+        let _ = f.to_vec().unwrap();
+        let c = ctx.stats().snapshot();
+        // Sequential scans over 4 blocks thrash a 2-frame pool: every read
+        // is a miss, and the counters stay conservation-consistent.
+        assert_eq!(c.reads, c.cache_hits + c.cache_misses);
+        assert_eq!(c.physical_reads, c.cache_misses);
+        assert!(ctx.cache().len() <= 2);
+        assert!(ctx.cache().evictions() > 0);
+    }
+
+    #[test]
+    fn clear_invalidates_cached_frames() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny().with_cache_blocks(8));
+        let mut f = EmFile::from_slice(&ctx, &(0..16u64).collect::<Vec<_>>()).unwrap();
+        let _ = f.to_vec().unwrap(); // populate
+        f.clear().unwrap();
+        f.append_block(&(100..116u64).collect::<Vec<_>>()).unwrap();
+        assert_eq!(f.to_vec().unwrap(), (100..116u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn corrupt_write_still_detected_with_cache() {
+        let ctx = EmContext::new_on_disk_temp(EmConfig::tiny().with_cache_blocks(8)).unwrap();
+        ctx.install_fault_plan(FaultPlan::new(0).fail_nth(0, crate::FaultKind::CorruptWrite));
+        let data: Vec<u64> = (0..16).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap(); // silent!
+        let err = f.to_vec().unwrap_err();
+        assert!(matches!(err, EmError::Corrupt { block: 0, .. }));
+        // The corrupt frame was never cached (population is read-only and
+        // only from verified payloads), so rereads keep detecting it.
+        assert!(f.to_vec().is_err());
+    }
+
+    #[test]
+    fn oracle_reads_do_not_move_cache_counters() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny().with_cache_blocks(8));
+        let data: Vec<u64> = (0..32).collect();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let before = ctx.stats().snapshot();
+        let got = ctx.oracle(|| f.to_vec()).unwrap();
+        assert_eq!(got, data);
+        assert_eq!(ctx.stats().snapshot(), before);
+        assert_eq!(ctx.cache().len(), 0, "oracle reads must not warm the pool");
     }
 
     // ------------------------------------------------------------------

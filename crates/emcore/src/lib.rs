@@ -57,7 +57,9 @@ mod fault;
 mod file;
 mod journal;
 mod memory;
+mod pool;
 mod record;
+pub mod recovery;
 pub mod report;
 mod rng;
 mod spill;
@@ -72,7 +74,9 @@ pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultSpec, IoOp, RetryPolicy,
 pub use file::{EmFile, Reader, Writer};
 pub use journal::{from_hex, to_hex, Journal, JournalState};
 pub use memory::{MemCharge, MemoryTracker, TrackedVec};
+pub use pool::{BlockCache, PinnedBlock};
 pub use record::{Indexed, KeyValue, Record, Tagged};
+pub use recovery::{run_recoverable, RecoverableJob};
 pub use report::{SpanNode, TraceReport};
 pub use rng::SplitMix64;
 pub use spill::SpillVec;

@@ -8,21 +8,25 @@
 //! model violation into a test failure rather than a silently wrong
 //! complexity measurement.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct MemInner {
-    current: usize,
-    peak: usize,
+    current: AtomicUsize,
+    peak: AtomicUsize,
     capacity: usize,
     strict: bool,
 }
 
 /// Cheaply cloneable handle to the shared memory meter (units: words).
+///
+/// Thread-safe and lock-free: a meter shared between worker threads updates
+/// `current`/`peak` with atomic read-modify-writes, so charges from
+/// concurrent sorts never race and never contend on a lock.
 #[derive(Debug, Clone)]
 pub struct MemoryTracker {
-    inner: Rc<RefCell<MemInner>>,
+    inner: Arc<MemInner>,
 }
 
 impl MemoryTracker {
@@ -30,12 +34,12 @@ impl MemoryTracker {
     /// violations panic (true) or are merely recorded in the peak (false).
     pub fn new(capacity: usize, strict: bool) -> Self {
         Self {
-            inner: Rc::new(RefCell::new(MemInner {
-                current: 0,
-                peak: 0,
+            inner: Arc::new(MemInner {
+                current: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
                 capacity,
                 strict,
-            })),
+            }),
         }
     }
 
@@ -45,20 +49,18 @@ impl MemoryTracker {
     ///
     /// In strict mode, panics if the charge would exceed the capacity.
     pub fn charge(&self, words: usize, context: &str) -> MemCharge {
-        {
-            let mut g = self.inner.borrow_mut();
-            g.current += words;
-            if g.current > g.peak {
-                g.peak = g.current;
-            }
-            if g.strict && g.current > g.capacity {
-                let (current, capacity) = (g.current, g.capacity);
-                drop(g);
-                panic!(
-                    "EM memory budget exceeded: {current} words live > M = {capacity} \
-                     (while allocating {words} words for {context})"
-                );
-            }
+        let current = self
+            .inner
+            .current
+            .fetch_add(words, Ordering::Relaxed)
+            .saturating_add(words);
+        self.inner.peak.fetch_max(current, Ordering::Relaxed);
+        if self.inner.strict && current > self.inner.capacity {
+            let capacity = self.inner.capacity;
+            panic!(
+                "EM memory budget exceeded: {current} words live > M = {capacity} \
+                 (while allocating {words} words for {context})"
+            );
         }
         MemCharge {
             tracker: self.clone(),
@@ -68,34 +70,40 @@ impl MemoryTracker {
 
     /// Words currently live.
     pub fn current(&self) -> usize {
-        self.inner.borrow().current
+        self.inner.current.load(Ordering::Relaxed)
     }
 
     /// Highest number of words ever live.
     pub fn peak(&self) -> usize {
-        self.inner.borrow().peak
+        self.inner.peak.load(Ordering::Relaxed)
     }
 
     /// The capacity `M` in words.
     pub fn capacity(&self) -> usize {
-        self.inner.borrow().capacity
+        self.inner.capacity
     }
 
     /// Whether violations panic.
     pub fn is_strict(&self) -> bool {
-        self.inner.borrow().strict
+        self.inner.strict
     }
 
     /// Reset the peak to the current live amount (counters between phases).
     pub fn reset_peak(&self) {
-        let mut g = self.inner.borrow_mut();
-        g.peak = g.current;
+        self.inner.peak.store(self.current(), Ordering::Relaxed);
     }
 
     fn release(&self, words: usize) {
-        let mut g = self.inner.borrow_mut();
-        debug_assert!(g.current >= words, "memory release underflow");
-        g.current = g.current.saturating_sub(words);
+        // Saturating CAS loop rather than a plain fetch_sub so a (buggy)
+        // double release clamps at zero instead of wrapping the gauge.
+        let prev = self
+            .inner
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                Some(c.saturating_sub(words))
+            })
+            .unwrap_or(0);
+        debug_assert!(prev >= words, "memory release underflow");
     }
 }
 

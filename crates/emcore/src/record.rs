@@ -10,7 +10,7 @@
 /// `WORDS` is the record's size in machine words for memory accounting —
 /// the paper measures `M` and `B` in words, so a two-word record counts
 /// double against buffers.
-pub trait Record: Copy + Send + std::fmt::Debug + 'static {
+pub trait Record: Copy + Send + Sync + std::fmt::Debug + 'static {
     /// The ordered key the comparison-based algorithms operate on.
     type Key: Ord + Copy + std::fmt::Debug;
 

@@ -1,0 +1,175 @@
+//! Unified driver for crash-recoverable jobs.
+//!
+//! The workspace has three checkpointed algorithms — external sort
+//! (`emsort`), multi-selection (`emselect`) and approximate partitioning
+//! (`apsplit`). Each one keeps a durable manifest in a named
+//! [`crate::Journal`], redoes at most one in-flight work unit after a
+//! crash, and sweeps orphaned block files on resume. Historically each
+//! crate also had its own `resume_*` entry point repeating the same
+//! skeleton: refuse a completed manifest, validate the input identity,
+//! then drive from the last checkpoint.
+//!
+//! That skeleton now lives here, once. An algorithm exposes itself as a
+//! [`RecoverableJob`] and callers run it through [`run_recoverable`]:
+//!
+//! ```text
+//! let mut job = SortJob::new(&input, &mut manifest);
+//! let out = emcore::recovery::run_recoverable(input.ctx(), &mut job)?;
+//! ```
+//!
+//! The old per-crate `resume_*` functions survive as thin `#[deprecated]`
+//! wrappers over this entry point.
+
+use crate::ctx::EmContext;
+use crate::error::{EmError, Result};
+
+/// A checkpointed, resumable unit of work over an [`EmContext`].
+///
+/// Implementations carry their input handle and manifest; the trait
+/// factors out the *driver protocol* shared by every recoverable
+/// algorithm:
+///
+/// 1. a completed job must not be rerun ([`RecoverableJob::is_done`]),
+/// 2. the manifest must belong to the presented input
+///    ([`RecoverableJob::check_input`] — which *binds* the identity on a
+///    fresh manifest), and
+/// 3. [`RecoverableJob::drive`] continues from the last durable
+///    checkpoint to completion or the next terminal error, and is
+///    idempotent over failures (only the interrupted work unit is
+///    redone on the next call).
+pub trait RecoverableJob {
+    /// What a completed job yields.
+    type Output;
+
+    /// The public entry-point name used in error messages
+    /// (e.g. `"resume_sort"`).
+    fn kind(&self) -> &'static str;
+
+    /// The name of the durable [`crate::Journal`] this job checkpoints
+    /// under — one fixed name per algorithm, so a resuming process knows
+    /// where to look.
+    fn journal_name(&self) -> &'static str;
+
+    /// Whether the job already completed and yielded its output. Driving
+    /// a completed job is an error (its temporaries are gone).
+    fn is_done(&self) -> bool;
+
+    /// Validate the manifest's recorded input identity against the input
+    /// handle the job was built with, *binding* it on first run. Fails
+    /// when a manifest is replayed against a different file.
+    fn check_input(&mut self) -> Result<()>;
+
+    /// Continue from the last durable checkpoint until completion or the
+    /// next terminal error. Phase accounting is the job's own business
+    /// (each algorithm keeps its historical phase names).
+    fn drive(&mut self, ctx: &EmContext) -> Result<Self::Output>;
+}
+
+/// Drive `job` forward on `ctx` from wherever its manifest left off,
+/// until completion or the next terminal error.
+///
+/// Idempotent over failures: call once to start, and call again with the
+/// same job after handling an error (e.g. clearing a simulated crash
+/// with [`crate::FaultPlan::clear_crash`]) — only the interrupted work
+/// unit is redone.
+///
+/// # Errors
+///
+/// Fails fast (before any I/O) if the job already completed or its
+/// manifest belongs to a different input; otherwise propagates the
+/// job's own terminal errors.
+pub fn run_recoverable<J: RecoverableJob>(ctx: &EmContext, job: &mut J) -> Result<J::Output> {
+    if job.is_done() {
+        return Err(EmError::config(format!(
+            "{}: manifest already completed; create a fresh one",
+            job.kind()
+        )));
+    }
+    job.check_input()?;
+    job.drive(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmConfig;
+
+    struct FakeJob {
+        done: bool,
+        bound: Option<u64>,
+        presented: u64,
+        drives: u32,
+    }
+
+    impl RecoverableJob for FakeJob {
+        type Output = u64;
+        fn kind(&self) -> &'static str {
+            "resume_fake"
+        }
+        fn journal_name(&self) -> &'static str {
+            "fake-manifest"
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+        fn check_input(&mut self) -> Result<()> {
+            match self.bound {
+                None => {
+                    self.bound = Some(self.presented);
+                    Ok(())
+                }
+                Some(b) if b == self.presented => Ok(()),
+                Some(b) => Err(EmError::config(format!(
+                    "resume_fake: manifest belongs to input {b}, got {}",
+                    self.presented
+                ))),
+            }
+        }
+        fn drive(&mut self, _ctx: &EmContext) -> Result<u64> {
+            self.drives += 1;
+            self.done = true;
+            Ok(42)
+        }
+    }
+
+    #[test]
+    fn runs_and_binds_fresh_job() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut job = FakeJob {
+            done: false,
+            bound: None,
+            presented: 7,
+            drives: 0,
+        };
+        assert_eq!(run_recoverable(&ctx, &mut job).unwrap(), 42);
+        assert_eq!(job.bound, Some(7));
+        assert_eq!(job.drives, 1);
+    }
+
+    #[test]
+    fn refuses_completed_job() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut job = FakeJob {
+            done: true,
+            bound: None,
+            presented: 7,
+            drives: 0,
+        };
+        let err = run_recoverable(&ctx, &mut job).unwrap_err();
+        assert!(err.to_string().contains("already completed"), "{err}");
+        assert_eq!(job.drives, 0, "a completed job must not be driven");
+    }
+
+    #[test]
+    fn refuses_wrong_input() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut job = FakeJob {
+            done: false,
+            bound: Some(3),
+            presented: 7,
+            drives: 0,
+        };
+        assert!(run_recoverable(&ctx, &mut job).is_err());
+        assert_eq!(job.drives, 0);
+    }
+}

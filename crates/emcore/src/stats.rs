@@ -8,9 +8,10 @@
 //! every phase open/close is emitted as a span event carrying its exact
 //! counter delta (see [`crate::trace`]).
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::ThreadId;
 
 use crate::fault::IoOp;
 use crate::trace::{PointKind, Tracer};
@@ -45,6 +46,22 @@ pub struct Counters {
     /// on resume). These I/Os are also counted in `reads`/`writes`; this
     /// counter isolates the rework overhead.
     pub redone_ios: u64,
+    /// Physical block reads actually performed by the device layer —
+    /// block-cache misses plus uncached reads. With the cache disabled
+    /// (`cache_blocks = 0`) every logical read is physical, so this equals
+    /// `reads`.
+    pub physical_reads: u64,
+    /// Physical block writes performed by the device layer. The block cache
+    /// is write-through (writes are never absorbed), so this always equals
+    /// `writes`.
+    pub physical_writes: u64,
+    /// Block-cache hits: logical reads served from the buffer pool without
+    /// a device transfer. Always 0 with the cache disabled.
+    pub cache_hits: u64,
+    /// Block-cache misses: logical reads that consulted the buffer pool,
+    /// went to the device, and populated a frame. Always 0 with the cache
+    /// disabled.
+    pub cache_misses: u64,
 }
 
 impl Counters {
@@ -52,6 +69,35 @@ impl Counters {
     #[inline]
     pub fn total_ios(&self) -> u64 {
         self.reads + self.writes
+    }
+
+    /// Model-charged (*logical*) block I/Os — a synonym for
+    /// [`Counters::total_ios`], named for the logical/physical split. Every
+    /// Table-1 comparison and predicted-bound check uses this quantity: a
+    /// block-cache hit is still one logical I/O in the EM model, so enabling
+    /// the cache never changes it.
+    #[inline]
+    pub fn logical_ios(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Physical device transfers: `physical_reads + physical_writes`. This
+    /// is what the hardware actually did; `logical_ios - physical_ios` is
+    /// the traffic the buffer pool absorbed.
+    #[inline]
+    pub fn physical_ios(&self) -> u64 {
+        self.physical_reads + self.physical_writes
+    }
+
+    /// Cache hit rate over logical reads that consulted the buffer pool
+    /// (`hits / (hits + misses)`); 0.0 when the cache never engaged.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let looked = self.cache_hits + self.cache_misses;
+        if looked == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / looked as f64
+        }
     }
 
     /// Component-wise difference `self - earlier`. Saturates at zero so that
@@ -67,6 +113,10 @@ impl Counters {
             corrupt_reads: self.corrupt_reads.saturating_sub(earlier.corrupt_reads),
             journal_writes: self.journal_writes.saturating_sub(earlier.journal_writes),
             redone_ios: self.redone_ios.saturating_sub(earlier.redone_ios),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
         }
     }
 
@@ -84,6 +134,10 @@ impl Counters {
             corrupt_reads: self.corrupt_reads.saturating_add(other.corrupt_reads),
             journal_writes: self.journal_writes.saturating_add(other.journal_writes),
             redone_ios: self.redone_ios.saturating_add(other.redone_ios),
+            physical_reads: self.physical_reads.saturating_add(other.physical_reads),
+            physical_writes: self.physical_writes.saturating_add(other.physical_writes),
+            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
+            cache_misses: self.cache_misses.saturating_add(other.cache_misses),
         }
     }
 }
@@ -129,6 +183,15 @@ impl std::fmt::Display for Counters {
         if self.redone_ios != 0 {
             write!(f, ", {} redone I/Os", self.redone_ios)?;
         }
+        if self.cache_hits + self.cache_misses != 0 {
+            write!(
+                f,
+                ", cache {}/{} hits ({} physical I/Os)",
+                self.cache_hits,
+                self.cache_hits + self.cache_misses,
+                self.physical_ios()
+            )?;
+        }
         Ok(())
     }
 }
@@ -146,13 +209,90 @@ struct Scope {
     charge: bool,
 }
 
+/// The counters themselves, as per-field relaxed atomics. Charging an I/O
+/// from a worker thread is a couple of `fetch_add`s — no lock, no parking —
+/// so the accounting layer stays off the critical path of a parallel sort
+/// even when every worker charges on every block.
+#[derive(Debug, Default)]
+struct AtomicCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    comparisons: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    retries: AtomicU64,
+    corrupt_reads: AtomicU64,
+    journal_writes: AtomicU64,
+    redone_ios: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn load(&self) -> Counters {
+        Counters {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
+            journal_writes: self.journal_writes.load(Ordering::Relaxed),
+            redone_ios: self.redone_ios.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn zero(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.comparisons.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.corrupt_reads.store(0, Ordering::Relaxed);
+        self.journal_writes.store(0, Ordering::Relaxed);
+        self.redone_ios.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Bookkeeping that genuinely needs mutual exclusion: phase scopes and
+/// totals. The hot counters live outside this lock (see [`AtomicCounters`]);
+/// this mutex is only taken at phase boundaries and for reports.
 #[derive(Debug, Default)]
 struct StatsInner {
-    counters: Counters,
-    paused: u32,
-    scope_stack: Vec<Scope>,
+    /// Open phases, kept **per thread**: concurrent workers each see their
+    /// own LIFO stack, so interleaved begin/end from different threads never
+    /// pop each other's scopes.
+    scope_stacks: HashMap<ThreadId, Vec<Scope>>,
     phase_totals: BTreeMap<String, Counters>,
-    tracer: Tracer,
+}
+
+impl StatsInner {
+    /// The calling thread's scope stack (created on first use).
+    fn stack(&mut self) -> &mut Vec<Scope> {
+        self.scope_stacks
+            .entry(std::thread::current().id())
+            .or_default()
+    }
+
+    fn open_scope_names(&self) -> Vec<&str> {
+        self.scope_stacks
+            .values()
+            .flatten()
+            .map(|s| s.name.as_str())
+            .collect()
+    }
 }
 
 impl Drop for StatsInner {
@@ -161,27 +301,45 @@ impl Drop for StatsInner {
         // end_phase somewhere — attribution was silently dropped. Only
         // assert when not already unwinding, to avoid a double panic.
         if !std::thread::panicking() {
+            let open = self.open_scope_names();
             debug_assert!(
-                self.scope_stack.is_empty(),
+                open.is_empty(),
                 "IoStats dropped with {} open phase(s): {:?} — use phase_guard()",
-                self.scope_stack.len(),
-                self.scope_stack
-                    .iter()
-                    .map(|s| s.name.as_str())
-                    .collect::<Vec<_>>()
+                open.len(),
+                open
             );
         }
     }
 }
 
+/// Shared state of one [`IoStats`] handle: lock-free hot counters plus a
+/// mutex for the cold phase bookkeeping.
+#[derive(Debug, Default)]
+struct StatsShared {
+    counters: AtomicCounters,
+    /// Nesting depth of [`IoStats::paused`] sections.
+    paused: AtomicU32,
+    /// The trace channel (internally synchronised; disabled = one atomic
+    /// flag check per hook).
+    tracer: Tracer,
+    book: Mutex<StatsInner>,
+}
+
 /// Cheaply cloneable handle to a shared set of I/O counters.
 ///
-/// The runtime is single-threaded (the EM model is sequential), so interior
-/// mutability via `RefCell` suffices and keeps the hot counter increments
-/// branch-cheap.
+/// Thread-safe (`Send + Sync`) and **lock-free on the hot path**: the
+/// counters are per-field relaxed atomics, so worker threads of a parallel
+/// sort charge into the same totals without ever contending on a lock.
+/// Phases are tracked per thread (each thread has its own LIFO stack)
+/// behind a mutex that is only taken at phase boundaries; under concurrency
+/// a phase's delta includes I/Os charged by other threads while it was
+/// open, so per-phase attribution is exact only for single-threaded
+/// sections. Global counters are always exact; a [`IoStats::snapshot`]
+/// taken while other threads are mid-charge may be skewed by the I/Os in
+/// flight at that instant.
 #[derive(Debug, Clone, Default)]
 pub struct IoStats {
-    inner: Rc<RefCell<StatsInner>>,
+    inner: Arc<StatsShared>,
 }
 
 impl IoStats {
@@ -190,53 +348,112 @@ impl IoStats {
         Self::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, StatsInner> {
+        self.inner.book.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// The trace channel shared with the owning context.
     pub(crate) fn tracer(&self) -> Tracer {
-        self.inner.borrow().tracer.clone()
+        self.inner.tracer.clone()
     }
 
     /// Whether accounting is currently paused (oracle/verification scans).
     /// Trace point emission respects this too.
     #[inline]
     pub(crate) fn is_paused(&self) -> bool {
-        self.inner.borrow().paused > 0
+        self.inner.paused.load(Ordering::Relaxed) > 0
     }
 
     #[inline]
     pub(crate) fn record_read_block(&self, file: u64, block: u64, bytes: u64) {
-        let mut g = self.inner.borrow_mut();
-        if g.paused == 0 {
-            g.counters.reads += 1;
-            g.counters.bytes_read += bytes;
-            g.tracer.note_access(IoOp::Read, file, block);
+        if self.is_paused() {
+            return;
         }
+        self.inner.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_read
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.inner.tracer.note_access(IoOp::Read, file, block);
     }
 
     #[inline]
     pub(crate) fn record_write_block(&self, file: u64, block: u64, bytes: u64) {
-        let mut g = self.inner.borrow_mut();
-        if g.paused == 0 {
-            g.counters.writes += 1;
-            g.counters.bytes_written += bytes;
-            g.tracer.note_access(IoOp::Write, file, block);
+        if self.is_paused() {
+            return;
+        }
+        self.inner.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.inner.tracer.note_access(IoOp::Write, file, block);
+    }
+
+    /// Charge one physical (device-level) block read. Called by the device
+    /// layer on every actual transfer; a block-cache hit skips it.
+    #[inline]
+    pub(crate) fn record_physical_read(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .physical_reads
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge one physical (device-level) block write. The cache is
+    /// write-through, so every logical write is also physical.
+    #[inline]
+    pub(crate) fn record_physical_write(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .physical_writes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge one buffer-pool hit (a logical read served without a device
+    /// transfer).
+    #[inline]
+    pub(crate) fn record_cache_hit(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge one buffer-pool miss (the lookup went to the device and the
+    /// frame was populated).
+    #[inline]
+    pub(crate) fn record_cache_miss(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .cache_misses
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Charge one retried device attempt (see [`Counters::retries`]).
     #[inline]
     pub(crate) fn record_retry(&self) {
-        let mut g = self.inner.borrow_mut();
-        if g.paused == 0 {
-            g.counters.retries += 1;
+        if !self.is_paused() {
+            self.inner.counters.retries.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Charge one checksum-verification failure.
     #[inline]
     pub(crate) fn record_corrupt_read(&self) {
-        let mut g = self.inner.borrow_mut();
-        if g.paused == 0 {
-            g.counters.corrupt_reads += 1;
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .corrupt_reads
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -244,9 +461,11 @@ impl IoStats {
     /// writes outside the block-I/O model, so `total_ios` is unaffected.
     #[inline]
     pub fn record_journal_write(&self) {
-        let mut g = self.inner.borrow_mut();
-        if g.paused == 0 {
-            g.counters.journal_writes += 1;
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .journal_writes
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -257,10 +476,12 @@ impl IoStats {
     /// attributed to the innermost open span.
     #[inline]
     pub fn record_redone_ios(&self, n: u64) {
-        let mut g = self.inner.borrow_mut();
-        if g.paused == 0 {
-            g.counters.redone_ios += n;
-            g.tracer.point(PointKind::WorkUnitRedo { ios: n });
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .redone_ios
+                .fetch_add(n, Ordering::Relaxed);
+            self.inner.tracer.point(PointKind::WorkUnitRedo { ios: n });
         }
     }
 
@@ -268,9 +489,11 @@ impl IoStats {
     /// (e.g. for checking the `Θ(N lg K)` internal-memory bound) call this.
     #[inline]
     pub fn record_comparisons(&self, n: u64) {
-        let mut g = self.inner.borrow_mut();
-        if g.paused == 0 {
-            g.counters.comparisons += n;
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .comparisons
+                .fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -278,32 +501,28 @@ impl IoStats {
     /// account for consuming caller-supplied rank lists (see DESIGN.md,
     /// model-fidelity notes).
     pub fn charge_reads(&self, n: u64) {
-        let mut g = self.inner.borrow_mut();
-        if g.paused == 0 {
-            g.counters.reads += n;
+        if !self.is_paused() {
+            self.inner.counters.reads.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Current counter values.
     pub fn snapshot(&self) -> Counters {
-        self.inner.borrow().counters
+        self.inner.counters.load()
     }
 
     /// Reset all counters and phase records to zero. Debug-asserts that no
     /// phase is open — resetting mid-phase would misattribute the rest of
     /// that phase's I/Os.
     pub fn reset(&self) {
-        let mut g = self.inner.borrow_mut();
+        let mut g = self.lock();
         debug_assert!(
-            g.scope_stack.is_empty(),
+            g.open_scope_names().is_empty(),
             "IoStats::reset inside an open phase ({:?})",
-            g.scope_stack
-                .iter()
-                .map(|s| s.name.as_str())
-                .collect::<Vec<_>>()
+            g.open_scope_names()
         );
-        g.counters = Counters::default();
-        g.scope_stack.clear();
+        self.inner.counters.zero();
+        g.scope_stacks.clear();
         g.phase_totals.clear();
     }
 
@@ -311,7 +530,7 @@ impl IoStats {
     /// and verification scans that are not part of the algorithm under
     /// measurement. Pauses nest.
     pub fn paused<R>(&self, f: impl FnOnce() -> R) -> R {
-        self.inner.borrow_mut().paused += 1;
+        self.inner.paused.fetch_add(1, Ordering::Relaxed);
         let _guard = PauseGuard { stats: self };
         f()
     }
@@ -325,11 +544,11 @@ impl IoStats {
     }
 
     fn push_scope(&self, name: String, charge: bool) {
-        let mut g = self.inner.borrow_mut();
-        let start = g.counters;
+        let start = self.snapshot();
+        let mut g = self.lock();
         // The tracer has its own interior state, independent of ours.
-        let span = g.tracer.span_open(&name);
-        g.scope_stack.push(Scope {
+        let span = self.inner.tracer.span_open(&name);
+        g.stack().push(Scope {
             name,
             start,
             span,
@@ -337,17 +556,23 @@ impl IoStats {
         });
     }
 
-    /// End the innermost open phase, returning its delta. Returns `None` if
-    /// no phase is open.
+    /// End the innermost open phase *of the calling thread*, returning its
+    /// delta. Returns `None` if this thread has no phase open.
     pub fn end_phase(&self) -> Option<Counters> {
-        let mut g = self.inner.borrow_mut();
-        let scope = g.scope_stack.pop()?;
-        let delta = g.counters.since(&scope.start);
+        let now = self.snapshot();
+        let mut g = self.lock();
+        let scope = g.stack().pop();
+        let tid = std::thread::current().id();
+        if g.scope_stacks.get(&tid).is_some_and(|s| s.is_empty()) {
+            g.scope_stacks.remove(&tid);
+        }
+        let scope = scope?;
+        let delta = now.since(&scope.start);
         if scope.charge {
             let slot = g.phase_totals.entry(scope.name).or_default();
             *slot = slot.plus(&delta);
         }
-        g.tracer.span_close(scope.span, &delta);
+        self.inner.tracer.span_close(scope.span, &delta);
         Some(delta)
     }
 
@@ -370,7 +595,7 @@ impl IoStats {
     /// is only invoked when tracing is enabled; when disabled the returned
     /// guard is inert and the cost is one flag check.
     pub fn trace_span(&self, name: impl FnOnce() -> String) -> TraceSpanGuard<'_> {
-        if !self.inner.borrow().tracer.is_enabled() {
+        if !self.inner.tracer.is_enabled() {
             return TraceSpanGuard {
                 stats: self,
                 active: false,
@@ -391,8 +616,7 @@ impl IoStats {
 
     /// Accumulated totals per phase name, in name order.
     pub fn phase_totals(&self) -> Vec<(String, Counters)> {
-        self.inner
-            .borrow()
+        self.lock()
             .phase_totals
             .iter()
             .map(|(k, v)| (k.clone(), *v))
@@ -446,7 +670,7 @@ struct PauseGuard<'a> {
 
 impl Drop for PauseGuard<'_> {
     fn drop(&mut self) {
-        self.stats.inner.borrow_mut().paused -= 1;
+        self.stats.inner.paused.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -687,5 +911,84 @@ mod tests {
         s.record_comparisons(10);
         s.paused(|| s.record_comparisons(5));
         assert_eq!(s.snapshot().comparisons, 10);
+    }
+
+    #[test]
+    fn physical_and_cache_counters_tracked() {
+        let s = IoStats::new();
+        s.record_read_block(0, 0, 0);
+        s.record_physical_read();
+        s.record_cache_miss();
+        s.record_read_block(0, 0, 0);
+        s.record_cache_hit();
+        s.record_write_block(0, 1, 0);
+        s.record_physical_write();
+        let c = s.snapshot();
+        assert_eq!(c.logical_ios(), c.total_ios());
+        assert_eq!(c.logical_ios(), 3);
+        assert_eq!(c.physical_ios(), 2);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cache_misses, 1);
+        assert!((c.cache_hit_rate() - 0.5).abs() < 1e-12);
+        // Cache counters never feed the model-charged totals.
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+    }
+
+    #[test]
+    fn cache_hit_rate_zero_when_disengaged() {
+        let c = Counters::default();
+        assert_eq!(c.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_shared_across_threads() {
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        s.record_read_block(t, i, 8);
+                        s.record_comparisons(2);
+                    }
+                });
+            }
+        });
+        let c = s.snapshot();
+        assert_eq!(c.reads, 1000);
+        assert_eq!(c.comparisons, 2000);
+        assert_eq!(c.bytes_read, 8000);
+    }
+
+    #[test]
+    fn phase_stacks_are_per_thread() {
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    let _g = s.phase_guard("worker");
+                    s.record_read_block(0, 0, 0);
+                    // Nested phases stay LIFO within this thread even while
+                    // other threads open/close their own.
+                    s.phase("inner", || {
+                        s.record_write_block(0, 0, 0);
+                    });
+                });
+            }
+        });
+        // All scopes closed; totals conserve the global counters.
+        assert!(s.end_phase().is_none());
+        let c = s.snapshot();
+        assert_eq!(c.reads, 4);
+        assert_eq!(c.writes, 4);
+    }
+
+    #[test]
+    fn iostats_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IoStats>();
+        assert_send_sync::<Counters>();
     }
 }

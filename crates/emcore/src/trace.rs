@@ -23,7 +23,7 @@
 //!   [`RingSink`] keeps a bounded in-memory window; the [`JsonlSink`]
 //!   streams events as JSON lines (hand-rolled escaping, zero
 //!   dependencies). Tracing is off by default: when no sink is installed
-//!   every hook is a single `Cell` load.
+//!   every hook is a single atomic flag load.
 //!
 //! Trace output is host-side observability, **never** part of the EM cost
 //! model: emitting an event charges no I/O and consults no fault plan.
@@ -45,11 +45,11 @@
 //!     .any(|e| matches!(e, TraceEvent::SpanOpen { name, .. } if name == "demo")));
 //! ```
 
-use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write as _;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::fault::{FaultKind, IoOp};
@@ -359,7 +359,11 @@ fn counters_fields(o: &mut JsonObj, c: &Counters) {
         .num_nz("retries", c.retries)
         .num_nz("corrupt_reads", c.corrupt_reads)
         .num_nz("journal_writes", c.journal_writes)
-        .num_nz("redone_ios", c.redone_ios);
+        .num_nz("redone_ios", c.redone_ios)
+        .num_nz("physical_reads", c.physical_reads)
+        .num_nz("physical_writes", c.physical_writes)
+        .num_nz("cache_hits", c.cache_hits)
+        .num_nz("cache_misses", c.cache_misses);
 }
 
 impl TraceEvent {
@@ -475,6 +479,10 @@ impl TraceEvent {
                     corrupt_reads: n("corrupt_reads"),
                     journal_writes: n("journal_writes"),
                     redone_ios: n("redone_ios"),
+                    physical_reads: n("physical_reads"),
+                    physical_writes: n("physical_writes"),
+                    cache_hits: n("cache_hits"),
+                    cache_misses: n("cache_misses"),
                 },
             }),
             "point" => {
@@ -736,8 +744,11 @@ impl Parser<'_> {
 // ---------------------------------------------------------------------------
 
 /// Receiver of trace events. Implementations must be cheap: they run inline
-/// on the I/O path of a traced run (but never on an untraced one).
-pub trait TraceSink {
+/// on the I/O path of a traced run (but never on an untraced one). Sinks
+/// must be [`Send`]: the tracer lives behind the context's shared state and
+/// may be driven from any worker thread (calls are serialised by the
+/// tracer's lock, so `Sync` is not required).
+pub trait TraceSink: Send {
     /// Record one event.
     fn record(&mut self, ev: &TraceEvent);
     /// Flush any buffering (called at trace finish).
@@ -756,14 +767,14 @@ struct RingInner {
 /// run.
 #[derive(Debug, Clone, Default)]
 pub struct RingSink {
-    inner: Rc<RefCell<RingInner>>,
+    inner: Arc<Mutex<RingInner>>,
 }
 
 impl RingSink {
     /// A ring holding at most `cap` events (`cap == 0` keeps everything).
     pub fn new(cap: usize) -> Self {
         Self {
-            inner: Rc::new(RefCell::new(RingInner {
+            inner: Arc::new(Mutex::new(RingInner {
                 cap,
                 events: VecDeque::new(),
                 dropped: 0,
@@ -771,20 +782,24 @@ impl RingSink {
         }
     }
 
+    fn lock(&self) -> MutexGuard<'_, RingInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// A copy of the buffered events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.iter().cloned().collect()
+        self.lock().events.iter().cloned().collect()
     }
 
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        self.lock().dropped
     }
 }
 
 impl TraceSink for RingSink {
     fn record(&mut self, ev: &TraceEvent) {
-        let mut g = self.inner.borrow_mut();
+        let mut g = self.lock();
         if g.cap > 0 && g.events.len() == g.cap {
             g.events.pop_front();
             g.dropped += 1;
@@ -872,41 +887,46 @@ impl std::fmt::Debug for TraceState {
 
 #[derive(Debug, Default)]
 struct TracerInner {
-    enabled: Cell<bool>,
+    enabled: AtomicBool,
     /// Blocks currently allocated on the backing store. Tracked even when
-    /// disabled (two `Cell` stores per block event) so a sink attached
+    /// disabled (two atomic stores per block event) so a sink attached
     /// mid-run still reports an exact space gauge.
-    live_blocks: Cell<u64>,
-    peak_blocks: Cell<u64>,
-    state: RefCell<TraceState>,
+    live_blocks: AtomicU64,
+    peak_blocks: AtomicU64,
+    state: Mutex<TraceState>,
 }
 
 /// Cheaply cloneable handle to a context's trace channel. Obtained from
-/// [`crate::EmContext::tracer`]; disabled (every hook a single flag check)
-/// until a sink is installed.
+/// [`crate::EmContext::tracer`]; disabled (every hook a single atomic flag
+/// check) until a sink is installed. Thread-safe: events from concurrent
+/// workers are serialised through the tracer's lock.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    inner: Rc<TracerInner>,
+    inner: Arc<TracerInner>,
 }
 
 impl Tracer {
     /// Whether a sink is installed and events are being recorded.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.inner.enabled.get()
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    fn state(&self) -> MutexGuard<'_, TraceState> {
+        self.inner.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Install `sink`, enable tracing, and emit [`TraceEvent::Begin`] with
     /// the machine geometry. Replaces any previous sink without flushing
     /// it; call [`Tracer::finish`] first to end a trace cleanly.
     pub fn install(&self, sink: Box<dyn TraceSink>, mem: u64, block: u64) {
-        let mut st = self.inner.state.borrow_mut();
+        let mut st = self.state();
         st.sink = Some(sink);
         st.epoch = Some(Instant::now());
         st.next_id = 0;
         st.open.clear();
         st.files.clear();
-        self.inner.enabled.set(true);
+        self.inner.enabled.store(true, Ordering::Relaxed);
         let ev = TraceEvent::Begin {
             t_us: 0,
             mem,
@@ -925,7 +945,7 @@ impl Tracer {
         if !self.is_enabled() {
             return;
         }
-        let mut st = self.inner.state.borrow_mut();
+        let mut st = self.state();
         let t_us = now_us(&st);
         let files: Vec<(u64, FileAccess)> = st
             .files
@@ -941,8 +961,8 @@ impl Tracer {
             }
             sink.record(&TraceEvent::End {
                 t_us,
-                live_blocks: self.inner.live_blocks.get(),
-                peak_blocks: self.inner.peak_blocks.get(),
+                live_blocks: self.inner.live_blocks.load(Ordering::Relaxed),
+                peak_blocks: self.inner.peak_blocks.load(Ordering::Relaxed),
             });
             sink.flush();
         }
@@ -950,7 +970,7 @@ impl Tracer {
         st.epoch = None;
         st.open.clear();
         st.files.clear();
-        self.inner.enabled.set(false);
+        self.inner.enabled.store(false, Ordering::Relaxed);
     }
 
     /// Open a span named `name` under the innermost open span. Returns the
@@ -959,7 +979,7 @@ impl Tracer {
         if !self.is_enabled() {
             return 0;
         }
-        let mut st = self.inner.state.borrow_mut();
+        let mut st = self.state();
         let t_us = now_us(&st);
         st.next_id += 1;
         let id = st.next_id;
@@ -983,7 +1003,7 @@ impl Tracer {
         if id == 0 || !self.is_enabled() {
             return;
         }
-        let mut st = self.inner.state.borrow_mut();
+        let mut st = self.state();
         let t_us = now_us(&st);
         // Spans close LIFO; a mismatch means an unbalanced phase, which the
         // stats layer debug-asserts against. Recover by searching the stack.
@@ -1016,7 +1036,7 @@ impl Tracer {
         if !self.is_enabled() {
             return;
         }
-        let mut st = self.inner.state.borrow_mut();
+        let mut st = self.state();
         let t_us = now_us(&st);
         let span = st.open.last().map(|&(id, _)| id).unwrap_or(0);
         let ev = TraceEvent::Point { kind, span, t_us };
@@ -1030,7 +1050,7 @@ impl Tracer {
         if !self.is_enabled() {
             return;
         }
-        let mut st = self.inner.state.borrow_mut();
+        let mut st = self.state();
         let track = st.files.entry(file).or_default();
         let prev = match op {
             IoOp::Read => track.last_read.replace(block),
@@ -1041,42 +1061,42 @@ impl Tracer {
 
     /// Blocks allocated on the backing store (always tracked).
     pub(crate) fn note_blocks_alloc(&self, n: u64) {
-        let live = self.inner.live_blocks.get().saturating_add(n);
-        self.inner.live_blocks.set(live);
-        if live > self.inner.peak_blocks.get() {
-            self.inner.peak_blocks.set(live);
-        }
+        let live = self
+            .inner
+            .live_blocks
+            .fetch_add(n, Ordering::Relaxed)
+            .saturating_add(n);
+        self.inner.peak_blocks.fetch_max(live, Ordering::Relaxed);
     }
 
     /// Blocks released from the backing store (always tracked).
     pub(crate) fn note_blocks_free(&self, n: u64) {
-        let live = self.inner.live_blocks.get().saturating_sub(n);
-        self.inner.live_blocks.set(live);
+        let _ = self
+            .inner
+            .live_blocks
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
     }
 
     /// Blocks currently allocated on the backing store.
     pub fn live_blocks(&self) -> u64 {
-        self.inner.live_blocks.get()
+        self.inner.live_blocks.load(Ordering::Relaxed)
     }
 
     /// Peak blocks allocated over the context's lifetime.
     pub fn peak_blocks(&self) -> u64 {
-        self.inner.peak_blocks.get()
+        self.inner.peak_blocks.load(Ordering::Relaxed)
     }
 
     /// Number of currently open spans (0 when disabled).
     pub fn open_spans(&self) -> usize {
-        self.inner.state.borrow().open.len()
+        self.state().open.len()
     }
 
     /// Access statistics recorded so far for `file`, if any.
     pub fn file_access(&self, file: u64) -> Option<FileAccess> {
-        self.inner
-            .state
-            .borrow()
-            .files
-            .get(&file)
-            .map(|t| t.access.clone())
+        self.state().files.get(&file).map(|t| t.access.clone())
     }
 }
 
@@ -1123,6 +1143,10 @@ mod tests {
                 corrupt_reads: 1,
                 journal_writes: 3,
                 redone_ios: 5,
+                physical_reads: 8,
+                physical_writes: 4,
+                cache_hits: 2,
+                cache_misses: 8,
             },
         });
         roundtrip(TraceEvent::Point {

@@ -55,8 +55,10 @@ pub use multi_select::{
     quantiles, select_rank, MsBaseCase, MsOptions,
 };
 pub use partition_out::{segs_len, ChainReader, Partition};
+#[allow(deprecated)]
+pub use recover::resume_multi_select;
 pub use recover::{
-    multi_select_recoverable, resume_multi_select, MultiSelectManifest, MULTI_SELECT_JOURNAL,
+    multi_select_recoverable, MultiSelectJob, MultiSelectManifest, MULTI_SELECT_JOURNAL,
 };
 pub use sample_splitters::{
     bucket_of, count_buckets, count_buckets_segs, max_deterministic_fanout,

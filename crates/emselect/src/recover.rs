@@ -28,8 +28,8 @@
 //! ## Example: crash and resume
 //!
 //! ```
-//! use emcore::{EmConfig, EmContext, EmError, EmFile, FaultPlan};
-//! use emselect::{resume_multi_select, MsOptions, MultiSelectManifest};
+//! use emcore::{run_recoverable, EmConfig, EmContext, EmError, EmFile, FaultPlan};
+//! use emselect::{MsOptions, MultiSelectJob, MultiSelectManifest};
 //!
 //! let ctx = EmContext::new_in_memory(EmConfig::tiny());
 //! let data: Vec<u64> = (0..4000).rev().collect();
@@ -42,18 +42,21 @@
 //! opts.base_capacity_override = Some(3); // force several groups
 //! let mut m = MultiSelectManifest::new(&input, &ranks, opts).unwrap();
 //! assert!(matches!(
-//!     resume_multi_select(&input, &mut m),
+//!     run_recoverable(&ctx, &mut MultiSelectJob::new(&input, &mut m)),
 //!     Err(EmError::Crashed)
 //! ));
 //! plan.clear_crash();
-//! let got = resume_multi_select(&input, &mut m).unwrap();
+//! let got = run_recoverable(&ctx, &mut MultiSelectJob::new(&input, &mut m)).unwrap();
 //! let want: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
 //! assert_eq!(got, want);
 //! ```
 
 #[cfg(test)]
 use emcore::from_hex;
-use emcore::{to_hex, Counters, EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
+use emcore::{
+    run_recoverable, to_hex, Counters, EmContext, EmError, EmFile, Journal, JournalState, Record,
+    RecoverableJob, Result,
+};
 
 use crate::multi_partition::multi_partition_at_ranks;
 use crate::multi_select::{base_case_capacity_n, multi_select_segs, MsOptions};
@@ -334,40 +337,80 @@ impl<T: Record> MultiSelectManifest<T> {
     }
 }
 
+/// The checkpointed multi-selection as a [`RecoverableJob`]: drive it with
+/// [`emcore::run_recoverable`]. Borrows the input and its manifest for the
+/// duration of one resume attempt; build a fresh job value per attempt.
+#[derive(Debug)]
+pub struct MultiSelectJob<'a, T: Record> {
+    input: &'a EmFile<T>,
+    manifest: &'a mut MultiSelectManifest<T>,
+}
+
+impl<'a, T: Record> MultiSelectJob<'a, T> {
+    /// A job that selects `manifest`'s ranks from `input`.
+    pub fn new(input: &'a EmFile<T>, manifest: &'a mut MultiSelectManifest<T>) -> Self {
+        Self { input, manifest }
+    }
+}
+
+impl<T: Record> RecoverableJob for MultiSelectJob<'_, T> {
+    type Output = Vec<T>;
+
+    fn kind(&self) -> &'static str {
+        "resume_multi_select"
+    }
+
+    fn journal_name(&self) -> &'static str {
+        MULTI_SELECT_JOURNAL
+    }
+
+    fn is_done(&self) -> bool {
+        self.manifest.done
+    }
+
+    fn check_input(&mut self) -> Result<()> {
+        // Identity was bound at `MultiSelectManifest::new`; only verify.
+        if self.manifest.input != (self.input.id(), self.input.len()) {
+            return Err(EmError::config(format!(
+                "resume_multi_select: manifest belongs to input (id {}, len {}), \
+                 got (id {}, len {})",
+                self.manifest.input.0,
+                self.manifest.input.1,
+                self.input.id(),
+                self.input.len()
+            )));
+        }
+        Ok(())
+    }
+
+    fn drive(&mut self, ctx: &EmContext) -> Result<Vec<T>> {
+        let _phase = ctx.stats().phase_guard("multi-select/recoverable");
+        resume_inner(self.input, self.manifest, ctx)
+    }
+}
+
 /// One-shot recoverable multi-selection with default options — semantically
 /// identical to [`crate::multi_select`], with checkpointing overhead. Use
-/// [`MultiSelectManifest::new`] + [`resume_multi_select`] directly to keep
-/// the manifest across failures.
+/// [`MultiSelectManifest::new`] + [`MultiSelectJob`] +
+/// [`emcore::run_recoverable`] directly to keep the manifest across
+/// failures.
 pub fn multi_select_recoverable<T: Record>(input: &EmFile<T>, ranks: &[u64]) -> Result<Vec<T>> {
     let mut manifest = MultiSelectManifest::new(input, ranks, MsOptions::default())?;
-    resume_multi_select(input, &mut manifest)
+    let ctx = manifest.ctx.clone();
+    run_recoverable(&ctx, &mut MultiSelectJob::new(input, &mut manifest))
 }
 
 /// Drive the multi-selection of `input` forward from wherever `manifest`
 /// left off, until completion or the next terminal error. Idempotent over
 /// failures: only the interrupted work unit is redone on the next call.
 /// Returns the selected elements in the caller's original rank order.
+#[deprecated(note = "use emcore::run_recoverable with emselect::MultiSelectJob")]
 pub fn resume_multi_select<T: Record>(
     input: &EmFile<T>,
     manifest: &mut MultiSelectManifest<T>,
 ) -> Result<Vec<T>> {
-    if manifest.done {
-        return Err(EmError::config(
-            "resume_multi_select: manifest already completed; create a fresh one",
-        ));
-    }
-    if manifest.input != (input.id(), input.len()) {
-        return Err(EmError::config(format!(
-            "resume_multi_select: manifest belongs to input (id {}, len {}), got (id {}, len {})",
-            manifest.input.0,
-            manifest.input.1,
-            input.id(),
-            input.len()
-        )));
-    }
     let ctx = manifest.ctx.clone();
-    let _phase = ctx.stats().phase_guard("multi-select/recoverable");
-    resume_inner(input, manifest, &ctx)
+    run_recoverable(&ctx, &mut MultiSelectJob::new(input, manifest))
 }
 
 fn resume_inner<T: Record>(
@@ -457,6 +500,11 @@ fn resume_inner<T: Record>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrapper stays covered: every resume below goes
+    // through `resume_multi_select`, which drives the job via
+    // `run_recoverable`.
+    #![allow(deprecated)]
+
     use super::*;
     use emcore::{EmConfig, FaultPlan};
 

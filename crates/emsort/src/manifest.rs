@@ -45,8 +45,8 @@
 //! ## Example: crash and resume
 //!
 //! ```
-//! use emcore::{EmConfig, EmContext, EmFile, EmError, FaultPlan};
-//! use emsort::{external_sort_recoverable, resume_sort, SortManifest};
+//! use emcore::{run_recoverable, EmConfig, EmContext, EmFile, EmError, FaultPlan};
+//! use emsort::{SortJob, SortManifest};
 //!
 //! let ctx = EmContext::new_in_memory(EmConfig::tiny());
 //! let data: Vec<u64> = (0..1000).rev().collect();
@@ -56,15 +56,18 @@
 //! ctx.install_fault_plan(plan.clone());
 //!
 //! let mut manifest = SortManifest::new(&ctx, None);
-//! let crashed = resume_sort(&input, &mut manifest);
+//! let crashed = run_recoverable(&ctx, &mut SortJob::new(&input, &mut manifest));
 //! assert!(matches!(crashed, Err(EmError::Crashed)));
 //!
 //! plan.clear_crash(); // "restart the machine"
-//! let sorted = resume_sort(&input, &mut manifest).unwrap();
+//! let sorted = run_recoverable(&ctx, &mut SortJob::new(&input, &mut manifest)).unwrap();
 //! assert_eq!(sorted.to_vec().unwrap(), (0..1000u64).collect::<Vec<_>>());
 //! ```
 
-use emcore::{Counters, EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
+use emcore::{
+    run_recoverable, Counters, EmContext, EmError, EmFile, Journal, JournalState, Record,
+    RecoverableJob, Result,
+};
 
 use crate::merge::{max_merge_fan_in, merge_once};
 
@@ -330,14 +333,87 @@ impl<T: Record> SortManifest<T> {
     }
 }
 
+/// The checkpointed external sort as a [`RecoverableJob`]: drive it with
+/// [`emcore::run_recoverable`]. Borrows the input and its manifest for the
+/// duration of one resume attempt; build a fresh job value per attempt.
+#[derive(Debug)]
+pub struct SortJob<'a, T: Record> {
+    input: &'a EmFile<T>,
+    manifest: &'a mut SortManifest<T>,
+}
+
+impl<'a, T: Record> SortJob<'a, T> {
+    /// A job that sorts `input`, checkpointing through `manifest`.
+    pub fn new(input: &'a EmFile<T>, manifest: &'a mut SortManifest<T>) -> Self {
+        Self { input, manifest }
+    }
+}
+
+impl<T: Record> RecoverableJob for SortJob<'_, T> {
+    type Output = EmFile<T>;
+
+    fn kind(&self) -> &'static str {
+        "resume_sort"
+    }
+
+    fn journal_name(&self) -> &'static str {
+        SORT_JOURNAL
+    }
+
+    fn is_done(&self) -> bool {
+        self.manifest.done
+    }
+
+    fn check_input(&mut self) -> Result<()> {
+        match self.manifest.input {
+            None => {
+                self.manifest.input = Some((self.input.id(), self.input.len()));
+                Ok(())
+            }
+            Some((id, len)) if (id, len) != (self.input.id(), self.input.len()) => {
+                Err(EmError::config(format!(
+                    "resume_sort: manifest belongs to input (id {id}, len {len}), \
+                     got (id {}, len {})",
+                    self.input.id(),
+                    self.input.len()
+                )))
+            }
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn drive(&mut self, ctx: &EmContext) -> Result<EmFile<T>> {
+        let stats = ctx.stats().clone();
+
+        // Phase 1: run formation, resumable at `consumed` records.
+        if !self.manifest.formed {
+            let phase = stats.phase_guard("sort/run-formation");
+            let r = form_remaining_runs(self.input, self.manifest, ctx);
+            drop(phase);
+            r?;
+        }
+
+        // Phase 2: merge passes, resumable at merge-group granularity.
+        let phase = stats.phase_guard("sort/merge");
+        let r = merge_remaining(self.manifest, ctx);
+        drop(phase);
+        let out = r?;
+        self.manifest.finish()?;
+        // The output leaves the manifest's custody: normal drop semantics.
+        out.set_persistent(false);
+        Ok(out)
+    }
+}
+
 /// Sort `input` with checkpointing — semantically identical to
 /// [`crate::external_sort`] (load-sort runs), but any recoverable failure
-/// leaves a resumable [`SortManifest`] behind via [`resume_sort`]. For a
-/// one-shot call the manifest is internal; use [`resume_sort`] directly to
-/// keep it across failures.
+/// leaves a resumable [`SortManifest`] behind via [`SortJob`] +
+/// [`emcore::run_recoverable`]. For a one-shot call the manifest is
+/// internal; keep your own manifest to survive failures.
 pub fn external_sort_recoverable<T: Record>(input: &EmFile<T>) -> Result<EmFile<T>> {
-    let mut manifest = SortManifest::new(input.ctx(), None);
-    resume_sort(input, &mut manifest)
+    let ctx = input.ctx().clone();
+    let mut manifest = SortManifest::new(&ctx, None);
+    run_recoverable(&ctx, &mut SortJob::new(input, &mut manifest))
 }
 
 /// Drive the sort of `input` forward from wherever `manifest` left off,
@@ -348,47 +424,13 @@ pub fn external_sort_recoverable<T: Record>(input: &EmFile<T>) -> Result<EmFile<
 /// a simulated crash with [`emcore::FaultPlan::clear_crash`]) — only the
 /// interrupted work unit is redone. Returns the sorted output; afterwards
 /// the manifest is [`SortManifest::is_done`] and must not be reused.
+#[deprecated(note = "use emcore::run_recoverable with emsort::SortJob")]
 pub fn resume_sort<T: Record>(
     input: &EmFile<T>,
     manifest: &mut SortManifest<T>,
 ) -> Result<EmFile<T>> {
-    if manifest.done {
-        return Err(EmError::config(
-            "resume_sort: manifest already completed; create a fresh one",
-        ));
-    }
-    match manifest.input {
-        None => manifest.input = Some((input.id(), input.len())),
-        Some((id, len)) if (id, len) != (input.id(), input.len()) => {
-            return Err(EmError::config(format!(
-                "resume_sort: manifest belongs to input (id {id}, len {len}), \
-                 got (id {}, len {})",
-                input.id(),
-                input.len()
-            )));
-        }
-        Some(_) => {}
-    }
     let ctx = input.ctx().clone();
-    let stats = ctx.stats().clone();
-
-    // Phase 1: run formation, resumable at `consumed` records.
-    if !manifest.formed {
-        let phase = stats.phase_guard("sort/run-formation");
-        let r = form_remaining_runs(input, manifest, &ctx);
-        drop(phase);
-        r?;
-    }
-
-    // Phase 2: merge passes, resumable at merge-group granularity.
-    let phase = stats.phase_guard("sort/merge");
-    let r = merge_remaining(manifest, &ctx);
-    drop(phase);
-    let out = r?;
-    manifest.finish()?;
-    // The output leaves the manifest's custody: normal drop semantics.
-    out.set_persistent(false);
-    Ok(out)
+    run_recoverable(&ctx, &mut SortJob::new(input, manifest))
 }
 
 fn form_remaining_runs<T: Record>(
@@ -492,6 +534,10 @@ fn level_underflow() -> EmError {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated wrapper stays covered: every resume below goes
+    // through `resume_sort`, which drives the job via `run_recoverable`.
+    #![allow(deprecated)]
+
     use super::*;
     use emcore::{EmConfig, EmContext, FaultPlan, RetryPolicy};
 

@@ -27,7 +27,7 @@ pub enum RunFormation {
 
 /// Number of records the in-memory working area may hold, leaving room for
 /// one reader and one writer block buffer.
-fn working_capacity<T: Record>(ctx: &EmContext) -> usize {
+pub(crate) fn working_capacity<T: Record>(ctx: &EmContext) -> usize {
     let b = ctx.config().block_size();
     ctx.mem_records::<T>().saturating_sub(2 * b).max(b)
 }

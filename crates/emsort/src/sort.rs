@@ -11,7 +11,15 @@ use crate::runs::{form_runs_load_sort, form_runs_replacement_selection, RunForma
 /// Cost: `2·(N/B)·(1 + ceil(log_{M/B−2}(N/M)))` I/Os — the classical
 /// `O((N/B)·lg_{M/B}(N/B))` bound, and the baseline that "trivially solves"
 /// every problem in the paper (§1.2).
+///
+/// When the context is configured with more than one worker
+/// (`EmConfig::with_workers`) and meters memory leniently, dispatches to
+/// [`crate::parallel_external_sort`], which charges identical logical
+/// I/Os and produces an identical output file.
 pub fn external_sort<T: Record>(input: &EmFile<T>) -> Result<EmFile<T>> {
+    if input.ctx().config().workers() > 1 {
+        return crate::parallel::parallel_external_sort(input);
+    }
     external_sort_with(input, RunFormation::LoadSort, None)
 }
 

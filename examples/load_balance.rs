@@ -62,7 +62,10 @@ fn main() -> Result<()> {
     ] {
         let ctx = EmContext::new_in_memory(cfg);
         let file = materialize(&ctx, Workload::UniformPerm, n, 7)?;
-        let spec = ProblemSpec::new(n, k_many, a, b)?;
+        let spec = ProblemSpec::builder(n, k_many)
+            .min_size(a)
+            .max_size(b)
+            .build()?;
         ctx.stats().reset();
         let sp = approx_splitters(&file, &spec)?;
         let ios = ctx.stats().snapshot().total_ios();

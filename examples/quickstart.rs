@@ -22,7 +22,10 @@ fn main() -> Result<()> {
 
     // Problem: split into K = 64 ranges, each holding between a = 8 and
     // b = N/2 records — a two-sided instance.
-    let spec = ProblemSpec::new(n, 64, 8, n / 2)?;
+    let spec = ProblemSpec::builder(n, 64)
+        .min_size(8)
+        .max_size(n / 2)
+        .build()?;
     println!("spec:    {spec}");
 
     ctx.stats().reset();
@@ -64,7 +67,7 @@ fn main() -> Result<()> {
 
     // And the headline: a right-grounded instance (only a lower bound on
     // partition sizes) is solvable in SUBLINEAR I/O.
-    let spec_r = ProblemSpec::new(n, 64, 4, n)?;
+    let spec_r = ProblemSpec::builder(n, 64).min_size(4).build()?;
     ctx.stats().reset();
     let s = approx_splitters(&file, &spec_r)?;
     let sub_ios = ctx.stats().snapshot().total_ios();

@@ -14,6 +14,10 @@
 //!
 //! `--mem M` and `--block B` set the machine geometry (defaults 65536/1024
 //! records — a more disk-like shape than the simulator defaults).
+//! `--workers W` sorts with `W` threads (identical logical I/Os and
+//! output; see `emsort::parallel_external_sort`) and `--cache-blocks C`
+//! enables a `C`-block buffer-pool cache under the EM machine (hits charge
+//! logical but not physical I/Os).
 //!
 //! `--trace FILE` streams a JSONL I/O trace of the run (render it with the
 //! `trace_report` tool); `--trace-summary` prints the span tree and
@@ -109,9 +113,13 @@ fn write_keys(path: &Path, keys: &[u64]) {
 }
 
 fn machine(args: &Args) -> EmContext {
-    let m = args.flag_u64("mem", 65536) as usize;
-    let b = args.flag_u64("block", 1024) as usize;
-    let cfg = EmConfig::new(m, b).unwrap_or_else(|e| die(&format!("bad geometry: {e}")));
+    let cfg = EmConfig::builder()
+        .mem(args.flag_u64("mem", 65536) as usize)
+        .block(args.flag_u64("block", 1024) as usize)
+        .workers(args.flag_u64("workers", 1) as usize)
+        .cache_blocks(args.flag_u64("cache-blocks", 0) as usize)
+        .build()
+        .unwrap_or_else(|e| die(&format!("bad geometry: {e}")));
     EmContext::new_in_memory(cfg)
 }
 
@@ -127,9 +135,11 @@ fn spec_from(args: &Args, n: u64) -> ProblemSpec {
     if k == 0 {
         die("--k is required");
     }
-    let a = args.flag_u64("min", 0);
-    let b = args.flag_u64("max", n);
-    ProblemSpec::new(n, k, a, b).unwrap_or_else(|e| die(&format!("infeasible spec: {e}")))
+    ProblemSpec::builder(n, k)
+        .min_size(args.flag_u64("min", 0))
+        .max_size(args.flag_u64("max", n))
+        .build()
+        .unwrap_or_else(|e| die(&format!("infeasible spec: {e}")))
 }
 
 /// Armed tracing state for one command, from `--trace` / `--trace-summary`.
@@ -195,6 +205,15 @@ fn print_stats(ctx: &EmContext) {
         ctx.mem().peak(),
         ctx.mem().capacity()
     );
+    if ctx.cache().is_enabled() {
+        eprintln!(
+            "[stats] cache: {} hits / {} misses ({:.1}% hit rate); {} physical I/Os",
+            c.cache_hits,
+            c.cache_misses,
+            100.0 * c.cache_hit_rate(),
+            c.physical_ios()
+        );
+    }
     for (phase, pc) in ctx.stats().phase_totals() {
         eprintln!("[stats]   {phase:<28} {:>8} I/Os", pc.total_ios());
     }
@@ -395,6 +414,8 @@ fn main() -> ExitCode {
                  \x20 emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...\n\
                  \n\
                  common flags: --mem M --block B   (machine geometry, records)\n\
+                 \x20             --workers W        (parallel sort threads; same logical I/Os)\n\
+                 \x20             --cache-blocks C   (buffer-pool block cache; 0 = off)\n\
                  \x20             --trace FILE       (stream a JSONL I/O trace; see trace_report)\n\
                  \x20             --trace-summary    (print span tree + file access to stderr)\n\
                  files are flat little-endian u64 arrays (8 bytes per record)"

@@ -37,7 +37,7 @@
 //!
 //! // Split into 16 ranges of between 4 and 100_000 records each — a
 //! // right-grounded instance, solvable in sublinear I/O.
-//! let spec = ProblemSpec::new(100_000, 16, 4, 100_000).unwrap();
+//! let spec = ProblemSpec::builder(100_000, 16).min_size(4).build().unwrap();
 //! let splitters = approx_splitters(&file, &spec).unwrap();
 //!
 //! // Far fewer I/Os than even one scan of the input:
@@ -59,18 +59,20 @@ pub mod prelude {
     pub use apsplit::{
         approx_partitioning, approx_partitioning_recoverable, approx_splitters, balanced_loads,
         equi_depth_histogram, median, precise_partitioning, precise_via_approx,
-        resume_approx_partitioning, sort_based_partitioning, sort_based_splitters, top_k,
-        verify_multiselect, verify_partitioning, verify_splitters, Groundedness, PartitionManifest,
-        ProblemSpec,
+        sort_based_partitioning, sort_based_splitters, top_k, verify_multiselect,
+        verify_partitioning, verify_splitters, Groundedness, PartitionJob, PartitionManifest,
+        ProblemSpec, ProblemSpecBuilder,
     };
     pub use emcore::{
-        EmConfig, EmContext, EmError, EmFile, FaultPlan, Journal, JsonlSink, Record, Result,
-        RetryPolicy, RingSink, TraceReport, TraceSink,
+        run_recoverable, BlockCache, EmConfig, EmContext, EmError, EmFile, FaultPlan, Journal,
+        JsonlSink, Record, RecoverableJob, Result, RetryPolicy, RingSink, TraceReport, TraceSink,
     };
     pub use emselect::{
-        multi_select, multi_select_recoverable, quantiles, resume_multi_select, select_rank,
-        MsOptions, MultiSelectManifest, Partition,
+        multi_select, multi_select_recoverable, quantiles, select_rank, MsOptions, MultiSelectJob,
+        MultiSelectManifest, Partition,
     };
-    pub use emsort::{external_sort, external_sort_recoverable, resume_sort, SortManifest};
+    pub use emsort::{
+        external_sort, external_sort_recoverable, parallel_external_sort, SortJob, SortManifest,
+    };
     pub use workloads::{generate, materialize, Workload};
 }

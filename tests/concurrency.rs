@@ -1,0 +1,175 @@
+//! Multi-threaded stress tests for the `Send + Sync` EM runtime:
+//! concurrent sorts and multi-selects over one shared on-disk context,
+//! logical-I/O conservation in the trace report under concurrency, and
+//! race-free fault/retry accounting.
+
+use em_splitters::prelude::*;
+use emcore::{FaultPlan, RetryPolicy, SplitMix64, TraceReport};
+
+fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n).collect();
+    SplitMix64::new(seed).shuffle(&mut v);
+    v
+}
+
+fn fnv(v: &[u64]) -> u64 {
+    v.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &x| {
+        (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Worker count for the shared context, overridable so CI can run the
+/// suite at both `workers = 1` and `workers = 4`.
+fn test_workers() -> usize {
+    std::env::var("EM_TEST_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+/// Several sorts and multi-selects run concurrently on one shared on-disk
+/// context. Every sorted output must match the sequential answer
+/// digest-for-digest, and the trace report must conserve logical I/Os:
+/// with all charged work under one root span, the root's inclusive totals
+/// equal the context's whole-run snapshot — no I/O is lost or
+/// double-charged by racing threads.
+#[test]
+fn concurrent_sorts_and_selects_share_one_context() {
+    let n = 20_000u64;
+    let trace_path =
+        std::env::temp_dir().join(format!("em-concurrency-{}.jsonl", std::process::id()));
+    let cfg = EmConfig::medium()
+        .with_workers(test_workers())
+        .with_cache_blocks(64);
+    let c = EmContext::new_on_disk_temp(cfg).unwrap();
+    c.trace_to_file(&trace_path).unwrap();
+
+    // Materialize every input up front with the oracle paused:
+    // `IoStats::paused` is context-global, so it must not overlap the
+    // charged work below.
+    let sort_inputs: Vec<EmFile<u64>> = [0xA1u64, 0xB2, 0xC3]
+        .iter()
+        .map(|&seed| {
+            let data = shuffled(n, seed);
+            c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap()
+        })
+        .collect();
+    let select_inputs: Vec<EmFile<u64>> = [0xD4u64, 0xE5]
+        .iter()
+        .map(|&seed| {
+            let data = shuffled(n, seed);
+            c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap()
+        })
+        .collect();
+    let ranks: Vec<u64> = vec![1, n / 7, n / 3, n / 2, n - 1, n];
+
+    // Inputs are permutations of 0..n, so the sequential answers are
+    // closed-form: the sorted file is 0..n and rank r selects r-1.
+    let want_digest = fnv(&(0..n).collect::<Vec<_>>());
+    let want_selected: Vec<u64> = ranks.iter().map(|&r| r - 1).collect();
+
+    let root = c.stats().phase_guard("test/concurrent-root");
+    let sorted_files: Vec<EmFile<u64>> = std::thread::scope(|s| {
+        let mut sort_handles = Vec::new();
+        for f in &sort_inputs {
+            let c = &c;
+            sort_handles.push(s.spawn(move || {
+                let _g = c.stats().phase_guard("test/sort");
+                external_sort(f).unwrap()
+            }));
+        }
+        let mut select_handles = Vec::new();
+        for f in &select_inputs {
+            let (c, ranks) = (&c, &ranks);
+            select_handles.push(s.spawn(move || {
+                let _g = c.stats().phase_guard("test/select");
+                multi_select(f, ranks).unwrap()
+            }));
+        }
+        for h in select_handles {
+            assert_eq!(h.join().unwrap(), want_selected);
+        }
+        sort_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    drop(root);
+
+    for sf in &sorted_files {
+        assert_eq!(sf.len(), n);
+        let got = c.stats().paused(|| sf.to_vec()).unwrap();
+        assert_eq!(fnv(&got), want_digest, "concurrent sort output diverged");
+    }
+
+    let snapshot = c.stats().snapshot();
+    c.finish_trace();
+    let report = TraceReport::load(&trace_path).unwrap();
+    std::fs::remove_file(&trace_path).ok();
+    assert!(
+        report.unclosed().is_empty(),
+        "all spans must close despite interleaved open/close: {:?}",
+        report
+            .unclosed()
+            .iter()
+            .map(|sp| sp.name.clone())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.root_totals().total_ios(),
+        snapshot.total_ios(),
+        "logical I/Os must be conserved between the trace and the stats"
+    );
+
+    // Every buffer charge taken by the racing threads was released: the
+    // lock-free memory gauge returns exactly to zero.
+    drop((sort_inputs, select_inputs, sorted_files));
+    assert_eq!(c.mem().current(), 0, "leaked memory charges");
+}
+
+/// Transient read faults injected while several threads scan the same
+/// context concurrently: every injected fault is retried and counted
+/// exactly once, so `IoStats.retries` equals the plan's injected-transient
+/// total — the counters are race-free.
+#[test]
+fn fault_injection_counters_are_race_free() {
+    let n = 4_000u64;
+    let c = EmContext::new_on_disk_temp(EmConfig::tiny()).unwrap();
+    c.set_retry_policy(RetryPolicy::retries(30));
+
+    let files: Vec<EmFile<u64>> = (0..4u64)
+        .map(|seed| {
+            let data = shuffled(n, seed);
+            c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap()
+        })
+        .collect();
+
+    let plan = FaultPlan::new(0x5EED).transient_rate(0.02);
+    c.install_fault_plan(plan.clone());
+    std::thread::scope(|s| {
+        for f in &files {
+            s.spawn(move || {
+                for _ in 0..2 {
+                    let mut r = f.reader();
+                    let mut count = 0u64;
+                    while r.next().unwrap().is_some() {
+                        count += 1;
+                    }
+                    assert_eq!(count, n);
+                }
+            });
+        }
+    });
+    c.clear_fault_plan();
+
+    let stats = c.stats().snapshot();
+    assert!(
+        plan.injected().transient_total() > 0,
+        "the sweep must actually inject faults to prove anything"
+    );
+    assert_eq!(
+        stats.retries,
+        plan.injected().transient_total(),
+        "every injected transient fault is counted exactly once across threads"
+    );
+}

@@ -14,10 +14,10 @@
 
 use em_splitters::prelude::*;
 use emcore::{EmError, FaultKind, FaultPlan, FaultSpec, RetryPolicy, SplitMix64, Trigger};
-use emselect::{multi_select_recoverable, resume_multi_select, MsOptions, MultiSelectManifest};
-use emsort::{external_sort_recoverable, resume_sort, SortManifest};
+use emselect::{multi_select_recoverable, MsOptions, MultiSelectJob, MultiSelectManifest};
+use emsort::{external_sort_recoverable, SortJob, SortManifest};
 
-use apsplit::{approx_partitioning_recoverable, resume_approx_partitioning, PartitionManifest};
+use apsplit::{approx_partitioning_recoverable, PartitionJob, PartitionManifest};
 
 fn shuffled(n: u64, seed: u64) -> Vec<u64> {
     let mut v: Vec<u64> = (0..n).collect();
@@ -114,13 +114,13 @@ fn crash_at_any_io_plus_resume_bounds_redone_work() {
         c.install_fault_plan(plan.clone());
 
         let mut manifest = SortManifest::new(&c, None);
-        let first = resume_sort(&f, &mut manifest);
+        let first = run_recoverable(&c, &mut SortJob::new(&f, &mut manifest));
         assert!(
             matches!(first, Err(EmError::Crashed)),
             "crash_at={crash_at}: expected a crash"
         );
         plan.clear_crash();
-        let sorted = resume_sort(&f, &mut manifest).unwrap();
+        let sorted = run_recoverable(&c, &mut SortJob::new(&f, &mut manifest)).unwrap();
         assert_eq!(
             c.oracle(|| sorted.to_vec()).unwrap(),
             want,
@@ -160,7 +160,7 @@ fn repeated_crashes_still_converge() {
     let mut manifest = SortManifest::new(&c, None);
     let mut crashes = 0;
     let sorted = loop {
-        match resume_sort(&f, &mut manifest) {
+        match run_recoverable(&c, &mut SortJob::new(&f, &mut manifest)) {
             Ok(out) => break out,
             Err(EmError::Crashed) => {
                 crashes += 1;
@@ -313,7 +313,10 @@ fn multi_select_crash_sweep_exhaustive() {
 
     let attempts = count_attempts(&data, |_, f| {
         let mut m = MultiSelectManifest::new(f, &ranks, opts).unwrap();
-        assert_eq!(resume_multi_select(f, &mut m).unwrap(), want);
+        assert_eq!(
+            run_recoverable(f.ctx(), &mut MultiSelectJob::new(f, &mut m)).unwrap(),
+            want
+        );
     });
 
     for crash_at in 0..attempts {
@@ -323,11 +326,14 @@ fn multi_select_crash_sweep_exhaustive() {
         c.install_fault_plan(plan.clone());
         let mut m = MultiSelectManifest::new(&f, &ranks, opts).unwrap();
         assert!(
-            matches!(resume_multi_select(&f, &mut m), Err(EmError::Crashed)),
+            matches!(
+                run_recoverable(&c, &mut MultiSelectJob::new(&f, &mut m)),
+                Err(EmError::Crashed)
+            ),
             "crash_at={crash_at}: expected a crash"
         );
         plan.clear_crash();
-        let got = resume_multi_select(&f, &mut m).unwrap();
+        let got = run_recoverable(&c, &mut MultiSelectJob::new(&f, &mut m)).unwrap();
         assert_eq!(got, want, "crash_at={crash_at}");
         let stats = c.stats().snapshot();
         assert!(
@@ -363,13 +369,13 @@ fn partitioning_crash_sweep_exhaustive() {
         let mut m = PartitionManifest::new(&f, &spec).unwrap();
         assert!(
             matches!(
-                resume_approx_partitioning(&f, &mut m),
+                run_recoverable(&c, &mut PartitionJob::new(&f, &mut m)),
                 Err(EmError::Crashed)
             ),
             "crash_at={crash_at}: expected a crash"
         );
         plan.clear_crash();
-        let parts = resume_approx_partitioning(&f, &mut m).unwrap();
+        let parts = run_recoverable(&c, &mut PartitionJob::new(&f, &mut m)).unwrap();
         let got: Vec<Vec<u64>> = c
             .oracle(|| parts.iter().map(|p| p.to_vec()).collect::<Result<_>>())
             .unwrap();
@@ -414,7 +420,10 @@ fn sort_manifest_survives_process_restart_on_disk() {
         let plan = FaultPlan::new(0).fatal_at(attempts * 2 / 3);
         c1.install_fault_plan(plan.clone());
         let mut m = SortManifest::new(&c1, None);
-        assert!(matches!(resume_sort(&f, &mut m), Err(EmError::Crashed)));
+        assert!(matches!(
+            run_recoverable(&c1, &mut SortJob::new(&f, &mut m)),
+            Err(EmError::Crashed)
+        ));
         assert!(m.checkpoints() > 0, "crash landed after checkpoints");
         (f.id(), f.len())
         // c1, f, m all drop here: the "process" dies.
@@ -446,7 +455,7 @@ fn sort_manifest_survives_process_restart_on_disk() {
             !dir.join("sort-manifest.journal.tmp").exists(),
             "stale journal temp file must be garbage-collected on load"
         );
-        let sorted = resume_sort(&f2, &mut m).unwrap();
+        let sorted = run_recoverable(&c2, &mut SortJob::new(&f2, &mut m)).unwrap();
         assert_eq!(c2.oracle(|| sorted.to_vec()).unwrap(), want);
         assert!(!dir.join("sort-manifest.journal").exists());
         f2.set_persistent(false); // let the input delete on drop

@@ -12,9 +12,13 @@ fn ten_million_records_all_pipelines() {
 
     // Splitters, all regimes.
     for spec in [
-        ProblemSpec::new(n, 64, 4, n).unwrap(),
-        ProblemSpec::new(n, 64, 0, n / 8).unwrap(),
-        ProblemSpec::new(n, 64, 4, n / 2).unwrap(),
+        ProblemSpec::builder(n, 64).min_size(4).build().unwrap(),
+        ProblemSpec::builder(n, 64).max_size(n / 8).build().unwrap(),
+        ProblemSpec::builder(n, 64)
+            .min_size(4)
+            .max_size(n / 2)
+            .build()
+            .unwrap(),
     ] {
         let sp = approx_splitters(&file, &spec).unwrap();
         let rep = ctx
@@ -25,7 +29,11 @@ fn ten_million_records_all_pipelines() {
     }
 
     // Partitioning + multiset check on sizes.
-    let spec = ProblemSpec::new(n, 64, 4, n / 2).unwrap();
+    let spec = ProblemSpec::builder(n, 64)
+        .min_size(4)
+        .max_size(n / 2)
+        .build()
+        .unwrap();
     let parts = approx_partitioning(&file, &spec).unwrap();
     let rep = ctx
         .stats()
