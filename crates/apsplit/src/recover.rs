@@ -550,11 +550,6 @@ fn resume_inner<T: Record>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated wrapper stays covered: every resume below goes
-    // through `resume_approx_partitioning`, which drives the job via
-    // `run_recoverable`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::verify::verify_partitioning;
     use emcore::{EmConfig, FaultPlan, SplitMix64};
@@ -563,6 +558,14 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         SplitMix64::new(seed).shuffle(&mut v);
         v
+    }
+
+    /// The canonical resume idiom: drive the job via `run_recoverable`.
+    /// (`resume_approx_partitioning` is only a deprecated shim over
+    /// exactly this.)
+    fn resume(f: &EmFile<u64>, m: &mut PartitionManifest<u64>) -> Result<Partitioning<u64>> {
+        let c = f.ctx().clone();
+        run_recoverable(&c, &mut PartitionJob::new(f, m))
     }
 
     fn flat(parts: &[Partition<u64>]) -> Vec<u64> {
@@ -619,7 +622,10 @@ mod tests {
         assert!(stats.journal_writes > 0);
     }
 
+    // Keeps the deprecated `resume_approx_partitioning` shim covered until
+    // it is removed; every other test resumes via `run_recoverable`.
     #[test]
+    #[allow(deprecated)]
     fn crash_and_resume_preserves_output_and_bounds_rework() {
         let n = 5000u64;
         let spec = ProblemSpec::new(n, 8, 100, 3000).unwrap();
@@ -668,17 +674,11 @@ mod tests {
         let spec = ProblemSpec::new(200, 4, 20, 100).unwrap();
         let f = EmFile::from_slice(&c, &shuffled(200, 60)).unwrap();
         let mut m = PartitionManifest::new(&f, &spec).unwrap();
-        let _ = resume_approx_partitioning(&f, &mut m).unwrap();
-        assert!(matches!(
-            resume_approx_partitioning(&f, &mut m),
-            Err(EmError::Config(_))
-        ));
+        let _ = resume(&f, &mut m).unwrap();
+        assert!(matches!(resume(&f, &mut m), Err(EmError::Config(_))));
         let g = EmFile::from_slice(&c, &[1u64, 2]).unwrap();
         let mut m2 = PartitionManifest::new(&f, &spec).unwrap();
-        assert!(matches!(
-            resume_approx_partitioning(&g, &mut m2),
-            Err(EmError::Config(_))
-        ));
+        assert!(matches!(resume(&g, &mut m2), Err(EmError::Config(_))));
     }
 
     #[test]
@@ -693,10 +693,10 @@ mod tests {
         let plan = FaultPlan::new(0).fatal_at(600);
         c.install_fault_plan(plan.clone());
         let mut m = PartitionManifest::new(&f, &spec).unwrap();
-        assert!(resume_approx_partitioning(&f, &mut m).is_err());
+        assert!(resume(&f, &mut m).is_err());
         assert_eq!(meta.exists(), m.checkpoints() > 0);
         plan.clear_crash();
-        let parts = resume_approx_partitioning(&f, &mut m).unwrap();
+        let parts = resume(&f, &mut m).unwrap();
         assert_eq!(parts.len(), 8);
         assert!(!meta.exists(), "journal removed after completion");
         let report = c

@@ -1,0 +1,4 @@
+//! Experiment binary: see DESIGN.md per-experiment index.
+fn main() {
+    bench::emit(&bench::ex_serve(bench::Scale::from_env()));
+}

@@ -32,12 +32,11 @@ const SEED: u64 = 20140623;
 /// The recoverable algorithms the campaign sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algo {
-    /// Recoverable external merge sort ([`emsort::resume_sort`]).
+    /// Recoverable external merge sort ([`emsort::SortJob`]).
     Sort,
-    /// Recoverable multi-selection ([`emselect::resume_multi_select`]).
+    /// Recoverable multi-selection ([`emselect::MultiSelectJob`]).
     MultiSelect,
-    /// Recoverable approximate partitioning
-    /// ([`apsplit::resume_approx_partitioning`]).
+    /// Recoverable approximate partitioning ([`apsplit::PartitionJob`]).
     Partition,
 }
 

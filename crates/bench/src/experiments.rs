@@ -1100,6 +1100,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
         ex_reduction(scale),
         ex_fault_overhead(scale),
         ex_parallel(scale),
+        crate::serve_bench::ex_serve(scale),
         crate::crash_sweep::ex_recovery(scale),
     ];
     for t in &tables {

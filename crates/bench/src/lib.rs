@@ -19,7 +19,9 @@
 pub mod crash_sweep;
 pub mod experiments;
 pub mod harness;
+pub mod serve_bench;
 
 pub use crash_sweep::{ex_recovery, run_campaign, sweep, Algo, Backend, SweepOutcome};
 pub use experiments::*;
 pub use harness::{bench_config, bench_ctx, emit, fnum, measure, Scale, Table};
+pub use serve_bench::ex_serve;

@@ -540,20 +540,28 @@ impl IoStats {
     /// Prefer [`IoStats::phase_guard`], which closes on early return and
     /// unwinding.
     pub fn begin_phase(&self, name: impl Into<String>) {
-        self.push_scope(name.into(), true);
+        self.push_scope(name.into(), true, None);
     }
 
-    fn push_scope(&self, name: String, charge: bool) {
+    fn push_scope(&self, name: String, charge: bool, parent: Option<u64>) {
         let start = self.snapshot();
         let mut g = self.lock();
         // The tracer has its own interior state, independent of ours.
-        let span = self.inner.tracer.span_open(&name);
+        let span = self.inner.tracer.span_open_under(&name, parent);
         g.stack().push(Scope {
             name,
             start,
             span,
             charge,
         });
+    }
+
+    /// Trace span id of the calling thread's innermost open phase, or 0 if
+    /// none is open (or tracing is disabled). Capture this on a coordinating
+    /// thread and pass it to [`IoStats::trace_span_under`] from workers so
+    /// their spans nest under the coordinating phase.
+    pub fn current_span_id(&self) -> u64 {
+        self.lock().stack().last().map(|s| s.span).unwrap_or(0)
     }
 
     /// End the innermost open phase *of the calling thread*, returning its
@@ -595,13 +603,35 @@ impl IoStats {
     /// is only invoked when tracing is enabled; when disabled the returned
     /// guard is inert and the cost is one flag check.
     pub fn trace_span(&self, name: impl FnOnce() -> String) -> TraceSpanGuard<'_> {
+        self.trace_span_impl(None, name)
+    }
+
+    /// Like [`IoStats::trace_span`] but with an explicit parent span id
+    /// (from [`IoStats::current_span_id`] on the coordinating thread). A
+    /// `parent` of 0 falls back to automatic parent resolution. Use from
+    /// worker threads so their spans attach under the phase that charges
+    /// their I/O rather than whatever another thread has open.
+    pub fn trace_span_under(
+        &self,
+        parent: u64,
+        name: impl FnOnce() -> String,
+    ) -> TraceSpanGuard<'_> {
+        let parent = (parent != 0).then_some(parent);
+        self.trace_span_impl(parent, name)
+    }
+
+    fn trace_span_impl(
+        &self,
+        parent: Option<u64>,
+        name: impl FnOnce() -> String,
+    ) -> TraceSpanGuard<'_> {
         if !self.inner.tracer.is_enabled() {
             return TraceSpanGuard {
                 stats: self,
                 active: false,
             };
         }
-        self.push_scope(name(), false);
+        self.push_scope(name(), false, parent);
         TraceSpanGuard {
             stats: self,
             active: true,

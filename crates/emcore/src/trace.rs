@@ -50,6 +50,7 @@ use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::ThreadId;
 use std::time::Instant;
 
 use crate::fault::{FaultKind, IoOp};
@@ -862,9 +863,24 @@ struct TraceState {
     sink: Option<Box<dyn TraceSink>>,
     epoch: Option<Instant>,
     next_id: u64,
-    /// Stack of open spans: `(id, open timestamp µs)`.
-    open: Vec<(u64, u64)>,
+    /// Open spans in open order. Not a pure stack: concurrent workers
+    /// interleave opens and closes, so each entry remembers the thread
+    /// that opened it and parent resolution is per-thread (see
+    /// [`Tracer::span_open_under`]).
+    open: Vec<OpenSpan>,
     files: BTreeMap<u64, FileTrack>,
+}
+
+/// One span that has been opened but not yet closed.
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    /// Open timestamp, microseconds since trace begin.
+    t0: u64,
+    /// Thread that opened the span; used to resolve parents so worker
+    /// threads nest under their own spans, not whichever span another
+    /// thread happened to open last.
+    thread: ThreadId,
 }
 
 #[derive(Default)]
@@ -973,18 +989,28 @@ impl Tracer {
         self.inner.enabled.store(false, Ordering::Relaxed);
     }
 
-    /// Open a span named `name` under the innermost open span. Returns the
-    /// span id, or 0 when tracing is disabled.
-    pub(crate) fn span_open(&self, name: &str) -> u64 {
+    /// Open a span with an explicit parent (`Some(0)` forces a root).
+    /// When `parent` is `None` the parent is resolved in order of
+    /// preference: the calling thread's innermost open span; else the
+    /// oldest open span of any thread (so spans opened from worker
+    /// threads attach under the enclosing charged phase instead of
+    /// becoming spurious roots, which would break delta conservation);
+    /// else 0 (root). Returns the span id, or 0 when tracing is disabled.
+    pub(crate) fn span_open_under(&self, name: &str, parent: Option<u64>) -> u64 {
         if !self.is_enabled() {
             return 0;
         }
+        let thread = std::thread::current().id();
         let mut st = self.state();
         let t_us = now_us(&st);
         st.next_id += 1;
         let id = st.next_id;
-        let parent = st.open.last().map(|&(p, _)| p).unwrap_or(0);
-        st.open.push((id, t_us));
+        let parent = parent.unwrap_or_else(|| resolve_parent(&st, thread));
+        st.open.push(OpenSpan {
+            id,
+            t0: t_us,
+            thread,
+        });
         let ev = TraceEvent::SpanOpen {
             id,
             parent,
@@ -998,28 +1024,20 @@ impl Tracer {
     }
 
     /// Close span `id` with its counter delta. No-op for id 0 (spans opened
-    /// while tracing was disabled).
+    /// while tracing was disabled) and for ids that are not open — the
+    /// stats layer debug-asserts against unbalanced phases.
     pub(crate) fn span_close(&self, id: u64, delta: &Counters) {
         if id == 0 || !self.is_enabled() {
             return;
         }
         let mut st = self.state();
         let t_us = now_us(&st);
-        // Spans close LIFO; a mismatch means an unbalanced phase, which the
-        // stats layer debug-asserts against. Recover by searching the stack.
-        let opened = match st.open.pop() {
-            Some((top, t0)) if top == id => Some(t0),
-            Some(other) => {
-                let found = st.open.iter().rposition(|&(sid, _)| sid == id);
-                let t0 = found.map(|idx| st.open.remove(idx).1);
-                st.open.push(other);
-                t0
-            }
-            None => None,
-        };
-        let Some(t0) = opened else {
+        // Ids are unique, so search from the innermost end; concurrent
+        // workers interleave closes, so the match need not be last.
+        let Some(idx) = st.open.iter().rposition(|s| s.id == id) else {
             return;
         };
+        let t0 = st.open.remove(idx).t0;
         let ev = TraceEvent::SpanClose {
             id,
             t_us,
@@ -1031,14 +1049,16 @@ impl Tracer {
         }
     }
 
-    /// Emit a point event attributed to the innermost open span.
+    /// Emit a point event attributed to the calling thread's innermost
+    /// open span (falling back to the oldest open span, then to 0).
     pub fn point(&self, kind: PointKind) {
         if !self.is_enabled() {
             return;
         }
+        let thread = std::thread::current().id();
         let mut st = self.state();
         let t_us = now_us(&st);
-        let span = st.open.last().map(|&(id, _)| id).unwrap_or(0);
+        let span = resolve_parent(&st, thread);
         let ev = TraceEvent::Point { kind, span, t_us };
         if let Some(s) = st.sink.as_mut() {
             s.record(&ev);
@@ -1103,6 +1123,18 @@ impl Tracer {
 fn now_us(st: &TraceState) -> u64 {
     st.epoch
         .map(|e| e.elapsed().as_micros().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// Innermost open span of `thread`, else the oldest open span of any
+/// thread, else 0.
+fn resolve_parent(st: &TraceState, thread: ThreadId) -> u64 {
+    st.open
+        .iter()
+        .rev()
+        .find(|s| s.thread == thread)
+        .or_else(|| st.open.first())
+        .map(|s| s.id)
         .unwrap_or(0)
 }
 
@@ -1244,14 +1276,14 @@ mod tests {
     fn tracer_spans_nest_and_attribute_points() {
         let tracer = Tracer::default();
         assert!(!tracer.is_enabled());
-        assert_eq!(tracer.span_open("ignored"), 0);
+        assert_eq!(tracer.span_open_under("ignored", None), 0);
         let ring = RingSink::new(0);
         tracer.install(Box::new(ring.clone()), 4096, 64);
-        let a = tracer.span_open("a");
-        let b = tracer.span_open("b");
+        let a = tracer.span_open_under("a", None);
+        let b = tracer.span_open_under("b", None);
         tracer.point(PointKind::Retry { op: IoOp::Read });
         tracer.span_close(b, &Counters::default());
-        let c = tracer.span_open("c");
+        let c = tracer.span_open_under("c", None);
         tracer.span_close(c, &Counters::default());
         tracer.span_close(a, &Counters::default());
         tracer.finish();
@@ -1279,6 +1311,44 @@ mod tests {
         assert_eq!(point_span, b);
         assert!(matches!(evs.last(), Some(TraceEvent::End { .. })));
         assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn worker_thread_spans_nest_under_oldest_open_span() {
+        let tracer = Tracer::default();
+        let ring = RingSink::new(0);
+        tracer.install(Box::new(ring.clone()), 4096, 64);
+        let root = tracer.span_open_under("root", None);
+        // A worker with no spans of its own attaches under the oldest
+        // open span (the coordinating phase), not at the root level.
+        let (w_outer, w_inner) = std::thread::scope(|s| {
+            s.spawn(|| {
+                let outer = tracer.span_open_under("w-outer", None);
+                let inner = tracer.span_open_under("w-inner", None);
+                tracer.span_close(inner, &Counters::default());
+                tracer.span_close(outer, &Counters::default());
+                (outer, inner)
+            })
+            .join()
+            .unwrap()
+        });
+        // Meanwhile an explicit parent always wins.
+        let pinned = tracer.span_open_under("pinned", Some(root));
+        tracer.span_close(pinned, &Counters::default());
+        tracer.span_close(root, &Counters::default());
+        tracer.finish();
+        let evs = ring.events();
+        let parent_of = |want: u64| {
+            evs.iter()
+                .find_map(|e| match e {
+                    TraceEvent::SpanOpen { id, parent, .. } if *id == want => Some(*parent),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(parent_of(w_outer), root, "worker falls back to oldest open");
+        assert_eq!(parent_of(w_inner), w_outer, "same-thread nesting wins");
+        assert_eq!(parent_of(pinned), root);
     }
 
     #[test]

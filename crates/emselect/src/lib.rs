@@ -51,8 +51,8 @@ pub use multi_partition::{
     MpOptions,
 };
 pub use multi_select::{
-    base_case_capacity, base_case_capacity_n, multi_select, multi_select_segs, multi_select_with,
-    quantiles, select_rank, MsBaseCase, MsOptions,
+    base_case_capacity, base_case_capacity_n, multi_select, multi_select_segs, multi_select_window,
+    multi_select_with, quantiles, select_rank, MsBaseCase, MsOptions,
 };
 pub use partition_out::{segs_len, ChainReader, Partition};
 #[allow(deprecated)]

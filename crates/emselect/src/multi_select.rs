@@ -150,6 +150,36 @@ pub fn multi_select_segs<T: Record>(
     Ok(out)
 }
 
+/// [`multi_select_segs`] restricted to a rank window: `segs` hold the
+/// elements of global ranks `(offset, offset + segs_len]` of some larger
+/// dataset, and `ranks` are *global* ranks that must fall inside that
+/// window. Used by serving layers that keep a pivot skeleton: a query
+/// rank known to land in a segment is answered by selecting only within
+/// it, at the segment's (smaller) linear cost. Answers come back in the
+/// caller's order and are identical to selecting the same global ranks
+/// on the full dataset.
+pub fn multi_select_window<T: Record>(
+    ctx: &EmContext,
+    segs: &[EmFile<T>],
+    offset: u64,
+    ranks: &[u64],
+    opts: MsOptions,
+) -> Result<Vec<T>> {
+    let n = segs_len(segs);
+    let mut local = Vec::with_capacity(ranks.len());
+    for &r in ranks {
+        if r <= offset || r > offset.saturating_add(n) {
+            return Err(EmError::config(format!(
+                "global rank {r} outside segment window ({}, {}]",
+                offset,
+                offset + n
+            )));
+        }
+        local.push(r - offset);
+    }
+    multi_select_segs(ctx, segs, &local, opts)
+}
+
 /// Core: `sorted` is ascending and distinct; `segs` is the input as a
 /// segment list (single-element for a plain file).
 fn multi_select_sorted<T: Record>(
@@ -848,6 +878,44 @@ mod tests {
         sorted.sort_unstable();
         let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn window_select_matches_full_select() {
+        let c = strict_ctx();
+        let n = 3000u64;
+        let data = shuffled(n, 11);
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        // Cut out the exact rank window (1000, 2000] as its own segment.
+        let window: Vec<u64> = sorted[1000..2000].to_vec();
+        let seg = c
+            .stats()
+            .paused(|| EmFile::from_slice(&c, &window))
+            .unwrap();
+        let ranks = vec![1500u64, 1001, 2000, 1500];
+        let got = multi_select_window(
+            &c,
+            std::slice::from_ref(&seg),
+            1000,
+            &ranks,
+            MsOptions::default(),
+        )
+        .unwrap();
+        let want = multi_select(&f, &ranks).unwrap();
+        assert_eq!(got, want);
+        // Out-of-window global ranks are rejected.
+        for bad in [1000u64, 2001, 0] {
+            assert!(multi_select_window(
+                &c,
+                std::slice::from_ref(&seg),
+                1000,
+                &[bad],
+                MsOptions::default()
+            )
+            .is_err());
+        }
     }
 
     #[test]

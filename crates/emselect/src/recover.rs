@@ -195,7 +195,7 @@ impl JournalState for MsImage {
 
 /// Checkpointed state of a recoverable multi-selection. Owns the prepass
 /// partitions of groups not yet selected; survives any number of failed
-/// [`resume_multi_select`] attempts.
+/// resume attempts.
 #[derive(Debug)]
 pub struct MultiSelectManifest<T: Record> {
     ctx: EmContext,
@@ -500,11 +500,6 @@ fn resume_inner<T: Record>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated wrapper stays covered: every resume below goes
-    // through `resume_multi_select`, which drives the job via
-    // `run_recoverable`.
-    #![allow(deprecated)]
-
     use super::*;
     use emcore::{EmConfig, FaultPlan};
 
@@ -512,6 +507,13 @@ mod tests {
         let mut v: Vec<u64> = (0..n).collect();
         emcore::SplitMix64::new(seed).shuffle(&mut v);
         v
+    }
+
+    /// The canonical resume idiom: drive the job via `run_recoverable`.
+    /// (`resume_multi_select` is only a deprecated shim over exactly this.)
+    fn resume(f: &EmFile<u64>, m: &mut MultiSelectManifest<u64>) -> Result<Vec<u64>> {
+        let c = f.ctx().clone();
+        run_recoverable(&c, &mut MultiSelectJob::new(f, m))
     }
 
     fn many_group_opts() -> MsOptions {
@@ -532,7 +534,7 @@ mod tests {
         let ranks: Vec<u64> = vec![4000, 7, 7, 1500, 3000, 5999, 420, 2222, 808, 1, 6000];
         let want = crate::multi_select(&f, &ranks).unwrap();
         let mut m = MultiSelectManifest::new(&f, &ranks, many_group_opts()).unwrap();
-        let got = resume_multi_select(&f, &mut m).unwrap();
+        let got = resume(&f, &mut m).unwrap();
         assert_eq!(got, want);
         assert!(m.is_done());
         assert!(m.groups() > 1, "override must force several groups");
@@ -567,7 +569,10 @@ mod tests {
         assert!(MultiSelectManifest::new(&f, &[4], MsOptions::default()).is_err());
     }
 
+    // Keeps the deprecated `resume_multi_select` shim covered until it is
+    // removed; every other test resumes via `run_recoverable` directly.
     #[test]
+    #[allow(deprecated)]
     fn crash_and_resume_preserves_output_and_bounds_rework() {
         let c = EmContext::new_in_memory(EmConfig::tiny());
         let n = 5000u64;
@@ -609,17 +614,11 @@ mod tests {
         let c = EmContext::new_in_memory(EmConfig::tiny());
         let f = EmFile::from_slice(&c, &shuffled(100, 14)).unwrap();
         let mut m = MultiSelectManifest::new(&f, &[50], MsOptions::default()).unwrap();
-        let _ = resume_multi_select(&f, &mut m).unwrap();
-        assert!(matches!(
-            resume_multi_select(&f, &mut m),
-            Err(EmError::Config(_))
-        ));
+        let _ = resume(&f, &mut m).unwrap();
+        assert!(matches!(resume(&f, &mut m), Err(EmError::Config(_))));
         let g = EmFile::from_slice(&c, &[1u64, 2]).unwrap();
         let mut m2 = MultiSelectManifest::new(&f, &[50], MsOptions::default()).unwrap();
-        assert!(matches!(
-            resume_multi_select(&g, &mut m2),
-            Err(EmError::Config(_))
-        ));
+        assert!(matches!(resume(&g, &mut m2), Err(EmError::Config(_))));
     }
 
     #[test]
@@ -636,7 +635,7 @@ mod tests {
             let p = FaultPlan::new(0);
             c.install_fault_plan(p.clone());
             let mut m = MultiSelectManifest::new(&f, &ranks, many_group_opts()).unwrap();
-            resume_multi_select(&f, &mut m).unwrap();
+            resume(&f, &mut m).unwrap();
             p.attempts()
         };
 
@@ -652,11 +651,11 @@ mod tests {
         let plan = FaultPlan::new(0).fatal_at(attempts - 5);
         c.install_fault_plan(plan.clone());
         let mut m = MultiSelectManifest::new(&f, &ranks, many_group_opts()).unwrap();
-        assert!(resume_multi_select(&f, &mut m).is_err());
+        assert!(resume(&f, &mut m).is_err());
         assert!(m.checkpoints() > 0, "crash planted after first checkpoint");
         assert!(meta.exists(), "journal persisted after crash");
         plan.clear_crash();
-        let got = resume_multi_select(&f, &mut m).unwrap();
+        let got = resume(&f, &mut m).unwrap();
         assert_eq!(got.len(), ranks.len());
         assert!(!meta.exists(), "journal removed after completion");
     }

@@ -1,0 +1,204 @@
+//! Persistent dataset catalog: named datasets registered on an
+//! [`EmContext`], reopenable across process restarts.
+//!
+//! The catalog is a single journal (`serve-catalog`) mapping dataset
+//! names to `(file id, length, record width)`. Registering a dataset
+//! marks its backing file persistent and commits the catalog atomically,
+//! so on the directory backend a fresh process can [`Catalog::open`] the
+//! same directory and reopen every dataset by id.
+
+use std::collections::BTreeMap;
+
+use emcore::{EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
+
+/// Journal name holding the catalog image.
+pub const CATALOG_JOURNAL: &str = "serve-catalog";
+
+/// One registered dataset: enough to reopen its file on a fresh context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetEntry {
+    /// Backing file id ([`EmContext::open_file`]).
+    pub id: u64,
+    /// Number of records.
+    pub len: u64,
+    /// Record width in words ([`Record::WORDS`]) — checked on reopen so a
+    /// dataset registered as one type is not silently reread as another.
+    pub words: u64,
+}
+
+#[derive(Debug, Default)]
+struct CatalogImage {
+    entries: Vec<(String, DatasetEntry)>,
+}
+
+impl JournalState for CatalogImage {
+    const KIND: &'static str = "serve-catalog";
+    const VERSION: u32 = 1;
+
+    fn encode(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for (name, e) in &self.entries {
+            let _ = writeln!(out, "ds {} {} {} {}", name, e.id, e.len, e.words);
+        }
+    }
+
+    fn decode(body: &str) -> Result<Self> {
+        let mut entries = Vec::new();
+        for line in body.lines() {
+            let Some(("ds", rest)) = line.split_once(' ') else {
+                return Err(EmError::config(format!("catalog: bad line {line:?}")));
+            };
+            let mut it = rest.split(' ');
+            let mut next = || {
+                it.next()
+                    .ok_or_else(|| EmError::config(format!("catalog: short line {line:?}")))
+            };
+            let name = next()?.to_string();
+            let num = |s: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| EmError::config(format!("catalog: bad number {s:?}")))
+            };
+            let id = num(next()?)?;
+            let len = num(next()?)?;
+            let words = num(next()?)?;
+            entries.push((name, DatasetEntry { id, len, words }));
+        }
+        Ok(CatalogImage { entries })
+    }
+}
+
+/// Validate a dataset name: lowercase alphanumerics and dashes, nonempty.
+/// The same charset journals require, since each dataset also gets an
+/// index journal named after it.
+pub fn validate_name(name: &str) -> Result<()> {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return Err(EmError::config(format!(
+            "dataset name {name:?} must be nonempty [a-z0-9-]"
+        )));
+    }
+    Ok(())
+}
+
+/// The persistent name → dataset map.
+#[derive(Debug)]
+pub struct Catalog {
+    ctx: EmContext,
+    journal: Journal,
+    entries: BTreeMap<String, DatasetEntry>,
+}
+
+impl Catalog {
+    /// Open (or create) the catalog on `ctx`'s backing store, loading any
+    /// previously committed image.
+    pub fn open(ctx: &EmContext) -> Result<Self> {
+        let journal = Journal::new(ctx, CATALOG_JOURNAL)?;
+        let entries = match journal.load::<CatalogImage>()? {
+            Some(img) => img.entries.into_iter().collect(),
+            None => BTreeMap::new(),
+        };
+        Ok(Catalog {
+            ctx: ctx.clone(),
+            journal,
+            entries,
+        })
+    }
+
+    /// Register `file` under `name`, marking it persistent and committing
+    /// the catalog. Errors if `name` is taken by a *different* file;
+    /// re-registering the same file is a no-op (idempotent restart path).
+    pub fn register<T: Record>(&mut self, name: &str, file: &EmFile<T>) -> Result<()> {
+        validate_name(name)?;
+        let entry = DatasetEntry {
+            id: file.id(),
+            len: file.len(),
+            words: T::WORDS as u64,
+        };
+        if let Some(prev) = self.entries.get(name) {
+            if *prev == entry {
+                return Ok(());
+            }
+            return Err(EmError::config(format!(
+                "dataset {name:?} already registered (file {})",
+                prev.id
+            )));
+        }
+        file.set_persistent(true);
+        self.entries.insert(name.to_string(), entry);
+        self.commit()
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Look up a dataset by name.
+    pub fn entry(&self, name: &str) -> Option<&DatasetEntry> {
+        self.entries.get(name)
+    }
+
+    /// Reopen `name`'s backing file on this catalog's context. Requires a
+    /// backend whose files survive (the directory backend across restarts,
+    /// or the same process's in-memory backend).
+    pub fn open_dataset<T: Record>(&self, name: &str) -> Result<EmFile<T>> {
+        let e = self
+            .entries
+            .get(name)
+            .ok_or_else(|| EmError::config(format!("unknown dataset {name:?}")))?;
+        if e.words != T::WORDS as u64 {
+            return Err(EmError::config(format!(
+                "dataset {name:?} has records of {} words, asked for {}",
+                e.words,
+                T::WORDS
+            )));
+        }
+        self.ctx.open_file::<T>(e.id, e.len)
+    }
+
+    /// The context this catalog lives on.
+    pub fn ctx(&self) -> &EmContext {
+        &self.ctx
+    }
+
+    fn commit(&self) -> Result<()> {
+        let img = CatalogImage {
+            entries: self.entries.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        };
+        self.journal.commit(&img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::EmConfig;
+
+    #[test]
+    fn register_and_reload_image() {
+        let dir = std::env::temp_dir().join(format!("emserve-cat-{}", std::process::id()));
+        let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+        let f = EmFile::from_slice(&ctx, &[3u64, 1, 2]).unwrap();
+        let mut cat = Catalog::open(&ctx).unwrap();
+        cat.register("alpha", &f).unwrap();
+        // Idempotent for the same file, an error for a different one.
+        cat.register("alpha", &f).unwrap();
+        let g = EmFile::from_slice(&ctx, &[9u64]).unwrap();
+        assert!(cat.register("alpha", &g).is_err());
+        assert!(cat.register("Bad Name", &g).is_err());
+
+        // A second catalog on the same context sees the committed state.
+        let cat2 = Catalog::open(&ctx).unwrap();
+        assert_eq!(cat2.names(), vec!["alpha".to_string()]);
+        let e = cat2.entry("alpha").unwrap();
+        assert_eq!((e.id, e.len, e.words), (f.id(), 3, 1));
+        let back = cat2.open_dataset::<u64>("alpha").unwrap();
+        assert_eq!(back.to_vec().unwrap(), vec![3, 1, 2]);
+        drop((f, g, back, cat, cat2));
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

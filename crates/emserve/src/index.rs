@@ -1,0 +1,565 @@
+//! Persistent splitter index: a journaled pivot skeleton per dataset.
+//!
+//! In the spirit of online multiselection (Barbay–Gupta–Jo–Rao–Sorenson),
+//! every answered batch can *refine* the index: the dataset is kept as an
+//! ordered list of [`Segment`]s covering disjoint global-rank windows
+//! `(prev_end, end_rank]`, each with the element at its right boundary
+//! once discovered. A later query rank is answered by selecting only
+//! inside the narrowest segment containing it — and a rank equal to a
+//! known boundary is answered from memory at zero I/O. The skeleton is
+//! committed to a journal (`serve-index-<name>`) after each refinement,
+//! so warmth survives process restarts on the directory backend.
+//!
+//! Invariants (checked on load):
+//! * segments are in strictly increasing `end_rank` order and the last
+//!   `end_rank` equals the dataset length — the windows tile `[1, N]`;
+//! * a segment's files hold exactly the elements of its window, in
+//!   arbitrary order (`Σ seg len = end_rank − prev_end`);
+//! * `boundary`, when present, is the element of global rank `end_rank` —
+//!   refinement cuts at *exact ranks* (via [`emselect::multi_partition_segs`]),
+//!   which keeps boundaries rank-exact even under duplicate keys.
+
+use emcore::{from_hex, to_hex, EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
+use emselect::{multi_partition_segs, multi_select_window, MpOptions, MsOptions};
+
+/// One rank window `(prev_end, end_rank]` of the dataset.
+#[derive(Debug)]
+pub struct Segment<T: Record> {
+    /// Right edge of the window (inclusive, global 1-based rank).
+    pub end_rank: u64,
+    /// The element of rank `end_rank`, once a query has discovered it.
+    pub boundary: Option<T>,
+    /// Files holding exactly the window's elements.
+    files: Vec<EmFile<T>>,
+}
+
+/// Counters for one [`SplitterIndex::answer`] call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AnswerStats {
+    /// Ranks answered from a stored boundary, at zero I/O.
+    pub index_hits: u64,
+    /// Distinct ranks answered by an in-segment multi-select pass.
+    pub selected: u64,
+    /// Segments that needed a select pass.
+    pub segments_touched: u64,
+}
+
+/// `(end_rank, boundary bytes, [(file id, len)])` for one journaled segment.
+type SegImage = (u64, Option<Vec<u8>>, Vec<(u64, u64)>);
+
+struct IndexImage<T: Record> {
+    dataset_file: u64,
+    segs: Vec<SegImage>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Record> JournalState for IndexImage<T> {
+    const KIND: &'static str = "serve-splitter-index";
+    const VERSION: u32 = 1;
+
+    fn encode(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "dataset {}", self.dataset_file);
+        for (end, boundary, files) in &self.segs {
+            let b = boundary.as_deref().map_or("-".to_string(), to_hex);
+            let _ = write!(out, "seg {end} {b}");
+            for (id, len) in files {
+                let _ = write!(out, " {id}:{len}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    fn decode(body: &str) -> Result<Self> {
+        let bad = |line: &str| EmError::config(format!("splitter index: bad line {line:?}"));
+        let mut dataset_file = None;
+        let mut segs = Vec::new();
+        for line in body.lines() {
+            match line.split_once(' ') {
+                Some(("dataset", id)) => {
+                    dataset_file = Some(id.parse::<u64>().map_err(|_| bad(line))?);
+                }
+                Some(("seg", rest)) => {
+                    let mut it = rest.split(' ');
+                    let end = it
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| bad(line))?;
+                    let boundary = match it.next().ok_or_else(|| bad(line))? {
+                        "-" => None,
+                        hex => Some(from_hex(hex)?),
+                    };
+                    let mut files = Vec::new();
+                    for tok in it {
+                        let (id, len) = tok.split_once(':').ok_or_else(|| bad(line))?;
+                        files.push((
+                            id.parse::<u64>().map_err(|_| bad(line))?,
+                            len.parse::<u64>().map_err(|_| bad(line))?,
+                        ));
+                    }
+                    segs.push((end, boundary, files));
+                }
+                _ => return Err(bad(line)),
+            }
+        }
+        Ok(IndexImage {
+            dataset_file: dataset_file
+                .ok_or_else(|| EmError::config("splitter index: missing dataset line"))?,
+            segs,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+/// The per-dataset pivot skeleton. Owns the dataset's backing file handle
+/// and every refinement partition; all of them are marked persistent, so
+/// the skeleton survives handle drops and (on disk) process exits.
+#[derive(Debug)]
+pub struct SplitterIndex<T: Record> {
+    ctx: EmContext,
+    journal: Journal,
+    segments: Vec<Segment<T>>,
+    /// The original registered file: never released by refinement — the
+    /// catalog references it forever.
+    dataset_file_id: u64,
+    /// Kept alive so the initial segment (or a journal that still
+    /// references the dataset file) always has a live handle behind it.
+    _dataset: Option<EmFile<T>>,
+}
+
+impl<T: Record> SplitterIndex<T> {
+    /// Open the index for dataset `name`, taking ownership of its backing
+    /// file. Loads the committed skeleton if one exists (reopening every
+    /// segment file by id — directory backend), else starts with a single
+    /// unrefined segment covering the whole dataset.
+    pub fn open(ctx: &EmContext, name: &str, dataset: EmFile<T>) -> Result<Self> {
+        let journal = Journal::new(ctx, format!("serve-index-{name}"))?;
+        let n = dataset.len();
+        let image = if ctx.backing_dir().is_some() {
+            journal.load::<IndexImage<T>>()?
+        } else {
+            // The memory backend cannot reopen files by id; a leftover
+            // journal (same-process restart) cannot be honoured.
+            None
+        };
+        let (segments, dataset_kept) = match image {
+            Some(img) => {
+                if img.dataset_file != dataset.id() {
+                    return Err(EmError::config(format!(
+                        "splitter index for {name:?} references file {}, dataset is {}",
+                        img.dataset_file,
+                        dataset.id()
+                    )));
+                }
+                let mut segments = Vec::with_capacity(img.segs.len());
+                let mut prev = 0u64;
+                for (end, boundary, files) in img.segs {
+                    if end <= prev {
+                        return Err(EmError::config("splitter index: unordered segments"));
+                    }
+                    let boundary = match boundary {
+                        None => None,
+                        Some(bytes) if bytes.len() == T::BYTES => Some(T::read_bytes(&bytes)),
+                        Some(bytes) => {
+                            return Err(EmError::config(format!(
+                                "splitter index: boundary of {} bytes, record has {}",
+                                bytes.len(),
+                                T::BYTES
+                            )))
+                        }
+                    };
+                    let mut opened = Vec::with_capacity(files.len());
+                    let mut held = 0u64;
+                    for (id, len) in files {
+                        // The dataset handle is already open; reuse would
+                        // double-open, so segment files that *are* the
+                        // dataset are skipped here and borrowed below.
+                        if id == dataset.id() {
+                            held += len;
+                            continue;
+                        }
+                        held += len;
+                        opened.push(ctx.open_file::<T>(id, len)?);
+                    }
+                    if held != end - prev {
+                        return Err(EmError::config(format!(
+                            "splitter index: segment ({prev}, {end}] holds {held} records"
+                        )));
+                    }
+                    segments.push(Segment {
+                        end_rank: end,
+                        boundary,
+                        files: opened,
+                    });
+                    prev = end;
+                }
+                if prev != n {
+                    return Err(EmError::config(format!(
+                        "splitter index covers [1, {prev}], dataset has {n} records"
+                    )));
+                }
+                dataset.set_persistent(true);
+                (segments, dataset)
+            }
+            None => {
+                dataset.set_persistent(true);
+                let segments = vec![Segment {
+                    end_rank: n,
+                    boundary: None,
+                    files: Vec::new(), // the dataset handle, borrowed below
+                }];
+                (segments, dataset)
+            }
+        };
+        let mut idx = SplitterIndex {
+            ctx: ctx.clone(),
+            journal,
+            segments,
+            dataset_file_id: dataset_kept.id(),
+            _dataset: None,
+        };
+        idx._dataset = Some(dataset_kept);
+        Ok(idx)
+    }
+
+    /// Total records covered.
+    pub fn len(&self) -> u64 {
+        self.segments.last().map(|s| s.end_rank).unwrap_or(0)
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of segments (1 = unrefined).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Known `(rank, element)` boundaries, ascending.
+    pub fn boundaries(&self) -> Vec<(u64, T)> {
+        self.segments
+            .iter()
+            .filter_map(|s| s.boundary.map(|b| (s.end_rank, b)))
+            .collect()
+    }
+
+    /// File ids referenced by the skeleton (for orphan GC).
+    pub fn live_file_ids(&self) -> Vec<u64> {
+        let mut ids = vec![self.dataset_file_id];
+        for s in &self.segments {
+            ids.extend(s.files.iter().map(|f| f.id()));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Files of segment `i`, falling back to the dataset handle for the
+    /// unrefined segment (whose `files` list is empty).
+    fn segment_files(&self, i: usize) -> &[EmFile<T>] {
+        let files = &self.segments[i].files;
+        if files.is_empty() {
+            std::slice::from_ref(self._dataset.as_ref().expect("dataset handle held"))
+        } else {
+            files
+        }
+    }
+
+    /// Answer `ranks` (1-based, any order, repeats allowed), in the
+    /// caller's order — bit-identical to a full-dataset multi-select of
+    /// the same ranks. Boundary hits are answered at zero I/O; the rest
+    /// are grouped per containing segment and each group is answered with
+    /// one [`multi_select_window`] pass. With `refine` set, every touched
+    /// segment is then cut at the answered ranks (exact sizes, duplicates
+    /// safe), the new boundaries are remembered, and the skeleton is
+    /// committed to its journal.
+    pub fn answer(
+        &mut self,
+        ranks: &[u64],
+        opts: MsOptions,
+        refine: bool,
+    ) -> Result<(Vec<T>, AnswerStats)> {
+        let n = self.len();
+        for &r in ranks {
+            if r == 0 || r > n {
+                return Err(EmError::config(format!("rank {r} out of range [1, {n}]")));
+            }
+        }
+        let mut stats = AnswerStats::default();
+        let mut answered: std::collections::BTreeMap<u64, T> = std::collections::BTreeMap::new();
+        // Per-segment buckets of distinct uncovered ranks.
+        let mut buckets: std::collections::BTreeMap<usize, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for &r in ranks {
+            if answered.contains_key(&r) {
+                continue;
+            }
+            let i = self.segments.partition_point(|s| s.end_rank < r);
+            let seg = &self.segments[i];
+            if seg.end_rank == r {
+                if let Some(b) = seg.boundary {
+                    stats.index_hits += 1;
+                    answered.insert(r, b);
+                    continue;
+                }
+            }
+            buckets.entry(i).or_default().push(r);
+        }
+        for (&i, seg_ranks) in &buckets {
+            let prev_end = if i == 0 {
+                0
+            } else {
+                self.segments[i - 1].end_rank
+            };
+            let _span = self
+                .ctx
+                .stats()
+                .trace_span(|| format!("serve/segment#{i}x{}", seg_ranks.len()));
+            let got =
+                multi_select_window(&self.ctx, self.segment_files(i), prev_end, seg_ranks, opts)?;
+            stats.segments_touched += 1;
+            stats.selected += seg_ranks.len() as u64;
+            for (r, x) in seg_ranks.iter().zip(got) {
+                answered.insert(*r, x);
+            }
+        }
+        if refine && !buckets.is_empty() {
+            self.refine(&buckets, &answered)?;
+        }
+        Ok((ranks.iter().map(|r| answered[r]).collect(), stats))
+    }
+
+    /// Cut every touched segment at its answered ranks and commit.
+    fn refine(
+        &mut self,
+        buckets: &std::collections::BTreeMap<usize, Vec<u64>>,
+        answered: &std::collections::BTreeMap<u64, T>,
+    ) -> Result<()> {
+        // Highest index first so earlier indices stay valid while splicing.
+        for (&i, seg_ranks) in buckets.iter().rev() {
+            let prev_end = if i == 0 {
+                0
+            } else {
+                self.segments[i - 1].end_rank
+            };
+            let end = self.segments[i].end_rank;
+            let window = end - prev_end;
+            let mut cuts: Vec<u64> = seg_ranks.iter().map(|&r| r - prev_end).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            // A cut at the window edge costs nothing: it only discovers
+            // the segment's own boundary.
+            let cut_at_end = cuts.last() == Some(&window);
+            if cut_at_end {
+                cuts.pop();
+                self.segments[i].boundary = Some(answered[&end]);
+            }
+            if cuts.is_empty() {
+                continue;
+            }
+            let mut sizes: Vec<u64> = Vec::with_capacity(cuts.len() + 1);
+            let mut prev_local = 0u64;
+            for &c in &cuts {
+                sizes.push(c - prev_local);
+                prev_local = c;
+            }
+            sizes.push(window - prev_local); // > 0: edge cuts stripped above
+            let parts = {
+                let _span = self.ctx.stats().trace_span(|| format!("serve/refine#{i}"));
+                multi_partition_segs(
+                    &self.ctx,
+                    self.segment_files(i),
+                    &sizes,
+                    MpOptions::default(),
+                )?
+            };
+            let old = std::mem::replace(
+                &mut self.segments[i],
+                Segment {
+                    end_rank: 0,
+                    boundary: None,
+                    files: Vec::new(),
+                },
+            );
+            let mut replacement: Vec<Segment<T>> = Vec::with_capacity(parts.len());
+            let mut local_end = 0u64;
+            for (j, part) in parts.into_iter().enumerate() {
+                local_end += part.len();
+                let global_end = prev_end + local_end;
+                let boundary = if j < cuts.len() {
+                    debug_assert_eq!(local_end, cuts[j]);
+                    Some(answered[&global_end])
+                } else {
+                    old.boundary
+                };
+                let files = part.into_segments();
+                for f in &files {
+                    f.set_persistent(true);
+                }
+                replacement.push(Segment {
+                    end_rank: global_end,
+                    boundary,
+                    files,
+                });
+            }
+            debug_assert_eq!(local_end, window);
+            // Release the replaced segment's files — except the original
+            // dataset file, which the catalog owns forever.
+            for f in old.files {
+                if f.id() != self.dataset_file_id {
+                    f.set_persistent(false);
+                }
+            }
+            self.segments.splice(i..=i, replacement);
+        }
+        self.commit()
+    }
+
+    fn commit(&self) -> Result<()> {
+        let img = IndexImage::<T> {
+            dataset_file: self.dataset_file_id,
+            segs: self
+                .segments
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let boundary = s.boundary.map(|b| {
+                        let mut bytes = vec![0u8; T::BYTES];
+                        b.write_bytes(&mut bytes);
+                        bytes
+                    });
+                    let files: Vec<(u64, u64)> = if s.files.is_empty() {
+                        // Unrefined segment backed by the dataset handle.
+                        let f = self.segment_files(i);
+                        f.iter().map(|f| (f.id(), f.len())).collect()
+                    } else {
+                        s.files.iter().map(|f| (f.id(), f.len())).collect()
+                    };
+                    (s.end_rank, boundary, files)
+                })
+                .collect(),
+            _marker: std::marker::PhantomData,
+        };
+        self.journal.commit(&img)
+    }
+
+    /// Remove the committed skeleton (dataset deregistration).
+    pub fn remove_journal(&self) -> Result<()> {
+        self.journal.remove()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, EmContext, SplitMix64};
+    use emselect::multi_select;
+
+    fn ctx() -> EmContext {
+        EmContext::new_in_memory(EmConfig::tiny())
+    }
+
+    fn dataset(c: &EmContext, n: u64, seed: u64) -> (EmFile<u64>, Vec<u64>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut v: Vec<u64> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let f = c.stats().paused(|| EmFile::from_slice(c, &v)).unwrap();
+        let mut sorted = v;
+        sorted.sort_unstable();
+        (f, sorted)
+    }
+
+    #[test]
+    fn answers_match_plain_multi_select_with_and_without_refine() {
+        let c = ctx();
+        let n = 2000u64;
+        let (_, sorted) = dataset(&c, n, 1);
+        let check = |got: &[u64], ranks: &[u64]| {
+            let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+            assert_eq!(got, want);
+        };
+        for refine in [false, true] {
+            let (plain, _) = dataset(&c, n, 1);
+            let mut idx = SplitterIndex::open(&c, "t", plain).unwrap();
+            let batches: Vec<Vec<u64>> = vec![
+                vec![500, 1500, 500, 1],
+                vec![1500, 700, 2000],
+                vec![499, 500, 501, 1500],
+            ];
+            for ranks in &batches {
+                let (got, _) = idx.answer(ranks, MsOptions::default(), refine).unwrap();
+                check(&got, ranks);
+            }
+            if refine {
+                assert!(idx.num_segments() > 1);
+            } else {
+                assert_eq!(idx.num_segments(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_boundary_hits_cost_zero_ios() {
+        let c = ctx();
+        let (f, _) = dataset(&c, 3000, 2);
+        let mut idx = SplitterIndex::open(&c, "w", f).unwrap();
+        let ranks = vec![100u64, 900, 2500];
+        let (_, s1) = idx.answer(&ranks, MsOptions::default(), true).unwrap();
+        assert_eq!(s1.index_hits, 0);
+        let before = c.stats().snapshot();
+        let (_, s2) = idx.answer(&ranks, MsOptions::default(), true).unwrap();
+        assert_eq!(s2.index_hits, 3);
+        assert_eq!(s2.segments_touched, 0);
+        assert_eq!(
+            c.stats().snapshot().since(&before).total_ios(),
+            0,
+            "warm boundary hits must be free"
+        );
+    }
+
+    #[test]
+    fn refinement_narrows_select_cost() {
+        let c = ctx();
+        let (f, _) = dataset(&c, 4000, 3);
+        let mut idx = SplitterIndex::open(&c, "narrow", f).unwrap();
+        let (_, _) = idx
+            .answer(&[1000, 2000, 3000], MsOptions::default(), true)
+            .unwrap();
+        let before = c.stats().snapshot();
+        let (_, st) = idx.answer(&[1500], MsOptions::default(), false).unwrap();
+        let narrow = c.stats().snapshot().since(&before).total_ios();
+        assert_eq!(st.segments_touched, 1);
+        // A fresh unrefined index pays a full-dataset select for the same
+        // rank.
+        let (g, _) = dataset(&c, 4000, 3);
+        let mut cold = SplitterIndex::open(&c, "cold", g).unwrap();
+        let before = c.stats().snapshot();
+        cold.answer(&[1500], MsOptions::default(), false).unwrap();
+        let full = c.stats().snapshot().since(&before).total_ios();
+        assert!(
+            narrow < full,
+            "segment-restricted select ({narrow}) must beat full select ({full})"
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_boundaries_stay_rank_exact() {
+        let c = ctx();
+        let n = 1500u64;
+        let data: Vec<u64> = (0..n).map(|i| if i % 5 == 0 { i } else { 42 }).collect();
+        let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let plain = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+        let mut idx = SplitterIndex::open(&c, "dups", f).unwrap();
+        let ranks = vec![300u64, 301, 700, 1200, 700];
+        let (got, _) = idx.answer(&ranks, MsOptions::default(), true).unwrap();
+        let want = multi_select(&plain, &ranks).unwrap();
+        assert_eq!(got, want);
+        // And again on the refined skeleton.
+        let ranks2 = vec![299u64, 300, 302, 1200];
+        let (got2, _) = idx.answer(&ranks2, MsOptions::default(), true).unwrap();
+        let want2 = multi_select(&plain, &ranks2).unwrap();
+        assert_eq!(got2, want2);
+    }
+}

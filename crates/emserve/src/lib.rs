@@ -1,0 +1,38 @@
+//! # emserve — an online splitter/quantile query service
+//!
+//! The batch algorithms (PRs 0–4) answer one-shot jobs; this crate turns
+//! them into a long-lived service, exploiting the paper's central
+//! amortization *online*: selecting `K` ranks together costs `B(N, K)`
+//! I/Os — far less than `K` independent selections (Theorem 4) — and, in
+//! the spirit of near-optimal online multiselection (Barbay–Gupta–Jo–
+//! Rao–Sorenson), every answered query leaves pivot structure behind that
+//! makes future queries cheaper.
+//!
+//! Three layers:
+//!
+//! * [`Catalog`] — a journaled name → dataset map on an
+//!   [`emcore::EmContext`]; registered datasets are persistent and
+//!   reopenable across process restarts (directory backend).
+//! * [`SplitterIndex`] — the per-dataset pivot skeleton: ordered rank
+//!   windows with known boundary elements, refined by every answered
+//!   batch and committed to its own journal. Boundary hits are answered
+//!   from memory at zero I/O; misses select only inside the narrowest
+//!   known segment.
+//! * [`QueryServer`] / [`Client`] — a scheduler thread that coalesces
+//!   concurrent in-flight queries per dataset under a batching window
+//!   (bounded request queue = admission control) and answers each batch
+//!   with one multi-select pass. [`serve_lines`] adapts it to the
+//!   `emsplit serve` line protocol.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod catalog;
+mod index;
+mod protocol;
+mod server;
+
+pub use catalog::{validate_name, Catalog, DatasetEntry, CATALOG_JOURNAL};
+pub use index::{AnswerStats, Segment, SplitterIndex};
+pub use protocol::serve_lines;
+pub use server::{Client, QueryServer, ServeOptions, ServeReport, Ticket};

@@ -1,0 +1,254 @@
+//! Line-oriented request protocol for `emsplit serve`.
+//!
+//! Requests arrive one per line on a reader (stdin for the CLI); answers
+//! are written to `out` (stdout) as plain numbers, one element per line —
+//! exactly the shape `emsplit select` and `emsplit quantiles` print, so a
+//! scripted session can be diffed against the one-shot commands. Status
+//! and errors go to `err` (stderr), prefixed `ok`/`error`, so they never
+//! pollute the answer stream.
+//!
+//! Commands:
+//!
+//! ```text
+//! open <name> <path>        register <path> (flat little-endian u64 file)
+//!                           as dataset <name>, or reopen it from the
+//!                           catalog if already registered
+//! rank <name> <r1> [r2 …]   queue a rank query (answers on flush)
+//! quantiles <name> <q>      queue the q-quantile ranks ⌈i·n/q⌉, i=1..q-1
+//! flush                     answer queued queries, in submission order
+//! stats                     flush, then print service counters to err
+//! quit                      flush and exit (EOF implies quit)
+//! ```
+//!
+//! Queued `rank`/`quantiles` lines are submitted per dataset as *one*
+//! pre-coalesced batch on flush — a scripted session gets the same
+//! batching the concurrent scheduler gives live clients.
+
+use std::io::{BufRead, Write};
+
+use emcore::{EmContext, EmError, Result};
+
+use crate::server::{QueryServer, ServeOptions, ServeReport, Ticket};
+
+/// One queued query: dataset, its queue position, and the ticket (after
+/// submission).
+struct Pending {
+    name: String,
+    ranks: Vec<u64>,
+}
+
+/// Drive a scripted session against a [`QueryServer`] started on `ctx`.
+/// Returns the server's final [`ServeReport`].
+pub fn serve_lines(
+    ctx: &EmContext,
+    opts: ServeOptions,
+    input: impl BufRead,
+    mut out: impl Write,
+    mut err: impl Write,
+) -> Result<ServeReport> {
+    let server = QueryServer::<u64>::start(ctx, opts)?;
+    let client = server.client();
+    let mut lens: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut queue: Vec<Pending> = Vec::new();
+
+    let flush =
+        |queue: &mut Vec<Pending>, out: &mut dyn Write, err: &mut dyn Write| -> Result<()> {
+            if queue.is_empty() {
+                return Ok(());
+            }
+            // One pre-coalesced batch per dataset, but answers printed in
+            // submission order.
+            let mut per_ds: std::collections::BTreeMap<String, Vec<Vec<u64>>> =
+                std::collections::BTreeMap::new();
+            for p in queue.iter() {
+                per_ds
+                    .entry(p.name.clone())
+                    .or_default()
+                    .push(p.ranks.clone());
+            }
+            let mut tickets: std::collections::BTreeMap<
+                String,
+                std::collections::VecDeque<Ticket<u64>>,
+            > = std::collections::BTreeMap::new();
+            for (name, queries) in per_ds {
+                let ts = client.submit_batch(&name, queries)?;
+                tickets.insert(name, ts.into_iter().collect());
+            }
+            for p in queue.drain(..) {
+                let t = tickets
+                    .get_mut(&p.name)
+                    .and_then(|v| v.pop_front())
+                    .expect("one ticket per queued query");
+                match t.wait() {
+                    Ok(ans) => {
+                        for x in ans {
+                            writeln!(out, "{x}")?;
+                        }
+                    }
+                    Err(e) => writeln!(err, "error {e}")?,
+                }
+            }
+            out.flush()?;
+            Ok(())
+        };
+
+    for line in input.lines() {
+        let line = line?;
+        let mut it = line.split_whitespace();
+        let Some(cmd) = it.next() else { continue };
+        let r: Result<bool> = (|| {
+            match cmd {
+                "open" => {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| EmError::config("open: missing name"))?;
+                    let path = it
+                        .next()
+                        .ok_or_else(|| EmError::config("open: missing path"))?;
+                    let data = read_u64_file(path)?;
+                    let n = client.register(name, data)?;
+                    lens.insert(name.to_string(), n);
+                    writeln!(err, "ok open {name} {n}")?;
+                }
+                "rank" => {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| EmError::config("rank: missing name"))?
+                        .to_string();
+                    let ranks: Vec<u64> = it
+                        .map(|t| {
+                            t.parse::<u64>()
+                                .map_err(|_| EmError::config(format!("rank: bad rank {t:?}")))
+                        })
+                        .collect::<Result<_>>()?;
+                    if ranks.is_empty() {
+                        return Err(EmError::config("rank: no ranks given"));
+                    }
+                    queue.push(Pending { name, ranks });
+                }
+                "quantiles" => {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| EmError::config("quantiles: missing name"))?
+                        .to_string();
+                    let q: u64 = it
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| EmError::config("quantiles: bad count"))?;
+                    if q < 2 {
+                        return Err(EmError::config("quantiles: count must be ≥ 2"));
+                    }
+                    let n = *lens.get(&name).ok_or_else(|| {
+                        EmError::config(format!(
+                            "quantiles: unknown dataset {name:?} (open it first)"
+                        ))
+                    })?;
+                    // Same ranks as emselect::quantiles / `emsplit quantiles`.
+                    let ranks: Vec<u64> = (1..q).map(|i| ((i * n) / q).max(1)).collect();
+                    queue.push(Pending { name, ranks });
+                }
+                "flush" => flush(&mut queue, &mut out, &mut err)?,
+                "stats" => {
+                    flush(&mut queue, &mut out, &mut err)?;
+                    let r = client.report()?;
+                    writeln!(
+                        err,
+                        "ok stats queries={} batches={} index_hits={} selected={} answer_us={}",
+                        r.queries, r.batches, r.index_hits, r.selected, r.answer_us
+                    )?;
+                }
+                "quit" => {
+                    flush(&mut queue, &mut out, &mut err)?;
+                    return Ok(true);
+                }
+                other => return Err(EmError::config(format!("unknown command {other:?}"))),
+            }
+            Ok(false)
+        })();
+        match r {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => writeln!(err, "error {e}")?,
+        }
+    }
+    // EOF implies quit.
+    flush(&mut queue, &mut out, &mut err)?;
+    drop(client);
+    Ok(server.shutdown())
+}
+
+/// Read a flat little-endian u64 file (the `emsplit gen` format).
+fn read_u64_file(path: &str) -> Result<Vec<u64>> {
+    let bytes = std::fs::read(path)?;
+    if !bytes.len().is_multiple_of(8) {
+        return Err(EmError::config(format!(
+            "{path}: length {} is not a multiple of 8",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, SplitMix64};
+
+    #[test]
+    fn scripted_session_answers_in_order() {
+        let dir = std::env::temp_dir().join(format!("emserve-proto-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.bin");
+        let mut v: Vec<u64> = (0..500).collect();
+        SplitMix64::new(9).shuffle(&mut v);
+        let bytes: Vec<u8> = v.iter().flat_map(|x| x.to_le_bytes()).collect();
+        std::fs::write(&data_path, bytes).unwrap();
+
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let script = format!(
+            "open ds {}\nrank ds 1 250 500\nquantiles ds 4\nstats\nquit\n",
+            data_path.display()
+        );
+        let mut out = Vec::new();
+        let mut errs = Vec::new();
+        let report = serve_lines(
+            &ctx,
+            ServeOptions::default(),
+            script.as_bytes(),
+            &mut out,
+            &mut errs,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let want: Vec<u64> = vec![0, 249, 499, 124, 249, 374];
+        let got: Vec<u64> = out.lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(got, want);
+        let errs = String::from_utf8(errs).unwrap();
+        assert!(errs.contains("ok open ds 500"), "{errs}");
+        assert!(errs.contains("ok stats queries=2 batches=1"), "{errs}");
+        assert_eq!(report.queries, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn protocol_errors_go_to_err_stream_only() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let script = "bogus\nrank nope 5\nflush\n";
+        let mut out = Vec::new();
+        let mut errs = Vec::new();
+        serve_lines(
+            &ctx,
+            ServeOptions::default(),
+            script.as_bytes(),
+            &mut out,
+            &mut errs,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        let errs = String::from_utf8(errs).unwrap();
+        assert!(errs.contains("error"), "{errs}");
+    }
+}

@@ -1,0 +1,498 @@
+//! The query server: a scheduler thread that coalesces in-flight queries
+//! per dataset and answers each batch with one multi-select pass.
+//!
+//! Concurrency model matches the parallel sort (PR 4): `std::thread` +
+//! `std::sync::mpsc` only. Clients hold a clone of a bounded
+//! [`std::sync::mpsc::SyncSender`] — the bound is the admission-control
+//! queue depth, so producers block (back-pressure) instead of growing an
+//! unbounded queue. The scheduler collects queries under a tunable
+//! batching window (first query starts the clock, up to
+//! [`ServeOptions::batch_max`] join it), groups them per dataset, and
+//! answers each group through the dataset's [`SplitterIndex`] — one
+//! [`emselect`] multi-select pass per touched segment, boundary hits free.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::time::{Duration, Instant};
+
+use emcore::{EmContext, EmError, EmFile, Record, Result};
+use emselect::MsOptions;
+
+use crate::catalog::Catalog;
+use crate::index::SplitterIndex;
+
+/// One client query awaiting an answer: the ranks asked for, and the
+/// channel its [`Ticket`] is waiting on.
+type PendingQuery<T> = (Vec<u64>, mpsc::Sender<Result<Vec<T>>>);
+
+/// Tunables for [`QueryServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Most queries coalesced into one batch.
+    pub batch_max: usize,
+    /// How long the scheduler waits for more queries after the first.
+    pub batch_window: Duration,
+    /// Bound of the request channel (admission control: senders block).
+    pub queue_depth: usize,
+    /// Refine the splitter index after every answered batch.
+    pub refine: bool,
+    /// Multi-select options used for every pass.
+    pub select: MsOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            batch_max: 16,
+            batch_window: Duration::from_millis(2),
+            queue_depth: 64,
+            refine: true,
+            select: MsOptions::default(),
+        }
+    }
+}
+
+/// Aggregate service counters, returned by [`QueryServer::shutdown`] and
+/// [`Client::report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Datasets registered (or reopened) this run.
+    pub registered: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Batches executed (each ≥ 1 query; the coalescing win is
+    /// `queries / batches`).
+    pub batches: u64,
+    /// Ranks answered from a stored splitter-index boundary at zero I/O.
+    pub index_hits: u64,
+    /// Distinct ranks answered by an in-segment select pass.
+    pub selected: u64,
+    /// Wall-clock microseconds spent answering batches (query latency,
+    /// excluding queue wait).
+    pub answer_us: u64,
+}
+
+enum Req<T: Record> {
+    Register {
+        name: String,
+        data: Vec<T>,
+        reply: mpsc::Sender<Result<u64>>,
+    },
+    Query {
+        name: String,
+        ranks: Vec<u64>,
+        reply: mpsc::Sender<Result<Vec<T>>>,
+    },
+    /// A pre-coalesced batch: answered in one pass regardless of the
+    /// batching window (deterministic batch sizes for benches and tests).
+    Batch {
+        name: String,
+        queries: Vec<PendingQuery<T>>,
+    },
+    Report {
+        reply: mpsc::Sender<ServeReport>,
+    },
+}
+
+/// Handle to a running scheduler thread.
+#[derive(Debug)]
+pub struct QueryServer<T: Record> {
+    tx: Option<SyncSender<Req<T>>>,
+    handle: Option<std::thread::JoinHandle<ServeReport>>,
+}
+
+/// A cheap client handle; clone freely across threads.
+pub struct Client<T: Record> {
+    tx: SyncSender<Req<T>>,
+}
+
+impl<T: Record> Clone for Client<T> {
+    fn clone(&self) -> Self {
+        Client {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// An in-flight query's answer slot.
+pub struct Ticket<T: Record> {
+    rx: mpsc::Receiver<Result<Vec<T>>>,
+}
+
+impl<T: Record> Ticket<T> {
+    /// Block until the answer arrives (in the caller's rank order).
+    pub fn wait(self) -> Result<Vec<T>> {
+        self.rx
+            .recv()
+            .map_err(|_| EmError::config("query server shut down before answering"))?
+    }
+}
+
+fn gone<R>() -> Result<R> {
+    Err(EmError::config("query server is not running"))
+}
+
+impl<T: Record> Client<T> {
+    /// Register `data` under `name` (or reopen an existing dataset of that
+    /// name from the catalog — `data` is then ignored). Returns the
+    /// dataset length. Blocks until the server commits the catalog.
+    pub fn register(&self, name: &str, data: Vec<T>) -> Result<u64> {
+        let (tx, rx) = mpsc::channel();
+        if self
+            .tx
+            .send(Req::Register {
+                name: name.to_string(),
+                data,
+                reply: tx,
+            })
+            .is_err()
+        {
+            return gone();
+        }
+        rx.recv().map_err(|_| EmError::config("server dropped"))?
+    }
+
+    /// Submit one query for `ranks` of dataset `name`. Blocks only on
+    /// admission control (full queue); the answer arrives on the ticket.
+    pub fn query(&self, name: &str, ranks: Vec<u64>) -> Result<Ticket<T>> {
+        let (tx, rx) = mpsc::channel();
+        if self
+            .tx
+            .send(Req::Query {
+                name: name.to_string(),
+                ranks,
+                reply: tx,
+            })
+            .is_err()
+        {
+            return gone();
+        }
+        Ok(Ticket { rx })
+    }
+
+    /// Submit several queries as one pre-coalesced batch: exactly one
+    /// batch on the server regardless of timing.
+    pub fn submit_batch(&self, name: &str, queries: Vec<Vec<u64>>) -> Result<Vec<Ticket<T>>> {
+        let mut tickets = Vec::with_capacity(queries.len());
+        let mut payload = Vec::with_capacity(queries.len());
+        for ranks in queries {
+            let (tx, rx) = mpsc::channel();
+            payload.push((ranks, tx));
+            tickets.push(Ticket { rx });
+        }
+        if self
+            .tx
+            .send(Req::Batch {
+                name: name.to_string(),
+                queries: payload,
+            })
+            .is_err()
+        {
+            return gone();
+        }
+        Ok(tickets)
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn report(&self) -> Result<ServeReport> {
+        let (tx, rx) = mpsc::channel();
+        if self.tx.send(Req::Report { reply: tx }).is_err() {
+            return gone();
+        }
+        rx.recv().map_err(|_| EmError::config("server dropped"))
+    }
+}
+
+struct Scheduler<T: Record> {
+    ctx: EmContext,
+    opts: ServeOptions,
+    catalog: Catalog,
+    indices: BTreeMap<String, SplitterIndex<T>>,
+    report: ServeReport,
+}
+
+impl<T: Record> QueryServer<T> {
+    /// Open the catalog on `ctx` and start the scheduler thread.
+    pub fn start(ctx: &EmContext, opts: ServeOptions) -> Result<Self> {
+        let catalog = Catalog::open(ctx)?;
+        let (tx, rx) = mpsc::sync_channel::<Req<T>>(opts.queue_depth.max(1));
+        let mut sched = Scheduler {
+            ctx: ctx.clone(),
+            opts,
+            catalog,
+            indices: BTreeMap::new(),
+            report: ServeReport::default(),
+        };
+        let handle = std::thread::spawn(move || {
+            sched.run(rx);
+            sched.report
+        });
+        Ok(QueryServer {
+            tx: Some(tx),
+            handle: Some(handle),
+        })
+    }
+
+    /// A client handle for this server.
+    pub fn client(&self) -> Client<T> {
+        Client {
+            tx: self.tx.clone().expect("server running"),
+        }
+    }
+
+    /// Stop accepting requests and join the scheduler. Blocks until every
+    /// outstanding [`Client`] clone has been dropped (their senders keep
+    /// the request channel alive).
+    pub fn shutdown(mut self) -> ServeReport {
+        drop(self.tx.take());
+        match self.handle.take().expect("not yet joined").join() {
+            Ok(r) => r,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl<T: Record> Drop for QueryServer<T> {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: Record> Scheduler<T> {
+    fn run(&mut self, rx: Receiver<Req<T>>) {
+        let mut carry: Option<Req<T>> = None;
+        loop {
+            let req = match carry.take() {
+                Some(r) => r,
+                None => match rx.recv() {
+                    Ok(r) => r,
+                    Err(_) => break, // every sender gone: shutdown
+                },
+            };
+            match req {
+                Req::Register { name, data, reply } => {
+                    let _ = reply.send(self.register(&name, data));
+                }
+                Req::Report { reply } => {
+                    let _ = reply.send(self.report);
+                }
+                Req::Batch { name, queries } => self.answer_group(&name, queries),
+                Req::Query { name, ranks, reply } => {
+                    carry = self.coalesce(&rx, (name, ranks, reply));
+                }
+            }
+        }
+    }
+
+    /// Collect queries under the batching window (starting from `first`),
+    /// then answer them grouped per dataset. Returns a non-query request
+    /// received mid-window, to be handled next.
+    #[allow(clippy::type_complexity)]
+    fn coalesce(
+        &mut self,
+        rx: &Receiver<Req<T>>,
+        first: (String, Vec<u64>, mpsc::Sender<Result<Vec<T>>>),
+    ) -> Option<Req<T>> {
+        let mut pending = vec![first];
+        let mut carry = None;
+        if self.opts.batch_max > 1 && !self.opts.batch_window.is_zero() {
+            let deadline = Instant::now() + self.opts.batch_window;
+            while pending.len() < self.opts.batch_max {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(left) {
+                    Ok(Req::Query { name, ranks, reply }) => pending.push((name, ranks, reply)),
+                    Ok(other) => {
+                        carry = Some(other);
+                        break;
+                    }
+                    Err(_) => break, // window expired or senders gone
+                }
+            }
+        }
+        let mut groups: BTreeMap<String, Vec<(Vec<u64>, mpsc::Sender<Result<Vec<T>>>)>> =
+            BTreeMap::new();
+        for (name, ranks, reply) in pending {
+            groups.entry(name).or_default().push((ranks, reply));
+        }
+        for (name, queries) in groups {
+            self.answer_group(&name, queries);
+        }
+        carry
+    }
+
+    fn register(&mut self, name: &str, data: Vec<T>) -> Result<u64> {
+        if let Some(entry) = self.catalog.entry(name) {
+            let len = entry.len;
+            if !self.indices.contains_key(name) {
+                let file = self.catalog.open_dataset::<T>(name)?;
+                let idx = SplitterIndex::open(&self.ctx, name, file)?;
+                self.indices.insert(name.to_string(), idx);
+            }
+            self.report.registered += 1;
+            return Ok(len);
+        }
+        let _phase = self.ctx.stats().phase_guard("serve/register");
+        let file = EmFile::from_slice(&self.ctx, &data)?;
+        let len = file.len();
+        self.catalog.register(name, &file)?;
+        let idx = SplitterIndex::open(&self.ctx, name, file)?;
+        self.indices.insert(name.to_string(), idx);
+        self.report.registered += 1;
+        Ok(len)
+    }
+
+    /// Answer one batch of queries against one dataset with a single
+    /// index pass; distribute the answers back per query.
+    #[allow(clippy::type_complexity)]
+    fn answer_group(&mut self, name: &str, queries: Vec<(Vec<u64>, mpsc::Sender<Result<Vec<T>>>)>) {
+        if queries.is_empty() {
+            return;
+        }
+        let nq = queries.len();
+        let result = (|| -> Result<Vec<Vec<T>>> {
+            if !self.indices.contains_key(name) {
+                // Dataset known to the catalog but not yet opened (e.g.
+                // queries straight after a restart, before any register).
+                let file = self.catalog.open_dataset::<T>(name)?;
+                let idx = SplitterIndex::open(&self.ctx, name, file)?;
+                self.indices.insert(name.to_string(), idx);
+            }
+            let idx = self.indices.get_mut(name).expect("just ensured");
+            let all: Vec<u64> = queries
+                .iter()
+                .flat_map(|(r, _)| r.iter().copied())
+                .collect();
+            let t0 = Instant::now();
+            let _phase = self.ctx.stats().phase_guard("serve/query");
+            let _span = self.ctx.stats().trace_span(|| format!("serve/batch x{nq}"));
+            let (answers, astats) = idx.answer(&all, self.opts.select, self.opts.refine)?;
+            drop(_span);
+            drop(_phase);
+            self.report.answer_us += t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.report.index_hits += astats.index_hits;
+            self.report.selected += astats.selected;
+            let mut out = Vec::with_capacity(nq);
+            let mut off = 0usize;
+            for (ranks, _) in &queries {
+                out.push(answers[off..off + ranks.len()].to_vec());
+                off += ranks.len();
+            }
+            Ok(out)
+        })();
+        self.report.batches += 1;
+        self.report.queries += nq as u64;
+        match result {
+            Ok(per_query) => {
+                for ((_, reply), ans) in queries.into_iter().zip(per_query) {
+                    let _ = reply.send(Ok(ans));
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for (_, reply) in queries {
+                    let _ = reply.send(Err(EmError::config(msg.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emcore::{EmConfig, SplitMix64};
+    use emselect::multi_select;
+
+    fn data(n: u64, seed: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n).collect();
+        SplitMix64::new(seed).shuffle(&mut v);
+        v
+    }
+
+    #[test]
+    fn batched_answers_match_per_query_select() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let v = data(3000, 1);
+        let plain = ctx.stats().paused(|| EmFile::from_slice(&ctx, &v)).unwrap();
+        let server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client();
+        assert_eq!(client.register("ds", v).unwrap(), 3000);
+        let queries: Vec<Vec<u64>> = vec![
+            vec![1, 1500, 3000],
+            vec![2999, 42],
+            vec![1500],
+            vec![700, 701, 700],
+        ];
+        let tickets = client.submit_batch("ds", queries.clone()).unwrap();
+        for (ranks, t) in queries.iter().zip(tickets) {
+            let got = t.wait().unwrap();
+            let want = multi_select(&plain, ranks).unwrap();
+            assert_eq!(got, want, "ranks {ranks:?}");
+        }
+        drop(client);
+        let report = server.shutdown();
+        assert_eq!(report.queries, 4);
+        assert_eq!(report.batches, 1);
+    }
+
+    #[test]
+    fn concurrent_clients_coalesce_and_agree() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let v = data(4000, 2);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let server = QueryServer::<u64>::start(
+            &ctx,
+            ServeOptions {
+                batch_window: Duration::from_millis(20),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let client = server.client();
+        client.register("ds", v).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = client.clone();
+                let sorted = &sorted;
+                s.spawn(move || {
+                    for q in 0..8u64 {
+                        let r = 1 + (t * 997 + q * 131) % 4000;
+                        let got = c.query("ds", vec![r]).unwrap().wait().unwrap();
+                        assert_eq!(got, vec![sorted[(r - 1) as usize]]);
+                    }
+                });
+            }
+        });
+        drop(client);
+        let report = server.shutdown();
+        assert_eq!(report.queries, 32);
+        assert!(
+            report.batches < report.queries,
+            "some coalescing must happen: {} batches for {} queries",
+            report.batches,
+            report.queries
+        );
+    }
+
+    #[test]
+    fn unknown_dataset_and_bad_rank_error_cleanly() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client();
+        assert!(client.query("nope", vec![1]).unwrap().wait().is_err());
+        client.register("ds", data(100, 3)).unwrap();
+        assert!(client.query("ds", vec![0]).unwrap().wait().is_err());
+        assert!(client.query("ds", vec![101]).unwrap().wait().is_err());
+        let ok = client.query("ds", vec![100]).unwrap().wait().unwrap();
+        assert_eq!(ok, vec![99]);
+        drop(client);
+        server.shutdown();
+    }
+}

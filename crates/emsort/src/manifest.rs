@@ -34,8 +34,9 @@
 //! handle. On a directory-backed context this makes an interrupted sort
 //! resumable **across processes**: a fresh context over the same directory
 //! can [`SortManifest::load`] the journal, reopen every run file, sweep
-//! orphaned temporaries of the crashed attempt, and [`resume_sort`] to
-//! completion. In-process recovery uses the live manifest value directly.
+//! orphaned temporaries of the crashed attempt, and drive the sort to
+//! completion via [`emcore::run_recoverable`] + [`SortJob`]. In-process
+//! recovery uses the live manifest value directly.
 //!
 //! Journal commits are host-side metadata writes, charged to
 //! [`emcore::Counters::journal_writes`] — not block I/Os. I/O spent
@@ -75,7 +76,7 @@ use crate::merge::{max_merge_fan_in, merge_once};
 pub const SORT_JOURNAL: &str = "sort-manifest";
 
 /// Checkpointed state of a recoverable external sort. Owns every completed
-/// run; survives any number of failed [`resume_sort`] attempts, and (on the
+/// run; survives any number of failed resume attempts, and (on the
 /// directory backend) process restarts via [`SortManifest::load`].
 #[derive(Debug)]
 pub struct SortManifest<T: Record> {
@@ -534,15 +535,18 @@ fn level_underflow() -> EmError {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated wrapper stays covered: every resume below goes
-    // through `resume_sort`, which drives the job via `run_recoverable`.
-    #![allow(deprecated)]
-
     use super::*;
     use emcore::{EmConfig, EmContext, FaultPlan, RetryPolicy};
 
     fn ctx() -> EmContext {
         EmContext::new_in_memory_strict(EmConfig::tiny()) // M=256, B=16
+    }
+
+    /// The canonical resume idiom: drive the job via `run_recoverable`.
+    /// (`resume_sort` is only a deprecated shim over exactly this.)
+    fn resume(f: &EmFile<u64>, m: &mut SortManifest<u64>) -> Result<EmFile<u64>> {
+        let c = f.ctx().clone();
+        run_recoverable(&c, &mut SortJob::new(f, m))
     }
 
     fn shuffled(n: u64) -> Vec<u64> {
@@ -605,7 +609,10 @@ mod tests {
         );
     }
 
+    // Keeps the deprecated `resume_sort` shim covered until it is removed;
+    // every other test resumes via `run_recoverable` directly.
     #[test]
+    #[allow(deprecated)]
     fn crash_then_resume_completes() {
         let c = ctx();
         let data = shuffled(1500);
@@ -613,11 +620,11 @@ mod tests {
         let plan = FaultPlan::new(0).fatal_at(40);
         c.install_fault_plan(plan.clone());
         let mut m = SortManifest::new(&c, None);
-        assert!(matches!(resume_sort(&f, &mut m), Err(EmError::Crashed)));
+        assert!(matches!(resume(&f, &mut m), Err(EmError::Crashed)));
         assert!(!m.is_done());
         assert!(m.checkpoints() > 0, "work before the crash was kept");
         plan.clear_crash();
-        let sorted = resume_sort(&f, &mut m).unwrap();
+        let sorted = resume(&f, &mut m).unwrap();
         assert!(m.is_done());
         let mut want = data;
         want.sort_unstable();
@@ -657,8 +664,8 @@ mod tests {
         let c = ctx();
         let f = EmFile::from_slice(&c, &[3u64, 1, 2]).unwrap();
         let mut m = SortManifest::new(&c, None);
-        let _ = resume_sort(&f, &mut m).unwrap();
-        assert!(matches!(resume_sort(&f, &mut m), Err(EmError::Config(_))));
+        let _ = resume(&f, &mut m).unwrap();
+        assert!(matches!(resume(&f, &mut m), Err(EmError::Config(_))));
     }
 
     #[test]
@@ -668,16 +675,13 @@ mod tests {
         let plan = FaultPlan::new(0).fatal_at(20);
         c.install_fault_plan(plan.clone());
         let mut m = SortManifest::new(&c, None);
-        assert!(resume_sort(&f, &mut m).is_err());
+        assert!(resume(&f, &mut m).is_err());
         plan.clear_crash();
         c.clear_fault_plan();
         let other = EmFile::from_slice(&c, &[1u64, 2, 3]).unwrap();
-        assert!(matches!(
-            resume_sort(&other, &mut m),
-            Err(EmError::Config(_))
-        ));
+        assert!(matches!(resume(&other, &mut m), Err(EmError::Config(_))));
         // The right input still resumes fine.
-        let sorted = resume_sort(&f, &mut m).unwrap();
+        let sorted = resume(&f, &mut m).unwrap();
         assert_eq!(sorted.len(), 600);
     }
 
@@ -690,12 +694,12 @@ mod tests {
         let plan = FaultPlan::new(0).fatal_at(200);
         c.install_fault_plan(plan.clone());
         let mut m = SortManifest::new(&c, None);
-        assert!(resume_sort(&f, &mut m).is_err());
+        assert!(resume(&f, &mut m).is_err());
         let doc = std::fs::read_to_string(&meta).expect("journal exists after crash");
         assert!(doc.starts_with("emjournal v1 sort-manifest"));
         assert!(doc.contains("consumed"));
         plan.clear_crash();
-        let _ = resume_sort(&f, &mut m).unwrap();
+        let _ = resume(&f, &mut m).unwrap();
         assert!(!meta.exists(), "journal removed after completion");
     }
 

@@ -83,12 +83,17 @@ pub fn parallel_external_sort<T: Record>(input: &EmFile<T>) -> Result<EmFile<T>>
     let stats = ctx.stats().clone();
     let t0 = std::time::Instant::now();
     let formation = stats.phase_guard("sort/run-formation");
-    let runs = parallel_form_runs(input, workers);
+    // Worker threads parent their trace spans on the phase opened here:
+    // the tracer resolves parents per thread, so without the explicit id
+    // a worker's span could land under another thread's span.
+    let form_span = stats.current_span_id();
+    let runs = parallel_form_runs(input, workers, form_span);
     drop(formation);
     let t1 = std::time::Instant::now();
     let runs = runs?;
     let merge = stats.phase_guard("sort/merge");
-    let out = parallel_merge(&ctx, runs, ctx.config().fan_in(), workers);
+    let merge_span = stats.current_span_id();
+    let out = parallel_merge(&ctx, runs, ctx.config().fan_in(), workers, merge_span);
     drop(merge);
     if std::env::var_os("EMSORT_PAR_DEBUG").is_some() {
         eprintln!(
@@ -103,16 +108,20 @@ pub fn parallel_external_sort<T: Record>(input: &EmFile<T>) -> Result<EmFile<T>>
 /// Cut `input` into chunks at the same boundaries as
 /// [`crate::form_runs_load_sort`] and sort/write the chunks on `workers`
 /// threads. Returns the runs in scan order.
-fn parallel_form_runs<T: Record>(input: &EmFile<T>, workers: usize) -> Result<Vec<EmFile<T>>> {
+fn parallel_form_runs<T: Record>(
+    input: &EmFile<T>,
+    workers: usize,
+    parent: u64,
+) -> Result<Vec<EmFile<T>>> {
     let ctx = input.ctx().clone();
     let cap = working_capacity::<T>(&ctx);
     // Records per block for THIS record type — not the word-denominated
     // block size (they differ for multi-word records).
     let bpr = ctx.config().block_records_for_width(T::WORDS);
     if cap.is_multiple_of(bpr) {
-        form_runs_block_ranges(input, workers, cap)
+        form_runs_block_ranges(input, workers, cap, parent)
     } else {
-        form_runs_shipped(input, workers, cap)
+        form_runs_shipped(input, workers, cap, parent)
     }
 }
 
@@ -125,6 +134,7 @@ fn form_runs_block_ranges<T: Record>(
     input: &EmFile<T>,
     workers: usize,
     cap: usize,
+    parent: u64,
 ) -> Result<Vec<EmFile<T>>> {
     let ctx = input.ctx().clone();
     let bs = ctx.config().block_records_for_width(T::WORDS);
@@ -152,6 +162,11 @@ fn form_runs_block_ranges<T: Record>(
                         break;
                     }
                     let len = cap.min(n - start);
+                    // Trace-only span per chunk, pinned under the
+                    // coordinating sort/run-formation phase.
+                    let _unit = wctx
+                        .stats()
+                        .trace_span_under(parent, || format!("unit/run#{seq}"));
                     let run = (|| -> Result<EmFile<T>> {
                         let charge = wctx
                             .mem()
@@ -207,6 +222,7 @@ fn form_runs_shipped<T: Record>(
     input: &EmFile<T>,
     workers: usize,
     cap: usize,
+    parent: u64,
 ) -> Result<Vec<EmFile<T>>> {
     let ctx = input.ctx().clone();
 
@@ -236,6 +252,9 @@ fn form_runs_shipped<T: Record>(
                     if first_err.is_some() {
                         continue;
                     }
+                    let _unit = wctx
+                        .stats()
+                        .trace_span_under(parent, || format!("unit/run#{seq}"));
                     chunk.sort_unstable_by_key(|r| r.key());
                     let run = (|| {
                         let mut w = wctx.writer::<T>()?;
@@ -320,6 +339,7 @@ fn parallel_merge<T: Record>(
     mut runs: Vec<EmFile<T>>,
     fan_in: usize,
     workers: usize,
+    parent: u64,
 ) -> Result<EmFile<T>> {
     let fan_in = fan_in.clamp(2, max_merge_fan_in::<T>(ctx.config()));
     if runs.is_empty() {
@@ -356,7 +376,7 @@ fn parallel_merge<T: Record>(
                 vec![merge_once(ctx, &only)?]
             }
         } else {
-            merge_groups_parallel(ctx, groups, workers, overlap)?
+            merge_groups_parallel(ctx, groups, workers, overlap, parent)?
         };
         if std::env::var_os("EMSORT_PAR_DEBUG").is_some() {
             eprintln!("[par-debug]   pass groups={ng} took {:?}", tp.elapsed());
@@ -373,6 +393,7 @@ fn merge_groups_parallel<T: Record>(
     groups: Vec<Vec<EmFile<T>>>,
     workers: usize,
     overlap: bool,
+    parent: u64,
 ) -> Result<Vec<EmFile<T>>> {
     let n = groups.len();
     let tasks: Vec<Mutex<Option<Vec<EmFile<T>>>>> =
@@ -396,10 +417,17 @@ fn merge_groups_parallel<T: Record>(
                     // Lone leftover run: carried to the next pass unmerged,
                     // exactly as the sequential merge does.
                     Ok(group.into_iter().next().expect("len checked"))
-                } else if overlap {
-                    merge_once_prefetch(ctx, &group)
                 } else {
-                    merge_once(ctx, &group)
+                    // Trace-only span per merge group, pinned under the
+                    // coordinating sort/merge phase.
+                    let _unit = ctx
+                        .stats()
+                        .trace_span_under(parent, || format!("unit/merge-group#{i}"));
+                    if overlap {
+                        merge_once_prefetch(ctx, &group)
+                    } else {
+                        merge_once(ctx, &group)
+                    }
                 };
                 *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(merged);
             });

@@ -8,9 +8,16 @@
 //! emsplit splitters <file> --k K [--min a] [--max b] [--stats]
 //! emsplit partition <file> <out-dir> --k K [--min a] [--max b] [--stats]
 //! emsplit quantiles <file> --q Q [--stats]
+//! emsplit select <file> --ranks r1,r2,... [--stats]
 //! emsplit sort <file> <out-file> [--stats]
+//! emsplit serve <store-dir> [--batch-max N] [--batch-window-ms W] [--no-refine]
 //! emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...
 //! ```
+//!
+//! `serve` opens (or creates) a persistent dataset store in `<store-dir>`
+//! and answers line-oriented rank/quantile queries from stdin — see
+//! `emserve::serve_lines` for the protocol. Answers go to stdout exactly
+//! as `select`/`quantiles` print them; status lines go to stderr.
 //!
 //! `--mem M` and `--block B` set the machine geometry (defaults 65536/1024
 //! records — a more disk-like shape than the simulator defaults).
@@ -112,15 +119,18 @@ fn write_keys(path: &Path, keys: &[u64]) {
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
 }
 
-fn machine(args: &Args) -> EmContext {
-    let cfg = EmConfig::builder()
+fn config(args: &Args) -> EmConfig {
+    EmConfig::builder()
         .mem(args.flag_u64("mem", 65536) as usize)
         .block(args.flag_u64("block", 1024) as usize)
         .workers(args.flag_u64("workers", 1) as usize)
         .cache_blocks(args.flag_u64("cache-blocks", 0) as usize)
         .build()
-        .unwrap_or_else(|e| die(&format!("bad geometry: {e}")));
-    EmContext::new_in_memory(cfg)
+        .unwrap_or_else(|e| die(&format!("bad geometry: {e}")))
+}
+
+fn machine(args: &Args) -> EmContext {
+    EmContext::new_in_memory(config(args))
 }
 
 fn load(ctx: &EmContext, path: &Path) -> EmFile<u64> {
@@ -336,6 +346,81 @@ fn main() -> ExitCode {
             }
             finish_trace(&ctx, trace);
         }
+        "select" => {
+            let path = PathBuf::from(
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("select needs <file>")),
+            );
+            let ranks: Vec<u64> = args
+                .flags
+                .get("ranks")
+                .unwrap_or_else(|| die("select needs --ranks r1,r2,..."))
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("bad rank {t:?}")))
+                })
+                .collect();
+            if ranks.is_empty() {
+                die("select needs at least one rank");
+            }
+            let ctx = machine(&args);
+            let trace = setup_trace(&ctx, &args);
+            let file = load(&ctx, &path);
+            let phase = ctx.stats().phase_guard("emsplit/select");
+            let ans = multi_select(&file, &ranks);
+            drop(phase);
+            let ans = ans.unwrap_or_else(|e| die(&format!("select failed: {e}")));
+            let mut out = std::io::stdout().lock();
+            for x in &ans {
+                writeln!(out, "{x}").expect("stdout");
+            }
+            if args.has("stats") {
+                print_stats(&ctx);
+            }
+            finish_trace(&ctx, trace);
+        }
+        "serve" => {
+            let store = PathBuf::from(
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("serve needs <store-dir>")),
+            );
+            std::fs::create_dir_all(&store)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", store.display())));
+            let ctx = EmContext::new_on_disk(config(&args), &store)
+                .unwrap_or_else(|e| die(&format!("cannot open store {}: {e}", store.display())));
+            let trace = setup_trace(&ctx, &args);
+            let defaults = ServeOptions::default();
+            let opts = ServeOptions {
+                batch_max: args.flag_u64("batch-max", defaults.batch_max as u64) as usize,
+                batch_window: std::time::Duration::from_millis(
+                    args.flag_u64("batch-window-ms", defaults.batch_window.as_millis() as u64),
+                ),
+                queue_depth: args.flag_u64("queue-depth", defaults.queue_depth as u64) as usize,
+                refine: !args.has("no-refine"),
+                ..defaults
+            };
+            let stdin = std::io::stdin();
+            let report = serve_lines(
+                &ctx,
+                opts,
+                stdin.lock(),
+                std::io::stdout().lock(),
+                std::io::stderr().lock(),
+            )
+            .unwrap_or_else(|e| die(&format!("serve failed: {e}")));
+            eprintln!(
+                "[serve] {} queries in {} batches; {} index hits, {} selected",
+                report.queries, report.batches, report.index_hits, report.selected
+            );
+            if args.has("stats") {
+                print_stats(&ctx);
+            }
+            finish_trace(&ctx, trace);
+        }
         "sort" => {
             let path = PathBuf::from(
                 args.positional
@@ -410,7 +495,9 @@ fn main() -> ExitCode {
                  \x20 emsplit splitters <file> --k K [--min a] [--max b] [--stats]\n\
                  \x20 emsplit partition <file> <out-dir> --k K [--min a] [--max b] [--stats]\n\
                  \x20 emsplit quantiles <file> --q Q [--stats]\n\
+                 \x20 emsplit select <file> --ranks r1,r2,... [--stats]\n\
                  \x20 emsplit sort <file> <out-file> [--stats]\n\
+                 \x20 emsplit serve <store-dir> [--batch-max N] [--batch-window-ms W] [--no-refine]\n\
                  \x20 emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...\n\
                  \n\
                  common flags: --mem M --block B   (machine geometry, records)\n\

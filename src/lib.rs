@@ -20,6 +20,9 @@
 //!   (Theorem 5) and [`apsplit::approx_partitioning`] (Theorem 6).
 //! * [`workloads`] — seeded input generators, including the paper's hard
 //!   permutation family `Π_hard`.
+//! * [`emserve`] — the serving layer: a persistent dataset catalog, a
+//!   batch-coalescing [`emserve::QueryServer`], and the journaled
+//!   [`emserve::SplitterIndex`] for online multiselection.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@
 pub use apsplit;
 pub use emcore;
 pub use emselect;
+pub use emserve;
 pub use emsort;
 pub use workloads;
 
@@ -71,6 +75,7 @@ pub mod prelude {
         multi_select, multi_select_recoverable, quantiles, select_rank, MsOptions, MultiSelectJob,
         MultiSelectManifest, Partition,
     };
+    pub use emserve::{serve_lines, Catalog, QueryServer, ServeOptions, SplitterIndex};
     pub use emsort::{
         external_sort, external_sort_recoverable, parallel_external_sort, SortJob, SortManifest,
     };

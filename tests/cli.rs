@@ -125,6 +125,61 @@ fn partition_writes_ordered_shards() {
     assert_eq!(total, 10_000);
 }
 
+/// `select` prints the requested ranks' elements in caller order; a
+/// scripted `serve` session over the same data must answer identically,
+/// and its store directory must survive for a second session.
+#[test]
+fn serve_session_matches_one_shot_select() {
+    let data = tmp("e.bin");
+    let store = tmp("e-store");
+    let data_s = data.to_str().unwrap();
+    run(&["gen", data_s, "30000", "--seed", "7"]);
+
+    let (sel_out, err, ok) = run(&["select", data_s, "--ranks", "15000,1,29999,400"]);
+    assert!(ok, "{err}");
+    assert_eq!(sel_out.lines().count(), 4);
+    let (q_out, err, ok) = run(&["quantiles", data_s, "--q", "8"]);
+    assert!(ok, "{err}");
+
+    let script = format!("open ds {data_s}\nrank ds 15000 1 29999 400\nquantiles ds 8\nquit\n");
+    let serve = |script: &str| -> (String, String, bool) {
+        use std::io::Write as _;
+        let mut child = Command::new(bin())
+            .args(["serve", store.to_str().unwrap()])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn emsplit serve");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(script.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.success(),
+        )
+    };
+    let (out, err, ok) = serve(&script);
+    assert!(ok, "{err}");
+    assert_eq!(
+        out,
+        format!("{sel_out}{q_out}"),
+        "serve must match one-shot"
+    );
+    assert!(err.contains("ok open ds 30000"), "{err}");
+
+    // A second session on the same store: the dataset is in the catalog
+    // (no re-registration cost) and answers are unchanged.
+    let (out2, err, ok) = serve(&script);
+    assert!(ok, "{err}");
+    assert_eq!(out2, out, "restarted store must answer identically");
+}
+
 #[test]
 fn help_and_bad_usage() {
     let (_, err, ok) = run(&["help"]);

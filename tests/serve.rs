@@ -1,0 +1,150 @@
+//! Integration tests for the serving layer (`emserve`): catalog and
+//! splitter-index persistence across a simulated process restart, and
+//! end-to-end agreement between the batched server and plain
+//! per-query multi-selection.
+
+use em_splitters::prelude::*;
+use emcore::SplitMix64;
+use emselect::MsOptions;
+
+fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n).collect();
+    SplitMix64::new(seed).shuffle(&mut v);
+    v
+}
+
+/// Register datasets, answer (and thereby refine) through the splitter
+/// index, drop every handle and the context — then reopen the same
+/// directory with a fresh `EmContext` as a restarted process would.
+/// The catalog, the index skeleton, and the answers must all survive.
+#[test]
+fn catalog_and_splitter_index_survive_process_restart() {
+    let dir = std::env::temp_dir().join(format!("em-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = 5000u64;
+    let data = shuffled(n, 0x5e12e);
+    let ranks: Vec<u64> = vec![1, n / 4, n / 2, 3 * n / 4, n];
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+
+    // --- process 1: register, answer, refine, drop everything ---
+    let (first_answers, boundaries_before) = {
+        let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+        let f = EmFile::from_slice(&ctx, &data).unwrap();
+        let g = EmFile::from_slice(&ctx, &[7u64, 3, 5]).unwrap();
+        let mut cat = Catalog::open(&ctx).unwrap();
+        cat.register("alpha", &f).unwrap();
+        cat.register("beta", &g).unwrap();
+
+        let mut idx = SplitterIndex::open(&ctx, "alpha", f).unwrap();
+        let (ans, stats) = idx.answer(&ranks, MsOptions::default(), true).unwrap();
+        assert_eq!(ans, want);
+        assert_eq!(stats.index_hits, 0, "cold index answers nothing for free");
+        let bounds = idx.boundaries();
+        assert!(
+            idx.num_segments() > 1,
+            "refinement must split the unrefined segment"
+        );
+        (ans, bounds)
+    };
+
+    // --- process 2: a fresh context over the same directory ---
+    let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+    let cat = Catalog::open(&ctx).unwrap();
+    assert_eq!(cat.names(), vec!["alpha".to_string(), "beta".to_string()]);
+    let e = cat.entry("alpha").unwrap();
+    assert_eq!((e.len, e.words), (n, 1));
+
+    // The small dataset reads back bit-identically.
+    let beta = cat.open_dataset::<u64>("beta").unwrap();
+    assert_eq!(beta.to_vec().unwrap(), vec![7, 3, 5]);
+
+    // The index skeleton reloaded: same boundaries, before any query.
+    let alpha = cat.open_dataset::<u64>("alpha").unwrap();
+    let mut idx = SplitterIndex::open(&ctx, "alpha", alpha).unwrap();
+    assert_eq!(idx.boundaries(), boundaries_before);
+    assert!(idx.num_segments() > 1, "skeleton survived the restart");
+
+    // Re-asking the same ranks is pure boundary hits: zero logical I/O.
+    ctx.stats().reset();
+    let (ans, stats) = idx.answer(&ranks, MsOptions::default(), true).unwrap();
+    assert_eq!(ans, first_answers);
+    assert_eq!(stats.index_hits, ranks.len() as u64);
+    assert_eq!(ctx.stats().snapshot().total_ios(), 0);
+
+    // New ranks recurse only into known segments and still agree with the
+    // ground truth.
+    let fresh: Vec<u64> = vec![n / 8, n / 2 + 17, n - 3];
+    let fresh_want: Vec<u64> = fresh.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+    let (ans, _) = idx.answer(&fresh, MsOptions::default(), true).unwrap();
+    assert_eq!(ans, fresh_want);
+
+    drop((idx, beta, cat));
+    drop(ctx);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The full server stack on the directory backend: a coalesced batch
+/// answered through the scheduler is bit-identical to per-query
+/// `multi_select`, and a restarted server still knows the catalog.
+#[test]
+fn server_batches_match_plain_select_and_survive_restart() {
+    let dir = std::env::temp_dir().join(format!("em-serve-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = 3000u64;
+    let data = shuffled(n, 0xcafe);
+
+    let queries: Vec<Vec<u64>> = vec![
+        vec![1, n],
+        vec![n / 2],
+        vec![n / 3, 2 * n / 3, n / 5],
+        vec![42, 42, 2718],
+    ];
+
+    // Ground truth per query via plain multi-select on a throwaway context.
+    let want: Vec<Vec<u64>> = {
+        let c = EmContext::new_in_memory(EmConfig::tiny());
+        let f = EmFile::from_slice(&c, &data).unwrap();
+        queries
+            .iter()
+            .map(|q| multi_select(&f, q).unwrap())
+            .collect()
+    };
+
+    {
+        let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+        let server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client();
+        client.register("ds", data.clone()).unwrap();
+        let tickets = client.submit_batch("ds", queries.clone()).unwrap();
+        let got: Vec<Vec<u64>> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert_eq!(got, want, "batched answers must be bit-identical");
+        drop(client); // the scheduler drains only once every sender is gone
+        let report = server.shutdown();
+        assert_eq!(report.queries as usize, queries.len());
+        assert_eq!(report.batches, 1, "submit_batch coalesces into one pass");
+    }
+
+    // Restarted server: the dataset is already in the catalog, and the
+    // warmed index makes exact repeats free of selection work.
+    let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+    let server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+    let client = server.client();
+    let got = client
+        .query("ds", queries[0].clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(got, want[0]);
+    let report = client.report().unwrap();
+    assert_eq!(
+        report.index_hits as usize,
+        queries[0].len(),
+        "repeat ranks answered from the persisted skeleton"
+    );
+    drop(client);
+    server.shutdown();
+    drop(ctx);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -160,6 +160,101 @@ fn traced_resume_attributes_redone_work() {
     )));
 }
 
+/// A traced *parallel* sort must produce a parse-clean JSONL trace:
+/// spans opened on worker threads nest under the parent phase captured on
+/// the main thread (never becoming spurious roots), every span closes,
+/// and root-total conservation still holds. Regression test for
+/// `emsplit --trace --workers > 1` emitting traces `trace_report` could
+/// not attribute.
+#[test]
+fn parallel_sort_trace_is_parse_clean_and_nested() {
+    let trace_path =
+        std::env::temp_dir().join(format!("em-trace-parallel-{}.jsonl", std::process::id()));
+    let cfg = EmConfig::builder()
+        .mem(256)
+        .block(16)
+        .workers(4)
+        .build()
+        .unwrap();
+    let c = EmContext::new_on_disk_temp(cfg).unwrap();
+    c.trace_to_file(&trace_path).unwrap();
+
+    let n = 6000u64;
+    let data = shuffled(n, 0x9a11);
+    let f = c.stats().paused(|| EmFile::from_slice(&c, &data)).unwrap();
+    let sorted = {
+        let _root = c.stats().phase_guard("test/parallel-root");
+        parallel_external_sort(&f).unwrap()
+    };
+    let mut want = data.clone();
+    want.sort_unstable();
+    assert_eq!(c.stats().paused(|| sorted.to_vec()).unwrap(), want);
+
+    let snapshot = c.stats().snapshot();
+    c.finish_trace();
+
+    let report = TraceReport::load(&trace_path).unwrap();
+    std::fs::remove_file(&trace_path).ok();
+    assert!(
+        report.unclosed().is_empty(),
+        "worker spans must all close: {:?}",
+        report
+            .unclosed()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+    );
+
+    // Worker-thread unit spans exist and are parented under the phase
+    // spans the main thread opened — not floating as roots.
+    let span_parent_name = |parent_id: u64| {
+        report
+            .spans
+            .iter()
+            .find(|s| s.id == parent_id)
+            .map(|s| s.name.clone())
+            .unwrap_or_default()
+    };
+    let run_units: Vec<_> = report
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("unit/run#"))
+        .collect();
+    assert!(
+        !run_units.is_empty(),
+        "parallel run formation must trace per-chunk unit spans"
+    );
+    for u in &run_units {
+        assert_eq!(
+            span_parent_name(u.parent),
+            "sort/run-formation",
+            "span {:?} must nest under the formation phase",
+            u.name
+        );
+    }
+    for u in report
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("unit/merge-group#"))
+    {
+        assert_eq!(
+            span_parent_name(u.parent),
+            "sort/merge",
+            "span {:?} must nest under the merge phase",
+            u.name
+        );
+    }
+
+    // Conservation survives multi-threaded emission: no I/O was lost to
+    // orphaned worker roots.
+    let roots = report.root_totals();
+    assert_eq!(
+        roots.total_ios(),
+        snapshot.total_ios(),
+        "span-tree root I/O must equal the run snapshot"
+    );
+}
+
 /// Without a sink, tracing stays disabled and costs nothing observable:
 /// the same workload produces identical I/O accounting either way, and no
 /// spans are left open.
