@@ -1,0 +1,14 @@
+//! EX-CHAOS serve-chaos campaign: see DESIGN.md per-experiment index.
+//! Exits nonzero on any hung ticket, oracle mismatch, dishonest degraded
+//! bound, failed heal, or failed reopen — the CI smoke gate.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (_, clean) = bench::run_chaos(bench::Scale::from_env());
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[EX-CHAOS] campaign found sick cells");
+        ExitCode::FAILURE
+    }
+}

@@ -70,7 +70,7 @@ impl Backend {
         }
     }
 
-    fn ctx(self, config: EmConfig) -> EmContext {
+    pub(crate) fn ctx(self, config: EmConfig) -> EmContext {
         match self {
             Backend::Memory => EmContext::new_in_memory(config),
             Backend::Disk => EmContext::new_on_disk_temp(config).expect("tempdir"),

@@ -39,8 +39,8 @@ fn run_server(
         refine,
         ..ServeOptions::default()
     };
-    let server = QueryServer::<u64>::start(ctx, opts).expect("server start");
-    let client = server.client();
+    let mut server = QueryServer::<u64>::start(ctx, opts).expect("server start");
+    let client = server.client().expect("server running");
     client.register("ds", data.to_vec()).expect("register");
     let before = ctx.stats().snapshot();
     let mut answers = Vec::with_capacity(queries.len());
@@ -49,12 +49,12 @@ fn run_server(
             .submit_batch("ds", chunk.to_vec())
             .expect("submit batch");
         for t in tickets {
-            answers.push(t.wait().expect("answer"));
+            answers.push(t.wait().expect("answer").into_values());
         }
     }
     let ios = ctx.stats().snapshot().since(&before).total_ios();
     drop(client);
-    let report = server.shutdown();
+    let report = server.shutdown().expect("clean shutdown");
     (answers, ios, report.index_hits)
 }
 
@@ -131,8 +131,8 @@ pub fn ex_serve(scale: Scale) -> Table {
         refine: true,
         ..ServeOptions::default()
     };
-    let server = QueryServer::<u64>::start(&ctx, opts).expect("server start");
-    let client = server.client();
+    let mut server = QueryServer::<u64>::start(&ctx, opts).expect("server start");
+    let client = server.client().expect("server running");
     client.register("ds", data.clone()).expect("register");
     let pass =
         |label: &str| -> (u64, u64) {
@@ -145,7 +145,7 @@ pub fn ex_serve(scale: Scale) -> Table {
                 for (t, w) in tickets.into_iter().zip(chunk.iter().map(|q| {
                     want[queries.iter().position(|x| x == q).expect("query known")].clone()
                 })) {
-                    assert_eq!(t.wait().expect("answer"), w, "{label}: wrong answer");
+                    assert_eq!(t.wait().expect("answer").values, w, "{label}: wrong answer");
                 }
             }
             let ios = ctx.stats().snapshot().since(&before).total_ios();
@@ -155,7 +155,7 @@ pub fn ex_serve(scale: Scale) -> Table {
     let (cold_ios, cold_hits) = pass("cold");
     let (warm_ios, warm_hits) = pass("warm");
     drop(client);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     assert!(
         warm_ios < cold_ios,
         "warm splitter index must beat cold: warm {warm_ios} vs cold {cold_ios}"

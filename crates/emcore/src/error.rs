@@ -1,7 +1,14 @@
 //! Error type shared by the whole workspace.
 
+use std::sync::Arc;
+
 /// Errors surfaced by the EM runtime and the algorithms built on it.
-#[derive(Debug)]
+///
+/// The type is [`Clone`] (the one non-cloneable payload,
+/// [`std::io::Error`], is `Arc`-backed) so a server answering a coalesced
+/// batch can hand the *same* typed error to every affected reply channel
+/// instead of flattening it to a string.
+#[derive(Debug, Clone)]
 pub enum EmError {
     /// Invalid model parameters (`M`, `B`) or invalid problem parameters
     /// (`K`, `a`, `b`, ranks out of range, ...).
@@ -23,7 +30,7 @@ pub enum EmError {
         blocks: u64,
     },
     /// Underlying I/O failure from the file-backed device.
-    Io(std::io::Error),
+    Io(Arc<std::io::Error>),
     /// A block failed checksum verification on read: the stored payload does
     /// not match the checksum written with it (torn write, bit rot, or an
     /// injected corruption fault).
@@ -44,6 +51,31 @@ pub enum EmError {
     /// The simulated machine has crashed ([`crate::FaultKind::Fatal`]); all
     /// I/O fails until [`crate::FaultPlan::clear_crash`] models a restart.
     Crashed,
+    /// A serving-layer circuit breaker is open for this dataset: recent
+    /// batches failed fatally, so the server fails fast instead of paying
+    /// for more doomed I/O. A background probe restores the dataset once
+    /// the device answers again.
+    Unhealthy {
+        /// The quarantined dataset.
+        dataset: String,
+        /// Consecutive fatal batch failures that tripped the breaker.
+        failures: u32,
+    },
+    /// A deadline expired: the query waited longer than its budget before
+    /// the scheduler could (or would) run it, or a caller's
+    /// `wait_timeout` elapsed before the answer arrived.
+    DeadlineExceeded {
+        /// The budget that was exceeded, in microseconds.
+        deadline_us: u64,
+        /// How long was actually waited, in microseconds.
+        waited_us: u64,
+    },
+    /// A service endpoint is gone: the query server was shut down, its
+    /// scheduler thread died, or a handle was used after `shutdown`.
+    Unavailable {
+        /// What exactly is unavailable.
+        reason: String,
+    },
 }
 
 impl EmError {
@@ -52,11 +84,30 @@ impl EmError {
         EmError::Config(msg.into())
     }
 
+    /// Construct a [`EmError::Unavailable`] from anything stringy.
+    pub fn unavailable(reason: impl Into<String>) -> Self {
+        EmError::Unavailable {
+            reason: reason.into(),
+        }
+    }
+
     /// Whether retrying the same operation could succeed: transient faults
     /// and (in-flight) corrupt reads are retryable; crashes and persistent
     /// errors are not.
     pub fn is_retryable(&self) -> bool {
         matches!(self, EmError::Transient { .. } | EmError::Corrupt { .. })
+    }
+
+    /// Whether this error indicates a failing *device or dataset* (rather
+    /// than a bad request): the class a serving-layer circuit breaker
+    /// counts toward tripping. Request-shaped errors (`Config`,
+    /// `OutOfBounds`, deadline/breaker rejections) are excluded — a caller
+    /// asking for rank 0 forever must not poison the dataset for others.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            EmError::Io(_) | EmError::Corrupt { .. } | EmError::Transient { .. } | EmError::Crashed
+        )
     }
 }
 
@@ -83,6 +134,18 @@ impl std::fmt::Display for EmError {
                 write!(f, "transient {op} failure at device attempt {index}")
             }
             EmError::Crashed => write!(f, "simulated crash: context requires restart"),
+            EmError::Unhealthy { dataset, failures } => write!(
+                f,
+                "dataset {dataset:?} is unhealthy ({failures} consecutive fatal failures); breaker open"
+            ),
+            EmError::DeadlineExceeded {
+                deadline_us,
+                waited_us,
+            } => write!(
+                f,
+                "deadline exceeded: waited {waited_us} µs against a budget of {deadline_us} µs"
+            ),
+            EmError::Unavailable { reason } => write!(f, "service unavailable: {reason}"),
         }
     }
 }
@@ -90,7 +153,7 @@ impl std::fmt::Display for EmError {
 impl std::error::Error for EmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            EmError::Io(e) => Some(e),
+            EmError::Io(e) => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -98,7 +161,7 @@ impl std::error::Error for EmError {
 
 impl From<std::io::Error> for EmError {
     fn from(e: std::io::Error) -> Self {
-        EmError::Io(e)
+        EmError::Io(Arc::new(e))
     }
 }
 
@@ -132,5 +195,36 @@ mod tests {
         let io = std::io::Error::other("boom");
         let e = EmError::from(io);
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_clone_without_flattening() {
+        let e = EmError::from(std::io::Error::other("disk on fire"));
+        let c = e.clone();
+        assert!(matches!(c, EmError::Io(_)));
+        assert_eq!(format!("{c}"), format!("{e}"));
+        let u = EmError::Unhealthy {
+            dataset: "ds".into(),
+            failures: 3,
+        };
+        assert!(matches!(u.clone(), EmError::Unhealthy { failures: 3, .. }));
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(EmError::Crashed.is_fault());
+        assert!(EmError::from(std::io::Error::other("x")).is_fault());
+        assert!(EmError::Corrupt { block: 0, file: 1 }.is_fault());
+        assert!(!EmError::config("rank 0").is_fault());
+        assert!(!EmError::Unhealthy {
+            dataset: "d".into(),
+            failures: 1
+        }
+        .is_fault());
+        assert!(!EmError::DeadlineExceeded {
+            deadline_us: 1,
+            waited_us: 2
+        }
+        .is_fault());
     }
 }

@@ -278,6 +278,15 @@ impl FaultPlan {
         self.lock().crashed = false;
     }
 
+    /// Drop every schedule entry, ending the fault phase: no further
+    /// faults are injected, but attempt counters and injected-fault
+    /// totals are preserved. Chaos harnesses use this to let a service
+    /// heal (breaker probes succeed, quarantined datasets recover)
+    /// after a deterministic storm, without swapping the installed plan.
+    pub fn clear_specs(&self) {
+        self.lock().specs.clear();
+    }
+
     /// Run `f` with injection suspended (attempt counters do not advance).
     /// Verification oracles use this so checking an output is not itself
     /// subject to the fault schedule. Suspensions nest. A pending crash
@@ -514,6 +523,22 @@ mod tests {
         assert_eq!(r.backoff_ticks(3), 8);
         assert_eq!(RetryPolicy::NONE.backoff_ticks(1), 0);
         assert_eq!(RetryPolicy::retries(3).max_attempts, 4);
+    }
+
+    #[test]
+    fn clear_specs_ends_the_storm_but_keeps_totals() {
+        let p = FaultPlan::new(0).with(FaultSpec {
+            trigger: Trigger::EveryNth(1),
+            kind: FaultKind::TransientRead,
+        });
+        assert!(p.decide(IoOp::Read).is_some());
+        assert!(p.decide(IoOp::Read).is_some());
+        p.clear_specs();
+        for _ in 0..20 {
+            assert_eq!(p.decide(IoOp::Read), None);
+        }
+        assert_eq!(p.injected().transient_reads, 2);
+        assert_eq!(p.attempts(), 22);
     }
 
     #[test]

@@ -62,6 +62,16 @@ pub struct Counters {
     /// went to the device, and populated a frame. Always 0 with the cache
     /// disabled.
     pub cache_misses: u64,
+    /// Queries the serving layer shed at admission because their deadline
+    /// had already expired (no I/O was spent on them).
+    pub shed_queries: u64,
+    /// Serving-layer circuit-breaker trips: a dataset entered the
+    /// `Unhealthy` (fail-fast) state after consecutive fatal batch
+    /// failures.
+    pub breaker_trips: u64,
+    /// Queries answered *approximately* from a splitter-index skeleton
+    /// alone (zero I/O, explicit rank-error bound) instead of being shed.
+    pub degraded_answers: u64,
 }
 
 impl Counters {
@@ -117,6 +127,11 @@ impl Counters {
             physical_writes: self.physical_writes.saturating_sub(earlier.physical_writes),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            shed_queries: self.shed_queries.saturating_sub(earlier.shed_queries),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            degraded_answers: self
+                .degraded_answers
+                .saturating_sub(earlier.degraded_answers),
         }
     }
 
@@ -138,6 +153,9 @@ impl Counters {
             physical_writes: self.physical_writes.saturating_add(other.physical_writes),
             cache_hits: self.cache_hits.saturating_add(other.cache_hits),
             cache_misses: self.cache_misses.saturating_add(other.cache_misses),
+            shed_queries: self.shed_queries.saturating_add(other.shed_queries),
+            breaker_trips: self.breaker_trips.saturating_add(other.breaker_trips),
+            degraded_answers: self.degraded_answers.saturating_add(other.degraded_answers),
         }
     }
 }
@@ -192,6 +210,15 @@ impl std::fmt::Display for Counters {
                 self.physical_ios()
             )?;
         }
+        if self.shed_queries != 0 {
+            write!(f, ", {} shed queries", self.shed_queries)?;
+        }
+        if self.breaker_trips != 0 {
+            write!(f, ", {} breaker trips", self.breaker_trips)?;
+        }
+        if self.degraded_answers != 0 {
+            write!(f, ", {} degraded answers", self.degraded_answers)?;
+        }
         Ok(())
     }
 }
@@ -228,6 +255,9 @@ struct AtomicCounters {
     physical_writes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    shed_queries: AtomicU64,
+    breaker_trips: AtomicU64,
+    degraded_answers: AtomicU64,
 }
 
 impl AtomicCounters {
@@ -246,6 +276,9 @@ impl AtomicCounters {
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            shed_queries: self.shed_queries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            degraded_answers: self.degraded_answers.load(Ordering::Relaxed),
         }
     }
 
@@ -263,6 +296,9 @@ impl AtomicCounters {
         self.physical_writes.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.shed_queries.store(0, Ordering::Relaxed);
+        self.breaker_trips.store(0, Ordering::Relaxed);
+        self.degraded_answers.store(0, Ordering::Relaxed);
     }
 }
 
@@ -482,6 +518,43 @@ impl IoStats {
                 .redone_ios
                 .fetch_add(n, Ordering::Relaxed);
             self.inner.tracer.point(PointKind::WorkUnitRedo { ios: n });
+        }
+    }
+
+    /// Charge one shed query: the serving layer dropped it at admission
+    /// because its deadline had already expired (see
+    /// [`Counters::shed_queries`]).
+    #[inline]
+    pub fn record_shed_query(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .shed_queries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge one circuit-breaker trip: a served dataset entered the
+    /// fail-fast `Unhealthy` state (see [`Counters::breaker_trips`]).
+    #[inline]
+    pub fn record_breaker_trip(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .breaker_trips
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge one degraded answer: a query answered approximately from a
+    /// splitter skeleton at zero I/O (see [`Counters::degraded_answers`]).
+    #[inline]
+    pub fn record_degraded_answer(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .degraded_answers
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 

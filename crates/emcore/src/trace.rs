@@ -364,7 +364,10 @@ fn counters_fields(o: &mut JsonObj, c: &Counters) {
         .num_nz("physical_reads", c.physical_reads)
         .num_nz("physical_writes", c.physical_writes)
         .num_nz("cache_hits", c.cache_hits)
-        .num_nz("cache_misses", c.cache_misses);
+        .num_nz("cache_misses", c.cache_misses)
+        .num_nz("shed_queries", c.shed_queries)
+        .num_nz("breaker_trips", c.breaker_trips)
+        .num_nz("degraded_answers", c.degraded_answers);
 }
 
 impl TraceEvent {
@@ -484,6 +487,9 @@ impl TraceEvent {
                     physical_writes: n("physical_writes"),
                     cache_hits: n("cache_hits"),
                     cache_misses: n("cache_misses"),
+                    shed_queries: n("shed_queries"),
+                    breaker_trips: n("breaker_trips"),
+                    degraded_answers: n("degraded_answers"),
                 },
             }),
             "point" => {
@@ -1179,6 +1185,9 @@ mod tests {
                 physical_writes: 4,
                 cache_hits: 2,
                 cache_misses: 8,
+                shed_queries: 1,
+                breaker_trips: 1,
+                degraded_answers: 6,
             },
         });
         roundtrip(TraceEvent::Point {

@@ -331,12 +331,86 @@ impl<T: Record> SplitterIndex<T> {
         Ok((ranks.iter().map(|r| answered[r]).collect(), stats))
     }
 
+    /// Answer `ranks` **approximately** from the skeleton alone, at zero
+    /// I/O: each rank is answered with the element of the nearest known
+    /// boundary. Returns the values (caller's order) and the guaranteed
+    /// maximum rank error — the returned element for rank `r` has *exact*
+    /// global rank `r'` with `|r' − r| ≤ bound`, where the bound is the
+    /// largest boundary distance over the batch (derived from the widths
+    /// of the segments the ranks fall in). Returns `Ok(None)` when the
+    /// skeleton has no boundary yet (a cold index knows no element of any
+    /// rank, so no approximation is possible without I/O).
+    ///
+    /// This is the serving layer's graceful-degradation path: an
+    /// over-deadline (or breaker-quarantined) quantile query gets an
+    /// explicit approximation instead of an error, exactly in the spirit
+    /// of the paper's approximate splitters — the skeleton *is* an
+    /// approximate splitter set whose quality improves as traffic refines
+    /// it.
+    pub fn answer_approx(&self, ranks: &[u64]) -> Result<Option<(Vec<T>, u64)>> {
+        let n = self.len();
+        for &r in ranks {
+            if r == 0 || r > n {
+                return Err(EmError::config(format!("rank {r} out of range [1, {n}]")));
+            }
+        }
+        let bounds = self.boundaries();
+        if bounds.is_empty() {
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(ranks.len());
+        let mut worst = 0u64;
+        for &r in ranks {
+            // Nearest known boundary by rank distance (ties toward the
+            // left boundary, which `partition_point` gives us first).
+            let i = bounds.partition_point(|&(br, _)| br < r);
+            let lo = i.checked_sub(1).map(|j| bounds[j]);
+            let hi = bounds.get(i).copied();
+            let (br, bv) = match (lo, hi) {
+                (Some((lr, lv)), Some((hr, hv))) => {
+                    if r - lr <= hr - r {
+                        (lr, lv)
+                    } else {
+                        (hr, hv)
+                    }
+                }
+                (Some(b), None) | (None, Some(b)) => b,
+                (None, None) => unreachable!("bounds nonempty"),
+            };
+            worst = worst.max(br.abs_diff(r));
+            out.push(bv);
+        }
+        Ok(Some((out, worst)))
+    }
+
+    /// Cheap health probe: one block read from the dataset. Used by the
+    /// serving layer's circuit breaker to decide whether a quarantined
+    /// dataset can be restored — it exercises the same device path a real
+    /// query would, at a cost of one I/O.
+    pub fn probe(&self) -> Result<()> {
+        if self.segments.is_empty() {
+            return Ok(());
+        }
+        let files = self.segment_files(0);
+        if let Some(f) = files.first() {
+            let mut r = f.reader();
+            r.next()?;
+        }
+        Ok(())
+    }
+
     /// Cut every touched segment at its answered ranks and commit.
     fn refine(
         &mut self,
         buckets: &std::collections::BTreeMap<usize, Vec<u64>>,
         answered: &std::collections::BTreeMap<u64, T>,
     ) -> Result<()> {
+        // Replaced segment files must outlive the *commit*: the old journal
+        // image references them until the new image is durable, so a crash
+        // (or a faulted commit) mid-refinement must find them still on
+        // disk. They are collected here and released only after the commit
+        // succeeds.
+        let mut retired: Vec<EmFile<T>> = Vec::new();
         // Highest index first so earlier indices stay valid while splicing.
         for (&i, seg_ranks) in buckets.iter().rev() {
             let prev_end = if i == 0 {
@@ -405,16 +479,20 @@ impl<T: Record> SplitterIndex<T> {
                 });
             }
             debug_assert_eq!(local_end, window);
-            // Release the replaced segment's files — except the original
+            // Retire the replaced segment's files — except the original
             // dataset file, which the catalog owns forever.
             for f in old.files {
                 if f.id() != self.dataset_file_id {
-                    f.set_persistent(false);
+                    retired.push(f);
                 }
             }
             self.segments.splice(i..=i, replacement);
         }
-        self.commit()
+        self.commit()?;
+        for f in retired {
+            f.set_persistent(false);
+        }
+        Ok(())
     }
 
     fn commit(&self) -> Result<()> {
@@ -561,5 +639,38 @@ mod tests {
         let (got2, _) = idx.answer(&ranks2, MsOptions::default(), true).unwrap();
         let want2 = multi_select(&plain, &ranks2).unwrap();
         assert_eq!(got2, want2);
+    }
+
+    #[test]
+    fn approx_answers_are_free_and_respect_their_bound() {
+        let c = ctx();
+        let (f, sorted) = dataset(&c, 3000, 7);
+        let mut idx = SplitterIndex::open(&c, "apx", f).unwrap();
+        // Cold skeleton: no boundary known, no approximation possible.
+        assert!(idx.answer_approx(&[1500]).unwrap().is_none());
+        assert!(idx.answer_approx(&[0]).is_err());
+        // Warm it with exact cuts at 600/1200/1800/2400.
+        idx.answer(&[600, 1200, 1800, 2400], MsOptions::default(), true)
+            .unwrap();
+        let before = c.stats().snapshot();
+        let ranks = vec![1u64, 650, 1500, 2399, 3000];
+        let (vals, bound) = idx.answer_approx(&ranks).unwrap().unwrap();
+        assert_eq!(
+            c.stats().snapshot().since(&before).total_ios(),
+            0,
+            "approximation must be skeleton-only"
+        );
+        // Worst asked rank is 3000, sitting 600 past the last cut at 2400.
+        assert_eq!(bound, 600);
+        for (&r, &v) in ranks.iter().zip(&vals) {
+            let true_rank = sorted.iter().position(|&x| x == v).unwrap() as u64 + 1;
+            assert!(
+                true_rank.abs_diff(r) <= bound,
+                "rank {r}: got rank {true_rank}, bound {bound}"
+            );
+        }
+        // A rank sitting exactly on a boundary is answered exactly.
+        let (vals2, _) = idx.answer_approx(&[1200]).unwrap().unwrap();
+        assert_eq!(vals2, vec![sorted[1199]]);
     }
 }

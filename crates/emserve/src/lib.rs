@@ -23,6 +23,15 @@
 //!   (bounded request queue = admission control) and answers each batch
 //!   with one multi-select pass. [`serve_lines`] adapts it to the
 //!   `emsplit serve` line protocol.
+//!
+//! The serving layer is fault-isolated (PR 6): reply channels carry typed
+//! [`emcore::EmError`]s, failed batches are retried and then bisected so a
+//! poisoned query is quarantined without failing its coalesced
+//! neighbours, a per-dataset circuit breaker ([`BreakerState`]) fails
+//! fast after repeated fatal faults and is restored by a background
+//! probe, and over-deadline queries are shed — or, in degraded mode,
+//! answered approximately from the splitter skeleton at zero I/O with an
+//! explicit rank-error bound ([`QueryAnswer`]).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -35,4 +44,7 @@ mod server;
 pub use catalog::{validate_name, Catalog, DatasetEntry, CATALOG_JOURNAL};
 pub use index::{AnswerStats, Segment, SplitterIndex};
 pub use protocol::serve_lines;
-pub use server::{Client, QueryServer, ServeOptions, ServeReport, Ticket};
+pub use server::{
+    BreakerState, Client, DatasetHealth, QueryAnswer, QueryOptions, QueryServer, ServeOptions,
+    ServeReport, Ticket,
+};

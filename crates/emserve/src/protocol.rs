@@ -17,6 +17,7 @@
 //! quantiles <name> <q>      queue the q-quantile ranks ⌈i·n/q⌉, i=1..q-1
 //! flush                     answer queued queries, in submission order
 //! stats                     flush, then print service counters to err
+//! health                    flush, then print per-dataset breaker states
 //! quit                      flush and exit (EOF implies quit)
 //! ```
 //!
@@ -46,8 +47,8 @@ pub fn serve_lines(
     mut out: impl Write,
     mut err: impl Write,
 ) -> Result<ServeReport> {
-    let server = QueryServer::<u64>::start(ctx, opts)?;
-    let client = server.client();
+    let mut server = QueryServer::<u64>::start(ctx, opts)?;
+    let client = server.client()?;
     let mut lens: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
     let mut queue: Vec<Pending> = Vec::new();
 
@@ -81,7 +82,13 @@ pub fn serve_lines(
                     .expect("one ticket per queued query");
                 match t.wait() {
                     Ok(ans) => {
-                        for x in ans {
+                        // Degraded answers are flagged on the err stream so
+                        // the answer stream stays diffable against the
+                        // one-shot commands when everything is exact.
+                        if ans.approx {
+                            writeln!(err, "ok approx {} rank_error={}", p.name, ans.rank_error)?;
+                        }
+                        for x in ans.values {
                             writeln!(out, "{x}")?;
                         }
                     }
@@ -153,9 +160,31 @@ pub fn serve_lines(
                     let r = client.report()?;
                     writeln!(
                         err,
-                        "ok stats queries={} batches={} index_hits={} selected={} answer_us={}",
-                        r.queries, r.batches, r.index_hits, r.selected, r.answer_us
+                        "ok stats queries={} batches={} index_hits={} selected={} answer_us={} \
+                         failed={} quarantined={} shed={} degraded={} breaker_trips={}",
+                        r.queries,
+                        r.batches,
+                        r.index_hits,
+                        r.selected,
+                        r.answer_us,
+                        r.failed,
+                        r.quarantined,
+                        r.shed,
+                        r.degraded,
+                        r.breaker_trips
                     )?;
+                }
+                "health" => {
+                    flush(&mut queue, &mut out, &mut err)?;
+                    for h in client.health()? {
+                        writeln!(
+                            err,
+                            "ok health {} {} failures={}",
+                            h.name,
+                            h.state.label(),
+                            h.consecutive_failures
+                        )?;
+                    }
                 }
                 "quit" => {
                     flush(&mut queue, &mut out, &mut err)?;
@@ -174,7 +203,7 @@ pub fn serve_lines(
     // EOF implies quit.
     flush(&mut queue, &mut out, &mut err)?;
     drop(client);
-    Ok(server.shutdown())
+    server.shutdown()
 }
 
 /// Read a flat little-endian u64 file (the `emsplit gen` format).

@@ -10,20 +10,125 @@
 //! [`ServeOptions::batch_max`] join it), groups them per dataset, and
 //! answers each group through the dataset's [`SplitterIndex`] — one
 //! [`emselect`] multi-select pass per touched segment, boundary hits free.
+//!
+//! ## Resilience (PR 6)
+//!
+//! A fault during a coalesced batch no longer fails every rider:
+//!
+//! * **Typed errors end to end** — reply channels carry [`EmError`]
+//!   values (the error type is `Clone`), never stringly re-wrapped ones.
+//! * **Retry, then bisect** — a failed batch is retried under
+//!   [`ServeOptions::retry`] while the error is retryable; a persistent
+//!   failure bisects the batch so the poisoned query is quarantined and
+//!   its coalesced neighbours still get exact answers.
+//! * **Per-dataset circuit breaker** — after
+//!   [`ServeOptions::breaker_threshold`] consecutive fully-failed fault
+//!   batches a dataset enters [`BreakerState::Open`] and fails fast with
+//!   [`EmError::Unhealthy`]; a background probe (one block read) half-opens
+//!   and restores it once the device answers again.
+//! * **Deadlines & degraded answers** — a query whose
+//!   [`QueryOptions::deadline`] expired before execution is shed with
+//!   [`EmError::DeadlineExceeded`] — or, with degraded mode on, answered
+//!   *approximately* from the splitter skeleton at zero I/O, flagged
+//!   `approx` with an explicit rank-error bound
+//!   ([`SplitterIndex::answer_approx`]). The same degraded path backs
+//!   breaker-open datasets: the skeleton needs no device at all.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::time::{Duration, Instant};
 
-use emcore::{EmContext, EmError, EmFile, Record, Result};
+use emcore::{EmContext, EmError, EmFile, Record, Result, RetryPolicy};
 use emselect::MsOptions;
 
 use crate::catalog::Catalog;
 use crate::index::SplitterIndex;
 
-/// One client query awaiting an answer: the ranks asked for, and the
-/// channel its [`Ticket`] is waiting on.
-type PendingQuery<T> = (Vec<u64>, mpsc::Sender<Result<Vec<T>>>);
+/// Per-query service options. Unset fields inherit the server-wide
+/// defaults in [`ServeOptions`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Answer-latency budget measured from submission. A query still
+    /// queued when its deadline expires is shed (or degraded) instead of
+    /// executed. `None` inherits [`ServeOptions::deadline`].
+    pub deadline: Option<Duration>,
+    /// Whether an over-deadline (or breaker-quarantined) query may be
+    /// answered approximately from the splitter skeleton at zero I/O.
+    /// `None` inherits [`ServeOptions::degraded`].
+    pub degraded: Option<bool>,
+}
+
+/// One answered query: the values, and whether they are exact or a
+/// skeleton-only approximation with a guaranteed rank-error bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAnswer<T: Record> {
+    /// The answer values, in the caller's rank order.
+    pub values: Vec<T>,
+    /// `false`: bit-identical to a full multi-select of the asked ranks.
+    /// `true`: each value is the element of a *known exact rank* near the
+    /// asked one (degraded mode) — see `rank_error`.
+    pub approx: bool,
+    /// Guaranteed rank-error bound when `approx`: the value returned for
+    /// rank `r` has exact global rank `r'` with `|r' − r| ≤ rank_error`.
+    /// Always 0 for exact answers.
+    pub rank_error: u64,
+}
+
+impl<T: Record> QueryAnswer<T> {
+    fn exact(values: Vec<T>) -> Self {
+        QueryAnswer {
+            values,
+            approx: false,
+            rank_error: 0,
+        }
+    }
+
+    /// The values, discarding the exact/approx flag.
+    pub fn into_values(self) -> Vec<T> {
+        self.values
+    }
+}
+
+/// Circuit-breaker state of one served dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: batches execute normally.
+    Closed,
+    /// Tripped: queries fail fast with [`EmError::Unhealthy`] (or degrade
+    /// to skeleton answers) until the probe cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next background probe (or query) decides
+    /// whether the dataset is restored or re-quarantined.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label (for protocol/health output).
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Health snapshot of one dataset, returned by [`Client::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetHealth {
+    /// Dataset name.
+    pub name: String,
+    /// Current breaker state.
+    pub state: BreakerState,
+    /// Consecutive fully-failed fault batches (resets on any success).
+    pub consecutive_failures: u32,
+}
 
 /// Tunables for [`QueryServer`].
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +143,20 @@ pub struct ServeOptions {
     pub refine: bool,
     /// Multi-select options used for every pass.
     pub select: MsOptions,
+    /// Server-level batch retry policy: a batch failing with a retryable
+    /// fault ([`EmError::is_retryable`]) is re-executed up to
+    /// `retry.max_attempts` times before bisection kicks in.
+    pub retry: RetryPolicy,
+    /// Consecutive fully-failed fault batches before a dataset's breaker
+    /// opens (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// Cooldown before an open breaker half-opens and is probed.
+    pub probe_cooldown: Duration,
+    /// Default per-query deadline (`None` = no deadline). Overridable per
+    /// query via [`QueryOptions::deadline`].
+    pub deadline: Option<Duration>,
+    /// Default degraded-mode flag (see [`QueryOptions::degraded`]).
+    pub degraded: bool,
 }
 
 impl Default for ServeOptions {
@@ -48,6 +167,11 @@ impl Default for ServeOptions {
             queue_depth: 64,
             refine: true,
             select: MsOptions::default(),
+            retry: RetryPolicy::retries(2),
+            breaker_threshold: 3,
+            probe_cooldown: Duration::from_millis(25),
+            deadline: None,
+            degraded: false,
         }
     }
 }
@@ -58,7 +182,8 @@ impl Default for ServeOptions {
 pub struct ServeReport {
     /// Datasets registered (or reopened) this run.
     pub registered: u64,
-    /// Queries answered.
+    /// Queries answered (exact, degraded, shed, or failed — every
+    /// accepted query resolves exactly once).
     pub queries: u64,
     /// Batches executed (each ≥ 1 query; the coalescing win is
     /// `queries / batches`).
@@ -70,6 +195,33 @@ pub struct ServeReport {
     /// Wall-clock microseconds spent answering batches (query latency,
     /// excluding queue wait).
     pub answer_us: u64,
+    /// Whole-batch re-executions under [`ServeOptions::retry`].
+    pub retried_batches: u64,
+    /// Queries that received a typed error.
+    pub failed: u64,
+    /// Failed queries that were *isolated by bisection* — their coalesced
+    /// neighbours still got exact answers.
+    pub quarantined: u64,
+    /// Queries shed at admission because their deadline had expired.
+    pub shed: u64,
+    /// Queries answered approximately from the skeleton (degraded mode).
+    pub degraded: u64,
+    /// Circuit-breaker trips (datasets entering the fail-fast state).
+    pub breaker_trips: u64,
+    /// Background probes executed against quarantined datasets.
+    pub probes: u64,
+    /// Datasets restored to `Closed` by a successful probe.
+    pub breaker_restores: u64,
+    /// Breakers currently not `Closed` (snapshot at report time).
+    pub open_breakers: u64,
+}
+
+/// One client query awaiting an answer.
+struct Pending<T: Record> {
+    ranks: Vec<u64>,
+    opts: QueryOptions,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<QueryAnswer<T>>>,
 }
 
 enum Req<T: Record> {
@@ -80,17 +232,19 @@ enum Req<T: Record> {
     },
     Query {
         name: String,
-        ranks: Vec<u64>,
-        reply: mpsc::Sender<Result<Vec<T>>>,
+        query: Box<Pending<T>>,
     },
     /// A pre-coalesced batch: answered in one pass regardless of the
     /// batching window (deterministic batch sizes for benches and tests).
     Batch {
         name: String,
-        queries: Vec<PendingQuery<T>>,
+        queries: Vec<Pending<T>>,
     },
     Report {
         reply: mpsc::Sender<ServeReport>,
+    },
+    Health {
+        reply: mpsc::Sender<Vec<DatasetHealth>>,
     },
 }
 
@@ -116,20 +270,39 @@ impl<T: Record> Clone for Client<T> {
 
 /// An in-flight query's answer slot.
 pub struct Ticket<T: Record> {
-    rx: mpsc::Receiver<Result<Vec<T>>>,
+    rx: mpsc::Receiver<Result<QueryAnswer<T>>>,
 }
 
 impl<T: Record> Ticket<T> {
     /// Block until the answer arrives (in the caller's rank order).
-    pub fn wait(self) -> Result<Vec<T>> {
+    pub fn wait(self) -> Result<QueryAnswer<T>> {
         self.rx
             .recv()
-            .map_err(|_| EmError::config("query server shut down before answering"))?
+            .map_err(|_| EmError::unavailable("query server shut down before answering"))?
+    }
+
+    /// Wait at most `timeout` for the answer. A wedged or dead server can
+    /// never hang the caller: on expiry this returns
+    /// [`EmError::DeadlineExceeded`] and the ticket stays live, so the
+    /// caller may wait again (or drop it — a late answer to a dropped
+    /// ticket is discarded by the scheduler's failed `send`).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<QueryAnswer<T>> {
+        let t0 = Instant::now();
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => Err(EmError::DeadlineExceeded {
+                deadline_us: timeout.as_micros().min(u64::MAX as u128) as u64,
+                waited_us: t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(EmError::unavailable(
+                "query server shut down before answering",
+            )),
+        }
     }
 }
 
 fn gone<R>() -> Result<R> {
-    Err(EmError::config("query server is not running"))
+    Err(EmError::unavailable("query server is not running"))
 }
 
 impl<T: Record> Client<T> {
@@ -149,19 +322,31 @@ impl<T: Record> Client<T> {
         {
             return gone();
         }
-        rx.recv().map_err(|_| EmError::config("server dropped"))?
+        rx.recv()
+            .map_err(|_| EmError::unavailable("server dropped"))?
     }
 
-    /// Submit one query for `ranks` of dataset `name`. Blocks only on
-    /// admission control (full queue); the answer arrives on the ticket.
+    /// Submit one query for `ranks` of dataset `name` with default
+    /// options. Blocks only on admission control (full queue); the answer
+    /// arrives on the ticket.
     pub fn query(&self, name: &str, ranks: Vec<u64>) -> Result<Ticket<T>> {
+        self.query_with(name, ranks, QueryOptions::default())
+    }
+
+    /// Submit one query with explicit per-query options (deadline,
+    /// degraded mode).
+    pub fn query_with(&self, name: &str, ranks: Vec<u64>, opts: QueryOptions) -> Result<Ticket<T>> {
         let (tx, rx) = mpsc::channel();
         if self
             .tx
             .send(Req::Query {
                 name: name.to_string(),
-                ranks,
-                reply: tx,
+                query: Box::new(Pending {
+                    ranks,
+                    opts,
+                    submitted: Instant::now(),
+                    reply: tx,
+                }),
             })
             .is_err()
         {
@@ -173,11 +358,32 @@ impl<T: Record> Client<T> {
     /// Submit several queries as one pre-coalesced batch: exactly one
     /// batch on the server regardless of timing.
     pub fn submit_batch(&self, name: &str, queries: Vec<Vec<u64>>) -> Result<Vec<Ticket<T>>> {
+        self.submit_batch_with(
+            name,
+            queries
+                .into_iter()
+                .map(|r| (r, QueryOptions::default()))
+                .collect(),
+        )
+    }
+
+    /// [`Client::submit_batch`] with per-query options.
+    pub fn submit_batch_with(
+        &self,
+        name: &str,
+        queries: Vec<(Vec<u64>, QueryOptions)>,
+    ) -> Result<Vec<Ticket<T>>> {
         let mut tickets = Vec::with_capacity(queries.len());
         let mut payload = Vec::with_capacity(queries.len());
-        for ranks in queries {
+        let now = Instant::now();
+        for (ranks, opts) in queries {
             let (tx, rx) = mpsc::channel();
-            payload.push((ranks, tx));
+            payload.push(Pending {
+                ranks,
+                opts,
+                submitted: now,
+                reply: tx,
+            });
             tickets.push(Ticket { rx });
         }
         if self
@@ -199,7 +405,35 @@ impl<T: Record> Client<T> {
         if self.tx.send(Req::Report { reply: tx }).is_err() {
             return gone();
         }
-        rx.recv().map_err(|_| EmError::config("server dropped"))
+        rx.recv()
+            .map_err(|_| EmError::unavailable("server dropped"))
+    }
+
+    /// Per-dataset breaker states.
+    pub fn health(&self) -> Result<Vec<DatasetHealth>> {
+        let (tx, rx) = mpsc::channel();
+        if self.tx.send(Req::Health { reply: tx }).is_err() {
+            return gone();
+        }
+        rx.recv()
+            .map_err(|_| EmError::unavailable("server dropped"))
+    }
+}
+
+/// Per-dataset circuit-breaker bookkeeping.
+struct Breaker {
+    state: BreakerState,
+    consecutive: u32,
+    since: Instant,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive: 0,
+            since: Instant::now(),
+        }
     }
 }
 
@@ -208,6 +442,7 @@ struct Scheduler<T: Record> {
     opts: ServeOptions,
     catalog: Catalog,
     indices: BTreeMap<String, SplitterIndex<T>>,
+    breakers: BTreeMap<String, Breaker>,
     report: ServeReport,
 }
 
@@ -221,6 +456,7 @@ impl<T: Record> QueryServer<T> {
             opts,
             catalog,
             indices: BTreeMap::new(),
+            breakers: BTreeMap::new(),
             report: ServeReport::default(),
         };
         let handle = std::thread::spawn(move || {
@@ -233,22 +469,28 @@ impl<T: Record> QueryServer<T> {
         })
     }
 
-    /// A client handle for this server.
-    pub fn client(&self) -> Client<T> {
-        Client {
-            tx: self.tx.clone().expect("server running"),
+    /// A client handle for this server. `Err` once the server has been
+    /// shut down.
+    pub fn client(&self) -> Result<Client<T>> {
+        match &self.tx {
+            Some(tx) => Ok(Client { tx: tx.clone() }),
+            None => Err(EmError::unavailable("query server already shut down")),
         }
     }
 
     /// Stop accepting requests and join the scheduler. Blocks until every
     /// outstanding [`Client`] clone has been dropped (their senders keep
-    /// the request channel alive).
-    pub fn shutdown(mut self) -> ServeReport {
+    /// the request channel alive). A second call — or a scheduler that
+    /// died — yields a typed [`EmError::Unavailable`], never an abort.
+    pub fn shutdown(&mut self) -> Result<ServeReport> {
         drop(self.tx.take());
-        match self.handle.take().expect("not yet joined").join() {
-            Ok(r) => r,
-            Err(panic) => std::panic::resume_unwind(panic),
-        }
+        let handle = self
+            .handle
+            .take()
+            .ok_or_else(|| EmError::unavailable("query server already shut down"))?;
+        handle
+            .join()
+            .map_err(|_| EmError::unavailable("query server scheduler panicked"))
     }
 }
 
@@ -267,22 +509,105 @@ impl<T: Record> Scheduler<T> {
         loop {
             let req = match carry.take() {
                 Some(r) => r,
-                None => match rx.recv() {
-                    Ok(r) => r,
-                    Err(_) => break, // every sender gone: shutdown
-                },
+                None => {
+                    if self.any_unhealthy() {
+                        // A quarantined dataset needs background probes:
+                        // poll with the probe cadence instead of parking.
+                        let tick = self.opts.probe_cooldown.max(Duration::from_millis(1));
+                        match rx.recv_timeout(tick) {
+                            Ok(r) => r,
+                            Err(RecvTimeoutError::Timeout) => {
+                                self.tick_probes();
+                                continue;
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    } else {
+                        match rx.recv() {
+                            Ok(r) => r,
+                            Err(_) => break, // every sender gone: shutdown
+                        }
+                    }
+                }
             };
+            self.tick_probes();
             match req {
                 Req::Register { name, data, reply } => {
                     let _ = reply.send(self.register(&name, data));
                 }
                 Req::Report { reply } => {
-                    let _ = reply.send(self.report);
+                    let mut r = self.report;
+                    r.open_breakers = self
+                        .breakers
+                        .values()
+                        .filter(|b| b.state != BreakerState::Closed)
+                        .count() as u64;
+                    let _ = reply.send(r);
+                }
+                Req::Health { reply } => {
+                    let mut out: Vec<DatasetHealth> = Vec::new();
+                    for name in self.catalog.names() {
+                        let (state, consecutive) = self
+                            .breakers
+                            .get(&name)
+                            .map(|b| (b.state, b.consecutive))
+                            .unwrap_or((BreakerState::Closed, 0));
+                        out.push(DatasetHealth {
+                            name,
+                            state,
+                            consecutive_failures: consecutive,
+                        });
+                    }
+                    let _ = reply.send(out);
                 }
                 Req::Batch { name, queries } => self.answer_group(&name, queries),
-                Req::Query { name, ranks, reply } => {
-                    carry = self.coalesce(&rx, (name, ranks, reply));
+                Req::Query { name, query } => {
+                    carry = self.coalesce(&rx, name, *query);
                 }
+            }
+        }
+    }
+
+    fn any_unhealthy(&self) -> bool {
+        self.breakers
+            .values()
+            .any(|b| b.state != BreakerState::Closed)
+    }
+
+    /// Advance breaker timers: `Open` half-opens after the cooldown, and a
+    /// `HalfOpen` dataset is probed (one block read). A successful probe
+    /// restores the dataset; a failed one re-opens the breaker and
+    /// restarts the cooldown.
+    fn tick_probes(&mut self) {
+        let cooldown = self.opts.probe_cooldown;
+        let due: Vec<String> = self
+            .breakers
+            .iter()
+            .filter(|(_, b)| b.state != BreakerState::Closed && b.since.elapsed() >= cooldown)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in due {
+            let state = self.breakers[&name].state;
+            match state {
+                BreakerState::Open => {
+                    let b = self.breakers.get_mut(&name).expect("due breaker");
+                    b.state = BreakerState::HalfOpen;
+                    b.since = Instant::now();
+                }
+                BreakerState::HalfOpen => {
+                    self.report.probes += 1;
+                    let ok = self.ensure_index(&name).and_then(|idx| idx.probe()).is_ok();
+                    let b = self.breakers.get_mut(&name).expect("due breaker");
+                    b.since = Instant::now();
+                    if ok {
+                        b.state = BreakerState::Closed;
+                        b.consecutive = 0;
+                        self.report.breaker_restores += 1;
+                    } else {
+                        b.state = BreakerState::Open;
+                    }
+                }
+                BreakerState::Closed => {}
             }
         }
     }
@@ -290,13 +615,13 @@ impl<T: Record> Scheduler<T> {
     /// Collect queries under the batching window (starting from `first`),
     /// then answer them grouped per dataset. Returns a non-query request
     /// received mid-window, to be handled next.
-    #[allow(clippy::type_complexity)]
     fn coalesce(
         &mut self,
         rx: &Receiver<Req<T>>,
-        first: (String, Vec<u64>, mpsc::Sender<Result<Vec<T>>>),
+        first_name: String,
+        first: Pending<T>,
     ) -> Option<Req<T>> {
-        let mut pending = vec![first];
+        let mut pending = vec![(first_name, first)];
         let mut carry = None;
         if self.opts.batch_max > 1 && !self.opts.batch_window.is_zero() {
             let deadline = Instant::now() + self.opts.batch_window;
@@ -306,7 +631,7 @@ impl<T: Record> Scheduler<T> {
                     break;
                 }
                 match rx.recv_timeout(left) {
-                    Ok(Req::Query { name, ranks, reply }) => pending.push((name, ranks, reply)),
+                    Ok(Req::Query { name, query }) => pending.push((name, *query)),
                     Ok(other) => {
                         carry = Some(other);
                         break;
@@ -315,10 +640,9 @@ impl<T: Record> Scheduler<T> {
                 }
             }
         }
-        let mut groups: BTreeMap<String, Vec<(Vec<u64>, mpsc::Sender<Result<Vec<T>>>)>> =
-            BTreeMap::new();
-        for (name, ranks, reply) in pending {
-            groups.entry(name).or_default().push((ranks, reply));
+        let mut groups: BTreeMap<String, Vec<Pending<T>>> = BTreeMap::new();
+        for (name, q) in pending {
+            groups.entry(name).or_default().push(q);
         }
         for (name, queries) in groups {
             self.answer_group(&name, queries);
@@ -347,66 +671,218 @@ impl<T: Record> Scheduler<T> {
         Ok(len)
     }
 
-    /// Answer one batch of queries against one dataset with a single
-    /// index pass; distribute the answers back per query.
-    #[allow(clippy::type_complexity)]
-    fn answer_group(&mut self, name: &str, queries: Vec<(Vec<u64>, mpsc::Sender<Result<Vec<T>>>)>) {
+    /// The dataset's index, opening it from the catalog if needed (e.g.
+    /// queries straight after a restart, before any register).
+    fn ensure_index(&mut self, name: &str) -> Result<&mut SplitterIndex<T>> {
+        if !self.indices.contains_key(name) {
+            let file = self.catalog.open_dataset::<T>(name)?;
+            let idx = SplitterIndex::open(&self.ctx, name, file)?;
+            self.indices.insert(name.to_string(), idx);
+        }
+        Ok(self.indices.get_mut(name).expect("just ensured"))
+    }
+
+    fn effective_deadline(&self, q: &Pending<T>) -> Option<Duration> {
+        q.opts.deadline.or(self.opts.deadline)
+    }
+
+    fn degraded_allowed(&self, q: &Pending<T>) -> bool {
+        q.opts.degraded.unwrap_or(self.opts.degraded)
+    }
+
+    /// Answer `q` approximately from the skeleton alone (zero I/O).
+    /// Returns `false` when no approximation is possible (cold skeleton or
+    /// unknown dataset) — the caller then sheds or fails the query.
+    fn try_degraded(&mut self, name: &str, q: &Pending<T>) -> bool {
+        let Ok(idx) = self.ensure_index(name) else {
+            return false;
+        };
+        match idx.answer_approx(&q.ranks) {
+            Ok(Some((values, bound))) => {
+                self.report.degraded += 1;
+                self.ctx.stats().record_degraded_answer();
+                let _ = q.reply.send(Ok(QueryAnswer {
+                    values,
+                    approx: true,
+                    rank_error: bound,
+                }));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Answer one batch of queries against one dataset: deadline-based
+    /// admission, breaker fail-fast, then retry-and-bisect execution.
+    fn answer_group(&mut self, name: &str, queries: Vec<Pending<T>>) {
         if queries.is_empty() {
             return;
         }
-        let nq = queries.len();
-        let result = (|| -> Result<Vec<Vec<T>>> {
-            if !self.indices.contains_key(name) {
-                // Dataset known to the catalog but not yet opened (e.g.
-                // queries straight after a restart, before any register).
-                let file = self.catalog.open_dataset::<T>(name)?;
-                let idx = SplitterIndex::open(&self.ctx, name, file)?;
-                self.indices.insert(name.to_string(), idx);
-            }
-            let idx = self.indices.get_mut(name).expect("just ensured");
-            let all: Vec<u64> = queries
-                .iter()
-                .flat_map(|(r, _)| r.iter().copied())
-                .collect();
-            let t0 = Instant::now();
-            let _phase = self.ctx.stats().phase_guard("serve/query");
-            let _span = self.ctx.stats().trace_span(|| format!("serve/batch x{nq}"));
-            let (answers, astats) = idx.answer(&all, self.opts.select, self.opts.refine)?;
-            drop(_span);
-            drop(_phase);
-            self.report.answer_us += t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
-            self.report.index_hits += astats.index_hits;
-            self.report.selected += astats.selected;
-            let mut out = Vec::with_capacity(nq);
-            let mut off = 0usize;
-            for (ranks, _) in &queries {
-                out.push(answers[off..off + ranks.len()].to_vec());
-                off += ranks.len();
-            }
-            Ok(out)
-        })();
         self.report.batches += 1;
-        self.report.queries += nq as u64;
-        match result {
-            Ok(per_query) => {
-                for ((_, reply), ans) in queries.into_iter().zip(per_query) {
-                    let _ = reply.send(Ok(ans));
+        self.report.queries += queries.len() as u64;
+
+        // Admission: shed (or degrade) queries whose deadline has already
+        // expired — no I/O is spent on them.
+        let mut live: Vec<Pending<T>> = Vec::with_capacity(queries.len());
+        for q in queries {
+            if let Some(d) = self.effective_deadline(&q) {
+                let waited = q.submitted.elapsed();
+                if waited > d {
+                    if self.degraded_allowed(&q) && self.try_degraded(name, &q) {
+                        continue;
+                    }
+                    self.report.shed += 1;
+                    self.ctx.stats().record_shed_query();
+                    let _ = q.reply.send(Err(EmError::DeadlineExceeded {
+                        deadline_us: d.as_micros().min(u64::MAX as u128) as u64,
+                        waited_us: waited.as_micros().min(u64::MAX as u128) as u64,
+                    }));
+                    continue;
                 }
             }
+            live.push(q);
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // Breaker fail-fast: an `Open` dataset pays no I/O. (A `HalfOpen`
+        // one lets the batch through — live traffic doubles as a probe.)
+        if let Some(b) = self.breakers.get(name) {
+            if b.state == BreakerState::Open {
+                let failures = b.consecutive;
+                for q in live {
+                    if self.degraded_allowed(&q) && self.try_degraded(name, &q) {
+                        continue;
+                    }
+                    self.report.failed += 1;
+                    let _ = q.reply.send(Err(EmError::Unhealthy {
+                        dataset: name.to_string(),
+                        failures,
+                    }));
+                }
+                return;
+            }
+        }
+
+        let t0 = Instant::now();
+        let ctx = self.ctx.clone();
+        let _phase = ctx.stats().phase_guard("serve/query");
+        let nq = live.len();
+        let _span = ctx.stats().trace_span(|| format!("serve/batch x{nq}"));
+        let (ok, fault_failed) = self.exec(name, live, false);
+        drop(_span);
+        drop(_phase);
+        self.report.answer_us += t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+
+        // Breaker accounting: a batch in which *every* query failed on a
+        // fault-shaped error is one strike; any success resets the streak
+        // (and closes a half-open breaker).
+        let threshold = self.opts.breaker_threshold;
+        let b = self
+            .breakers
+            .entry(name.to_string())
+            .or_insert_with(Breaker::new);
+        if ok > 0 {
+            b.consecutive = 0;
+            if b.state != BreakerState::Closed {
+                b.state = BreakerState::Closed;
+                self.report.breaker_restores += 1;
+            }
+        } else if fault_failed > 0 {
+            b.consecutive = b.consecutive.saturating_add(1);
+            if threshold > 0 && b.consecutive >= threshold && b.state != BreakerState::Open {
+                b.state = BreakerState::Open;
+                b.since = Instant::now();
+                self.report.breaker_trips += 1;
+                self.ctx.stats().record_breaker_trip();
+            }
+        }
+    }
+
+    /// Execute `queries` as one multi-select pass, retrying retryable
+    /// faults under the server's [`RetryPolicy`], then bisecting on a
+    /// persistent failure so only the poisoned query is quarantined.
+    /// Returns `(answered, fault_failures)`.
+    fn exec(&mut self, name: &str, mut queries: Vec<Pending<T>>, bisected: bool) -> (u64, u64) {
+        let result = self.try_batch(name, &queries);
+        match result {
+            Ok(per_query) => {
+                let n = queries.len() as u64;
+                for (q, ans) in queries.into_iter().zip(per_query) {
+                    let _ = q.reply.send(Ok(QueryAnswer::exact(ans)));
+                }
+                (n, 0)
+            }
             Err(e) => {
-                let msg = e.to_string();
-                for (_, reply) in queries {
-                    let _ = reply.send(Err(EmError::config(msg.clone())));
+                // A crashed context fails everything identically — there
+                // is nothing bisection could isolate.
+                if queries.len() == 1 || matches!(e, EmError::Crashed) {
+                    let n = queries.len() as u64;
+                    let faults = if e.is_fault() { n } else { 0 };
+                    for q in queries {
+                        self.report.failed += 1;
+                        if bisected {
+                            self.report.quarantined += 1;
+                        }
+                        let _ = q.reply.send(Err(e.clone()));
+                    }
+                    (0, faults)
+                } else {
+                    let right = queries.split_off(queries.len() / 2);
+                    let (ok_l, ff_l) = self.exec(name, queries, true);
+                    let (ok_r, ff_r) = self.exec(name, right, true);
+                    (ok_l + ok_r, ff_l + ff_r)
                 }
             }
         }
+    }
+
+    /// One attempt set: run the batch through the index, re-running it
+    /// while the failure stays retryable and the retry budget lasts.
+    fn try_batch(&mut self, name: &str, queries: &[Pending<T>]) -> Result<Vec<Vec<T>>> {
+        let retry = self.opts.retry;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.answer_once(name, queries) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < retry.max_attempts.max(1) => {
+                    self.report.retried_batches += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// A single index-mediated multi-select pass over the batch's ranks,
+    /// answers distributed back per query.
+    fn answer_once(&mut self, name: &str, queries: &[Pending<T>]) -> Result<Vec<Vec<T>>> {
+        let refine = self.opts.refine;
+        let select = self.opts.select;
+        let idx = self.ensure_index(name)?;
+        let all: Vec<u64> = queries
+            .iter()
+            .flat_map(|q| q.ranks.iter().copied())
+            .collect();
+        let (answers, astats) = idx.answer(&all, select, refine)?;
+        self.report.index_hits += astats.index_hits;
+        self.report.selected += astats.selected;
+        let mut out = Vec::with_capacity(queries.len());
+        let mut off = 0usize;
+        for q in queries {
+            out.push(answers[off..off + q.ranks.len()].to_vec());
+            off += q.ranks.len();
+        }
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emcore::{EmConfig, SplitMix64};
+    use emcore::{EmConfig, FaultKind, FaultPlan, SplitMix64};
     use emselect::multi_select;
 
     fn data(n: u64, seed: u64) -> Vec<u64> {
@@ -420,8 +896,8 @@ mod tests {
         let ctx = EmContext::new_in_memory(EmConfig::tiny());
         let v = data(3000, 1);
         let plain = ctx.stats().paused(|| EmFile::from_slice(&ctx, &v)).unwrap();
-        let server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
-        let client = server.client();
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client().unwrap();
         assert_eq!(client.register("ds", v).unwrap(), 3000);
         let queries: Vec<Vec<u64>> = vec![
             vec![1, 1500, 3000],
@@ -432,13 +908,16 @@ mod tests {
         let tickets = client.submit_batch("ds", queries.clone()).unwrap();
         for (ranks, t) in queries.iter().zip(tickets) {
             let got = t.wait().unwrap();
+            assert!(!got.approx);
+            assert_eq!(got.rank_error, 0);
             let want = multi_select(&plain, ranks).unwrap();
-            assert_eq!(got, want, "ranks {ranks:?}");
+            assert_eq!(got.values, want, "ranks {ranks:?}");
         }
         drop(client);
-        let report = server.shutdown();
+        let report = server.shutdown().unwrap();
         assert_eq!(report.queries, 4);
         assert_eq!(report.batches, 1);
+        assert_eq!(report.failed, 0);
     }
 
     #[test]
@@ -447,7 +926,7 @@ mod tests {
         let v = data(4000, 2);
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        let server = QueryServer::<u64>::start(
+        let mut server = QueryServer::<u64>::start(
             &ctx,
             ServeOptions {
                 batch_window: Duration::from_millis(20),
@@ -455,7 +934,7 @@ mod tests {
             },
         )
         .unwrap();
-        let client = server.client();
+        let client = server.client().unwrap();
         client.register("ds", v).unwrap();
         std::thread::scope(|s| {
             for t in 0..4u64 {
@@ -465,13 +944,13 @@ mod tests {
                     for q in 0..8u64 {
                         let r = 1 + (t * 997 + q * 131) % 4000;
                         let got = c.query("ds", vec![r]).unwrap().wait().unwrap();
-                        assert_eq!(got, vec![sorted[(r - 1) as usize]]);
+                        assert_eq!(got.values, vec![sorted[(r - 1) as usize]]);
                     }
                 });
             }
         });
         drop(client);
-        let report = server.shutdown();
+        let report = server.shutdown().unwrap();
         assert_eq!(report.queries, 32);
         assert!(
             report.batches < report.queries,
@@ -484,15 +963,198 @@ mod tests {
     #[test]
     fn unknown_dataset_and_bad_rank_error_cleanly() {
         let ctx = EmContext::new_in_memory(EmConfig::tiny());
-        let server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
-        let client = server.client();
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client().unwrap();
         assert!(client.query("nope", vec![1]).unwrap().wait().is_err());
         client.register("ds", data(100, 3)).unwrap();
         assert!(client.query("ds", vec![0]).unwrap().wait().is_err());
         assert!(client.query("ds", vec![101]).unwrap().wait().is_err());
         let ok = client.query("ds", vec![100]).unwrap().wait().unwrap();
-        assert_eq!(ok, vec![99]);
+        assert_eq!(ok.values, vec![99]);
         drop(client);
-        server.shutdown();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn poisoned_query_is_bisected_out_of_the_batch() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let v = data(2000, 4);
+        let plain = ctx.stats().paused(|| EmFile::from_slice(&ctx, &v)).unwrap();
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client().unwrap();
+        client.register("ds", v).unwrap();
+        // One poisoned query (rank out of range) coalesced with 7 good ones.
+        let queries: Vec<Vec<u64>> = vec![
+            vec![1],
+            vec![250, 500],
+            vec![750],
+            vec![9999], // poisoned
+            vec![1000],
+            vec![1250, 1500],
+            vec![1750],
+            vec![2000],
+        ];
+        let tickets = client.submit_batch("ds", queries.clone()).unwrap();
+        let mut errors = 0;
+        for (ranks, t) in queries.iter().zip(tickets) {
+            match t.wait() {
+                Ok(a) => {
+                    let want = multi_select(&plain, ranks).unwrap();
+                    assert_eq!(a.values, want, "neighbours must stay exact");
+                }
+                Err(e) => {
+                    errors += 1;
+                    assert!(matches!(e, EmError::Config(_)), "typed error, got {e}");
+                    assert_eq!(ranks, &vec![9999]);
+                }
+            }
+        }
+        assert_eq!(errors, 1, "exactly the poisoned query fails");
+        drop(client);
+        let report = server.shutdown().unwrap();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.batches, 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_exact_answers() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        ctx.set_retry_policy(RetryPolicy::retries(4));
+        let v = data(2000, 5);
+        let plain = ctx.stats().paused(|| EmFile::from_slice(&ctx, &v)).unwrap();
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client().unwrap();
+        client.register("ds", v).unwrap();
+        ctx.install_fault_plan(FaultPlan::new(7).transient_rate(0.02));
+        let queries: Vec<Vec<u64>> = vec![vec![1, 1000, 2000], vec![500], vec![1500, 3]];
+        let tickets = client.submit_batch("ds", queries.clone()).unwrap();
+        for (ranks, t) in queries.iter().zip(tickets) {
+            let got = t.wait().unwrap();
+            let want = ctx.oracle(|| multi_select(&plain, ranks)).unwrap();
+            assert_eq!(got.values, want);
+            assert!(!got.approx);
+        }
+        ctx.clear_fault_plan();
+        drop(client);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_sheds_cold_and_degrades_warm() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let v = data(3000, 6);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client().unwrap();
+        client.register("ds", v).unwrap();
+        let rush = QueryOptions {
+            deadline: Some(Duration::ZERO),
+            degraded: Some(true),
+        };
+        // Cold skeleton: no boundary known, nothing to degrade to → shed.
+        let t = client.query_with("ds", vec![1500], rush).unwrap();
+        match t.wait() {
+            Err(EmError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected a shed, got {other:?}"),
+        }
+        // Warm the skeleton with a refining exact batch.
+        client
+            .query("ds", vec![1000, 2000])
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Now the same rushed query degrades: zero I/O, bounded rank error.
+        let before = ctx.stats().snapshot();
+        let a = client
+            .query_with("ds", vec![1500], rush)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(a.approx);
+        assert!(
+            a.rank_error <= 500,
+            "bound {} from cuts at 1000/2000",
+            a.rank_error
+        );
+        assert_eq!(
+            ctx.stats().snapshot().since(&before).total_ios(),
+            0,
+            "degraded answers are skeleton-only"
+        );
+        // The realized error respects the stated bound.
+        let true_rank = sorted.iter().position(|&x| x == a.values[0]).unwrap() as u64 + 1;
+        assert!(true_rank.abs_diff(1500) <= a.rank_error);
+        drop(client);
+        let report = server.shutdown().unwrap();
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.degraded, 1);
+    }
+
+    #[test]
+    fn breaker_opens_fails_fast_and_probe_restores() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let v = data(1000, 7);
+        let mut server = QueryServer::<u64>::start(
+            &ctx,
+            ServeOptions {
+                breaker_threshold: 2,
+                probe_cooldown: Duration::from_millis(5),
+                retry: RetryPolicy::NONE,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let client = server.client().unwrap();
+        client.register("ds", v).unwrap();
+        // Crash the device; two failed batches trip the breaker.
+        let plan = FaultPlan::new(0).fail_nth(0, FaultKind::Fatal);
+        ctx.install_fault_plan(plan.clone());
+        for _ in 0..2 {
+            let e = client.query("ds", vec![10]).unwrap().wait().unwrap_err();
+            assert!(matches!(e, EmError::Crashed), "got {e}");
+        }
+        // Breaker open: fail fast with a typed Unhealthy error.
+        let e = client.query("ds", vec![10]).unwrap().wait().unwrap_err();
+        assert!(matches!(e, EmError::Unhealthy { .. }), "got {e}");
+        let health = client.health().unwrap();
+        assert_eq!(health.len(), 1);
+        assert_ne!(health[0].state, BreakerState::Closed);
+        // Device restored: the background probe half-opens and closes it.
+        plan.clear_crash();
+        let t0 = Instant::now();
+        loop {
+            let h = &client.health().unwrap()[0];
+            if h.state == BreakerState::Closed {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "probe never restored"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let a = client.query("ds", vec![10]).unwrap().wait().unwrap();
+        assert_eq!(a.values, vec![9]);
+        drop(client);
+        let report = server.shutdown().unwrap();
+        assert_eq!(report.breaker_trips, 1);
+        assert!(report.probes >= 1);
+        assert!(report.breaker_restores >= 1);
+    }
+
+    #[test]
+    fn shutdown_is_typed_and_idempotent() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        assert!(server.client().is_ok());
+        server.shutdown().unwrap();
+        // Post-shutdown client() and a double join are typed errors.
+        assert!(matches!(server.client(), Err(EmError::Unavailable { .. })));
+        assert!(matches!(
+            server.shutdown(),
+            Err(EmError::Unavailable { .. })
+        ));
     }
 }

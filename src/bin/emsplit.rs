@@ -11,6 +11,7 @@
 //! emsplit select <file> --ranks r1,r2,... [--stats]
 //! emsplit sort <file> <out-file> [--stats]
 //! emsplit serve <store-dir> [--batch-max N] [--batch-window-ms W] [--no-refine]
+//!               [--deadline-ms D] [--degraded] [--breaker-threshold K] [--probe-ms P]
 //! emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...
 //! ```
 //!
@@ -18,6 +19,13 @@
 //! and answers line-oriented rank/quantile queries from stdin — see
 //! `emserve::serve_lines` for the protocol. Answers go to stdout exactly
 //! as `select`/`quantiles` print them; status lines go to stderr.
+//! `--deadline-ms` sheds queries that waited longer than `D` ms before
+//! execution; with `--degraded` they are instead answered approximately
+//! from the splitter skeleton (zero I/O, flagged on stderr with an
+//! explicit rank-error bound). `--breaker-threshold` trips a dataset's
+//! circuit breaker after `K` consecutive fully-failed fault batches
+//! (fail-fast typed errors), and `--probe-ms` sets the cooldown before a
+//! background probe tries to restore it.
 //!
 //! `--mem M` and `--block B` set the machine geometry (defaults 65536/1024
 //! records — a more disk-like shape than the simulator defaults).
@@ -394,6 +402,7 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|e| die(&format!("cannot open store {}: {e}", store.display())));
             let trace = setup_trace(&ctx, &args);
             let defaults = ServeOptions::default();
+            let deadline_ms = args.flag_u64("deadline-ms", 0);
             let opts = ServeOptions {
                 batch_max: args.flag_u64("batch-max", defaults.batch_max as u64) as usize,
                 batch_window: std::time::Duration::from_millis(
@@ -401,6 +410,14 @@ fn main() -> ExitCode {
                 ),
                 queue_depth: args.flag_u64("queue-depth", defaults.queue_depth as u64) as usize,
                 refine: !args.has("no-refine"),
+                deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+                degraded: args.has("degraded"),
+                breaker_threshold: args
+                    .flag_u64("breaker-threshold", defaults.breaker_threshold as u64)
+                    as u32,
+                probe_cooldown: std::time::Duration::from_millis(
+                    args.flag_u64("probe-ms", defaults.probe_cooldown.as_millis() as u64),
+                ),
                 ..defaults
             };
             let stdin = std::io::stdin();
@@ -413,8 +430,17 @@ fn main() -> ExitCode {
             )
             .unwrap_or_else(|e| die(&format!("serve failed: {e}")));
             eprintln!(
-                "[serve] {} queries in {} batches; {} index hits, {} selected",
-                report.queries, report.batches, report.index_hits, report.selected
+                "[serve] {} queries in {} batches; {} index hits, {} selected; \
+                 {} failed ({} quarantined), {} shed, {} degraded, {} breaker trips",
+                report.queries,
+                report.batches,
+                report.index_hits,
+                report.selected,
+                report.failed,
+                report.quarantined,
+                report.shed,
+                report.degraded,
+                report.breaker_trips
             );
             if args.has("stats") {
                 print_stats(&ctx);
@@ -498,6 +524,7 @@ fn main() -> ExitCode {
                  \x20 emsplit select <file> --ranks r1,r2,... [--stats]\n\
                  \x20 emsplit sort <file> <out-file> [--stats]\n\
                  \x20 emsplit serve <store-dir> [--batch-max N] [--batch-window-ms W] [--no-refine]\n\
+                 \x20               [--deadline-ms D] [--degraded] [--breaker-threshold K] [--probe-ms P]\n\
                  \x20 emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...\n\
                  \n\
                  common flags: --mem M --block B   (machine geometry, records)\n\

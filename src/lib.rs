@@ -75,7 +75,10 @@ pub mod prelude {
         multi_select, multi_select_recoverable, quantiles, select_rank, MsOptions, MultiSelectJob,
         MultiSelectManifest, Partition,
     };
-    pub use emserve::{serve_lines, Catalog, QueryServer, ServeOptions, SplitterIndex};
+    pub use emserve::{
+        serve_lines, BreakerState, Catalog, QueryAnswer, QueryOptions, QueryServer, ServeOptions,
+        SplitterIndex,
+    };
     pub use emsort::{
         external_sort, external_sort_recoverable, parallel_external_sort, SortJob, SortManifest,
     };

@@ -114,14 +114,17 @@ fn server_batches_match_plain_select_and_survive_restart() {
 
     {
         let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
-        let server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
-        let client = server.client();
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client().unwrap();
         client.register("ds", data.clone()).unwrap();
         let tickets = client.submit_batch("ds", queries.clone()).unwrap();
-        let got: Vec<Vec<u64>> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let got: Vec<Vec<u64>> = tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap().into_values())
+            .collect();
         assert_eq!(got, want, "batched answers must be bit-identical");
         drop(client); // the scheduler drains only once every sender is gone
-        let report = server.shutdown();
+        let report = server.shutdown().unwrap();
         assert_eq!(report.queries as usize, queries.len());
         assert_eq!(report.batches, 1, "submit_batch coalesces into one pass");
     }
@@ -129,14 +132,14 @@ fn server_batches_match_plain_select_and_survive_restart() {
     // Restarted server: the dataset is already in the catalog, and the
     // warmed index makes exact repeats free of selection work.
     let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
-    let server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
-    let client = server.client();
+    let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+    let client = server.client().unwrap();
     let got = client
         .query("ds", queries[0].clone())
         .unwrap()
         .wait()
         .unwrap();
-    assert_eq!(got, want[0]);
+    assert_eq!(got.values, want[0]);
     let report = client.report().unwrap();
     assert_eq!(
         report.index_hits as usize,
@@ -144,7 +147,185 @@ fn server_batches_match_plain_select_and_survive_restart() {
         "repeat ranks answered from the persisted skeleton"
     );
     drop(client);
-    server.shutdown();
+    server.shutdown().unwrap();
     drop(ctx);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Transient and corrupt faults injected during a coalesced batch are
+/// absorbed by the retry-and-bisect path: every query still gets an
+/// exact, bit-identical answer on the directory backend (where torn and
+/// corrupt block writes are real on-disk events).
+#[test]
+fn faulty_batches_still_answer_exactly_on_disk() {
+    use emcore::{FaultKind, FaultSpec, Trigger};
+    let dir = std::env::temp_dir().join(format!("em-serve-faulty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let n = 4000u64;
+    let data = shuffled(n, 0xfau64);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+
+    let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+    ctx.set_retry_policy(RetryPolicy::retries(4));
+    let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+    let client = server.client().unwrap();
+    client.register("ds", data).unwrap();
+
+    // A storm of transient faults plus periodic corrupt reads.
+    let plan = FaultPlan::new(11).transient_rate(0.03).with(FaultSpec {
+        trigger: Trigger::EveryNth(37),
+        kind: FaultKind::CorruptRead,
+    });
+    ctx.install_fault_plan(plan);
+
+    let queries: Vec<Vec<u64>> = (0..6)
+        .map(|i| vec![1 + i * 613 % n, 1 + (i * 1811 + 7) % n])
+        .collect();
+    let tickets = client.submit_batch("ds", queries.clone()).unwrap();
+    for (ranks, t) in queries.iter().zip(tickets) {
+        let a = t
+            .wait_timeout(std::time::Duration::from_secs(30))
+            .expect("faulted batch must still answer");
+        assert!(!a.approx);
+        let want: Vec<u64> = ranks.iter().map(|&r| sorted[(r - 1) as usize]).collect();
+        assert_eq!(a.values, want, "ranks {ranks:?}");
+    }
+    ctx.clear_fault_plan();
+    drop(client);
+    server.shutdown().unwrap();
+    drop(ctx);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A fatal fault while serving one dataset must not take down the others:
+/// the crashed dataset trips its breaker and fails fast with a typed
+/// error, while a second dataset keeps answering exactly — and after the
+/// device recovers, the background probe restores the first.
+#[test]
+fn fatal_fault_on_one_dataset_leaves_others_serving() {
+    use std::time::{Duration, Instant};
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    let a = shuffled(2000, 1);
+    let b = shuffled(2000, 2);
+    let mut sorted_b = b.clone();
+    sorted_b.sort_unstable();
+    let mut server = QueryServer::<u64>::start(
+        &ctx,
+        ServeOptions {
+            breaker_threshold: 2,
+            probe_cooldown: Duration::from_millis(5),
+            retry: RetryPolicy::NONE,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let client = server.client().unwrap();
+    client.register("a", a).unwrap();
+    client.register("b", b).unwrap();
+    // Warm dataset b so its answers during the crash window are pure
+    // boundary hits (zero device I/O — the crash cannot touch them).
+    let warm_ranks = vec![500u64, 1000, 1500];
+    client
+        .query("b", warm_ranks.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    // Crash the device and drive dataset a into its breaker.
+    let plan = FaultPlan::new(0).fatal_at(0);
+    ctx.install_fault_plan(plan.clone());
+    for _ in 0..2 {
+        let e = client.query("a", vec![10]).unwrap().wait().unwrap_err();
+        assert!(e.is_fault(), "expected a fault error, got {e}");
+    }
+    let e = client.query("a", vec![10]).unwrap().wait().unwrap_err();
+    assert!(
+        matches!(e, EmError::Unhealthy { .. }),
+        "breaker must fail fast, got {e}"
+    );
+    // Dataset b still serves its warmed ranks exactly.
+    let got = client
+        .query("b", warm_ranks.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    let want: Vec<u64> = warm_ranks
+        .iter()
+        .map(|&r| sorted_b[(r - 1) as usize])
+        .collect();
+    assert_eq!(got.values, want, "healthy dataset unaffected");
+    assert!(!got.approx);
+
+    // Device recovers; the probe restores dataset a.
+    plan.clear_crash();
+    plan.clear_specs();
+    let t0 = Instant::now();
+    loop {
+        match client.query("a", vec![10]).unwrap().wait() {
+            Ok(ans) => {
+                assert_eq!(ans.values.len(), 1);
+                break;
+            }
+            Err(_) => {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(10),
+                    "probe never restored dataset a"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    drop(client);
+    let report = server.shutdown().unwrap();
+    assert!(report.breaker_trips >= 1);
+    assert!(report.breaker_restores >= 1);
+}
+
+/// `Ticket::wait_timeout` never hangs the caller: a server wedged behind
+/// a slow device yields a typed `DeadlineExceeded`, the ticket stays
+/// usable, and killing the server mid-batch resolves (not hangs) every
+/// outstanding ticket.
+#[test]
+fn wait_timeout_never_hangs_on_a_wedged_or_killed_server() {
+    use std::time::Duration;
+    let ctx = EmContext::new_in_memory(EmConfig::tiny().with_device_latency_us(800));
+    let data = shuffled(3000, 3);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+    let client = server.client().unwrap();
+    client.register("ds", data).unwrap();
+
+    // Wedged: the cold-index select behind a slow device outlasts a 1 ms
+    // budget, but the ticket survives the timeout and answers later.
+    let t = client.query("ds", vec![1500]).unwrap();
+    let e = t.wait_timeout(Duration::from_millis(1)).unwrap_err();
+    assert!(
+        matches!(e, EmError::DeadlineExceeded { .. }),
+        "typed timeout, got {e}"
+    );
+    let a = t.wait_timeout(Duration::from_secs(60)).unwrap();
+    assert_eq!(a.values, vec![sorted[1499]]);
+
+    // Killed mid-batch: submit, then shut the server down from another
+    // thread while the batch is in flight. Every ticket must resolve —
+    // with an answer or a typed error — well before the timeout.
+    let tickets = client
+        .submit_batch("ds", (0..4).map(|i| vec![100 + i * 700]).collect())
+        .unwrap();
+    let killer = std::thread::spawn(move || {
+        drop(client); // release the last sender so shutdown can join
+        server.shutdown()
+    });
+    for t in tickets {
+        match t.wait_timeout(Duration::from_secs(60)) {
+            Ok(_) | Err(EmError::Unavailable { .. }) => {}
+            Err(e) => assert!(
+                !matches!(e, EmError::DeadlineExceeded { .. }),
+                "ticket hung: {e}"
+            ),
+        }
+    }
+    killer.join().unwrap().unwrap();
 }
