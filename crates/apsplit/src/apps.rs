@@ -47,7 +47,7 @@ pub fn equi_depth_histogram<T: Record>(
     let splitters = approx_splitters(input, &spec)?;
     // Count bucket depths with one scan.
     let mut counts = vec![0u64; k as usize];
-    let mut r = input.reader();
+    let mut r = input.reader()?;
     while let Some(x) = r.next()? {
         let j = splitters.partition_point(|s| s.key() < x.key());
         counts[j] += 1;

@@ -23,7 +23,7 @@ pub fn sort_based_splitters<T: Record>(input: &EmFile<T>, spec: &ProblemSpec) ->
     let mut out = Vec::with_capacity(ranks.len());
     let mut next = 0usize;
     let mut pos = 0u64;
-    let mut r = sorted.reader();
+    let mut r = sorted.reader()?;
     while let Some(x) = r.next()? {
         pos += 1;
         while next < ranks.len() && ranks[next] == pos {
@@ -51,7 +51,7 @@ pub fn sort_based_partitioning<T: Record>(
     let mut bounds = spec.quantile_ranks();
     bounds.push(spec.n);
     let mut parts = Vec::with_capacity(spec.k as usize);
-    let mut r = sorted.reader();
+    let mut r = sorted.reader()?;
     let mut pos = 0u64;
     for &bound in &bounds {
         let mut w = ctx.writer::<T>()?;
@@ -76,7 +76,7 @@ pub fn sort_based_multi_select<T: Record>(input: &EmFile<T>, ranks: &[u64]) -> R
     let mut order: Vec<usize> = (0..ranks.len()).collect();
     order.sort_unstable_by_key(|&i| ranks[i]);
     let mut out: Vec<Option<T>> = vec![None; ranks.len()];
-    let mut r = sorted.reader();
+    let mut r = sorted.reader()?;
     let mut pos = 0u64;
     let mut oi = 0usize;
     while oi < order.len() {

@@ -162,7 +162,9 @@ fn two_sided<T: Record>(
     // partitions (K beyond a couple of distribution levels) *and* a
     // genuinely small low side (aK ≪ N), which is when the
     // (aK/B)·lg min{K, aK/B} term beats re-scanning everything.
-    let f = emselect::max_distribution_fanout::<T>(input.ctx().config());
+    // Read the live budget: under a squeeze the two-sided cutoff shifts
+    // toward the explicit-split path, bounding the recursion frontier.
+    let f = emselect::max_distribution_fanout_now::<T>(input.ctx());
     if (k as usize) <= 2 * f || spec.a * k * 8 > spec.n {
         let kh = k - kp;
         let mut sizes = vec![spec.a; kp as usize];

@@ -453,7 +453,7 @@ fn resume_inner<T: Record>(
                 // K = 1 (or a degenerate spec): materialise a copy so the
                 // output owns its storage, like the non-recoverable path.
                 let mut w = ctx.writer::<T>()?;
-                let mut r = input.reader();
+                let mut r = input.reader()?;
                 while let Some(x) = r.next()? {
                     w.push(x)?;
                 }

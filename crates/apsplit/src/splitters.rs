@@ -75,7 +75,7 @@ pub(crate) fn check_input<T: Record>(input: &EmFile<T>, spec: &ProblemSpec) -> R
 fn take_prefix<T: Record>(input: &EmFile<T>, count: u64) -> Result<EmFile<T>> {
     let ctx = input.ctx().clone();
     let mut w = ctx.writer::<T>()?;
-    let mut r = input.reader();
+    let mut r = input.reader()?;
     let mut taken = 0u64;
     while taken < count {
         match r.next()? {
@@ -129,13 +129,13 @@ fn left_grounded<T: Record>(
         // Typical cost: O(1 + K/B) reads.
         let missing = k_needed - splitters.len();
         let taken: std::collections::BTreeSet<T::Key> = splitters.iter().map(|s| s.key()).collect();
-        let _charge = input.ctx().mem().charge(
+        let _charge = input.ctx().mem().try_charge(
             (taken.len() + missing) * (T::WORDS + 1),
             "splitter padding set",
-        );
+        )?;
         let mut pads: Vec<T> = Vec::with_capacity(missing);
         let mut pad_keys = std::collections::BTreeSet::new();
-        let mut r = input.reader();
+        let mut r = input.reader()?;
         while pads.len() < missing {
             match r.next()? {
                 Some(x) => {

@@ -38,7 +38,7 @@ pub fn verify_splitters<T: Record>(
     debug_assert!(splitters.windows(2).all(|w| w[0].key() <= w[1].key()));
     let mut sizes = vec![0u64; splitters.len() + 1];
     input.ctx().oracle(|| -> Result<()> {
-        let mut r = input.reader();
+        let mut r = input.reader()?;
         while let Some(x) = r.next()? {
             let j = splitters.partition_point(|s| s.key() < x.key());
             sizes[j] += 1;
@@ -160,7 +160,7 @@ pub fn verify_multiselect<T: Record>(
     let mut less = vec![0u64; answers.len()];
     let mut leq = vec![0u64; answers.len()];
     input.ctx().oracle(|| -> Result<()> {
-        let mut r = input.reader();
+        let mut r = input.reader()?;
         while let Some(x) = r.next()? {
             for (i, a) in answers.iter().enumerate() {
                 match x.key().cmp(&a.key()) {

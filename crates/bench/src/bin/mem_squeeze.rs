@@ -1,0 +1,15 @@
+//! EX-SQUEEZE memory-squeeze campaign: see DESIGN.md per-experiment index.
+//! Exits nonzero on any oracle mismatch, unexpected rejection, broken
+//! degradation curve, or starved query that errored instead of degrading
+//! — the CI smoke gate for the memory governor.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (_, clean) = bench::run_squeeze(bench::Scale::from_env());
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[EX-SQUEEZE] campaign found sick cells");
+        ExitCode::FAILURE
+    }
+}

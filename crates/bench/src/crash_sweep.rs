@@ -102,7 +102,7 @@ fn fnv(h: u64, v: u64) -> u64 {
 
 fn digest_file(f: &EmFile<u64>) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut r = f.reader();
+    let mut r = f.reader().expect("oracle reader");
     while let Some(x) = r.next().expect("oracle read") {
         h = fnv(h, x);
     }

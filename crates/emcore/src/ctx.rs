@@ -10,7 +10,8 @@ use crate::config::EmConfig;
 use crate::error::Result;
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::file::{EmFile, Writer};
-use crate::memory::{MemoryTracker, TrackedVec};
+use crate::governor::MemoryGovernor;
+use crate::memory::{MemCharge, MemoryTracker, TrackedVec};
 use crate::pool::BlockCache;
 use crate::record::Record;
 use crate::stats::IoStats;
@@ -29,6 +30,9 @@ pub(crate) struct CtxInner {
     /// The trace channel shared with `stats` (spans are phases).
     pub(crate) tracer: Tracer,
     pub(crate) mem: MemoryTracker,
+    /// Policy layer over the dynamic budget: admission-controlled leases
+    /// with weighted fair shares (see [`crate::governor`]).
+    pub(crate) governor: MemoryGovernor,
     pub(crate) backing: Backing,
     /// The shared buffer-pool block cache (disabled when
     /// [`EmConfig::cache_blocks`] is 0).
@@ -139,6 +143,7 @@ impl EmContext {
                 stats,
                 tracer,
                 mem: MemoryTracker::new(config.mem_capacity(), strict),
+                governor: MemoryGovernor::new(config.mem_capacity()),
                 backing,
                 cache: BlockCache::new(config.cache_blocks()),
                 next_file_id: AtomicU64::new(0),
@@ -202,10 +207,80 @@ impl EmContext {
         self.inner.tracer.finish();
     }
 
-    /// How many records of type `T` fit in memory: `M / T::WORDS`.
+    /// How many records of type `T` fit in memory: `M / T::WORDS`, where
+    /// `M` is the **dynamic** budget (equal to
+    /// [`EmConfig::mem_capacity`] until a governor squeeze re-points it via
+    /// [`EmContext::set_mem_budget`]). Algorithms re-read this at phase
+    /// boundaries, which is how they honor reclaim requests.
     #[inline]
     pub fn mem_records<T: Record>(&self) -> usize {
-        self.inner.config.mem_capacity() / T::WORDS
+        self.inner.mem.capacity() / T::WORDS
+    }
+
+    /// The memory governor: admission-controlled leases over the dynamic
+    /// budget with weighted fair shares.
+    #[inline]
+    pub fn governor(&self) -> &MemoryGovernor {
+        &self.inner.governor
+    }
+
+    /// The current dynamic memory budget in words (starts at
+    /// [`EmConfig::mem_capacity`]).
+    #[inline]
+    pub fn mem_budget(&self) -> usize {
+        self.inner.mem.capacity()
+    }
+
+    /// Re-point the workspace memory budget mid-run — the governor's
+    /// squeeze (shrink) / restore (grow) entry point.
+    ///
+    /// The request is clamped to the model floor `2B` words (the minimum
+    /// [`EmConfig`] itself admits) and delivered to every layer at once:
+    /// the strict tracker re-points its capacity (new charges above the
+    /// budget fail typed, existing charges stay valid), the governor
+    /// recomputes lease fair shares, and the block cache is shrunk or
+    /// regrown in proportion — shedding clean frames first and flushing any
+    /// dirty write-back frames through the supplied hook before they are
+    /// released. Running jobs observe the new budget at their next phase
+    /// boundary. Returns the clamped budget that took effect.
+    pub fn set_mem_budget(&self, words: usize) -> Result<usize> {
+        let floor = self.inner.config.block_size() * 2;
+        let words = words.max(floor);
+        let prev = self.inner.mem.capacity();
+        self.inner.mem.set_capacity(words);
+        self.inner.governor.set_total(words);
+        // Scale the frame budget with M so the layer beneath the model
+        // participates in the squeeze too.
+        let cache_full = self.inner.config.cache_blocks();
+        if cache_full > 0 {
+            let scaled = ((cache_full as u128 * words as u128)
+                / self.inner.config.mem_capacity().max(1) as u128)
+                as usize;
+            // The context's own device path is write-through, so its cache
+            // never holds dirty frames and this hook is unreachable; if an
+            // embedder ever parks write-back frames here, failing the
+            // shrink is the correct never-drop response.
+            self.inner
+                .cache
+                .set_capacity(scaled.clamp(1, cache_full), &mut |_, _, _| {
+                    Err(crate::error::EmError::config(
+                        "cache squeeze found a dirty frame on a write-through context",
+                    ))
+                })?;
+        }
+        if words < prev {
+            self.inner.stats.record_mem_reclaim();
+            self.inner.tracer.point(crate::trace::PointKind::Governor {
+                event: "squeeze".into(),
+                words: words as u64,
+            });
+        } else if words > prev {
+            self.inner.tracer.point(crate::trace::PointKind::Governor {
+                event: "restore".into(),
+                words: words as u64,
+            });
+        }
+        Ok(words)
     }
 
     /// The shared buffer-pool block cache (inert unless the context was
@@ -375,12 +450,22 @@ impl EmContext {
     }
 
     /// Allocate a memory-metered buffer of `cap` records of `T`.
+    ///
+    /// # Panics
+    ///
+    /// In strict mode, panics on a budget violation; algorithm code should
+    /// prefer [`EmContext::try_tracked_vec`].
     pub fn tracked_vec<T: Record>(&self, cap: usize, context: &str) -> TrackedVec<T> {
         TrackedVec::with_capacity(&self.inner.mem, cap, T::WORDS, context)
     }
 
     /// Allocate a memory-metered buffer of `cap` plain words (for
     /// bookkeeping arrays: counts, ranks, flags...).
+    ///
+    /// # Panics
+    ///
+    /// In strict mode, panics on a budget violation; algorithm code should
+    /// prefer [`EmContext::try_tracked_words`].
     pub fn tracked_words<T>(&self, cap: usize, context: &str) -> TrackedVec<T> {
         TrackedVec::with_capacity(&self.inner.mem, cap, 1, context)
     }
@@ -388,6 +473,11 @@ impl EmContext {
     /// Allocate a memory-metered buffer of `cap` items charged at an
     /// explicit `words_per_item` (for composite bookkeeping entries that
     /// are not themselves [`Record`]s).
+    ///
+    /// # Panics
+    ///
+    /// In strict mode, panics on a budget violation; algorithm code should
+    /// prefer [`EmContext::try_tracked_buf`].
     pub fn tracked_buf<T>(
         &self,
         cap: usize,
@@ -395,6 +485,59 @@ impl EmContext {
         context: &str,
     ) -> TrackedVec<T> {
         TrackedVec::with_capacity(&self.inner.mem, cap, words_per_item, context)
+    }
+
+    /// Fallible variant of [`EmContext::tracked_vec`]: a strict budget
+    /// violation comes back as [`crate::EmError::MemoryExceeded`] (and is
+    /// counted in [`crate::Counters::mem_denials`]) instead of panicking.
+    pub fn try_tracked_vec<T: Record>(&self, cap: usize, context: &str) -> Result<TrackedVec<T>> {
+        self.note_denial(TrackedVec::try_with_capacity(
+            &self.inner.mem,
+            cap,
+            T::WORDS,
+            context,
+        ))
+    }
+
+    /// Fallible variant of [`EmContext::tracked_words`].
+    pub fn try_tracked_words<T>(&self, cap: usize, context: &str) -> Result<TrackedVec<T>> {
+        self.note_denial(TrackedVec::try_with_capacity(
+            &self.inner.mem,
+            cap,
+            1,
+            context,
+        ))
+    }
+
+    /// Fallible variant of [`EmContext::tracked_buf`].
+    pub fn try_tracked_buf<T>(
+        &self,
+        cap: usize,
+        words_per_item: usize,
+        context: &str,
+    ) -> Result<TrackedVec<T>> {
+        self.note_denial(TrackedVec::try_with_capacity(
+            &self.inner.mem,
+            cap,
+            words_per_item,
+            context,
+        ))
+    }
+
+    /// Fallible raw charge of `words` bookkeeping words against the dynamic
+    /// budget (the [`Result`] twin of `ctx.mem().charge(..)`), counting
+    /// denials in stats.
+    pub fn try_charge_words(&self, words: usize, context: &str) -> Result<MemCharge> {
+        self.note_denial(self.inner.mem.try_charge(words, context))
+    }
+
+    /// Count a strict-mode memory denial in stats, passing the result
+    /// through (typed denials are observable, not silent).
+    fn note_denial<T>(&self, r: Result<T>) -> Result<T> {
+        if let Err(crate::error::EmError::MemoryExceeded { .. }) = &r {
+            self.inner.stats.record_mem_denial();
+        }
+        r
     }
 
     pub(crate) fn file_path(&self, id: u64) -> Option<PathBuf> {

@@ -537,15 +537,17 @@ impl<T: Record> EmFile<T> {
         Ok(())
     }
 
-    /// A sequential, block-buffered reader over the whole file.
-    pub fn reader(&self) -> Reader<'_, T> {
+    /// A sequential, block-buffered reader over the whole file. Fails with
+    /// [`crate::EmError::MemoryExceeded`] when the one-block buffer does
+    /// not fit the (dynamic) strict budget.
+    pub fn reader(&self) -> Result<Reader<'_, T>> {
         Reader::new(self)
     }
 
     /// A sequential reader starting at record offset `start` (0-based).
     /// The first read fetches the block containing `start` and skips
     /// within it, so positioning costs at most one extra I/O.
-    pub fn reader_at(&self, start: u64) -> Reader<'_, T> {
+    pub fn reader_at(&self, start: u64) -> Result<Reader<'_, T>> {
         Reader::new_at(self, start.min(self.len))
     }
 
@@ -557,7 +559,7 @@ impl<T: Record> EmFile<T> {
         let mut out = Vec::with_capacity(self.len as usize);
         let mut buf = self
             .ctx
-            .tracked_vec::<T>(self.block_capacity(), "to_vec block");
+            .try_tracked_vec::<T>(self.block_capacity(), "to_vec block")?;
         for blk in 0..self.num_blocks() {
             self.read_block_into(blk, &mut buf)?;
             out.extend_from_slice(&buf);
@@ -601,28 +603,28 @@ pub struct Reader<'a, T: Record> {
 }
 
 impl<'a, T: Record> Reader<'a, T> {
-    fn new(file: &'a EmFile<T>) -> Self {
+    fn new(file: &'a EmFile<T>) -> Result<Self> {
         let b = file.block_capacity();
-        Self {
+        Ok(Self {
             file,
-            buf: file.ctx.tracked_vec::<T>(b, "reader block buffer"),
+            buf: file.ctx.try_tracked_vec::<T>(b, "reader block buffer")?,
             next_block: 0,
             pos: 0,
             skip: 0,
-        }
+        })
     }
 
-    fn new_at(file: &'a EmFile<T>, start: u64) -> Self {
+    fn new_at(file: &'a EmFile<T>, start: u64) -> Result<Self> {
         let cap = file.block_capacity() as u64;
-        let mut r = Self::new(file);
+        let mut r = Self::new(file)?;
         if start >= file.len() {
             // Position at end: mark every block consumed.
             r.next_block = file.num_blocks();
-            return r;
+            return Ok(r);
         }
         r.next_block = start / cap;
         r.skip = (start % cap) as usize;
-        r
+        Ok(r)
     }
 
     fn fill(&mut self) -> Result<bool> {
@@ -690,7 +692,7 @@ pub struct Writer<T: Record> {
 impl<T: Record> Writer<T> {
     pub(crate) fn new(ctx: EmContext) -> Result<Self> {
         let file = ctx.create_file::<T>()?;
-        let buf = ctx.tracked_vec::<T>(file.block_capacity(), "writer block buffer");
+        let buf = ctx.try_tracked_vec::<T>(file.block_capacity(), "writer block buffer")?;
         Ok(Self { file, buf })
     }
 
@@ -825,7 +827,7 @@ mod tests {
         let ctx = mem_ctx();
         let data: Vec<u64> = (0..40).collect();
         let f = EmFile::from_slice(&ctx, &data).unwrap();
-        let mut r = f.reader();
+        let mut r = f.reader().unwrap();
         let mut got = Vec::new();
         while let Some(x) = r.next().unwrap() {
             got.push(x);
@@ -837,7 +839,7 @@ mod tests {
     fn reader_peek_does_not_consume() {
         let ctx = mem_ctx();
         let f = EmFile::from_slice(&ctx, &[10u64, 20, 30]).unwrap();
-        let mut r = f.reader();
+        let mut r = f.reader().unwrap();
         assert_eq!(r.peek().unwrap(), Some(10));
         assert_eq!(r.peek().unwrap(), Some(10));
         assert_eq!(r.next().unwrap(), Some(10));
@@ -851,7 +853,7 @@ mod tests {
     fn reader_on_empty_file() {
         let ctx = mem_ctx();
         let f = ctx.create_file::<u64>().unwrap();
-        let mut r = f.reader();
+        let mut r = f.reader().unwrap();
         assert_eq!(r.next().unwrap(), None);
     }
 
@@ -861,7 +863,7 @@ mod tests {
         let data: Vec<u64> = (0..48).collect(); // 3 blocks
         let f = EmFile::from_slice(&ctx, &data).unwrap();
         let before = ctx.stats().snapshot();
-        let mut r = f.reader();
+        let mut r = f.reader().unwrap();
         while r.next().unwrap().is_some() {}
         let d = ctx.stats().snapshot().since(&before);
         assert_eq!(d.reads, 3);
@@ -963,7 +965,7 @@ mod tests {
         let f = EmFile::from_slice(&ctx, &(0..64u64).collect::<Vec<_>>()).unwrap();
         ctx.mem().reset_peak();
         {
-            let mut r = f.reader();
+            let mut r = f.reader().unwrap();
             let _ = r.next().unwrap();
             assert_eq!(ctx.mem().current(), 16); // B records of 1 word
         }
@@ -976,7 +978,7 @@ mod tests {
         let data: Vec<u64> = (0..50).collect();
         let f = EmFile::from_slice(&ctx, &data).unwrap();
         for start in [0u64, 1, 15, 16, 17, 49, 50, 60] {
-            let mut r = f.reader_at(start);
+            let mut r = f.reader_at(start).unwrap();
             let mut got = Vec::new();
             while let Some(x) = r.next().unwrap() {
                 got.push(x);
@@ -992,7 +994,7 @@ mod tests {
         let data: Vec<u64> = (0..64).collect(); // 4 blocks of 16
         let f = EmFile::from_slice(&ctx, &data).unwrap();
         let before = ctx.stats().snapshot();
-        let mut r = f.reader_at(20); // mid-block 1
+        let mut r = f.reader_at(20).unwrap(); // mid-block 1
         while r.next().unwrap().is_some() {}
         let d = ctx.stats().snapshot().since(&before);
         assert_eq!(d.reads, 3); // blocks 1, 2, 3
@@ -1002,7 +1004,7 @@ mod tests {
     fn remaining_counts_down() {
         let ctx = mem_ctx();
         let f = EmFile::from_slice(&ctx, &(0..20u64).collect::<Vec<_>>()).unwrap();
-        let mut r = f.reader();
+        let mut r = f.reader().unwrap();
         assert_eq!(r.remaining(), 20);
         for _ in 0..5 {
             r.next().unwrap();

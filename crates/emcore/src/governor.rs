@@ -1,0 +1,313 @@
+//! Workspace memory governor: `M` as a dynamic, contended resource.
+//!
+//! The governor sits next to the [`crate::MemoryTracker`] and manages the
+//! *policy* layer of memory adaptivity: long-lived jobs (serve tenants,
+//! concurrent sorts) take a [`Lease`] that names a guaranteed **floor** and
+//! a fairness **weight**; the governor divides the workspace budget among
+//! live leases by weighted fair share and answers admission-control
+//! questions ("does a new tenant's floor still fit?"). The tracker stays
+//! the *mechanism*: every word is still charged there, and a squeeze is
+//! delivered by re-pointing both the tracker capacity and the governor
+//! total (see `EmContext::set_mem_budget`).
+//!
+//! The reclaim protocol is cooperative and phase-boundary shaped: the
+//! governor never interrupts a job. Jobs re-read their budget (fan-in,
+//! splitter count `L`, buffer sizes) at the start of every pass/phase and
+//! shrink to fit; allocations in between fail *typed*
+//! ([`crate::EmError::MemoryExceeded`]) rather than panicking, and the
+//! caller retries with a smaller shape or degrades.
+//!
+//! Fairness policy: with total budget `T`, floors `f_i` and weights `w_i`,
+//! each lease is granted `f_i + (T - Σf)·w_i/Σw` (surplus split by weight).
+//! When a squeeze drives `T` below `Σf` the floors themselves are kept —
+//! admission control only gates *new* leases, so a tenant that was admitted
+//! keeps its guarantee and the over-subscription is absorbed by the strict
+//! tracker denying above-floor allocations.
+
+use crate::error::{EmError, Result};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+#[derive(Debug)]
+struct LeaseState {
+    name: String,
+    floor: usize,
+    weight: u32,
+}
+
+#[derive(Debug)]
+struct GovInner {
+    total: AtomicUsize,
+    next_id: AtomicU64,
+    /// Denied admissions (new lease floors that did not fit).
+    denials: AtomicU64,
+    /// Budget shrinks delivered via [`MemoryGovernor::set_total`].
+    squeezes: AtomicU64,
+    /// Budget grows delivered via [`MemoryGovernor::set_total`].
+    restores: AtomicU64,
+    table: Mutex<BTreeMap<u64, LeaseState>>,
+}
+
+/// Point-in-time view of one lease, with its computed fair-share grant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// The tenant/job name the lease was taken under.
+    pub name: String,
+    /// Guaranteed minimum words (held even when over-subscribed).
+    pub floor: usize,
+    /// Fairness weight for dividing the surplus above the floors.
+    pub weight: u32,
+    /// Current weighted-fair grant: `floor + surplus·weight/Σweights`.
+    pub granted: usize,
+}
+
+/// Point-in-time view of the governor as a whole.
+#[derive(Debug, Clone, Default)]
+pub struct GovernorSnapshot {
+    /// Current total budget in words.
+    pub total: usize,
+    /// Sum of all lease floors.
+    pub floor_total: usize,
+    /// Live leases with computed grants.
+    pub leases: Vec<LeaseInfo>,
+    /// Admissions denied so far.
+    pub denials: u64,
+    /// Budget shrinks so far.
+    pub squeezes: u64,
+    /// Budget grows so far.
+    pub restores: u64,
+}
+
+/// Cheaply cloneable handle to the shared memory governor.
+///
+/// Thread-safe: the lease table sits behind one mutex (taken only on
+/// lease/release/snapshot, never on the allocation fast path) and the
+/// budget itself is a lock-free atomic.
+#[derive(Debug, Clone)]
+pub struct MemoryGovernor {
+    inner: Arc<GovInner>,
+}
+
+impl MemoryGovernor {
+    /// New governor over a budget of `total` words.
+    pub fn new(total: usize) -> Self {
+        Self {
+            inner: Arc::new(GovInner {
+                total: AtomicUsize::new(total),
+                next_id: AtomicU64::new(1),
+                denials: AtomicU64::new(0),
+                squeezes: AtomicU64::new(0),
+                restores: AtomicU64::new(0),
+                table: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    fn table(&self) -> MutexGuard<'_, BTreeMap<u64, LeaseState>> {
+        // A panic while holding the table lock cannot leave the map in a
+        // torn state (every mutation is a single insert/remove), so poison
+        // recovery is safe.
+        self.inner.table.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Current total budget in words.
+    pub fn total(&self) -> usize {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// Re-point the budget (squeeze when shrinking, restore when growing).
+    /// Grants are computed on read, so every live lease observes its new
+    /// fair share immediately; floors of already-admitted leases are kept
+    /// even if the new total no longer covers them.
+    pub fn set_total(&self, words: usize) {
+        let prev = self.inner.total.swap(words, Ordering::Relaxed);
+        if words < prev {
+            self.inner.squeezes.fetch_add(1, Ordering::Relaxed);
+        } else if words > prev {
+            self.inner.restores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum of the floors of all live leases.
+    pub fn floor_total(&self) -> usize {
+        self.table().values().map(|l| l.floor).sum()
+    }
+
+    /// Admission-controlled lease: grants a guaranteed `floor` (words) and
+    /// a fairness `weight`, or fails with [`EmError::MemoryExceeded`] when
+    /// the combined floors would exceed the current total. A `weight` of 0
+    /// is admitted but never receives surplus above its floor.
+    pub fn lease(&self, name: &str, floor: usize, weight: u32) -> Result<Lease> {
+        let total = self.total();
+        let mut table = self.table();
+        let committed: usize = table.values().map(|l| l.floor).sum();
+        if committed.saturating_add(floor) > total {
+            drop(table);
+            self.inner.denials.fetch_add(1, Ordering::Relaxed);
+            return Err(EmError::MemoryExceeded {
+                requested: committed.saturating_add(floor),
+                capacity: total,
+                context: format!("admission floor for lease {name:?}"),
+            });
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        table.insert(
+            id,
+            LeaseState {
+                name: name.to_string(),
+                floor,
+                weight,
+            },
+        );
+        Ok(Lease {
+            gov: self.clone(),
+            id,
+        })
+    }
+
+    /// The current weighted-fair grant for lease `id`, or `None` if the
+    /// lease is gone.
+    fn granted(&self, id: u64) -> Option<usize> {
+        let total = self.total();
+        let table = self.table();
+        let floors: usize = table.values().map(|l| l.floor).sum();
+        let weights: u64 = table.values().map(|l| u64::from(l.weight)).sum();
+        let surplus = total.saturating_sub(floors);
+        let l = table.get(&id)?;
+        let share = (surplus as u64 * u64::from(l.weight))
+            .checked_div(weights)
+            .unwrap_or(0) as usize;
+        Some(l.floor + share)
+    }
+
+    /// Full snapshot: total, floors, per-lease grants, event counters.
+    pub fn snapshot(&self) -> GovernorSnapshot {
+        let total = self.total();
+        let table = self.table();
+        let floors: usize = table.values().map(|l| l.floor).sum();
+        let weights: u64 = table.values().map(|l| u64::from(l.weight)).sum();
+        let surplus = total.saturating_sub(floors);
+        let leases = table
+            .values()
+            .map(|l| {
+                let share = (surplus as u64 * u64::from(l.weight))
+                    .checked_div(weights)
+                    .unwrap_or(0) as usize;
+                LeaseInfo {
+                    name: l.name.clone(),
+                    floor: l.floor,
+                    weight: l.weight,
+                    granted: l.floor + share,
+                }
+            })
+            .collect();
+        GovernorSnapshot {
+            total,
+            floor_total: floors,
+            leases,
+            denials: self.inner.denials.load(Ordering::Relaxed),
+            squeezes: self.inner.squeezes.load(Ordering::Relaxed),
+            restores: self.inner.restores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII lease on a slice of the workspace budget: holding it guarantees the
+/// floor stays admitted; dropping it returns the floor to the pool.
+#[derive(Debug)]
+pub struct Lease {
+    gov: MemoryGovernor,
+    id: u64,
+}
+
+impl Lease {
+    /// Current weighted-fair grant in words (floor + surplus share). The
+    /// value is recomputed from the live budget on every call, so a squeeze
+    /// is visible at the holder's next phase boundary.
+    pub fn granted(&self) -> usize {
+        self.gov.granted(self.id).unwrap_or(0)
+    }
+
+    /// The guaranteed floor this lease was admitted with.
+    pub fn floor(&self) -> usize {
+        self.gov.table().get(&self.id).map_or(0, |l| l.floor)
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.gov.table().remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_control_denies_over_floor() {
+        let g = MemoryGovernor::new(100);
+        let _a = g.lease("a", 60, 1).unwrap();
+        let e = g.lease("b", 50, 1).unwrap_err();
+        assert!(matches!(e, EmError::MemoryExceeded { .. }));
+        assert_eq!(g.snapshot().denials, 1);
+        let _c = g.lease("c", 40, 1).unwrap();
+        assert_eq!(g.floor_total(), 100);
+    }
+
+    #[test]
+    fn weighted_fair_shares() {
+        let g = MemoryGovernor::new(130);
+        let a = g.lease("a", 10, 3).unwrap();
+        let b = g.lease("b", 20, 1).unwrap();
+        // surplus = 130 - 30 = 100, split 3:1.
+        assert_eq!(a.granted(), 10 + 75);
+        assert_eq!(b.granted(), 20 + 25);
+    }
+
+    #[test]
+    fn squeeze_shrinks_grants_but_keeps_floors() {
+        let g = MemoryGovernor::new(100);
+        let a = g.lease("a", 30, 1).unwrap();
+        let b = g.lease("b", 30, 1).unwrap();
+        assert_eq!(a.granted(), 30 + 20);
+        g.set_total(40); // below Σfloors = 60
+        assert_eq!(a.granted(), 30, "floor kept when over-subscribed");
+        assert_eq!(b.granted(), 30);
+        let snap = g.snapshot();
+        assert_eq!(snap.squeezes, 1);
+        assert!(snap.floor_total > snap.total);
+        g.set_total(100);
+        assert_eq!(g.snapshot().restores, 1);
+        assert_eq!(a.granted(), 50);
+    }
+
+    #[test]
+    fn drop_returns_floor_to_pool() {
+        let g = MemoryGovernor::new(100);
+        let a = g.lease("a", 80, 1).unwrap();
+        assert!(g.lease("b", 30, 1).is_err());
+        drop(a);
+        let b = g.lease("b", 30, 1).unwrap();
+        assert_eq!(b.granted(), 100, "sole lease absorbs the whole surplus");
+    }
+
+    #[test]
+    fn zero_weight_gets_floor_only() {
+        let g = MemoryGovernor::new(100);
+        let a = g.lease("a", 10, 0).unwrap();
+        let b = g.lease("b", 10, 2).unwrap();
+        assert_eq!(a.granted(), 10);
+        assert_eq!(b.granted(), 10 + 80);
+    }
+
+    #[test]
+    fn snapshot_lists_leases_in_admission_order() {
+        let g = MemoryGovernor::new(64);
+        let _a = g.lease("alpha", 8, 1).unwrap();
+        let _b = g.lease("beta", 8, 1).unwrap();
+        let names: Vec<_> = g.snapshot().leases.iter().map(|l| l.name.clone()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+    }
+}

@@ -13,7 +13,9 @@
 //! ## Pieces
 //!
 //! * [`EmConfig`] — the model parameters `M` (memory capacity) and `B`
-//!   (block size), in records.
+//!   (block size), in records. `M` is a *dynamic* budget at runtime: the
+//!   [`MemoryGovernor`] can squeeze and restore it mid-run and algorithms
+//!   adapt at phase boundaries (`EmContext::set_mem_budget`).
 //! * [`EmContext`] — a "machine": config + shared [`IoStats`] +
 //!   [`MemoryTracker`] + backing store (host RAM or a real directory).
 //! * [`EmFile`] — a typed sequence of records stored in `B`-record blocks;
@@ -36,7 +38,7 @@
 //!
 //! // Scanning the file costs ceil(N/B) block reads:
 //! let before = ctx.stats().snapshot();
-//! let mut r = file.reader();
+//! let mut r = file.reader().unwrap();
 //! let mut count = 0u64;
 //! while let Some(_x) = r.next().unwrap() {
 //!     count += 1;
@@ -55,6 +57,7 @@ mod ctx;
 mod error;
 mod fault;
 mod file;
+pub mod governor;
 mod journal;
 mod memory;
 mod pool;
@@ -72,6 +75,7 @@ pub use ctx::EmContext;
 pub use error::{EmError, Result};
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultSpec, IoOp, RetryPolicy, Trigger};
 pub use file::{EmFile, Reader, Writer};
+pub use governor::{GovernorSnapshot, Lease, LeaseInfo, MemoryGovernor};
 pub use journal::{from_hex, to_hex, Journal, JournalState};
 pub use memory::{MemCharge, MemoryTracker, TrackedVec};
 pub use pool::{BlockCache, PinnedBlock};

@@ -4,10 +4,19 @@
 //! the EM model: every in-memory buffer that holds records (or `Θ(L)`-sized
 //! bookkeeping arrays) is allocated through the context and charged against
 //! the memory capacity `M`. Peak usage is recorded; in *strict* mode an
-//! allocation that would push live usage above `M` panics, which turns a
-//! model violation into a test failure rather than a silently wrong
-//! complexity measurement.
+//! allocation that would push live usage above `M` fails with a typed
+//! [`EmError::MemoryExceeded`] from [`MemoryTracker::try_charge`], which
+//! turns a model violation into a recoverable result rather than a silently
+//! wrong complexity measurement. The panicking [`MemoryTracker::charge`]
+//! wrapper is kept for tests and for sites whose budget is proven by
+//! construction.
+//!
+//! `M` is *dynamic*: [`MemoryTracker::set_capacity`] re-points the budget
+//! mid-run (the memory governor's squeeze/restore path), and all capacity
+//! reads are atomic so concurrent jobs observe the new budget at their next
+//! allocation or phase boundary.
 
+use crate::error::{EmError, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -15,7 +24,7 @@ use std::sync::Arc;
 struct MemInner {
     current: AtomicUsize,
     peak: AtomicUsize,
-    capacity: usize,
+    capacity: AtomicUsize,
     strict: bool,
 }
 
@@ -37,34 +46,50 @@ impl MemoryTracker {
             inner: Arc::new(MemInner {
                 current: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
-                capacity,
+                capacity: AtomicUsize::new(capacity),
                 strict,
             }),
         }
     }
 
-    /// Charge `words` words, returning a guard that releases them on drop.
-    ///
-    /// # Panics
-    ///
-    /// In strict mode, panics if the charge would exceed the capacity.
-    pub fn charge(&self, words: usize, context: &str) -> MemCharge {
+    /// Charge `words` words, returning a guard that releases them on drop,
+    /// or a typed [`EmError::MemoryExceeded`] in strict mode when the charge
+    /// would push live usage above the (dynamic) capacity. A rejected charge
+    /// is fully rolled back: it leaves `current` untouched and does *not*
+    /// move the peak.
+    pub fn try_charge(&self, words: usize, context: &str) -> Result<MemCharge> {
         let current = self
             .inner
             .current
             .fetch_add(words, Ordering::Relaxed)
             .saturating_add(words);
-        self.inner.peak.fetch_max(current, Ordering::Relaxed);
-        if self.inner.strict && current > self.inner.capacity {
-            let capacity = self.inner.capacity;
-            panic!(
-                "EM memory budget exceeded: {current} words live > M = {capacity} \
-                 (while allocating {words} words for {context})"
-            );
+        let capacity = self.inner.capacity.load(Ordering::Relaxed);
+        if self.inner.strict && current > capacity {
+            self.release(words);
+            return Err(EmError::MemoryExceeded {
+                requested: current,
+                capacity,
+                context: format!("while allocating {words} words for {context}"),
+            });
         }
-        MemCharge {
+        self.inner.peak.fetch_max(current, Ordering::Relaxed);
+        Ok(MemCharge {
             tracker: self.clone(),
             words,
+        })
+    }
+
+    /// Charge `words` words, returning a guard that releases them on drop.
+    /// Thin wrapper over [`MemoryTracker::try_charge`] for tests and for
+    /// sites whose fit is proven by construction.
+    ///
+    /// # Panics
+    ///
+    /// In strict mode, panics if the charge would exceed the capacity.
+    pub fn charge(&self, words: usize, context: &str) -> MemCharge {
+        match self.try_charge(words, context) {
+            Ok(c) => c,
+            Err(e) => panic!("EM {e}"), // memory-gate: allow (test-facing wrapper)
         }
     }
 
@@ -78,9 +103,22 @@ impl MemoryTracker {
         self.inner.peak.load(Ordering::Relaxed)
     }
 
-    /// The capacity `M` in words.
+    /// The capacity `M` in words (a dynamic budget: see
+    /// [`MemoryTracker::set_capacity`]).
     pub fn capacity(&self) -> usize {
-        self.inner.capacity
+        self.inner.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Re-point the budget: the governor's squeeze/restore path. Shrinking
+    /// below the live amount is allowed — existing charges stay valid and
+    /// future strict charges fail until usage drains below the new `M`.
+    pub fn set_capacity(&self, words: usize) {
+        self.inner.capacity.store(words, Ordering::Relaxed);
+    }
+
+    /// Headroom left under the current budget (0 when over-committed).
+    pub fn available(&self) -> usize {
+        self.capacity().saturating_sub(self.current())
     }
 
     /// Whether violations panic.
@@ -143,6 +181,11 @@ pub struct TrackedVec<T> {
 impl<T> TrackedVec<T> {
     /// Reserve a tracked buffer of `cap` items, each costing
     /// `words_per_item` words.
+    ///
+    /// # Panics
+    ///
+    /// In strict mode, panics if the reservation exceeds the budget; see
+    /// [`TrackedVec::try_with_capacity`] for the fallible variant.
     pub fn with_capacity(
         tracker: &MemoryTracker,
         cap: usize,
@@ -159,24 +202,61 @@ impl<T> TrackedVec<T> {
         }
     }
 
+    /// Fallible reservation: like [`TrackedVec::with_capacity`] but a strict
+    /// budget violation comes back as [`EmError::MemoryExceeded`] instead of
+    /// panicking.
+    pub fn try_with_capacity(
+        tracker: &MemoryTracker,
+        cap: usize,
+        words_per_item: usize,
+        context: &str,
+    ) -> Result<Self> {
+        let charge = tracker.try_charge(cap * words_per_item, context)?;
+        Ok(Self {
+            vec: Vec::with_capacity(cap),
+            charge,
+            words_per_item,
+            tracker: tracker.clone(),
+            context: context.to_string(),
+        })
+    }
+
     /// Append an item, re-charging if the reserved capacity is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// In strict mode, panics if the growth re-charge exceeds the budget;
+    /// see [`TrackedVec::try_push`] for the fallible variant.
     pub fn push(&mut self, item: T) {
         if self.vec.len() == self.vec.capacity() {
             // Grow by doubling (mirrors Vec) and charge for the new capacity.
             let new_cap = (self.vec.capacity() * 2).max(4);
-            self.reserve_exact_capacity(new_cap);
+            let new_charge = self
+                .tracker
+                .charge(new_cap * self.words_per_item, &self.context);
+            self.grow_to(new_cap, new_charge);
         }
         self.vec.push(item);
     }
 
-    fn reserve_exact_capacity(&mut self, new_cap: usize) {
-        if new_cap <= self.vec.capacity() {
-            return;
+    /// Fallible append: a strict budget violation during growth comes back
+    /// as [`EmError::MemoryExceeded`] and the buffer is left unchanged.
+    pub fn try_push(&mut self, item: T) -> Result<()> {
+        if self.vec.len() == self.vec.capacity() {
+            let new_cap = (self.vec.capacity() * 2).max(4);
+            let new_charge = self
+                .tracker
+                .try_charge(new_cap * self.words_per_item, &self.context)?;
+            self.grow_to(new_cap, new_charge);
         }
-        let new_charge = self
-            .tracker
-            .charge(new_cap * self.words_per_item, &self.context);
-        self.vec.reserve_exact(new_cap - self.vec.len());
+        self.vec.push(item);
+        Ok(())
+    }
+
+    fn grow_to(&mut self, new_cap: usize, new_charge: MemCharge) {
+        if new_cap > self.vec.capacity() {
+            self.vec.reserve_exact(new_cap - self.vec.len());
+        }
         self.charge = new_charge; // old charge drops here, after the new one is taken
     }
 
@@ -278,6 +358,56 @@ mod tests {
         let t = MemoryTracker::new(1000, true);
         let _v: TrackedVec<(u64, u64)> = TrackedVec::with_capacity(&t, 8, 2, "pairs");
         assert_eq!(t.current(), 16);
+    }
+
+    #[test]
+    fn try_charge_rejects_and_rolls_back() {
+        let t = MemoryTracker::new(10, true);
+        let e = t.try_charge(11, "big").unwrap_err();
+        match e {
+            crate::EmError::MemoryExceeded {
+                requested,
+                capacity,
+                ..
+            } => {
+                assert_eq!(requested, 11);
+                assert_eq!(capacity, 10);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert_eq!(t.current(), 0, "rejected charge fully rolled back");
+        assert_eq!(t.peak(), 0, "rejected charge does not move the peak");
+        let _ok = t.try_charge(10, "exact").unwrap();
+        assert_eq!(t.current(), 10);
+    }
+
+    #[test]
+    fn set_capacity_squeezes_and_restores() {
+        let t = MemoryTracker::new(100, true);
+        let _a = t.try_charge(60, "a").unwrap();
+        t.set_capacity(40); // below live: existing charge stays valid
+        assert_eq!(t.capacity(), 40);
+        assert_eq!(t.available(), 0);
+        assert!(t.try_charge(1, "b").is_err(), "over-committed budget");
+        t.set_capacity(100);
+        let _b = t.try_charge(30, "b").unwrap();
+        assert_eq!(t.current(), 90);
+    }
+
+    #[test]
+    fn try_push_fails_cleanly_on_growth() {
+        let t = MemoryTracker::new(8, true);
+        let mut v: TrackedVec<u64> = TrackedVec::try_with_capacity(&t, 2, 1, "buf").unwrap();
+        v.try_push(1).unwrap();
+        v.try_push(2).unwrap();
+        // Growth to 4 transiently holds 2 + 4 = 6 words: fits. Growth to 8
+        // would transiently hold 4 + 8 = 12 > 8: typed failure, vec intact.
+        v.try_push(3).unwrap();
+        v.try_push(4).unwrap();
+        let e = v.try_push(5).unwrap_err();
+        assert!(matches!(e, crate::EmError::MemoryExceeded { .. }));
+        assert_eq!(v.len(), 4, "failed push leaves the buffer unchanged");
+        assert_eq!(t.current(), 4);
     }
 
     #[test]

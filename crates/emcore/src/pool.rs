@@ -11,14 +11,23 @@
 //!
 //! * **Read-only population** — frames are filled from *successful,
 //!   checksum-verified* device reads only. A write never populates a frame.
-//! * **Write-through + invalidate** — every logical write goes to the
-//!   device, and any cached frame for the written block is dropped, so a
-//!   persisted corruption is still detected by the next (physical) read.
+//! * **Write-through + invalidate** on the device path — every logical
+//!   write goes to the device, and any cached frame for the written block
+//!   is dropped, so a persisted corruption is still detected by the next
+//!   (physical) read. The pool *also* supports write-back frames
+//!   ([`BlockCache::insert_dirty`]) for embedders that buffer writes: a
+//!   dirty frame is **never dropped** — the clock skips it, and capacity
+//!   shrinks ([`BlockCache::set_capacity`]) flush it through the caller's
+//!   write-back hook before the frame is released.
 //! * **Clock eviction** — a second-chance clock over the frame table;
-//!   pinned frames are never evicted, referenced frames get one more lap.
+//!   pinned and dirty frames are never evicted, referenced frames get one
+//!   more lap.
 //! * **No memory-model charge** — the pool models the device/OS cache layer
 //!   *beneath* the EM machine, so its frames are not charged against `M`
-//!   (strict-mode algorithms keep their exact memory accounting).
+//!   (strict-mode algorithms keep their exact memory accounting). Budget
+//!   squeezes still reach it: the governor shrinks the frame count in
+//!   proportion to `M`, shedding clean blocks first, then flushing dirty
+//!   ones.
 //!
 //! The pool is thread-safe; all state sits behind one mutex, and pinned
 //! frames hand out shared ownership of the payload bytes so readers never
@@ -39,6 +48,9 @@ struct Frame {
     pins: u32,
     /// Clock reference bit: set on hit, cleared as the hand sweeps past.
     referenced: bool,
+    /// Write-back frame holding data newer than the device. Never evicted
+    /// by the clock; released only after a flush hands it back.
+    dirty: bool,
 }
 
 #[derive(Debug, Default)]
@@ -60,7 +72,7 @@ impl PoolInner {
             let slot = self.hand;
             self.hand = (self.hand + 1) % n;
             let f = &mut self.frames[slot];
-            if f.pins > 0 {
+            if f.pins > 0 || f.dirty {
                 continue;
             }
             if f.referenced {
@@ -70,6 +82,38 @@ impl PoolInner {
             return Some(slot);
         }
         None
+    }
+
+    /// Detach `slot`: drop its mapping and payload, leaving an empty
+    /// placeholder frame (slot indices are load-bearing for outstanding
+    /// pins, so frames are never removed or reordered).
+    fn detach(&mut self, slot: usize) {
+        let key = self.frames[slot].key;
+        self.map.remove(&key);
+        let f = &mut self.frames[slot];
+        f.key = (u64::MAX, u64::MAX);
+        f.data = Arc::new(Vec::new());
+        f.referenced = false;
+        f.dirty = false;
+    }
+
+    /// Shed clean, unpinned, mapped frames (skipping `keep`) until at most
+    /// `target` blocks remain cached. Dirty and pinned frames are left
+    /// alone — shedding never loses data.
+    fn shed_clean(&mut self, target: usize, keep: Option<usize>) {
+        for slot in 0..self.frames.len() {
+            if self.map.len() <= target {
+                return;
+            }
+            if keep == Some(slot) {
+                continue;
+            }
+            let f = &self.frames[slot];
+            if f.pins == 0 && !f.dirty && f.key != (u64::MAX, u64::MAX) {
+                self.evictions += 1;
+                self.detach(slot);
+            }
+        }
     }
 }
 
@@ -82,6 +126,10 @@ impl PoolInner {
 pub struct BlockCache {
     inner: Option<Arc<Mutex<PoolInner>>>,
 }
+
+/// A dirty-frame write-back hook: `(file, block, bytes)` flushed to the
+/// device. Used by [`BlockCache::flush_all`] and [`BlockCache::set_capacity`].
+pub type FlushFn<'a> = dyn FnMut(u64, u64, &[u8]) -> crate::Result<()> + 'a;
 
 impl BlockCache {
     /// A pool of `capacity` frames; `capacity == 0` disables caching.
@@ -142,19 +190,39 @@ impl BlockCache {
 
     /// Insert the payload of `(file, block)`, evicting a victim if the pool
     /// is full. Silently does nothing when the pool is disabled, when every
-    /// frame is pinned, or when the block is already cached (the existing
-    /// frame is refreshed with `data`).
+    /// frame is pinned or dirty, or when the block is already cached (a
+    /// *clean* existing frame is refreshed with `data`; a dirty frame keeps
+    /// its newer write-back payload).
     pub fn insert(&self, file: u64, block: u64, data: &[u8]) {
+        self.insert_inner(file, block, data, false);
+    }
+
+    /// Insert a *write-back* frame for `(file, block)`: the payload is
+    /// newer than the device copy, so the frame is marked dirty and will
+    /// never be dropped — only [`BlockCache::flush_all`] /
+    /// [`BlockCache::set_capacity`] release it, after handing the bytes to
+    /// the caller's flush hook. Returns `false` when the frame could not be
+    /// cached (pool disabled, or every frame pinned/dirty) — the caller
+    /// must then write through to the device itself.
+    #[must_use]
+    pub fn insert_dirty(&self, file: u64, block: u64, data: &[u8]) -> bool {
+        self.insert_inner(file, block, data, true)
+    }
+
+    fn insert_inner(&self, file: u64, block: u64, data: &[u8], dirty: bool) -> bool {
         let Some(inner) = self.inner.as_ref() else {
-            return;
+            return false;
         };
         let key = (file, block);
         let mut g = lock(inner);
         if let Some(&slot) = g.map.get(&key) {
             let f = &mut g.frames[slot];
-            f.data = Arc::new(data.to_vec());
+            if dirty || !f.dirty {
+                f.data = Arc::new(data.to_vec());
+                f.dirty = f.dirty || dirty;
+            }
             f.referenced = true;
-            return;
+            return true;
         }
         let slot = if g.frames.len() < g.capacity {
             g.frames.push(Frame {
@@ -162,11 +230,12 @@ impl BlockCache {
                 data: Arc::new(data.to_vec()),
                 pins: 0,
                 referenced: false,
+                dirty,
             });
             g.frames.len() - 1
         } else {
             let Some(victim) = g.find_victim() else {
-                return; // everything pinned: drop the insert, never block
+                return false; // everything pinned/dirty: drop, never block
             };
             let old = g.frames[victim].key;
             g.map.remove(&old);
@@ -175,9 +244,79 @@ impl BlockCache {
             f.key = key;
             f.data = Arc::new(data.to_vec());
             f.referenced = false;
+            f.dirty = dirty;
             victim
         };
         g.map.insert(key, slot);
+        // After a governor shrink the frame table may be longer than the
+        // (new) capacity; keep the cached-block count at the target by
+        // shedding other clean frames.
+        let cap = g.capacity;
+        if g.map.len() > cap {
+            g.shed_clean(cap, Some(slot));
+        }
+        true
+    }
+
+    /// Write-back frames currently held (blocks newer than the device).
+    pub fn dirty_len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| lock(i).frames.iter().filter(|f| f.dirty).count())
+    }
+
+    /// Flush every dirty frame through `flush(file, block, bytes)`, marking
+    /// it clean on success. Stops at (and returns) the first flush error,
+    /// leaving the remaining frames dirty — a failed write-back never drops
+    /// data. The pool lock is *not* held across `flush` calls, so the hook
+    /// may safely re-enter the cache (e.g. a device write that invalidates).
+    pub fn flush_all(&self, flush: &mut FlushFn<'_>) -> crate::Result<()> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Ok(());
+        };
+        loop {
+            let Some((slot, key, data)) = next_dirty(inner, 0, false) else {
+                return Ok(());
+            };
+            flush(key.0, key.1, &data)?;
+            let mut g = lock(inner);
+            let f = &mut g.frames[slot];
+            if f.key == key && Arc::ptr_eq(&f.data, &data) {
+                f.dirty = false;
+            }
+        }
+    }
+
+    /// Re-point the frame budget (the governor's squeeze/restore path).
+    /// Shrinking sheds clean blocks first; if the target is still exceeded,
+    /// dirty frames are flushed through `flush` and *then* released — a
+    /// dirty block is never dropped. Pinned frames are kept even over
+    /// target (best effort until the pins drain). A flush error aborts the
+    /// shrink with the remaining dirty frames intact.
+    pub fn set_capacity(&self, new_cap: usize, flush: &mut FlushFn<'_>) -> crate::Result<()> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Ok(());
+        };
+        {
+            let mut g = lock(inner);
+            g.capacity = new_cap;
+            g.shed_clean(new_cap, None);
+        }
+        let mut from = 0;
+        while lock(inner).map.len() > new_cap {
+            let Some((slot, key, data)) = next_dirty(inner, from, true) else {
+                return Ok(()); // only pinned frames remain over target
+            };
+            flush(key.0, key.1, &data)?;
+            let mut g = lock(inner);
+            let f = &g.frames[slot];
+            if f.key == key && Arc::ptr_eq(&f.data, &data) {
+                g.evictions += 1;
+                g.detach(slot);
+            }
+            from = slot + 1;
+        }
+        Ok(())
     }
 
     /// Drop any cached frame for `(file, block)` — called on every write so
@@ -189,10 +328,9 @@ impl BlockCache {
         };
         let mut g = lock(inner);
         if let Some(slot) = g.map.remove(&(file, block)) {
-            // Leave the frame in place but mark it reclaimable: clear the
-            // reference bit and detach the key so the clock can take it.
-            g.frames[slot].referenced = false;
-            g.frames[slot].key = (u64::MAX, u64::MAX);
+            // Leave the frame in place but mark it reclaimable (the device
+            // now holds newer bytes, so even a dirty payload is stale).
+            g.detach(slot);
         }
     }
 
@@ -205,8 +343,7 @@ impl BlockCache {
         let keys: Vec<Key> = g.map.keys().filter(|k| k.0 == file).copied().collect();
         for key in keys {
             if let Some(slot) = g.map.remove(&key) {
-                g.frames[slot].referenced = false;
-                g.frames[slot].key = (u64::MAX, u64::MAX);
+                g.detach(slot);
             }
         }
     }
@@ -214,6 +351,23 @@ impl BlockCache {
 
 fn lock(inner: &Arc<Mutex<PoolInner>>) -> MutexGuard<'_, PoolInner> {
     inner.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Snapshot the first dirty frame at slot `>= from` (optionally requiring
+/// it to be unpinned), releasing the lock before the caller flushes so the
+/// flush hook can safely re-enter the cache.
+fn next_dirty(
+    inner: &Arc<Mutex<PoolInner>>,
+    from: usize,
+    require_unpinned: bool,
+) -> Option<(usize, Key, Arc<Vec<u8>>)> {
+    let g = lock(inner);
+    g.frames
+        .iter()
+        .enumerate()
+        .skip(from)
+        .find(|(_, f)| f.dirty && (!require_unpinned || f.pins == 0))
+        .map(|(slot, f)| (slot, f.key, Arc::clone(&f.data)))
 }
 
 /// Shared, pinned view of one cached block's payload bytes. The frame
@@ -327,6 +481,104 @@ mod tests {
         c.insert(0, 0, &[2]);
         assert_eq!(c.len(), 1);
         assert_eq!(&*c.get(0, 0).unwrap(), &[2]);
+    }
+
+    #[test]
+    fn dirty_frames_survive_the_clock() {
+        let c = BlockCache::new(2);
+        assert!(c.insert_dirty(0, 0, &[7]));
+        c.insert(0, 1, &[1]);
+        // Pool full; the clock must victimize the clean frame, never the
+        // dirty one, no matter how much traffic passes through.
+        for b in 2..10 {
+            c.insert(0, b, &[b as u8]);
+        }
+        assert_eq!(&*c.get(0, 0).unwrap(), &[7], "dirty frame still cached");
+        assert_eq!(c.dirty_len(), 1);
+    }
+
+    #[test]
+    fn clean_insert_does_not_clobber_dirty_payload() {
+        let c = BlockCache::new(2);
+        assert!(c.insert_dirty(4, 2, &[9, 9]));
+        c.insert(4, 2, &[1, 1]); // read-population with stale device bytes
+        assert_eq!(&*c.get(4, 2).unwrap(), &[9, 9]);
+        assert!(c.insert_dirty(4, 2, &[3])); // newer write-back wins
+        assert_eq!(&*c.get(4, 2).unwrap(), &[3]);
+    }
+
+    #[test]
+    fn shrink_sheds_clean_then_flushes_dirty_never_drops() {
+        let c = BlockCache::new(4);
+        assert!(c.insert_dirty(1, 0, &[10]));
+        assert!(c.insert_dirty(1, 1, &[11]));
+        c.insert(1, 2, &[12]);
+        c.insert(1, 3, &[13]);
+        let mut flushed: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+        c.set_capacity(1, &mut |f, b, d| {
+            flushed.push((f, b, d.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert!(c.len() <= 1, "cache shrunk to the new budget");
+        // Both clean frames were shed without a flush; exactly one dirty
+        // frame had to be written back to reach the target, and its bytes
+        // arrived intact at the write-back hook.
+        assert_eq!(flushed.len(), 1);
+        let (f, b, d) = &flushed[0];
+        assert_eq!(*f, 1);
+        assert_eq!(d, &vec![10 + *b as u8]);
+        assert_eq!(
+            c.dirty_len(),
+            1,
+            "the surviving frame is the other dirty block"
+        );
+    }
+
+    #[test]
+    fn failed_flush_aborts_shrink_with_data_intact() {
+        let c = BlockCache::new(2);
+        assert!(c.insert_dirty(0, 0, &[1]));
+        assert!(c.insert_dirty(0, 1, &[2]));
+        let e = c.set_capacity(0, &mut |_, _, _| {
+            Err(crate::EmError::config("device refused"))
+        });
+        assert!(e.is_err());
+        assert_eq!(c.dirty_len(), 2, "no dirty frame dropped on flush failure");
+        assert_eq!(&*c.get(0, 0).unwrap(), &[1]);
+        assert_eq!(&*c.get(0, 1).unwrap(), &[2]);
+    }
+
+    #[test]
+    fn flush_all_marks_clean_without_evicting() {
+        let c = BlockCache::new(4);
+        assert!(c.insert_dirty(2, 0, &[5]));
+        assert!(c.insert_dirty(2, 1, &[6]));
+        let mut flushed = Vec::new();
+        c.flush_all(&mut |_, b, d| {
+            flushed.push((b, d.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(c.dirty_len(), 0);
+        assert_eq!(c.len(), 2, "flushed frames stay cached, now clean");
+        assert_eq!(&*c.get(2, 0).unwrap(), &[5]);
+    }
+
+    #[test]
+    fn grow_after_shrink_restores_headroom() {
+        let c = BlockCache::new(4);
+        for b in 0..4 {
+            c.insert(0, b, &[b as u8]);
+        }
+        c.set_capacity(1, &mut |_, _, _| Ok(())).unwrap();
+        assert!(c.len() <= 1);
+        c.set_capacity(4, &mut |_, _, _| Ok(())).unwrap();
+        for b in 10..14 {
+            c.insert(0, b, &[b as u8]);
+        }
+        assert_eq!(c.len(), 4, "restored budget caches four blocks again");
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub struct SpanNode {
     pub redo_events: u64,
     /// Total I/Os reported by those redo events.
     pub redo_ios: u64,
+    /// Memory-governor point events (squeeze/restore/lease traffic)
+    /// attributed to this span.
+    pub governor_events: u64,
 }
 
 /// A parsed trace: span tree, per-file access summaries, and trailer data.
@@ -95,6 +98,7 @@ impl TraceReport {
                         retries: 0,
                         faults: 0,
                         journal_commits: 0,
+                        governor_events: 0,
                         redo_events: 0,
                         redo_ios: 0,
                     });
@@ -126,6 +130,7 @@ impl TraceReport {
                                 s.redo_events += 1;
                                 s.redo_ios += ios;
                             }
+                            PointKind::Governor { .. } => s.governor_events += 1,
                         }
                     }
                 }

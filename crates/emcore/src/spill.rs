@@ -30,12 +30,14 @@ pub struct SpillVec<T: Record> {
 
 impl<T: Record> SpillVec<T> {
     /// An empty, memory-resident array with the given reserved capacity.
-    pub fn with_capacity(ctx: &EmContext, cap: usize, context: &str) -> Self {
-        Self {
+    /// A strict budget violation comes back as
+    /// [`crate::EmError::MemoryExceeded`].
+    pub fn with_capacity(ctx: &EmContext, cap: usize, context: &str) -> Result<Self> {
+        Ok(Self {
             ctx: ctx.clone(),
-            state: State::InMem(ctx.tracked_vec::<T>(cap, context)),
+            state: State::InMem(ctx.try_tracked_vec::<T>(cap, context)?),
             context: context.to_string(),
-        }
+        })
     }
 
     /// Wrap an existing tracked buffer.
@@ -69,7 +71,7 @@ impl<T: Record> SpillVec<T> {
     pub fn push(&mut self, rec: T) {
         match &mut self.state {
             State::InMem(v) => v.push(rec),
-            State::Spilled(_) => panic!("push on spilled SpillVec ({})", self.context),
+            State::Spilled(_) => panic!("push on spilled SpillVec ({})", self.context), // memory-gate: allow (API-misuse guard)
         }
     }
 
@@ -77,7 +79,7 @@ impl<T: Record> SpillVec<T> {
     pub fn as_slice(&self) -> &[T] {
         match &self.state {
             State::InMem(v) => v,
-            State::Spilled(_) => panic!("as_slice on spilled SpillVec ({})", self.context),
+            State::Spilled(_) => panic!("as_slice on spilled SpillVec ({})", self.context), // memory-gate: allow (API-misuse guard)
         }
     }
 
@@ -85,7 +87,7 @@ impl<T: Record> SpillVec<T> {
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         match &mut self.state {
             State::InMem(v) => v,
-            State::Spilled(_) => panic!("as_mut_slice on spilled SpillVec ({})", self.context),
+            State::Spilled(_) => panic!("as_mut_slice on spilled SpillVec ({})", self.context), // memory-gate: allow (API-misuse guard)
         }
     }
 
@@ -106,8 +108,8 @@ impl<T: Record> SpillVec<T> {
     pub fn unspill(&mut self) -> Result<()> {
         if let State::Spilled(f) = &self.state {
             let n = f.len() as usize;
-            let mut v = self.ctx.tracked_vec::<T>(n, &self.context);
-            let mut r = f.reader();
+            let mut v = self.ctx.try_tracked_vec::<T>(n, &self.context)?;
+            let mut r = f.reader()?;
             while let Some(x) = r.next()? {
                 v.push(x);
             }
@@ -122,7 +124,7 @@ impl<T: Record> SpillVec<T> {
         self.unspill()?;
         match self.state {
             State::InMem(v) => Ok(v.into_inner()),
-            State::Spilled(_) => unreachable!("just unspilled"),
+            State::Spilled(_) => unreachable!("just unspilled"), // memory-gate: allow (guarded by unspill above)
         }
     }
 }
@@ -135,7 +137,7 @@ mod tests {
     #[test]
     fn spill_and_unspill_roundtrip() {
         let ctx = EmContext::new_in_memory(EmConfig::tiny());
-        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 50, "test");
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 50, "test").unwrap();
         for i in 0..50 {
             sv.push(i * 3);
         }
@@ -153,7 +155,7 @@ mod tests {
     #[test]
     fn spill_charges_io() {
         let ctx = EmContext::new_in_memory(EmConfig::tiny()); // B = 16
-        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 32, "test");
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 32, "test").unwrap();
         for i in 0..32 {
             sv.push(i);
         }
@@ -167,7 +169,7 @@ mod tests {
     #[test]
     fn double_spill_is_noop() {
         let ctx = EmContext::new_in_memory(EmConfig::tiny());
-        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test");
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test").unwrap();
         sv.push(1);
         sv.spill().unwrap();
         let snap = ctx.stats().snapshot();
@@ -178,7 +180,7 @@ mod tests {
     #[test]
     fn into_vec_unspills() {
         let ctx = EmContext::new_in_memory(EmConfig::tiny());
-        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test");
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test").unwrap();
         sv.push(9);
         sv.push(8);
         sv.spill().unwrap();
@@ -189,7 +191,7 @@ mod tests {
     #[should_panic(expected = "push on spilled")]
     fn push_after_spill_panics() {
         let ctx = EmContext::new_in_memory(EmConfig::tiny());
-        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test");
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 4, "test").unwrap();
         sv.spill().unwrap();
         sv.push(1);
     }
@@ -197,7 +199,7 @@ mod tests {
     #[test]
     fn empty_spillvec() {
         let ctx = EmContext::new_in_memory(EmConfig::tiny());
-        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 0, "test");
+        let mut sv = SpillVec::<u64>::with_capacity(&ctx, 0, "test").unwrap();
         assert!(sv.is_empty());
         sv.spill().unwrap();
         sv.unspill().unwrap();

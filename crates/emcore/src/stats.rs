@@ -72,6 +72,13 @@ pub struct Counters {
     /// Queries answered *approximately* from a splitter-index skeleton
     /// alone (zero I/O, explicit rank-error bound) instead of being shed.
     pub degraded_answers: u64,
+    /// Strict-mode memory charges denied with a typed
+    /// [`crate::EmError::MemoryExceeded`] (the caller retried smaller,
+    /// degraded, or surfaced the error — nothing panicked).
+    pub mem_denials: u64,
+    /// Governor budget squeezes delivered via `EmContext::set_mem_budget`
+    /// (shrinks only; restores are visible in the trace stream).
+    pub mem_reclaims: u64,
 }
 
 impl Counters {
@@ -132,6 +139,8 @@ impl Counters {
             degraded_answers: self
                 .degraded_answers
                 .saturating_sub(earlier.degraded_answers),
+            mem_denials: self.mem_denials.saturating_sub(earlier.mem_denials),
+            mem_reclaims: self.mem_reclaims.saturating_sub(earlier.mem_reclaims),
         }
     }
 
@@ -156,6 +165,8 @@ impl Counters {
             shed_queries: self.shed_queries.saturating_add(other.shed_queries),
             breaker_trips: self.breaker_trips.saturating_add(other.breaker_trips),
             degraded_answers: self.degraded_answers.saturating_add(other.degraded_answers),
+            mem_denials: self.mem_denials.saturating_add(other.mem_denials),
+            mem_reclaims: self.mem_reclaims.saturating_add(other.mem_reclaims),
         }
     }
 }
@@ -219,6 +230,12 @@ impl std::fmt::Display for Counters {
         if self.degraded_answers != 0 {
             write!(f, ", {} degraded answers", self.degraded_answers)?;
         }
+        if self.mem_denials != 0 {
+            write!(f, ", {} mem denials", self.mem_denials)?;
+        }
+        if self.mem_reclaims != 0 {
+            write!(f, ", {} mem reclaims", self.mem_reclaims)?;
+        }
         Ok(())
     }
 }
@@ -258,6 +275,8 @@ struct AtomicCounters {
     shed_queries: AtomicU64,
     breaker_trips: AtomicU64,
     degraded_answers: AtomicU64,
+    mem_denials: AtomicU64,
+    mem_reclaims: AtomicU64,
 }
 
 impl AtomicCounters {
@@ -279,6 +298,8 @@ impl AtomicCounters {
             shed_queries: self.shed_queries.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             degraded_answers: self.degraded_answers.load(Ordering::Relaxed),
+            mem_denials: self.mem_denials.load(Ordering::Relaxed),
+            mem_reclaims: self.mem_reclaims.load(Ordering::Relaxed),
         }
     }
 
@@ -299,6 +320,8 @@ impl AtomicCounters {
         self.shed_queries.store(0, Ordering::Relaxed);
         self.breaker_trips.store(0, Ordering::Relaxed);
         self.degraded_answers.store(0, Ordering::Relaxed);
+        self.mem_denials.store(0, Ordering::Relaxed);
+        self.mem_reclaims.store(0, Ordering::Relaxed);
     }
 }
 
@@ -554,6 +577,30 @@ impl IoStats {
             self.inner
                 .counters
                 .degraded_answers
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge one strict-mode memory denial: a typed
+    /// [`crate::EmError::MemoryExceeded`] handed back instead of a panic.
+    #[inline]
+    pub fn record_mem_denial(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .mem_denials
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge one governor budget squeeze (a shrink delivered through
+    /// `EmContext::set_mem_budget`).
+    #[inline]
+    pub fn record_mem_reclaim(&self) {
+        if !self.is_paused() {
+            self.inner
+                .counters
+                .mem_reclaims
                 .fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -92,6 +92,16 @@ pub enum PointKind {
         /// span's reads/writes; see [`crate::Counters::redone_ios`]).
         ios: u64,
     },
+    /// A memory-governor event: the dynamic budget was re-pointed
+    /// (`squeeze`/`restore`), a lease was taken or released, or an
+    /// admission was denied.
+    Governor {
+        /// What happened: `squeeze`, `restore`, `lease`, `release`,
+        /// `deny`.
+        event: String,
+        /// The budget or lease size involved, in words.
+        words: u64,
+    },
 }
 
 /// One trace record. Serialises to a single JSON line (see
@@ -367,7 +377,9 @@ fn counters_fields(o: &mut JsonObj, c: &Counters) {
         .num_nz("cache_misses", c.cache_misses)
         .num_nz("shed_queries", c.shed_queries)
         .num_nz("breaker_trips", c.breaker_trips)
-        .num_nz("degraded_answers", c.degraded_answers);
+        .num_nz("degraded_answers", c.degraded_answers)
+        .num_nz("mem_denials", c.mem_denials)
+        .num_nz("mem_reclaims", c.mem_reclaims);
 }
 
 impl TraceEvent {
@@ -418,6 +430,11 @@ impl TraceEvent {
                     }
                     PointKind::WorkUnitRedo { ios } => {
                         o.str_("kind", "work_unit_redo").num("ios", *ios);
+                    }
+                    PointKind::Governor { event, words } => {
+                        o.str_("kind", "governor")
+                            .str_("event", event)
+                            .num("words", *words);
                     }
                 }
                 o.num("span", *span).num("t_us", *t_us).finish()
@@ -490,6 +507,8 @@ impl TraceEvent {
                     shed_queries: n("shed_queries"),
                     breaker_trips: n("breaker_trips"),
                     degraded_answers: n("degraded_answers"),
+                    mem_denials: n("mem_denials"),
+                    mem_reclaims: n("mem_reclaims"),
                 },
             }),
             "point" => {
@@ -506,6 +525,10 @@ impl TraceEvent {
                         name: get_str(&map, "name")?,
                     },
                     "work_unit_redo" => PointKind::WorkUnitRedo { ios: n("ios") },
+                    "governor" => PointKind::Governor {
+                        event: get_str(&map, "event")?,
+                        words: n("words"),
+                    },
                     other => return Err(format!("unknown point kind {other:?}")),
                 };
                 Ok(TraceEvent::Point {
@@ -1188,6 +1211,8 @@ mod tests {
                 shed_queries: 1,
                 breaker_trips: 1,
                 degraded_answers: 6,
+                mem_denials: 2,
+                mem_reclaims: 1,
             },
         });
         roundtrip(TraceEvent::Point {
@@ -1215,6 +1240,14 @@ mod tests {
             kind: PointKind::WorkUnitRedo { ios: 123 },
             span: 9,
             t_us: 3,
+        });
+        roundtrip(TraceEvent::Point {
+            kind: PointKind::Governor {
+                event: "squeeze".into(),
+                words: 8192,
+            },
+            span: 0,
+            t_us: 4,
         });
         let mut access = FileAccess::default();
         for b in 0..100 {

@@ -15,11 +15,23 @@ use crate::sample_splitters::bucket_of;
 /// type `T`: `f` writer block buffers + 1 reader block buffer + `f`
 /// memory-resident splitter records must total at most `M` words.
 pub fn max_distribution_fanout<T: Record>(config: EmConfig) -> usize {
+    fanout_for_budget::<T>(config, config.mem_capacity())
+}
+
+/// [`max_distribution_fanout`] against the *live* budget of `ctx` rather
+/// than the static configuration: a governor squeeze narrows the feasible
+/// fan-out (and with it the per-pass splitter count `L`), so distribution
+/// passes started after the squeeze use fewer, coarser buckets.
+pub fn max_distribution_fanout_now<T: Record>(ctx: &EmContext) -> usize {
+    fanout_for_budget::<T>(ctx.config(), ctx.mem_budget())
+}
+
+fn fanout_for_budget<T: Record>(config: EmConfig, budget: usize) -> usize {
     let block_words = config.block_size() * T::WORDS;
     let per_bucket = block_words + T::WORDS;
     // Reserve the scan reader's buffer plus two persistent caller-side
     // buffers (e.g. a partition sink's open writer held across the call).
-    ((config.mem_capacity().saturating_sub(3 * block_words)) / per_bucket).max(2)
+    ((budget.saturating_sub(3 * block_words)) / per_bucket).max(2)
 }
 
 /// Distribute `input` into `splitters.len() + 1` bucket files: bucket `j`
@@ -38,6 +50,9 @@ pub fn distribute_segs<T: Record>(
     splitters: &[T],
 ) -> Result<Vec<EmFile<T>>> {
     let f = splitters.len() + 1;
+    // Validate against the static model bound; the live budget governs the
+    // fan-out *chosen* by callers, while admission of an already-chosen
+    // fan-out is enforced by the tracked buffer charges below.
     let fmax = max_distribution_fanout::<T>(ctx.config());
     if f > fmax {
         return Err(EmError::config(format!(
@@ -51,7 +66,7 @@ pub fn distribute_segs<T: Record>(
     let _phase = ctx.stats().phase_guard("distribute");
     let _splitter_charge = ctx
         .mem()
-        .charge(splitters.len() * T::WORDS, "distribution splitters");
+        .try_charge(splitters.len() * T::WORDS, "distribution splitters")?;
     let mut writers: Vec<Writer<T>> = (0..f).map(|_| ctx.writer::<T>()).collect::<Result<_>>()?;
     let mut r = ChainReader::new(segs);
     while let Some(x) = r.next()? {
@@ -103,7 +118,7 @@ pub fn stream_into<T: Record>(
     input: &EmFile<T>,
     mut push: impl FnMut(T) -> Result<()>,
 ) -> Result<()> {
-    let mut r = input.reader();
+    let mut r = input.reader()?;
     while let Some(x) = r.next()? {
         push(x)?;
     }

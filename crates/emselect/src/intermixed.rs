@@ -59,7 +59,7 @@ pub fn intermixed_select<R: Record>(d: EmFile<Tagged<R>>, targets: &[u64]) -> Re
             ctx.config().mem_capacity()
         )));
     }
-    let mut ts = ctx.tracked_words::<u64>(l, "intermixed targets");
+    let mut ts = ctx.try_tracked_words::<u64>(l, "intermixed targets")?;
     for &t in targets {
         if t == 0 {
             return Err(EmError::config("targets are 1-based; got 0"));
@@ -74,7 +74,7 @@ pub fn intermixed_select<R: Record>(d: EmFile<Tagged<R>>, targets: &[u64]) -> Re
     let resolved = resolved?;
 
     let mut out: Vec<Option<R>> = vec![None; l];
-    let mut r = resolved.reader();
+    let mut r = resolved.reader()?;
     while let Some(p) = r.next()? {
         out[p.group as usize] = Some(p.rec);
     }
@@ -95,7 +95,7 @@ fn solve<R: Record>(
     let l = ts.len();
     let block = ctx.config().block_size();
     let base_cap = (ctx.mem_records::<Tagged<R>>() / 3).max(block);
-    let mut resolved = SpillVec::<Tagged<R>>::with_capacity(ctx, l, "resolved answers");
+    let mut resolved = SpillVec::<Tagged<R>>::with_capacity(ctx, l, "resolved answers")?;
 
     loop {
         let active = ts.as_slice().iter().filter(|&&t| t > 0).count();
@@ -112,20 +112,20 @@ fn solve<R: Record>(
         // --- Round step 1: subgroup medians into Σ (one scan of D). ---
         let sigma_counts = {
             let mut slots =
-                ctx.tracked_buf::<[Option<R>; 5]>(l, 5 * (R::WORDS + 1), "subgroup slots");
-            let mut fill = ctx.tracked_words::<u8>(l, "subgroup fill");
+                ctx.try_tracked_buf::<[Option<R>; 5]>(l, 5 * (R::WORDS + 1), "subgroup slots")?;
+            let mut fill = ctx.try_tracked_words::<u8>(l, "subgroup fill")?;
             for _ in 0..l {
                 slots.push([None; 5]);
                 fill.push(0);
             }
-            let mut sigma_counts = ctx.tracked_words::<u32>(l, "sigma sizes");
+            let mut sigma_counts = ctx.try_tracked_words::<u32>(l, "sigma sizes")?;
             for _ in 0..l {
                 sigma_counts.push(0);
             }
             let mut sw = ctx.writer::<Tagged<R>>()?;
             {
                 let ts_s = ts.as_slice();
-                let mut r = d.reader();
+                let mut r = d.reader()?;
                 while let Some(e) = r.next()? {
                     let g = e.group as usize;
                     if g >= l || ts_s[g] == 0 {
@@ -161,7 +161,7 @@ fn solve<R: Record>(
         let (sigma, sigma_counts) = sigma_counts;
 
         // Child targets: the median rank of each Σ_i.
-        let mut tchild = ctx.tracked_words::<u64>(l, "child targets");
+        let mut tchild = ctx.try_tracked_words::<u64>(l, "child targets")?;
         for g in 0..l {
             let active_g = ts.as_slice()[g] > 0;
             if active_g && sigma_counts[g] == 0 {
@@ -187,12 +187,12 @@ fn solve<R: Record>(
         ts.unspill()?;
         resolved.unspill()?;
 
-        let mut mu = ctx.tracked_buf::<Option<R>>(l, R::WORDS + 1, "round medians");
+        let mut mu = ctx.try_tracked_buf::<Option<R>>(l, R::WORDS + 1, "round medians")?;
         for _ in 0..l {
             mu.push(None);
         }
         {
-            let mut r = mu_file.reader();
+            let mut r = mu_file.reader()?;
             while let Some(p) = r.next()? {
                 mu[p.group as usize] = Some(p.rec);
             }
@@ -200,15 +200,15 @@ fn solve<R: Record>(
         drop(mu_file);
 
         // --- Round step 3: three-way rank counts against μ (one scan). ---
-        let mut less = ctx.tracked_words::<u64>(l, "less counts");
-        let mut equal = ctx.tracked_words::<u64>(l, "equal counts");
+        let mut less = ctx.try_tracked_words::<u64>(l, "less counts")?;
+        let mut equal = ctx.try_tracked_words::<u64>(l, "equal counts")?;
         for _ in 0..l {
             less.push(0);
             equal.push(0);
         }
         {
             let ts_s = ts.as_slice();
-            let mut r = d.reader();
+            let mut r = d.reader()?;
             while let Some(e) = r.next()? {
                 let g = e.group as usize;
                 if ts_s[g] == 0 {
@@ -225,7 +225,7 @@ fn solve<R: Record>(
 
         // --- Round step 4: resolve or narrow each group; build D'. ---
         // side: 0 = keep < μ, 1 = keep > μ, 2 = done/inactive.
-        let mut side = ctx.tracked_words::<u8>(l, "sides");
+        let mut side = ctx.try_tracked_words::<u8>(l, "sides")?;
         for _ in 0..l {
             side.push(2);
         }
@@ -249,7 +249,7 @@ fn solve<R: Record>(
 
         let mut w = ctx.writer::<Tagged<R>>()?;
         {
-            let mut r = d.reader();
+            let mut r = d.reader()?;
             while let Some(e) = r.next()? {
                 let g = e.group as usize;
                 let keep = match side[g] {
@@ -284,8 +284,8 @@ fn base_case<R: Record>(
     resolved: &mut SpillVec<Tagged<R>>,
 ) -> Result<()> {
     let n = d.len() as usize;
-    let mut buf = ctx.tracked_vec::<Tagged<R>>(n, "intermixed base case");
-    let mut r = d.reader();
+    let mut buf = ctx.try_tracked_vec::<Tagged<R>>(n, "intermixed base case")?;
+    let mut r = d.reader()?;
     while let Some(e) = r.next()? {
         buf.push(e);
     }

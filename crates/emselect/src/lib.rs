@@ -40,8 +40,8 @@ mod sample_splitters;
 mod split;
 
 pub use distribute::{
-    distribute, distribute_segs, max_distribution_fanout, stream_into, three_way_split,
-    three_way_split_segs,
+    distribute, distribute_segs, max_distribution_fanout, max_distribution_fanout_now, stream_into,
+    three_way_split, three_way_split_segs,
 };
 pub use intermixed::{intermixed_select, max_groups};
 pub use internal::{median_of_five, multi_select_in_mem, select_rank_in_mem};

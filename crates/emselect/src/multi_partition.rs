@@ -24,7 +24,7 @@
 
 use emcore::{EmContext, EmError, EmFile, Record, Result, Writer};
 
-use crate::distribute::{distribute_segs, max_distribution_fanout, three_way_split};
+use crate::distribute::{distribute_segs, max_distribution_fanout_now, three_way_split};
 use crate::partition_out::{segs_len, ChainReader, Partition};
 use crate::sample_splitters::{
     max_deterministic_fanout_n, sample_splitters_segs, SplitterStrategy,
@@ -165,7 +165,7 @@ fn mp_rec<T: Record>(
     }
     let base_cap = (ctx.mem_records::<T>() / 2).max(ctx.config().block_size());
     if n as usize <= base_cap {
-        let mut buf = ctx.tracked_vec::<T>(n as usize, "multi-partition base case");
+        let mut buf = ctx.try_tracked_vec::<T>(n as usize, "multi-partition base case")?;
         let mut r = ChainReader::new(d.segs());
         while let Some(x) = r.next()? {
             buf.push(x);
@@ -178,7 +178,7 @@ fn mp_rec<T: Record>(
         return Ok(());
     }
 
-    let fmax = max_distribution_fanout::<T>(ctx.config())
+    let fmax = max_distribution_fanout_now::<T>(ctx)
         .min(max_deterministic_fanout_n::<T>(ctx, n))
         .max(2);
     let f = opts.fanout_override.map_or(fmax, |o| o.clamp(2, fmax));
@@ -248,7 +248,7 @@ fn shift_ranks(ranks: &[u64], offset: u64, size: u64) -> Vec<u64> {
 /// whole bucket range.
 fn dominant_pivot<T: Record>(file: &EmFile<T>) -> Result<T::Key> {
     let ctx = file.ctx();
-    let mut buf = ctx.tracked_vec::<T>(ctx.config().block_size(), "pivot probe");
+    let mut buf = ctx.try_tracked_vec::<T>(ctx.config().block_size(), "pivot probe")?;
     file.read_block_into(0, &mut buf)?;
     let mut keys: Vec<T::Key> = buf.iter().map(|r| r.key()).collect();
     keys.sort_unstable();
@@ -332,7 +332,7 @@ impl<T: Record> PartitionSink<T> {
     /// Stream a file record by record through the boundary cuts (used for
     /// the interchangeable equal-slab fallback).
     fn stream_file(&mut self, file: &EmFile<T>) -> Result<()> {
-        let mut r = file.reader();
+        let mut r = file.reader()?;
         while let Some(x) = r.next()? {
             self.push(x)?;
         }

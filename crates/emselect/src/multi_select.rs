@@ -77,8 +77,9 @@ pub fn base_case_capacity_n<T: Record>(ctx: &EmContext, n: u64, opts: &MsOptions
     let f = max_deterministic_fanout_n::<T>(ctx, n);
     let _ = f;
     let m = match opts.base_case {
-        // Pruned bookkeeping is ~3 words per rank; cap well inside M.
-        MsBaseCase::Pruned => (ctx.config().mem_capacity() / 6).max(8),
+        // Pruned bookkeeping is ~3 words per rank; cap well inside the
+        // *live* budget, so a governor squeeze narrows the base case.
+        MsBaseCase::Pruned => (ctx.mem_budget() / 6).max(8),
         // With refined (two-round) splitters the base case reaches the
         // paper's m = Θ(M): the intermixed instance |D| ≤ K·4n/f' stays
         // O(n) because f' = 4·groups_cap splitters are available.
@@ -261,7 +262,7 @@ fn base_case<T: Record>(
     // array and block buffers; matches multi-partition's base threshold.)
     let mem_cap = (ctx.mem_records::<T>() / 2).max(block);
     if n as usize <= mem_cap {
-        let mut buf = ctx.tracked_vec::<T>(n as usize, "multi-select base buffer");
+        let mut buf = ctx.try_tracked_vec::<T>(n as usize, "multi-select base buffer")?;
         let mut r = ChainReader::new(segs);
         while let Some(x) = r.next()? {
             buf.push(x);
@@ -295,12 +296,12 @@ fn intermixed_base_case<T: Record>(
     // The splitter array stays memory-resident for the rest of the base case.
     let _splitter_charge = ctx
         .mem()
-        .charge(splitters.len() * T::WORDS, "base-case splitters");
+        .try_charge(splitters.len() * T::WORDS, "base-case splitters")?;
     let counts = count_buckets_segs(ctx, segs, &splitters)?;
     let nb = counts.len();
 
     // Cumulative bucket sizes (memory-resident, Θ(m) words).
-    let _cum_charge = ctx.mem().charge(nb + 1, "bucket prefix sums");
+    let _cum_charge = ctx.try_charge_words(nb + 1, "bucket prefix sums")?;
     let mut cum = Vec::with_capacity(nb + 1);
     cum.push(0u64);
     for &c in &counts {
@@ -308,7 +309,7 @@ fn intermixed_base_case<T: Record>(
     }
 
     // For each rank, its bucket and in-bucket residual target.
-    let _rank_charge = ctx.mem().charge(2 * ranks.len(), "rank routing");
+    let _rank_charge = ctx.try_charge_words(2 * ranks.len(), "rank routing")?;
     let mut bucket_of_rank = Vec::with_capacity(ranks.len());
     let mut targets = Vec::with_capacity(ranks.len());
     for &r in ranks {
@@ -359,7 +360,7 @@ fn pruned_select<T: Record>(
     let block = ctx.config().block_size();
     let mem_cap = (ctx.mem_records::<T>() / 2).max(block);
     if n as usize <= mem_cap {
-        let mut buf = ctx.tracked_vec::<T>(n as usize, "pruned-select base buffer");
+        let mut buf = ctx.try_tracked_vec::<T>(n as usize, "pruned-select base buffer")?;
         let mut r = ChainReader::new(segs);
         while let Some(x) = r.next()? {
             buf.push(x);
@@ -369,9 +370,7 @@ fn pruned_select<T: Record>(
     }
     let phase = ctx.stats().phase_guard("multi-select/pruned");
     let f = max_deterministic_fanout_n::<T>(ctx, n)
-        .min(crate::distribute::max_distribution_fanout::<T>(
-            ctx.config(),
-        ))
+        .min(crate::distribute::max_distribution_fanout_now::<T>(ctx))
         .max(2);
     let splitters = sample_splitters_segs(ctx, segs, f, opts.strategy)?;
     // Distribute into f buckets; exact sizes come from the bucket files.
@@ -428,7 +427,7 @@ fn dominant_pivot_segs<T: Record>(ctx: &EmContext, segs: &[EmFile<T>]) -> Result
         .iter()
         .find(|s| !s.is_empty())
         .ok_or_else(|| EmError::config("dominant_pivot_segs on an all-empty input"))?;
-    let mut probe = ctx.tracked_vec::<T>(file.block_capacity(), "dominant pivot probe");
+    let mut probe = ctx.try_tracked_vec::<T>(file.block_capacity(), "dominant pivot probe")?;
     file.read_block_into(0, &mut probe)?;
     let mut keys: Vec<T::Key> = probe.iter().map(|r| r.key()).collect();
     keys.sort_unstable();
@@ -465,7 +464,7 @@ fn dominated_select<T: Record>(
     let ne = equal.len();
     debug_assert!(ne >= 1, "pivot key must be present");
     let eq_rec = {
-        let mut r = equal.reader();
+        let mut r = equal.reader()?;
         r.next()?
             .ok_or_else(|| EmError::config("equal slab unexpectedly empty"))?
     };
@@ -517,10 +516,10 @@ fn pruned_select_external<T: Record>(
     let _level = ctx.stats().trace_span(|| format!("pruned-ext n={n} k={k}"));
     // Few enough ranks: load this node's rank range and use the in-memory
     // rank machinery.
-    let mem_rank_cap = (ctx.config().mem_capacity() / 16).max(8) as u64;
+    let mem_rank_cap = (ctx.mem_budget() / 16).max(8) as u64;
     if k <= mem_rank_cap {
-        let mut ranks = ctx.tracked_words::<u64>(k as usize, "external rank slice");
-        let mut r = rank_file.reader_at(lo);
+        let mut ranks = ctx.try_tracked_words::<u64>(k as usize, "external rank slice")?;
+        let mut r = rank_file.reader_at(lo)?;
         for _ in 0..k {
             let v = r
                 .next()?
@@ -534,9 +533,7 @@ fn pruned_select_external<T: Record>(
     // rank range to buckets by streaming it once.
     debug_assert!(k <= n);
     let f = max_deterministic_fanout_n::<T>(ctx, n)
-        .min(crate::distribute::max_distribution_fanout::<T>(
-            ctx.config(),
-        ))
+        .min(crate::distribute::max_distribution_fanout_now::<T>(ctx))
         .max(2);
     let splitters = sample_splitters_segs(ctx, segs, f, opts.strategy)?;
     let buckets = crate::distribute::distribute_segs(ctx, segs, &splitters)?;
@@ -551,14 +548,14 @@ fn pruned_select_external<T: Record>(
         let ne = equal.len();
         debug_assert!(ne >= 1);
         let eq_rec = {
-            let mut r = equal.reader();
+            let mut r = equal.reader()?;
             r.next()?
                 .ok_or_else(|| EmError::config("equal slab unexpectedly empty"))?
         };
         // Find the rank-range split points by streaming the range once.
         let (mut mid1, mut mid2) = (lo, lo);
         {
-            let mut r = rank_file.reader_at(lo);
+            let mut r = rank_file.reader_at(lo)?;
             let mut cursor = lo;
             while cursor < hi {
                 let v = r
@@ -610,7 +607,7 @@ fn pruned_select_external<T: Record>(
     // contiguous because both ranks and buckets are sorted), then recurse.
     let mut ranges: Vec<(u64, u64, usize)> = Vec::new();
     {
-        let mut r = rank_file.reader_at(lo);
+        let mut r = rank_file.reader_at(lo)?;
         let mut cursor = lo;
         for j in 0..buckets.len() {
             let upper = offset + cum[j + 1]; // global ranks ≤ upper fall in bucket j

@@ -74,7 +74,7 @@ impl<T: Record> Partition<T> {
     /// Visit every record (one block-buffered scan; charges the reads).
     pub fn for_each(&self, mut f: impl FnMut(T) -> Result<()>) -> Result<()> {
         for s in &self.segments {
-            let mut r = s.reader();
+            let mut r = s.reader()?;
             while let Some(x) = r.next()? {
                 f(x)?;
             }
@@ -103,7 +103,7 @@ impl<T: Record> Partition<T> {
         }
         let mut w = ctx.writer::<T>()?;
         for s in &segments {
-            let mut r = s.reader();
+            let mut r = s.reader()?;
             while let Some(x) = r.next()? {
                 w.push(x)?;
             }
@@ -151,7 +151,7 @@ impl<'a, T: Record> ChainReader<'a, T> {
             if self.idx >= self.segs.len() {
                 return Ok(None);
             }
-            self.cur = Some(self.segs[self.idx].reader());
+            self.cur = Some(self.segs[self.idx].reader()?);
             self.idx += 1;
         }
     }

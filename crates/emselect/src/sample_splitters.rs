@@ -145,7 +145,7 @@ fn deterministic<T: Record>(ctx: &EmContext, segs: &[EmFile<T>], f: usize) -> Re
         };
         if len <= cap as u64 {
             // Load, sort, pick evenly.
-            let mut buf = ctx.tracked_vec::<T>(len as usize, "splitter final sample");
+            let mut buf = ctx.try_tracked_vec::<T>(len as usize, "splitter final sample")?;
             match &current {
                 None => {
                     let mut r = ChainReader::new(segs);
@@ -154,7 +154,7 @@ fn deterministic<T: Record>(ctx: &EmContext, segs: &[EmFile<T>], f: usize) -> Re
                     }
                 }
                 Some(fl) => {
-                    let mut r = fl.reader();
+                    let mut r = fl.reader()?;
                     while let Some(x) = r.next()? {
                         buf.push(x);
                     }
@@ -165,7 +165,7 @@ fn deterministic<T: Record>(ctx: &EmContext, segs: &[EmFile<T>], f: usize) -> Re
             return Ok(pick_even(&buf, f_eff));
         }
         // One reduction level: sort chunks of `cap`, keep every ρ-th.
-        let mut load = ctx.tracked_vec::<T>(cap, "splitter sample chunk");
+        let mut load = ctx.try_tracked_vec::<T>(cap, "splitter sample chunk")?;
         let mut w = ctx.writer::<T>()?;
         {
             let mut reduce = |next: &mut dyn FnMut() -> Result<Option<T>>| -> Result<()> {
@@ -197,7 +197,7 @@ fn deterministic<T: Record>(ctx: &EmContext, segs: &[EmFile<T>], f: usize) -> Re
                     reduce(&mut || r.next())?;
                 }
                 Some(fl) => {
-                    let mut r = fl.reader();
+                    let mut r = fl.reader()?;
                     reduce(&mut || r.next())?;
                 }
             }
@@ -219,7 +219,7 @@ fn randomized<T: Record>(
         .clamp(f, cap / 2)
         .max(2);
     let mut rng = SplitMix64::new(seed);
-    let mut reservoir = ctx.tracked_vec::<T>(target, "splitter reservoir");
+    let mut reservoir = ctx.try_tracked_vec::<T>(target, "splitter reservoir")?;
     let mut r = ChainReader::new(segs);
     let mut seen = 0u64;
     while let Some(x) = r.next()? {
@@ -263,12 +263,10 @@ pub fn refined_splitters<T: Record>(
     }
     // The refined splitter array must stay memory-resident for the caller:
     // cap its footprint at M/4 words.
-    let store_cap = (ctx.config().mem_capacity() / (4 * T::WORDS)).max(4);
+    let store_cap = (ctx.mem_budget() / (4 * T::WORDS)).max(4);
     let f_target = f_target.clamp(2, store_cap);
     let f0 = max_deterministic_fanout_n::<T>(ctx, n)
-        .min(crate::distribute::max_distribution_fanout::<T>(
-            ctx.config(),
-        ))
+        .min(crate::distribute::max_distribution_fanout_now::<T>(ctx))
         .max(2);
     if f_target <= f0 {
         return sample_splitters_segs(ctx, segs, f_target, SplitterStrategy::Deterministic);
@@ -314,7 +312,7 @@ pub fn count_buckets_segs<T: Record>(
 ) -> Result<Vec<u64>> {
     let _charge = ctx
         .mem()
-        .charge(splitters.len() * T::WORDS, "bucket-count splitters");
+        .try_charge(splitters.len() * T::WORDS, "bucket-count splitters")?;
     let mut counts = vec![0u64; splitters.len() + 1];
     let mut r = ChainReader::new(segs);
     while let Some(x) = r.next()? {

@@ -11,7 +11,7 @@
 
 use emcore::{EmContext, EmError, EmFile, Record, Result};
 
-use crate::distribute::{distribute_segs, max_distribution_fanout, three_way_split};
+use crate::distribute::{distribute_segs, max_distribution_fanout_now, three_way_split};
 use crate::partition_out::{segs_len, ChainReader, Partition};
 use crate::sample_splitters::{
     max_deterministic_fanout_n, sample_splitters_segs, SplitterStrategy,
@@ -66,7 +66,7 @@ fn split_rec<T: Record>(
 
     if n as usize <= mem_cap {
         // In-memory: select, then write the two sides exactly.
-        let mut buf = ctx.tracked_vec::<T>(n as usize, "rank-split base buffer");
+        let mut buf = ctx.try_tracked_vec::<T>(n as usize, "rank-split base buffer")?;
         let mut r = ChainReader::new(segs);
         while let Some(x) = r.next()? {
             buf.push(x);
@@ -86,7 +86,7 @@ fn split_rec<T: Record>(
     }
 
     let f = max_deterministic_fanout_n::<T>(ctx, n)
-        .min(max_distribution_fanout::<T>(ctx.config()))
+        .min(max_distribution_fanout_now::<T>(ctx))
         .max(2);
     let splitters = sample_splitters_segs(ctx, segs, f, strategy)?;
     let buckets = distribute_segs(ctx, segs, &splitters)?;
@@ -125,7 +125,7 @@ fn split_rec<T: Record>(
                 // Cut aligns with the bucket's right edge: the boundary is
                 // the bucket's max record (one scan of this bucket only).
                 let mut mx: Option<T> = None;
-                let mut r = bucket.reader();
+                let mut r = bucket.reader()?;
                 while let Some(x) = r.next()? {
                     if mx.is_none_or(|m| x.key() >= m.key()) {
                         mx = Some(x);
@@ -156,7 +156,7 @@ fn dominant_split<T: Record>(
     count: u64,
 ) -> Result<(Partition<T>, Partition<T>, T)> {
     // Probe for the dominant key: most frequent key of the first block.
-    let mut probe = ctx.tracked_vec::<T>(file.block_capacity(), "split pivot probe");
+    let mut probe = ctx.try_tracked_vec::<T>(file.block_capacity(), "split pivot probe")?;
     file.read_block_into(0, &mut probe)?;
     let mut keys: Vec<T::Key> = probe.iter().map(|r| r.key()).collect();
     keys.sort_unstable();
@@ -198,7 +198,7 @@ fn dominant_split<T: Record>(
         let mut hw = ctx.writer::<T>()?;
         let mut taken = 0u64;
         let mut sample_equal: Option<T> = None;
-        let mut r = equal.reader();
+        let mut r = equal.reader()?;
         while let Some(x) = r.next()? {
             if taken < quota {
                 lw.push(x)?;

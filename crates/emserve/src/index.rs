@@ -393,7 +393,7 @@ impl<T: Record> SplitterIndex<T> {
         }
         let files = self.segment_files(0);
         if let Some(f) = files.first() {
-            let mut r = f.reader();
+            let mut r = f.reader()?;
             r.next()?;
         }
         Ok(())

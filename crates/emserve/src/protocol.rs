@@ -161,7 +161,8 @@ pub fn serve_lines(
                     writeln!(
                         err,
                         "ok stats queries={} batches={} index_hits={} selected={} answer_us={} \
-                         failed={} quarantined={} shed={} degraded={} breaker_trips={}",
+                         failed={} quarantined={} shed={} degraded={} breaker_trips={} \
+                         mem_budget={} leases={} lease_floor={} lease_denials={} mem_degraded={}",
                         r.queries,
                         r.batches,
                         r.index_hits,
@@ -171,7 +172,12 @@ pub fn serve_lines(
                         r.quarantined,
                         r.shed,
                         r.degraded,
-                        r.breaker_trips
+                        r.breaker_trips,
+                        r.mem_budget_words,
+                        r.leases,
+                        r.lease_floor_words,
+                        r.lease_denials,
+                        r.mem_degraded
                     )?;
                 }
                 "health" => {
@@ -179,10 +185,12 @@ pub fn serve_lines(
                     for h in client.health()? {
                         writeln!(
                             err,
-                            "ok health {} {} failures={}",
+                            "ok health {} {} failures={} lease_floor={} lease_granted={}",
                             h.name,
                             h.state.label(),
-                            h.consecutive_failures
+                            h.consecutive_failures,
+                            h.lease_floor_words,
+                            h.lease_granted_words
                         )?;
                     }
                 }

@@ -33,12 +33,24 @@
 //!   `approx` with an explicit rank-error bound
 //!   ([`SplitterIndex::answer_approx`]). The same degraded path backs
 //!   breaker-open datasets: the skeleton needs no device at all.
+//!
+//! ## Memory governor (PR 7)
+//!
+//! Each registered dataset is a *tenant* of the context's
+//! [`emcore::MemoryGovernor`]: with [`ServeOptions::lease_floor`] set, the
+//! scheduler takes a per-dataset lease (floor + fair weighted share of the
+//! surplus). A batch that fails with [`EmError::MemoryExceeded`] — a
+//! governor squeeze or a contended tracker — is *not* a fault: it trips no
+//! breaker, and with degraded mode on, the starved tenant is answered
+//! approximately from the memory-resident skeleton (zero allocation, zero
+//! I/O) instead of erroring. Lease gauges are surfaced in [`ServeReport`]
+//! and [`DatasetHealth`].
 
 use std::collections::BTreeMap;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::time::{Duration, Instant};
 
-use emcore::{EmContext, EmError, EmFile, Record, Result, RetryPolicy};
+use emcore::{EmContext, EmError, EmFile, Lease, Record, Result, RetryPolicy};
 use emselect::MsOptions;
 
 use crate::catalog::Catalog;
@@ -128,6 +140,12 @@ pub struct DatasetHealth {
     pub state: BreakerState,
     /// Consecutive fully-failed fault batches (resets on any success).
     pub consecutive_failures: u32,
+    /// Words of memory floor reserved for this dataset's lease (0 when
+    /// leasing is disabled or the lease was denied at admission).
+    pub lease_floor_words: u64,
+    /// Words currently granted to the lease: floor + weighted fair share
+    /// of the budget surplus. Shrinks when the governor squeezes `M`.
+    pub lease_granted_words: u64,
 }
 
 /// Tunables for [`QueryServer`].
@@ -157,6 +175,14 @@ pub struct ServeOptions {
     pub deadline: Option<Duration>,
     /// Default degraded-mode flag (see [`QueryOptions::degraded`]).
     pub degraded: bool,
+    /// Per-dataset memory-lease floor, in words (0 disables leasing).
+    /// Each registered dataset reserves this floor with the context's
+    /// memory governor; admission-control denials leave the dataset
+    /// unleased (it still serves, with no reserved share).
+    pub lease_floor: usize,
+    /// Fairness weight of each dataset's lease: surplus budget above the
+    /// floors is granted proportionally to weight.
+    pub lease_weight: u32,
 }
 
 impl Default for ServeOptions {
@@ -172,6 +198,8 @@ impl Default for ServeOptions {
             probe_cooldown: Duration::from_millis(25),
             deadline: None,
             degraded: false,
+            lease_floor: 0,
+            lease_weight: 1,
         }
     }
 }
@@ -214,6 +242,18 @@ pub struct ServeReport {
     pub breaker_restores: u64,
     /// Breakers currently not `Closed` (snapshot at report time).
     pub open_breakers: u64,
+    /// Live memory budget of the serving context, in words (snapshot at
+    /// report time; moves when the governor squeezes or restores `M`).
+    pub mem_budget_words: u64,
+    /// Sum of lease floors held by this server's datasets, in words.
+    pub lease_floor_words: u64,
+    /// Datasets currently holding a governor lease.
+    pub leases: u64,
+    /// Governor admission denials observed on this context (snapshot).
+    pub lease_denials: u64,
+    /// Queries answered approximately *because the exact pass ran out of
+    /// memory budget* (subset of `degraded`).
+    pub mem_degraded: u64,
 }
 
 /// One client query awaiting an answer.
@@ -443,6 +483,8 @@ struct Scheduler<T: Record> {
     catalog: Catalog,
     indices: BTreeMap<String, SplitterIndex<T>>,
     breakers: BTreeMap<String, Breaker>,
+    /// Per-dataset governor leases (RAII: dropped with the scheduler).
+    leases: BTreeMap<String, Lease>,
     report: ServeReport,
 }
 
@@ -457,6 +499,7 @@ impl<T: Record> QueryServer<T> {
             catalog,
             indices: BTreeMap::new(),
             breakers: BTreeMap::new(),
+            leases: BTreeMap::new(),
             report: ServeReport::default(),
         };
         let handle = std::thread::spawn(move || {
@@ -536,13 +579,7 @@ impl<T: Record> Scheduler<T> {
                     let _ = reply.send(self.register(&name, data));
                 }
                 Req::Report { reply } => {
-                    let mut r = self.report;
-                    r.open_breakers = self
-                        .breakers
-                        .values()
-                        .filter(|b| b.state != BreakerState::Closed)
-                        .count() as u64;
-                    let _ = reply.send(r);
+                    let _ = reply.send(self.report_snapshot());
                 }
                 Req::Health { reply } => {
                     let mut out: Vec<DatasetHealth> = Vec::new();
@@ -552,10 +589,17 @@ impl<T: Record> Scheduler<T> {
                             .get(&name)
                             .map(|b| (b.state, b.consecutive))
                             .unwrap_or((BreakerState::Closed, 0));
+                        let (floor, granted) = self
+                            .leases
+                            .get(&name)
+                            .map(|l| (l.floor() as u64, l.granted() as u64))
+                            .unwrap_or((0, 0));
                         out.push(DatasetHealth {
                             name,
                             state,
                             consecutive_failures: consecutive,
+                            lease_floor_words: floor,
+                            lease_granted_words: granted,
                         });
                     }
                     let _ = reply.send(out);
@@ -566,6 +610,27 @@ impl<T: Record> Scheduler<T> {
                 }
             }
         }
+        // Freeze the point-in-time gauges (breakers, budget, leases) into
+        // the final report so [`QueryServer::shutdown`] sees them too, not
+        // just mid-run [`Client::report`] calls.
+        self.report = self.report_snapshot();
+    }
+
+    /// The aggregate report plus the point-in-time gauges: open breakers,
+    /// the live memory budget, and this server's lease holdings.
+    fn report_snapshot(&self) -> ServeReport {
+        let mut r = self.report;
+        r.open_breakers = self
+            .breakers
+            .values()
+            .filter(|b| b.state != BreakerState::Closed)
+            .count() as u64;
+        let gov = self.ctx.governor().snapshot();
+        r.mem_budget_words = self.ctx.mem_budget() as u64;
+        r.lease_floor_words = self.leases.values().map(|l| l.floor() as u64).sum();
+        r.leases = self.leases.len() as u64;
+        r.lease_denials = gov.denials;
+        r
     }
 
     fn any_unhealthy(&self) -> bool {
@@ -659,15 +724,18 @@ impl<T: Record> Scheduler<T> {
                 self.indices.insert(name.to_string(), idx);
             }
             self.report.registered += 1;
+            self.ensure_lease(name);
             return Ok(len);
         }
-        let _phase = self.ctx.stats().phase_guard("serve/register");
+        let reg_ctx = self.ctx.clone();
+        let _phase = reg_ctx.stats().phase_guard("serve/register");
         let file = EmFile::from_slice(&self.ctx, &data)?;
         let len = file.len();
         self.catalog.register(name, &file)?;
         let idx = SplitterIndex::open(&self.ctx, name, file)?;
         self.indices.insert(name.to_string(), idx);
         self.report.registered += 1;
+        self.ensure_lease(name);
         Ok(len)
     }
 
@@ -678,8 +746,25 @@ impl<T: Record> Scheduler<T> {
             let file = self.catalog.open_dataset::<T>(name)?;
             let idx = SplitterIndex::open(&self.ctx, name, file)?;
             self.indices.insert(name.to_string(), idx);
+            self.ensure_lease(name);
         }
         Ok(self.indices.get_mut(name).expect("just ensured"))
+    }
+
+    /// Take (or keep) this dataset's governor lease. An admission denial
+    /// is not an error: the dataset serves without a reserved floor and
+    /// the denial shows up in the governor's counters.
+    fn ensure_lease(&mut self, name: &str) {
+        if self.opts.lease_floor == 0 || self.leases.contains_key(name) {
+            return;
+        }
+        if let Ok(lease) =
+            self.ctx
+                .governor()
+                .lease(name, self.opts.lease_floor, self.opts.lease_weight)
+        {
+            self.leases.insert(name.to_string(), lease);
+        }
     }
 
     fn effective_deadline(&self, q: &Pending<T>) -> Option<Duration> {
@@ -816,18 +901,31 @@ impl<T: Record> Scheduler<T> {
             }
             Err(e) => {
                 // A crashed context fails everything identically — there
-                // is nothing bisection could isolate.
-                if queries.len() == 1 || matches!(e, EmError::Crashed) {
+                // is nothing bisection could isolate. Likewise a budget
+                // rejection: every sub-batch needs the same working set,
+                // so bisection would just repeat the denial.
+                let starved = matches!(e, EmError::MemoryExceeded { .. });
+                if queries.len() == 1 || matches!(e, EmError::Crashed) || starved {
                     let n = queries.len() as u64;
                     let faults = if e.is_fault() { n } else { 0 };
+                    let mut answered = 0u64;
                     for q in queries {
+                        // A starved tenant gets a degraded (approximate)
+                        // answer from the memory-resident skeleton rather
+                        // than an error, when degraded mode allows it.
+                        if starved && self.degraded_allowed(&q) && self.try_degraded(name, &q) {
+                            self.report.mem_degraded += 1;
+                            answered += 1;
+                            continue;
+                        }
                         self.report.failed += 1;
                         if bisected {
                             self.report.quarantined += 1;
                         }
                         let _ = q.reply.send(Err(e.clone()));
                     }
-                    (0, faults)
+                    let _ = n;
+                    (answered, faults)
                 } else {
                     let right = queries.split_off(queries.len() / 2);
                     let (ok_l, ff_l) = self.exec(name, queries, true);

@@ -38,7 +38,9 @@ pub use loser_tree::{LoserTree, SliceSource, Source};
 #[allow(deprecated)]
 pub use manifest::resume_sort;
 pub use manifest::{external_sort_recoverable, SortJob, SortManifest, SORT_JOURNAL};
-pub use merge::{max_merge_fan_in, merge_once, merge_runs, merge_runs_with_fan_in};
+pub use merge::{
+    max_merge_fan_in, max_merge_fan_in_now, merge_once, merge_runs, merge_runs_with_fan_in,
+};
 pub use parallel::parallel_external_sort;
 pub use runs::{form_runs_load_sort, form_runs_replacement_selection, is_sorted, RunFormation};
 pub use sort::{external_sort, external_sort_with, predicted_sort_ios};

@@ -70,7 +70,7 @@ impl<T: Record, S: Source<T>> LoserTree<T, S> {
     /// Build the tree, charging its `O(k)` bookkeeping words to `mem`.
     pub fn with_tracking(sources: Vec<S>, mem: &emcore::MemoryTracker) -> Result<Self> {
         let k = sources.len();
-        let charge = mem.charge(k * (T::WORDS + 2), "loser tree state");
+        let charge = mem.try_charge(k * (T::WORDS + 2), "loser tree state")?;
         Self::build(sources, Some(charge))
     }
 

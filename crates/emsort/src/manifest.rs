@@ -440,9 +440,18 @@ fn form_remaining_runs<T: Record>(
     ctx: &EmContext,
 ) -> Result<()> {
     let b = ctx.config().block_size();
-    let cap = ctx.mem_records::<T>().saturating_sub(2 * b).max(b);
-    let mut load = ctx.tracked_vec::<T>(cap, "recoverable run formation load buffer");
     while manifest.consumed < input.len() {
+        // Budget re-read per work unit: a governor squeeze between
+        // checkpoints shrinks the next unit instead of failing the job,
+        // and a unit interrupted by MemoryExceeded is redone whole on
+        // resume (bounded rework: at most one unit).
+        let mut w = ctx.writer::<T>()?;
+        let want = ctx.mem_records::<T>().saturating_sub(2 * b).max(b);
+        let (mut load, cap) = crate::runs::adaptive_load_buffer::<T>(
+            ctx,
+            want,
+            "recoverable run formation load buffer",
+        )?;
         let (redo, before) = manifest.begin_unit(ctx);
         // Trace-only span per work unit: redo points land inside it.
         let _unit = ctx
@@ -450,8 +459,7 @@ fn form_remaining_runs<T: Record>(
             .trace_span(|| format!("unit/run#{}", manifest.checkpoints));
         // A fresh positioned reader each unit: a crashed unit must not
         // leave reader state behind, and positioning costs ≤ 1 extra I/O.
-        let mut reader = input.reader_at(manifest.consumed);
-        load.clear();
+        let mut reader = input.reader_at(manifest.consumed)?;
         while load.len() < cap {
             match reader.next()? {
                 Some(x) => load.push(x),
@@ -462,7 +470,6 @@ fn form_remaining_runs<T: Record>(
             break;
         }
         load.sort_unstable_by_key(|r| r.key());
-        let mut w = ctx.writer::<T>()?;
         w.push_all(&load)?;
         let run = w.finish()?;
         // ---- checkpoint: the run is fully on storage ----

@@ -8,16 +8,28 @@ use crate::loser_tree::LoserTree;
 /// `k` reader block buffers + one writer block buffer + `O(k)` loser-tree
 /// state must total at most `M` words.
 pub fn max_merge_fan_in<T: Record>(config: EmConfig) -> usize {
+    max_fan_in_for_budget::<T>(config, config.mem_capacity())
+}
+
+/// [`max_merge_fan_in`] against the *live* budget of `ctx` rather than the
+/// static configuration: when the memory governor has squeezed `M` mid-job,
+/// this shrinks accordingly, and merge passes started after the squeeze use
+/// the narrower fan-in.
+pub fn max_merge_fan_in_now<T: Record>(ctx: &EmContext) -> usize {
+    max_fan_in_for_budget::<T>(ctx.config(), ctx.mem_budget())
+}
+
+fn max_fan_in_for_budget<T: Record>(config: EmConfig, budget: usize) -> usize {
     let block_words = config.block_size() * T::WORDS;
     let per_stream = block_words + T::WORDS + 2; // reader buffer + tree slot
-    ((config.mem_capacity().saturating_sub(block_words)) / per_stream).max(2)
+    ((budget.saturating_sub(block_words)) / per_stream).max(2)
 }
 
 /// Merge up to `fan_in` sorted runs into one sorted file using a loser
 /// tree. Memory: one block buffer per input run + one output buffer +
 /// `O(k)` tree state — within `M` for `k ≤ M/B − 2`.
 pub fn merge_once<T: Record>(ctx: &EmContext, runs: &[EmFile<T>]) -> Result<EmFile<T>> {
-    let readers: Vec<_> = runs.iter().map(|r| r.reader()).collect();
+    let readers: Vec<_> = runs.iter().map(|r| r.reader()).collect::<Result<_>>()?;
     let mut tree = LoserTree::with_tracking(readers, ctx.mem())?;
     let mut w = ctx.writer::<T>()?;
     while let Some(x) = tree.pop()? {
@@ -33,41 +45,74 @@ pub fn merge_once<T: Record>(ctx: &EmContext, runs: &[EmFile<T>]) -> Result<EmFi
 /// `ceil(log_{fan_in}(#runs))` passes are needed — the classical
 /// `O((N/B)·lg_{M/B}(N/B))` sort bound when runs come from run formation.
 pub fn merge_runs<T: Record>(ctx: &EmContext, mut runs: Vec<EmFile<T>>) -> Result<EmFile<T>> {
-    merge_runs_with_fan_in(ctx, &mut runs, max_merge_fan_in::<T>(ctx.config()))
+    merge_runs_with_fan_in(ctx, &mut runs, usize::MAX)
 }
 
 /// [`merge_runs`] with an explicit fan-in (exposed for the fan-in ablation
-/// experiment EX-A2). `fan_in` is clamped to `[2, M/B − 2]`.
+/// experiment EX-A2). `fan_in` is re-clamped to `[2, max_merge_fan_in_now]`
+/// at every pass boundary, so a governor squeeze between passes narrows the
+/// fan-in of subsequent passes (more passes, same output) instead of
+/// busting the budget.
 pub fn merge_runs_with_fan_in<T: Record>(
     ctx: &EmContext,
     runs: &mut Vec<EmFile<T>>,
     fan_in: usize,
 ) -> Result<EmFile<T>> {
-    let fan_in = fan_in.clamp(2, max_merge_fan_in::<T>(ctx.config()));
     if runs.is_empty() {
         return ctx.create_file::<T>();
     }
     while runs.len() > 1 {
-        let mut next: Vec<EmFile<T>> = Vec::with_capacity(runs.len().div_ceil(fan_in));
-        let mut group: Vec<EmFile<T>> = Vec::with_capacity(fan_in);
-        for r in runs.drain(..) {
-            group.push(r);
-            if group.len() == fan_in {
-                next.push(merge_once(ctx, &group)?);
-                group.clear();
+        let mut next: Vec<EmFile<T>> = Vec::new();
+        let mut iter = std::mem::take(runs).into_iter();
+        loop {
+            // The clamp is re-read per *group*, so a squeeze landing
+            // mid-pass narrows the very next group, not just the next
+            // pass.
+            let fan = fan_in.clamp(2, max_merge_fan_in_now::<T>(ctx));
+            let group: Vec<EmFile<T>> = iter.by_ref().take(fan).collect();
+            match group.len() {
+                0 => break,
+                // A lone leftover run moves to the next pass unmerged —
+                // merging it alone would copy every block for nothing.
+                1 => {
+                    next.extend(group);
+                    break;
+                }
+                _ => merge_group_adaptive(ctx, group, &mut next)?,
             }
-        }
-        if group.len() > 1 {
-            next.push(merge_once(ctx, &group)?);
-        } else if let Some(lone) = group.pop() {
-            // A lone leftover run moves to the next pass unmerged — merging
-            // it alone would copy every block for nothing.
-            next.push(lone);
         }
         *runs = next;
     }
     runs.pop()
         .ok_or_else(|| EmError::config("merge pass produced no output run"))
+}
+
+/// Merge `group` into `out`, splitting the group in half and retrying when
+/// the reader buffers no longer fit a freshly squeezed budget. The halves
+/// land in the current pass's output and are merged by a later pass, so
+/// the result is identical — just more passes. Only a budget too small for
+/// even a 2-way merge surfaces the typed error.
+fn merge_group_adaptive<T: Record>(
+    ctx: &EmContext,
+    mut group: Vec<EmFile<T>>,
+    out: &mut Vec<EmFile<T>>,
+) -> Result<()> {
+    if group.len() == 1 {
+        out.extend(group);
+        return Ok(());
+    }
+    match merge_once(ctx, &group) {
+        Ok(f) => {
+            out.push(f);
+            Ok(())
+        }
+        Err(EmError::MemoryExceeded { .. }) if group.len() > 2 => {
+            let right = group.split_off(group.len() / 2);
+            merge_group_adaptive(ctx, group, out)?;
+            merge_group_adaptive(ctx, right, out)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ use std::sync::Mutex;
 use emcore::{EmContext, EmError, EmFile, MemCharge, Record, Result};
 
 use crate::loser_tree::{LoserTree, Source};
-use crate::merge::{max_merge_fan_in, merge_once};
+use crate::merge::{max_merge_fan_in_now, merge_once};
 use crate::runs::working_capacity;
 use crate::sort::external_sort_with;
 use crate::RunFormation;
@@ -154,7 +154,7 @@ fn form_runs_block_ranges<T: Record>(
                 let mut scratch: Vec<T> = Vec::new();
                 let _scratch_charge = wctx
                     .mem()
-                    .charge(bs * T::WORDS, "parallel chunk read block");
+                    .try_charge(bs * T::WORDS, "parallel chunk read block")?;
                 loop {
                     let seq = next.fetch_add(1, Ordering::Relaxed);
                     let start = seq.saturating_mul(cap);
@@ -170,7 +170,7 @@ fn form_runs_block_ranges<T: Record>(
                     let run = (|| -> Result<EmFile<T>> {
                         let charge = wctx
                             .mem()
-                            .charge(cap * T::WORDS, "parallel run formation chunk");
+                            .try_charge(cap * T::WORDS, "parallel run formation chunk")?;
                         let mut chunk: Vec<T> = Vec::with_capacity(len);
                         let first = (start / bs) as u64;
                         for b in first..first + len.div_ceil(bs) as u64 {
@@ -279,12 +279,19 @@ fn form_runs_shipped<T: Record>(
         // sequential load-sort formation.
         let mut scan_err: Option<EmError> = None;
         {
-            let mut reader = input.reader();
+            let mut reader = input.reader()?;
             let mut seq = 0usize;
             'scan: loop {
-                let charge = ctx
+                let charge = match ctx
                     .mem()
-                    .charge(cap * T::WORDS, "parallel run formation chunk");
+                    .try_charge(cap * T::WORDS, "parallel run formation chunk")
+                {
+                    Ok(c) => c,
+                    Err(e) => {
+                        scan_err = Some(e);
+                        break 'scan;
+                    }
+                };
                 let mut chunk: Vec<T> = Vec::with_capacity(cap);
                 while chunk.len() < cap {
                     match reader.next() {
@@ -341,13 +348,15 @@ fn parallel_merge<T: Record>(
     workers: usize,
     parent: u64,
 ) -> Result<EmFile<T>> {
-    let fan_in = fan_in.clamp(2, max_merge_fan_in::<T>(ctx.config()));
     if runs.is_empty() {
         return ctx.create_file::<T>();
     }
     while runs.len() > 1 {
         // Same grouping as the sequential merge: consecutive groups of
-        // `fan_in`, with a lone leftover run carried over unmerged.
+        // `fan_in`, with a lone leftover run carried over unmerged. The
+        // clamp is re-read per pass so a governor squeeze narrows later
+        // passes instead of overcommitting.
+        let fan_in = fan_in.clamp(2, max_merge_fan_in_now::<T>(ctx));
         let mut groups: Vec<Vec<EmFile<T>>> = Vec::with_capacity(runs.len().div_ceil(fan_in));
         let mut group: Vec<EmFile<T>> = Vec::with_capacity(fan_in);
         for r in runs.drain(..) {
@@ -370,10 +379,8 @@ fn parallel_merge<T: Record>(
             let only = groups.pop().expect("non-empty by construction");
             if only.len() == 1 {
                 only // lone leftover: carried unmerged
-            } else if overlap {
-                vec![merge_once_prefetch(ctx, &only)?]
             } else {
-                vec![merge_once(ctx, &only)?]
+                vec![merge_group(ctx, &only, overlap)?]
             }
         } else {
             merge_groups_parallel(ctx, groups, workers, overlap, parent)?
@@ -423,11 +430,7 @@ fn merge_groups_parallel<T: Record>(
                     let _unit = ctx
                         .stats()
                         .trace_span_under(parent, || format!("unit/merge-group#{i}"));
-                    if overlap {
-                        merge_once_prefetch(ctx, &group)
-                    } else {
-                        merge_once(ctx, &group)
-                    }
+                    merge_group(ctx, &group, overlap)
                 };
                 *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(merged);
             });
@@ -484,6 +487,25 @@ impl<T: Record> Source<T> for ChannelSource<T> {
     }
 }
 
+/// Merge one group, preferring the overlapped (prefetch + write-behind)
+/// path. If the prefetch pipeline's extra block buffers no longer fit a
+/// squeezed budget, fall back to the plain single-threaded merge, which
+/// needs only one buffer per run — degrade, don't fail.
+fn merge_group<T: Record>(
+    ctx: &EmContext,
+    group: &[EmFile<T>],
+    overlap: bool,
+) -> Result<EmFile<T>> {
+    if overlap {
+        match merge_once_prefetch(ctx, group) {
+            Err(EmError::MemoryExceeded { .. }) => merge_once(ctx, group),
+            r => r,
+        }
+    } else {
+        merge_once(ctx, group)
+    }
+}
+
 /// [`merge_once`], but each input run is read ahead by its own prefetch
 /// thread and full output blocks are handed to a dedicated writer thread,
 /// so device reads, the loser-tree computation, and device writes all
@@ -501,10 +523,12 @@ fn merge_once_prefetch<T: Record>(ctx: &EmContext, runs: &[EmFile<T>]) -> Result
             let pctx = ctx.clone();
             s.spawn(move || {
                 for block in 0..run.num_blocks() {
-                    let charge = pctx.mem().charge(block_words, "merge prefetch batch");
                     let mut batch = Vec::new();
-                    let msg = match run.read_block_into(block, &mut batch) {
-                        Ok(()) => Ok((batch, charge)),
+                    let msg = match pctx.mem().try_charge(block_words, "merge prefetch batch") {
+                        Ok(charge) => match run.read_block_into(block, &mut batch) {
+                            Ok(()) => Ok((batch, charge)),
+                            Err(e) => Err(e),
+                        },
                         Err(e) => Err(e),
                     };
                     let failed = msg.is_err();
@@ -539,14 +563,14 @@ fn merge_once_prefetch<T: Record>(ctx: &EmContext, runs: &[EmFile<T>]) -> Result
         let merged: Result<()> = (|| {
             let mut tree = LoserTree::with_tracking(sources, ctx.mem())?;
             let mut buf: Vec<T> = Vec::with_capacity(bs);
-            let mut charge = ctx.mem().charge(block_words, "merge output batch");
+            let mut charge = ctx.mem().try_charge(block_words, "merge output batch")?;
             while let Some(x) = tree.pop()? {
                 buf.push(x);
                 if buf.len() == bs {
                     let full = std::mem::replace(&mut buf, Vec::with_capacity(bs));
                     let c = std::mem::replace(
                         &mut charge,
-                        ctx.mem().charge(block_words, "merge output batch"),
+                        ctx.mem().try_charge(block_words, "merge output batch")?,
                     );
                     if wtx.send((full, c)).is_err() {
                         return Ok(()); // writer bailed: its error surfaces below

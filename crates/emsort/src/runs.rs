@@ -13,7 +13,7 @@
 
 use std::collections::BinaryHeap;
 
-use emcore::{EmContext, EmFile, Record, Result};
+use emcore::{EmContext, EmError, EmFile, Record, Result, TrackedVec};
 
 /// How initial runs are formed by [`crate::external_sort_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,16 +32,48 @@ pub(crate) fn working_capacity<T: Record>(ctx: &EmContext) -> usize {
     ctx.mem_records::<T>().saturating_sub(2 * b).max(b)
 }
 
+/// Reserve a load buffer of up to `want` records, halving the request on a
+/// budget rejection down to `floor` (one block). Under a governor squeeze
+/// or tenant contention, run formation degrades to shorter runs instead of
+/// failing; only a budget too small for even one block surfaces the typed
+/// [`EmError::MemoryExceeded`].
+pub(crate) fn adaptive_load_buffer<T: Record>(
+    ctx: &EmContext,
+    want: usize,
+    context: &str,
+) -> Result<(TrackedVec<T>, usize)> {
+    let floor = ctx.config().block_size().max(1);
+    let mut cap = want.max(floor);
+    loop {
+        match ctx.try_tracked_vec::<T>(cap, context) {
+            Ok(v) => return Ok((v, cap)),
+            Err(e @ EmError::MemoryExceeded { .. }) => {
+                if cap <= floor {
+                    return Err(e);
+                }
+                cap = (cap / 2).max(floor);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Form sorted runs by loading `≈ M` records at a time and sorting in
 /// memory. Costs one read and one write per input block: `2·ceil(N/B)` I/Os.
 pub fn form_runs_load_sort<T: Record>(input: &EmFile<T>) -> Result<Vec<EmFile<T>>> {
     let ctx = input.ctx().clone();
-    let cap = working_capacity::<T>(&ctx);
     let mut runs = Vec::new();
-    let mut load = ctx.tracked_vec::<T>(cap, "run formation load buffer");
-    let mut reader = input.reader();
+    let mut reader = input.reader()?;
     loop {
-        load.clear();
+        // Every allocation this batch needs happens here, at the batch
+        // boundary: the writer's block buffer first, then the load buffer
+        // sized against the live (possibly squeezed or restored) budget,
+        // halving on rejection. A squeeze landing mid-batch therefore
+        // cannot fail the batch — it takes effect at the next boundary as
+        // a shorter run. (An unused writer drops cleanly on EOF.)
+        let mut w = ctx.writer::<T>()?;
+        let want = working_capacity::<T>(&ctx);
+        let (mut load, cap) = adaptive_load_buffer::<T>(&ctx, want, "run formation load buffer")?;
         while load.len() < cap {
             match reader.next()? {
                 Some(x) => load.push(x),
@@ -52,7 +84,6 @@ pub fn form_runs_load_sort<T: Record>(input: &EmFile<T>) -> Result<Vec<EmFile<T>
             break;
         }
         load.sort_unstable_by_key(|r| r.key());
-        let mut w = ctx.writer::<T>()?;
         w.push_all(&load)?;
         runs.push(w.finish()?);
         if load.len() < cap {
@@ -93,15 +124,30 @@ impl<T: Record> Ord for HeapItem<T> {
 /// `2·ceil(N/B)` I/O cost.
 pub fn form_runs_replacement_selection<T: Record>(input: &EmFile<T>) -> Result<Vec<EmFile<T>>> {
     let ctx = input.ctx().clone();
-    let cap = working_capacity::<T>(&ctx);
     // The heap + parked buffer jointly hold at most `cap` records; charge
     // them as one region (BinaryHeap's storage is not a TrackedVec, so the
-    // charge is taken explicitly).
-    let _charge = ctx
-        .mem()
-        .charge(cap * T::WORDS, "replacement selection working set");
+    // charge is taken explicitly), halving on rejection like the load-sort
+    // path. The heap lives for the whole job, so the budget read here is
+    // the admission point; squeezes land on the next job.
+    let floor = ctx.config().block_size().max(1);
+    let mut cap = working_capacity::<T>(&ctx).max(floor);
+    let _charge = loop {
+        match ctx
+            .mem()
+            .try_charge(cap * T::WORDS, "replacement selection working set")
+        {
+            Ok(c) => break c,
+            Err(e @ EmError::MemoryExceeded { .. }) => {
+                if cap <= floor {
+                    return Err(e);
+                }
+                cap = (cap / 2).max(floor);
+            }
+            Err(e) => return Err(e),
+        }
+    };
 
-    let mut reader = input.reader();
+    let mut reader = input.reader()?;
     let mut runs: Vec<EmFile<T>> = Vec::new();
     let mut heap: BinaryHeap<HeapItem<T>> = BinaryHeap::with_capacity(cap);
     let mut parked: Vec<T> = Vec::with_capacity(cap);
@@ -142,7 +188,7 @@ pub fn form_runs_replacement_selection<T: Record>(input: &EmFile<T>) -> Result<V
 
 /// Verify that `file` is sorted by key (one scan; charges its reads).
 pub fn is_sorted<T: Record>(file: &EmFile<T>) -> Result<bool> {
-    let mut r = file.reader();
+    let mut r = file.reader()?;
     let mut prev: Option<T::Key> = None;
     while let Some(x) = r.next()? {
         if let Some(p) = prev {

@@ -25,7 +25,7 @@ fn main() -> Result<()> {
 
     // --- 3. Every scan costs exactly ceil(N/B) reads. ---
     let before = ctx.stats().snapshot();
-    let mut reader = file.reader();
+    let mut reader = file.reader()?;
     let mut sum = 0u64;
     while let Some(x) = reader.next()? {
         sum += x;

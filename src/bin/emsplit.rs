@@ -37,6 +37,16 @@
 //! `--trace FILE` streams a JSONL I/O trace of the run (render it with the
 //! `trace_report` tool); `--trace-summary` prints the span tree and
 //! per-file access summary to stderr without writing a file.
+//!
+//! `--mem-squeeze W` ratchets the live memory budget down to `W` words a
+//! few milliseconds into the run (`--squeeze-at-ms D`, default 5) and
+//! optionally restores it (`--restore-at-ms R`) — a CLI harness for the
+//! memory governor's mid-run reclaim path. Algorithms adapt at phase
+//! boundaries (smaller runs, narrower fan-in/fan-out) and produce
+//! bit-identical output. `--mem-governor` adds governor gauges (budget,
+//! leases, denials, reclaims) to the `--stats` report. For `serve`,
+//! `--lease-floor W` reserves a per-dataset memory floor with the governor
+//! and `--lease-weight X` sets its fair-share weight.
 
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
@@ -138,7 +148,39 @@ fn config(args: &Args) -> EmConfig {
 }
 
 fn machine(args: &Args) -> EmContext {
-    EmContext::new_in_memory(config(args))
+    let ctx = EmContext::new_in_memory(config(args));
+    setup_squeeze(&ctx, args);
+    ctx
+}
+
+/// With `--mem-squeeze W`, ratchet the live budget down to `W` words
+/// `--squeeze-at-ms` milliseconds into the run, and back to the configured
+/// `M` after `--restore-at-ms` (0 = never restore). Runs detached: the
+/// squeeze lands mid-job and the algorithms adapt at their next phase
+/// boundary.
+fn setup_squeeze(ctx: &EmContext, args: &Args) {
+    let target = args.flag_u64("mem-squeeze", 0) as usize;
+    if target == 0 {
+        return;
+    }
+    let at = args.flag_u64("squeeze-at-ms", 5);
+    let restore = args.flag_u64("restore-at-ms", 0);
+    let full = ctx.config().mem_capacity();
+    let ctx = ctx.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(at));
+        match ctx.set_mem_budget(target) {
+            Ok(got) => eprintln!("[governor] squeezed budget to {got} words"),
+            Err(e) => eprintln!("[governor] squeeze failed: {e}"),
+        }
+        if restore > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(restore));
+            match ctx.set_mem_budget(full) {
+                Ok(_) => eprintln!("[governor] restored budget to {full} words"),
+                Err(e) => eprintln!("[governor] restore failed: {e}"),
+            }
+        }
+    });
 }
 
 fn load(ctx: &EmContext, path: &Path) -> EmFile<u64> {
@@ -213,8 +255,30 @@ fn finish_trace(ctx: &EmContext, setup: TraceSetup) {
     }
 }
 
-fn print_stats(ctx: &EmContext) {
+fn print_stats(ctx: &EmContext, args: &Args) {
     let c = ctx.stats().snapshot();
+    if args.has("mem-governor") || c.mem_denials != 0 || c.mem_reclaims != 0 {
+        eprintln!(
+            "[stats] memory: budget {} / {} words configured; {} denials, {} reclaims",
+            ctx.mem_budget(),
+            ctx.config().mem_capacity(),
+            c.mem_denials,
+            c.mem_reclaims
+        );
+    }
+    if args.has("mem-governor") {
+        let g = ctx.governor().snapshot();
+        eprintln!(
+            "[governor] total={} floors={} denials={} squeezes={} restores={}",
+            g.total, g.floor_total, g.denials, g.squeezes, g.restores
+        );
+        for l in &g.leases {
+            eprintln!(
+                "[governor]   lease {} floor={} weight={} granted={}",
+                l.name, l.floor, l.weight, l.granted
+            );
+        }
+    }
     eprintln!(
         "[stats] {} I/Os ({} reads, {} writes); peak memory {} / {} words",
         c.total_ios(),
@@ -289,8 +353,8 @@ fn main() -> ExitCode {
             for s in &sp {
                 writeln!(out, "{s}").expect("stdout");
             }
-            if args.has("stats") {
-                print_stats(&ctx);
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
             }
             finish_trace(&ctx, trace);
         }
@@ -323,8 +387,8 @@ fn main() -> ExitCode {
                 write_keys(&out_dir.join(format!("part-{i:04}.bin")), &keys);
             }
             eprintln!("wrote {} partitions to {}", parts.len(), out_dir.display());
-            if args.has("stats") {
-                print_stats(&ctx);
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
             }
             finish_trace(&ctx, trace);
         }
@@ -349,8 +413,8 @@ fn main() -> ExitCode {
             for s in &qs {
                 writeln!(out, "{s}").expect("stdout");
             }
-            if args.has("stats") {
-                print_stats(&ctx);
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
             }
             finish_trace(&ctx, trace);
         }
@@ -385,8 +449,8 @@ fn main() -> ExitCode {
             for x in &ans {
                 writeln!(out, "{x}").expect("stdout");
             }
-            if args.has("stats") {
-                print_stats(&ctx);
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
             }
             finish_trace(&ctx, trace);
         }
@@ -400,6 +464,7 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", store.display())));
             let ctx = EmContext::new_on_disk(config(&args), &store)
                 .unwrap_or_else(|e| die(&format!("cannot open store {}: {e}", store.display())));
+            setup_squeeze(&ctx, &args);
             let trace = setup_trace(&ctx, &args);
             let defaults = ServeOptions::default();
             let deadline_ms = args.flag_u64("deadline-ms", 0);
@@ -418,6 +483,8 @@ fn main() -> ExitCode {
                 probe_cooldown: std::time::Duration::from_millis(
                     args.flag_u64("probe-ms", defaults.probe_cooldown.as_millis() as u64),
                 ),
+                lease_floor: args.flag_u64("lease-floor", 0) as usize,
+                lease_weight: args.flag_u64("lease-weight", 1) as u32,
                 ..defaults
             };
             let stdin = std::io::stdin();
@@ -431,7 +498,8 @@ fn main() -> ExitCode {
             .unwrap_or_else(|e| die(&format!("serve failed: {e}")));
             eprintln!(
                 "[serve] {} queries in {} batches; {} index hits, {} selected; \
-                 {} failed ({} quarantined), {} shed, {} degraded, {} breaker trips",
+                 {} failed ({} quarantined), {} shed, {} degraded ({} on memory), \
+                 {} breaker trips; budget {} words, {} leases (floor {}), {} lease denials",
                 report.queries,
                 report.batches,
                 report.index_hits,
@@ -440,10 +508,15 @@ fn main() -> ExitCode {
                 report.quarantined,
                 report.shed,
                 report.degraded,
-                report.breaker_trips
+                report.mem_degraded,
+                report.breaker_trips,
+                report.mem_budget_words,
+                report.leases,
+                report.lease_floor_words,
+                report.lease_denials
             );
-            if args.has("stats") {
-                print_stats(&ctx);
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
             }
             finish_trace(&ctx, trace);
         }
@@ -471,8 +544,8 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|e| die(&format!("read-back failed: {e}")));
             write_keys(&out_path, &keys);
             eprintln!("sorted {} records into {}", keys.len(), out_path.display());
-            if args.has("stats") {
-                print_stats(&ctx);
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
             }
             finish_trace(&ctx, trace);
         }

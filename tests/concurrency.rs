@@ -150,7 +150,7 @@ fn fault_injection_counters_are_race_free() {
         for f in &files {
             s.spawn(move || {
                 for _ in 0..2 {
-                    let mut r = f.reader();
+                    let mut r = f.reader().unwrap();
                     let mut count = 0u64;
                     while r.next().unwrap().is_some() {
                         count += 1;

@@ -12,7 +12,7 @@ fn scan_costs_exactly_ceil_n_over_b() {
         let ctx = EmContext::new_in_memory(EmConfig::new(m, b).unwrap());
         let f = materialize(&ctx, Workload::UniformPerm, n, 1).unwrap();
         let before = ctx.stats().snapshot();
-        let mut r = f.reader();
+        let mut r = f.reader().unwrap();
         let mut cnt = 0u64;
         while r.next().unwrap().is_some() {
             cnt += 1;
