@@ -1,0 +1,15 @@
+//! EX-OBS observability campaign: see DESIGN.md per-experiment index.
+//! Exits nonzero if any live scrape violated conservation, percentile
+//! monotonicity, breaker-gauge honesty, or the warm-beats-cold
+//! inequality — the CI metrics-smoke gate.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (_, clean) = bench::run_obs(bench::Scale::from_env());
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[EX-OBS] campaign found sick cells");
+        ExitCode::FAILURE
+    }
+}

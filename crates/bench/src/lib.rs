@@ -20,6 +20,7 @@ pub mod crash_sweep;
 pub mod experiments;
 pub mod harness;
 pub mod mem_squeeze;
+pub mod obs;
 pub mod serve_bench;
 pub mod serve_chaos;
 
@@ -27,5 +28,8 @@ pub use crash_sweep::{ex_recovery, run_campaign, sweep, Algo, Backend, SweepOutc
 pub use experiments::*;
 pub use harness::{bench_config, bench_ctx, emit, fnum, measure, Scale, Table};
 pub use mem_squeeze::{ex_squeeze, run_squeeze, SqueezeOutcome};
+pub use obs::{
+    chaos_scrape_cell, ex_obs, run_obs, squeeze_scrape_cell, warm_cold_cell, ObsOutcome,
+};
 pub use serve_bench::ex_serve;
 pub use serve_chaos::{chaos_cell, ex_chaos, reopen_after_kill, run_chaos, ChaosOutcome, Schedule};

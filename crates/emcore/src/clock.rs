@@ -1,0 +1,123 @@
+//! Time sources for the runtime's schedulers and samplers.
+//!
+//! Everything in the workspace that *reads* time — the serve scheduler's
+//! batching window and deadlines, the circuit-breaker cooldowns, the
+//! metrics [`crate::metrics::Sampler`] timestamps — goes through the
+//! [`Clock`] trait instead of calling [`std::time::Instant::now`]
+//! directly. Production code uses [`WallClock`]; tests install a
+//! [`ManualClock`] on the context ([`crate::EmContext::set_clock`]) and
+//! advance it explicitly, turning timing-dependent behavior (deadline
+//! shedding, breaker half-open transitions) into deterministic unit
+//! tests instead of sleep-and-hope ones.
+//!
+//! The unit is microseconds since the clock's own epoch: every consumer
+//! only ever subtracts two readings, so the epoch is arbitrary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone microsecond counter. Implementations must never go
+/// backwards.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds elapsed since this clock's epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// The real wall clock: microseconds since the instant the clock was
+/// created (monotonic, via [`Instant`]).
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A clock that only moves when told to — share one (via `Arc`) between
+/// a test and the component under test, then [`ManualClock::advance`]
+/// past deadlines and cooldowns deterministically.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start_us`.
+    pub fn new(start_us: u64) -> Self {
+        ManualClock {
+            now: AtomicU64::new(start_us),
+        }
+    }
+
+    /// Move the clock forward by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute reading. Panics (debug) if it would go
+    /// backwards — clocks are monotone.
+    pub fn set(&self, us: u64) {
+        let prev = self.now.swap(us, Ordering::SeqCst);
+        debug_assert!(us >= prev, "ManualClock must not go backwards");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new(100);
+        assert_eq!(c.now_us(), 100);
+        assert_eq!(c.now_us(), 100);
+        c.advance(50);
+        assert_eq!(c.now_us(), 150);
+        c.set(1_000);
+        assert_eq!(c.now_us(), 1_000);
+    }
+
+    #[test]
+    fn manual_clock_is_shareable_across_threads() {
+        let c = std::sync::Arc::new(ManualClock::new(0));
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || {
+            c2.advance(10);
+            c2.now_us()
+        });
+        assert_eq!(h.join().unwrap(), 10);
+        assert_eq!(c.now_us(), 10);
+    }
+}

@@ -6,12 +6,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::clock::{Clock, WallClock};
 use crate::config::EmConfig;
 use crate::error::Result;
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::file::{EmFile, Writer};
 use crate::governor::MemoryGovernor;
 use crate::memory::{MemCharge, MemoryTracker, TrackedVec};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::pool::BlockCache;
 use crate::record::Record;
 use crate::stats::IoStats;
@@ -48,6 +50,18 @@ pub(crate) struct CtxInner {
     /// Committed journal documents on the memory backend (the directory
     /// backend stores them as `<name>.journal` files instead).
     journals: Mutex<HashMap<String, String>>,
+    /// Live metrics. Disabled by default — mirroring the tracer, a
+    /// disabled registry costs one branch per record site and a run is
+    /// bit-identical to one without metrics at all.
+    pub(crate) metrics: MetricsRegistry,
+    /// Physical-transfer latency fed by the device layer (µs per
+    /// [`crate::file`] `device_read`).
+    pub(crate) device_read_us: Histogram,
+    /// Physical-transfer latency per `device_write`.
+    pub(crate) device_write_us: Histogram,
+    /// The time source consumers (serve scheduler, samplers) should read.
+    /// Swappable so tests install a [`crate::clock::ManualClock`].
+    clock: Mutex<Arc<dyn Clock>>,
 }
 
 impl Drop for CtxInner {
@@ -137,6 +151,15 @@ impl EmContext {
     fn build(config: EmConfig, backing: Backing, strict: bool) -> Self {
         let stats = IoStats::new();
         let tracer = stats.tracer();
+        let metrics = MetricsRegistry::new();
+        let device_read_us = metrics.histogram(
+            "em_device_read_us",
+            "physical block-read latency in microseconds",
+        );
+        let device_write_us = metrics.histogram(
+            "em_device_write_us",
+            "physical block-write latency in microseconds",
+        );
         Self {
             inner: Arc::new(CtxInner {
                 config,
@@ -152,6 +175,10 @@ impl EmContext {
                 retry_policy: Mutex::new(RetryPolicy::NONE),
                 backoff_ticks: AtomicU64::new(0),
                 journals: Mutex::new(HashMap::new()),
+                metrics,
+                device_read_us,
+                device_write_us,
+                clock: Mutex::new(Arc::new(WallClock::new())),
             }),
         }
     }
@@ -205,6 +232,30 @@ impl EmContext {
     /// the end event, flush and drop the sink, disable tracing.
     pub fn finish_trace(&self) {
         self.inner.tracer.finish();
+    }
+
+    /// The live metrics registry shared by every layer running on this
+    /// context. Disabled until [`crate::metrics::MetricsRegistry::set_enabled`];
+    /// while disabled every record site is a single branch and the run is
+    /// bit-identical to an uninstrumented one.
+    #[inline]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The time source consumers of this context should read (serve
+    /// scheduler deadlines, metric sample timestamps). [`WallClock`] by
+    /// default.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        lock_ok(&self.inner.clock).clone()
+    }
+
+    /// Swap the time source — tests install a
+    /// [`crate::clock::ManualClock`] to drive deadline and cooldown logic
+    /// deterministically. Consumers that cached the previous clock keep
+    /// it; install before starting servers or samplers.
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *lock_ok(&self.inner.clock) = clock;
     }
 
     /// How many records of type `T` fit in memory: `M / T::WORDS`, where

@@ -309,7 +309,26 @@ impl<T: Record> EmFile<T> {
     }
 
     /// One device read attempt: consult the fault plan, transfer, verify.
+    /// Feeds the physical-transfer latency histogram when metrics are
+    /// live; disabled metrics cost exactly one branch here.
     fn device_read(&self, block: u64, count: usize, buf: &mut Vec<T>) -> Result<()> {
+        let t0 = self
+            .ctx
+            .inner
+            .metrics
+            .enabled()
+            .then(std::time::Instant::now);
+        let r = self.device_read_raw(block, count, buf);
+        if let Some(t0) = t0 {
+            self.ctx
+                .inner
+                .device_read_us
+                .record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        }
+        r
+    }
+
+    fn device_read_raw(&self, block: u64, count: usize, buf: &mut Vec<T>) -> Result<()> {
         let injected = consult_plan(&self.ctx, IoOp::Read, self.id)?;
         buf.clear();
         match &self.storage {
@@ -361,8 +380,26 @@ impl<T: Record> EmFile<T> {
         Ok(())
     }
 
-    /// One device write attempt into block slot `slot`.
+    /// One device write attempt into block slot `slot`. Timed like
+    /// [`Self::device_read`].
     fn device_write(&mut self, slot: u64, data: &[T]) -> Result<()> {
+        let t0 = self
+            .ctx
+            .inner
+            .metrics
+            .enabled()
+            .then(std::time::Instant::now);
+        let r = self.device_write_raw(slot, data);
+        if let Some(t0) = t0 {
+            self.ctx
+                .inner
+                .device_write_us
+                .record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        }
+        r
+    }
+
+    fn device_write_raw(&mut self, slot: u64, data: &[T]) -> Result<()> {
         let injected = consult_plan(&self.ctx, IoOp::Write, self.id)?;
         match &mut self.storage {
             Storage::Mem(blocks) => {

@@ -52,6 +52,7 @@
 #![deny(unsafe_code)]
 
 mod checksum;
+pub mod clock;
 mod config;
 mod ctx;
 mod error;
@@ -60,6 +61,7 @@ mod file;
 pub mod governor;
 mod journal;
 mod memory;
+pub mod metrics;
 mod pool;
 mod record;
 pub mod recovery;
@@ -70,6 +72,7 @@ mod stats;
 pub mod trace;
 
 pub use checksum::block_checksum;
+pub use clock::{Clock, ManualClock, WallClock};
 pub use config::EmConfig;
 pub use ctx::EmContext;
 pub use error::{EmError, Result};
@@ -78,6 +81,10 @@ pub use file::{EmFile, Reader, Writer};
 pub use governor::{GovernorSnapshot, Lease, LeaseInfo, MemoryGovernor};
 pub use journal::{from_hex, to_hex, Journal, JournalState};
 pub use memory::{MemCharge, MemoryTracker, TrackedVec};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSample, MetricsRegistry,
+    MetricsSnapshot, Sampler,
+};
 pub use pool::{BlockCache, PinnedBlock};
 pub use record::{Indexed, KeyValue, Record, Tagged};
 pub use recovery::{run_recoverable, RecoverableJob};

@@ -303,12 +303,14 @@ pub fn escape_json(s: &str, out: &mut String) {
     }
 }
 
-struct JsonObj {
+/// Incremental builder for the flat JSON objects the trace and metrics
+/// codecs emit (shared crate-internally; see [`crate::metrics`]).
+pub(crate) struct JsonObj {
     buf: String,
 }
 
 impl JsonObj {
-    fn new(event: &str) -> Self {
+    pub(crate) fn new(event: &str) -> Self {
         let mut buf = String::with_capacity(96);
         buf.push_str("{\"e\":\"");
         buf.push_str(event);
@@ -316,7 +318,7 @@ impl JsonObj {
         Self { buf }
     }
 
-    fn num(&mut self, key: &str, v: u64) -> &mut Self {
+    pub(crate) fn num(&mut self, key: &str, v: u64) -> &mut Self {
         self.buf.push_str(",\"");
         self.buf.push_str(key);
         self.buf.push_str("\":");
@@ -332,7 +334,7 @@ impl JsonObj {
         self
     }
 
-    fn str_(&mut self, key: &str, v: &str) -> &mut Self {
+    pub(crate) fn str_(&mut self, key: &str, v: &str) -> &mut Self {
         self.buf.push_str(",\"");
         self.buf.push_str(key);
         self.buf.push_str("\":\"");
@@ -341,7 +343,7 @@ impl JsonObj {
         self
     }
 
-    fn arr(&mut self, key: &str, vals: &[u64]) -> &mut Self {
+    pub(crate) fn arr(&mut self, key: &str, vals: &[u64]) -> &mut Self {
         self.buf.push_str(",\"");
         self.buf.push_str(key);
         self.buf.push_str("\":[");
@@ -355,7 +357,7 @@ impl JsonObj {
         self
     }
 
-    fn finish(&mut self) -> String {
+    pub(crate) fn finish(&mut self) -> String {
         self.buf.push('}');
         std::mem::take(&mut self.buf)
     }
@@ -578,20 +580,20 @@ fn parse_fault(s: &str) -> Result<FaultKind, String> {
 
 /// A parsed JSON scalar in a trace line: the format only ever uses strings,
 /// unsigned integers, and arrays of unsigned integers.
-enum JVal {
+pub(crate) enum JVal {
     Str(String),
     Num(u64),
     Arr(Vec<u64>),
 }
 
-fn get_str(map: &BTreeMap<String, JVal>, key: &str) -> Result<String, String> {
+pub(crate) fn get_str(map: &BTreeMap<String, JVal>, key: &str) -> Result<String, String> {
     match map.get(key) {
         Some(JVal::Str(s)) => Ok(s.clone()),
         _ => Err(format!("missing string field {key:?}")),
     }
 }
 
-fn get_num_or_zero(map: &BTreeMap<String, JVal>, key: &str) -> u64 {
+pub(crate) fn get_num_or_zero(map: &BTreeMap<String, JVal>, key: &str) -> u64 {
     match map.get(key) {
         Some(JVal::Num(v)) => *v,
         _ => 0,
@@ -615,7 +617,7 @@ fn get_heat(map: &BTreeMap<String, JVal>, key: &str) -> Result<[u64; HEAT_BUCKET
 }
 
 /// Minimal JSON parser for the flat objects this module emits.
-fn parse_object(line: &str) -> Result<BTreeMap<String, JVal>, String> {
+pub(crate) fn parse_object(line: &str) -> Result<BTreeMap<String, JVal>, String> {
     let mut p = Parser {
         b: line.as_bytes(),
         i: 0,

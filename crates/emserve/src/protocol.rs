@@ -18,6 +18,9 @@
 //! flush                     answer queued queries, in submission order
 //! stats                     flush, then print service counters to err
 //! health                    flush, then print per-dataset breaker states
+//! metrics                   flush, then print the Prometheus-style text
+//!                           exposition of the context's metrics registry
+//!                           to err (framed by "ok metrics begin/end")
 //! quit                      flush and exit (EOF implies quit)
 //! ```
 //!
@@ -162,7 +165,8 @@ pub fn serve_lines(
                         err,
                         "ok stats queries={} batches={} index_hits={} selected={} answer_us={} \
                          failed={} quarantined={} shed={} degraded={} breaker_trips={} \
-                         mem_budget={} leases={} lease_floor={} lease_denials={} mem_degraded={}",
+                         mem_budget={} leases={} lease_floor={} lease_denials={} mem_degraded={} \
+                         queue_depth={} batch_occupancy={}",
                         r.queries,
                         r.batches,
                         r.index_hits,
@@ -177,8 +181,19 @@ pub fn serve_lines(
                         r.leases,
                         r.lease_floor_words,
                         r.lease_denials,
-                        r.mem_degraded
+                        r.mem_degraded,
+                        r.queue_depth,
+                        r.batch_occupancy
                     )?;
+                }
+                "metrics" => {
+                    flush(&mut queue, &mut out, &mut err)?;
+                    // Round-trip a report so the scheduler refreshes its
+                    // gauges (and quiesces) before the scrape.
+                    let _ = client.report()?;
+                    writeln!(err, "ok metrics begin")?;
+                    err.write_all(ctx.metrics().expose().as_bytes())?;
+                    writeln!(err, "ok metrics end")?;
                 }
                 "health" => {
                     flush(&mut queue, &mut out, &mut err)?;
@@ -267,6 +282,50 @@ mod tests {
         assert!(errs.contains("ok open ds 500"), "{errs}");
         assert!(errs.contains("ok stats queries=2 batches=1"), "{errs}");
         assert_eq!(report.queries, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_verb_scrapes_exposition_without_touching_answers() {
+        let dir = std::env::temp_dir().join(format!("emserve-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.bin");
+        let v: Vec<u64> = (0..300).rev().collect();
+        let bytes: Vec<u8> = v.iter().flat_map(|x| x.to_le_bytes()).collect();
+        std::fs::write(&data_path, bytes).unwrap();
+
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        ctx.metrics().set_enabled(true);
+        let script = format!(
+            "open ds {}\nrank ds 150\nmetrics\nstats\nquit\n",
+            data_path.display()
+        );
+        let mut out = Vec::new();
+        let mut errs = Vec::new();
+        let report = serve_lines(
+            &ctx,
+            ServeOptions::default(),
+            script.as_bytes(),
+            &mut out,
+            &mut errs,
+        )
+        .unwrap();
+        // The answer stream stays clean: just the one rank answer.
+        assert_eq!(String::from_utf8(out).unwrap().trim(), "149");
+        let errs = String::from_utf8(errs).unwrap();
+        assert!(errs.contains("ok metrics begin"), "{errs}");
+        assert!(errs.contains("ok metrics end"), "{errs}");
+        assert!(
+            errs.contains("# TYPE em_serve_query_e2e_us summary"),
+            "{errs}"
+        );
+        // The scrape conserves: one exact query recorded end to end.
+        assert!(
+            errs.contains("em_serve_query_e2e_us_count{ds=\"ds\",outcome=\"exact\"} 1"),
+            "{errs}"
+        );
+        assert!(errs.contains("queue_depth=0 batch_occupancy=1"), "{errs}");
+        assert_eq!(report.queries, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -47,9 +47,13 @@
 //! and [`DatasetHealth`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use emcore::clock::Clock;
+use emcore::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use emcore::{EmContext, EmError, EmFile, Lease, Record, Result, RetryPolicy};
 use emselect::MsOptions;
 
@@ -254,13 +258,20 @@ pub struct ServeReport {
     /// Queries answered approximately *because the exact pass ran out of
     /// memory budget* (subset of `degraded`).
     pub mem_degraded: u64,
+    /// Queries/batches admitted to the request queue but not yet pulled
+    /// by the scheduler (snapshot at report time).
+    pub queue_depth: u64,
+    /// Size of the most recently executed batch (snapshot; the live
+    /// distribution is in the `em_serve_batch_occupancy` histogram).
+    pub batch_occupancy: u64,
 }
 
 /// One client query awaiting an answer.
 struct Pending<T: Record> {
     ranks: Vec<u64>,
     opts: QueryOptions,
-    submitted: Instant,
+    /// Submission time on the server's [`Clock`] (µs).
+    submitted_us: u64,
     reply: mpsc::Sender<Result<QueryAnswer<T>>>,
 }
 
@@ -293,17 +304,26 @@ enum Req<T: Record> {
 pub struct QueryServer<T: Record> {
     tx: Option<SyncSender<Req<T>>>,
     handle: Option<std::thread::JoinHandle<ServeReport>>,
+    clock: Arc<dyn Clock>,
+    depth: Arc<AtomicU64>,
 }
 
 /// A cheap client handle; clone freely across threads.
 pub struct Client<T: Record> {
     tx: SyncSender<Req<T>>,
+    /// The server's time source — submission stamps must share the
+    /// scheduler's clock or queue-wait math would mix epochs.
+    clock: Arc<dyn Clock>,
+    /// Shared admitted-but-unpulled request count (the queue-depth gauge).
+    depth: Arc<AtomicU64>,
 }
 
 impl<T: Record> Clone for Client<T> {
     fn clone(&self) -> Self {
         Client {
             tx: self.tx.clone(),
+            clock: self.clock.clone(),
+            depth: self.depth.clone(),
         }
     }
 }
@@ -377,6 +397,7 @@ impl<T: Record> Client<T> {
     /// degraded mode).
     pub fn query_with(&self, name: &str, ranks: Vec<u64>, opts: QueryOptions) -> Result<Ticket<T>> {
         let (tx, rx) = mpsc::channel();
+        self.depth.fetch_add(1, Ordering::Relaxed);
         if self
             .tx
             .send(Req::Query {
@@ -384,12 +405,13 @@ impl<T: Record> Client<T> {
                 query: Box::new(Pending {
                     ranks,
                     opts,
-                    submitted: Instant::now(),
+                    submitted_us: self.clock.now_us(),
                     reply: tx,
                 }),
             })
             .is_err()
         {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
             return gone();
         }
         Ok(Ticket { rx })
@@ -415,17 +437,18 @@ impl<T: Record> Client<T> {
     ) -> Result<Vec<Ticket<T>>> {
         let mut tickets = Vec::with_capacity(queries.len());
         let mut payload = Vec::with_capacity(queries.len());
-        let now = Instant::now();
+        let now_us = self.clock.now_us();
         for (ranks, opts) in queries {
             let (tx, rx) = mpsc::channel();
             payload.push(Pending {
                 ranks,
                 opts,
-                submitted: now,
+                submitted_us: now_us,
                 reply: tx,
             });
             tickets.push(Ticket { rx });
         }
+        self.depth.fetch_add(1, Ordering::Relaxed);
         if self
             .tx
             .send(Req::Batch {
@@ -434,6 +457,7 @@ impl<T: Record> Client<T> {
             })
             .is_err()
         {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
             return gone();
         }
         Ok(tickets)
@@ -460,20 +484,163 @@ impl<T: Record> Client<T> {
     }
 }
 
-/// Per-dataset circuit-breaker bookkeeping.
+/// Per-dataset circuit-breaker bookkeeping. Times are [`Clock`] readings
+/// in µs, so tests drive the cooldown with a `ManualClock`.
 struct Breaker {
     state: BreakerState,
     consecutive: u32,
-    since: Instant,
+    since_us: u64,
 }
 
 impl Breaker {
-    fn new() -> Self {
+    fn new(now_us: u64) -> Self {
         Breaker {
             state: BreakerState::Closed,
             consecutive: 0,
-            since: Instant::now(),
+            since_us: now_us,
         }
+    }
+}
+
+/// Per-dataset instrument handles, registered lazily on first touch and
+/// cached — the hot path never re-enters the registry mutex.
+struct DsMetrics {
+    /// `em_serve_query_e2e_us{ds,outcome}` for outcome ∈ exact /
+    /// degraded / shed / failed. Every accepted query lands in exactly
+    /// one, so Σ counts conserves against [`ServeReport::queries`].
+    e2e: [Histogram; 4],
+    breaker_state: Gauge,
+    lease_words: Gauge,
+    trips: Counter,
+    restores: Counter,
+}
+
+/// Which of the four terminal outcomes a query resolved with.
+#[derive(Clone, Copy)]
+enum Outcome {
+    Exact = 0,
+    Degraded = 1,
+    Shed = 2,
+    Failed = 3,
+}
+
+impl Outcome {
+    fn label(self) -> &'static str {
+        match self {
+            Outcome::Exact => "exact",
+            Outcome::Degraded => "degraded",
+            Outcome::Shed => "shed",
+            Outcome::Failed => "failed",
+        }
+    }
+}
+
+/// The scheduler's live instruments. Registration happens at server
+/// start (global families) or first dataset touch (labeled children);
+/// records afterwards are lock-free, and with a disabled registry each
+/// is a single branch.
+struct ServeMetrics {
+    registry: MetricsRegistry,
+    queue_wait_us: Histogram,
+    batch_window_us: Histogram,
+    batch_occupancy: Histogram,
+    select_us: Histogram,
+    queue_depth: Gauge,
+    mem_budget: Gauge,
+    cache_blocks: Gauge,
+    datasets: BTreeMap<String, DsMetrics>,
+}
+
+impl ServeMetrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        ServeMetrics {
+            queue_wait_us: registry.histogram(
+                "em_serve_queue_wait_us",
+                "admission-queue wait per query: submission to batch execution start",
+            ),
+            batch_window_us: registry.histogram(
+                "em_serve_batch_window_us",
+                "coalescing wait per batch: earliest submission to execution start",
+            ),
+            batch_occupancy: registry.histogram(
+                "em_serve_batch_occupancy",
+                "queries coalesced into each executed batch",
+            ),
+            select_us: registry.histogram(
+                "em_serve_select_us",
+                "multi-select pass latency per batch attempt",
+            ),
+            queue_depth: registry.gauge(
+                "em_serve_queue_depth",
+                "requests admitted but not yet pulled by the scheduler",
+            ),
+            mem_budget: registry.gauge(
+                "em_serve_mem_budget_words",
+                "live dynamic memory budget of the serving context",
+            ),
+            cache_blocks: registry.gauge(
+                "em_serve_cache_blocks",
+                "blocks resident in the context's block cache",
+            ),
+            datasets: BTreeMap::new(),
+            registry,
+        }
+    }
+
+    #[inline]
+    fn on(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    fn dataset(&mut self, name: &str) -> &DsMetrics {
+        if !self.datasets.contains_key(name) {
+            let e2e = [
+                Outcome::Exact,
+                Outcome::Degraded,
+                Outcome::Shed,
+                Outcome::Failed,
+            ]
+            .map(|o| {
+                self.registry.histogram_with(
+                    "em_serve_query_e2e_us",
+                    "end-to-end query latency, submission to reply",
+                    &[("ds", name), ("outcome", o.label())],
+                )
+            });
+            let ds = DsMetrics {
+                e2e,
+                breaker_state: self.registry.gauge_with(
+                    "em_serve_breaker_state",
+                    "circuit-breaker state: 0 closed, 1 half-open, 2 open",
+                    &[("ds", name)],
+                ),
+                lease_words: self.registry.gauge_with(
+                    "em_serve_lease_words",
+                    "words currently granted to the dataset's governor lease",
+                    &[("ds", name)],
+                ),
+                trips: self.registry.counter_with(
+                    "em_serve_breaker_trips_total",
+                    "breaker trips (dataset entered fail-fast)",
+                    &[("ds", name)],
+                ),
+                restores: self.registry.counter_with(
+                    "em_serve_breaker_restores_total",
+                    "breakers restored to closed",
+                    &[("ds", name)],
+                ),
+            };
+            self.datasets.insert(name.to_string(), ds);
+        }
+        self.datasets.get(name).expect("just inserted")
+    }
+}
+
+fn breaker_gauge_value(state: BreakerState) -> u64 {
+    match state {
+        BreakerState::Closed => 0,
+        BreakerState::HalfOpen => 1,
+        BreakerState::Open => 2,
     }
 }
 
@@ -486,13 +653,21 @@ struct Scheduler<T: Record> {
     /// Per-dataset governor leases (RAII: dropped with the scheduler).
     leases: BTreeMap<String, Lease>,
     report: ServeReport,
+    clock: Arc<dyn Clock>,
+    depth: Arc<AtomicU64>,
+    mx: ServeMetrics,
 }
 
 impl<T: Record> QueryServer<T> {
-    /// Open the catalog on `ctx` and start the scheduler thread.
+    /// Open the catalog on `ctx` and start the scheduler thread. The
+    /// scheduler reads time from [`EmContext::clock`] and records into
+    /// [`EmContext::metrics`] — install a `ManualClock` or enable the
+    /// registry *before* starting the server.
     pub fn start(ctx: &EmContext, opts: ServeOptions) -> Result<Self> {
         let catalog = Catalog::open(ctx)?;
         let (tx, rx) = mpsc::sync_channel::<Req<T>>(opts.queue_depth.max(1));
+        let clock = ctx.clock();
+        let depth = Arc::new(AtomicU64::new(0));
         let mut sched = Scheduler {
             ctx: ctx.clone(),
             opts,
@@ -501,6 +676,9 @@ impl<T: Record> QueryServer<T> {
             breakers: BTreeMap::new(),
             leases: BTreeMap::new(),
             report: ServeReport::default(),
+            clock: clock.clone(),
+            depth: depth.clone(),
+            mx: ServeMetrics::new(ctx.metrics().clone()),
         };
         let handle = std::thread::spawn(move || {
             sched.run(rx);
@@ -509,6 +687,8 @@ impl<T: Record> QueryServer<T> {
         Ok(QueryServer {
             tx: Some(tx),
             handle: Some(handle),
+            clock,
+            depth,
         })
     }
 
@@ -516,7 +696,11 @@ impl<T: Record> QueryServer<T> {
     /// shut down.
     pub fn client(&self) -> Result<Client<T>> {
         match &self.tx {
-            Some(tx) => Ok(Client { tx: tx.clone() }),
+            Some(tx) => Ok(Client {
+                tx: tx.clone(),
+                clock: self.clock.clone(),
+                depth: self.depth.clone(),
+            }),
             None => Err(EmError::unavailable("query server already shut down")),
         }
     }
@@ -547,6 +731,16 @@ impl<T: Record> Drop for QueryServer<T> {
 }
 
 impl<T: Record> Scheduler<T> {
+    /// Note one request pulled off the admission queue: queries and
+    /// batches release their queue-depth slot (control requests never
+    /// took one).
+    fn note_pulled(&self, req: &Req<T>) {
+        if matches!(req, Req::Query { .. } | Req::Batch { .. }) {
+            let before = self.depth.fetch_sub(1, Ordering::Relaxed);
+            self.mx.queue_depth.set(before.saturating_sub(1));
+        }
+    }
+
     fn run(&mut self, rx: Receiver<Req<T>>) {
         let mut carry: Option<Req<T>> = None;
         loop {
@@ -558,7 +752,10 @@ impl<T: Record> Scheduler<T> {
                         // poll with the probe cadence instead of parking.
                         let tick = self.opts.probe_cooldown.max(Duration::from_millis(1));
                         match rx.recv_timeout(tick) {
-                            Ok(r) => r,
+                            Ok(r) => {
+                                self.note_pulled(&r);
+                                r
+                            }
                             Err(RecvTimeoutError::Timeout) => {
                                 self.tick_probes();
                                 continue;
@@ -567,7 +764,10 @@ impl<T: Record> Scheduler<T> {
                         }
                     } else {
                         match rx.recv() {
-                            Ok(r) => r,
+                            Ok(r) => {
+                                self.note_pulled(&r);
+                                r
+                            }
                             Err(_) => break, // every sender gone: shutdown
                         }
                     }
@@ -617,8 +817,10 @@ impl<T: Record> Scheduler<T> {
     }
 
     /// The aggregate report plus the point-in-time gauges: open breakers,
-    /// the live memory budget, and this server's lease holdings.
-    fn report_snapshot(&self) -> ServeReport {
+    /// the live memory budget, this server's lease holdings, and the
+    /// admission-queue depth. Also refreshes the live metric gauges, so a
+    /// `metrics` scrape right after a `stats`/report sees the same world.
+    fn report_snapshot(&mut self) -> ServeReport {
         let mut r = self.report;
         r.open_breakers = self
             .breakers
@@ -630,7 +832,48 @@ impl<T: Record> Scheduler<T> {
         r.lease_floor_words = self.leases.values().map(|l| l.floor() as u64).sum();
         r.leases = self.leases.len() as u64;
         r.lease_denials = gov.denials;
+        r.queue_depth = self.depth.load(Ordering::Relaxed);
+        if self.mx.on() {
+            self.mx.queue_depth.set(r.queue_depth);
+            self.mx.mem_budget.set(r.mem_budget_words);
+            self.mx.cache_blocks.set(self.ctx.cache().len() as u64);
+            for (name, lease) in &self.leases {
+                let granted = lease.granted() as u64;
+                self.mx.dataset(name).lease_words.set(granted);
+            }
+            for (name, b) in &self.breakers {
+                let v = breaker_gauge_value(b.state);
+                self.mx.dataset(name).breaker_state.set(v);
+            }
+        }
         r
+    }
+
+    /// Record the terminal outcome of one query: exactly one e2e latency
+    /// sample per accepted query, so histogram counts conserve against
+    /// [`ServeReport::queries`].
+    fn observe_e2e(&mut self, name: &str, submitted_us: u64, outcome: Outcome) {
+        if !self.mx.on() {
+            return;
+        }
+        let waited = self.clock.now_us().saturating_sub(submitted_us);
+        self.mx.dataset(name).e2e[outcome as usize].record(waited);
+    }
+
+    /// Mirror a breaker transition into its state gauge and trip/restore
+    /// counters.
+    fn note_breaker(&mut self, name: &str, state: BreakerState, tripped: bool, restored: bool) {
+        if !self.mx.on() {
+            return;
+        }
+        let ds = self.mx.dataset(name);
+        ds.breaker_state.set(breaker_gauge_value(state));
+        if tripped {
+            ds.trips.inc();
+        }
+        if restored {
+            ds.restores.inc();
+        }
     }
 
     fn any_unhealthy(&self) -> bool {
@@ -644,11 +887,14 @@ impl<T: Record> Scheduler<T> {
     /// restores the dataset; a failed one re-opens the breaker and
     /// restarts the cooldown.
     fn tick_probes(&mut self) {
-        let cooldown = self.opts.probe_cooldown;
+        let cooldown_us = self.opts.probe_cooldown.as_micros().min(u64::MAX as u128) as u64;
+        let now_us = self.clock.now_us();
         let due: Vec<String> = self
             .breakers
             .iter()
-            .filter(|(_, b)| b.state != BreakerState::Closed && b.since.elapsed() >= cooldown)
+            .filter(|(_, b)| {
+                b.state != BreakerState::Closed && now_us.saturating_sub(b.since_us) >= cooldown_us
+            })
             .map(|(n, _)| n.clone())
             .collect();
         for name in due {
@@ -657,20 +903,25 @@ impl<T: Record> Scheduler<T> {
                 BreakerState::Open => {
                     let b = self.breakers.get_mut(&name).expect("due breaker");
                     b.state = BreakerState::HalfOpen;
-                    b.since = Instant::now();
+                    b.since_us = now_us;
+                    self.note_breaker(&name, BreakerState::HalfOpen, false, false);
                 }
                 BreakerState::HalfOpen => {
                     self.report.probes += 1;
                     let ok = self.ensure_index(&name).and_then(|idx| idx.probe()).is_ok();
                     let b = self.breakers.get_mut(&name).expect("due breaker");
-                    b.since = Instant::now();
-                    if ok {
+                    b.since_us = now_us;
+                    let restored = ok;
+                    let new_state = if ok {
                         b.state = BreakerState::Closed;
                         b.consecutive = 0;
                         self.report.breaker_restores += 1;
+                        BreakerState::Closed
                     } else {
                         b.state = BreakerState::Open;
-                    }
+                        BreakerState::Open
+                    };
+                    self.note_breaker(&name, new_state, false, restored);
                 }
                 BreakerState::Closed => {}
             }
@@ -689,17 +940,25 @@ impl<T: Record> Scheduler<T> {
         let mut pending = vec![(first_name, first)];
         let mut carry = None;
         if self.opts.batch_max > 1 && !self.opts.batch_window.is_zero() {
-            let deadline = Instant::now() + self.opts.batch_window;
+            let window_us = self.opts.batch_window.as_micros().min(u64::MAX as u128) as u64;
+            let deadline_us = self.clock.now_us().saturating_add(window_us);
             while pending.len() < self.opts.batch_max {
-                let left = deadline.saturating_duration_since(Instant::now());
-                if left.is_zero() {
+                let left = deadline_us.saturating_sub(self.clock.now_us());
+                if left == 0 {
                     break;
                 }
-                match rx.recv_timeout(left) {
-                    Ok(Req::Query { name, query }) => pending.push((name, *query)),
-                    Ok(other) => {
-                        carry = Some(other);
-                        break;
+                // Under a ManualClock `left` never shrinks; the real-time
+                // recv_timeout below still expires and breaks the loop.
+                match rx.recv_timeout(Duration::from_micros(left)) {
+                    Ok(req) => {
+                        self.note_pulled(&req);
+                        match req {
+                            Req::Query { name, query } => pending.push((name, *query)),
+                            other => {
+                                carry = Some(other);
+                                break;
+                            }
+                        }
                     }
                     Err(_) => break, // window expired or senders gone
                 }
@@ -716,6 +975,9 @@ impl<T: Record> Scheduler<T> {
     }
 
     fn register(&mut self, name: &str, data: Vec<T>) -> Result<u64> {
+        if self.mx.on() {
+            self.mx.dataset(name);
+        }
         if let Some(entry) = self.catalog.entry(name) {
             let len = entry.len;
             if !self.indices.contains_key(name) {
@@ -786,6 +1048,10 @@ impl<T: Record> Scheduler<T> {
             Ok(Some((values, bound))) => {
                 self.report.degraded += 1;
                 self.ctx.stats().record_degraded_answer();
+                // Record before the reply: the channel's synchronization
+                // then guarantees a resolved ticket's e2e sample is
+                // visible to any scrape the client takes afterwards.
+                self.observe_e2e(name, q.submitted_us, Outcome::Degraded);
                 let _ = q.reply.send(Ok(QueryAnswer {
                     values,
                     approx: true,
@@ -805,22 +1071,44 @@ impl<T: Record> Scheduler<T> {
         }
         self.report.batches += 1;
         self.report.queries += queries.len() as u64;
+        self.report.batch_occupancy = queries.len() as u64;
+        if self.mx.on() {
+            let now_us = self.clock.now_us();
+            self.mx.batch_occupancy.record(queries.len() as u64);
+            for q in &queries {
+                self.mx
+                    .queue_wait_us
+                    .record(now_us.saturating_sub(q.submitted_us));
+            }
+            let earliest = queries
+                .iter()
+                .map(|q| q.submitted_us)
+                .min()
+                .unwrap_or(now_us);
+            self.mx
+                .batch_window_us
+                .record(now_us.saturating_sub(earliest));
+        }
 
         // Admission: shed (or degrade) queries whose deadline has already
-        // expired — no I/O is spent on them.
+        // expired — no I/O is spent on them. A zero deadline always sheds
+        // (the clock's µs granularity would otherwise make it racy).
+        let now_us = self.clock.now_us();
         let mut live: Vec<Pending<T>> = Vec::with_capacity(queries.len());
         for q in queries {
             if let Some(d) = self.effective_deadline(&q) {
-                let waited = q.submitted.elapsed();
-                if waited > d {
+                let d_us = d.as_micros().min(u64::MAX as u128) as u64;
+                let waited_us = now_us.saturating_sub(q.submitted_us);
+                if waited_us > d_us || d.is_zero() {
                     if self.degraded_allowed(&q) && self.try_degraded(name, &q) {
                         continue;
                     }
                     self.report.shed += 1;
                     self.ctx.stats().record_shed_query();
+                    self.observe_e2e(name, q.submitted_us, Outcome::Shed);
                     let _ = q.reply.send(Err(EmError::DeadlineExceeded {
-                        deadline_us: d.as_micros().min(u64::MAX as u128) as u64,
-                        waited_us: waited.as_micros().min(u64::MAX as u128) as u64,
+                        deadline_us: d_us,
+                        waited_us,
                     }));
                     continue;
                 }
@@ -841,6 +1129,7 @@ impl<T: Record> Scheduler<T> {
                         continue;
                     }
                     self.report.failed += 1;
+                    self.observe_e2e(name, q.submitted_us, Outcome::Failed);
                     let _ = q.reply.send(Err(EmError::Unhealthy {
                         dataset: name.to_string(),
                         failures,
@@ -850,7 +1139,7 @@ impl<T: Record> Scheduler<T> {
             }
         }
 
-        let t0 = Instant::now();
+        let t0_us = self.clock.now_us();
         let ctx = self.ctx.clone();
         let _phase = ctx.stats().phase_guard("serve/query");
         let nq = live.len();
@@ -858,29 +1147,32 @@ impl<T: Record> Scheduler<T> {
         let (ok, fault_failed) = self.exec(name, live, false);
         drop(_span);
         drop(_phase);
-        self.report.answer_us += t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.report.answer_us += self.clock.now_us().saturating_sub(t0_us);
 
         // Breaker accounting: a batch in which *every* query failed on a
         // fault-shaped error is one strike; any success resets the streak
         // (and closes a half-open breaker).
         let threshold = self.opts.breaker_threshold;
+        let now_us = self.clock.now_us();
         let b = self
             .breakers
             .entry(name.to_string())
-            .or_insert_with(Breaker::new);
+            .or_insert_with(|| Breaker::new(now_us));
         if ok > 0 {
             b.consecutive = 0;
             if b.state != BreakerState::Closed {
                 b.state = BreakerState::Closed;
                 self.report.breaker_restores += 1;
+                self.note_breaker(name, BreakerState::Closed, false, true);
             }
         } else if fault_failed > 0 {
             b.consecutive = b.consecutive.saturating_add(1);
             if threshold > 0 && b.consecutive >= threshold && b.state != BreakerState::Open {
                 b.state = BreakerState::Open;
-                b.since = Instant::now();
+                b.since_us = now_us;
                 self.report.breaker_trips += 1;
                 self.ctx.stats().record_breaker_trip();
+                self.note_breaker(name, BreakerState::Open, true, false);
             }
         }
     }
@@ -895,6 +1187,7 @@ impl<T: Record> Scheduler<T> {
             Ok(per_query) => {
                 let n = queries.len() as u64;
                 for (q, ans) in queries.into_iter().zip(per_query) {
+                    self.observe_e2e(name, q.submitted_us, Outcome::Exact);
                     let _ = q.reply.send(Ok(QueryAnswer::exact(ans)));
                 }
                 (n, 0)
@@ -922,6 +1215,7 @@ impl<T: Record> Scheduler<T> {
                         if bisected {
                             self.report.quarantined += 1;
                         }
+                        self.observe_e2e(name, q.submitted_us, Outcome::Failed);
                         let _ = q.reply.send(Err(e.clone()));
                     }
                     let _ = n;
@@ -959,12 +1253,18 @@ impl<T: Record> Scheduler<T> {
     fn answer_once(&mut self, name: &str, queries: &[Pending<T>]) -> Result<Vec<Vec<T>>> {
         let refine = self.opts.refine;
         let select = self.opts.select;
+        let t0_us = self.mx.on().then(|| self.clock.now_us());
         let idx = self.ensure_index(name)?;
         let all: Vec<u64> = queries
             .iter()
             .flat_map(|q| q.ranks.iter().copied())
             .collect();
         let (answers, astats) = idx.answer(&all, select, refine)?;
+        if let Some(t0) = t0_us {
+            self.mx
+                .select_us
+                .record(self.clock.now_us().saturating_sub(t0));
+        }
         self.report.index_hits += astats.index_hits;
         self.report.selected += astats.selected;
         let mut out = Vec::with_capacity(queries.len());
@@ -1240,6 +1540,145 @@ mod tests {
         assert_eq!(report.breaker_trips, 1);
         assert!(report.probes >= 1);
         assert!(report.breaker_restores >= 1);
+    }
+
+    #[test]
+    fn manual_clock_makes_breaker_lifecycle_deterministic() {
+        use emcore::ManualClock;
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let clock = Arc::new(ManualClock::new(0));
+        ctx.set_clock(clock.clone());
+        let cooldown = Duration::from_millis(25);
+        let mut server = QueryServer::<u64>::start(
+            &ctx,
+            ServeOptions {
+                breaker_threshold: 2,
+                probe_cooldown: cooldown,
+                retry: RetryPolicy::NONE,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let client = server.client().unwrap();
+        client.register("ds", data(1000, 11)).unwrap();
+        let plan = FaultPlan::new(0).fail_nth(0, FaultKind::Fatal);
+        ctx.install_fault_plan(plan.clone());
+        for _ in 0..2 {
+            let e = client.query("ds", vec![10]).unwrap().wait().unwrap_err();
+            assert!(matches!(e, EmError::Crashed), "got {e}");
+        }
+        plan.clear_crash();
+        // The device is healthy again, but the clock has not moved: no
+        // amount of real time or request traffic may half-open the
+        // breaker. (Under the old Instant-based cooldown this would flap
+        // with scheduling jitter.)
+        std::thread::sleep(Duration::from_millis(30));
+        for _ in 0..3 {
+            let h = &client.health().unwrap()[0];
+            assert_eq!(h.state, BreakerState::Open, "cooldown is clock-driven");
+        }
+        // Advance past the cooldown: the next request's probe tick
+        // half-opens; one more advance and tick restores it.
+        clock.advance(cooldown.as_micros() as u64 + 1);
+        let _ = client.report().unwrap();
+        clock.advance(cooldown.as_micros() as u64 + 1);
+        let t0 = Instant::now();
+        loop {
+            if client.health().unwrap()[0].state == BreakerState::Closed {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5), "probe never ran");
+        }
+        let a = client.query("ds", vec![10]).unwrap().wait().unwrap();
+        assert_eq!(a.values, vec![9]);
+        drop(client);
+        let report = server.shutdown().unwrap();
+        assert_eq!(report.breaker_trips, 1);
+        assert!(report.breaker_restores >= 1);
+    }
+
+    #[test]
+    fn deadline_cannot_expire_under_a_manual_clock() {
+        use emcore::ManualClock;
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        ctx.set_clock(Arc::new(ManualClock::new(7_000)));
+        // A 1µs deadline with the default 2ms batching window would shed
+        // nearly every query on the wall clock; on a manual clock no time
+        // ever passes between submit and execution, so all are exact.
+        let mut server = QueryServer::<u64>::start(
+            &ctx,
+            ServeOptions {
+                deadline: Some(Duration::from_micros(1)),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let client = server.client().unwrap();
+        client.register("ds", data(500, 12)).unwrap();
+        for r in [1u64, 250, 500] {
+            let a = client.query("ds", vec![r]).unwrap().wait().unwrap();
+            assert!(!a.approx);
+            assert_eq!(a.values, vec![r - 1]);
+        }
+        drop(client);
+        let report = server.shutdown().unwrap();
+        assert_eq!(report.shed, 0, "manual clock: nothing can expire");
+        assert_eq!(report.queries, 3);
+    }
+
+    #[test]
+    fn e2e_histograms_conserve_against_report_counters() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        ctx.metrics().set_enabled(true);
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client().unwrap();
+        client.register("ds", data(2000, 13)).unwrap();
+        // A mix of exact, failed (bad rank), shed and degraded queries.
+        let rush = QueryOptions {
+            deadline: Some(Duration::ZERO),
+            degraded: Some(true),
+        };
+        let mut tickets = Vec::new();
+        for r in [1u64, 500, 1000, 1500, 2000, 9999] {
+            tickets.push(client.query("ds", vec![r]).unwrap());
+        }
+        for _ in 0..3 {
+            tickets.push(client.query_with("ds", vec![777], rush).unwrap());
+        }
+        for t in tickets {
+            let _ = t.wait();
+        }
+        let report = client.report().unwrap();
+        let snap = ctx.metrics().snapshot(0);
+        let e2e_total = snap.family_total("em_serve_query_e2e_us");
+        assert_eq!(
+            e2e_total, report.queries,
+            "every accepted query must land in exactly one outcome histogram"
+        );
+        let occupancy = snap
+            .find("em_serve_batch_occupancy", &[])
+            .expect("registered at start");
+        assert_eq!(
+            occupancy.value, report.batches,
+            "one occupancy sample per executed batch"
+        );
+        let shed = snap
+            .find(
+                "em_serve_query_e2e_us",
+                &[("ds", "ds"), ("outcome", "shed")],
+            )
+            .map(|s| s.value)
+            .unwrap_or(0);
+        let degraded = snap
+            .find(
+                "em_serve_query_e2e_us",
+                &[("ds", "ds"), ("outcome", "degraded")],
+            )
+            .map(|s| s.value)
+            .unwrap_or(0);
+        assert_eq!(shed + degraded, report.shed + report.degraded);
+        drop(client);
+        server.shutdown().unwrap();
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! emsplit sort <file> <out-file> [--stats]
 //! emsplit serve <store-dir> [--batch-max N] [--batch-window-ms W] [--no-refine]
 //!               [--deadline-ms D] [--degraded] [--breaker-threshold K] [--probe-ms P]
+//!               [--metrics] [--metrics-file FILE] [--metrics-interval-ms I]
+//! emsplit metrics-report <series.jsonl>
 //! emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...
 //! ```
 //!
@@ -37,6 +39,14 @@
 //! `--trace FILE` streams a JSONL I/O trace of the run (render it with the
 //! `trace_report` tool); `--trace-summary` prints the span tree and
 //! per-file access summary to stderr without writing a file.
+//!
+//! `--metrics` turns on the live metrics registry for a `serve` session:
+//! the `metrics` protocol verb then scrapes a Prometheus-style text
+//! exposition (latency histograms, breaker/lease/queue gauges) on stderr.
+//! `--metrics-file FILE` additionally runs a background sampler that
+//! appends a JSONL snapshot of every instrument each
+//! `--metrics-interval-ms` (default 100) — render the series afterwards
+//! with `emsplit metrics-report FILE`.
 //!
 //! `--mem-squeeze W` ratchets the live memory budget down to `W` words a
 //! few milliseconds into the run (`--squeeze-at-ms D`, default 5) and
@@ -466,6 +476,23 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|e| die(&format!("cannot open store {}: {e}", store.display())));
             setup_squeeze(&ctx, &args);
             let trace = setup_trace(&ctx, &args);
+            // --metrics / --metrics-file arm the live registry; the
+            // sampler (if any) snapshots it into a JSONL series for
+            // `emsplit metrics-report`.
+            let metrics_file = args.flags.get("metrics-file").cloned();
+            if metrics_file.as_deref() == Some("true") {
+                die("--metrics-file expects a file path");
+            }
+            if args.has("metrics") || metrics_file.is_some() {
+                ctx.metrics().set_enabled(true);
+            }
+            let sampler = metrics_file.as_ref().map(|p| {
+                let interval = std::time::Duration::from_millis(
+                    args.flag_u64("metrics-interval-ms", 100).max(1),
+                );
+                Sampler::to_file(ctx.metrics().clone(), ctx.clock(), interval, p)
+                    .unwrap_or_else(|e| die(&format!("cannot open metrics file {p}: {e}")))
+            });
             let defaults = ServeOptions::default();
             let deadline_ms = args.flag_u64("deadline-ms", 0);
             let opts = ServeOptions {
@@ -515,10 +542,31 @@ fn main() -> ExitCode {
                 report.lease_floor_words,
                 report.lease_denials
             );
+            if let Some(s) = sampler {
+                match s.stop() {
+                    Ok(()) => eprintln!(
+                        "[metrics] wrote series to {}",
+                        metrics_file.as_deref().unwrap_or("?")
+                    ),
+                    Err(e) => eprintln!("[metrics] sampler failed: {e}"),
+                }
+            }
             if args.has("stats") || args.has("mem-governor") {
                 print_stats(&ctx, &args);
             }
             finish_trace(&ctx, trace);
+        }
+        "metrics-report" => {
+            let path = PathBuf::from(
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("metrics-report needs <series.jsonl>")),
+            );
+            let input = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", path.display())));
+            let report = render_series_report(&input)
+                .unwrap_or_else(|e| die(&format!("bad metrics series: {e}")));
+            print!("{report}");
         }
         "sort" => {
             let path = PathBuf::from(
@@ -598,6 +646,8 @@ fn main() -> ExitCode {
                  \x20 emsplit sort <file> <out-file> [--stats]\n\
                  \x20 emsplit serve <store-dir> [--batch-max N] [--batch-window-ms W] [--no-refine]\n\
                  \x20               [--deadline-ms D] [--degraded] [--breaker-threshold K] [--probe-ms P]\n\
+                 \x20               [--metrics] [--metrics-file FILE] [--metrics-interval-ms I]\n\
+                 \x20 emsplit metrics-report <series.jsonl>\n\
                  \x20 emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...\n\
                  \n\
                  common flags: --mem M --block B   (machine geometry, records)\n\

@@ -67,9 +67,12 @@ pub mod prelude {
         verify_partitioning, verify_splitters, Groundedness, PartitionJob, PartitionManifest,
         ProblemSpec, ProblemSpecBuilder,
     };
+    pub use emcore::metrics::render_series_report;
     pub use emcore::{
-        run_recoverable, BlockCache, EmConfig, EmContext, EmError, EmFile, FaultPlan, Journal,
-        JsonlSink, Record, RecoverableJob, Result, RetryPolicy, RingSink, TraceReport, TraceSink,
+        run_recoverable, BlockCache, Clock, EmConfig, EmContext, EmError, EmFile, FaultPlan,
+        HistogramSnapshot, Journal, JsonlSink, ManualClock, MetricSample, MetricsRegistry,
+        MetricsSnapshot, Record, RecoverableJob, Result, RetryPolicy, RingSink, Sampler,
+        TraceReport, TraceSink, WallClock,
     };
     pub use emselect::{
         multi_select, multi_select_recoverable, quantiles, select_rank, MsOptions, MultiSelectJob,

@@ -1,0 +1,132 @@
+//! Integration guard for the metrics runtime's zero-overhead contract:
+//! the registry is off by default, and whether it is off or on, the
+//! algorithm stack's logical I/O accounting and answers are bit-identical
+//! — instrumentation observes the run, it never perturbs it.
+
+use em_splitters::prelude::*;
+use emcore::SplitMix64;
+
+fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (1..=n).collect();
+    SplitMix64::new(seed).shuffle(&mut v);
+    v
+}
+
+fn fnv(vals: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in vals {
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run the full stack — sort, multi-select, approximate splitters — on a
+/// fresh context and return (logical counters, output digest).
+fn pipeline(metrics_on: bool) -> (emcore::Counters, u64) {
+    let n = 20_000u64;
+    let ctx = EmContext::new_in_memory(EmConfig::medium());
+    if metrics_on {
+        ctx.metrics().set_enabled(true);
+    }
+    let data = shuffled(n, 0xd16e57);
+    let f = ctx
+        .stats()
+        .paused(|| EmFile::from_slice(&ctx, &data))
+        .unwrap();
+
+    let sorted = external_sort(&f).unwrap();
+    let sorted_head = ctx.stats().paused(|| sorted.to_vec()).unwrap();
+    let ranks: Vec<u64> = (1..8).map(|i| i * n / 8).collect();
+    let selected = multi_select(&f, &ranks).unwrap();
+    let spec = ProblemSpec::builder(n, 16).min_size(4).build().unwrap();
+    let splitters = approx_splitters(&f, &spec).unwrap();
+
+    let digest = fnv(sorted_head.into_iter().chain(selected).chain(splitters));
+    (ctx.stats().snapshot(), digest)
+}
+
+/// A fresh context's registry is disabled and records nothing; enabling
+/// it must not change a single logical I/O counter or output bit.
+#[test]
+fn metrics_off_is_the_default_and_on_perturbs_nothing() {
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    assert!(
+        !ctx.metrics().enabled(),
+        "observability must be opt-in, never ambient"
+    );
+    // The device-latency histograms exist from the start but stay empty
+    // while disabled, even across real device traffic.
+    let f = EmFile::from_slice(&ctx, &[3u64, 1, 2]).unwrap();
+    let _ = f.to_vec().unwrap();
+    let snap = ctx.metrics().snapshot(0);
+    assert_eq!(snap.family_total("em_device_read_us"), 0);
+    assert_eq!(snap.family_total("em_device_write_us"), 0);
+
+    let (off, digest_off) = pipeline(false);
+    let (on, digest_on) = pipeline(true);
+    assert_eq!(off, on, "logical I/O counters must be bit-identical");
+    assert_eq!(digest_off, digest_on, "answers must be bit-identical");
+}
+
+/// With the registry enabled, the device layer feeds real transfer
+/// latencies: the histograms fill, percentiles are monotone, and the
+/// exposition carries the families.
+#[test]
+fn enabled_registry_observes_device_transfers() {
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    ctx.metrics().set_enabled(true);
+    let data = shuffled(5000, 0xde1ce);
+    let f = EmFile::from_slice(&ctx, &data).unwrap();
+    let _ = external_sort(&f).unwrap();
+
+    let snap = ctx.metrics().snapshot(ctx.clock().now_us());
+    let reads = snap
+        .find("em_device_read_us", &[])
+        .and_then(|s| s.hist.clone())
+        .expect("read histogram registered");
+    let writes = snap
+        .find("em_device_write_us", &[])
+        .and_then(|s| s.hist.clone())
+        .expect("write histogram registered");
+    assert!(reads.count() > 0 && writes.count() > 0);
+    assert!(reads.percentile(50.0) <= reads.percentile(99.0));
+    assert!(reads.percentile(99.0) <= reads.max());
+
+    let text = ctx.metrics().expose();
+    assert!(text.contains("# TYPE em_device_read_us summary"));
+    assert!(text.contains("em_device_read_us_count"));
+}
+
+/// The sampler → JSONL → report pipeline round-trips on a live context:
+/// every sampled line re-parses, and the rendered report names the
+/// device families.
+#[test]
+fn sampler_series_round_trips_through_the_report() {
+    let dir = std::env::temp_dir().join(format!("em-metrics-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("series.jsonl");
+
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    ctx.metrics().set_enabled(true);
+    let sampler = Sampler::to_file(
+        ctx.metrics().clone(),
+        ctx.clock(),
+        std::time::Duration::from_millis(1),
+        &path,
+    )
+    .unwrap();
+    let data = shuffled(4000, 0x5a3);
+    let f = EmFile::from_slice(&ctx, &data).unwrap();
+    let _ = external_sort(&f).unwrap();
+    sampler.stop().unwrap();
+
+    let series = std::fs::read_to_string(&path).unwrap();
+    assert!(!series.trim().is_empty(), "final tick always writes");
+    for line in series.lines().filter(|l| !l.trim().is_empty()) {
+        MetricSample::parse(line).expect("every sampled line re-parses");
+    }
+    let report = render_series_report(&series).unwrap();
+    assert!(report.contains("em_device_read_us"));
+    assert!(report.contains("# metrics report"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -329,3 +329,178 @@ fn wait_timeout_never_hangs_on_a_wedged_or_killed_server() {
     }
     killer.join().unwrap().unwrap();
 }
+
+/// Every histogram percentile ladder in `snap` is monotone.
+fn monotone(snap: &MetricsSnapshot) -> bool {
+    snap.samples.iter().all(|s| match &s.hist {
+        Some(h) if h.count() > 0 => {
+            let l = [
+                h.percentile(50.0),
+                h.percentile(90.0),
+                h.percentile(99.0),
+                h.percentile(99.9),
+                h.max(),
+            ];
+            l.windows(2).all(|w| w[0] <= w[1])
+        }
+        _ => true,
+    })
+}
+
+/// Scraping the live registry mid-fault-storm tells the same story as
+/// the server's own report: the end-to-end outcome histograms conserve
+/// (one sample per accepted query), every percentile ladder is monotone,
+/// and the breaker gauge reads Open while the device is crashed and
+/// Closed again after the heal — with trip/restore counters matching.
+#[test]
+fn metrics_scrape_stays_conserved_during_fault_storm() {
+    use std::time::{Duration, Instant};
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    ctx.metrics().set_enabled(true);
+    ctx.set_retry_policy(RetryPolicy::retries(2));
+    let n = 2000u64;
+    let mut server = QueryServer::<u64>::start(
+        &ctx,
+        ServeOptions {
+            breaker_threshold: 2,
+            probe_cooldown: Duration::from_millis(5),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let client = server.client().unwrap();
+    client.register("ds", shuffled(n, 0x0b5)).unwrap();
+    client.query("ds", vec![n / 2]).unwrap().wait().unwrap();
+
+    // Crash the device and let a storm of queries fail and fail fast.
+    let plan = FaultPlan::new(0).fatal_at(20);
+    ctx.install_fault_plan(plan.clone());
+    for i in 0..10u64 {
+        let _ = client
+            .query("ds", vec![1 + (i * 613) % n])
+            .unwrap()
+            .wait_timeout(Duration::from_secs(20));
+    }
+
+    // Mid-storm scrape: conservation and the tripped breaker, live.
+    let r = client.report().unwrap();
+    let snap = ctx.metrics().snapshot(ctx.clock().now_us());
+    assert_eq!(
+        snap.family_total("em_serve_query_e2e_us"),
+        r.queries,
+        "every accepted query lands in exactly one outcome histogram"
+    );
+    assert!(monotone(&snap));
+    assert!(r.breaker_trips >= 1, "storm must trip the breaker: {r:?}");
+    let state = snap
+        .find("em_serve_breaker_state", &[("ds", "ds")])
+        .expect("breaker gauge registered")
+        .value;
+    assert!(state >= 1, "gauge must read tripped mid-storm, got {state}");
+
+    // Heal; the probe closes the breaker and exact service resumes.
+    plan.clear_crash();
+    plan.clear_specs();
+    let t0 = Instant::now();
+    loop {
+        match client.query("ds", vec![n / 3]).unwrap().wait() {
+            Ok(_) => break,
+            Err(_) => {
+                assert!(t0.elapsed() < Duration::from_secs(10), "never healed");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    let r = client.report().unwrap();
+    let snap = ctx.metrics().snapshot(ctx.clock().now_us());
+    assert_eq!(snap.family_total("em_serve_query_e2e_us"), r.queries);
+    assert!(monotone(&snap));
+    let gauge = |name: &str| snap.find(name, &[("ds", "ds")]).map(|s| s.value);
+    assert_eq!(
+        gauge("em_serve_breaker_state"),
+        Some(0),
+        "closed after heal"
+    );
+    assert_eq!(gauge("em_serve_breaker_trips_total"), Some(r.breaker_trips));
+    assert_eq!(
+        gauge("em_serve_breaker_restores_total"),
+        Some(r.breaker_restores)
+    );
+    drop(client);
+    server.shutdown().unwrap();
+}
+
+/// The scripted protocol under a transient fault storm: the `metrics`
+/// verb scrapes a clean exposition to stderr without polluting the
+/// answer stream, the extended `stats` line carries the new gauges, and
+/// the scraped histograms conserve against the final report.
+#[test]
+fn protocol_metrics_verb_scrapes_cleanly_during_faults() {
+    use emcore::{FaultKind, FaultSpec, Trigger};
+    use std::io::Write as _;
+    let dir = std::env::temp_dir().join(format!("em-serve-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = 1500u64;
+    let data = shuffled(n, 0x9e7);
+    let data_path = dir.join("data.bin");
+    {
+        let mut f = std::fs::File::create(&data_path).unwrap();
+        for v in &data {
+            f.write_all(&v.to_le_bytes()).unwrap();
+        }
+    }
+
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    ctx.metrics().set_enabled(true);
+    ctx.set_retry_policy(RetryPolicy::retries(4));
+    ctx.install_fault_plan(FaultPlan::new(5).transient_rate(0.02).with(FaultSpec {
+        trigger: Trigger::EveryNth(41),
+        kind: FaultKind::CorruptRead,
+    }));
+
+    let script = format!(
+        "open ds {p}\nrank ds 100\nrank ds 700 1400\nmetrics\nrank ds 42\nstats\nquit\n",
+        p = data_path.display()
+    );
+    let mut out = Vec::new();
+    let mut errs = Vec::new();
+    let report = serve_lines(
+        &ctx,
+        ServeOptions::default(),
+        script.as_bytes(),
+        &mut out,
+        &mut errs,
+    )
+    .unwrap();
+
+    // The answer stream holds exactly the four requested values, all
+    // numeric — the scrape leaked nothing into it.
+    let out = String::from_utf8(out).unwrap();
+    let answers: Vec<u64> = out.lines().map(|l| l.parse().unwrap()).collect();
+    let mut sorted = data;
+    sorted.sort_unstable();
+    assert_eq!(
+        answers,
+        vec![sorted[99], sorted[699], sorted[1399], sorted[41]]
+    );
+
+    let errs = String::from_utf8(errs).unwrap();
+    assert!(errs.contains("ok metrics begin") && errs.contains("ok metrics end"));
+    assert!(errs.contains("# TYPE em_serve_query_e2e_us summary"));
+    assert!(
+        errs.contains("queue_depth=0"),
+        "stats line extended: {errs}"
+    );
+    assert!(
+        errs.contains("batch_occupancy="),
+        "stats line extended: {errs}"
+    );
+
+    // The registry agrees with the final report even after the session.
+    let snap = ctx.metrics().snapshot(ctx.clock().now_us());
+    assert_eq!(snap.family_total("em_serve_query_e2e_us"), report.queries);
+    ctx.clear_fault_plan();
+    let _ = std::fs::remove_dir_all(&dir);
+}
