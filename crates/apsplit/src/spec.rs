@@ -76,6 +76,20 @@ impl ProblemSpec {
         Ok(Self { n, k, a, b })
     }
 
+    /// The tightest always-feasible balanced spec: `a = ⌊N/K⌋`,
+    /// `b = ⌈N/K⌉`. For any `1 ≤ k ≤ n` this passes [`ProblemSpec::new`]'s
+    /// feasibility check (`⌊n/k⌋·k ≤ n ≤ ⌈n/k⌉·k`) and always satisfies
+    /// [`ProblemSpec::quantile_suffices`] (`2·⌊n/k⌋·k ≥ n` whenever
+    /// `n ≥ k`), so partitioning resolves to exact `1/K`-quantile cuts —
+    /// the spec a shard builder wants: near-even shards with no slack to
+    /// negotiate.
+    pub fn near_even(n: u64, k: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(EmError::config("K must be at least 1"));
+        }
+        Self::new(n, k, n / k, n.div_ceil(k))
+    }
+
     /// A perfectly balanced spec: `a = b = N/K` (requires `K | N`).
     pub fn exact(n: u64, k: u64) -> Result<Self> {
         if k == 0 || !n.is_multiple_of(k) {
@@ -251,6 +265,28 @@ mod tests {
         assert_eq!(s, ProblemSpec::new(100, 4, 0, 100).unwrap());
         // Validation still applies.
         assert!(ProblemSpec::builder(100, 4).min_size(26).build().is_err());
+    }
+
+    #[test]
+    fn near_even_always_feasible_and_quantile_sufficient() {
+        for n in 1..200u64 {
+            for k in 1..=n.min(32) {
+                let s = ProblemSpec::near_even(n, k).unwrap_or_else(|e| {
+                    panic!("near_even({n}, {k}) must be feasible: {e}");
+                });
+                assert_eq!((s.a, s.b), (n / k, n.div_ceil(k)));
+                assert!(s.quantile_suffices(), "near_even({n}, {k})");
+                // Quantile cut differences all land in [a, b].
+                let mut prev = 0;
+                for &r in s.quantile_ranks().iter().chain(std::iter::once(&n)) {
+                    let d = r - prev;
+                    assert!((s.a..=s.b).contains(&d), "near_even({n}, {k}): diff {d}");
+                    prev = r;
+                }
+            }
+        }
+        assert!(ProblemSpec::near_even(100, 0).is_err());
+        assert!(ProblemSpec::near_even(3, 8).is_err(), "K > N stays typed");
     }
 
     #[test]

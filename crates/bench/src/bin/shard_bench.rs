@@ -1,0 +1,14 @@
+//! EX-SHARD sharded-serving campaign: see DESIGN.md per-experiment index.
+//! Exits nonzero on any oracle mismatch, unexpected error, or broken
+//! metrics conservation — the CI shard-smoke gate.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (_, clean) = bench::run_shard(bench::Scale::from_env());
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[EX-SHARD] campaign found sick cells");
+        ExitCode::FAILURE
+    }
+}

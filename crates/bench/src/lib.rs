@@ -23,6 +23,7 @@ pub mod mem_squeeze;
 pub mod obs;
 pub mod serve_bench;
 pub mod serve_chaos;
+pub mod shard_bench;
 
 pub use crash_sweep::{ex_recovery, run_campaign, sweep, Algo, Backend, SweepOutcome};
 pub use experiments::*;
@@ -33,3 +34,4 @@ pub use obs::{
 };
 pub use serve_bench::ex_serve;
 pub use serve_chaos::{chaos_cell, ex_chaos, reopen_after_kill, run_chaos, ChaosOutcome, Schedule};
+pub use shard_bench::{ex_shard, fleet_cell, run_shard, single_cell, ShardOutcome};

@@ -297,16 +297,15 @@ fn serve_cell(n: u64, table: &mut Table, out: &mut SqueezeOutcome) {
     let full = config.mem_capacity();
     let mut server = QueryServer::<u64>::start(
         &ctx,
-        ServeOptions {
-            degraded: true,
+        ServeOptions::builder()
+            .degraded(true)
             // Refinement keeps the skeleton warm: every exact batch adds
             // boundaries, which is what a starved tenant's degraded
             // answers are made of.
-            refine: true,
-            lease_floor: 512,
-            lease_weight: 1,
-            ..ServeOptions::default()
-        },
+            .refine(true)
+            .lease_floor(512)
+            .lease_weight(1)
+            .build(),
     )
     .expect("server start");
     let client = server.client().expect("server running");

@@ -159,11 +159,10 @@ pub fn chaos_scrape_cell(n: u64) -> ObsOutcome {
     SplitMix64::new(SEED).shuffle(&mut data);
     let mut server = QueryServer::<u64>::start(
         &ctx,
-        ServeOptions {
-            breaker_threshold: 2,
-            probe_cooldown: Duration::from_millis(5),
-            ..ServeOptions::default()
-        },
+        ServeOptions::builder()
+            .breaker_threshold(2)
+            .probe_cooldown(Duration::from_millis(5))
+            .build(),
     )
     .expect("server start");
     let client = server.client().expect("server running");
@@ -305,12 +304,11 @@ pub fn squeeze_scrape_cell(n: u64) -> ObsOutcome {
 
     let mut server = QueryServer::<u64>::start(
         &ctx,
-        ServeOptions {
-            degraded: true,
-            refine: true,
-            lease_floor: 512,
-            ..ServeOptions::default()
-        },
+        ServeOptions::builder()
+            .degraded(true)
+            .refine(true)
+            .lease_floor(512)
+            .build(),
     )
     .expect("server start");
     let client = server.client().expect("server running");
@@ -397,14 +395,8 @@ pub fn warm_cold_cell(n: u64, device_latency_us: u64) -> ObsOutcome {
     let ctx = EmContext::new_on_disk_temp(config).expect("tempdir");
     ctx.metrics().set_enabled(true);
 
-    let mut server = QueryServer::<u64>::start(
-        &ctx,
-        ServeOptions {
-            refine: true,
-            ..ServeOptions::default()
-        },
-    )
-    .expect("server start");
+    let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::builder().refine(true).build())
+        .expect("server start");
     let client = server.client().expect("server running");
     let mut data: Vec<u64> = (1..=n).collect();
     SplitMix64::new(SEED ^ 0xc01d).shuffle(&mut data);

@@ -35,10 +35,7 @@ fn run_server(
     batch: usize,
     refine: bool,
 ) -> (Vec<Vec<u64>>, u64, u64) {
-    let opts = ServeOptions {
-        refine,
-        ..ServeOptions::default()
-    };
+    let opts = ServeOptions::builder().refine(refine).build();
     let mut server = QueryServer::<u64>::start(ctx, opts).expect("server start");
     let client = server.client().expect("server running");
     client.register("ds", data.to_vec()).expect("register");
@@ -127,10 +124,7 @@ pub fn ex_serve(scale: Scale) -> Table {
 
     // --- index warmth: the same mix twice on one server, refinement on ---
     let ctx = bench_ctx();
-    let opts = ServeOptions {
-        refine: true,
-        ..ServeOptions::default()
-    };
+    let opts = ServeOptions::builder().refine(true).build();
     let mut server = QueryServer::<u64>::start(&ctx, opts).expect("server start");
     let client = server.client().expect("server running");
     client.register("ds", data.clone()).expect("register");

@@ -174,11 +174,10 @@ pub fn chaos_cell(schedule: Schedule, backend: Backend, overload: bool, n: u64) 
 
     let mut server = QueryServer::<u64>::start(
         &ctx,
-        ServeOptions {
-            breaker_threshold: 2,
-            probe_cooldown: Duration::from_millis(5),
-            ..ServeOptions::default()
-        },
+        ServeOptions::builder()
+            .breaker_threshold(2)
+            .probe_cooldown(Duration::from_millis(5))
+            .build(),
     )
     .expect("server start");
     let client = server.client().expect("server running");

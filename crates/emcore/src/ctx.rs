@@ -101,14 +101,24 @@ impl EmContext {
     /// A context whose files live in host RAM (fast simulation). The memory
     /// meter records peaks but does not panic.
     pub fn new_in_memory(config: EmConfig) -> Self {
-        Self::build(config, Backing::Memory, false)
+        Self::build(config, Backing::Memory, false, MetricsRegistry::new())
+    }
+
+    /// Like [`EmContext::new_in_memory`], but the context records into the
+    /// caller-supplied `metrics` registry instead of a private one. A fleet
+    /// of contexts (one per shard) built over the same registry shares
+    /// every metric cell — `(name, labels)` dedup in
+    /// [`MetricsRegistry::child`] makes the aggregation exact — so a single
+    /// scrape tells the whole fleet's story.
+    pub fn new_in_memory_with_metrics(config: EmConfig, metrics: MetricsRegistry) -> Self {
+        Self::build(config, Backing::Memory, false, metrics)
     }
 
     /// Like [`EmContext::new_in_memory`], but the memory meter *panics* when
     /// live tracked memory exceeds `M` words. Unit tests of EM algorithms run
     /// in this mode to prove they stay within the model.
     pub fn new_in_memory_strict(config: EmConfig) -> Self {
-        Self::build(config, Backing::Memory, true)
+        Self::build(config, Backing::Memory, true, MetricsRegistry::new())
     }
 
     /// A context whose files are real files inside `dir` (created if
@@ -124,6 +134,28 @@ impl EmContext {
                 cleanup: false,
             },
             false,
+            MetricsRegistry::new(),
+        ))
+    }
+
+    /// Like [`EmContext::new_on_disk`], but recording into the
+    /// caller-supplied `metrics` registry (see
+    /// [`EmContext::new_in_memory_with_metrics`]).
+    pub fn new_on_disk_with_metrics(
+        config: EmConfig,
+        dir: impl Into<PathBuf>,
+        metrics: MetricsRegistry,
+    ) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self::build(
+            config,
+            Backing::Directory {
+                dir,
+                cleanup: false,
+            },
+            false,
+            metrics,
         ))
     }
 
@@ -145,13 +177,13 @@ impl EmContext {
             config,
             Backing::Directory { dir, cleanup: true },
             false,
+            MetricsRegistry::new(),
         ))
     }
 
-    fn build(config: EmConfig, backing: Backing, strict: bool) -> Self {
+    fn build(config: EmConfig, backing: Backing, strict: bool, metrics: MetricsRegistry) -> Self {
         let stats = IoStats::new();
         let tracer = stats.tracer();
-        let metrics = MetricsRegistry::new();
         let device_read_us = metrics.histogram(
             "em_device_read_us",
             "physical block-read latency in microseconds",
@@ -642,6 +674,23 @@ mod tests {
             assert!(dir.exists());
         }
         assert!(!dir.exists(), "temp dir should be removed on drop");
+    }
+
+    #[test]
+    fn contexts_share_a_supplied_metrics_registry() {
+        let registry = MetricsRegistry::new();
+        registry.set_enabled(true);
+        let a = EmContext::new_in_memory_with_metrics(EmConfig::tiny(), registry.clone());
+        let b = EmContext::new_in_memory_with_metrics(EmConfig::tiny(), registry.clone());
+        // Both contexts registered the same device histograms; their
+        // samples land in the same cells of the shared registry.
+        a.inner.device_read_us.record(10);
+        b.inner.device_read_us.record(20);
+        let snap = registry.snapshot(0);
+        let s = snap
+            .find("em_device_read_us", &[])
+            .expect("shared family registered once");
+        assert_eq!(s.hist.as_ref().unwrap().count(), 2);
     }
 
     #[test]

@@ -76,6 +76,15 @@ pub enum EmError {
         /// What exactly is unavailable.
         reason: String,
     },
+    /// A protocol client announced (via the `hello` verb) a version the
+    /// server does not speak. Typed so transports can negotiate or refuse
+    /// cleanly instead of degenerating into a parse failure.
+    ProtocolMismatch {
+        /// The version the client announced.
+        client: u32,
+        /// The version the server speaks.
+        server: u32,
+    },
 }
 
 impl EmError {
@@ -146,6 +155,10 @@ impl std::fmt::Display for EmError {
                 "deadline exceeded: waited {waited_us} µs against a budget of {deadline_us} µs"
             ),
             EmError::Unavailable { reason } => write!(f, "service unavailable: {reason}"),
+            EmError::ProtocolMismatch { client, server } => write!(
+                f,
+                "protocol version mismatch: client speaks v{client}, server speaks v{server}"
+            ),
         }
     }
 }
@@ -226,5 +239,13 @@ mod tests {
             waited_us: 2
         }
         .is_fault());
+        let pm = EmError::ProtocolMismatch {
+            client: 9,
+            server: 1,
+        };
+        assert!(!pm.is_fault(), "a confused client must not trip breakers");
+        assert!(!pm.is_retryable());
+        let s = format!("{pm}");
+        assert!(s.contains("v9") && s.contains("v1"), "{s}");
     }
 }

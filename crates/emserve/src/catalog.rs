@@ -6,10 +6,16 @@
 //! marks its backing file persistent and commits the catalog atomically,
 //! so on the directory backend a fresh process can [`Catalog::open`] the
 //! same directory and reopen every dataset by id.
+//!
+//! Since image version 2 the catalog also journals **shard maps**
+//! ([`ShardMap`]): for a dataset that was range-partitioned across a
+//! shard fleet, the map records the fleet size and the exact splitter
+//! boundaries (cut rank + key bytes) so a router restarted on the same
+//! directory can rebuild its co-ranking tables without touching data.
 
 use std::collections::BTreeMap;
 
-use emcore::{EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
+use emcore::{from_hex, to_hex, EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
 
 /// Journal name holding the catalog image.
 pub const CATALOG_JOURNAL: &str = "serve-catalog";
@@ -26,26 +32,54 @@ pub struct DatasetEntry {
     pub words: u64,
 }
 
+/// The persisted description of a sharded dataset: how many shards it
+/// was split across and the exact splitter boundaries, as `(end rank,
+/// key bytes)` pairs in ascending rank order with the last rank equal to
+/// the dataset length. Key bytes are the [`Record::write_bytes`]
+/// encoding of the boundary record (the maximum of its shard), so a
+/// restarted router can rebuild both the co-ranking prefix array and the
+/// degradation skeleton without reading any shard data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Number of shards in the fleet the dataset was built for.
+    pub shards: u64,
+    /// Total records across all shards.
+    pub len: u64,
+    /// Record width in words — checked on reopen, like [`DatasetEntry`].
+    pub words: u64,
+    /// Splitter boundaries: `(cumulative end rank, boundary key bytes)`.
+    /// Empty only for an empty dataset.
+    pub cuts: Vec<(u64, Vec<u8>)>,
+}
+
 #[derive(Debug, Default)]
 struct CatalogImage {
     entries: Vec<(String, DatasetEntry)>,
+    maps: Vec<(String, ShardMap)>,
 }
 
 impl JournalState for CatalogImage {
     const KIND: &'static str = "serve-catalog";
-    const VERSION: u32 = 1;
+    const VERSION: u32 = 2;
 
     fn encode(&self, out: &mut String) {
         use std::fmt::Write as _;
         for (name, e) in &self.entries {
             let _ = writeln!(out, "ds {} {} {} {}", name, e.id, e.len, e.words);
         }
+        for (name, m) in &self.maps {
+            let _ = writeln!(out, "shard {} {} {} {}", name, m.shards, m.len, m.words);
+            for (rank, key) in &m.cuts {
+                let _ = writeln!(out, "cut {} {} {}", name, rank, to_hex(key));
+            }
+        }
     }
 
     fn decode(body: &str) -> Result<Self> {
         let mut entries = Vec::new();
+        let mut maps: Vec<(String, ShardMap)> = Vec::new();
         for line in body.lines() {
-            let Some(("ds", rest)) = line.split_once(' ') else {
+            let Some((kind, rest)) = line.split_once(' ') else {
                 return Err(EmError::config(format!("catalog: bad line {line:?}")));
             };
             let mut it = rest.split(' ');
@@ -53,17 +87,48 @@ impl JournalState for CatalogImage {
                 it.next()
                     .ok_or_else(|| EmError::config(format!("catalog: short line {line:?}")))
             };
-            let name = next()?.to_string();
             let num = |s: &str| {
                 s.parse::<u64>()
                     .map_err(|_| EmError::config(format!("catalog: bad number {s:?}")))
             };
-            let id = num(next()?)?;
-            let len = num(next()?)?;
-            let words = num(next()?)?;
-            entries.push((name, DatasetEntry { id, len, words }));
+            match kind {
+                "ds" => {
+                    let name = next()?.to_string();
+                    let id = num(next()?)?;
+                    let len = num(next()?)?;
+                    let words = num(next()?)?;
+                    entries.push((name, DatasetEntry { id, len, words }));
+                }
+                "shard" => {
+                    let name = next()?.to_string();
+                    let shards = num(next()?)?;
+                    let len = num(next()?)?;
+                    let words = num(next()?)?;
+                    maps.push((
+                        name,
+                        ShardMap {
+                            shards,
+                            len,
+                            words,
+                            cuts: Vec::new(),
+                        },
+                    ));
+                }
+                "cut" => {
+                    let name = next()?.to_string();
+                    let rank = num(next()?)?;
+                    let key = from_hex(next()?)?;
+                    let Some((_, m)) = maps.iter_mut().rev().find(|(n, _)| *n == name) else {
+                        return Err(EmError::config(format!(
+                            "catalog: cut line for unknown shard map {name:?}"
+                        )));
+                    };
+                    m.cuts.push((rank, key));
+                }
+                _ => return Err(EmError::config(format!("catalog: bad line {line:?}"))),
+            }
         }
-        Ok(CatalogImage { entries })
+        Ok(CatalogImage { entries, maps })
     }
 }
 
@@ -89,6 +154,7 @@ pub struct Catalog {
     ctx: EmContext,
     journal: Journal,
     entries: BTreeMap<String, DatasetEntry>,
+    maps: BTreeMap<String, ShardMap>,
 }
 
 impl Catalog {
@@ -96,14 +162,18 @@ impl Catalog {
     /// previously committed image.
     pub fn open(ctx: &EmContext) -> Result<Self> {
         let journal = Journal::new(ctx, CATALOG_JOURNAL)?;
-        let entries = match journal.load::<CatalogImage>()? {
-            Some(img) => img.entries.into_iter().collect(),
-            None => BTreeMap::new(),
+        let (entries, maps) = match journal.load::<CatalogImage>()? {
+            Some(img) => (
+                img.entries.into_iter().collect(),
+                img.maps.into_iter().collect(),
+            ),
+            None => (BTreeMap::new(), BTreeMap::new()),
         };
         Ok(Catalog {
             ctx: ctx.clone(),
             journal,
             entries,
+            maps,
         })
     }
 
@@ -159,6 +229,35 @@ impl Catalog {
         self.ctx.open_file::<T>(e.id, e.len)
     }
 
+    /// Journal a shard map for `name`, committing the catalog. Committing
+    /// the map is the shard build's "build complete" point: a router only
+    /// trusts datasets whose map is present. Idempotent for an identical
+    /// map; an error if `name` already has a *different* one.
+    pub fn register_shard_map(&mut self, name: &str, map: ShardMap) -> Result<()> {
+        validate_name(name)?;
+        if let Some(prev) = self.maps.get(name) {
+            if *prev == map {
+                return Ok(());
+            }
+            return Err(EmError::config(format!(
+                "dataset {name:?} already has a shard map ({} shards)",
+                prev.shards
+            )));
+        }
+        self.maps.insert(name.to_string(), map);
+        self.commit()
+    }
+
+    /// Look up the shard map for `name`, if one was journaled.
+    pub fn shard_map(&self, name: &str) -> Option<&ShardMap> {
+        self.maps.get(name)
+    }
+
+    /// Names of datasets with journaled shard maps, sorted.
+    pub fn shard_map_names(&self) -> Vec<String> {
+        self.maps.keys().cloned().collect()
+    }
+
     /// The context this catalog lives on.
     pub fn ctx(&self) -> &EmContext {
         &self.ctx
@@ -167,6 +266,11 @@ impl Catalog {
     fn commit(&self) -> Result<()> {
         let img = CatalogImage {
             entries: self.entries.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            maps: self
+                .maps
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
         };
         self.journal.commit(&img)
     }
@@ -198,6 +302,42 @@ mod tests {
         let back = cat2.open_dataset::<u64>("alpha").unwrap();
         assert_eq!(back.to_vec().unwrap(), vec![3, 1, 2]);
         drop((f, g, back, cat, cat2));
+        drop(ctx);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_maps_survive_reload_and_stay_idempotent() {
+        let dir = std::env::temp_dir().join(format!("emserve-cat-shard-{}", std::process::id()));
+        let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
+        let mut cat = Catalog::open(&ctx).unwrap();
+        let key = |v: u64| v.to_le_bytes().to_vec();
+        let map = ShardMap {
+            shards: 4,
+            len: 10,
+            words: 1,
+            cuts: vec![(3, key(30)), (5, key(50)), (8, key(80)), (10, key(99))],
+        };
+        cat.register_shard_map("alpha", map.clone()).unwrap();
+        // Idempotent for the identical map, an error for a different one.
+        cat.register_shard_map("alpha", map.clone()).unwrap();
+        let other = ShardMap {
+            shards: 8,
+            ..map.clone()
+        };
+        assert!(cat.register_shard_map("alpha", other).is_err());
+        assert!(cat.register_shard_map("Bad Name", map.clone()).is_err());
+
+        // A fresh catalog decodes the shard + cut lines back exactly,
+        // alongside any plain dataset entries.
+        let f = EmFile::from_slice(&ctx, &[1u64, 2]).unwrap();
+        cat.register("beta", &f).unwrap();
+        let cat2 = Catalog::open(&ctx).unwrap();
+        assert_eq!(cat2.shard_map_names(), vec!["alpha".to_string()]);
+        assert_eq!(cat2.shard_map("alpha"), Some(&map));
+        assert!(cat2.shard_map("beta").is_none());
+        assert_eq!(cat2.entry("beta").unwrap().len, 2);
+        drop((f, cat, cat2));
         drop(ctx);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -22,6 +22,49 @@
 use emcore::{from_hex, to_hex, EmContext, EmError, EmFile, Journal, JournalState, Record, Result};
 use emselect::{multi_partition_segs, multi_select_window, MpOptions, MsOptions};
 
+/// Answer `ranks` approximately from a boundary skeleton alone: each
+/// rank gets the value of the nearest known `(rank, value)` boundary
+/// (ties toward the left boundary), and the returned bound is the
+/// largest boundary distance over the batch — the value returned for
+/// rank `r` has exact rank `r'` with `|r' − r| ≤ bound`. Returns `None`
+/// when the skeleton is empty (no approximation possible without I/O).
+///
+/// `bounds` must be ascending by rank. The bound is offset-invariant:
+/// shifting every rank and boundary by the same base leaves it
+/// unchanged, so a router can feed *shard-local* ranks against a
+/// shard's global-rank skeleton rebased to local coordinates — or
+/// global ranks against a global skeleton — and quote the same honest
+/// error either way. Shared by [`SplitterIndex::answer_approx`] and the
+/// router's per-shard degradation path.
+pub fn approx_from_skeleton<T: Copy>(bounds: &[(u64, T)], ranks: &[u64]) -> Option<(Vec<T>, u64)> {
+    if bounds.is_empty() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(ranks.len());
+    let mut worst = 0u64;
+    for &r in ranks {
+        // Nearest known boundary by rank distance (ties toward the
+        // left boundary, which `partition_point` gives us first).
+        let i = bounds.partition_point(|&(br, _)| br < r);
+        let lo = i.checked_sub(1).map(|j| bounds[j]);
+        let hi = bounds.get(i).copied();
+        let (br, bv) = match (lo, hi) {
+            (Some((lr, lv)), Some((hr, hv))) => {
+                if r - lr <= hr - r {
+                    (lr, lv)
+                } else {
+                    (hr, hv)
+                }
+            }
+            (Some(b), None) | (None, Some(b)) => b,
+            (None, None) => unreachable!("bounds nonempty"),
+        };
+        worst = worst.max(br.abs_diff(r));
+        out.push(bv);
+    }
+    Some((out, worst))
+}
+
 /// One rank window `(prev_end, end_rank]` of the dataset.
 #[derive(Debug)]
 pub struct Segment<T: Record> {
@@ -354,33 +397,7 @@ impl<T: Record> SplitterIndex<T> {
                 return Err(EmError::config(format!("rank {r} out of range [1, {n}]")));
             }
         }
-        let bounds = self.boundaries();
-        if bounds.is_empty() {
-            return Ok(None);
-        }
-        let mut out = Vec::with_capacity(ranks.len());
-        let mut worst = 0u64;
-        for &r in ranks {
-            // Nearest known boundary by rank distance (ties toward the
-            // left boundary, which `partition_point` gives us first).
-            let i = bounds.partition_point(|&(br, _)| br < r);
-            let lo = i.checked_sub(1).map(|j| bounds[j]);
-            let hi = bounds.get(i).copied();
-            let (br, bv) = match (lo, hi) {
-                (Some((lr, lv)), Some((hr, hv))) => {
-                    if r - lr <= hr - r {
-                        (lr, lv)
-                    } else {
-                        (hr, hv)
-                    }
-                }
-                (Some(b), None) | (None, Some(b)) => b,
-                (None, None) => unreachable!("bounds nonempty"),
-            };
-            worst = worst.max(br.abs_diff(r));
-            out.push(bv);
-        }
-        Ok(Some((out, worst)))
+        Ok(approx_from_skeleton(&self.boundaries(), ranks))
     }
 
     /// Cheap health probe: one block read from the dataset. Used by the
@@ -672,5 +689,25 @@ mod tests {
         // A rank sitting exactly on a boundary is answered exactly.
         let (vals2, _) = idx.answer_approx(&[1200]).unwrap().unwrap();
         assert_eq!(vals2, vec![sorted[1199]]);
+    }
+
+    #[test]
+    fn skeleton_approximation_bound_is_offset_invariant() {
+        assert!(approx_from_skeleton::<u64>(&[], &[1, 2]).is_none());
+        let bounds = vec![(100u64, 10u64), (200, 20), (350, 35)];
+        let ranks = vec![100u64, 149, 151, 350, 275];
+        let (vals, worst) = approx_from_skeleton(&bounds, &ranks).unwrap();
+        // 149 is nearer the left cut (49 < 51), 151 nearer the right;
+        // 275 sits 75 from both sides and the tie goes left.
+        assert_eq!(vals, vec![10, 10, 20, 35, 20]);
+        assert_eq!(worst, 75);
+        // Rebasing every rank and boundary by the same offset changes
+        // neither the chosen values nor the bound — the property the
+        // router relies on when it quotes shard-local errors globally.
+        let base = 10_000u64;
+        let shifted: Vec<(u64, u64)> = bounds.iter().map(|&(r, v)| (r + base, v)).collect();
+        let shifted_ranks: Vec<u64> = ranks.iter().map(|&r| r + base).collect();
+        let (vals2, worst2) = approx_from_skeleton(&shifted, &shifted_ranks).unwrap();
+        assert_eq!((vals2, worst2), (vals, worst));
     }
 }

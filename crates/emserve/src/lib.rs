@@ -21,8 +21,24 @@
 //! * [`QueryServer`] / [`Client`] — a scheduler thread that coalesces
 //!   concurrent in-flight queries per dataset under a batching window
 //!   (bounded request queue = admission control) and answers each batch
-//!   with one multi-select pass. [`serve_lines`] adapts it to the
-//!   `emsplit serve` line protocol.
+//!   with one multi-select pass. [`serve_session`] adapts any
+//!   [`QueryService`] to the `emsplit serve` line protocol, whose
+//!   requests and replies are typed ([`Request`]/[`Response`]) and
+//!   versioned ([`PROTOCOL_VERSION`]).
+//! * [`Router`] — sharded scale-out (PR 9): a registered dataset is
+//!   split into per-shard stores at exact splitter boundaries (the
+//!   `apsplit` K-partitioning), the cuts are journaled in the catalog
+//!   ([`ShardMap`]), and rank queries are scatter/gathered by co-ranking
+//!   over the boundary skeleton — each shard answers its local ranks
+//!   exactly, and the merged fleet answer is bit-identical to a single
+//!   store. A breaker-open or memory-starved shard degrades only its own
+//!   key range (approximate answers from the skeleton with an honest
+//!   rank-error bound) while the rest of the fleet stays exact.
+//!
+//! The [`QueryService`] trait is the transport-agnostic surface over
+//! both: the line protocol, the CLI, and tests are written once against
+//! it, and whether the backing service is one [`QueryServer`] or a
+//! [`Router`] fleet is a construction-time choice.
 //!
 //! The serving layer is fault-isolated (PR 6): reply channels carry typed
 //! [`emcore::EmError`]s, failed batches are retried and then bisected so a
@@ -36,15 +52,21 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod api;
 mod catalog;
 mod index;
 mod protocol;
 mod server;
+mod shard;
 
-pub use catalog::{validate_name, Catalog, DatasetEntry, CATALOG_JOURNAL};
-pub use index::{AnswerStats, Segment, SplitterIndex};
+pub use api::{QueryService, ServiceTicket};
+pub use catalog::{validate_name, Catalog, DatasetEntry, ShardMap, CATALOG_JOURNAL};
+pub use index::{approx_from_skeleton, AnswerStats, Segment, SplitterIndex};
+#[allow(deprecated)]
 pub use protocol::serve_lines;
+pub use protocol::{serve_session, Request, Response, PROTOCOL_VERSION};
 pub use server::{
     BreakerState, Client, DatasetHealth, QueryAnswer, QueryOptions, QueryServer, ServeOptions,
-    ServeReport, Ticket,
+    ServeOptionsBuilder, ServeReport, Ticket,
 };
+pub use shard::{shard_fleet_in_memory, shard_fleet_on_disk, RoutedTicket, Router};

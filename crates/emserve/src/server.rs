@@ -208,6 +208,116 @@ impl Default for ServeOptions {
     }
 }
 
+impl ServeOptions {
+    /// Start building options from the defaults, one named setter per
+    /// field (the [`emcore::EmConfig::builder`] idiom). Struct-literal
+    /// construction via `..ServeOptions::default()` keeps working.
+    ///
+    /// ```
+    /// use emserve::ServeOptions;
+    /// use std::time::Duration;
+    /// let opts = ServeOptions::builder()
+    ///     .batch_window(Duration::from_millis(5))
+    ///     .degraded(true)
+    ///     .build();
+    /// assert_eq!(opts.batch_window, Duration::from_millis(5));
+    /// assert!(opts.degraded);
+    /// ```
+    pub fn builder() -> ServeOptionsBuilder {
+        ServeOptionsBuilder {
+            opts: ServeOptions::default(),
+        }
+    }
+}
+
+/// Named-parameter construction of [`ServeOptions`]; see
+/// [`ServeOptions::builder`]. `build` is infallible — every combination
+/// of fields is a valid configuration (degenerate values like a zero
+/// queue depth are clamped where they are consumed).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptionsBuilder {
+    opts: ServeOptions,
+}
+
+impl ServeOptionsBuilder {
+    /// Most queries coalesced into one batch.
+    pub fn batch_max(mut self, v: usize) -> Self {
+        self.opts.batch_max = v;
+        self
+    }
+
+    /// How long the scheduler waits for more queries after the first.
+    pub fn batch_window(mut self, v: Duration) -> Self {
+        self.opts.batch_window = v;
+        self
+    }
+
+    /// Bound of the request channel (admission control).
+    pub fn queue_depth(mut self, v: usize) -> Self {
+        self.opts.queue_depth = v;
+        self
+    }
+
+    /// Refine the splitter index after every answered batch.
+    pub fn refine(mut self, v: bool) -> Self {
+        self.opts.refine = v;
+        self
+    }
+
+    /// Multi-select options used for every pass.
+    pub fn select(mut self, v: MsOptions) -> Self {
+        self.opts.select = v;
+        self
+    }
+
+    /// Server-level batch retry policy.
+    pub fn retry(mut self, v: RetryPolicy) -> Self {
+        self.opts.retry = v;
+        self
+    }
+
+    /// Consecutive fully-failed fault batches before the breaker opens.
+    pub fn breaker_threshold(mut self, v: u32) -> Self {
+        self.opts.breaker_threshold = v;
+        self
+    }
+
+    /// Cooldown before an open breaker half-opens and is probed.
+    pub fn probe_cooldown(mut self, v: Duration) -> Self {
+        self.opts.probe_cooldown = v;
+        self
+    }
+
+    /// Default per-query deadline (`None` = no deadline).
+    pub fn deadline(mut self, v: Option<Duration>) -> Self {
+        self.opts.deadline = v;
+        self
+    }
+
+    /// Default degraded-mode flag.
+    pub fn degraded(mut self, v: bool) -> Self {
+        self.opts.degraded = v;
+        self
+    }
+
+    /// Per-dataset memory-lease floor, in words (0 disables leasing).
+    pub fn lease_floor(mut self, v: usize) -> Self {
+        self.opts.lease_floor = v;
+        self
+    }
+
+    /// Fairness weight of each dataset's lease.
+    pub fn lease_weight(mut self, v: u32) -> Self {
+        self.opts.lease_weight = v;
+        self
+    }
+
+    /// The finished options.
+    pub fn build(self) -> ServeOptions {
+        self.opts
+    }
+}
+
 /// Aggregate service counters, returned by [`QueryServer::shutdown`] and
 /// [`Client::report`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -266,6 +376,42 @@ pub struct ServeReport {
     pub batch_occupancy: u64,
 }
 
+impl ServeReport {
+    /// Accumulate `other` into `self`, field by field — the shard router's
+    /// merge operation. Every field adds, so the merged report reads as a
+    /// *fleet total*: the counters (queries, batches, failures, ...) sum
+    /// exactly, and the point-in-time gauges (memory budget, queue depth,
+    /// open breakers, leases) sum across the member servers' snapshots.
+    /// Summing keeps the conservation laws intact: with every shard
+    /// recording into one shared metrics registry,
+    /// `family_total("em_serve_query_e2e_us")` equals the merged
+    /// [`ServeReport::queries`].
+    pub fn absorb(&mut self, other: &ServeReport) {
+        self.registered += other.registered;
+        self.queries += other.queries;
+        self.batches += other.batches;
+        self.index_hits += other.index_hits;
+        self.selected += other.selected;
+        self.answer_us += other.answer_us;
+        self.retried_batches += other.retried_batches;
+        self.failed += other.failed;
+        self.quarantined += other.quarantined;
+        self.shed += other.shed;
+        self.degraded += other.degraded;
+        self.breaker_trips += other.breaker_trips;
+        self.probes += other.probes;
+        self.breaker_restores += other.breaker_restores;
+        self.open_breakers += other.open_breakers;
+        self.mem_budget_words += other.mem_budget_words;
+        self.lease_floor_words += other.lease_floor_words;
+        self.leases += other.leases;
+        self.lease_denials += other.lease_denials;
+        self.mem_degraded += other.mem_degraded;
+        self.queue_depth += other.queue_depth;
+        self.batch_occupancy += other.batch_occupancy;
+    }
+}
+
 /// One client query awaiting an answer.
 struct Pending<T: Record> {
     ranks: Vec<u64>,
@@ -297,6 +443,11 @@ enum Req<T: Record> {
     Health {
         reply: mpsc::Sender<Vec<DatasetHealth>>,
     },
+    /// Length of a registered dataset (a catalog lookup, no I/O).
+    Len {
+        name: String,
+        reply: mpsc::Sender<Result<u64>>,
+    },
 }
 
 /// Handle to a running scheduler thread.
@@ -306,6 +457,9 @@ pub struct QueryServer<T: Record> {
     handle: Option<std::thread::JoinHandle<ServeReport>>,
     clock: Arc<dyn Clock>,
     depth: Arc<AtomicU64>,
+    /// The serving context's registry, kept so the transport-agnostic
+    /// [`crate::QueryService::metrics`] can scrape without a context.
+    pub(crate) metrics: MetricsRegistry,
 }
 
 /// A cheap client handle; clone freely across threads.
@@ -331,6 +485,12 @@ impl<T: Record> Clone for Client<T> {
 /// An in-flight query's answer slot.
 pub struct Ticket<T: Record> {
     rx: mpsc::Receiver<Result<QueryAnswer<T>>>,
+}
+
+impl<T: Record> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
 }
 
 impl<T: Record> Ticket<T> {
@@ -461,6 +621,24 @@ impl<T: Record> Client<T> {
             return gone();
         }
         Ok(tickets)
+    }
+
+    /// Length of a registered dataset (a catalog lookup, no I/O). Typed
+    /// `Config` error for an unknown name.
+    pub fn dataset_len(&self, name: &str) -> Result<u64> {
+        let (tx, rx) = mpsc::channel();
+        if self
+            .tx
+            .send(Req::Len {
+                name: name.to_string(),
+                reply: tx,
+            })
+            .is_err()
+        {
+            return gone();
+        }
+        rx.recv()
+            .map_err(|_| EmError::unavailable("server dropped"))?
     }
 
     /// Snapshot of the server's counters.
@@ -689,6 +867,7 @@ impl<T: Record> QueryServer<T> {
             handle: Some(handle),
             clock,
             depth,
+            metrics: ctx.metrics().clone(),
         })
     }
 
@@ -803,6 +982,14 @@ impl<T: Record> Scheduler<T> {
                         });
                     }
                     let _ = reply.send(out);
+                }
+                Req::Len { name, reply } => {
+                    let r = self
+                        .catalog
+                        .entry(&name)
+                        .map(|e| e.len)
+                        .ok_or_else(|| EmError::config(format!("unknown dataset {name:?}")));
+                    let _ = reply.send(r);
                 }
                 Req::Batch { name, queries } => self.answer_group(&name, queries),
                 Req::Query { name, query } => {
@@ -1677,6 +1864,98 @@ mod tests {
             .map(|s| s.value)
             .unwrap_or(0);
         assert_eq!(shed + degraded, report.shed + report.degraded);
+        drop(client);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn options_builder_matches_struct_literal_construction() {
+        let built = ServeOptions::builder()
+            .batch_max(8)
+            .batch_window(Duration::from_millis(7))
+            .queue_depth(16)
+            .refine(false)
+            .select(MsOptions::default())
+            .retry(RetryPolicy::NONE)
+            .breaker_threshold(5)
+            .probe_cooldown(Duration::from_millis(9))
+            .deadline(Some(Duration::from_secs(1)))
+            .degraded(true)
+            .lease_floor(1024)
+            .lease_weight(3)
+            .build();
+        // Struct-literal construction with functional update must keep
+        // compiling — the builder is additive, not a replacement.
+        let literal = ServeOptions {
+            batch_max: 8,
+            batch_window: Duration::from_millis(7),
+            queue_depth: 16,
+            refine: false,
+            select: MsOptions::default(),
+            retry: RetryPolicy::NONE,
+            breaker_threshold: 5,
+            probe_cooldown: Duration::from_millis(9),
+            deadline: Some(Duration::from_secs(1)),
+            degraded: true,
+            lease_floor: 1024,
+            lease_weight: 3,
+        };
+        let partial = ServeOptions {
+            batch_max: 8,
+            ..ServeOptions::default()
+        };
+        assert_eq!(format!("{built:?}"), format!("{literal:?}"));
+        assert_eq!(partial.batch_max, 8);
+        assert_eq!(partial.queue_depth, ServeOptions::default().queue_depth);
+    }
+
+    #[test]
+    fn report_absorb_sums_every_field() {
+        let mut a = ServeReport {
+            queries: 3,
+            batches: 1,
+            failed: 1,
+            mem_budget_words: 100,
+            ..ServeReport::default()
+        };
+        let b = ServeReport {
+            queries: 7,
+            batches: 2,
+            degraded: 4,
+            mem_budget_words: 50,
+            queue_depth: 2,
+            ..ServeReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.queries, 10);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.degraded, 4);
+        assert_eq!(a.mem_budget_words, 150);
+        assert_eq!(a.queue_depth, 2);
+        // Absorbing a default report changes nothing.
+        let before = a;
+        a.absorb(&ServeReport::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn dataset_len_is_a_catalog_lookup() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+        let client = server.client().unwrap();
+        client.register("ds", data(321, 8)).unwrap();
+        let before = ctx.stats().snapshot();
+        assert_eq!(client.dataset_len("ds").unwrap(), 321);
+        assert_eq!(
+            ctx.stats().snapshot().since(&before).total_ios(),
+            0,
+            "length lookups must be free"
+        );
+        assert!(matches!(
+            client.dataset_len("nope"),
+            Err(EmError::Config(_))
+        ));
         drop(client);
         server.shutdown().unwrap();
     }

@@ -10,17 +10,26 @@
 //! emsplit quantiles <file> --q Q [--stats]
 //! emsplit select <file> --ranks r1,r2,... [--stats]
 //! emsplit sort <file> <out-file> [--stats]
-//! emsplit serve <store-dir> [--batch-max N] [--batch-window-ms W] [--no-refine]
-//!               [--deadline-ms D] [--degraded] [--breaker-threshold K] [--probe-ms P]
-//!               [--metrics] [--metrics-file FILE] [--metrics-interval-ms I]
+//! emsplit serve <store-dir> [--shards N] [--batch-max N] [--batch-window-ms W]
+//!               [--no-refine] [--deadline-ms D] [--degraded] [--breaker-threshold K]
+//!               [--probe-ms P] [--metrics] [--metrics-file FILE] [--metrics-interval-ms I]
+//! emsplit shard-build <store-dir> <name> <file> --shards N
 //! emsplit metrics-report <series.jsonl>
 //! emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...
 //! ```
 //!
 //! `serve` opens (or creates) a persistent dataset store in `<store-dir>`
 //! and answers line-oriented rank/quantile queries from stdin — see
-//! `emserve::serve_lines` for the protocol. Answers go to stdout exactly
+//! `emserve::serve_session` for the protocol. Answers go to stdout exactly
 //! as `select`/`quantiles` print them; status lines go to stderr.
+//! With `--shards N` the store becomes a fleet root (`router/` +
+//! `shard-000/` …): datasets opened in the session are split across `N`
+//! per-shard stores at exact splitter boundaries and every query is
+//! scatter/gathered by the co-ranking router — answers are bit-identical
+//! to the single-store server. `shard-build` performs just the splitting
+//! (registering `<file>` under `<name>` in the fleet at `<store-dir>`)
+//! so a later `serve --shards N` session starts from the journaled shard
+//! map without moving data.
 //! `--deadline-ms` sheds queries that waited longer than `D` ms before
 //! execution; with `--degraded` they are instead answered approximately
 //! from the splitter skeleton (zero I/O, flagged on stderr with an
@@ -472,8 +481,22 @@ fn main() -> ExitCode {
             );
             std::fs::create_dir_all(&store)
                 .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", store.display())));
-            let ctx = EmContext::new_on_disk(config(&args), &store)
-                .unwrap_or_else(|e| die(&format!("cannot open store {}: {e}", store.display())));
+            // --shards N serves a splitter-partitioned fleet under the
+            // store root; the router's context carries the fleet-shared
+            // metrics registry, so sampling/tracing attach to it either way.
+            let shards = args.flag_u64("shards", 0) as usize;
+            let (ctx, shard_ctxs) = if shards > 0 {
+                let (rc, scs) =
+                    shard_fleet_on_disk(config(&args), &store, shards).unwrap_or_else(|e| {
+                        die(&format!("cannot open fleet {}: {e}", store.display()))
+                    });
+                (rc, Some(scs))
+            } else {
+                let ctx = EmContext::new_on_disk(config(&args), &store).unwrap_or_else(|e| {
+                    die(&format!("cannot open store {}: {e}", store.display()))
+                });
+                (ctx, None)
+            };
             setup_squeeze(&ctx, &args);
             let trace = setup_trace(&ctx, &args);
             // --metrics / --metrics-file arm the live registry; the
@@ -495,34 +518,62 @@ fn main() -> ExitCode {
             });
             let defaults = ServeOptions::default();
             let deadline_ms = args.flag_u64("deadline-ms", 0);
-            let opts = ServeOptions {
-                batch_max: args.flag_u64("batch-max", defaults.batch_max as u64) as usize,
-                batch_window: std::time::Duration::from_millis(
-                    args.flag_u64("batch-window-ms", defaults.batch_window.as_millis() as u64),
-                ),
-                queue_depth: args.flag_u64("queue-depth", defaults.queue_depth as u64) as usize,
-                refine: !args.has("no-refine"),
-                deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
-                degraded: args.has("degraded"),
-                breaker_threshold: args
-                    .flag_u64("breaker-threshold", defaults.breaker_threshold as u64)
-                    as u32,
-                probe_cooldown: std::time::Duration::from_millis(
+            let opts = ServeOptions::builder()
+                .batch_max(args.flag_u64("batch-max", defaults.batch_max as u64) as usize)
+                .batch_window(std::time::Duration::from_millis(args.flag_u64(
+                    "batch-window-ms",
+                    defaults.batch_window.as_millis() as u64,
+                )))
+                .queue_depth(args.flag_u64("queue-depth", defaults.queue_depth as u64) as usize)
+                .refine(!args.has("no-refine"))
+                .deadline((deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)))
+                .degraded(args.has("degraded"))
+                .breaker_threshold(
+                    args.flag_u64("breaker-threshold", defaults.breaker_threshold as u64) as u32,
+                )
+                .probe_cooldown(std::time::Duration::from_millis(
                     args.flag_u64("probe-ms", defaults.probe_cooldown.as_millis() as u64),
-                ),
-                lease_floor: args.flag_u64("lease-floor", 0) as usize,
-                lease_weight: args.flag_u64("lease-weight", 1) as u32,
-                ..defaults
-            };
+                ))
+                .lease_floor(args.flag_u64("lease-floor", 0) as usize)
+                .lease_weight(args.flag_u64("lease-weight", 1) as u32)
+                .build();
             let stdin = std::io::stdin();
-            let report = serve_lines(
-                &ctx,
-                opts,
-                stdin.lock(),
-                std::io::stdout().lock(),
-                std::io::stderr().lock(),
-            )
-            .unwrap_or_else(|e| die(&format!("serve failed: {e}")));
+            let report = match &shard_ctxs {
+                Some(scs) => {
+                    let mut router = Router::<u64>::start(&ctx, scs, opts)
+                        .unwrap_or_else(|e| die(&format!("cannot start fleet: {e}")));
+                    let session = serve_session(
+                        &router,
+                        stdin.lock(),
+                        std::io::stdout().lock(),
+                        std::io::stderr().lock(),
+                    );
+                    let merged = router.shutdown();
+                    let report = session
+                        .and(merged)
+                        .unwrap_or_else(|e| die(&format!("serve failed: {e}")));
+                    eprintln!(
+                        "[serve] fleet of {} shards; {} key ranges degraded by routing",
+                        scs.len(),
+                        router.degraded_key_ranges()
+                    );
+                    report
+                }
+                None => {
+                    let mut server = QueryServer::<u64>::start(&ctx, opts)
+                        .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+                    let session = serve_session(
+                        &server,
+                        stdin.lock(),
+                        std::io::stdout().lock(),
+                        std::io::stderr().lock(),
+                    );
+                    let report = server.shutdown();
+                    session
+                        .and(report)
+                        .unwrap_or_else(|e| die(&format!("serve failed: {e}")))
+                }
+            };
             eprintln!(
                 "[serve] {} queries in {} batches; {} index hits, {} selected; \
                  {} failed ({} quarantined), {} shed, {} degraded ({} on memory), \
@@ -555,6 +606,53 @@ fn main() -> ExitCode {
                 print_stats(&ctx, &args);
             }
             finish_trace(&ctx, trace);
+        }
+        "shard-build" => {
+            let store = PathBuf::from(
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("shard-build needs <store-dir>")),
+            );
+            let name = args
+                .positional
+                .get(2)
+                .unwrap_or_else(|| die("shard-build needs <name>"))
+                .clone();
+            let path = PathBuf::from(
+                args.positional
+                    .get(3)
+                    .unwrap_or_else(|| die("shard-build needs <file>")),
+            );
+            let shards = args.flag_u64("shards", 0) as usize;
+            if shards == 0 {
+                die("--shards is required");
+            }
+            std::fs::create_dir_all(&store)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", store.display())));
+            let (rc, scs) = shard_fleet_on_disk(config(&args), &store, shards)
+                .unwrap_or_else(|e| die(&format!("cannot open fleet {}: {e}", store.display())));
+            let mut router = Router::<u64>::start(&rc, &scs, ServeOptions::default())
+                .unwrap_or_else(|e| die(&format!("cannot start fleet: {e}")));
+            let keys = read_keys(&path);
+            let n = router
+                .register(&name, keys)
+                .unwrap_or_else(|e| die(&format!("shard build failed: {e}")));
+            // One "cut-rank boundary-key" line per shard holding data —
+            // the journaled splitter boundaries the router routes by.
+            let mut out = std::io::stdout().lock();
+            for (rank, key) in router.boundaries(&name).unwrap_or_default() {
+                writeln!(out, "{rank} {key}").expect("stdout");
+            }
+            eprintln!(
+                "sharded {n} records of {name} across {shards} shards in {}",
+                store.display()
+            );
+            router
+                .shutdown()
+                .unwrap_or_else(|e| die(&format!("fleet shutdown failed: {e}")));
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&rc, &args);
+            }
         }
         "metrics-report" => {
             let path = PathBuf::from(
@@ -644,9 +742,10 @@ fn main() -> ExitCode {
                  \x20 emsplit quantiles <file> --q Q [--stats]\n\
                  \x20 emsplit select <file> --ranks r1,r2,... [--stats]\n\
                  \x20 emsplit sort <file> <out-file> [--stats]\n\
-                 \x20 emsplit serve <store-dir> [--batch-max N] [--batch-window-ms W] [--no-refine]\n\
-                 \x20               [--deadline-ms D] [--degraded] [--breaker-threshold K] [--probe-ms P]\n\
-                 \x20               [--metrics] [--metrics-file FILE] [--metrics-interval-ms I]\n\
+                 \x20 emsplit serve <store-dir> [--shards N] [--batch-max N] [--batch-window-ms W]\n\
+                 \x20               [--no-refine] [--deadline-ms D] [--degraded] [--breaker-threshold K]\n\
+                 \x20               [--probe-ms P] [--metrics] [--metrics-file FILE] [--metrics-interval-ms I]\n\
+                 \x20 emsplit shard-build <store-dir> <name> <file> --shards N\n\
                  \x20 emsplit metrics-report <series.jsonl>\n\
                  \x20 emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...\n\
                  \n\

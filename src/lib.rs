@@ -21,8 +21,11 @@
 //! * [`workloads`] — seeded input generators, including the paper's hard
 //!   permutation family `Π_hard`.
 //! * [`emserve`] — the serving layer: a persistent dataset catalog, a
-//!   batch-coalescing [`emserve::QueryServer`], and the journaled
-//!   [`emserve::SplitterIndex`] for online multiselection.
+//!   batch-coalescing [`emserve::QueryServer`], the journaled
+//!   [`emserve::SplitterIndex`] for online multiselection, and the
+//!   sharded scale-out tier — [`emserve::Router`] scatter/gathers rank
+//!   queries across splitter-partitioned shards behind the same
+//!   transport-agnostic [`emserve::QueryService`] trait.
 //!
 //! ## Quickstart
 //!
@@ -78,9 +81,12 @@ pub mod prelude {
         multi_select, multi_select_recoverable, quantiles, select_rank, MsOptions, MultiSelectJob,
         MultiSelectManifest, Partition,
     };
+    #[allow(deprecated)]
+    pub use emserve::serve_lines;
     pub use emserve::{
-        serve_lines, BreakerState, Catalog, QueryAnswer, QueryOptions, QueryServer, ServeOptions,
-        SplitterIndex,
+        serve_session, shard_fleet_in_memory, shard_fleet_on_disk, BreakerState, Catalog,
+        QueryAnswer, QueryOptions, QueryServer, QueryService, Request, Response, Router,
+        ServeOptions, ServeReport, ServiceTicket, ShardMap, SplitterIndex, PROTOCOL_VERSION,
     };
     pub use emsort::{
         external_sort, external_sort_recoverable, parallel_external_sort, SortJob, SortManifest,

@@ -112,18 +112,19 @@ fn server_batches_match_plain_select_and_survive_restart() {
             .collect()
     };
 
+    // Everything below speaks the transport-agnostic QueryService trait —
+    // the same calls would drive a sharded Router unchanged.
     {
         let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
         let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
-        let client = server.client().unwrap();
-        client.register("ds", data.clone()).unwrap();
-        let tickets = client.submit_batch("ds", queries.clone()).unwrap();
+        let svc: &dyn QueryService<u64> = &server;
+        svc.register("ds", data.clone()).unwrap();
+        let tickets = svc.rank_batch("ds", queries.clone()).unwrap();
         let got: Vec<Vec<u64>> = tickets
             .into_iter()
             .map(|t| t.wait().unwrap().into_values())
             .collect();
         assert_eq!(got, want, "batched answers must be bit-identical");
-        drop(client); // the scheduler drains only once every sender is gone
         let report = server.shutdown().unwrap();
         assert_eq!(report.queries as usize, queries.len());
         assert_eq!(report.batches, 1, "submit_batch coalesces into one pass");
@@ -133,20 +134,16 @@ fn server_batches_match_plain_select_and_survive_restart() {
     // warmed index makes exact repeats free of selection work.
     let ctx = EmContext::new_on_disk(EmConfig::tiny(), &dir).unwrap();
     let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
-    let client = server.client().unwrap();
-    let got = client
-        .query("ds", queries[0].clone())
-        .unwrap()
-        .wait()
-        .unwrap();
+    let svc: &dyn QueryService<u64> = &server;
+    assert_eq!(svc.dataset_len("ds").unwrap(), n);
+    let got = svc.rank("ds", queries[0].clone()).unwrap().wait().unwrap();
     assert_eq!(got.values, want[0]);
-    let report = client.report().unwrap();
+    let report = svc.stats().unwrap();
     assert_eq!(
         report.index_hits as usize,
         queries[0].len(),
         "repeat ranks answered from the persisted skeleton"
     );
-    drop(client);
     server.shutdown().unwrap();
     drop(ctx);
     let _ = std::fs::remove_dir_all(&dir);
@@ -212,12 +209,11 @@ fn fatal_fault_on_one_dataset_leaves_others_serving() {
     sorted_b.sort_unstable();
     let mut server = QueryServer::<u64>::start(
         &ctx,
-        ServeOptions {
-            breaker_threshold: 2,
-            probe_cooldown: Duration::from_millis(5),
-            retry: RetryPolicy::NONE,
-            ..ServeOptions::default()
-        },
+        ServeOptions::builder()
+            .breaker_threshold(2)
+            .probe_cooldown(Duration::from_millis(5))
+            .retry(RetryPolicy::NONE)
+            .build(),
     )
     .unwrap();
     let client = server.client().unwrap();
@@ -361,11 +357,10 @@ fn metrics_scrape_stays_conserved_during_fault_storm() {
     let n = 2000u64;
     let mut server = QueryServer::<u64>::start(
         &ctx,
-        ServeOptions {
-            breaker_threshold: 2,
-            probe_cooldown: Duration::from_millis(5),
-            ..ServeOptions::default()
-        },
+        ServeOptions::builder()
+            .breaker_threshold(2)
+            .probe_cooldown(Duration::from_millis(5))
+            .build(),
     )
     .unwrap();
     let client = server.client().unwrap();
@@ -466,14 +461,9 @@ fn protocol_metrics_verb_scrapes_cleanly_during_faults() {
     );
     let mut out = Vec::new();
     let mut errs = Vec::new();
-    let report = serve_lines(
-        &ctx,
-        ServeOptions::default(),
-        script.as_bytes(),
-        &mut out,
-        &mut errs,
-    )
-    .unwrap();
+    let mut server = QueryServer::<u64>::start(&ctx, ServeOptions::default()).unwrap();
+    let report = serve_session(&server, script.as_bytes(), &mut out, &mut errs).unwrap();
+    server.shutdown().unwrap();
 
     // The answer stream holds exactly the four requested values, all
     // numeric — the scrape leaked nothing into it.
