@@ -1,0 +1,147 @@
+//! Regression tests for duplicate-heavy skewed key multisets.
+//!
+//! Graph workloads hand the partitioning machinery *degree multisets*:
+//! power-law files where a handful of key values (degree 1, degree 2)
+//! cover most of the input and a few hub keys are enormous outliers.
+//! Ties then straddle partition boundaries by necessity, and these
+//! tests pin down that the realized partition **sizes** still meet the
+//! paper's `[a, b]` contract exactly — physical partitioning splits by
+//! rank, not by key range, so duplicates must never push a size out of
+//! bounds.
+
+use apsplit::{approx_partitioning, balanced_loads, verify_partitioning, ProblemSpec};
+use emcore::{EmConfig, EmContext, EmFile, KeyValue, SplitMix64};
+use workloads::{degree_histogram, rmat_edges};
+
+/// The degree multiset of a seeded R-MAT graph as bare `u64` keys —
+/// maximally duplicate-heavy (every vertex of degree `d` contributes
+/// another copy of `d`).
+fn power_law_degrees(scale: u32, edges: u64, seed: u64) -> Vec<u64> {
+    let hist = degree_histogram(&rmat_edges(scale, edges, seed));
+    let mut keys = Vec::new();
+    for (degree, count) in hist {
+        keys.extend(std::iter::repeat_n(degree, count as usize));
+    }
+    // Present them unsorted, as a real pipeline would.
+    SplitMix64::new(seed ^ 0x9e37).shuffle(&mut keys);
+    keys
+}
+
+fn near_even_sizes(n: u64, k: u64) -> Vec<u64> {
+    (1..=k).map(|i| i * n / k - (i - 1) * n / k).collect()
+}
+
+#[test]
+fn near_even_partitioning_of_power_law_degree_multiset() {
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    let keys = power_law_degrees(9, 6_000, 11);
+    let n = keys.len() as u64;
+    let file = EmFile::from_slice(&ctx, &keys).unwrap();
+    for k in [2u64, 7, 16] {
+        let spec = ProblemSpec::near_even(n, k).unwrap();
+        let parts = approx_partitioning(&file, &spec).unwrap();
+        let report = verify_partitioning(&parts, &spec).unwrap();
+        assert!(report.ok, "k={k}: {report:?}");
+        // Near-even is quantile-sufficient: the realized sizes are the
+        // exact ⌊i·N/K⌋ cuts, duplicates or not.
+        assert_eq!(report.sizes, near_even_sizes(n, k), "k={k}");
+    }
+}
+
+#[test]
+fn single_value_majority_still_partitions_in_bounds() {
+    // One key value covering > N/2 of the file: any key-range split is
+    // infeasible, only rank splitting can respect [a, b].
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    let mut keys = vec![1u64; 700];
+    keys.extend(0..300u64);
+    SplitMix64::new(3).shuffle(&mut keys);
+    let file = EmFile::from_slice(&ctx, &keys).unwrap();
+    let spec = ProblemSpec::near_even(1000, 8).unwrap();
+    let parts = approx_partitioning(&file, &spec).unwrap();
+    let report = verify_partitioning(&parts, &spec).unwrap();
+    assert!(report.ok, "{report:?}");
+    assert_eq!(report.sizes, vec![125; 8]);
+}
+
+#[test]
+fn two_sided_slack_spec_on_degree_multiset() {
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    let keys = power_law_degrees(8, 4_000, 5);
+    let n = keys.len() as u64;
+    let file = EmFile::from_slice(&ctx, &keys).unwrap();
+    // The balanced-loads application: 10% slack around N/K.
+    let k = 6u64;
+    let parts = balanced_loads(&file, k, 0.10).unwrap();
+    let target = n as f64 / k as f64;
+    let a = (target / 1.10).floor() as u64;
+    let b = (target * 1.10).ceil() as u64;
+    assert_eq!(parts.len(), k as usize);
+    let mut total = 0u64;
+    for p in &parts {
+        assert!(
+            p.len() >= a && p.len() <= b,
+            "size {} outside [{a}, {b}]",
+            p.len()
+        );
+        total += p.len();
+    }
+    assert_eq!(total, n);
+}
+
+#[test]
+fn right_grounded_spec_isolates_the_hub_tail() {
+    // a small, b = N: the first K−1 partitions take exactly a of the
+    // smallest degrees; the hub keys all land in the last partition.
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    let keys = power_law_degrees(8, 4_000, 7);
+    let n = keys.len() as u64;
+    let file = EmFile::from_slice(&ctx, &keys).unwrap();
+    let (k, a) = (5u64, 16u64);
+    let spec = ProblemSpec::new(n, k, a, n).unwrap();
+    let parts = approx_partitioning(&file, &spec).unwrap();
+    let report = verify_partitioning(&parts, &spec).unwrap();
+    assert!(report.ok, "{report:?}");
+    let mut want = vec![a; (k - 1) as usize];
+    want.push(n - a * (k - 1));
+    assert_eq!(report.sizes, want);
+    // The global maximum degree is in the last partition.
+    let max_key = keys.iter().copied().max().unwrap();
+    let last: Vec<u64> = parts.last().unwrap().to_vec().unwrap();
+    assert!(last.contains(&max_key));
+}
+
+#[test]
+fn keyed_records_carry_vertices_through_ties() {
+    // (degree, vertex) records: the partitioner splits tied degrees
+    // across partitions, but every vertex must come out exactly once —
+    // the contract emgraph's degree bucketing relies on.
+    let ctx = EmContext::new_in_memory(EmConfig::tiny());
+    let hist = degree_histogram(&rmat_edges(7, 2_000, 13));
+    let mut records = Vec::new();
+    let mut v = 0u64;
+    for (degree, count) in hist {
+        for _ in 0..count {
+            records.push(KeyValue {
+                key: degree,
+                value: v,
+            });
+            v += 1;
+        }
+    }
+    SplitMix64::new(99).shuffle(&mut records);
+    let n = records.len() as u64;
+    let file = EmFile::from_slice(&ctx, &records).unwrap();
+    let spec = ProblemSpec::near_even(n, 4).unwrap();
+    let parts = approx_partitioning(&file, &spec).unwrap();
+    let report = verify_partitioning(&parts, &spec).unwrap();
+    assert!(report.ok, "{report:?}");
+    let mut seen: Vec<u64> = Vec::new();
+    for p in &parts {
+        for kv in p.to_vec().unwrap() {
+            seen.push(kv.value);
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (0..n).collect::<Vec<u64>>());
+}

@@ -1,0 +1,15 @@
+//! EX-GRAPH semi-external graph campaign: see DESIGN.md per-experiment
+//! index. Exits nonzero on any digest divergence (across backends or
+//! worker counts), recovery-invariant violation, orphaned file, or
+//! serve/bucket integration failure — the CI graph-smoke gate.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (_, clean) = bench::run_graph(bench::Scale::from_env());
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[EX-GRAPH] campaign found sick cells");
+        ExitCode::FAILURE
+    }
+}

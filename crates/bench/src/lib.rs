@@ -18,6 +18,7 @@
 
 pub mod crash_sweep;
 pub mod experiments;
+pub mod graph;
 pub mod harness;
 pub mod mem_squeeze;
 pub mod obs;
@@ -27,6 +28,7 @@ pub mod shard_bench;
 
 pub use crash_sweep::{ex_recovery, run_campaign, sweep, Algo, Backend, SweepOutcome};
 pub use experiments::*;
+pub use graph::{ex_graph, graph_cell, run_graph, GraphKind, GraphOutcome};
 pub use harness::{bench_config, bench_ctx, emit, fnum, measure, Scale, Table};
 pub use mem_squeeze::{ex_squeeze, run_squeeze, SqueezeOutcome};
 pub use obs::{

@@ -1,0 +1,186 @@
+//! Vertex bucketing via approximate K-partitioning.
+//!
+//! The paper's K-partitioning machinery buckets vertices by any `u64`
+//! score in its I/O bound — no full sort of the score file. `emgraph`
+//! uses it twice: over **degree** keys (load-balanced sharding where
+//! every shard holds a near-even slice of the degree distribution) and
+//! over **cluster ids** after label propagation (co-locating each
+//! cluster's vertices while keeping shard sizes near-even).
+
+use apsplit::{approx_partitioning, ProblemSpec};
+use emcore::{EmFile, KeyValue, Result};
+use emselect::Partition;
+
+use crate::build::Graph;
+
+/// `K` ordered vertex buckets produced by approximate K-partitioning of
+/// `(score, vertex)` records: bucket `i`'s scores all precede bucket
+/// `i + 1`'s (ties may straddle), and every realized size is an exact
+/// near-even quantile cut `⌊(i+1)·N/K⌋ − ⌊i·N/K⌋` — the
+/// quantile-sufficient regime of the paper's two-sided algorithm.
+#[derive(Debug)]
+pub struct Buckets {
+    parts: Vec<Partition<KeyValue>>,
+    n: u64,
+}
+
+impl Buckets {
+    /// The buckets in score order; each record is `(score, vertex)`.
+    pub fn parts(&self) -> &[Partition<KeyValue>] {
+        &self.parts
+    }
+
+    /// Number of buckets `K`.
+    pub fn k(&self) -> u64 {
+        self.parts.len() as u64
+    }
+
+    /// Total vertices bucketed.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Realized bucket sizes, in order.
+    pub fn sizes(&self) -> Vec<u64> {
+        self.parts.iter().map(|p| p.len()).collect()
+    }
+
+    /// Per-bucket `(min, max)` score, `None` for empty buckets. One scan.
+    pub fn score_ranges(&self) -> Result<Vec<Option<(u64, u64)>>> {
+        self.parts
+            .iter()
+            .map(|p| {
+                let mut range: Option<(u64, u64)> = None;
+                p.for_each(|kv| {
+                    range = Some(match range {
+                        None => (kv.key, kv.key),
+                        Some((lo, hi)) => (lo.min(kv.key), hi.max(kv.key)),
+                    });
+                    Ok(())
+                })?;
+                Ok(range)
+            })
+            .collect()
+    }
+}
+
+/// Bucket `(score, vertex)` records into `k` near-even score-ordered
+/// buckets with approximate K-partitioning. Charged under `graph/bucket`.
+pub fn score_buckets(scores: &EmFile<KeyValue>, k: u64) -> Result<Buckets> {
+    let stats = scores.ctx().stats().clone();
+    let _phase = stats.phase_guard("graph/bucket");
+    let n = scores.len();
+    let spec = ProblemSpec::near_even(n, k)?;
+    let parts = approx_partitioning(scores, &spec)?;
+    Ok(Buckets { parts, n })
+}
+
+/// Bucket `graph`'s vertices by **degree** into `k` near-even buckets.
+pub fn degree_buckets(graph: &Graph, k: u64) -> Result<Buckets> {
+    let degrees = graph.degree_file()?;
+    score_buckets(&degrees, k)
+}
+
+/// Bucket vertices by **cluster label** into `k` near-even buckets:
+/// records come out as `(label, vertex)`, so a cluster's vertices are
+/// contiguous across the bucket sequence (a cluster larger than a
+/// bucket straddles adjacent buckets).
+pub fn cluster_buckets(labels: &EmFile<u64>, k: u64) -> Result<Buckets> {
+    let ctx = labels.ctx().clone();
+    let mut w = ctx.writer::<KeyValue>()?;
+    let mut r = labels.reader()?;
+    let mut v = 0u64;
+    while let Some(label) = r.next()? {
+        w.push(KeyValue {
+            key: label,
+            value: v,
+        })?;
+        v += 1;
+    }
+    let scored = w.finish()?;
+    score_buckets(&scored, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_graph, BuildOptions};
+    use crate::cluster::ClusterOptions;
+    use crate::edge::edges_from_pairs;
+    use crate::recover::cluster;
+    use emcore::{EmConfig, EmContext, EmError};
+
+    fn near_even_sizes(n: u64, k: u64) -> Vec<u64> {
+        (1..=k).map(|i| i * n / k - (i - 1) * n / k).collect()
+    }
+
+    fn assert_ordered_and_complete(b: &Buckets) {
+        let ranges = b.score_ranges().unwrap();
+        let mut floor = 0u64;
+        for r in ranges.iter().flatten() {
+            assert!(r.0 >= floor, "bucket scores out of order");
+            floor = r.1;
+        }
+        let mut seen: Vec<u64> = Vec::new();
+        for p in b.parts() {
+            p.for_each(|kv| {
+                seen.push(kv.value);
+                Ok(())
+            })
+            .unwrap();
+        }
+        seen.sort_unstable();
+        let want: Vec<u64> = (0..b.n()).collect();
+        assert_eq!(seen, want, "every vertex in exactly one bucket");
+    }
+
+    #[test]
+    fn degree_buckets_are_near_even_and_degree_ordered() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        // A star (vertex 0 has degree 49) plus a path: heavily skewed.
+        let mut pairs: Vec<(u64, u64)> = (1..50).map(|v| (0, v)).collect();
+        pairs.extend((50..70).map(|v| (v, v + 1)));
+        let raw = edges_from_pairs(&ctx, &pairs).unwrap();
+        let g = build_graph(&ctx, &raw, &BuildOptions::default()).unwrap();
+        let b = degree_buckets(&g, 4).unwrap();
+        assert_eq!(b.sizes(), near_even_sizes(g.vertices(), 4));
+        assert_ordered_and_complete(&b);
+        // The hub lands in the last (highest-degree) bucket.
+        let mut hub_bucket = None;
+        for (i, p) in b.parts().iter().enumerate() {
+            p.for_each(|kv| {
+                if kv.value == 0 {
+                    hub_bucket = Some(i);
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(hub_bucket, Some(3));
+    }
+
+    #[test]
+    fn cluster_buckets_keep_clusters_contiguous() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        // Two triangles cluster into two labels; k = 2 puts one per bucket.
+        let raw =
+            edges_from_pairs(&ctx, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        let g = build_graph(&ctx, &raw, &BuildOptions::default()).unwrap();
+        let c = cluster(&g, &ClusterOptions::default()).unwrap();
+        let b = cluster_buckets(&c.labels, 2).unwrap();
+        assert_eq!(b.sizes(), vec![3, 3]);
+        assert_ordered_and_complete(&b);
+        let ranges = b.score_ranges().unwrap();
+        for r in ranges.iter().flatten() {
+            assert_eq!(r.0, r.1, "each bucket holds exactly one cluster id");
+        }
+    }
+
+    #[test]
+    fn rejects_more_buckets_than_vertices() {
+        let ctx = EmContext::new_in_memory(EmConfig::tiny());
+        let raw = edges_from_pairs(&ctx, &[(0, 1)]).unwrap();
+        let g = build_graph(&ctx, &raw, &BuildOptions::default()).unwrap();
+        assert!(matches!(degree_buckets(&g, 5), Err(EmError::Config(_))));
+    }
+}

@@ -1,0 +1,604 @@
+//! Semi-external label propagation with size-constrained clustering.
+//!
+//! One round streams the canonical edge file sequentially while the
+//! vertex→label array stays in RAM under a governor lease. Updates are
+//! *synchronous* (Jacobi-style): every vertex's new label is the mode of
+//! its neighbors' **round-start** labels, with deterministic tie-breaks
+//! (largest count, then smallest label) and a keep-on-tie rule against
+//! the vertex's current label. Depending only on the per-vertex multiset
+//! of round-start neighbor labels makes the round's result invariant to
+//! *how* the multiset was gathered — which is what makes the
+//! memory-adaptive execution below digest-exact at any budget.
+//!
+//! ## Memory adaptation (never correctness)
+//!
+//! When the governor's grant covers the whole label array (plus a
+//! max-degree scratch), the round is one sequential edge-file pass with
+//! RAM label lookups. When it does not, the label array is split into
+//! `W` windows: each window pass streams the edge file and appends
+//! `(src, label(dst))` annotation records for destinations resident in
+//! the window; one external sort of the annotations then groups every
+//! vertex's full neighbor-label multiset (sorted, so the mode is a
+//! run-length scan). Both paths feed identical multisets to the same
+//! mode accumulator, so a squeeze at a round boundary shrinks the
+//! window — it cannot change any label.
+//!
+//! ## Size constraint
+//!
+//! With `max_cluster_size = c > 0`, a round's label changes become
+//! *applications to move*: movers are sorted by `(target label, vertex)`
+//! and each target cluster admits at most `c − size` of them (size =
+//! round-start membership), in ascending vertex order. Since clusters
+//! start as singletons and only ever admit into remaining capacity, no
+//! cluster ever exceeds `c`. The admission pipeline is fully external
+//! (two sorts and sequential merges), so the cap holds at any memory
+//! budget — and its outcome is deterministic for the same reason the
+//! mode is.
+
+use emcore::{EmContext, EmError, EmFile, Lease, Result, TrackedVec};
+use emsort::external_sort;
+
+use crate::build::Graph;
+use crate::edge::Edge;
+
+/// Options for [`crate::cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterOptions {
+    /// Maximum label-propagation rounds (the round loop stops early
+    /// when a round moves no vertex).
+    pub rounds: u32,
+    /// Hard cluster-size cap (`0` = unconstrained). With a cap, label
+    /// changes are admitted per target cluster into remaining capacity,
+    /// ascending by vertex id.
+    pub max_cluster_size: u64,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        Self {
+            rounds: 8,
+            max_cluster_size: 0,
+        }
+    }
+}
+
+/// The result of [`crate::cluster`].
+#[derive(Debug)]
+pub struct Clustering {
+    /// Final vertex→label assignment (indexed by vertex id).
+    pub labels: EmFile<u64>,
+    /// Rounds actually run (≤ `ClusterOptions::rounds`; fewer when a
+    /// round moved nothing).
+    pub rounds_run: u32,
+    /// Vertices moved per round.
+    pub moves: Vec<u64>,
+    /// Number of distinct labels in the final assignment.
+    pub clusters: u64,
+}
+
+/// FNV-1a digest of a label file in vertex order — the bit-identity
+/// fingerprint the EX-GRAPH harness and `emsplit graph-cluster` compare
+/// across backends, worker counts, memory budgets, and crash+resume.
+pub fn labels_digest(labels: &EmFile<u64>) -> Result<u64> {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut r = labels.reader()?;
+    while let Some(x) = r.next()? {
+        h = (h ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Ok(h)
+}
+
+/// Count distinct labels by sorting the label multiset externally and
+/// scanning group boundaries.
+pub fn count_clusters(labels: &EmFile<u64>) -> Result<u64> {
+    let sorted = external_sort(labels)?;
+    let mut r = sorted.reader()?;
+    let mut clusters = 0u64;
+    let mut prev = None;
+    while let Some(l) = r.next()? {
+        if prev != Some(l) {
+            clusters += 1;
+            prev = Some(l);
+        }
+    }
+    Ok(clusters)
+}
+
+/// The identity labeling `v → v`: every vertex its own singleton
+/// cluster (round 0 of label propagation).
+pub(crate) fn initial_labels(ctx: &EmContext, n: u64) -> Result<EmFile<u64>> {
+    let mut w = ctx.writer::<u64>()?;
+    for v in 0..n {
+        w.push(v)?;
+    }
+    w.finish()
+}
+
+/// Streaming mode-with-tie-breaks over one vertex's neighbor labels.
+/// Labels must be pushed in ascending order; both gather paths do so
+/// (a sorted scratch buffer, or the sorted annotation stream), which is
+/// what keeps their proposals bit-identical.
+struct ModeAccumulator {
+    current: u64,
+    current_count: u64,
+    best_label: u64,
+    best_count: u64,
+    run_label: u64,
+    run_count: u64,
+}
+
+impl ModeAccumulator {
+    fn new(current: u64) -> Self {
+        Self {
+            current,
+            current_count: 0,
+            best_label: current,
+            best_count: 0,
+            run_label: 0,
+            run_count: 0,
+        }
+    }
+
+    fn close_run(&mut self) {
+        if self.run_count > self.best_count {
+            self.best_count = self.run_count;
+            self.best_label = self.run_label;
+        }
+        if self.run_label == self.current {
+            self.current_count = self.run_count;
+        }
+    }
+
+    fn push(&mut self, label: u64) {
+        if self.run_count > 0 && self.run_label == label {
+            self.run_count += 1;
+        } else {
+            self.close_run();
+            self.run_label = label;
+            self.run_count = 1;
+        }
+    }
+
+    /// The proposal: the most frequent neighbor label (smallest label on
+    /// count ties), unless the vertex's current label is just as
+    /// frequent — keep-on-tie damps churn and is deterministic.
+    fn finish(mut self) -> u64 {
+        self.close_run();
+        if self.best_count > self.current_count {
+            self.best_label
+        } else {
+            self.current
+        }
+    }
+}
+
+fn stream_underflow(what: &str) -> EmError {
+    EmError::config(format!(
+        "graph cluster invariant violated: short {what} stream"
+    ))
+}
+
+/// An adaptively sized label window: ask for `want` records, halve on
+/// memory denial down to a one-block floor (mirrors the recoverable
+/// sort's load buffer).
+fn adaptive_window(ctx: &EmContext, want: usize, floor: usize) -> Result<(TrackedVec<u64>, usize)> {
+    let mut cap = want.max(floor);
+    loop {
+        match ctx.try_tracked_vec::<u64>(cap, "graph label window") {
+            Ok(v) => return Ok((v, cap)),
+            Err(e @ EmError::MemoryExceeded { .. }) => {
+                if cap <= floor {
+                    return Err(e);
+                }
+                cap = (cap / 2).max(floor);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Compute every vertex's proposed label for one round and feed
+/// `(vertex, round-start label, proposal)` to `emit` in ascending
+/// vertex order. Chooses the resident fast path or the windowed
+/// annotation path from the lease's live grant; both produce identical
+/// proposals.
+fn propose_round(
+    ctx: &EmContext,
+    graph: &Graph,
+    old: &EmFile<u64>,
+    lease: &Lease,
+    mut emit: impl FnMut(u64, u64, u64) -> Result<()>,
+) -> Result<()> {
+    let n = graph.vertices();
+    if n == 0 {
+        return Ok(());
+    }
+    let b = ctx.config().block_size();
+    let scratch_cap = graph.max_degree() as usize;
+    // Streaming readers/writers and the mode scratch ride on top of the
+    // window; budget them out of the grant before sizing it.
+    let reserve = 6 * b + scratch_cap;
+    let want = lease
+        .granted()
+        .saturating_sub(reserve)
+        .max(b)
+        .min(n as usize);
+
+    if want >= n as usize {
+        // Resident fast path: whole label array + neighborhood scratch
+        // in RAM, one sequential edge pass, no annotation file. Falls
+        // back to the windowed path if either charge is denied (the
+        // tracker's global budget can be tighter than the lease share).
+        if let Ok(labels) = ctx.try_tracked_vec::<u64>(n as usize, "graph resident labels") {
+            if let Ok(scratch) =
+                ctx.try_tracked_vec::<u64>(scratch_cap.max(1), "graph mode scratch")
+            {
+                return propose_resident(graph, old, labels, scratch, &mut emit);
+            }
+        }
+    }
+    propose_windowed(ctx, graph, old, want, b, &mut emit)
+}
+
+fn propose_resident(
+    graph: &Graph,
+    old: &EmFile<u64>,
+    mut labels: TrackedVec<u64>,
+    mut scratch: TrackedVec<u64>,
+    emit: &mut impl FnMut(u64, u64, u64) -> Result<()>,
+) -> Result<()> {
+    let n = graph.vertices();
+    let mut lr = old.reader()?;
+    for _ in 0..n {
+        labels.push(lr.next()?.ok_or_else(|| stream_underflow("label"))?);
+    }
+    let mut er = graph.edges().reader()?;
+    let mut pending = er.next()?;
+    for v in 0..n {
+        scratch.clear();
+        while let Some(e) = pending {
+            if e.src != v {
+                break;
+            }
+            scratch.push(labels[e.dst as usize]);
+            pending = er.next()?;
+        }
+        let old_l = labels[v as usize];
+        // Neighbors arrive in dst order, not label order: sort so the
+        // accumulator sees the same ascending stream as the windowed path.
+        scratch.sort_unstable();
+        let mut acc = ModeAccumulator::new(old_l);
+        for &l in scratch.iter() {
+            acc.push(l);
+        }
+        emit(v, old_l, acc.finish())?;
+    }
+    Ok(())
+}
+
+fn propose_windowed(
+    ctx: &EmContext,
+    graph: &Graph,
+    old: &EmFile<u64>,
+    want: usize,
+    floor: usize,
+    emit: &mut impl FnMut(u64, u64, u64) -> Result<()>,
+) -> Result<()> {
+    let n = graph.vertices();
+    let (mut win, window) = adaptive_window(ctx, want, floor)?;
+    // Window passes: annotate every edge whose destination is resident.
+    let mut ann = ctx.writer::<Edge>()?;
+    let mut lo = 0u64;
+    while lo < n {
+        let hi = (lo + window as u64).min(n);
+        win.clear();
+        let mut lr = old.reader_at(lo)?;
+        for _ in lo..hi {
+            win.push(lr.next()?.ok_or_else(|| stream_underflow("label"))?);
+        }
+        let mut er = graph.edges().reader()?;
+        while let Some(e) = er.next()? {
+            if e.dst >= lo && e.dst < hi {
+                ann.push(Edge {
+                    src: e.src,
+                    dst: win[(e.dst - lo) as usize],
+                })?;
+            }
+        }
+        lo = hi;
+    }
+    let ann = ann.finish()?;
+    // One sort groups each vertex's neighbor labels, ascending — the
+    // composite (src, dst) key means (vertex, label) order.
+    let sorted = external_sort(&ann)?;
+    drop(ann);
+    let mut ar = sorted.reader()?;
+    let mut pending = ar.next()?;
+    let mut lr = old.reader()?;
+    for v in 0..n {
+        let old_l = lr.next()?.ok_or_else(|| stream_underflow("label"))?;
+        let mut acc = ModeAccumulator::new(old_l);
+        while let Some(a) = pending {
+            if a.src != v {
+                break;
+            }
+            acc.push(a.dst);
+            pending = ar.next()?;
+        }
+        emit(v, old_l, acc.finish())?;
+    }
+    Ok(())
+}
+
+/// Run one label-propagation round: returns the new label file and the
+/// number of vertices that moved. `cap == 0` applies proposals
+/// directly; `cap > 0` routes them through the external admission
+/// pipeline described in the module docs.
+pub(crate) fn lp_round(
+    ctx: &EmContext,
+    graph: &Graph,
+    old: &EmFile<u64>,
+    cap: u64,
+    lease: &Lease,
+) -> Result<(EmFile<u64>, u64)> {
+    if cap == 0 {
+        let mut out = ctx.writer::<u64>()?;
+        let mut moves = 0u64;
+        propose_round(ctx, graph, old, lease, |_, old_l, prop| {
+            if prop != old_l {
+                moves += 1;
+            }
+            out.push(prop)
+        })?;
+        return Ok((out.finish()?, moves));
+    }
+
+    // Phase A: proposals become applications to move.
+    let mut movers_w = ctx.writer::<Edge>()?;
+    propose_round(ctx, graph, old, lease, |v, old_l, prop| {
+        if prop != old_l {
+            movers_w.push(Edge { src: prop, dst: v })?;
+        }
+        Ok(())
+    })?;
+    let movers = movers_w.finish()?;
+    // Group movers by (target label, vertex); sort the round-start label
+    // multiset so target sizes stream in the same label order.
+    let movers_sorted = external_sort(&movers)?;
+    drop(movers);
+    let sizes_sorted = external_sort(old)?;
+
+    // Phase B: admit into remaining capacity, ascending vertex id.
+    let mut accepted_w = ctx.writer::<Edge>()?;
+    let mut accepted = 0u64;
+    {
+        let mut mr = movers_sorted.reader()?;
+        let mut sr = sizes_sorted.reader()?;
+        let mut s_pending = sr.next()?;
+        let mut m_pending = mr.next()?;
+        while let Some(head) = m_pending {
+            let label = head.src;
+            while s_pending.is_some_and(|s| s < label) {
+                s_pending = sr.next()?;
+            }
+            let mut size = 0u64;
+            while s_pending == Some(label) {
+                size += 1;
+                s_pending = sr.next()?;
+            }
+            let mut budget = cap.saturating_sub(size);
+            while let Some(m) = m_pending {
+                if m.src != label {
+                    break;
+                }
+                if budget > 0 {
+                    budget -= 1;
+                    accepted += 1;
+                    accepted_w.push(Edge {
+                        src: m.dst,
+                        dst: label,
+                    })?;
+                }
+                m_pending = mr.next()?;
+            }
+        }
+    }
+    drop(movers_sorted);
+    drop(sizes_sorted);
+    let acc = accepted_w.finish()?;
+    let acc_sorted = external_sort(&acc)?;
+    drop(acc);
+
+    // Apply: merge accepted moves (by vertex) over the old labels.
+    let mut out = ctx.writer::<u64>()?;
+    let mut ar = acc_sorted.reader()?;
+    let mut a_pending = ar.next()?;
+    let mut lr = old.reader()?;
+    let mut v = 0u64;
+    while let Some(old_l) = lr.next()? {
+        let mut new_l = old_l;
+        if let Some(a) = a_pending {
+            if a.src == v {
+                new_l = a.dst;
+                a_pending = ar.next()?;
+            }
+        }
+        out.push(new_l)?;
+        v += 1;
+    }
+    Ok((out.finish()?, accepted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_graph, BuildOptions};
+    use crate::edge::edges_from_pairs;
+    use emcore::{EmConfig, EmContext};
+
+    fn graph_on(ctx: &EmContext, pairs: &[(u64, u64)]) -> Graph {
+        let raw = edges_from_pairs(ctx, pairs).unwrap();
+        build_graph(ctx, &raw, &BuildOptions::default()).unwrap()
+    }
+
+    fn round(ctx: &EmContext, g: &Graph, labels: &EmFile<u64>, cap: u64) -> (Vec<u64>, u64) {
+        let lease = ctx.governor().lease("test", 0, 1).unwrap();
+        let (f, moves) = lp_round(ctx, g, labels, cap, &lease).unwrap();
+        (f.to_vec().unwrap(), moves)
+    }
+
+    #[test]
+    fn mode_accumulator_tie_breaks() {
+        // Most frequent wins.
+        let mut a = ModeAccumulator::new(9);
+        for l in [1, 2, 2, 3] {
+            a.push(l);
+        }
+        assert_eq!(a.finish(), 2);
+        // Count tie: smallest label wins.
+        let mut a = ModeAccumulator::new(9);
+        for l in [1, 1, 2, 2] {
+            a.push(l);
+        }
+        assert_eq!(a.finish(), 1);
+        // Current label as frequent as the best: keep it.
+        let mut a = ModeAccumulator::new(2);
+        for l in [1, 2] {
+            a.push(l);
+        }
+        assert_eq!(a.finish(), 2);
+        // No neighbors: keep.
+        assert_eq!(ModeAccumulator::new(5).finish(), 5);
+    }
+
+    #[test]
+    fn one_round_on_a_triangle_plus_satellite() {
+        // Triangle 0-1-2 and a satellite 3-0. Initial labels = ids.
+        let ctx = EmContext::new_in_memory_strict(EmConfig::tiny());
+        let g = graph_on(&ctx, &[(0, 1), (1, 2), (0, 2), (3, 0)]);
+        let init = initial_labels(&ctx, g.vertices()).unwrap();
+        let (labels, moves) = round(&ctx, &g, &init, 0);
+        // All counts 1 ⇒ everyone adopts its smallest neighbor (vertex
+        // 0's smallest neighbor is 1 — synchronous updates move it too).
+        assert_eq!(labels, vec![1, 0, 0, 0]);
+        assert_eq!(moves, 4);
+    }
+
+    #[test]
+    fn cap_admits_in_vertex_order() {
+        // Star: center 0 with leaves 1..=4, cap 3. Round 1 proposals:
+        // every leaf wants label 0 (center keeps 0 on the tie rule? the
+        // center sees neighbors {1,2,3,4}, all count 1, best = 1 >
+        // current count 0 ⇒ center proposes 1). Cluster 0 starts at
+        // size 1: admits 3 − 1 = 2 leaves, ascending ⇒ vertices 1, 2.
+        // Cluster 1 starts at size 1 (vertex 1): admits the center.
+        let ctx = EmContext::new_in_memory_strict(EmConfig::tiny());
+        let g = graph_on(&ctx, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let init = initial_labels(&ctx, g.vertices()).unwrap();
+        let (labels, moves) = round(&ctx, &g, &init, 3);
+        assert_eq!(labels, vec![1, 0, 0, 3, 4]);
+        assert_eq!(moves, 3);
+        // Unbounded for contrast: all leaves join 0.
+        let (labels, moves) = round(&ctx, &g, &init, 0);
+        assert_eq!(labels, vec![1, 0, 0, 0, 0]);
+        assert_eq!(moves, 5);
+    }
+
+    #[test]
+    fn cap_is_never_exceeded_over_rounds() {
+        let ctx = EmContext::new_in_memory_strict(EmConfig::tiny());
+        let mut rng = emcore::SplitMix64::new(3);
+        let pairs: Vec<(u64, u64)> = (0..2000)
+            .map(|_| (rng.below(150), rng.below(150)))
+            .collect();
+        let g = graph_on(&ctx, &pairs);
+        let cap = 20u64;
+        let mut labels = initial_labels(&ctx, g.vertices()).unwrap();
+        let lease = ctx.governor().lease("test", 0, 1).unwrap();
+        for _ in 0..4 {
+            let (next, _) = lp_round(&ctx, &g, &labels, cap, &lease).unwrap();
+            labels = next;
+            let mut counts = std::collections::BTreeMap::new();
+            for l in labels.to_vec().unwrap() {
+                *counts.entry(l).or_insert(0u64) += 1;
+            }
+            assert!(counts.values().all(|&c| c <= cap), "cap exceeded");
+        }
+    }
+
+    #[test]
+    fn proposals_invariant_to_window_size() {
+        // Same graph, same round — once with a grant covering the whole
+        // label array, once with a budget so small the round must run
+        // multi-window. Digest-identical labels either way.
+        let mut rng = emcore::SplitMix64::new(17);
+        let pairs: Vec<(u64, u64)> = (0..3000)
+            .map(|_| (rng.below(400), rng.below(400)))
+            .collect();
+
+        let big = EmContext::new_in_memory(EmConfig::new(1 << 16, 64).unwrap());
+        let small = EmContext::new_in_memory(EmConfig::new(256, 16).unwrap());
+        let mut digests = Vec::new();
+        for ctx in [&big, &small] {
+            let g = graph_on(ctx, &pairs);
+            let mut labels = initial_labels(ctx, g.vertices()).unwrap();
+            let lease = ctx.governor().lease("test", 0, 1).unwrap();
+            for _ in 0..3 {
+                let (next, _) = lp_round(ctx, &g, &labels, 0, &lease).unwrap();
+                labels = next;
+            }
+            digests.push(labels_digest(&labels).unwrap());
+        }
+        assert_eq!(digests[0], digests[1]);
+    }
+
+    #[test]
+    fn capped_rounds_invariant_to_window_size() {
+        let mut rng = emcore::SplitMix64::new(23);
+        let pairs: Vec<(u64, u64)> = (0..2500)
+            .map(|_| (rng.below(300), rng.below(300)))
+            .collect();
+        let big = EmContext::new_in_memory(EmConfig::new(1 << 16, 64).unwrap());
+        let small = EmContext::new_in_memory(EmConfig::new(256, 16).unwrap());
+        let mut digests = Vec::new();
+        for ctx in [&big, &small] {
+            let g = graph_on(ctx, &pairs);
+            let mut labels = initial_labels(ctx, g.vertices()).unwrap();
+            let lease = ctx.governor().lease("test", 0, 1).unwrap();
+            for _ in 0..3 {
+                let (next, _) = lp_round(ctx, &g, &labels, 25, &lease).unwrap();
+                labels = next;
+            }
+            digests.push(labels_digest(&labels).unwrap());
+        }
+        assert_eq!(digests[0], digests[1]);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_label() {
+        let ctx = EmContext::new_in_memory_strict(EmConfig::tiny());
+        let raw = edges_from_pairs(&ctx, &[(0, 1)]).unwrap();
+        let opts = BuildOptions {
+            vertices: Some(5),
+            ..BuildOptions::default()
+        };
+        let g = build_graph(&ctx, &raw, &opts).unwrap();
+        let init = initial_labels(&ctx, 5).unwrap();
+        // 0 and 1 swap (the synchronous two-cycle); 2..4 are isolated
+        // and must keep their labels.
+        let (labels, moves) = round(&ctx, &g, &init, 0);
+        assert_eq!(labels, vec![1, 0, 2, 3, 4]);
+        assert_eq!(moves, 2);
+    }
+
+    #[test]
+    fn digest_and_cluster_count() {
+        let ctx = EmContext::new_in_memory_strict(EmConfig::tiny());
+        let f = EmFile::from_slice(&ctx, &[3u64, 3, 1, 1, 1, 9]).unwrap();
+        assert_eq!(count_clusters(&f).unwrap(), 3);
+        let g = EmFile::from_slice(&ctx, &[3u64, 3, 1, 1, 1, 9]).unwrap();
+        assert_eq!(labels_digest(&f).unwrap(), labels_digest(&g).unwrap());
+        let h = EmFile::from_slice(&ctx, &[3u64, 3, 1, 1, 9, 1]).unwrap();
+        assert_ne!(labels_digest(&f).unwrap(), labels_digest(&h).unwrap());
+    }
+}

@@ -236,7 +236,11 @@ fn mp_rec<T: Record>(
 /// be local to that range.
 fn shift_ranks(ranks: &[u64], offset: u64, size: u64) -> Vec<u64> {
     let lo = ranks.partition_point(|&r| r <= offset);
-    let hi = ranks.partition_point(|&r| r < offset + size);
+    // For an empty range (`size == 0`, possible when a three-way split
+    // leaves a side bucket empty) a rank equal to `offset` makes the two
+    // partition points cross (`lo > hi`); clamp — nothing is strictly
+    // inside an empty range.
+    let hi = ranks.partition_point(|&r| r < offset + size).max(lo);
     ranks[lo..hi].iter().map(|&r| r - offset).collect()
 }
 
@@ -378,6 +382,16 @@ mod tests {
 
     fn ctx() -> EmContext {
         EmContext::new_in_memory_strict(EmConfig::tiny())
+    }
+
+    #[test]
+    fn shift_ranks_tolerates_empty_bucket_at_rank_boundary() {
+        // A three-way split can leave a side bucket empty; a rank landing
+        // exactly on that bucket's offset used to cross the partition
+        // points and panic on the slice.
+        assert!(shift_ranks(&[409], 409, 0).is_empty());
+        assert!(shift_ranks(&[409], 409, 1).is_empty());
+        assert_eq!(shift_ranks(&[409], 408, 2), vec![1]);
     }
 
     fn shuffled(n: u64) -> Vec<u64> {

@@ -1,0 +1,250 @@
+//! Key-array workloads: the input families of the paper's experiments.
+
+use emcore::{EmContext, EmFile, Result, SplitMix64};
+
+/// An input-distribution family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// A uniformly random permutation of `0..n`.
+    UniformPerm,
+    /// Already sorted ascending (`0..n`).
+    Sorted,
+    /// Sorted descending.
+    Reversed,
+    /// Sorted, then `frac·n` random transpositions.
+    NearlySorted {
+        /// Fraction of `n` random transpositions applied (e.g. 0.05).
+        frac: f64,
+    },
+    /// Uniform over `values` distinct keys (heavy duplication).
+    FewDistinct {
+        /// Number of distinct key values.
+        values: u64,
+    },
+    /// Zipf-like skew over `values` distinct keys with exponent `s`.
+    ZipfLike {
+        /// Number of distinct key values.
+        values: u64,
+        /// Skew exponent (`s = 1.0` is the classic Zipf).
+        s: f64,
+    },
+    /// The paper's hard family `Π_hard` (§2.1): with block size `block`,
+    /// the elements at block-position `i` across all blocks form the
+    /// `i`-th contiguous key range, randomly permuted within the range.
+    HardBlockColumns {
+        /// Block size `B` the family is built against.
+        block: usize,
+    },
+}
+
+/// Generate `n` keys of the given `workload`, deterministically from
+/// `seed`.
+pub fn generate(workload: Workload, n: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    match workload {
+        Workload::UniformPerm => {
+            let mut v: Vec<u64> = (0..n).collect();
+            rng.shuffle(&mut v);
+            v
+        }
+        Workload::Sorted => (0..n).collect(),
+        Workload::Reversed => (0..n).rev().collect(),
+        Workload::NearlySorted { frac } => {
+            let mut v: Vec<u64> = (0..n).collect();
+            let swaps = ((n as f64) * frac) as u64;
+            for _ in 0..swaps {
+                if n >= 2 {
+                    let i = rng.below(n) as usize;
+                    let j = rng.below(n) as usize;
+                    v.swap(i, j);
+                }
+            }
+            v
+        }
+        Workload::FewDistinct { values } => (0..n).map(|_| rng.below(values.max(1))).collect(),
+        Workload::ZipfLike { values, s } => {
+            // Inverse-CDF sampling over a precomputed Zipf table.
+            let v = values.max(1) as usize;
+            let mut cdf = Vec::with_capacity(v);
+            let mut acc = 0.0f64;
+            for i in 1..=v {
+                acc += 1.0 / (i as f64).powf(s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            (0..n)
+                .map(|_| {
+                    let u = rng.unit() * total;
+                    cdf.partition_point(|&c| c < u) as u64
+                })
+                .collect()
+        }
+        Workload::HardBlockColumns { block } => {
+            let b = block.max(1) as u64;
+            let blocks = n.div_ceil(b);
+            // Position i of block t gets a key from range
+            // [i·blocks, (i+1)·blocks), permuted within the range.
+            let mut perms: Vec<Vec<u64>> = Vec::with_capacity(b as usize);
+            for i in 0..b {
+                let mut range: Vec<u64> = (i * blocks..(i + 1) * blocks).collect();
+                rng.shuffle(&mut range);
+                perms.push(range);
+            }
+            let mut out = Vec::with_capacity(n as usize);
+            'outer: for t in 0..blocks {
+                for perm in perms.iter() {
+                    if out.len() as u64 == n {
+                        break 'outer;
+                    }
+                    out.push(perm[t as usize]);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Generate and write the workload into an [`EmFile`] without charging
+/// I/O (setup is not part of any measured algorithm).
+pub fn materialize(ctx: &EmContext, workload: Workload, n: u64, seed: u64) -> Result<EmFile<u64>> {
+    let data = generate(workload, n, seed);
+    ctx.stats().paused(|| EmFile::from_slice(ctx, &data))
+}
+
+/// Human-readable short name (used in experiment tables).
+pub fn name(workload: Workload) -> String {
+    match workload {
+        Workload::UniformPerm => "uniform".into(),
+        Workload::Sorted => "sorted".into(),
+        Workload::Reversed => "reversed".into(),
+        Workload::NearlySorted { frac } => format!("nearly-sorted({frac})"),
+        Workload::FewDistinct { values } => format!("few-distinct({values})"),
+        Workload::ZipfLike { values, s } => format!("zipf({values},{s})"),
+        Workload::HardBlockColumns { block } => format!("hard-columns(B={block})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_permutation() {
+        let v = generate(Workload::UniformPerm, 1000, 1);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_deterministic_per_seed() {
+        assert_eq!(
+            generate(Workload::UniformPerm, 100, 5),
+            generate(Workload::UniformPerm, 100, 5)
+        );
+        assert_ne!(
+            generate(Workload::UniformPerm, 100, 5),
+            generate(Workload::UniformPerm, 100, 6)
+        );
+    }
+
+    #[test]
+    fn sorted_and_reversed() {
+        assert!(generate(Workload::Sorted, 50, 0)
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+        assert!(generate(Workload::Reversed, 50, 0)
+            .windows(2)
+            .all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn nearly_sorted_is_permutation_mostly_ordered() {
+        let v = generate(Workload::NearlySorted { frac: 0.01 }, 10_000, 2);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..10_000).collect::<Vec<_>>());
+        let inversions_adjacent = v.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(
+            inversions_adjacent < 500,
+            "{inversions_adjacent} adjacent inversions"
+        );
+    }
+
+    #[test]
+    fn few_distinct_range() {
+        let v = generate(Workload::FewDistinct { values: 7 }, 1000, 3);
+        assert!(v.iter().all(|&x| x < 7));
+        let distinct: std::collections::BTreeSet<u64> = v.iter().copied().collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let v = generate(
+            Workload::ZipfLike {
+                values: 100,
+                s: 1.2,
+            },
+            10_000,
+            4,
+        );
+        assert!(v.iter().all(|&x| x < 100));
+        let zeros = v.iter().filter(|&&x| x == 0).count();
+        let tail = v.iter().filter(|&&x| x == 99).count();
+        assert!(zeros > tail * 3, "zipf skew missing: {zeros} vs {tail}");
+    }
+
+    #[test]
+    fn hard_columns_structure() {
+        let b = 16usize;
+        let n = 1600u64;
+        let v = generate(Workload::HardBlockColumns { block: b }, n, 5);
+        assert_eq!(v.len(), 1600);
+        let blocks = n / b as u64;
+        // Position i of every block must carry keys from [i·blocks, (i+1)·blocks).
+        for (pos, &key) in v.iter().enumerate() {
+            let i = (pos % b) as u64;
+            assert!(
+                key >= i * blocks && key < (i + 1) * blocks,
+                "pos {pos} key {key} outside column range"
+            );
+        }
+        // And it is a permutation of 0..n.
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hard_columns_partial_tail() {
+        let v = generate(Workload::HardBlockColumns { block: 16 }, 100, 6);
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn materialize_charges_nothing() {
+        let ctx = EmContext::new_in_memory(emcore::EmConfig::tiny());
+        let f = materialize(&ctx, Workload::UniformPerm, 500, 7).unwrap();
+        assert_eq!(f.len(), 500);
+        assert_eq!(ctx.stats().snapshot().total_ios(), 0);
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names: Vec<String> = [
+            Workload::UniformPerm,
+            Workload::Sorted,
+            Workload::Reversed,
+            Workload::NearlySorted { frac: 0.1 },
+            Workload::FewDistinct { values: 3 },
+            Workload::ZipfLike { values: 10, s: 1.0 },
+            Workload::HardBlockColumns { block: 64 },
+        ]
+        .into_iter()
+        .map(name)
+        .collect();
+        let set: std::collections::BTreeSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

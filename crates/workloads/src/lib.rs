@@ -1,350 +1,32 @@
 //! # workloads — input generators for the EM experiments
 //!
 //! Deterministic (seeded) generators for every input family the
-//! experiments use: uniform permutations, (nearly/reverse-)sorted inputs,
-//! duplicate-heavy distributions, and the paper's hard permutation family
-//! `Π_hard` (§2.1) where the `i`-th positions of all input blocks form the
-//! `i`-th contiguous key range.
+//! experiments use, split by family:
+//!
+//! * [`keys`] — key-array workloads: uniform permutations,
+//!   (nearly/reverse-)sorted inputs, duplicate-heavy distributions, and
+//!   the paper's hard permutation family `Π_hard` (§2.1) where the
+//!   `i`-th positions of all input blocks form the `i`-th contiguous
+//!   key range.
+//! * [`zipf`] — Zipfian query-rank streams for serving experiments.
+//! * [`graph`] — edge-list generators (RMAT power-law, 2-D grids) for
+//!   the semi-external graph experiments. Generators return plain
+//!   `(src, dst)` tuples so this crate stays a leaf: `emgraph` converts
+//!   them into its on-disk record form.
+//!
+//! All public names are re-exported at the crate root, so existing call
+//! sites (`workloads::generate`, `workloads::zipf_query_ranks`, …) are
+//! unaffected by the module split.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub use emcore::SplitMix64;
 
-use emcore::{EmContext, EmFile, Result};
+pub mod graph;
+pub mod keys;
+pub mod zipf;
 
-/// An input-distribution family.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Workload {
-    /// A uniformly random permutation of `0..n`.
-    UniformPerm,
-    /// Already sorted ascending (`0..n`).
-    Sorted,
-    /// Sorted descending.
-    Reversed,
-    /// Sorted, then `frac·n` random transpositions.
-    NearlySorted {
-        /// Fraction of `n` random transpositions applied (e.g. 0.05).
-        frac: f64,
-    },
-    /// Uniform over `values` distinct keys (heavy duplication).
-    FewDistinct {
-        /// Number of distinct key values.
-        values: u64,
-    },
-    /// Zipf-like skew over `values` distinct keys with exponent `s`.
-    ZipfLike {
-        /// Number of distinct key values.
-        values: u64,
-        /// Skew exponent (`s = 1.0` is the classic Zipf).
-        s: f64,
-    },
-    /// The paper's hard family `Π_hard` (§2.1): with block size `block`,
-    /// the elements at block-position `i` across all blocks form the
-    /// `i`-th contiguous key range, randomly permuted within the range.
-    HardBlockColumns {
-        /// Block size `B` the family is built against.
-        block: usize,
-    },
-}
-
-/// Generate `n` keys of the given `workload`, deterministically from
-/// `seed`.
-pub fn generate(workload: Workload, n: u64, seed: u64) -> Vec<u64> {
-    let mut rng = SplitMix64::new(seed);
-    match workload {
-        Workload::UniformPerm => {
-            let mut v: Vec<u64> = (0..n).collect();
-            rng.shuffle(&mut v);
-            v
-        }
-        Workload::Sorted => (0..n).collect(),
-        Workload::Reversed => (0..n).rev().collect(),
-        Workload::NearlySorted { frac } => {
-            let mut v: Vec<u64> = (0..n).collect();
-            let swaps = ((n as f64) * frac) as u64;
-            for _ in 0..swaps {
-                if n >= 2 {
-                    let i = rng.below(n) as usize;
-                    let j = rng.below(n) as usize;
-                    v.swap(i, j);
-                }
-            }
-            v
-        }
-        Workload::FewDistinct { values } => (0..n).map(|_| rng.below(values.max(1))).collect(),
-        Workload::ZipfLike { values, s } => {
-            // Inverse-CDF sampling over a precomputed Zipf table.
-            let v = values.max(1) as usize;
-            let mut cdf = Vec::with_capacity(v);
-            let mut acc = 0.0f64;
-            for i in 1..=v {
-                acc += 1.0 / (i as f64).powf(s);
-                cdf.push(acc);
-            }
-            let total = acc;
-            (0..n)
-                .map(|_| {
-                    let u = rng.unit() * total;
-                    cdf.partition_point(|&c| c < u) as u64
-                })
-                .collect()
-        }
-        Workload::HardBlockColumns { block } => {
-            let b = block.max(1) as u64;
-            let blocks = n.div_ceil(b);
-            // Position i of block t gets a key from range
-            // [i·blocks, (i+1)·blocks), permuted within the range.
-            let mut perms: Vec<Vec<u64>> = Vec::with_capacity(b as usize);
-            for i in 0..b {
-                let mut range: Vec<u64> = (i * blocks..(i + 1) * blocks).collect();
-                rng.shuffle(&mut range);
-                perms.push(range);
-            }
-            let mut out = Vec::with_capacity(n as usize);
-            'outer: for t in 0..blocks {
-                for perm in perms.iter() {
-                    if out.len() as u64 == n {
-                        break 'outer;
-                    }
-                    out.push(perm[t as usize]);
-                }
-            }
-            out
-        }
-    }
-}
-
-/// A seeded Zipfian *query-rank* stream for serving experiments: `count`
-/// ranks in `[1, n]`, drawn from `hot` distinct hot ranks with Zipf
-/// weights `1/i^s` (hot rank 1 is the most popular). The hot ranks
-/// themselves are a deterministic function of `seed`, spread uniformly
-/// over `[1, n]`, so repeated queries hit the same ranks — the skew a
-/// splitter index exploits. `s = 0` degrades to uniform over the hot set.
-pub fn zipf_query_ranks(n: u64, hot: u64, s: f64, count: usize, seed: u64) -> Vec<u64> {
-    let n = n.max(1);
-    let hot = hot.max(1).min(n) as usize;
-    let mut rng = SplitMix64::new(seed);
-    // Distinct hot ranks: jittered picks from `hot` equal strata of [1, n].
-    let mut hot_ranks = Vec::with_capacity(hot);
-    let mut seen = std::collections::BTreeSet::new();
-    for i in 0..hot as u64 {
-        let lo = (i * n) / hot as u64;
-        let hi = (((i + 1) * n) / hot as u64).max(lo + 1);
-        let mut r = lo + 1 + rng.below(hi - lo);
-        while !seen.insert(r) {
-            r = 1 + rng.below(n);
-        }
-        hot_ranks.push(r);
-    }
-    // Popularity order is independent of position: shuffle, then weight
-    // the i-th hot rank by 1/i^s (inverse-CDF table, as ZipfLike above).
-    rng.shuffle(&mut hot_ranks);
-    let mut cdf = Vec::with_capacity(hot);
-    let mut acc = 0.0f64;
-    for i in 1..=hot {
-        acc += 1.0 / (i as f64).powf(s);
-        cdf.push(acc);
-    }
-    let total = acc;
-    (0..count)
-        .map(|_| {
-            let u = rng.unit() * total;
-            hot_ranks[cdf.partition_point(|&c| c < u)]
-        })
-        .collect()
-}
-
-/// Generate and write the workload into an [`EmFile`] without charging
-/// I/O (setup is not part of any measured algorithm).
-pub fn materialize(ctx: &EmContext, workload: Workload, n: u64, seed: u64) -> Result<EmFile<u64>> {
-    let data = generate(workload, n, seed);
-    ctx.stats().paused(|| EmFile::from_slice(ctx, &data))
-}
-
-/// Human-readable short name (used in experiment tables).
-pub fn name(workload: Workload) -> String {
-    match workload {
-        Workload::UniformPerm => "uniform".into(),
-        Workload::Sorted => "sorted".into(),
-        Workload::Reversed => "reversed".into(),
-        Workload::NearlySorted { frac } => format!("nearly-sorted({frac})"),
-        Workload::FewDistinct { values } => format!("few-distinct({values})"),
-        Workload::ZipfLike { values, s } => format!("zipf({values},{s})"),
-        Workload::HardBlockColumns { block } => format!("hard-columns(B={block})"),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn uniform_is_permutation() {
-        let v = generate(Workload::UniformPerm, 1000, 1);
-        let mut s = v.clone();
-        s.sort_unstable();
-        assert_eq!(s, (0..1000).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn uniform_deterministic_per_seed() {
-        assert_eq!(
-            generate(Workload::UniformPerm, 100, 5),
-            generate(Workload::UniformPerm, 100, 5)
-        );
-        assert_ne!(
-            generate(Workload::UniformPerm, 100, 5),
-            generate(Workload::UniformPerm, 100, 6)
-        );
-    }
-
-    #[test]
-    fn sorted_and_reversed() {
-        assert!(generate(Workload::Sorted, 50, 0)
-            .windows(2)
-            .all(|w| w[0] < w[1]));
-        assert!(generate(Workload::Reversed, 50, 0)
-            .windows(2)
-            .all(|w| w[0] > w[1]));
-    }
-
-    #[test]
-    fn nearly_sorted_is_permutation_mostly_ordered() {
-        let v = generate(Workload::NearlySorted { frac: 0.01 }, 10_000, 2);
-        let mut s = v.clone();
-        s.sort_unstable();
-        assert_eq!(s, (0..10_000).collect::<Vec<_>>());
-        let inversions_adjacent = v.windows(2).filter(|w| w[0] > w[1]).count();
-        assert!(
-            inversions_adjacent < 500,
-            "{inversions_adjacent} adjacent inversions"
-        );
-    }
-
-    #[test]
-    fn few_distinct_range() {
-        let v = generate(Workload::FewDistinct { values: 7 }, 1000, 3);
-        assert!(v.iter().all(|&x| x < 7));
-        let distinct: std::collections::BTreeSet<u64> = v.iter().copied().collect();
-        assert!(distinct.len() > 1);
-    }
-
-    #[test]
-    fn zipf_is_skewed() {
-        let v = generate(
-            Workload::ZipfLike {
-                values: 100,
-                s: 1.2,
-            },
-            10_000,
-            4,
-        );
-        assert!(v.iter().all(|&x| x < 100));
-        let zeros = v.iter().filter(|&&x| x == 0).count();
-        let tail = v.iter().filter(|&&x| x == 99).count();
-        assert!(zeros > tail * 3, "zipf skew missing: {zeros} vs {tail}");
-    }
-
-    #[test]
-    fn hard_columns_structure() {
-        let b = 16usize;
-        let n = 1600u64;
-        let v = generate(Workload::HardBlockColumns { block: b }, n, 5);
-        assert_eq!(v.len(), 1600);
-        let blocks = n / b as u64;
-        // Position i of every block must carry keys from [i·blocks, (i+1)·blocks).
-        for (pos, &key) in v.iter().enumerate() {
-            let i = (pos % b) as u64;
-            assert!(
-                key >= i * blocks && key < (i + 1) * blocks,
-                "pos {pos} key {key} outside column range"
-            );
-        }
-        // And it is a permutation of 0..n.
-        let mut s = v.clone();
-        s.sort_unstable();
-        assert_eq!(s, (0..n).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn hard_columns_partial_tail() {
-        let v = generate(Workload::HardBlockColumns { block: 16 }, 100, 6);
-        assert_eq!(v.len(), 100);
-    }
-
-    #[test]
-    fn zipf_query_ranks_golden_histogram() {
-        // Pin the exact distribution: same seed must yield the same hot
-        // ranks and the same per-rank frequencies, forever. Regenerating
-        // this golden data means the stream changed and every EX-SERVE
-        // number with it.
-        let ranks = zipf_query_ranks(1000, 8, 1.1, 2000, 42);
-        assert_eq!(ranks.len(), 2000);
-        let mut hist: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
-        for r in ranks {
-            assert!((1..=1000).contains(&r));
-            *hist.entry(r).or_default() += 1;
-        }
-        let got: Vec<(u64, usize)> = hist.into_iter().collect();
-        let want: Vec<(u64, usize)> = vec![
-            (39, 369),
-            (167, 151),
-            (359, 170),
-            (390, 787),
-            (501, 237),
-            (688, 81),
-            (801, 110),
-            (909, 95),
-        ];
-        assert_eq!(got, want);
-    }
-
-    #[test]
-    fn zipf_query_ranks_is_deterministic_and_skewed() {
-        let a = zipf_query_ranks(1 << 20, 64, 1.2, 5000, 7);
-        let b = zipf_query_ranks(1 << 20, 64, 1.2, 5000, 7);
-        assert_eq!(a, b);
-        assert_ne!(a, zipf_query_ranks(1 << 20, 64, 1.2, 5000, 8));
-        // At most `hot` distinct ranks, and a clear head/tail split.
-        let mut hist: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
-        for &r in &a {
-            *hist.entry(r).or_default() += 1;
-        }
-        assert!(hist.len() <= 64);
-        let mut counts: Vec<usize> = hist.values().copied().collect();
-        counts.sort_unstable_by(|x, y| y.cmp(x));
-        assert!(
-            counts[0] > counts[counts.len() - 1] * 3,
-            "head {} vs tail {}",
-            counts[0],
-            counts[counts.len() - 1]
-        );
-    }
-
-    #[test]
-    fn materialize_charges_nothing() {
-        let ctx = EmContext::new_in_memory(emcore::EmConfig::tiny());
-        let f = materialize(&ctx, Workload::UniformPerm, 500, 7).unwrap();
-        assert_eq!(f.len(), 500);
-        assert_eq!(ctx.stats().snapshot().total_ios(), 0);
-    }
-
-    #[test]
-    fn names_distinct() {
-        let names: Vec<String> = [
-            Workload::UniformPerm,
-            Workload::Sorted,
-            Workload::Reversed,
-            Workload::NearlySorted { frac: 0.1 },
-            Workload::FewDistinct { values: 3 },
-            Workload::ZipfLike { values: 10, s: 1.0 },
-            Workload::HardBlockColumns { block: 64 },
-        ]
-        .into_iter()
-        .map(name)
-        .collect();
-        let set: std::collections::BTreeSet<&String> = names.iter().collect();
-        assert_eq!(set.len(), names.len());
-    }
-}
+pub use graph::{degree_histogram, grid_edges, rmat_edges};
+pub use keys::{generate, materialize, name, Workload};
+pub use zipf::zipf_query_ranks;

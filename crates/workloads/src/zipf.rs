@@ -1,0 +1,97 @@
+//! Zipfian query-rank streams for the serving experiments.
+
+use emcore::SplitMix64;
+
+/// A seeded Zipfian *query-rank* stream for serving experiments: `count`
+/// ranks in `[1, n]`, drawn from `hot` distinct hot ranks with Zipf
+/// weights `1/i^s` (hot rank 1 is the most popular). The hot ranks
+/// themselves are a deterministic function of `seed`, spread uniformly
+/// over `[1, n]`, so repeated queries hit the same ranks — the skew a
+/// splitter index exploits. `s = 0` degrades to uniform over the hot set.
+pub fn zipf_query_ranks(n: u64, hot: u64, s: f64, count: usize, seed: u64) -> Vec<u64> {
+    let n = n.max(1);
+    let hot = hot.max(1).min(n) as usize;
+    let mut rng = SplitMix64::new(seed);
+    // Distinct hot ranks: jittered picks from `hot` equal strata of [1, n].
+    let mut hot_ranks = Vec::with_capacity(hot);
+    let mut seen = std::collections::BTreeSet::new();
+    for i in 0..hot as u64 {
+        let lo = (i * n) / hot as u64;
+        let hi = (((i + 1) * n) / hot as u64).max(lo + 1);
+        let mut r = lo + 1 + rng.below(hi - lo);
+        while !seen.insert(r) {
+            r = 1 + rng.below(n);
+        }
+        hot_ranks.push(r);
+    }
+    // Popularity order is independent of position: shuffle, then weight
+    // the i-th hot rank by 1/i^s (inverse-CDF table, as ZipfLike).
+    rng.shuffle(&mut hot_ranks);
+    let mut cdf = Vec::with_capacity(hot);
+    let mut acc = 0.0f64;
+    for i in 1..=hot {
+        acc += 1.0 / (i as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..count)
+        .map(|_| {
+            let u = rng.unit() * total;
+            hot_ranks[cdf.partition_point(|&c| c < u)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_query_ranks_golden_histogram() {
+        // Pin the exact distribution: same seed must yield the same hot
+        // ranks and the same per-rank frequencies, forever. Regenerating
+        // this golden data means the stream changed and every EX-SERVE
+        // number with it.
+        let ranks = zipf_query_ranks(1000, 8, 1.1, 2000, 42);
+        assert_eq!(ranks.len(), 2000);
+        let mut hist: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        for r in ranks {
+            assert!((1..=1000).contains(&r));
+            *hist.entry(r).or_default() += 1;
+        }
+        let got: Vec<(u64, usize)> = hist.into_iter().collect();
+        let want: Vec<(u64, usize)> = vec![
+            (39, 369),
+            (167, 151),
+            (359, 170),
+            (390, 787),
+            (501, 237),
+            (688, 81),
+            (801, 110),
+            (909, 95),
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zipf_query_ranks_is_deterministic_and_skewed() {
+        let a = zipf_query_ranks(1 << 20, 64, 1.2, 5000, 7);
+        let b = zipf_query_ranks(1 << 20, 64, 1.2, 5000, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, zipf_query_ranks(1 << 20, 64, 1.2, 5000, 8));
+        // At most `hot` distinct ranks, and a clear head/tail split.
+        let mut hist: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        for &r in &a {
+            *hist.entry(r).or_default() += 1;
+        }
+        assert!(hist.len() <= 64);
+        let mut counts: Vec<usize> = hist.values().copied().collect();
+        counts.sort_unstable_by(|x, y| y.cmp(x));
+        assert!(
+            counts[0] > counts[counts.len() - 1] * 3,
+            "head {} vs tail {}",
+            counts[0],
+            counts[counts.len() - 1]
+        );
+    }
+}

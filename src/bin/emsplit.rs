@@ -16,7 +16,23 @@
 //! emsplit shard-build <store-dir> <name> <file> --shards N
 //! emsplit metrics-report <series.jsonl>
 //! emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...
+//! emsplit graph-gen <file> --kind rmat|grid [--scale S --edges E --seed S | --rows R --cols C]
+//! emsplit graph-build <file> <out-file> [--directed] [--keep-loops] [--vertices N]
+//! emsplit graph-cluster <file> [--rounds R] [--max-size C] [--labels FILE] [--stats]
+//! emsplit graph-stats <file> [--buckets K]
 //! ```
+//!
+//! The `graph-*` family operates on edge lists stored as flat `u64`
+//! pair files (16 bytes per edge: `src` then `dst`, little-endian).
+//! `graph-build` canonicalizes a raw edge list (symmetrize, drop
+//! self-loops, sort, dedup) and writes the canonical pair file;
+//! `graph-cluster` runs crash-recoverable size-capped label propagation
+//! and prints `clusters=<c> digest=<hex>` — the digest is bit-identical
+//! across `--mem`, `--workers`, and backend choices; `graph-stats`
+//! prints the degree profile and (with `--buckets K`) the near-even
+//! degree buckets realized by approximate K-partitioning. All three
+//! take `--trace FILE` / `--trace-summary`; clustering rounds appear as
+//! `graph/round#N` spans.
 //!
 //! `serve` opens (or creates) a persistent dataset store in `<store-dir>`
 //! and answers line-oriented rank/quantile queries from stdin — see
@@ -154,6 +170,28 @@ fn write_keys(path: &Path, keys: &[u64]) {
     }
     std::fs::write(path, out)
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+}
+
+/// Read a flat `u64` file as `(src, dst)` edge pairs (16 bytes/edge).
+fn read_pairs(path: &Path) -> Vec<(u64, u64)> {
+    let keys = read_keys(path);
+    if !keys.len().is_multiple_of(2) {
+        die(&format!(
+            "{} is not an edge pair file (odd u64 count {})",
+            path.display(),
+            keys.len()
+        ));
+    }
+    keys.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+}
+
+fn write_pairs(path: &Path, pairs: &[(u64, u64)]) {
+    let mut keys = Vec::with_capacity(pairs.len() * 2);
+    for &(s, d) in pairs {
+        keys.push(s);
+        keys.push(d);
+    }
+    write_keys(path, &keys);
 }
 
 fn config(args: &Args) -> EmConfig {
@@ -731,6 +769,149 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "graph-gen" => {
+            let path = PathBuf::from(
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("graph-gen needs <file>")),
+            );
+            let pairs = match args.flags.get("kind").map(String::as_str) {
+                None | Some("rmat") => {
+                    let scale = args.flag_u64("scale", 10) as u32;
+                    let edges = args.flag_u64("edges", 1 << (scale + 2));
+                    rmat_edges(scale, edges, args.flag_u64("seed", 42))
+                }
+                Some("grid") => grid_edges(args.flag_u64("rows", 32), args.flag_u64("cols", 32)),
+                Some(other) => die(&format!("unknown graph kind {other}")),
+            };
+            write_pairs(&path, &pairs);
+            eprintln!("wrote {} edges to {}", pairs.len(), path.display());
+        }
+        "graph-build" => {
+            let path = PathBuf::from(
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("graph-build needs <file>")),
+            );
+            let out_path = PathBuf::from(
+                args.positional
+                    .get(2)
+                    .unwrap_or_else(|| die("graph-build needs <out-file>")),
+            );
+            let ctx = machine(&args);
+            let trace = setup_trace(&ctx, &args);
+            let raw = edges_from_pairs(&ctx, &read_pairs(&path))
+                .unwrap_or_else(|e| die(&format!("load failed: {e}")));
+            let vertices = args.flag_u64("vertices", 0);
+            let opts = BuildOptions {
+                symmetrize: !args.has("directed"),
+                drop_self_loops: !args.has("keep-loops"),
+                vertices: (vertices > 0).then_some(vertices),
+            };
+            let g = build_graph(&ctx, &raw, &opts)
+                .unwrap_or_else(|e| die(&format!("graph build failed: {e}")));
+            let canon = ctx
+                .stats()
+                .paused(|| g.edges().to_vec())
+                .unwrap_or_else(|e| die(&format!("read-back failed: {e}")));
+            write_pairs(
+                &out_path,
+                &canon.iter().map(|e| (e.src, e.dst)).collect::<Vec<_>>(),
+            );
+            eprintln!(
+                "canonicalized {} raw edges into {} ({} vertices, {} edges, max degree {})",
+                raw.len(),
+                out_path.display(),
+                g.vertices(),
+                g.num_edges(),
+                g.max_degree()
+            );
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
+            }
+            finish_trace(&ctx, trace);
+        }
+        "graph-cluster" => {
+            let path = PathBuf::from(
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("graph-cluster needs <file>")),
+            );
+            let ctx = machine(&args);
+            let trace = setup_trace(&ctx, &args);
+            let raw = edges_from_pairs(&ctx, &read_pairs(&path))
+                .unwrap_or_else(|e| die(&format!("load failed: {e}")));
+            let g = build_graph(&ctx, &raw, &BuildOptions::default())
+                .unwrap_or_else(|e| die(&format!("graph build failed: {e}")));
+            let opts = ClusterOptions {
+                rounds: args.flag_u64("rounds", 8) as u32,
+                max_cluster_size: args.flag_u64("max-size", 0),
+            };
+            let c = cluster(&g, &opts).unwrap_or_else(|e| die(&format!("clustering failed: {e}")));
+            let digest =
+                labels_digest(&c.labels).unwrap_or_else(|e| die(&format!("digest failed: {e}")));
+            println!("clusters={} digest={digest:016x}", c.clusters);
+            eprintln!(
+                "[cluster] {} vertices, {} rounds run, moves per round {:?}",
+                g.vertices(),
+                c.rounds_run,
+                c.moves
+            );
+            if let Some(p) = args.flags.get("labels") {
+                if p == "true" {
+                    die("--labels expects a file path");
+                }
+                let labels = ctx
+                    .stats()
+                    .paused(|| c.labels.to_vec())
+                    .unwrap_or_else(|e| die(&format!("read-back failed: {e}")));
+                write_keys(&PathBuf::from(p), &labels);
+                eprintln!("[cluster] wrote {} labels to {p}", labels.len());
+            }
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
+            }
+            finish_trace(&ctx, trace);
+        }
+        "graph-stats" => {
+            let path = PathBuf::from(
+                args.positional
+                    .get(1)
+                    .unwrap_or_else(|| die("graph-stats needs <file>")),
+            );
+            let ctx = machine(&args);
+            let trace = setup_trace(&ctx, &args);
+            let raw = edges_from_pairs(&ctx, &read_pairs(&path))
+                .unwrap_or_else(|e| die(&format!("load failed: {e}")));
+            let g = build_graph(&ctx, &raw, &BuildOptions::default())
+                .unwrap_or_else(|e| die(&format!("graph build failed: {e}")));
+            println!(
+                "vertices={} edges={} max-degree={}",
+                g.vertices(),
+                g.num_edges(),
+                g.max_degree()
+            );
+            let k = args.flag_u64("buckets", 0);
+            if k > 0 {
+                let b = degree_buckets(&g, k)
+                    .unwrap_or_else(|e| die(&format!("bucketing failed: {e}")));
+                let ranges = b
+                    .score_ranges()
+                    .unwrap_or_else(|e| die(&format!("bucket scan failed: {e}")));
+                for (i, (size, range)) in b.sizes().iter().zip(&ranges).enumerate() {
+                    match range {
+                        Some((lo, hi)) => {
+                            println!("bucket={i} size={size} degrees=[{lo}, {hi}]")
+                        }
+                        None => println!("bucket={i} size=0"),
+                    }
+                }
+            }
+            if args.has("stats") || args.has("mem-governor") {
+                print_stats(&ctx, &args);
+            }
+            finish_trace(&ctx, trace);
+        }
         _ => {
             eprintln!(
                 "emsplit — approximate partitions and splitters in external memory\n\
@@ -748,6 +929,11 @@ fn main() -> ExitCode {
                  \x20 emsplit shard-build <store-dir> <name> <file> --shards N\n\
                  \x20 emsplit metrics-report <series.jsonl>\n\
                  \x20 emsplit verify <file> --k K [--min a] [--max b] -- s1 s2 ...\n\
+                 \x20 emsplit graph-gen <file> [--kind rmat|grid] [--scale S --edges E --seed S | --rows R --cols C]\n\
+                 \x20 emsplit graph-build <file> <out-file> [--directed] [--keep-loops] [--vertices N] [--stats]\n\
+                 \x20 emsplit graph-cluster <file> [--rounds R] [--max-size C] [--labels FILE] [--stats]\n\
+                 \x20 emsplit graph-stats <file> [--buckets K]\n\
+                 \x20   (graph files are flat u64 pair arrays: 16 bytes per src,dst edge)\n\
                  \n\
                  common flags: --mem M --block B   (machine geometry, records)\n\
                  \x20             --workers W        (parallel sort threads; same logical I/Os)\n\

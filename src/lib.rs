@@ -26,6 +26,11 @@
 //!   sharded scale-out tier — [`emserve::Router`] scatter/gathers rank
 //!   queries across splitter-partitioned shards behind the same
 //!   transport-agnostic [`emserve::QueryService`] trait.
+//! * [`emgraph`] — semi-external graph partitioning and clustering on
+//!   top of the stack: canonical edge files ([`emgraph::build_graph`]),
+//!   crash-recoverable size-capped label propagation
+//!   ([`emgraph::cluster`]), degree/cluster bucketing via approximate
+//!   K-partitioning, and clustering-as-dataset serve integration.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +61,7 @@
 
 pub use apsplit;
 pub use emcore;
+pub use emgraph;
 pub use emselect;
 pub use emserve;
 pub use emsort;
@@ -77,6 +83,12 @@ pub mod prelude {
         MetricsSnapshot, Record, RecoverableJob, Result, RetryPolicy, RingSink, Sampler,
         TraceReport, TraceSink, WallClock,
     };
+    pub use emgraph::{
+        build_graph, cluster, cluster_buckets, cluster_sizes, count_clusters, degree_buckets,
+        edges_from_pairs, labels_digest, rebind_graph, register_cluster_sizes, register_clustering,
+        score_buckets, Buckets, BuildOptions, ClusterJob, ClusterManifest, ClusterOptions,
+        Clustering, Edge, Graph,
+    };
     pub use emselect::{
         multi_select, multi_select_recoverable, quantiles, select_rank, MsOptions, MultiSelectJob,
         MultiSelectManifest, Partition,
@@ -91,5 +103,7 @@ pub mod prelude {
     pub use emsort::{
         external_sort, external_sort_recoverable, parallel_external_sort, SortJob, SortManifest,
     };
-    pub use workloads::{generate, materialize, Workload};
+    pub use workloads::{
+        degree_histogram, generate, grid_edges, materialize, rmat_edges, Workload,
+    };
 }

@@ -189,3 +189,101 @@ fn help_and_bad_usage() {
     assert!(!ok);
     assert!(err.contains("emsplit:"), "{err}");
 }
+
+/// The `graph-*` family end to end: generate an R-MAT edge list,
+/// canonicalize it, cluster it, and read the degree profile — and pin
+/// the determinism contract: the cluster digest is identical across
+/// `--workers` and `--mem` settings.
+#[test]
+fn graph_family_roundtrip_and_digest_invariance() {
+    let edges = tmp("g.bin");
+    let canon = tmp("g-canon.bin");
+    let edges_s = edges.to_str().unwrap();
+    let (_, err, ok) = run(&[
+        "graph-gen",
+        edges_s,
+        "--kind",
+        "rmat",
+        "--scale",
+        "8",
+        "--edges",
+        "3000",
+        "--seed",
+        "9",
+    ]);
+    assert!(ok, "{err}");
+    assert_eq!(std::fs::metadata(&edges).unwrap().len(), 3000 * 16);
+
+    let (_, err, ok) = run(&["graph-build", edges_s, canon.to_str().unwrap(), "--stats"]);
+    assert!(ok, "{err}");
+    assert!(err.contains("max degree"), "{err}");
+    // Canonical file: sorted, deduplicated, symmetric (src,dst) pairs.
+    let bytes = std::fs::read(&canon).unwrap();
+    let keys: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let pairs: Vec<(u64, u64)> = keys.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    assert!(pairs.windows(2).all(|w| w[0] < w[1]), "canonical order");
+    assert!(pairs.iter().all(|&(s, d)| s != d), "no self-loops");
+
+    let cluster = |extra: &[&str]| -> String {
+        let mut args = vec!["graph-cluster", edges_s, "--rounds", "4"];
+        args.extend_from_slice(extra);
+        let (out, err, ok) = run(&args);
+        assert!(ok, "{err}");
+        assert!(
+            out.starts_with("clusters=") && out.contains("digest="),
+            "{out}"
+        );
+        out
+    };
+    let base = cluster(&[]);
+    assert_eq!(base, cluster(&["--workers", "4"]), "worker invariance");
+    assert_eq!(
+        base,
+        cluster(&["--mem", "4096", "--block", "64"]),
+        "memory-budget invariance"
+    );
+
+    let (out, err, ok) = run(&["graph-stats", edges_s, "--buckets", "4"]);
+    assert!(ok, "{err}");
+    assert!(out.starts_with("vertices="), "{out}");
+    assert_eq!(out.lines().filter(|l| l.starts_with("bucket=")).count(), 4);
+}
+
+/// `graph-cluster --trace` emits per-round `graph/round#N` spans, and
+/// `--labels` writes a labels file whose length is the vertex count.
+#[test]
+fn graph_cluster_trace_and_labels_output() {
+    let edges = tmp("h.bin");
+    let trace = tmp("h-trace.jsonl");
+    let labels = tmp("h-labels.bin");
+    let edges_s = edges.to_str().unwrap();
+    run(&[
+        "graph-gen",
+        edges_s,
+        "--kind",
+        "grid",
+        "--rows",
+        "12",
+        "--cols",
+        "12",
+    ]);
+    let (out, err, ok) = run(&[
+        "graph-cluster",
+        edges_s,
+        "--rounds",
+        "3",
+        "--labels",
+        labels.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("digest="), "{out}");
+    assert_eq!(std::fs::metadata(&labels).unwrap().len(), 144 * 8);
+    let doc = std::fs::read_to_string(&trace).unwrap();
+    assert!(doc.contains("graph/round#1"), "round spans in trace");
+    assert!(doc.contains("graph/round#3"), "all rounds traced");
+}
